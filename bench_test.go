@@ -1,0 +1,155 @@
+package zidian
+
+// This file holds one testing.B benchmark per table and figure of the
+// paper's evaluation (Section 9). Each benchmark runs the corresponding
+// experiment at a reduced scale; `cmd/zidian-bench` prints the full tables.
+// Run: go test -bench=. -benchmem
+//
+//	Table 2   -> BenchmarkExp1CaseStudy
+//	Table 3   -> BenchmarkExp1Overall
+//	Fig 3a/3b -> BenchmarkExp2ScanFreeMOT
+//	Fig 3c/3d -> BenchmarkExp2ScanFreeTPCH
+//	Fig 4a–4d -> BenchmarkExp3VaryWorkers{MOT,TPCH}
+//	Fig 4e–4h -> BenchmarkExp3VaryData{MOT,TPCH}
+//	Exp-4     -> BenchmarkExp4Throughput, BenchmarkExp4Horizontal
+
+import (
+	"io"
+	"testing"
+
+	"zidian/internal/bench"
+	"zidian/internal/kv"
+)
+
+func benchConfig() bench.Config {
+	return bench.Config{Scale: 0.25, Seed: 7, Nodes: 4, Workers: 4}
+}
+
+// BenchmarkExp1CaseStudy regenerates Table 2: the paper's Q1 case study.
+func BenchmarkExp1CaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Exp1Case(io.Discard, benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp1Overall regenerates Table 3: average time per workload.
+func BenchmarkExp1Overall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Exp1Overall(io.Discard, benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp2ScanFreeMOT regenerates Figures 3a/3b (MOT, 1 worker).
+func BenchmarkExp2ScanFreeMOT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Exp2(io.Discard, benchConfig(), "mot", []float64{1, 2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp2ScanFreeTPCH regenerates Figures 3c/3d (TPC-H, 1 worker).
+func BenchmarkExp2ScanFreeTPCH(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Exp2(io.Discard, benchConfig(), "tpch", []float64{1, 2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp3VaryWorkersMOT regenerates Figures 4a/4b.
+func BenchmarkExp3VaryWorkersMOT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Exp3Workers(io.Discard, benchConfig(), "mot", []int{4, 8, 12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp3VaryWorkersTPCH regenerates Figures 4c/4d.
+func BenchmarkExp3VaryWorkersTPCH(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Exp3Workers(io.Discard, benchConfig(), "tpch", []int{4, 8, 12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp3VaryDataMOT regenerates Figures 4e/4f.
+func BenchmarkExp3VaryDataMOT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Exp3Data(io.Discard, benchConfig(), "mot", []float64{1, 2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp3VaryDataTPCH regenerates Figures 4g/4h.
+func BenchmarkExp3VaryDataTPCH(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Exp3Data(io.Discard, benchConfig(), "tpch", []float64{1, 2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp4Throughput regenerates the KV-workload throughput numbers.
+func BenchmarkExp4Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Exp4Throughput(io.Discard, benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp4Horizontal regenerates the horizontal-scalability numbers.
+func BenchmarkExp4Horizontal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Exp4Horizontal(io.Discard, benchConfig(), []int{4, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPaperQ1Zidian micro-benchmarks one scan-free execution (the
+// per-query fast path behind Table 2's Zidian columns).
+func BenchmarkPaperQ1Zidian(b *testing.B) {
+	env, err := bench.NewEnv("tpch", 0.25, 7, 4, []kv.CostModel{kv.ProfileKStore})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.RunQuery(env.Systems[0], true, "tq09_important_stock", 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPaperQ1Baseline micro-benchmarks the TaaV baseline for the same
+// query (Table 2's SoK column).
+func BenchmarkPaperQ1Baseline(b *testing.B) {
+	env, err := bench.NewEnv("tpch", 0.25, 7, 4, []kv.CostModel{kv.ProfileKStore})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.RunQuery(env.Systems[0], false, "tq09_important_stock", 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation regenerates the four design-choice ablations.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Ablation(io.Discard, benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command zidian-bench regenerates the paper's experimental tables and
+// figures (Section 9) on the in-process cluster.
+//
+// Usage:
+//
+//	zidian-bench -exp all                # every experiment
+//	zidian-bench -exp 1case              # Table 2 (Q1 case study)
+//	zidian-bench -exp 1                  # Table 3 (overall averages)
+//	zidian-bench -exp 2 -workload mot    # Figure 3a/3b
+//	zidian-bench -exp 3p -workload tpch  # Figure 4c/4d
+//	zidian-bench -exp 3d -workload mot   # Figure 4e/4f
+//	zidian-bench -exp 4                  # KV throughput
+//	zidian-bench -exp 4h                 # horizontal scalability
+//
+// -scale multiplies the dataset sizes; -workers and -nodes set the cluster
+// shape (paper defaults: 8 workers, 12 nodes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zidian/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: all, 1case, 1, 2, 3p, 3d, 4, 4h, ablation")
+		workload = flag.String("workload", "mot", "workload for exp 2/3: mot, airca, tpch")
+		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		workers  = flag.Int("workers", 8, "SQL-layer workers")
+		nodes    = flag.Int("nodes", 12, "storage nodes")
+		seed     = flag.Int64("seed", 7, "generator seed")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Nodes: *nodes, Workers: *workers}
+	out := os.Stdout
+
+	run := func(name string, f func() error) {
+		fmt.Fprintf(out, "==> %s\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "zidian-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out)
+	}
+
+	switch *exp {
+	case "1case":
+		run("exp1-case", func() error { return bench.Exp1Case(out, cfg) })
+	case "1":
+		run("exp1-overall", func() error { return bench.Exp1Overall(out, cfg) })
+	case "2":
+		run("exp2", func() error { return bench.Exp2(out, cfg, *workload, nil) })
+	case "3p":
+		run("exp3-workers", func() error { return bench.Exp3Workers(out, cfg, *workload, nil) })
+	case "3d":
+		run("exp3-data", func() error { return bench.Exp3Data(out, cfg, *workload, nil) })
+	case "4":
+		run("exp4-throughput", func() error { return bench.Exp4Throughput(out, cfg) })
+	case "4h":
+		run("exp4-horizontal", func() error { return bench.Exp4Horizontal(out, cfg, nil) })
+	case "ablation":
+		run("ablation", func() error { return bench.Ablation(out, cfg) })
+	case "all":
+		run("exp1-case (Table 2)", func() error { return bench.Exp1Case(out, cfg) })
+		run("exp1-overall (Table 3)", func() error { return bench.Exp1Overall(out, cfg) })
+		for _, w := range []string{"mot", "tpch"} {
+			w := w
+			run("exp2 (Figure 3, "+w+")", func() error { return bench.Exp2(out, cfg, w, nil) })
+			run("exp3-workers (Figure 4a-d, "+w+")", func() error { return bench.Exp3Workers(out, cfg, w, nil) })
+			run("exp3-data (Figure 4e-h, "+w+")", func() error { return bench.Exp3Data(out, cfg, w, nil) })
+		}
+		run("exp2 (airca)", func() error { return bench.Exp2(out, cfg, "airca", nil) })
+		run("exp4-throughput", func() error { return bench.Exp4Throughput(out, cfg) })
+		run("exp4-horizontal", func() error { return bench.Exp4Horizontal(out, cfg, nil) })
+		run("ablation", func() error { return bench.Ablation(out, cfg) })
+	default:
+		fmt.Fprintf(os.Stderr, "zidian-bench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,147 @@
+// Command zidian-sql is an interactive SQL shell over a generated workload
+// database mapped to a BaaV store. Every answer is accompanied by the KBA
+// plan, its scan-free/bounded classification, and data-access statistics —
+// a direct window into what Zidian does with a query.
+//
+// Usage:
+//
+//	zidian-sql -workload tpch -scale 0.5
+//	> select PS.suppkey, SUM(PS.supplycost) from PARTSUPP PS, SUPPLIER S,
+//	  NATION N where PS.suppkey = S.suppkey and S.nationkey = N.nationkey
+//	  and N.name = 'GERMANY' group by PS.suppkey
+//
+// Meta commands: \schema (BaaV schema), \tables (relations), \q (quit).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zidian"
+	"zidian/internal/workload"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "tpch", "workload: tpch, mot, airca")
+		scale   = flag.Float64("scale", 0.25, "dataset scale")
+		seed    = flag.Int64("seed", 7, "generator seed")
+		workers = flag.Int("workers", 4, "SQL-layer workers")
+	)
+	flag.Parse()
+
+	w, err := workload.Generate(*name, workload.Spec{Scale: *scale, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zidian-sql:", err)
+		os.Exit(1)
+	}
+	inst, err := zidian.Open(w.DB, w.Schema, zidian.Options{Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zidian-sql:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("zidian-sql: %s at scale %g (%d tuples); \\q to quit\n",
+		*name, *scale, w.DB.Cardinality())
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() { fmt.Print("> ") }
+	prompt()
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "\\q" || line == "quit" || line == "exit":
+			return
+		case line == "\\tables":
+			for _, s := range w.DB.Schemas() {
+				fmt.Printf("  %s (%d tuples)\n", s, w.DB.Relation(s.Name).Cardinality())
+			}
+			prompt()
+			continue
+		case line == "\\schema":
+			for _, kvs := range w.Schema.KVs {
+				fmt.Printf("  %s  [degree %d]\n", kvs, inst.Store().Degree(kvs.Name))
+			}
+			prompt()
+			continue
+		case line == "\\queries":
+			for _, q := range w.Queries {
+				tag := "non scan-free"
+				if q.ScanFree {
+					tag = "scan-free"
+				}
+				fmt.Printf("  %-28s %s\n", q.Name, tag)
+			}
+			prompt()
+			continue
+		case line == "":
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteString(" ")
+		if !strings.HasSuffix(line, ";") && !looksComplete(pending.String()) {
+			fmt.Print("... ")
+			continue
+		}
+		src := strings.TrimSuffix(strings.TrimSpace(pending.String()), ";")
+		pending.Reset()
+		runQuery(inst, src)
+		prompt()
+	}
+}
+
+// looksComplete treats a statement as complete when it has a FROM clause or
+// is an INSERT; multiline input continues until a semicolon otherwise.
+func looksComplete(src string) bool {
+	lower := strings.ToLower(strings.TrimSpace(src))
+	return strings.Contains(lower, " from ") || strings.HasPrefix(lower, "insert") ||
+		strings.HasSuffix(lower, ";")
+}
+
+func runQuery(inst *zidian.Instance, src string) {
+	lower := strings.ToLower(strings.TrimSpace(src))
+	if strings.HasPrefix(lower, "insert") || strings.HasPrefix(lower, "delete") {
+		out, err := inst.Exec(src)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("-- %d rows affected\n", out.Affected)
+		return
+	}
+	res, stats, err := inst.Query(src)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(strings.Join(res.Cols, " | "))
+	max := len(res.Rows)
+	if max > 20 {
+		max = 20
+	}
+	for _, row := range res.Rows[:max] {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	if len(res.Rows) > max {
+		fmt.Printf("... (%d rows total)\n", len(res.Rows))
+	}
+	kind := "not scan-free"
+	if stats.ScanFree {
+		kind = "scan-free"
+		if stats.Bounded {
+			kind += ", bounded"
+		}
+	}
+	fmt.Printf("-- %d rows; %s; %d gets, %d values, %s\n",
+		len(res.Rows), kind, stats.Gets, stats.DataValues, stats.Wall)
+	fmt.Printf("-- plan: %s\n", stats.Plan)
+}

@@ -1,0 +1,85 @@
+// Quickstart: build a small relational database, let T2B design a BaaV
+// schema for your query workload, open a Zidian instance, and run queries —
+// watching which ones are answered scan-free.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zidian"
+)
+
+func main() {
+	// 1. A small database: products and orders.
+	db := zidian.NewDatabase()
+
+	products := zidian.NewRelation(zidian.MustRelSchema("PRODUCT",
+		[]zidian.Attr{
+			{Name: "product_id", Kind: zidian.KindInt},
+			{Name: "category", Kind: zidian.KindString},
+			{Name: "name", Kind: zidian.KindString},
+			{Name: "price", Kind: zidian.KindFloat},
+		}, []string{"product_id"}))
+	for i := 0; i < 200; i++ {
+		cat := []string{"books", "games", "tools", "garden"}[i%4]
+		products.MustInsert(zidian.Tuple{
+			zidian.Int(int64(i)), zidian.String(cat),
+			zidian.String(fmt.Sprintf("%s item %d", cat, i)),
+			zidian.Float(float64(5 + i%50)),
+		})
+	}
+	db.Add(products)
+
+	orders := zidian.NewRelation(zidian.MustRelSchema("ORDERLINE",
+		[]zidian.Attr{
+			{Name: "order_id", Kind: zidian.KindInt},
+			{Name: "product_id", Kind: zidian.KindInt},
+			{Name: "quantity", Kind: zidian.KindInt},
+		}, []string{"order_id"}))
+	for i := 0; i < 1000; i++ {
+		orders.MustInsert(zidian.Tuple{
+			zidian.Int(int64(i)), zidian.Int(int64((i * 7) % 200)), zidian.Int(int64(1 + i%5)),
+		})
+	}
+	db.Add(orders)
+
+	// 2. Design a BaaV schema from the workload you expect to run (T2B).
+	workload := []string{
+		"select P.name, P.price from PRODUCT P where P.category = 'books'",
+		"select SUM(O.quantity) from ORDERLINE O, PRODUCT P where P.category = 'games' and O.product_id = P.product_id",
+	}
+	schema, report, err := zidian.DesignSchema(db, workload, 0, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("T2B designed %d KV schemas (from %d access patterns):\n", report.FinalKVs, report.Patterns)
+	for _, s := range schema.KVs {
+		fmt.Printf("  %s\n", s)
+	}
+
+	// 3. Open an instance: the database is mapped to keyed blocks.
+	inst, err := zidian.Open(db, schema, zidian.Options{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ok, _ := inst.DataPreserving(); ok {
+		fmt.Println("schema is data preserving: the BaaV store can replace the base store")
+	}
+
+	// 4. Run queries; scan-free ones never touch irrelevant data.
+	for _, src := range append(workload,
+		"select AVG(P.price) from PRODUCT P" /* whole-table: not scan-free */) {
+		res, stats, err := inst.Query(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kind := "full scan"
+		if stats.ScanFree {
+			kind = "scan-free"
+		}
+		fmt.Printf("\n%s\n  -> %d rows, %s, %d gets, %d values fetched\n",
+			src, len(res.Rows), kind, stats.Gets, stats.DataValues)
+		fmt.Printf("  plan: %s\n", stats.Plan)
+	}
+}

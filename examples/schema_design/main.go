@@ -1,0 +1,62 @@
+// Schema design with T2B (Section 8.1): extract QCS access patterns from a
+// query workload and design BaaV schemas under progressively tighter storage
+// budgets, watching which queries stay scan-free as the budget shrinks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zidian"
+	"zidian/internal/workload"
+)
+
+func main() {
+	w := workload.AIRCA(workload.Spec{Scale: 0.5, Seed: 7})
+	db := w.DB
+
+	var sql []string
+	var names []string
+	for _, q := range w.Queries {
+		sql = append(sql, q.SQL)
+		names = append(names, q.Name)
+	}
+
+	// Unlimited budget first, to learn the full size.
+	schema, report, err := zidian.DesignSchema(db, sql, 0, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := report.EstimatedSize
+	fmt.Printf("workload: %d queries over %d relations (%d tuples)\n",
+		len(sql), len(db.Schemas()), db.Cardinality())
+	fmt.Printf("T2B with no budget: %d patterns -> %d initial -> %d final KV schemas, ~%d KB mapped\n",
+		report.Patterns, report.InitialKVs, report.FinalKVs, full/1024)
+	for _, s := range schema.KVs {
+		fmt.Printf("  %s\n", s)
+	}
+
+	// Now shrink the budget and watch coverage degrade gracefully.
+	fmt.Printf("\n%10s %8s %12s %s\n", "budget", "schemas", "size (KB)", "scan-free queries")
+	for _, frac := range []float64{1.0, 0.75, 0.5, 0.25} {
+		budget := int64(float64(full) * frac)
+		_, rep, err := zidian.DesignSchema(db, sql, budget, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scanFree := 0
+		var lost []string
+		for i, sf := range rep.ScanFree {
+			if sf {
+				scanFree++
+			} else if w.Queries[i].ScanFree {
+				lost = append(lost, names[i])
+			}
+		}
+		fmt.Printf("%9.0f%% %8d %12d %d/%d", frac*100, rep.FinalKVs, rep.EstimatedSize/1024, scanFree, len(sql))
+		if len(lost) > 0 {
+			fmt.Printf("  (lost: %v)", lost)
+		}
+		fmt.Println()
+	}
+}

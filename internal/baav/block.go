@@ -1,0 +1,338 @@
+package baav
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"zidian/internal/relation"
+)
+
+// Block is the B of a keyed block (k, B): a collection of tuples over the
+// value attributes of a KV schema. When compression is on (Section 8.2),
+// Tuples holds distinct tuples and Counts their multiplicities; otherwise
+// Counts is nil and every tuple has multiplicity one.
+type Block struct {
+	Tuples []relation.Tuple
+	Counts []int64 // nil when uncompressed
+}
+
+// Rows returns the logical number of tuples including multiplicities.
+func (b *Block) Rows() int64 {
+	if b.Counts == nil {
+		return int64(len(b.Tuples))
+	}
+	var n int64
+	for _, c := range b.Counts {
+		n += c
+	}
+	return n
+}
+
+// Distinct returns the number of stored (distinct) tuples, the |B| that
+// defines the degree of a KV instance.
+func (b *Block) Distinct() int { return len(b.Tuples) }
+
+// Expand materializes the block as a flat tuple list with multiplicities
+// applied.
+func (b *Block) Expand() []relation.Tuple {
+	if b.Counts == nil {
+		return b.Tuples
+	}
+	out := make([]relation.Tuple, 0, b.Rows())
+	for i, t := range b.Tuples {
+		for c := int64(0); c < b.Counts[i]; c++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Add inserts one occurrence of t into the block, deduplicating when
+// compress is set. It reports whether a new distinct tuple was added.
+func (b *Block) Add(t relation.Tuple, compress bool) bool {
+	if compress {
+		for i, u := range b.Tuples {
+			if u.Equal(t) {
+				if b.Counts == nil {
+					b.Counts = make([]int64, len(b.Tuples))
+					for j := range b.Counts {
+						b.Counts[j] = 1
+					}
+				}
+				b.Counts[i]++
+				return false
+			}
+		}
+	}
+	b.Tuples = append(b.Tuples, t)
+	if b.Counts != nil {
+		b.Counts = append(b.Counts, 1)
+	}
+	return true
+}
+
+// Remove deletes one occurrence of t, reporting whether anything changed.
+func (b *Block) Remove(t relation.Tuple) bool {
+	for i, u := range b.Tuples {
+		if !u.Equal(t) {
+			continue
+		}
+		if b.Counts != nil && b.Counts[i] > 1 {
+			b.Counts[i]--
+			return true
+		}
+		b.Tuples = append(b.Tuples[:i], b.Tuples[i+1:]...)
+		if b.Counts != nil {
+			b.Counts = append(b.Counts[:i], b.Counts[i+1:]...)
+		}
+		return true
+	}
+	return false
+}
+
+// AttrStats summarizes one numeric value attribute of a block.
+type AttrStats struct {
+	Valid bool // false for non-numeric attributes
+	Min   float64
+	Max   float64
+	Sum   float64
+}
+
+// BlockStats is the per-block group-by statistics of Section 8.2: row count
+// and min/max/sum per numeric attribute (avg = Sum/Rows).
+type BlockStats struct {
+	Rows  int64
+	Attrs []AttrStats
+}
+
+// ComputeStats derives statistics for a block of the given width.
+func (b *Block) ComputeStats(width int) *BlockStats {
+	st := &BlockStats{Rows: b.Rows(), Attrs: make([]AttrStats, width)}
+	for i := range st.Attrs {
+		st.Attrs[i].Valid = true
+	}
+	for ti, t := range b.Tuples {
+		mult := int64(1)
+		if b.Counts != nil {
+			mult = b.Counts[ti]
+		}
+		for i := 0; i < width; i++ {
+			a := &st.Attrs[i]
+			if !a.Valid {
+				continue
+			}
+			v := t[i]
+			if v.Kind != relation.KindInt && v.Kind != relation.KindFloat {
+				a.Valid = false
+				continue
+			}
+			f := v.AsFloat()
+			if ti == 0 || f < a.Min {
+				a.Min = f
+			}
+			if ti == 0 || f > a.Max {
+				a.Max = f
+			}
+			a.Sum += f * float64(mult)
+		}
+	}
+	if len(b.Tuples) == 0 {
+		for i := range st.Attrs {
+			st.Attrs[i].Valid = false
+		}
+	}
+	return st
+}
+
+// Block encoding layout (all integers little-endian or uvarint):
+//
+//	flags byte           bit0 = has multiplicity counts, bit1 = has stats
+//	uvarint distinct     number of stored tuples
+//	[stats]              if bit1: uvarint width, then per attribute:
+//	                     1 byte valid flag; if valid, min/max/sum float64
+//	per tuple            [uvarint count if bit0] + width encoded values
+const (
+	flagCounts byte = 1 << 0
+	flagStats  byte = 1 << 1
+)
+
+var errCorruptBlock = errors.New("baav: corrupt block encoding")
+
+// EncodeBlock serializes a block (and optional stats) into one KV value.
+func EncodeBlock(b *Block, stats *BlockStats, width int) []byte {
+	var flags byte
+	if b.Counts != nil {
+		flags |= flagCounts
+	}
+	if stats != nil {
+		flags |= flagStats
+	}
+	out := []byte{flags}
+	out = binary.AppendUvarint(out, uint64(len(b.Tuples)))
+	if stats != nil {
+		out = binary.AppendUvarint(out, uint64(stats.Rows))
+		out = binary.AppendUvarint(out, uint64(len(stats.Attrs)))
+		var buf [8]byte
+		for _, a := range stats.Attrs {
+			if !a.Valid {
+				out = append(out, 0)
+				continue
+			}
+			out = append(out, 1)
+			for _, f := range []float64{a.Min, a.Max, a.Sum} {
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+				out = append(out, buf[:]...)
+			}
+		}
+	}
+	for i, t := range b.Tuples {
+		if len(t) != width {
+			panic(fmt.Sprintf("baav: tuple width %d != block width %d", len(t), width))
+		}
+		if b.Counts != nil {
+			out = binary.AppendUvarint(out, uint64(b.Counts[i]))
+		}
+		out = relation.AppendTuple(out, t)
+	}
+	return out
+}
+
+// DecodeBlock deserializes a block of the given width. Stats are returned
+// when present.
+func DecodeBlock(data []byte, width int) (*Block, *BlockStats, error) {
+	if len(data) == 0 {
+		return nil, nil, errCorruptBlock
+	}
+	flags := data[0]
+	off := 1
+	n, k := binary.Uvarint(data[off:])
+	if k <= 0 {
+		return nil, nil, errCorruptBlock
+	}
+	off += k
+	var stats *BlockStats
+	if flags&flagStats != 0 {
+		var err error
+		stats, off, err = decodeStats(data, off)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	b := &Block{Tuples: make([]relation.Tuple, 0, n)}
+	if flags&flagCounts != 0 {
+		b.Counts = make([]int64, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if flags&flagCounts != 0 {
+			c, k := binary.Uvarint(data[off:])
+			if k <= 0 {
+				return nil, nil, errCorruptBlock
+			}
+			off += k
+			b.Counts = append(b.Counts, int64(c))
+		}
+		t, k, err := relation.DecodeTuple(data[off:], width)
+		if err != nil {
+			return nil, nil, err
+		}
+		off += k
+		b.Tuples = append(b.Tuples, t)
+	}
+	if stats != nil {
+		stats.Rows = b.Rows()
+	}
+	return b, stats, nil
+}
+
+// DecodeBlockStats reads only the statistics header of an encoded block,
+// without decoding the tuples; the fast path for statistics-backed
+// aggregates. It returns nil when the block carries no stats.
+func DecodeBlockStats(data []byte) (*BlockStats, error) {
+	if len(data) == 0 {
+		return nil, errCorruptBlock
+	}
+	flags := data[0]
+	if flags&flagStats == 0 {
+		return nil, nil
+	}
+	off := 1
+	if _, k := binary.Uvarint(data[off:]); k <= 0 {
+		return nil, errCorruptBlock
+	} else {
+		off += k // skip distinct count
+	}
+	stats, _, err := decodeStats(data, off)
+	if err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+func decodeStats(data []byte, off int) (*BlockStats, int, error) {
+	rows, k := binary.Uvarint(data[off:])
+	if k <= 0 {
+		return nil, 0, errCorruptBlock
+	}
+	off += k
+	w, k := binary.Uvarint(data[off:])
+	if k <= 0 {
+		return nil, 0, errCorruptBlock
+	}
+	off += k
+	st := &BlockStats{Rows: int64(rows), Attrs: make([]AttrStats, w)}
+	for i := uint64(0); i < w; i++ {
+		if off >= len(data) {
+			return nil, 0, errCorruptBlock
+		}
+		valid := data[off]
+		off++
+		if valid == 0 {
+			continue
+		}
+		if off+24 > len(data) {
+			return nil, 0, errCorruptBlock
+		}
+		a := &st.Attrs[i]
+		a.Valid = true
+		a.Min = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		a.Max = math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
+		a.Sum = math.Float64frombits(binary.LittleEndian.Uint64(data[off+16:]))
+		off += 24
+	}
+	return st, off, nil
+}
+
+// Merge folds another stats block into s (attributewise).
+func (s *BlockStats) Merge(o *BlockStats) {
+	if o == nil {
+		return
+	}
+	first := s.Rows == 0
+	s.Rows += o.Rows
+	if len(s.Attrs) < len(o.Attrs) {
+		s.Attrs = append(s.Attrs, make([]AttrStats, len(o.Attrs)-len(s.Attrs))...)
+	}
+	for i := range o.Attrs {
+		oa := o.Attrs[i]
+		sa := &s.Attrs[i]
+		if !oa.Valid {
+			sa.Valid = false
+			continue
+		}
+		if first || !sa.Valid {
+			if first {
+				*sa = oa
+			}
+			continue
+		}
+		if oa.Min < sa.Min {
+			sa.Min = oa.Min
+		}
+		if oa.Max > sa.Max {
+			sa.Max = oa.Max
+		}
+		sa.Sum += oa.Sum
+	}
+}

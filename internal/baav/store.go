@@ -1,0 +1,529 @@
+package baav
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"zidian/internal/kv"
+	"zidian/internal/relation"
+)
+
+// Options configure a BaaV store.
+type Options struct {
+	// SegmentThreshold is the maximum number of stored tuples per physical
+	// block segment (Section 8.2's size threshold, expressed in tuples).
+	SegmentThreshold int
+	// Compress stores distinct value tuples with multiplicity counters.
+	Compress bool
+	// Stats attaches min/max/sum statistics to every block.
+	Stats bool
+}
+
+// DefaultOptions mirror the paper's implementation defaults.
+func DefaultOptions() Options {
+	return Options{SegmentThreshold: 4096, Compress: true, Stats: true}
+}
+
+// Store is a BaaV store ~D: the KV instances of a BaaV schema, physically
+// held in a kv.Cluster. Keyed blocks are encoded as single KV values; blocks
+// larger than the segment threshold split into segments that logically
+// appear as one block.
+type Store struct {
+	Schema  *Schema
+	Cluster *kv.Cluster
+	Rels    map[string]*relation.Schema
+	Opts    Options
+
+	ids     map[string]uint32 // KV schema name -> physical id
+	degrees map[string]int    // KV schema name -> max distinct block size seen
+	blocks  map[string]int    // KV schema name -> number of keyed blocks
+	relRows map[string]int    // relation name -> tuple count
+}
+
+// NewStore creates an empty BaaV store for the schema on the cluster.
+func NewStore(schema *Schema, rels map[string]*relation.Schema, cluster *kv.Cluster, opts Options) *Store {
+	if opts.SegmentThreshold <= 0 {
+		opts.SegmentThreshold = DefaultOptions().SegmentThreshold
+	}
+	st := &Store{
+		Schema:  schema,
+		Cluster: cluster,
+		Rels:    rels,
+		Opts:    opts,
+		ids:     make(map[string]uint32),
+		degrees: make(map[string]int),
+		blocks:  make(map[string]int),
+		relRows: make(map[string]int),
+	}
+	names := schema.Names()
+	for i, n := range names {
+		st.ids[n] = uint32(i + 1)
+	}
+	return st
+}
+
+// Map builds the BaaV store of db on the schema (the mapping of Section
+// 4.1): for every KV schema, project the source relation onto X ∪ Y and
+// group by X.
+func Map(db *relation.Database, schema *Schema, cluster *kv.Cluster, opts Options) (*Store, error) {
+	st := NewStore(schema, RelSchemas(db), cluster, opts)
+	for _, kvSchema := range schema.KVs {
+		rel := db.Relation(kvSchema.Rel)
+		if rel == nil {
+			return nil, fmt.Errorf("baav: relation %q missing from database", kvSchema.Rel)
+		}
+		st.relRows[kvSchema.Rel] = rel.Cardinality()
+		keyPos, err := rel.Schema.Positions(kvSchema.Key)
+		if err != nil {
+			return nil, err
+		}
+		valPos, err := rel.Schema.Positions(kvSchema.Val)
+		if err != nil {
+			return nil, err
+		}
+		groups := make(map[string]*Block)
+		var order []string
+		keyOf := make(map[string]relation.Tuple)
+		for _, t := range rel.Tuples {
+			key := t.Project(keyPos)
+			ks := relation.KeyString(key)
+			b, ok := groups[ks]
+			if !ok {
+				b = &Block{}
+				groups[ks] = b
+				keyOf[ks] = key
+				order = append(order, ks)
+			}
+			b.Add(t.Project(valPos), st.Opts.Compress)
+		}
+		sort.Strings(order) // deterministic layout
+		for _, ks := range order {
+			if err := st.putBlock(kvSchema, keyOf[ks], groups[ks], false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return st, nil
+}
+
+// blockPrefix is the physical key prefix of one logical block: schema id
+// followed by the encoded key tuple.
+func (st *Store) blockPrefix(id uint32, key relation.Tuple) []byte {
+	out := make([]byte, 4, 4+16*len(key))
+	binary.BigEndian.PutUint32(out, id)
+	return relation.AppendTuple(out, key)
+}
+
+func segKey(prefix []byte, seg uint32) []byte {
+	out := make([]byte, len(prefix), len(prefix)+4)
+	copy(out, prefix)
+	return binary.BigEndian.AppendUint32(out, seg)
+}
+
+// instancePrefix is the physical key prefix of a whole KV instance.
+func (st *Store) instancePrefix(id uint32) []byte {
+	out := make([]byte, 4)
+	binary.BigEndian.PutUint32(out, id)
+	return out
+}
+
+// GetBlock retrieves the keyed block under key in the named KV instance,
+// reassembling segments. It returns nil when no block exists. gets reports
+// the number of get invocations issued.
+func (st *Store) GetBlock(name string, key relation.Tuple) (blk *Block, stats *BlockStats, gets int, err error) {
+	kvSchema := st.Schema.ByName(name)
+	if kvSchema == nil {
+		return nil, nil, 0, fmt.Errorf("baav: unknown KV schema %q", name)
+	}
+	id := st.ids[name]
+	prefix := st.blockPrefix(id, key)
+	width := len(kvSchema.Val)
+
+	data, ok := st.Cluster.GetRouted(prefix, segKey(prefix, 0))
+	gets = 1
+	if !ok {
+		return nil, nil, gets, nil
+	}
+	nsegs, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, nil, gets, errCorruptBlock
+	}
+	blk, stats, err = DecodeBlock(data[k:], width)
+	if err != nil {
+		return nil, nil, gets, err
+	}
+	for seg := uint32(1); seg < uint32(nsegs); seg++ {
+		data, ok := st.Cluster.GetRouted(prefix, segKey(prefix, seg))
+		gets++
+		if !ok {
+			return nil, nil, gets, fmt.Errorf("baav: missing segment %d of block in %s", seg, name)
+		}
+		more, moreStats, err := DecodeBlock(data, width)
+		if err != nil {
+			return nil, nil, gets, err
+		}
+		blk.Tuples = append(blk.Tuples, more.Tuples...)
+		switch {
+		case blk.Counts != nil && more.Counts != nil:
+			blk.Counts = append(blk.Counts, more.Counts...)
+		case blk.Counts != nil:
+			for range more.Tuples {
+				blk.Counts = append(blk.Counts, 1)
+			}
+		case more.Counts != nil:
+			blk.Counts = make([]int64, len(blk.Tuples)-len(more.Tuples))
+			for i := range blk.Counts {
+				blk.Counts[i] = 1
+			}
+			blk.Counts = append(blk.Counts, more.Counts...)
+		}
+		if stats != nil {
+			stats.Merge(moreStats)
+		}
+	}
+	return blk, stats, gets, nil
+}
+
+// putBlock writes a block under key, splitting into segments. When checkOld
+// is set it first reads the previous segment count and deletes leftovers.
+func (st *Store) putBlock(kvSchema KVSchema, key relation.Tuple, blk *Block, checkOld bool) error {
+	id := st.ids[kvSchema.Name]
+	prefix := st.blockPrefix(id, key)
+	width := len(kvSchema.Val)
+
+	oldSegs := uint64(0)
+	if checkOld {
+		if data, ok := st.Cluster.GetRouted(prefix, segKey(prefix, 0)); ok {
+			n, k := binary.Uvarint(data)
+			if k <= 0 {
+				return errCorruptBlock
+			}
+			oldSegs = n
+		}
+	}
+	if len(blk.Tuples) == 0 {
+		for seg := uint32(0); seg < uint32(oldSegs); seg++ {
+			st.Cluster.DeleteRouted(prefix, segKey(prefix, seg))
+		}
+		if oldSegs > 0 {
+			st.blocks[kvSchema.Name]--
+		}
+		return nil
+	}
+	if !checkOld || oldSegs == 0 {
+		st.blocks[kvSchema.Name]++
+	}
+
+	// Split into segments of at most SegmentThreshold stored tuples.
+	thr := st.Opts.SegmentThreshold
+	nsegs := (len(blk.Tuples) + thr - 1) / thr
+	for seg := 0; seg < nsegs; seg++ {
+		lo, hi := seg*thr, (seg+1)*thr
+		if hi > len(blk.Tuples) {
+			hi = len(blk.Tuples)
+		}
+		part := &Block{Tuples: blk.Tuples[lo:hi]}
+		if blk.Counts != nil {
+			part.Counts = blk.Counts[lo:hi]
+		}
+		var stats *BlockStats
+		if st.Opts.Stats {
+			stats = part.ComputeStats(width)
+		}
+		payload := EncodeBlock(part, stats, width)
+		if seg == 0 {
+			head := binary.AppendUvarint(nil, uint64(nsegs))
+			payload = append(head, payload...)
+		}
+		st.Cluster.PutRouted(prefix, segKey(prefix, uint32(seg)), payload)
+	}
+	for seg := nsegs; seg < int(oldSegs); seg++ {
+		st.Cluster.DeleteRouted(prefix, segKey(prefix, uint32(seg)))
+	}
+	if d := blk.Distinct(); d > st.degrees[kvSchema.Name] {
+		st.degrees[kvSchema.Name] = d
+	}
+	return nil
+}
+
+// PutBlock stores a block under key in the named KV instance, replacing any
+// existing block.
+func (st *Store) PutBlock(name string, key relation.Tuple, blk *Block) error {
+	kvSchema := st.Schema.ByName(name)
+	if kvSchema == nil {
+		return fmt.Errorf("baav: unknown KV schema %q", name)
+	}
+	return st.putBlock(*kvSchema, key, blk, true)
+}
+
+// ScanInstance visits every keyed block of the named KV instance in key
+// order until fn returns false. Segment reassembly is transparent.
+func (st *Store) ScanInstance(name string, fn func(key relation.Tuple, blk *Block, stats *BlockStats) bool) error {
+	return st.scanInstanceWith(name, fn, func(prefix []byte, visit func(k, v []byte) bool) {
+		st.Cluster.Scan(prefix, visit)
+	})
+}
+
+// ScanInstanceNode visits the keyed blocks of the instance held by one
+// storage node. Blocks are colocated by key (segments route on the block
+// prefix), so per-node scans see whole blocks; parallel scan drivers split
+// work across nodes with it.
+func (st *Store) ScanInstanceNode(node int, name string, fn func(key relation.Tuple, blk *Block, stats *BlockStats) bool) error {
+	return st.scanInstanceWith(name, fn, func(prefix []byte, visit func(k, v []byte) bool) {
+		st.Cluster.ScanNode(node, prefix, visit)
+	})
+}
+
+func (st *Store) scanInstanceWith(name string, fn func(key relation.Tuple, blk *Block, stats *BlockStats) bool,
+	driver func(prefix []byte, visit func(k, v []byte) bool)) error {
+	kvSchema := st.Schema.ByName(name)
+	if kvSchema == nil {
+		return fmt.Errorf("baav: unknown KV schema %q", name)
+	}
+	id := st.ids[name]
+	width := len(kvSchema.Val)
+	keyWidth := len(kvSchema.Key)
+
+	var curKey relation.Tuple
+	var curBlk *Block
+	var curStats *BlockStats
+	var scanErr error
+	stopped := false
+
+	flush := func() bool {
+		if curBlk == nil {
+			return true
+		}
+		ok := fn(curKey, curBlk, curStats)
+		curBlk, curStats, curKey = nil, nil, nil
+		return ok
+	}
+
+	driver(st.instancePrefix(id), func(k, v []byte) bool {
+		key, n, err := relation.DecodeTuple(k[4:], keyWidth)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		seg := binary.BigEndian.Uint32(k[4+n:])
+		payload := v
+		if seg == 0 {
+			if !flush() {
+				stopped = true
+				return false
+			}
+			_, hk := binary.Uvarint(v)
+			if hk <= 0 {
+				scanErr = errCorruptBlock
+				return false
+			}
+			payload = v[hk:]
+			curKey = key
+		}
+		blk, stats, err := DecodeBlock(payload, width)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if seg == 0 {
+			curBlk, curStats = blk, stats
+		} else if curBlk != nil {
+			curBlk.Tuples = append(curBlk.Tuples, blk.Tuples...)
+			if curBlk.Counts != nil && blk.Counts != nil {
+				curBlk.Counts = append(curBlk.Counts, blk.Counts...)
+			}
+			if curStats != nil {
+				curStats.Merge(stats)
+			}
+		}
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	if !stopped {
+		flush()
+	}
+	return nil
+}
+
+// ScanStats visits only the statistics of every block of the instance,
+// reading headers without decoding tuples. Blocks without stats yield nil.
+func (st *Store) ScanStats(name string, fn func(key relation.Tuple, stats *BlockStats) bool) error {
+	kvSchema := st.Schema.ByName(name)
+	if kvSchema == nil {
+		return fmt.Errorf("baav: unknown KV schema %q", name)
+	}
+	id := st.ids[name]
+	keyWidth := len(kvSchema.Key)
+	var scanErr error
+	st.Cluster.Scan(st.instancePrefix(id), func(k, v []byte) bool {
+		key, n, err := relation.DecodeTuple(k[4:], keyWidth)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		seg := binary.BigEndian.Uint32(k[4+n:])
+		payload := v
+		if seg == 0 {
+			_, hk := binary.Uvarint(v)
+			if hk <= 0 {
+				scanErr = errCorruptBlock
+				return false
+			}
+			payload = v[hk:]
+		}
+		stats, err := DecodeBlockStats(payload)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		return fn(key, stats)
+	})
+	return scanErr
+}
+
+// Insert incrementally maintains the store for one inserted tuple of the
+// named relation: a read-modify-write of the affected block in every KV
+// schema projecting that relation — O(deg(~D)) per tuple, independent of
+// |D| (Section 8.2).
+func (st *Store) Insert(rel string, t relation.Tuple) error {
+	return st.maintain(rel, t, true)
+}
+
+// Delete incrementally maintains the store for one deleted tuple.
+func (st *Store) Delete(rel string, t relation.Tuple) error {
+	return st.maintain(rel, t, false)
+}
+
+func (st *Store) maintain(rel string, t relation.Tuple, insert bool) error {
+	schema, ok := st.Rels[rel]
+	if !ok {
+		return fmt.Errorf("baav: unknown relation %q", rel)
+	}
+	if len(t) != len(schema.Attrs) {
+		return fmt.Errorf("baav: tuple arity %d != %s arity %d", len(t), rel, len(schema.Attrs))
+	}
+	changed := false
+	for _, kvSchema := range st.Schema.ForRelation(rel) {
+		keyPos, err := schema.Positions(kvSchema.Key)
+		if err != nil {
+			return err
+		}
+		valPos, err := schema.Positions(kvSchema.Val)
+		if err != nil {
+			return err
+		}
+		key := t.Project(keyPos)
+		val := t.Project(valPos)
+		blk, _, _, err := st.GetBlock(kvSchema.Name, key)
+		if err != nil {
+			return err
+		}
+		if blk == nil {
+			if !insert {
+				continue
+			}
+			blk = &Block{}
+		}
+		if insert {
+			blk.Add(val, st.Opts.Compress)
+		} else if !blk.Remove(val) {
+			continue
+		}
+		changed = true
+		if err := st.putBlock(kvSchema, key, blk, true); err != nil {
+			return err
+		}
+	}
+	if changed {
+		if insert {
+			st.relRows[rel]++
+		} else if st.relRows[rel] > 0 {
+			st.relRows[rel]--
+		}
+	}
+	return nil
+}
+
+// InstanceBlocks returns the number of keyed blocks in the named KV
+// instance — the planner's cost statistic for scan-vs-probe decisions.
+func (st *Store) InstanceBlocks(name string) int { return st.blocks[name] }
+
+// InstanceBytes returns the physical payload size of one KV instance
+// (keys + encoded block segments), by scanning its prefix.
+func (st *Store) InstanceBytes(name string) (int64, error) {
+	id, ok := st.ids[name]
+	if !ok {
+		return 0, fmt.Errorf("baav: unknown KV schema %q", name)
+	}
+	var total int64
+	st.Cluster.Scan(st.instancePrefix(id), func(k, v []byte) bool {
+		total += int64(len(k) + len(v))
+		return true
+	})
+	return total, nil
+}
+
+// RelationRows returns the tuple count of a base relation as loaded and
+// maintained — the planner's cardinality statistic.
+func (st *Store) RelationRows(rel string) int { return st.relRows[rel] }
+
+// HasBlockStats reports whether blocks carry statistics headers, enabling
+// the planner's aggregate pushdown (Section 8.2's statistics feature).
+func (st *Store) HasBlockStats() bool { return st.Opts.Stats }
+
+// Degree returns the largest distinct block size observed for the named KV
+// instance (deg(~D) of Section 4.1), and the store-wide maximum when name
+// is empty.
+func (st *Store) Degree(name string) int {
+	if name != "" {
+		return st.degrees[name]
+	}
+	max := 0
+	for _, d := range st.degrees {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// ComputeDegree scans the instance and returns the exact maximum block size.
+func (st *Store) ComputeDegree(name string) (int, error) {
+	max := 0
+	err := st.ScanInstance(name, func(_ relation.Tuple, blk *Block, _ *BlockStats) bool {
+		if d := blk.Distinct(); d > max {
+			max = d
+		}
+		return true
+	})
+	if err == nil {
+		st.degrees[name] = max
+	}
+	return max, err
+}
+
+// Relational reconstructs the relational version of one KV instance: the
+// flattening of Section 4.1. Attribute order is key attributes then value
+// attributes.
+func (st *Store) Relational(name string) (*relation.Relation, error) {
+	kvSchema := st.Schema.ByName(name)
+	if kvSchema == nil {
+		return nil, fmt.Errorf("baav: unknown KV schema %q", name)
+	}
+	relSchema := st.Rels[kvSchema.Rel]
+	attrs := make([]relation.Attr, 0, len(kvSchema.Key)+len(kvSchema.Val))
+	for _, a := range kvSchema.Attrs() {
+		attrs = append(attrs, relation.Attr{Name: a, Kind: relSchema.Attrs[relSchema.Index(a)].Kind})
+	}
+	out := relation.NewRelation(relation.MustSchema(name, attrs, nil))
+	err := st.ScanInstance(name, func(key relation.Tuple, blk *Block, _ *BlockStats) bool {
+		for _, v := range blk.Expand() {
+			out.MustInsert(key.Concat(v))
+		}
+		return true
+	})
+	return out, err
+}

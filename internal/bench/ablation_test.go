@@ -1,0 +1,20 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Ablation(&buf, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"interleaved", "fetch-all", "compression", "stats headers", "full group-by", "threshold"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("ablation output missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"zidian/internal/kv"
+)
+
+func tinyConfig() Config {
+	return Config{Scale: 0.15, Seed: 7, Nodes: 4, Workers: 4}
+}
+
+func TestEnvBuildsAndPlans(t *testing.T) {
+	env, err := NewEnv("mot", 0.2, 7, 4, kv.Profiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Systems) != 3 {
+		t.Fatalf("systems = %d", len(env.Systems))
+	}
+	for _, wq := range env.Workload.Queries {
+		if env.Query(wq.Name) == nil || env.Plan(wq.Name) == nil {
+			t.Fatalf("missing prepared query/plan for %s", wq.Name)
+		}
+	}
+	if SystemLabel(kv.ProfileHStore, false) != "SoH" || SystemLabel(kv.ProfileCStore, true) != "SoCZidian" {
+		t.Fatal("system labels")
+	}
+	if SystemLabel(kv.CostModel{Name: "x"}, false) != "x" {
+		t.Fatal("unknown profile label")
+	}
+}
+
+// TestZidianWinsOnScanFree asserts the paper's headline shape: for the
+// scan-free suite, Zidian beats the baseline on simulated time, gets, and
+// data accessed, on every system.
+func TestZidianWinsOnScanFree(t *testing.T) {
+	env, err := NewEnv("mot", 0.3, 7, 4, kv.Profiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range env.Systems {
+		base, err := env.RunSuite(sys, false, env.Workload.ScanFreeQueries(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zid, err := env.RunSuite(sys, true, env.Workload.ScanFreeQueries(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if zid.SimMS >= base.SimMS {
+			t.Fatalf("%s: Zidian sim %.2fms !< baseline %.2fms", sys.Profile.Name, zid.SimMS, base.SimMS)
+		}
+		if zid.Gets >= base.Gets {
+			t.Fatalf("%s: Zidian gets %d !< baseline %d", sys.Profile.Name, zid.Gets, base.Gets)
+		}
+		if zid.Data >= base.Data {
+			t.Fatalf("%s: Zidian data %d !< baseline %d", sys.Profile.Name, zid.Data, base.Data)
+		}
+		if zid.CommMB >= base.CommMB {
+			t.Fatalf("%s: Zidian comm %.3f !< baseline %.3f", sys.Profile.Name, zid.CommMB, base.CommMB)
+		}
+	}
+}
+
+func TestExp1CaseOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Exp1Case(&buf, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"SoH", "SoHZidian", "SoK", "SoC", "#get", "#data", "comm"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("Exp1Case output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestExp1OverallOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Exp1Overall(&buf, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"mot", "airca", "tpch", "SoKZidian"} {
+		if !strings.Contains(buf.String(), frag) {
+			t.Fatalf("Exp1Overall output missing %q:\n%s", frag, buf.String())
+		}
+	}
+}
+
+func TestExp2Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Exp2(&buf, tinyConfig(), "mot", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"s.f.", "non s.f.", "×1", "×2"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("Exp2 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestExp3Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Exp3Workers(&buf, tinyConfig(), "mot", []int{2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "p\t") && !strings.Contains(buf.String(), "p ") {
+		t.Fatalf("Exp3Workers output:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Exp3Data(&buf, tinyConfig(), "tpch", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "scale") {
+		t.Fatalf("Exp3Data output:\n%s", buf.String())
+	}
+}
+
+// TestExp4ThroughputShape asserts the paper's finding: Zidian improves read
+// throughput and pays a modest write penalty.
+func TestExp4ThroughputShape(t *testing.T) {
+	env, err := NewEnv("mot", 0.3, 7, 4, kv.Profiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := measureThroughput(env, tinyConfig(), 300, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i := 0; i < len(results); i += 2 {
+		base, zid := results[i], results[i+1]
+		if zid.Read <= base.Read {
+			t.Fatalf("%s: BaaV read throughput %.1f !> TaaV %.1f", zid.System, zid.Read, base.Read)
+		}
+		if zid.Write >= base.Write {
+			t.Fatalf("%s: BaaV write throughput %.1f !< TaaV %.1f (read-modify-write)", zid.System, zid.Write, base.Write)
+		}
+		if zid.Write < base.Write/20 {
+			t.Fatalf("%s: write penalty too extreme: %.1f vs %.1f", zid.System, zid.Write, base.Write)
+		}
+	}
+}
+
+func TestExp4HorizontalScales(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Exp4Horizontal(&buf, tinyConfig(), []int{2, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "nodes") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestExp4ThroughputOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Exp4Throughput(&buf, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "read Tpms") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+// TestBoundedQueriesStableCost reproduces Exp-2's boundedness finding at
+// the harness level: a bounded query's data access stays flat as |D| grows.
+func TestBoundedQueriesStableCost(t *testing.T) {
+	costAt := func(scale float64) int64 {
+		env, err := NewEnv("mot", scale, 7, 4, []kv.CostModel{kv.ProfileHStore})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := env.RunQuery(env.Systems[0], true, "mq01_vehicle_tests", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Data
+	}
+	small := costAt(0.3)
+	big := costAt(1.2)
+	if big > small*3 {
+		t.Fatalf("bounded query data grew with |D|: %d -> %d", small, big)
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	c := Config{}.normalized()
+	if c.Scale != 1 || c.Nodes != 12 || c.Workers != 8 || c.Seed != 7 {
+		t.Fatalf("normalized = %+v", c)
+	}
+	if DefaultConfig().Nodes != 12 {
+		t.Fatal("default config")
+	}
+}
+
+// TestHorizontalThroughputGrows asserts Exp-4's horizontal claim: with
+// fixed per-node data, read throughput grows with the node count for both
+// representations.
+func TestHorizontalThroughputGrows(t *testing.T) {
+	measure := func(nodes int) (float64, float64) {
+		cfg := tinyConfig()
+		cfg.Nodes = nodes
+		env, err := NewEnv("mot", 0.2*float64(nodes)/4, 7, nodes, []kv.CostModel{kv.ProfileKStore})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := measureThroughput(env, cfg, 200, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0].Read, res[1].Read // TaaV, BaaV
+	}
+	t4, b4 := measure(4)
+	t12, b12 := measure(12)
+	if t12 <= t4 || b12 <= b4 {
+		t.Fatalf("throughput must grow with nodes: taav %f->%f, baav %f->%f", t4, t12, b4, b12)
+	}
+}

@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"zidian/internal/kv"
+	"zidian/internal/workload"
+)
+
+// Config sets the shared experiment parameters.
+type Config struct {
+	Scale   float64 // workload scale multiplier (1.0 = laptop default)
+	Seed    int64
+	Nodes   int // storage nodes ("12 EC2 instances" in the paper)
+	Workers int // SQL-layer workers (8 in most of the paper's runs)
+}
+
+// DefaultConfig mirrors the paper's setup at laptop scale.
+func DefaultConfig() Config {
+	return Config{Scale: 1.0, Seed: 7, Nodes: 12, Workers: 8}
+}
+
+func (c Config) normalized() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 12
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	return c
+}
+
+// baseScale tunes per-workload generation so every experiment runs in
+// seconds at Scale = 1.
+func baseScale(name string) float64 {
+	switch name {
+	case "tpch":
+		return 1.0
+	case "mot":
+		return 1.5
+	default: // airca
+		return 1.0
+	}
+}
+
+// Exp1Case reproduces Table 2: the Q1 case study (time, #data, #get, comm)
+// for the three systems with and without Zidian.
+func Exp1Case(out io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	env, err := NewEnv("tpch", cfg.Scale*baseScale("tpch"), cfg.Seed, cfg.Nodes, kv.Profiles())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Exp-1 case study (Table 2): paper Q1 (simplified TPC-H q11), %d workers\n", cfg.Workers)
+	var rows []Row
+	var labels []string
+	for _, sys := range env.Systems {
+		for _, zidian := range []bool{false, true} {
+			r, err := env.RunQuery(sys, zidian, "tq09_important_stock", cfg.Workers)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, r)
+			labels = append(labels, r.System)
+		}
+	}
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "\t%s\n", joinTab(labels))
+	fmt.Fprintf(w, "time (ms, sim)\t%s\n", joinTabF(rows, func(r Row) string { return fmt.Sprintf("%.1f", r.SimMS) }))
+	fmt.Fprintf(w, "time (ms, wall)\t%s\n", joinTabF(rows, func(r Row) string { return fmt.Sprintf("%.2f", r.WallMS) }))
+	fmt.Fprintf(w, "#data\t%s\n", joinTabF(rows, func(r Row) string { return fmt.Sprintf("%.2g", float64(r.Data)) }))
+	fmt.Fprintf(w, "#get\t%s\n", joinTabF(rows, func(r Row) string { return fmt.Sprintf("%.2g", float64(r.Gets)) }))
+	fmt.Fprintf(w, "comm (MB)\t%s\n", joinTabF(rows, func(r Row) string { return fmt.Sprintf("%.3f", r.CommMB) }))
+	return w.Flush()
+}
+
+// Exp1Overall reproduces Table 3: average evaluation time per workload for
+// every system, with and without Zidian.
+func Exp1Overall(out io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	fmt.Fprintf(out, "Exp-1 overall (Table 3): average time (ms, sim), %d workers\n", cfg.Workers)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	header := false
+	for _, name := range []string{"mot", "airca", "tpch"} {
+		env, err := NewEnv(name, cfg.Scale*baseScale(name), cfg.Seed, cfg.Nodes, kv.Profiles())
+		if err != nil {
+			return err
+		}
+		var cells []string
+		var labels []string
+		for _, sys := range env.Systems {
+			for _, zidian := range []bool{false, true} {
+				r, err := env.RunSuite(sys, zidian, env.Workload.Queries, cfg.Workers)
+				if err != nil {
+					return err
+				}
+				cells = append(cells, fmt.Sprintf("%.1f", r.SimMS))
+				labels = append(labels, r.System)
+			}
+		}
+		if !header {
+			fmt.Fprintf(w, "\t%s\n", joinTab(labels))
+			header = true
+		}
+		fmt.Fprintf(w, "%s\t%s\n", name, joinTab(cells))
+	}
+	return w.Flush()
+}
+
+// Exp2 reproduces Figure 3: scan impact with 1 worker, varying dataset
+// scale, split into scan-free and non-scan-free query suites, for one
+// workload ("mot" → Fig 3a/3b, "tpch" → Fig 3c/3d).
+func Exp2(out io.Writer, cfg Config, name string, scales []float64) error {
+	cfg = cfg.normalized()
+	if len(scales) == 0 {
+		scales = []float64{1, 2, 4, 8, 16}
+	}
+	fmt.Fprintf(out, "Exp-2 (Figure 3, %s): time (ms, sim), 1 worker, varying scale\n", name)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	header := false
+	for _, scale := range scales {
+		env, err := NewEnv(name, cfg.Scale*baseScale(name)*scale/4, cfg.Seed, cfg.Nodes, kv.Profiles())
+		if err != nil {
+			return err
+		}
+		suites := []struct {
+			tag     string
+			queries []workload.Query
+		}{
+			{"s.f.", env.Workload.ScanFreeQueries()},
+			{"non s.f.", env.Workload.NonScanFreeQueries()},
+		}
+		var labels, cells []string
+		for _, suite := range suites {
+			for _, sys := range env.Systems {
+				for _, zidian := range []bool{false, true} {
+					r, err := env.RunSuite(sys, zidian, suite.queries, 1)
+					if err != nil {
+						return err
+					}
+					labels = append(labels, suite.tag+" "+r.System)
+					cells = append(cells, fmt.Sprintf("%.1f", r.SimMS))
+				}
+			}
+		}
+		if !header {
+			fmt.Fprintf(w, "scale\t%s\n", joinTab(labels))
+			header = true
+		}
+		fmt.Fprintf(w, "×%g\t%s\n", scale, joinTab(cells))
+	}
+	return w.Flush()
+}
+
+// Exp3Workers reproduces Figures 4a–4d: time and communication while the
+// number p of EC2 instances varies (paper: 4..12). Each instance is both a
+// computing and a storage node, so p drives both layers.
+func Exp3Workers(out io.Writer, cfg Config, name string, workers []int) error {
+	cfg = cfg.normalized()
+	if len(workers) == 0 {
+		workers = []int{4, 6, 8, 10, 12}
+	}
+	fmt.Fprintf(out, "Exp-3 (Figure 4a–4d, %s): varying workers p\n", name)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	header := false
+	for _, p := range workers {
+		env, err := NewEnv(name, cfg.Scale*baseScale(name), cfg.Seed, p, kv.Profiles())
+		if err != nil {
+			return err
+		}
+		var labels, cells []string
+		for _, sys := range env.Systems {
+			for _, zidian := range []bool{false, true} {
+				r, err := env.RunSuite(sys, zidian, env.Workload.Queries, p)
+				if err != nil {
+					return err
+				}
+				labels = append(labels, r.System+" ms", r.System+" MB")
+				cells = append(cells, fmt.Sprintf("%.1f", r.SimMS), fmt.Sprintf("%.3f", r.CommMB))
+			}
+		}
+		if !header {
+			fmt.Fprintf(w, "p\t%s\n", joinTab(labels))
+			header = true
+		}
+		fmt.Fprintf(w, "%d\t%s\n", p, joinTab(cells))
+	}
+	return w.Flush()
+}
+
+// Exp3Data reproduces Figures 4e–4h: time and communication while the
+// dataset scale varies at a fixed worker count.
+func Exp3Data(out io.Writer, cfg Config, name string, scales []float64) error {
+	cfg = cfg.normalized()
+	if len(scales) == 0 {
+		scales = []float64{1, 2, 4, 8, 16}
+	}
+	fmt.Fprintf(out, "Exp-3 (Figure 4e–4h, %s): varying |D| at p=%d\n", name, cfg.Workers)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	header := false
+	for _, scale := range scales {
+		env, err := NewEnv(name, cfg.Scale*baseScale(name)*scale/4, cfg.Seed, cfg.Nodes, kv.Profiles())
+		if err != nil {
+			return err
+		}
+		var labels, cells []string
+		for _, sys := range env.Systems {
+			for _, zidian := range []bool{false, true} {
+				r, err := env.RunSuite(sys, zidian, env.Workload.Queries, cfg.Workers)
+				if err != nil {
+					return err
+				}
+				labels = append(labels, r.System+" ms", r.System+" MB")
+				cells = append(cells, fmt.Sprintf("%.1f", r.SimMS), fmt.Sprintf("%.3f", r.CommMB))
+			}
+		}
+		if !header {
+			fmt.Fprintf(w, "scale\t%s\n", joinTab(labels))
+			header = true
+		}
+		fmt.Fprintf(w, "×%g\t%s\n", scale, joinTab(cells))
+	}
+	return w.Flush()
+}
+
+func joinTab(cells []string) string {
+	out := ""
+	for i, c := range cells {
+		if i > 0 {
+			out += "\t"
+		}
+		out += c
+	}
+	return out
+}
+
+func joinTabF(rows []Row, f func(Row) string) string {
+	cells := make([]string, len(rows))
+	for i, r := range rows {
+		cells[i] = f(r)
+	}
+	return joinTab(cells)
+}

@@ -1,0 +1,761 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"zidian/internal/baav"
+	"zidian/internal/kba"
+	"zidian/internal/ra"
+	"zidian/internal/relation"
+)
+
+// ErrNotAnswerable reports that the BaaV schema cannot answer the query
+// (Condition (II) fails, or no single KV schema covers a fallback scan).
+// Module M1 then routes the query to the underlying SQL-over-NoSQL system.
+var ErrNotAnswerable = errors.New("core: query cannot be answered over the BaaV schema")
+
+// PlanInfo is a generated KBA plan plus the metadata the executor and the
+// experiment harness need.
+type PlanInfo struct {
+	Query *ra.Query
+	// Root is the KBA plan; nil when Empty.
+	Root kba.Plan
+	// Empty marks statically unsatisfiable queries (conflicting constants).
+	Empty bool
+	// ScanFree reports whether Root scans no KV instance.
+	ScanFree bool
+	// Extends and Scans list the KV instances accessed by ∝ and by scans.
+	Extends []string
+	Scans   []string
+	// OutCols names, per output column of the query, the plan column that
+	// carries it (parallel to Query.OutNames).
+	OutCols []string
+	// UsedStats marks plans answered from per-block statistics headers
+	// without decoding tuples (the Section 8.2 aggregate pushdown).
+	UsedStats bool
+}
+
+// Bounded reports whether the plan is bounded on the store: scan-free with
+// every extended instance's degree at most maxDeg.
+func (p *PlanInfo) Bounded(store *baav.Store, maxDeg int) bool {
+	if p.Empty {
+		return true
+	}
+	if !p.ScanFree {
+		return false
+	}
+	for _, name := range p.Extends {
+		if store.Degree(name) > maxDeg {
+			return false
+		}
+	}
+	return true
+}
+
+// frag is a partial plan during generation: the plan so far, its attribute
+// layout, and the column materializing each equality class.
+type frag struct {
+	plan  kba.Plan
+	attrs []string
+	cols  map[ra.ColRef]string // class root -> column name
+	// scanBased marks fragments containing a KV-instance scan; probing
+	// another instance from such a fragment costs one get per distinct
+	// key, which the planner trades off against scanning it.
+	scanBased bool
+	// rowEst is a rough upper bound on the fragment's row count, used for
+	// the scan-vs-probe decision. Zero means unknown/small.
+	rowEst int
+}
+
+func (f *frag) has(name string) bool {
+	for _, a := range f.attrs {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Plan generates a KBA plan for the query over the checker's BaaV schema,
+// following the chase-based algorithm of Section 6.2: constant seeds grow
+// into chains of ∝ steps (scan-free atoms), uncovered atoms fall back to
+// KV-instance scans, fragments join on shared equality classes, and residual
+// predicates, projection and aggregation finish the plan.
+func (c *Checker) Plan(q *ra.Query) (*PlanInfo, error) {
+	eq := ra.BuildEqClasses(q)
+	if eq.Unsat {
+		return &PlanInfo{Query: q, Empty: true, ScanFree: true}, nil
+	}
+	p := &planner{
+		c: c, q: q, eq: eq,
+		sfAtom:   make(map[string]bool),
+		atomFrag: make(map[string]*frag),
+		applied:  make(map[string]bool),
+	}
+	get := c.GetSet(q, eq)
+	for _, atom := range q.Atoms {
+		p.sfAtom[atom.Alias] = c.atomScanFree(q, eq, get, atom)
+	}
+	return p.run()
+}
+
+type planner struct {
+	c  *Checker
+	q  *ra.Query
+	eq *ra.EqClasses
+
+	frags   []*frag
+	extends []string
+	scans   []string
+
+	// sfAtom marks atoms that the GET/VC chase proves reachable scan-free;
+	// only those may be assembled from several partial ∝ steps.
+	sfAtom map[string]bool
+	// atomFrag tracks which fragment an atom has been fetched into.
+	atomFrag map[string]*frag
+	// applied guards against re-applying the same (atom, schema) extend.
+	applied map[string]bool
+}
+
+func (p *planner) run() (*PlanInfo, error) {
+	if info, ok := p.tryStatsAgg(); ok {
+		return info, nil
+	}
+	if seed, err := p.buildSeed(); err != nil {
+		return nil, err
+	} else if seed != nil {
+		p.frags = append(p.frags, seed)
+	} else if p.seedEmpty() {
+		return &PlanInfo{Query: p.q, Empty: true, ScanFree: true}, nil
+	}
+
+	if err := p.coverAtoms(); err != nil {
+		return nil, err
+	}
+	f, err := p.mergeFrags()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.residualSelect(f); err != nil {
+		return nil, err
+	}
+	outCols, err := p.tail(f)
+	if err != nil {
+		return nil, err
+	}
+	info := &PlanInfo{
+		Query:    p.q,
+		Root:     f.plan,
+		ScanFree: kba.IsScanFree(f.plan),
+		Extends:  p.extends,
+		Scans:    p.scans,
+		OutCols:  outCols,
+	}
+	return info, nil
+}
+
+// tryStatsAgg recognizes whole-instance group-by aggregates that per-block
+// statistics can answer without decoding any tuple (Section 8.2): a single
+// atom, no predicates, group keys exactly a KV schema's key attributes, and
+// COUNT/SUM/MIN/MAX/AVG over its numeric value attributes.
+func (p *planner) tryStatsAgg() (*PlanInfo, bool) {
+	q := p.q
+	if p.c.Stats == nil || !p.c.Stats.HasBlockStats() {
+		return nil, false
+	}
+	if len(q.Atoms) != 1 || !q.IsAggregate() || len(q.Proj) == 0 {
+		return nil, false
+	}
+	if len(q.EqAttrs)+len(q.EqConsts)+len(q.Ins)+len(q.Filters) > 0 {
+		return nil, false
+	}
+	atom := q.Atoms[0]
+	rel := p.c.Rels[atom.Rel]
+	for _, s := range p.c.Schema.ForRelation(atom.Rel) {
+		// Group keys must be exactly the schema's key attributes.
+		if len(q.Proj) != len(s.Key) {
+			continue
+		}
+		keySet := make(map[string]bool, len(s.Key))
+		for _, k := range s.Key {
+			keySet[k] = true
+		}
+		match := true
+		for _, ref := range q.Proj {
+			if !keySet[ref.Attr] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		valSet := make(map[string]bool, len(s.Val))
+		for _, v := range s.Val {
+			valSet[v] = true
+		}
+		specs := make([]kba.AggSpec, len(q.Aggs))
+		ok := true
+		for i, a := range q.Aggs {
+			specs[i] = kba.AggSpec{Func: a.Func, Star: a.Star, Name: a.Name}
+			if a.Star {
+				continue
+			}
+			kind := relation.KindNull
+			if j := rel.Index(a.Col.Attr); j >= 0 {
+				kind = rel.Attrs[j].Kind
+			}
+			if !valSet[a.Col.Attr] || (kind != relation.KindInt && kind != relation.KindFloat) {
+				ok = false
+				break
+			}
+			specs[i].Attr = atom.Alias + "." + a.Col.Attr
+		}
+		if !ok {
+			continue
+		}
+		outCols := make([]string, 0, len(q.Proj)+len(q.Aggs))
+		for _, ref := range q.Proj {
+			outCols = append(outCols, ref.String())
+		}
+		for _, a := range q.Aggs {
+			outCols = append(outCols, a.Name)
+		}
+		return &PlanInfo{
+			Query:     q,
+			Root:      &kba.StatsAgg{KV: s.Name, Alias: atom.Alias, Aggs: specs},
+			ScanFree:  false, // header scans are still scans
+			Scans:     []string{s.Name},
+			OutCols:   outCols,
+			UsedStats: true,
+		}, true
+	}
+	return nil, false
+}
+
+// seedValues collects, per constant-pinned equality class, the candidate
+// values (intersecting constants with IN lists). The bool result is false
+// when some class has an empty candidate set (unsatisfiable).
+func (p *planner) seedValues() (map[ra.ColRef][]relation.Value, bool) {
+	vals := make(map[ra.ColRef][]relation.Value)
+	for _, ce := range p.eq.ConstCols() {
+		root := p.eq.Find(ce.Col)
+		if _, ok := vals[root]; !ok {
+			vals[root] = []relation.Value{ce.Val}
+		}
+	}
+	for _, in := range p.q.Ins {
+		root := p.eq.Find(in.Col)
+		if prev, ok := vals[root]; ok {
+			var kept []relation.Value
+			for _, v := range prev {
+				for _, w := range in.Vals {
+					if relation.Equal(v, w) {
+						kept = append(kept, v)
+						break
+					}
+				}
+			}
+			vals[root] = kept
+		} else {
+			vals[root] = append([]relation.Value{}, in.Vals...)
+		}
+	}
+	for _, vs := range vals {
+		if len(vs) == 0 {
+			return nil, false
+		}
+	}
+	return vals, true
+}
+
+func (p *planner) seedEmpty() bool {
+	_, ok := p.seedValues()
+	return !ok
+}
+
+// buildSeed materializes all constant-pinned classes as one Const fragment,
+// taking the cross product of IN lists. Seed columns use synthetic "$const."
+// names so they never collide with fetched "alias.attr" columns.
+func (p *planner) buildSeed() (*frag, error) {
+	vals, ok := p.seedValues()
+	if !ok {
+		return nil, nil
+	}
+	if len(vals) == 0 {
+		return nil, nil
+	}
+	roots := make([]ra.ColRef, 0, len(vals))
+	for r := range vals {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].String() < roots[j].String() })
+
+	f := &frag{cols: make(map[ra.ColRef]string)}
+	keys := []relation.Tuple{{}}
+	for _, r := range roots {
+		name := "$const." + r.String()
+		f.attrs = append(f.attrs, name)
+		f.cols[r] = name
+		var next []relation.Tuple
+		for _, base := range keys {
+			for _, v := range vals[r] {
+				next = append(next, base.Concat(relation.Tuple{v}))
+			}
+		}
+		keys = next
+		if len(keys) > 10000 {
+			return nil, fmt.Errorf("core: constant seed cross product too large")
+		}
+	}
+	f.plan = &kba.Const{KeyAttrs: append([]string{}, f.attrs...), Keys: keys}
+	return f, nil
+}
+
+// coverAtoms covers every atom, preferring scan-free anchor extends and
+// falling back to instance scans. An atom is covered once it has been
+// fetched at least once and all its used attributes are materialized.
+func (p *planner) coverAtoms() error {
+	covered := func(alias string) bool {
+		f := p.atomFrag[alias]
+		if f == nil {
+			return false
+		}
+		for _, attr := range p.q.AttrsUsed(alias) {
+			ref := ra.ColRef{Alias: alias, Attr: attr}
+			if !f.has(ref.String()) {
+				if _, ok := f.cols[p.eq.Find(ref)]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	allCovered := func() bool {
+		for _, atom := range p.q.Atoms {
+			if !covered(atom.Alias) {
+				return false
+			}
+		}
+		return true
+	}
+	for !allCovered() {
+		// Full-cover anchors first (the single-step chase of Example 7),
+		// then partial pk-refining anchors, then merges, then scans.
+		if p.applyAnchor(covered, true) || p.applyAnchor(covered, false) {
+			continue
+		}
+		if p.mergeOnce(true) {
+			continue
+		}
+		if err := p.applyScan(covered); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyAnchor extends a fragment with one KV instance for an uncovered atom
+// (a chase step, Example 7's T_i). With fullOnly, only schemas covering all
+// of the atom's used attributes qualify; otherwise partial steps are allowed
+// when sound: the first access to an atom joins along query equalities, and
+// any further access must be keyed by a superset of the relation's primary
+// key (so the fetched combination is the unique base tuple — the pk-based
+// closure of Condition (III)).
+func (p *planner) applyAnchor(covered func(string) bool, fullOnly bool) bool {
+	for _, atom := range p.q.Atoms {
+		if covered(atom.Alias) {
+			continue
+		}
+		used := p.q.AttrsUsed(atom.Alias)
+		for _, s := range p.c.Schema.ForRelation(atom.Rel) {
+			full := attrsCover(s.Attrs(), used)
+			if fullOnly && !full {
+				continue
+			}
+			if !full {
+				if !p.sfAtom[atom.Alias] {
+					continue // partial assembly only when provably scan-free
+				}
+				// A partial step must carry the relation's primary key so its
+				// rows are verified tuple projections: without it, derived
+				// keys could inflate multiplicities or pair attributes from
+				// different base tuples.
+				if p.c.pkOf(s) == nil {
+					continue
+				}
+			}
+			if p.applied[atom.Alias+"|"+s.Name] {
+				continue
+			}
+			f, keyFrom := p.findKeyFragment(atom.Alias, s.Key)
+			if f == nil {
+				continue
+			}
+			prev := p.atomFrag[atom.Alias]
+			if prev != nil {
+				if prev != f {
+					continue // wait for a merge to unify fragments
+				}
+				// Refinement of an already fetched atom: sound only through
+				// a primary-key superset.
+				if !pkWithinKey(p.c.pkOf(s), s.Key) {
+					continue
+				}
+			}
+			if prev == nil && f.scanBased && !p.extendBeatsScan(f, s.Name) {
+				continue
+			}
+			// Output names must be fresh in the fragment.
+			collision := false
+			for _, v := range s.Val {
+				if f.has(atom.Alias + "." + v) {
+					collision = true
+					break
+				}
+			}
+			if collision {
+				continue
+			}
+			out := &kba.Extend{Input: f.plan, KV: s.Name, Alias: atom.Alias, KeyFrom: keyFrom}
+			f.plan = out
+			for _, v := range s.Val {
+				ref := ra.ColRef{Alias: atom.Alias, Attr: v}
+				name := ref.String()
+				f.attrs = append(f.attrs, name)
+				root := p.eq.Find(ref)
+				if _, ok := f.cols[root]; !ok {
+					f.cols[root] = name
+				}
+			}
+			p.extends = append(p.extends, s.Name)
+			p.applied[atom.Alias+"|"+s.Name] = true
+			p.atomFrag[atom.Alias] = f
+			return true
+		}
+	}
+	return false
+}
+
+// pkWithinKey reports whether the relation's primary key is contained in
+// the schema's key attributes (pk must be non-nil).
+func pkWithinKey(pk, key []string) bool {
+	if pk == nil {
+		return false
+	}
+	set := make(map[string]bool, len(key))
+	for _, k := range key {
+		set[k] = true
+	}
+	for _, a := range pk {
+		if !set[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// findKeyFragment locates a fragment materializing all key classes of the
+// schema at the atom, returning it with the column names in key order.
+func (p *planner) findKeyFragment(alias string, key []string) (*frag, []string) {
+	for _, f := range p.frags {
+		cols := make([]string, 0, len(key))
+		ok := true
+		for _, k := range key {
+			root := p.eq.Find(ra.ColRef{Alias: alias, Attr: k})
+			col, found := f.cols[root]
+			if !found {
+				ok = false
+				break
+			}
+			cols = append(cols, col)
+		}
+		if ok {
+			return f, cols
+		}
+	}
+	return nil, nil
+}
+
+// applyScan falls back to scanning a KV instance for the first uncovered,
+// not-yet-fetched atom. The chosen schema must cover the atom's used
+// attributes.
+func (p *planner) applyScan(covered func(string) bool) error {
+	for _, atom := range p.q.Atoms {
+		if covered(atom.Alias) || p.atomFrag[atom.Alias] != nil {
+			continue
+		}
+		used := p.q.AttrsUsed(atom.Alias)
+		var best *baav.KVSchema
+		for i, s := range p.c.Schema.ForRelation(atom.Rel) {
+			if !attrsCover(s.Attrs(), used) {
+				continue
+			}
+			if best == nil || len(s.Attrs()) < len(best.Attrs()) {
+				cand := p.c.Schema.ForRelation(atom.Rel)[i]
+				best = &cand
+			}
+		}
+		if best == nil {
+			return fmt.Errorf("%w: no KV schema covers attributes %v of %s (as %s)",
+				ErrNotAnswerable, used, atom.Rel, atom.Alias)
+		}
+		f := &frag{
+			plan:      &kba.ScanKV{KV: best.Name, Alias: atom.Alias},
+			cols:      make(map[ra.ColRef]string),
+			scanBased: true,
+		}
+		if p.c.Stats != nil {
+			f.rowEst = p.c.Stats.RelationRows(atom.Rel)
+		}
+		for _, a := range best.Attrs() {
+			ref := ra.ColRef{Alias: atom.Alias, Attr: a}
+			name := ref.String()
+			f.attrs = append(f.attrs, name)
+			root := p.eq.Find(ref)
+			if _, ok := f.cols[root]; !ok {
+				f.cols[root] = name
+			}
+		}
+		p.scans = append(p.scans, best.Name)
+		p.frags = append(p.frags, f)
+		p.atomFrag[atom.Alias] = f
+		return nil
+	}
+	// Every remaining atom is partially fetched but stuck; as a last resort
+	// this indicates a schema/planner mismatch.
+	return fmt.Errorf("%w: no fetch path completes the remaining atoms", ErrNotAnswerable)
+}
+
+// mergeOnce joins the fragment pair sharing the most equality classes. With
+// requireShared it refuses cross products. It reports whether a merge
+// happened.
+func (p *planner) mergeOnce(requireShared bool) bool {
+	if len(p.frags) < 2 {
+		return false
+	}
+	bi, bj, bestShared := -1, -1, []ra.ColRef(nil)
+	for i := 0; i < len(p.frags); i++ {
+		for j := i + 1; j < len(p.frags); j++ {
+			var shared []ra.ColRef
+			for r := range p.frags[i].cols {
+				if _, ok := p.frags[j].cols[r]; ok {
+					shared = append(shared, r)
+				}
+			}
+			if bi < 0 || len(shared) > len(bestShared) {
+				bi, bj, bestShared = i, j, shared
+			}
+		}
+	}
+	if requireShared && len(bestShared) == 0 {
+		return false
+	}
+	l, r := p.frags[bi], p.frags[bj]
+	sort.Slice(bestShared, func(i, j int) bool {
+		return bestShared[i].String() < bestShared[j].String()
+	})
+	lOn := make([]string, len(bestShared))
+	rOn := make([]string, len(bestShared))
+	for i, root := range bestShared {
+		lOn[i] = l.cols[root]
+		rOn[i] = r.cols[root]
+	}
+	merged := &frag{
+		plan:      &kba.Join{L: l.plan, R: r.plan, LOn: lOn, ROn: rOn},
+		attrs:     append(append([]string{}, l.attrs...), r.attrs...),
+		cols:      make(map[ra.ColRef]string, len(l.cols)+len(r.cols)),
+		scanBased: l.scanBased || r.scanBased,
+		rowEst:    maxInt(l.rowEst, r.rowEst),
+	}
+	for root, col := range l.cols {
+		merged.cols[root] = col
+	}
+	for root, col := range r.cols {
+		if _, ok := merged.cols[root]; !ok {
+			merged.cols[root] = col
+		}
+	}
+	var rest []*frag
+	for i, f := range p.frags {
+		if i != bi && i != bj {
+			rest = append(rest, f)
+		}
+	}
+	p.frags = append(rest, merged)
+	for alias, f := range p.atomFrag {
+		if f == l || f == r {
+			p.atomFrag[alias] = merged
+		}
+	}
+	return true
+}
+
+// mergeFrags joins all fragments into one, preferring joins on shared
+// equality classes and resorting to cross products for disconnected parts.
+func (p *planner) mergeFrags() (*frag, error) {
+	if len(p.frags) == 0 {
+		return nil, fmt.Errorf("core: query produced no plan fragments")
+	}
+	for len(p.frags) > 1 {
+		p.mergeOnce(false)
+	}
+	return p.frags[0], nil
+}
+
+// residualSelect appends a Select verifying every predicate whose columns
+// are materialized: constant selections on scanned atoms, filters, IN
+// lists, and equality predicates both of whose sides were fetched
+// independently. Predicates enforced structurally (by ∝ keys or join keys)
+// have at most one side materialized and are skipped.
+func (p *planner) residualSelect(f *frag) error {
+	var preds []kba.Pred
+	colFor := func(ref ra.ColRef) (string, bool) {
+		if f.has(ref.String()) {
+			return ref.String(), true
+		}
+		col, ok := f.cols[p.eq.Find(ref)]
+		return col, ok
+	}
+	for _, ce := range p.q.EqConsts {
+		col, ok := colFor(ce.Col)
+		if !ok {
+			return fmt.Errorf("core: predicate column %s not materialized", ce.Col)
+		}
+		v := ce.Val
+		preds = append(preds, kba.Pred{Attr: col, Op: "=", Lit: &v})
+	}
+	for _, in := range p.q.Ins {
+		col, ok := colFor(in.Col)
+		if !ok {
+			return fmt.Errorf("core: predicate column %s not materialized", in.Col)
+		}
+		preds = append(preds, kba.Pred{Attr: col, In: in.Vals})
+	}
+	for _, fl := range p.q.Filters {
+		col, ok := colFor(fl.Col)
+		if !ok {
+			return fmt.Errorf("core: filter column %s not materialized", fl.Col)
+		}
+		pred := kba.Pred{Attr: col, Op: fl.Op}
+		if fl.RCol != nil {
+			rcol, ok := colFor(*fl.RCol)
+			if !ok {
+				return fmt.Errorf("core: filter column %s not materialized", *fl.RCol)
+			}
+			pred.RAttr = rcol
+		} else {
+			lit := *fl.Lit
+			pred.Lit = &lit
+		}
+		preds = append(preds, pred)
+	}
+	for _, eqp := range p.q.EqAttrs {
+		// Verify only when both sides are materialized as distinct columns.
+		if f.has(eqp.L.String()) && f.has(eqp.R.String()) && eqp.L != eqp.R {
+			preds = append(preds, kba.Pred{Attr: eqp.L.String(), Op: "=", RAttr: eqp.R.String()})
+		}
+	}
+	if len(preds) > 0 {
+		f.plan = &kba.Select{Input: f.plan, Preds: preds}
+	}
+	return nil
+}
+
+// tail adds the aggregate or projection (and DISTINCT) tail, returning the
+// output column names parallel to the query's OutNames.
+func (p *planner) tail(f *frag) ([]string, error) {
+	colFor := func(ref ra.ColRef) (string, error) {
+		if f.has(ref.String()) {
+			return ref.String(), nil
+		}
+		if col, ok := f.cols[p.eq.Find(ref)]; ok {
+			return col, nil
+		}
+		return "", fmt.Errorf("core: output column %s not materialized", ref)
+	}
+	var outCols []string
+	var keyCols []string
+	seen := make(map[string]bool)
+	for _, ref := range p.q.Proj {
+		col, err := colFor(ref)
+		if err != nil {
+			return nil, err
+		}
+		outCols = append(outCols, col)
+		if !seen[col] {
+			seen[col] = true
+			keyCols = append(keyCols, col)
+		}
+	}
+	if p.q.IsAggregate() {
+		specs := make([]kba.AggSpec, len(p.q.Aggs))
+		for i, a := range p.q.Aggs {
+			spec := kba.AggSpec{Func: a.Func, Star: a.Star, Name: a.Name}
+			if !a.Star {
+				col, err := colFor(a.Col)
+				if err != nil {
+					return nil, err
+				}
+				spec.Attr = col
+			}
+			specs[i] = spec
+			outCols = append(outCols, a.Name)
+		}
+		f.plan = &kba.GroupBy{Input: f.plan, Keys: keyCols, Aggs: specs}
+		f.attrs = append(append([]string{}, keyCols...), namesOf(specs)...)
+		return outCols, nil
+	}
+	f.plan = &kba.Project{Input: f.plan, Attrs: keyCols}
+	f.attrs = keyCols
+	if p.q.Distinct {
+		f.plan = &kba.Distinct{Input: f.plan}
+	}
+	return outCols, nil
+}
+
+func namesOf(specs []kba.AggSpec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// extendBeatsScan decides whether probing the instance with one get per
+// distinct fragment key beats scanning it, using the store statistics. A
+// get costs roughly an order of magnitude more than a scan step in the
+// storage profiles, so probing from an unbounded fragment only pays off
+// when the target instance is much larger than the probe set.
+func (p *planner) extendBeatsScan(f *frag, kvName string) bool {
+	if p.c.Stats == nil {
+		return true // no statistics: keep the chase behaviour
+	}
+	blocks := p.c.Stats.InstanceBlocks(kvName)
+	if f.rowEst <= 0 || blocks <= 0 {
+		return true
+	}
+	return blocks > 4*f.rowEst
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func attrsCover(have []string, want []string) bool {
+	set := make(map[string]bool, len(have))
+	for _, a := range have {
+		set[a] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,442 @@
+package kba
+
+import (
+	"fmt"
+
+	"zidian/internal/baav"
+	"zidian/internal/relation"
+	"zidian/internal/sql"
+)
+
+// ExecStats counts the logical data access of one plan execution: the #get,
+// #data (values accessed) and fetched bytes reported in the paper's
+// experiments. Physical per-node counters live in kv.Metrics; these are the
+// query-level numbers.
+type ExecStats struct {
+	Gets       int64 // get invocations against the BaaV store
+	Blocks     int64 // keyed blocks fetched (hits)
+	DataValues int64 // values accessed (block rows × width, plus keys)
+	ScanBlocks int64 // blocks visited by ScanKV / StatsAgg leaves
+	BytesRead  int64 // accounting size of all fetched data
+}
+
+// Add folds another stats record into s.
+func (s *ExecStats) Add(o ExecStats) {
+	s.Gets += o.Gets
+	s.Blocks += o.Blocks
+	s.DataValues += o.DataValues
+	s.ScanBlocks += o.ScanBlocks
+	s.BytesRead += o.BytesRead
+}
+
+// Executor runs KBA plans sequentially against a BaaV store.
+type Executor struct {
+	Store *baav.Store
+	Stats *ExecStats
+}
+
+// NewExecutor returns an executor with a fresh stats record.
+func NewExecutor(store *baav.Store) *Executor {
+	return &Executor{Store: store, Stats: &ExecStats{}}
+}
+
+// Run executes the plan and returns the resulting KV instance.
+func (e *Executor) Run(p Plan) (*KeyedRel, error) {
+	switch n := p.(type) {
+	case *Const:
+		return e.runConst(n)
+	case *ScanKV:
+		return e.runScan(n)
+	case *Extend:
+		return e.runExtend(n)
+	case *Shift:
+		return e.runShift(n)
+	case *Join:
+		return e.runJoin(n)
+	case *Select:
+		return e.runSelect(n)
+	case *Project:
+		return e.runProject(n)
+	case *Union:
+		return e.runUnion(n)
+	case *Diff:
+		return e.runDiff(n)
+	case *GroupBy:
+		return e.runGroupBy(n)
+	case *StatsAgg:
+		return e.runStatsAgg(n)
+	case *Distinct:
+		return e.runDistinct(n)
+	default:
+		return nil, fmt.Errorf("kba: unknown plan node %T", p)
+	}
+}
+
+func (e *Executor) runConst(n *Const) (*KeyedRel, error) {
+	out := &KeyedRel{KeyAttrs: n.KeyAttrs}
+	for _, k := range n.Keys {
+		if len(k) != len(n.KeyAttrs) {
+			return nil, fmt.Errorf("kba: constant key %v does not match attrs %v", k, n.KeyAttrs)
+		}
+		out.Blocks = append(out.Blocks, KeyedBlock{Key: k, Rows: []relation.Tuple{{}}})
+	}
+	return out, nil
+}
+
+// qualify prefixes attribute names with a query alias.
+func qualify(alias string, attrs []string) []string {
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		out[i] = alias + "." + a
+	}
+	return out
+}
+
+func (e *Executor) runScan(n *ScanKV) (*KeyedRel, error) {
+	kvSchema := e.Store.Schema.ByName(n.KV)
+	if kvSchema == nil {
+		return nil, fmt.Errorf("kba: unknown KV schema %q", n.KV)
+	}
+	out := &KeyedRel{
+		KeyAttrs: qualify(n.Alias, kvSchema.Key),
+		ValAttrs: qualify(n.Alias, kvSchema.Val),
+	}
+	err := e.Store.ScanInstance(n.KV, func(key relation.Tuple, blk *baav.Block, _ *baav.BlockStats) bool {
+		rows := blk.Expand()
+		e.Stats.ScanBlocks++
+		e.Stats.DataValues += int64(len(rows)*len(kvSchema.Val) + len(key))
+		e.Stats.BytesRead += int64(key.SizeBytes())
+		for _, r := range rows {
+			e.Stats.BytesRead += int64(r.SizeBytes())
+		}
+		out.Blocks = append(out.Blocks, KeyedBlock{Key: key, Rows: rows})
+		return true
+	})
+	return out, err
+}
+
+func (e *Executor) runExtend(n *Extend) (*KeyedRel, error) {
+	in, err := e.Run(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	kvSchema := e.Store.Schema.ByName(n.KV)
+	if kvSchema == nil {
+		return nil, fmt.Errorf("kba: unknown KV schema %q", n.KV)
+	}
+	if len(n.KeyFrom) != len(kvSchema.Key) {
+		return nil, fmt.Errorf("kba: extend on %s needs %d key attributes, got %v",
+			n.KV, len(kvSchema.Key), n.KeyFrom)
+	}
+	inAttrs := in.Attrs()
+	pos := make(map[string]int, len(inAttrs))
+	for i, a := range inAttrs {
+		pos[a] = i
+	}
+	keyIdx := make([]int, len(n.KeyFrom))
+	for i, a := range n.KeyFrom {
+		j, ok := pos[a]
+		if !ok {
+			return nil, fmt.Errorf("kba: extend key attribute %q not in input %v", a, inAttrs)
+		}
+		keyIdx[i] = j
+	}
+
+	out := &KeyedRel{
+		KeyAttrs: inAttrs,
+		ValAttrs: qualify(n.Alias, kvSchema.Val),
+	}
+	// One get per distinct key: deduplicate lookups within the operator.
+	cache := make(map[string][]relation.Tuple)
+	for _, row := range in.Flatten() {
+		key := row.Project(keyIdx)
+		ks := relation.KeyString(key)
+		rows, ok := cache[ks]
+		if !ok {
+			blk, _, gets, err := e.Store.GetBlock(n.KV, key)
+			if err != nil {
+				return nil, err
+			}
+			e.Stats.Gets += int64(gets)
+			if blk != nil {
+				rows = blk.Expand()
+				e.Stats.Blocks++
+				e.Stats.DataValues += int64(len(rows)*len(kvSchema.Val) + len(key))
+				e.Stats.BytesRead += int64(key.SizeBytes())
+				for _, r := range rows {
+					e.Stats.BytesRead += int64(r.SizeBytes())
+				}
+			}
+			cache[ks] = rows
+		}
+		if len(rows) == 0 {
+			continue // no matching block: ∝ joins away the row
+		}
+		out.Blocks = append(out.Blocks, KeyedBlock{Key: row, Rows: rows})
+	}
+	return out, nil
+}
+
+func (e *Executor) runShift(n *Shift) (*KeyedRel, error) {
+	in, err := e.Run(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	return FromRows(in.Attrs(), in.Flatten(), n.NewKey)
+}
+
+func (e *Executor) runJoin(n *Join) (*KeyedRel, error) {
+	l, err := e.Run(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.Run(n.R)
+	if err != nil {
+		return nil, err
+	}
+	if len(n.LOn) != len(n.ROn) {
+		return nil, fmt.Errorf("kba: join attribute lists differ in length")
+	}
+	lAttrs, rAttrs := l.Attrs(), r.Attrs()
+	lIdx, err := attrPositions(lAttrs, n.LOn)
+	if err != nil {
+		return nil, err
+	}
+	rIdx, err := attrPositions(rAttrs, n.ROn)
+	if err != nil {
+		return nil, err
+	}
+	index := make(map[string][]relation.Tuple)
+	for _, row := range r.Flatten() {
+		k := relation.KeyString(row.Project(rIdx))
+		index[k] = append(index[k], row)
+	}
+	var joined []relation.Tuple
+	for _, row := range l.Flatten() {
+		k := relation.KeyString(row.Project(lIdx))
+		for _, rr := range index[k] {
+			joined = append(joined, row.Concat(rr))
+		}
+	}
+	return FromRows(append(append([]string{}, lAttrs...), rAttrs...), joined, n.LOn)
+}
+
+func attrPositions(attrs, want []string) ([]int, error) {
+	pos := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		pos[a] = i
+	}
+	out := make([]int, len(want))
+	for i, a := range want {
+		j, ok := pos[a]
+		if !ok {
+			return nil, fmt.Errorf("kba: attribute %q not in %v", a, attrs)
+		}
+		out[i] = j
+	}
+	return out, nil
+}
+
+func (e *Executor) runSelect(n *Select) (*KeyedRel, error) {
+	in, err := e.Run(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	attrs := in.Attrs()
+	checks, err := CompilePreds(attrs, n.Preds)
+	if err != nil {
+		return nil, err
+	}
+	var kept []relation.Tuple
+	for _, row := range in.Flatten() {
+		if checks(row) {
+			kept = append(kept, row)
+		}
+	}
+	return FromRows(attrs, kept, in.KeyAttrs)
+}
+
+// CompilePreds compiles predicates over the attribute layout into a single
+// row filter; shared with the parallel executor.
+func CompilePreds(attrs []string, preds []Pred) (func(relation.Tuple) bool, error) {
+	type check func(relation.Tuple) bool
+	var checks []check
+	pos := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		pos[a] = i
+	}
+	for _, p := range preds {
+		i, ok := pos[p.Attr]
+		if !ok {
+			return nil, fmt.Errorf("kba: predicate attribute %q not in %v", p.Attr, attrs)
+		}
+		switch {
+		case len(p.In) > 0:
+			set := make(map[string]bool, len(p.In))
+			for _, v := range p.In {
+				set[relation.KeyString(relation.Tuple{v})] = true
+			}
+			checks = append(checks, func(t relation.Tuple) bool {
+				return set[relation.KeyString(relation.Tuple{t[i]})]
+			})
+		case p.RAttr != "":
+			j, ok := pos[p.RAttr]
+			if !ok {
+				return nil, fmt.Errorf("kba: predicate attribute %q not in %v", p.RAttr, attrs)
+			}
+			op := p.Op
+			checks = append(checks, func(t relation.Tuple) bool {
+				return cmpOK(t[i], op, t[j])
+			})
+		case p.Lit != nil:
+			op, lit := p.Op, *p.Lit
+			checks = append(checks, func(t relation.Tuple) bool {
+				return cmpOK(t[i], op, lit)
+			})
+		default:
+			return nil, fmt.Errorf("kba: malformed predicate %v", p)
+		}
+	}
+	return func(t relation.Tuple) bool {
+		for _, c := range checks {
+			if !c(t) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+func cmpOK(a relation.Value, op sql.CmpOp, b relation.Value) bool {
+	c := relation.Compare(a, b)
+	switch op {
+	case sql.OpEq:
+		return c == 0
+	case sql.OpNe:
+		return c != 0
+	case sql.OpLt:
+		return c < 0
+	case sql.OpLe:
+		return c <= 0
+	case sql.OpGt:
+		return c > 0
+	case sql.OpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+func (e *Executor) runProject(n *Project) (*KeyedRel, error) {
+	in, err := e.Run(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	attrs := in.Attrs()
+	idx, err := attrPositions(attrs, n.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	rows := in.Flatten()
+	proj := make([]relation.Tuple, len(rows))
+	for i, r := range rows {
+		proj[i] = r.Project(idx)
+	}
+	// Key by the kept input-key attributes.
+	var key []string
+	kept := make(map[string]bool, len(n.Attrs))
+	for _, a := range n.Attrs {
+		kept[a] = true
+	}
+	for _, a := range in.KeyAttrs {
+		if kept[a] {
+			key = append(key, a)
+		}
+	}
+	return FromRows(n.Attrs, proj, key)
+}
+
+// align reorders r's columns to match l's attribute set.
+func align(l, r *KeyedRel) ([]relation.Tuple, error) {
+	idx, err := attrPositions(r.Attrs(), l.Attrs())
+	if err != nil {
+		return nil, fmt.Errorf("kba: set operation over mismatched attributes: %v", err)
+	}
+	rows := r.Flatten()
+	out := make([]relation.Tuple, len(rows))
+	for i, row := range rows {
+		out[i] = row.Project(idx)
+	}
+	return out, nil
+}
+
+func (e *Executor) runUnion(n *Union) (*KeyedRel, error) {
+	l, err := e.Run(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.Run(n.R)
+	if err != nil {
+		return nil, err
+	}
+	rRows, err := align(l, r)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var rows []relation.Tuple
+	for _, row := range append(l.Flatten(), rRows...) {
+		k := relation.KeyString(row)
+		if !seen[k] {
+			seen[k] = true
+			rows = append(rows, row)
+		}
+	}
+	return FromRows(l.Attrs(), rows, l.KeyAttrs)
+}
+
+func (e *Executor) runDiff(n *Diff) (*KeyedRel, error) {
+	l, err := e.Run(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.Run(n.R)
+	if err != nil {
+		return nil, err
+	}
+	rRows, err := align(l, r)
+	if err != nil {
+		return nil, err
+	}
+	drop := make(map[string]bool, len(rRows))
+	for _, row := range rRows {
+		drop[relation.KeyString(row)] = true
+	}
+	seen := make(map[string]bool)
+	var rows []relation.Tuple
+	for _, row := range l.Flatten() {
+		k := relation.KeyString(row)
+		if !drop[k] && !seen[k] {
+			seen[k] = true
+			rows = append(rows, row)
+		}
+	}
+	return FromRows(l.Attrs(), rows, l.KeyAttrs)
+}
+
+func (e *Executor) runDistinct(n *Distinct) (*KeyedRel, error) {
+	in, err := e.Run(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var rows []relation.Tuple
+	for _, row := range in.Flatten() {
+		k := relation.KeyString(row)
+		if !seen[k] {
+			seen[k] = true
+			rows = append(rows, row)
+		}
+	}
+	return FromRows(in.Attrs(), rows, in.KeyAttrs)
+}

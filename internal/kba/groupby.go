@@ -1,0 +1,165 @@
+package kba
+
+import (
+	"fmt"
+
+	"zidian/internal/baav"
+	"zidian/internal/ra"
+	"zidian/internal/relation"
+	"zidian/internal/sql"
+)
+
+func (e *Executor) runGroupBy(n *GroupBy) (*KeyedRel, error) {
+	in, err := e.Run(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	attrs := in.Attrs()
+	keyIdx, err := attrPositions(attrs, n.Keys)
+	if err != nil {
+		return nil, err
+	}
+	aggIdx := make([]int, len(n.Aggs))
+	for i, a := range n.Aggs {
+		if a.Star {
+			aggIdx[i] = -1
+			continue
+		}
+		j, err := attrPositions(attrs, []string{a.Attr})
+		if err != nil {
+			return nil, err
+		}
+		aggIdx[i] = j[0]
+	}
+
+	type group struct {
+		key    relation.Tuple
+		states []*ra.AggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range in.Flatten() {
+		key := row.Project(keyIdx)
+		ks := relation.KeyString(key)
+		g, ok := groups[ks]
+		if !ok {
+			g = &group{key: key, states: make([]*ra.AggState, len(n.Aggs))}
+			for i := range g.states {
+				g.states[i] = ra.NewAggState()
+			}
+			groups[ks] = g
+			order = append(order, ks)
+		}
+		for i := range n.Aggs {
+			if aggIdx[i] < 0 {
+				g.states[i].AddCount()
+			} else {
+				g.states[i].Add(row[aggIdx[i]])
+			}
+		}
+	}
+
+	out := &KeyedRel{KeyAttrs: n.Keys}
+	for _, a := range n.Aggs {
+		out.ValAttrs = append(out.ValAttrs, a.Name)
+	}
+	for _, ks := range order {
+		g := groups[ks]
+		row := make(relation.Tuple, 0, len(n.Aggs))
+		for i, a := range n.Aggs {
+			row = append(row, g.states[i].Final(a.Func))
+		}
+		out.Blocks = append(out.Blocks, KeyedBlock{Key: g.key, Rows: []relation.Tuple{row}})
+	}
+	return out, nil
+}
+
+// runStatsAgg answers a group-by over a whole KV instance from per-block
+// statistics, reading only block headers. Supported when group keys are the
+// instance key and every aggregate is COUNT(*)/SUM/MIN/MAX/AVG over a
+// numeric value attribute.
+func (e *Executor) runStatsAgg(n *StatsAgg) (*KeyedRel, error) {
+	kvSchema := e.Store.Schema.ByName(n.KV)
+	if kvSchema == nil {
+		return nil, fmt.Errorf("kba: unknown KV schema %q", n.KV)
+	}
+	valPos := make(map[string]int, len(kvSchema.Val))
+	for i, a := range kvSchema.Val {
+		valPos[n.Alias+"."+a] = i
+	}
+	out := &KeyedRel{KeyAttrs: qualify(n.Alias, kvSchema.Key)}
+	for _, a := range n.Aggs {
+		out.ValAttrs = append(out.ValAttrs, a.Name)
+	}
+	// ScanStats yields segmented blocks of one key as separate records;
+	// merge them here by key.
+	merged := make(map[string]*statsAcc)
+	var order []string
+	err := e.Store.ScanStats(n.KV, func(key relation.Tuple, stats *baav.BlockStats) bool {
+		e.Stats.ScanBlocks++
+		if stats == nil {
+			return true // block without stats: handled by validation below
+		}
+		ks := relation.KeyString(key)
+		m, ok := merged[ks]
+		if !ok {
+			m = &statsAcc{key: key}
+			merged[ks] = m
+			order = append(order, ks)
+		}
+		m.merge(stats)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, ks := range order {
+		m := merged[ks]
+		row := make(relation.Tuple, 0, len(n.Aggs))
+		for _, a := range n.Aggs {
+			v, err := statsFinal(m, a, valPos)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		out.Blocks = append(out.Blocks, KeyedBlock{Key: m.key, Rows: []relation.Tuple{row}})
+	}
+	return out, nil
+}
+
+type statsAcc struct {
+	key   relation.Tuple
+	stats baav.BlockStats
+}
+
+func (m *statsAcc) merge(s *baav.BlockStats) { m.stats.Merge(s) }
+
+func statsFinal(m *statsAcc, a AggSpec, valPos map[string]int) (relation.Value, error) {
+	if a.Star || a.Func == sql.AggCount {
+		return relation.Int(m.stats.Rows), nil
+	}
+	i, ok := valPos[a.Attr]
+	if !ok {
+		return relation.Value{}, fmt.Errorf("kba: stats aggregate attribute %q not a value attribute", a.Attr)
+	}
+	if i >= len(m.stats.Attrs) || !m.stats.Attrs[i].Valid {
+		return relation.Value{}, fmt.Errorf("kba: no statistics for attribute %q", a.Attr)
+	}
+	st := m.stats.Attrs[i]
+	switch a.Func {
+	case sql.AggSum:
+		return relation.Float(st.Sum), nil
+	case sql.AggMin:
+		return relation.Float(st.Min), nil
+	case sql.AggMax:
+		return relation.Float(st.Max), nil
+	case sql.AggAvg:
+		if m.stats.Rows == 0 {
+			return relation.Null(), nil
+		}
+		return relation.Float(st.Sum / float64(m.stats.Rows)), nil
+	default:
+		return relation.Value{}, fmt.Errorf("kba: aggregate %s not supported from statistics", a.Func)
+	}
+}

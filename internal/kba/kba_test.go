@@ -1,0 +1,460 @@
+package kba
+
+import (
+	"strings"
+	"testing"
+
+	"zidian/internal/baav"
+	"zidian/internal/kv"
+	"zidian/internal/ra"
+	"zidian/internal/relation"
+	"zidian/internal/sql"
+)
+
+// fixture builds the paper's Example 1 database and BaaV schema:
+//
+//	~SUPPLIER⟨nationkey, suppkey⟩
+//	~PARTSUPP⟨suppkey, (partkey, supplycost, availqty)⟩
+//	~NATION⟨name, nationkey⟩
+func fixture(t *testing.T) (*relation.Database, *baav.Store) {
+	t.Helper()
+	db := relation.NewDatabase()
+
+	nation := relation.NewRelation(relation.MustSchema("NATION",
+		[]relation.Attr{{Name: "nationkey", Kind: relation.KindInt}, {Name: "name", Kind: relation.KindString}},
+		[]string{"nationkey"}))
+	nation.MustInsert(relation.Tuple{relation.Int(1), relation.String("GERMANY")})
+	nation.MustInsert(relation.Tuple{relation.Int(2), relation.String("FRANCE")})
+	db.Add(nation)
+
+	supplier := relation.NewRelation(relation.MustSchema("SUPPLIER",
+		[]relation.Attr{{Name: "suppkey", Kind: relation.KindInt}, {Name: "nationkey", Kind: relation.KindInt}},
+		[]string{"suppkey"}))
+	supplier.MustInsert(relation.Tuple{relation.Int(10), relation.Int(1)})
+	supplier.MustInsert(relation.Tuple{relation.Int(11), relation.Int(1)})
+	supplier.MustInsert(relation.Tuple{relation.Int(12), relation.Int(2)})
+	db.Add(supplier)
+
+	partsupp := relation.NewRelation(relation.MustSchema("PARTSUPP",
+		[]relation.Attr{
+			{Name: "partkey", Kind: relation.KindInt}, {Name: "suppkey", Kind: relation.KindInt},
+			{Name: "supplycost", Kind: relation.KindInt}, {Name: "availqty", Kind: relation.KindInt},
+		},
+		[]string{"partkey", "suppkey"}))
+	partsupp.MustInsert(relation.Tuple{relation.Int(100), relation.Int(10), relation.Int(5), relation.Int(1)})
+	partsupp.MustInsert(relation.Tuple{relation.Int(101), relation.Int(10), relation.Int(7), relation.Int(2)})
+	partsupp.MustInsert(relation.Tuple{relation.Int(100), relation.Int(11), relation.Int(3), relation.Int(3)})
+	partsupp.MustInsert(relation.Tuple{relation.Int(100), relation.Int(12), relation.Int(9), relation.Int(4)})
+	db.Add(partsupp)
+
+	schema := baav.MustSchema(baav.RelSchemas(db),
+		baav.KVSchema{Name: "NATION_by_name", Rel: "NATION", Key: []string{"name"}, Val: []string{"nationkey"}},
+		baav.KVSchema{Name: "SUPPLIER_by_nation", Rel: "SUPPLIER", Key: []string{"nationkey"}, Val: []string{"suppkey"}},
+		baav.KVSchema{Name: "PARTSUPP_by_supp", Rel: "PARTSUPP", Key: []string{"suppkey"}, Val: []string{"partkey", "supplycost", "availqty"}},
+	)
+	store, err := baav.Map(db, schema, kv.NewCluster(kv.EngineHash, 3), baav.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, store
+}
+
+// paperPlan builds ξ1 of Example 3:
+// group_by((("GERMANY" ∝ ~NATION) ∝ ~SUPPLIER) ∝ ~PARTSUPP, PS.suppkey, SUM(PS.supplycost)).
+func paperPlan() Plan {
+	seed := &Const{KeyAttrs: []string{"N.name"}, Keys: []relation.Tuple{{relation.String("GERMANY")}}}
+	t1 := &Extend{Input: seed, KV: "NATION_by_name", Alias: "N", KeyFrom: []string{"N.name"}}
+	t2 := &Extend{Input: t1, KV: "SUPPLIER_by_nation", Alias: "S", KeyFrom: []string{"N.nationkey"}}
+	t3 := &Extend{Input: t2, KV: "PARTSUPP_by_supp", Alias: "PS", KeyFrom: []string{"S.suppkey"}}
+	return &GroupBy{
+		Input: t3,
+		Keys:  []string{"S.suppkey"},
+		Aggs:  []AggSpec{{Func: sql.AggSum, Attr: "PS.supplycost", Name: "total"}},
+	}
+}
+
+func TestPaperQ1PlanScanFree(t *testing.T) {
+	_, store := fixture(t)
+	plan := paperPlan()
+	if !IsScanFree(plan) {
+		t.Fatal("ξ1 is scan-free")
+	}
+	if len(CollectScans(plan)) != 0 {
+		t.Fatal("scan-free plan must scan nothing")
+	}
+	exec := NewExecutor(store)
+	out, err := exec.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.SortBlocks()
+	if len(out.Blocks) != 2 {
+		t.Fatalf("blocks = %v", out.Blocks)
+	}
+	// Supplier 10: 5+7=12; supplier 11: 3.
+	if out.Blocks[0].Key[0].Int != 10 || out.Blocks[0].Rows[0][0].Int != 12 {
+		t.Fatalf("group 10 = %v", out.Blocks[0])
+	}
+	if out.Blocks[1].Key[0].Int != 11 || out.Blocks[1].Rows[0][0].Int != 3 {
+		t.Fatalf("group 11 = %v", out.Blocks[1])
+	}
+	// Scan-free data access: one get per block (3 extends, 1+1+2 distinct
+	// keys), zero scans.
+	if exec.Stats.ScanBlocks != 0 {
+		t.Fatalf("scan blocks = %d", exec.Stats.ScanBlocks)
+	}
+	if exec.Stats.Gets != 4 {
+		t.Fatalf("gets = %d (want 4: germany, nation-1, supp-10, supp-11)", exec.Stats.Gets)
+	}
+	if exec.Stats.DataValues == 0 || exec.Stats.BytesRead == 0 {
+		t.Fatal("stats must count fetched data")
+	}
+}
+
+func TestExtendDropsUnmatchedRows(t *testing.T) {
+	_, store := fixture(t)
+	seed := &Const{KeyAttrs: []string{"N.name"}, Keys: []relation.Tuple{
+		{relation.String("GERMANY")}, {relation.String("ATLANTIS")},
+	}}
+	plan := &Extend{Input: seed, KV: "NATION_by_name", Alias: "N", KeyFrom: []string{"N.name"}}
+	exec := NewExecutor(store)
+	out, err := exec.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Blocks) != 1 {
+		t.Fatalf("blocks = %d", len(out.Blocks))
+	}
+	if exec.Stats.Gets != 2 || exec.Stats.Blocks != 1 {
+		t.Fatalf("gets=%d blocks=%d", exec.Stats.Gets, exec.Stats.Blocks)
+	}
+}
+
+func TestExtendDeduplicatesGets(t *testing.T) {
+	_, store := fixture(t)
+	// Two constant rows with the same key: one get.
+	seed := &Const{KeyAttrs: []string{"a", "N.name"}, Keys: []relation.Tuple{
+		{relation.Int(1), relation.String("GERMANY")},
+		{relation.Int(2), relation.String("GERMANY")},
+	}}
+	plan := &Extend{Input: seed, KV: "NATION_by_name", Alias: "N", KeyFrom: []string{"N.name"}}
+	exec := NewExecutor(store)
+	out, err := exec.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Stats.Gets != 1 {
+		t.Fatalf("gets = %d, extend must dedup keys", exec.Stats.Gets)
+	}
+	if len(out.Blocks) != 2 {
+		t.Fatalf("both input rows must extend: %d", len(out.Blocks))
+	}
+}
+
+func TestExtendErrors(t *testing.T) {
+	_, store := fixture(t)
+	exec := NewExecutor(store)
+	seed := &Const{KeyAttrs: []string{"x"}, Keys: []relation.Tuple{{relation.Int(1)}}}
+	if _, err := exec.Run(&Extend{Input: seed, KV: "nope", Alias: "N", KeyFrom: []string{"x"}}); err == nil {
+		t.Fatal("unknown KV schema")
+	}
+	if _, err := exec.Run(&Extend{Input: seed, KV: "NATION_by_name", Alias: "N", KeyFrom: []string{"zz"}}); err == nil {
+		t.Fatal("unknown key attribute")
+	}
+	if _, err := exec.Run(&Extend{Input: seed, KV: "PARTSUPP_by_supp", Alias: "PS", KeyFrom: []string{}}); err == nil {
+		t.Fatal("key arity mismatch")
+	}
+	if _, err := exec.Run(&Const{KeyAttrs: []string{"a", "b"}, Keys: []relation.Tuple{{relation.Int(1)}}}); err == nil {
+		t.Fatal("constant arity mismatch")
+	}
+}
+
+func TestScanKV(t *testing.T) {
+	_, store := fixture(t)
+	exec := NewExecutor(store)
+	out, err := exec.Run(&ScanKV{KV: "SUPPLIER_by_nation", Alias: "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 3 {
+		t.Fatalf("rows = %d", out.Rows())
+	}
+	if out.KeyAttrs[0] != "S.nationkey" || out.ValAttrs[0] != "S.suppkey" {
+		t.Fatalf("attrs = %v %v", out.KeyAttrs, out.ValAttrs)
+	}
+	if exec.Stats.ScanBlocks != 2 || exec.Stats.DataValues == 0 {
+		t.Fatalf("stats = %+v", exec.Stats)
+	}
+	if IsScanFree(&ScanKV{KV: "x", Alias: "a"}) {
+		t.Fatal("ScanKV is not scan-free")
+	}
+}
+
+func TestShiftPreservesRelationalVersion(t *testing.T) {
+	_, store := fixture(t)
+	exec := NewExecutor(store)
+	scan := &ScanKV{KV: "PARTSUPP_by_supp", Alias: "PS"}
+	shifted, err := exec.Run(&Shift{Input: scan, NewKey: []string{"PS.partkey"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted.KeyAttrs[0] != "PS.partkey" || len(shifted.Blocks) != 2 {
+		t.Fatalf("shifted = %s", shifted)
+	}
+	base, err := exec.Run(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same relational version: compare flattened multisets modulo column order.
+	idx, err := attrPositions(shifted.Attrs(), base.Attrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{}
+	for _, r := range base.Flatten() {
+		want[relation.KeyString(r)]++
+	}
+	got := map[string]int{}
+	for _, r := range shifted.Flatten() {
+		got[relation.KeyString(r.Project(idx))]++
+	}
+	if len(got) != len(want) {
+		t.Fatalf("flatten mismatch: %d vs %d", len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatal("shift changed the relational version")
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	_, store := fixture(t)
+	exec := NewExecutor(store)
+	j := &Join{
+		L:   &ScanKV{KV: "SUPPLIER_by_nation", Alias: "S"},
+		R:   &ScanKV{KV: "PARTSUPP_by_supp", Alias: "PS"},
+		LOn: []string{"S.suppkey"},
+		ROn: []string{"PS.suppkey"},
+	}
+	out, err := exec.Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 4 {
+		t.Fatalf("rows = %d", out.Rows())
+	}
+	if len(out.Attrs()) != 2+4 {
+		t.Fatalf("attrs = %v", out.Attrs())
+	}
+	if _, err := exec.Run(&Join{L: j.L, R: j.R, LOn: []string{"S.suppkey"}, ROn: nil}); err == nil {
+		t.Fatal("mismatched join lists")
+	}
+}
+
+func TestSelectPredicates(t *testing.T) {
+	_, store := fixture(t)
+	exec := NewExecutor(store)
+	scan := &ScanKV{KV: "PARTSUPP_by_supp", Alias: "PS"}
+	five := relation.Int(5)
+	sel := &Select{Input: scan, Preds: []Pred{
+		{Attr: "PS.supplycost", Op: sql.OpGe, Lit: &five},
+		{Attr: "PS.partkey", Op: sql.OpNe, RAttr: "PS.availqty"},
+		{Attr: "PS.suppkey", In: []relation.Value{relation.Int(10), relation.Int(12)}},
+	}}
+	out, err := exec.Run(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 3 {
+		t.Fatalf("rows = %d", out.Rows())
+	}
+	bad := &Select{Input: scan, Preds: []Pred{{Attr: "zzz", Op: sql.OpEq, Lit: &five}}}
+	if _, err := exec.Run(bad); err == nil {
+		t.Fatal("unknown attribute must error")
+	}
+}
+
+func TestProject(t *testing.T) {
+	_, store := fixture(t)
+	exec := NewExecutor(store)
+	out, err := exec.Run(&Project{
+		Input: &ScanKV{KV: "PARTSUPP_by_supp", Alias: "PS"},
+		Attrs: []string{"PS.partkey", "PS.suppkey"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Attrs()) != 2 || out.Rows() != 4 {
+		t.Fatalf("projected = %s", out)
+	}
+	if out.KeyAttrs[0] != "PS.suppkey" {
+		t.Fatalf("kept key attrs = %v", out.KeyAttrs)
+	}
+}
+
+func TestUnionAndDiff(t *testing.T) {
+	_, store := fixture(t)
+	exec := NewExecutor(store)
+	a := &Const{KeyAttrs: []string{"k"}, Keys: []relation.Tuple{{relation.Int(1)}, {relation.Int(2)}}}
+	b := &Const{KeyAttrs: []string{"k"}, Keys: []relation.Tuple{{relation.Int(2)}, {relation.Int(3)}}}
+	u, err := exec.Run(&Union{L: a, R: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Rows() != 3 {
+		t.Fatalf("union rows = %d", u.Rows())
+	}
+	d, err := exec.Run(&Diff{L: a, R: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 1 || d.Blocks[0].Key[0].Int != 1 {
+		t.Fatalf("diff = %v", d.Blocks)
+	}
+	mismatched := &Const{KeyAttrs: []string{"other"}, Keys: []relation.Tuple{{relation.Int(1)}}}
+	if _, err := exec.Run(&Union{L: a, R: mismatched}); err == nil {
+		t.Fatal("mismatched attrs must error")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	_, store := fixture(t)
+	exec := NewExecutor(store)
+	// Project supplier block values onto nationkey only: duplicates appear.
+	p := &Project{Input: &ScanKV{KV: "SUPPLIER_by_nation", Alias: "S"}, Attrs: []string{"S.nationkey"}}
+	out, err := exec.Run(&Distinct{Input: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 2 {
+		t.Fatalf("distinct rows = %d", out.Rows())
+	}
+}
+
+func TestGroupByMatchesReference(t *testing.T) {
+	db, store := fixture(t)
+	q := ra.MustParse(`select PS.suppkey, SUM(PS.supplycost)
+		from PARTSUPP as PS, SUPPLIER as S, NATION as N
+		where PS.suppkey = S.suppkey and S.nationkey = N.nationkey and N.name = 'GERMANY'
+		group by PS.suppkey`, db)
+	want, err := ra.Evaluate(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := NewExecutor(store)
+	out, err := exec.Run(paperPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := &ra.Result{Cols: want.Cols, Rows: out.Flatten()}
+	if !got.Equal(want) {
+		t.Fatalf("KBA plan answer %v != reference %v", got.Rows, want.Rows)
+	}
+}
+
+func TestStatsAggMatchesGroupBy(t *testing.T) {
+	_, store := fixture(t)
+	aggs := []AggSpec{
+		{Func: sql.AggCount, Star: true, Name: "cnt"},
+		{Func: sql.AggSum, Attr: "PS.supplycost", Name: "sum"},
+		{Func: sql.AggMin, Attr: "PS.supplycost", Name: "min"},
+		{Func: sql.AggMax, Attr: "PS.supplycost", Name: "max"},
+		{Func: sql.AggAvg, Attr: "PS.supplycost", Name: "avg"},
+	}
+	full := NewExecutor(store)
+	wantRel, err := full.Run(&GroupBy{
+		Input: &ScanKV{KV: "PARTSUPP_by_supp", Alias: "PS"},
+		Keys:  []string{"PS.suppkey"},
+		Aggs:  aggs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := NewExecutor(store)
+	gotRel, err := fast.Run(&StatsAgg{KV: "PARTSUPP_by_supp", Alias: "PS", Aggs: aggs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRel.SortBlocks()
+	gotRel.SortBlocks()
+	if len(gotRel.Blocks) != len(wantRel.Blocks) {
+		t.Fatalf("groups: %d vs %d", len(gotRel.Blocks), len(wantRel.Blocks))
+	}
+	for i := range wantRel.Blocks {
+		w, g := wantRel.Blocks[i], gotRel.Blocks[i]
+		if !w.Key.Equal(g.Key) {
+			t.Fatalf("group keys differ: %v vs %v", w.Key, g.Key)
+		}
+		for j := range w.Rows[0] {
+			if w.Rows[0][j].AsFloat() != g.Rows[0][j].AsFloat() {
+				t.Fatalf("group %v agg %d: %v vs %v", w.Key, j, g.Rows[0][j], w.Rows[0][j])
+			}
+		}
+	}
+	// The stats path reads block headers only: strictly less data.
+	if fast.Stats.DataValues >= full.Stats.DataValues {
+		t.Fatalf("stats path must touch less data: %d vs %d", fast.Stats.DataValues, full.Stats.DataValues)
+	}
+}
+
+func TestExecStatsAdd(t *testing.T) {
+	a := ExecStats{Gets: 1, Blocks: 2, DataValues: 3, ScanBlocks: 4, BytesRead: 5}
+	a.Add(ExecStats{Gets: 10, Blocks: 20, DataValues: 30, ScanBlocks: 40, BytesRead: 50})
+	if a.Gets != 11 || a.Blocks != 22 || a.DataValues != 33 || a.ScanBlocks != 44 || a.BytesRead != 55 {
+		t.Fatalf("add = %+v", a)
+	}
+}
+
+func TestPlanStrings(t *testing.T) {
+	plan := paperPlan()
+	s := plan.String()
+	for _, frag := range []string{"GERMANY", "∝", "γ"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("plan string missing %q: %s", frag, s)
+		}
+	}
+	nodes := []Plan{
+		&Shift{Input: &ScanKV{KV: "a", Alias: "A"}, NewKey: []string{"x"}},
+		&Select{Input: &ScanKV{KV: "a", Alias: "A"}, Preds: []Pred{{Attr: "x", In: []relation.Value{relation.Int(1)}}}},
+		&Project{Input: &ScanKV{KV: "a", Alias: "A"}, Attrs: []string{"x"}},
+		&Union{L: &ScanKV{KV: "a", Alias: "A"}, R: &ScanKV{KV: "b", Alias: "B"}},
+		&Diff{L: &ScanKV{KV: "a", Alias: "A"}, R: &ScanKV{KV: "b", Alias: "B"}},
+		&Distinct{Input: &ScanKV{KV: "a", Alias: "A"}},
+		&StatsAgg{KV: "a", Alias: "A"},
+	}
+	for _, n := range nodes {
+		if n.String() == "" {
+			t.Fatalf("%T has empty String()", n)
+		}
+	}
+	if len(CollectScans(nodes[3])) != 2 {
+		t.Fatal("union scans both sides")
+	}
+}
+
+func TestShiftThenGroupBy(t *testing.T) {
+	_, store := fixture(t)
+	exec := NewExecutor(store)
+	// Re-key partsupp by partkey, then aggregate per part.
+	plan := &GroupBy{
+		Input: &Shift{Input: &ScanKV{KV: "PARTSUPP_by_supp", Alias: "PS"}, NewKey: []string{"PS.partkey"}},
+		Keys:  []string{"PS.partkey"},
+		Aggs:  []AggSpec{{Func: sql.AggCount, Star: true, Name: "n"}},
+	}
+	out, err := exec.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.SortBlocks()
+	if len(out.Blocks) != 2 {
+		t.Fatalf("groups = %d", len(out.Blocks))
+	}
+	if out.Blocks[0].Key[0].Int != 100 || out.Blocks[0].Rows[0][0].Int != 3 {
+		t.Fatalf("part 100 count = %v", out.Blocks[0])
+	}
+	// Shift with an unknown attribute errors.
+	if _, err := exec.Run(&Shift{Input: &ScanKV{KV: "PARTSUPP_by_supp", Alias: "PS"}, NewKey: []string{"zzz"}}); err == nil {
+		t.Fatal("unknown shift key must error")
+	}
+}

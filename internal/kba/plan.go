@@ -1,0 +1,269 @@
+package kba
+
+import (
+	"fmt"
+	"strings"
+
+	"zidian/internal/relation"
+	"zidian/internal/sql"
+)
+
+// Plan is a KBA plan node. As in the paper, leaves are either constants
+// (constant keyed blocks) or KV instances (ScanKV); Extend's KV schema is a
+// parameter of the operator, not a leaf, so plans whose only leaves are
+// constants never scan a table.
+type Plan interface {
+	// Children returns the input plans (parameters like Extend's KV schema
+	// are not children).
+	Children() []Plan
+	String() string
+}
+
+// Const is a constant keyed-block leaf, e.g. the "GERMANY" seed of the
+// paper's Example 3. Val-less constants hold bare key tuples.
+type Const struct {
+	KeyAttrs []string
+	Keys     []relation.Tuple
+}
+
+// Children implements Plan.
+func (c *Const) Children() []Plan { return nil }
+
+// String renders the node.
+func (c *Const) String() string {
+	parts := make([]string, 0, len(c.Keys))
+	for _, k := range c.Keys {
+		parts = append(parts, k.String())
+	}
+	return fmt.Sprintf("const[%s=%s]", strings.Join(c.KeyAttrs, ","), strings.Join(parts, "|"))
+}
+
+// ScanKV is a KV-instance leaf: a full scan of the named KV instance. Plans
+// containing ScanKV are not scan-free.
+type ScanKV struct {
+	KV    string
+	Alias string // query alias that qualifies the fetched attributes
+}
+
+// Children implements Plan.
+func (s *ScanKV) Children() []Plan { return nil }
+
+// String renders the node.
+func (s *ScanKV) String() string { return fmt.Sprintf("scan[%s as %s]", s.KV, s.Alias) }
+
+// Extend is the extension operator ∝: it fetches, for every input row, the
+// block of the parameter KV instance keyed by the row's KeyFrom attributes,
+// and extends the row with the block's value attributes (qualified by
+// Alias). It never scans the KV instance.
+type Extend struct {
+	Input Plan
+	// KV names the parameter KV schema ~R⟨X,Y⟩.
+	KV string
+	// Alias qualifies the fetched Y attributes in the output.
+	Alias string
+	// KeyFrom lists the input attributes supplying the KV key X, in X's
+	// declared order.
+	KeyFrom []string
+}
+
+// Children implements Plan.
+func (e *Extend) Children() []Plan { return []Plan{e.Input} }
+
+// String renders the node.
+func (e *Extend) String() string {
+	return fmt.Sprintf("(%s ∝ %s on %s as %s)", e.Input, e.KV, strings.Join(e.KeyFrom, ","), e.Alias)
+}
+
+// Shift is the shift operator ↑: it re-keys the input instance on NewKey.
+type Shift struct {
+	Input  Plan
+	NewKey []string
+}
+
+// Children implements Plan.
+func (s *Shift) Children() []Plan { return []Plan{s.Input} }
+
+// String renders the node.
+func (s *Shift) String() string {
+	return fmt.Sprintf("(%s ↑ %s)", s.Input, strings.Join(s.NewKey, ","))
+}
+
+// Join is the BaaV equi-join: it joins the flattened inputs on the paired
+// attribute lists (LOn[i] = ROn[i]) and keys the output by the left join
+// attributes.
+type Join struct {
+	L, R Plan
+	LOn  []string
+	ROn  []string
+}
+
+// Children implements Plan.
+func (j *Join) Children() []Plan { return []Plan{j.L, j.R} }
+
+// String renders the node.
+func (j *Join) String() string {
+	pairs := make([]string, len(j.LOn))
+	for i := range j.LOn {
+		pairs[i] = j.LOn[i] + "=" + j.ROn[i]
+	}
+	return fmt.Sprintf("(%s ⋈[%s] %s)", j.L, strings.Join(pairs, ","), j.R)
+}
+
+// Pred is a selection predicate over qualified attribute names.
+type Pred struct {
+	Attr  string
+	Op    sql.CmpOp
+	Lit   *relation.Value
+	RAttr string // attribute-attribute comparison when non-empty
+	In    []relation.Value
+}
+
+// String renders the predicate.
+func (p Pred) String() string {
+	switch {
+	case len(p.In) > 0:
+		return fmt.Sprintf("%s IN(%d)", p.Attr, len(p.In))
+	case p.RAttr != "":
+		return fmt.Sprintf("%s%s%s", p.Attr, p.Op, p.RAttr)
+	default:
+		return fmt.Sprintf("%s%s%s", p.Attr, p.Op, p.Lit)
+	}
+}
+
+// Select filters rows by a conjunction of predicates.
+type Select struct {
+	Input Plan
+	Preds []Pred
+}
+
+// Children implements Plan.
+func (s *Select) Children() []Plan { return []Plan{s.Input} }
+
+// String renders the node.
+func (s *Select) String() string {
+	parts := make([]string, len(s.Preds))
+	for i, p := range s.Preds {
+		parts[i] = p.String()
+	}
+	return fmt.Sprintf("σ[%s](%s)", strings.Join(parts, "∧"), s.Input)
+}
+
+// Project keeps only the named attributes (duplicates collapse to one
+// column). The output is keyed by the kept input-key attributes.
+type Project struct {
+	Input Plan
+	Attrs []string
+}
+
+// Children implements Plan.
+func (p *Project) Children() []Plan { return []Plan{p.Input} }
+
+// String renders the node.
+func (p *Project) String() string {
+	return fmt.Sprintf("π[%s](%s)", strings.Join(p.Attrs, ","), p.Input)
+}
+
+// Union is set union of two instances over identical attribute sets (↑ is
+// applied implicitly to align keys).
+type Union struct{ L, R Plan }
+
+// Children implements Plan.
+func (u *Union) Children() []Plan { return []Plan{u.L, u.R} }
+
+// String renders the node.
+func (u *Union) String() string { return fmt.Sprintf("(%s ∪ %s)", u.L, u.R) }
+
+// Diff is set difference L − R over identical attribute sets.
+type Diff struct{ L, R Plan }
+
+// Children implements Plan.
+func (d *Diff) Children() []Plan { return []Plan{d.L, d.R} }
+
+// String renders the node.
+func (d *Diff) String() string { return fmt.Sprintf("(%s − %s)", d.L, d.R) }
+
+// AggSpec is one aggregate output of GroupBy.
+type AggSpec struct {
+	Func sql.AggFunc
+	Attr string // input attribute; empty for COUNT(*)
+	Star bool
+	Name string // output attribute name
+}
+
+// GroupBy groups the flattened input by Keys and computes the aggregates;
+// the output is keyed by Keys with one row per group.
+type GroupBy struct {
+	Input Plan
+	Keys  []string
+	Aggs  []AggSpec
+}
+
+// Children implements Plan.
+func (g *GroupBy) Children() []Plan { return []Plan{g.Input} }
+
+// String renders the node.
+func (g *GroupBy) String() string {
+	parts := make([]string, len(g.Aggs))
+	for i, a := range g.Aggs {
+		parts[i] = a.Name
+	}
+	return fmt.Sprintf("γ[%s; %s](%s)", strings.Join(g.Keys, ","), strings.Join(parts, ","), g.Input)
+}
+
+// StatsAgg computes a GroupBy directly from per-block statistics of a whole
+// KV instance, reading only block headers (the Section 8.2 statistics
+// feature). It requires group keys equal to the instance's key attributes
+// and aggregates the instance's value attributes with COUNT/SUM/MIN/MAX/AVG.
+type StatsAgg struct {
+	KV    string
+	Alias string
+	Aggs  []AggSpec
+}
+
+// Children implements Plan.
+func (s *StatsAgg) Children() []Plan { return nil }
+
+// String renders the node.
+func (s *StatsAgg) String() string {
+	return fmt.Sprintf("γstats[%s as %s]", s.KV, s.Alias)
+}
+
+// Distinct removes duplicate flattened rows.
+type Distinct struct{ Input Plan }
+
+// Children implements Plan.
+func (d *Distinct) Children() []Plan { return []Plan{d.Input} }
+
+// String renders the node.
+func (d *Distinct) String() string { return fmt.Sprintf("δ(%s)", d.Input) }
+
+// IsScanFree reports whether the plan is scan-free over its BaaV schema:
+// every leaf is a constant (Section 4.2). Extend parameters do not count as
+// leaves.
+func IsScanFree(p Plan) bool {
+	switch p.(type) {
+	case *ScanKV, *StatsAgg:
+		return false
+	}
+	for _, c := range p.Children() {
+		if !IsScanFree(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// CollectScans returns the KV instance names scanned by the plan.
+func CollectScans(p Plan) []string {
+	var out []string
+	switch n := p.(type) {
+	case *ScanKV:
+		out = append(out, n.KV)
+	case *StatsAgg:
+		out = append(out, n.KV)
+	}
+	for _, c := range p.Children() {
+		out = append(out, CollectScans(c)...)
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package kv
+
+import (
+	"bytes"
+	"sort"
+)
+
+// Engine is a single storage node: a dictionary from byte-string keys to
+// byte-string values with ordered prefix scans. Engines are not safe for
+// concurrent mutation; the Cluster serializes access per node.
+type Engine interface {
+	// Get returns the value stored under key.
+	Get(key []byte) ([]byte, bool)
+	// Put stores value under key, replacing any previous value.
+	Put(key, value []byte)
+	// Delete removes key, reporting whether it was present.
+	Delete(key []byte) bool
+	// Scan visits pairs whose key starts with prefix, in ascending key
+	// order, until fn returns false. An empty prefix visits everything.
+	Scan(prefix []byte, fn func(key, value []byte) bool)
+	// Len returns the number of stored pairs.
+	Len() int
+	// SizeBytes returns the total payload size (keys + values).
+	SizeBytes() int64
+}
+
+// EngineKind selects one of the engine implementations, each standing in for
+// one of the paper's storage systems.
+type EngineKind int
+
+const (
+	// EngineHash is a hash-table engine with lazily sorted scans; it plays
+	// the role of Cassandra's partition store ("cstore").
+	EngineHash EngineKind = iota
+	// EngineLSM is a log-structured merge engine (memtable + sorted runs
+	// with compaction); it plays the role of HBase ("hstore").
+	EngineLSM
+	// EngineSorted keeps one sorted array with a write buffer, like a Kudu
+	// tablet ("kstore"): slower point writes, fast ordered scans.
+	EngineSorted
+)
+
+// String names the engine kind.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineHash:
+		return "hash"
+	case EngineLSM:
+		return "lsm"
+	case EngineSorted:
+		return "sorted"
+	default:
+		return "unknown"
+	}
+}
+
+// NewEngine constructs an engine of the given kind.
+func NewEngine(kind EngineKind) Engine {
+	switch kind {
+	case EngineLSM:
+		return newLSMEngine()
+	case EngineSorted:
+		return newSortedEngine()
+	default:
+		return newHashEngine()
+	}
+}
+
+// hashEngine stores pairs in a map and materializes a sorted key list on
+// demand for scans.
+type hashEngine struct {
+	m    map[string][]byte
+	keys []string // sorted cache; nil when dirty
+	size int64
+}
+
+func newHashEngine() *hashEngine {
+	return &hashEngine{m: make(map[string][]byte)}
+}
+
+func (e *hashEngine) Get(key []byte) ([]byte, bool) {
+	v, ok := e.m[string(key)]
+	return v, ok
+}
+
+func (e *hashEngine) Put(key, value []byte) {
+	k := string(key)
+	if old, ok := e.m[k]; ok {
+		e.size -= int64(len(old))
+	} else {
+		e.size += int64(len(k))
+		e.keys = nil
+	}
+	e.m[k] = value
+	e.size += int64(len(value))
+}
+
+func (e *hashEngine) Delete(key []byte) bool {
+	k := string(key)
+	old, ok := e.m[k]
+	if !ok {
+		return false
+	}
+	delete(e.m, k)
+	e.size -= int64(len(k) + len(old))
+	e.keys = nil
+	return true
+}
+
+func (e *hashEngine) Scan(prefix []byte, fn func(key, value []byte) bool) {
+	if e.keys == nil {
+		e.keys = make([]string, 0, len(e.m))
+		for k := range e.m {
+			e.keys = append(e.keys, k)
+		}
+		sort.Strings(e.keys)
+	}
+	p := string(prefix)
+	i := sort.SearchStrings(e.keys, p)
+	for ; i < len(e.keys); i++ {
+		k := e.keys[i]
+		if !bytes.HasPrefix([]byte(k), prefix) {
+			return
+		}
+		if !fn([]byte(k), e.m[k]) {
+			return
+		}
+	}
+}
+
+func (e *hashEngine) Len() int { return len(e.m) }
+
+func (e *hashEngine) SizeBytes() int64 { return e.size }

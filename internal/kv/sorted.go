@@ -1,0 +1,126 @@
+package kv
+
+import (
+	"bytes"
+	"sort"
+)
+
+// sortedEngine keeps one sorted array of pairs plus a small unsorted write
+// buffer that is merged in when it grows, similar to a Kudu tablet
+// (DiskRowSet + DeltaMemStore): point reads are binary searches, ordered
+// scans are sequential, and writes pay a merge cost.
+type sortedEngine struct {
+	keys []string
+	vals [][]byte
+	buf  map[string][]byte // overrides; nil value = delete
+	size int64
+
+	mergeAt int
+}
+
+const defaultMergeAt = 1024
+
+func newSortedEngine() *sortedEngine {
+	return &sortedEngine{buf: make(map[string][]byte), mergeAt: defaultMergeAt}
+}
+
+func (e *sortedEngine) Get(key []byte) ([]byte, bool) {
+	k := string(key)
+	if v, ok := e.buf[k]; ok {
+		if v == nil {
+			return nil, false
+		}
+		return v, true
+	}
+	i := sort.SearchStrings(e.keys, k)
+	if i < len(e.keys) && e.keys[i] == k {
+		return e.vals[i], true
+	}
+	return nil, false
+}
+
+func (e *sortedEngine) Put(key, value []byte) {
+	e.buf[string(key)] = value
+	if len(e.buf) >= e.mergeAt {
+		e.merge()
+	}
+}
+
+func (e *sortedEngine) Delete(key []byte) bool {
+	_, ok := e.Get(key)
+	if !ok {
+		return false
+	}
+	e.buf[string(key)] = nil
+	if len(e.buf) >= e.mergeAt {
+		e.merge()
+	}
+	return true
+}
+
+// merge folds the buffer into the sorted array.
+func (e *sortedEngine) merge() {
+	if len(e.buf) == 0 {
+		return
+	}
+	bufKeys := make([]string, 0, len(e.buf))
+	for k := range e.buf {
+		bufKeys = append(bufKeys, k)
+	}
+	sort.Strings(bufKeys)
+
+	keys := make([]string, 0, len(e.keys)+len(bufKeys))
+	vals := make([][]byte, 0, len(e.keys)+len(bufKeys))
+	i, j := 0, 0
+	for i < len(e.keys) || j < len(bufKeys) {
+		switch {
+		case j >= len(bufKeys) || (i < len(e.keys) && e.keys[i] < bufKeys[j]):
+			keys = append(keys, e.keys[i])
+			vals = append(vals, e.vals[i])
+			i++
+		case i >= len(e.keys) || bufKeys[j] < e.keys[i]:
+			if v := e.buf[bufKeys[j]]; v != nil {
+				keys = append(keys, bufKeys[j])
+				vals = append(vals, v)
+			}
+			j++
+		default: // equal: buffer wins
+			if v := e.buf[bufKeys[j]]; v != nil {
+				keys = append(keys, bufKeys[j])
+				vals = append(vals, v)
+			}
+			i++
+			j++
+		}
+	}
+	e.keys, e.vals = keys, vals
+	e.buf = make(map[string][]byte)
+	e.size = 0
+	for i := range e.keys {
+		e.size += int64(len(e.keys[i]) + len(e.vals[i]))
+	}
+}
+
+func (e *sortedEngine) Scan(prefix []byte, fn func(key, value []byte) bool) {
+	e.merge() // scans see a fully merged view
+	p := string(prefix)
+	i := sort.SearchStrings(e.keys, p)
+	for ; i < len(e.keys); i++ {
+		if !bytes.HasPrefix([]byte(e.keys[i]), prefix) {
+			return
+		}
+		if !fn([]byte(e.keys[i]), e.vals[i]) {
+			return
+		}
+	}
+}
+
+func (e *sortedEngine) Len() int {
+	e.merge()
+	return len(e.keys)
+}
+
+func (e *sortedEngine) SizeBytes() int64 {
+	e.merge()
+	return e.size
+}

@@ -1,0 +1,563 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"zidian/internal/baav"
+	"zidian/internal/core"
+	"zidian/internal/kba"
+	"zidian/internal/ra"
+	"zidian/internal/relation"
+)
+
+// RunKBA executes a generated KBA plan with the interleaved parallel
+// strategy (Section 7.2) on the given number of workers and shapes the
+// relational answer.
+func RunKBA(info *core.PlanInfo, store *baav.Store, workers int) (*ra.Result, *Metrics, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	start := time.Now()
+	if info.Empty {
+		res, err := info.ToResult(nil)
+		return res, &Metrics{Workers: workers, Wall: time.Since(start)}, err
+	}
+	e := &kbaExec{store: store, workers: workers}
+	v, err := e.run(info.Root)
+	if err != nil {
+		return nil, nil, err
+	}
+	flat, err := kba.FromRows(v.attrs, v.rows(), v.attrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := info.ToResult(flat)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, e.c.metrics(workers, time.Since(start)), nil
+}
+
+type kbaExec struct {
+	store   *baav.Store
+	workers int
+	c       counters
+	// fetchAll flattens ∝ into retrieve-then-join (the Section 7.1
+	// strawman) instead of the interleaved strategy.
+	fetchAll bool
+}
+
+func (e *kbaExec) run(p kba.Plan) (*pval, error) {
+	switch n := p.(type) {
+	case *litPlan:
+		return n.v, nil
+	case *kba.Const:
+		return e.runConst(n)
+	case *kba.ScanKV:
+		return e.runScan(n)
+	case *kba.Extend:
+		if e.fetchAll {
+			return e.runExtendFetchAll(n)
+		}
+		return e.runExtend(n)
+	case *kba.Shift:
+		return e.runShift(n)
+	case *kba.Join:
+		return e.runJoin(n)
+	case *kba.Select:
+		return e.runSelect(n)
+	case *kba.Project:
+		return e.runProject(n)
+	case *kba.Distinct:
+		return e.runDistinct(n)
+	case *kba.Union:
+		return e.runUnion(n)
+	case *kba.Diff:
+		return e.runDiff(n)
+	case *kba.GroupBy:
+		return e.runGroupBy(n)
+	case *kba.StatsAgg:
+		return e.runStatsAgg(n)
+	default:
+		return nil, fmt.Errorf("parallel: unknown plan node %T", p)
+	}
+}
+
+func (e *kbaExec) runConst(n *kba.Const) (*pval, error) {
+	out := newPval(append([]string{}, n.KeyAttrs...), e.workers)
+	all := make([]int, len(n.KeyAttrs))
+	for i := range all {
+		all[i] = i
+	}
+	for _, k := range n.Keys {
+		if len(k) != len(n.KeyAttrs) {
+			return nil, fmt.Errorf("parallel: constant arity mismatch")
+		}
+		w := 0
+		if len(all) > 0 {
+			w = hashTuple(k, all, e.workers)
+		}
+		out.parts[w] = append(out.parts[w], k)
+	}
+	return out, nil
+}
+
+func (e *kbaExec) runScan(n *kba.ScanKV) (*pval, error) {
+	kvSchema := e.store.Schema.ByName(n.KV)
+	if kvSchema == nil {
+		return nil, fmt.Errorf("parallel: unknown KV schema %q", n.KV)
+	}
+	attrs := append(qualify(n.Alias, kvSchema.Key), qualify(n.Alias, kvSchema.Val)...)
+	out := newPval(attrs, e.workers)
+	nodes := e.store.Cluster.NodeCount()
+	var mu sync.Mutex
+	// Workers split the storage nodes; each worker scans its nodes and keeps
+	// the rows locally — scan output starts partitioned by storage layout.
+	err := forWorkers(e.workers, func(w int) error {
+		var local []relation.Tuple
+		var data, fetch int64
+		for node := w; node < nodes; node += e.workers {
+			err := e.store.ScanInstanceNode(node, n.KV, func(key relation.Tuple, blk *baav.Block, _ *baav.BlockStats) bool {
+				rows := blk.Expand()
+				data += int64(len(rows)*len(kvSchema.Val) + len(key))
+				fetch += int64(key.SizeBytes())
+				for _, r := range rows {
+					fetch += int64(r.SizeBytes())
+					local = append(local, key.Concat(r))
+				}
+				return true
+			})
+			if err != nil {
+				return err
+			}
+		}
+		e.c.data.Add(data)
+		e.c.fetch.Add(fetch)
+		mu.Lock()
+		out.parts[w] = local
+		mu.Unlock()
+		return nil
+	})
+	return out, err
+}
+
+func errUnknownKV(name string) error {
+	return fmt.Errorf("parallel: unknown KV schema %q", name)
+}
+
+func qualify(alias string, attrs []string) []string {
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		out[i] = alias + "." + a
+	}
+	return out
+}
+
+// runExtend is the interleaved ∝: repartition the input rows by the target
+// key so each worker issues one deduplicated get per distinct key it owns,
+// fetching only the blocks the query needs.
+func (e *kbaExec) runExtend(n *kba.Extend) (*pval, error) {
+	in, err := e.run(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	kvSchema := e.store.Schema.ByName(n.KV)
+	if kvSchema == nil {
+		return nil, errUnknownKV(n.KV)
+	}
+	if len(n.KeyFrom) != len(kvSchema.Key) {
+		return nil, fmt.Errorf("parallel: extend key arity mismatch on %s", n.KV)
+	}
+	keyIdx, err := in.positions(n.KeyFrom)
+	if err != nil {
+		return nil, err
+	}
+	shuffled := repartition(in, keyIdx, &e.c.shuffle)
+	outAttrs := append(append([]string{}, in.attrs...), qualify(n.Alias, kvSchema.Val)...)
+	out := newPval(outAttrs, e.workers)
+	err = forWorkers(e.workers, func(w int) error {
+		cache := make(map[string][]relation.Tuple)
+		var local []relation.Tuple
+		var gets, data, fetch int64
+		for _, row := range shuffled.parts[w] {
+			key := row.Project(keyIdx)
+			ks := relation.KeyString(key)
+			rows, ok := cache[ks]
+			if !ok {
+				blk, _, g, err := e.store.GetBlock(n.KV, key)
+				if err != nil {
+					return err
+				}
+				gets += int64(g)
+				if blk != nil {
+					rows = blk.Expand()
+					data += int64(len(rows)*len(kvSchema.Val) + len(key))
+					fetch += int64(key.SizeBytes())
+					for _, r := range rows {
+						fetch += int64(r.SizeBytes())
+					}
+				}
+				cache[ks] = rows
+			}
+			for _, r := range rows {
+				local = append(local, row.Concat(r))
+			}
+		}
+		e.c.gets.Add(gets)
+		e.c.data.Add(data)
+		e.c.fetch.Add(fetch)
+		out.parts[w] = local
+		return nil
+	})
+	return out, err
+}
+
+func (e *kbaExec) runShift(n *kba.Shift) (*pval, error) {
+	in, err := e.run(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	keyIdx, err := in.positions(n.NewKey)
+	if err != nil {
+		return nil, err
+	}
+	return repartition(in, keyIdx, &e.c.shuffle), nil
+}
+
+func (e *kbaExec) runJoin(n *kba.Join) (*pval, error) {
+	l, err := e.run(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.run(n.R)
+	if err != nil {
+		return nil, err
+	}
+	lIdx, err := l.positions(n.LOn)
+	if err != nil {
+		return nil, err
+	}
+	rIdx, err := r.positions(n.ROn)
+	if err != nil {
+		return nil, err
+	}
+	ls := repartition(l, lIdx, &e.c.shuffle)
+	rs := repartition(r, rIdx, &e.c.shuffle)
+	out := newPval(append(append([]string{}, l.attrs...), r.attrs...), e.workers)
+	err = forWorkers(e.workers, func(w int) error {
+		index := make(map[string][]relation.Tuple)
+		for _, row := range rs.parts[w] {
+			k := relation.KeyString(row.Project(rIdx))
+			index[k] = append(index[k], row)
+		}
+		var local []relation.Tuple
+		for _, row := range ls.parts[w] {
+			k := relation.KeyString(row.Project(lIdx))
+			for _, rr := range index[k] {
+				local = append(local, row.Concat(rr))
+			}
+		}
+		out.parts[w] = local
+		return nil
+	})
+	return out, err
+}
+
+func (e *kbaExec) runSelect(n *kba.Select) (*pval, error) {
+	in, err := e.run(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	check, err := kba.CompilePreds(in.attrs, n.Preds)
+	if err != nil {
+		return nil, err
+	}
+	out := newPval(in.attrs, e.workers)
+	err = forWorkers(e.workers, func(w int) error {
+		var local []relation.Tuple
+		for _, row := range in.parts[w] {
+			if check(row) {
+				local = append(local, row)
+			}
+		}
+		out.parts[w] = local
+		return nil
+	})
+	return out, err
+}
+
+func (e *kbaExec) runProject(n *kba.Project) (*pval, error) {
+	in, err := e.run(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := in.positions(n.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := newPval(append([]string{}, n.Attrs...), e.workers)
+	err = forWorkers(e.workers, func(w int) error {
+		local := make([]relation.Tuple, len(in.parts[w]))
+		for i, row := range in.parts[w] {
+			local[i] = row.Project(idx)
+		}
+		out.parts[w] = local
+		return nil
+	})
+	return out, err
+}
+
+func (e *kbaExec) runDistinct(n *kba.Distinct) (*pval, error) {
+	in, err := e.run(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	all := make([]int, len(in.attrs))
+	for i := range all {
+		all[i] = i
+	}
+	shuffled := repartition(in, all, &e.c.shuffle)
+	out := newPval(in.attrs, e.workers)
+	err = forWorkers(e.workers, func(w int) error {
+		seen := make(map[string]bool)
+		var local []relation.Tuple
+		for _, row := range shuffled.parts[w] {
+			k := relation.KeyString(row)
+			if !seen[k] {
+				seen[k] = true
+				local = append(local, row)
+			}
+		}
+		out.parts[w] = local
+		return nil
+	})
+	return out, err
+}
+
+func (e *kbaExec) runUnion(n *kba.Union) (*pval, error) {
+	l, err := e.run(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.run(n.R)
+	if err != nil {
+		return nil, err
+	}
+	rIdx, err := r.positions(l.attrs)
+	if err != nil {
+		return nil, err
+	}
+	merged := newPval(l.attrs, e.workers)
+	for w := 0; w < e.workers; w++ {
+		merged.parts[w] = append(merged.parts[w], l.parts[w]...)
+		for _, row := range r.parts[w] {
+			merged.parts[w] = append(merged.parts[w], row.Project(rIdx))
+		}
+	}
+	return e.runDistinct(&kba.Distinct{Input: &litPlan{merged}})
+}
+
+func (e *kbaExec) runDiff(n *kba.Diff) (*pval, error) {
+	l, err := e.run(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.run(n.R)
+	if err != nil {
+		return nil, err
+	}
+	rIdx, err := r.positions(l.attrs)
+	if err != nil {
+		return nil, err
+	}
+	all := make([]int, len(l.attrs))
+	for i := range all {
+		all[i] = i
+	}
+	ls := repartition(l, all, &e.c.shuffle)
+	// Align and repartition the right side the same way.
+	ra2 := newPval(l.attrs, e.workers)
+	for w := 0; w < e.workers; w++ {
+		for _, row := range r.parts[w] {
+			ra2.parts[w] = append(ra2.parts[w], row.Project(rIdx))
+		}
+	}
+	rs := repartition(ra2, all, &e.c.shuffle)
+	out := newPval(l.attrs, e.workers)
+	err = forWorkers(e.workers, func(w int) error {
+		drop := make(map[string]bool)
+		for _, row := range rs.parts[w] {
+			drop[relation.KeyString(row)] = true
+		}
+		seen := make(map[string]bool)
+		var local []relation.Tuple
+		for _, row := range ls.parts[w] {
+			k := relation.KeyString(row)
+			if !drop[k] && !seen[k] {
+				seen[k] = true
+				local = append(local, row)
+			}
+		}
+		out.parts[w] = local
+		return nil
+	})
+	return out, err
+}
+
+// litPlan wraps an already computed pval as a plan node so composed
+// operators (union → distinct) can reuse the recursion.
+type litPlan struct{ v *pval }
+
+func (l *litPlan) Children() []kba.Plan { return nil }
+func (l *litPlan) String() string       { return "lit" }
+
+func (e *kbaExec) runStatsAgg(n *kba.StatsAgg) (*pval, error) {
+	// Statistics scans read only block headers; run sequentially and
+	// partition the (tiny) output.
+	seq := kba.NewExecutor(e.store)
+	rel, err := seq.Run(n)
+	if err != nil {
+		return nil, err
+	}
+	e.c.data.Add(seq.Stats.DataValues)
+	out := newPval(rel.Attrs(), e.workers)
+	for i, row := range rel.Flatten() {
+		w := i % e.workers
+		out.parts[w] = append(out.parts[w], row)
+	}
+	return out, nil
+}
+
+// runGroupBy aggregates with local partial states, shuffles the encoded
+// partials by group key, and finalizes per worker — the standard two-phase
+// parallel aggregation that keeps communication proportional to the number
+// of groups, not rows.
+func (e *kbaExec) runGroupBy(n *kba.GroupBy) (*pval, error) {
+	in, err := e.run(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	keyIdx, err := in.positions(n.Keys)
+	if err != nil {
+		return nil, err
+	}
+	aggIdx := make([]int, len(n.Aggs))
+	for i, a := range n.Aggs {
+		if a.Star {
+			aggIdx[i] = -1
+			continue
+		}
+		idx, err := in.positions([]string{a.Attr})
+		if err != nil {
+			return nil, err
+		}
+		aggIdx[i] = idx[0]
+	}
+
+	// Phase 1: local partial aggregation, encoded as flat tuples
+	// key ++ state_1 ++ ... ++ state_m.
+	stateW := ra.AggStateWidth()
+	partialAttrs := append([]string{}, n.Keys...)
+	for i := range n.Aggs {
+		for j := 0; j < stateW; j++ {
+			partialAttrs = append(partialAttrs, fmt.Sprintf("$agg%d.%d", i, j))
+		}
+	}
+	partial := newPval(partialAttrs, e.workers)
+	err = forWorkers(e.workers, func(w int) error {
+		type group struct {
+			key    relation.Tuple
+			states []*ra.AggState
+		}
+		groups := make(map[string]*group)
+		var order []string
+		for _, row := range in.parts[w] {
+			key := row.Project(keyIdx)
+			ks := relation.KeyString(key)
+			g, ok := groups[ks]
+			if !ok {
+				g = &group{key: key, states: make([]*ra.AggState, len(n.Aggs))}
+				for i := range g.states {
+					g.states[i] = ra.NewAggState()
+				}
+				groups[ks] = g
+				order = append(order, ks)
+			}
+			for i := range n.Aggs {
+				if aggIdx[i] < 0 {
+					g.states[i].AddCount()
+				} else {
+					g.states[i].Add(row[aggIdx[i]])
+				}
+			}
+		}
+		var local []relation.Tuple
+		for _, ks := range order {
+			g := groups[ks]
+			row := g.key.Clone()
+			for _, st := range g.states {
+				row = append(row, st.EncodeState()...)
+			}
+			local = append(local, row)
+		}
+		partial.parts[w] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: shuffle partials by key and merge.
+	keyOnly := make([]int, len(n.Keys))
+	for i := range keyOnly {
+		keyOnly[i] = i
+	}
+	shuffled := repartition(partial, keyOnly, &e.c.shuffle)
+	outAttrs := append([]string{}, n.Keys...)
+	for _, a := range n.Aggs {
+		outAttrs = append(outAttrs, a.Name)
+	}
+	out := newPval(outAttrs, e.workers)
+	err = forWorkers(e.workers, func(w int) error {
+		type group struct {
+			key    relation.Tuple
+			states []*ra.AggState
+		}
+		groups := make(map[string]*group)
+		var order []string
+		for _, row := range shuffled.parts[w] {
+			key := row[:len(n.Keys)]
+			ks := relation.KeyString(key)
+			g, ok := groups[ks]
+			if !ok {
+				g = &group{key: key, states: make([]*ra.AggState, len(n.Aggs))}
+				for i := range g.states {
+					g.states[i] = ra.NewAggState()
+				}
+				groups[ks] = g
+				order = append(order, ks)
+			}
+			for i := range n.Aggs {
+				st, err := ra.DecodeAggState(row, len(n.Keys)+i*stateW)
+				if err != nil {
+					return err
+				}
+				g.states[i].Merge(st)
+			}
+		}
+		var local []relation.Tuple
+		for _, ks := range order {
+			g := groups[ks]
+			row := g.key.Clone()
+			for i, a := range n.Aggs {
+				row = append(row, g.states[i].Final(a.Func))
+			}
+			local = append(local, row)
+		}
+		out.parts[w] = local
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,37 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics reports one parallel execution: wall time, worker-to-worker
+// shuffle volume, and the logical data-access counters of the paper's
+// tables (#get, #data, bytes fetched from storage).
+type Metrics struct {
+	Workers      int
+	Wall         time.Duration
+	ShuffleBytes int64
+	Gets         int64
+	DataValues   int64
+	FetchBytes   int64
+}
+
+// counters aggregates atomically during execution.
+type counters struct {
+	shuffle atomic.Int64
+	gets    atomic.Int64
+	data    atomic.Int64
+	fetch   atomic.Int64
+}
+
+func (c *counters) metrics(workers int, wall time.Duration) *Metrics {
+	return &Metrics{
+		Workers:      workers,
+		Wall:         wall,
+		ShuffleBytes: c.shuffle.Load(),
+		Gets:         c.gets.Load(),
+		DataValues:   c.data.Load(),
+		FetchBytes:   c.fetch.Load(),
+	}
+}

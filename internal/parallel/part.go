@@ -1,0 +1,126 @@
+// Package parallel implements module M3 of Zidian: parallel execution of
+// KBA plans with the interleaved strategy of Section 7 (repartition
+// intermediate keyed blocks to the owners of the target KV keys, then fetch
+// only the needed blocks), plus the parallel TaaV baseline (retrieve-all,
+// then parallel hash joins) that the paper compares against. Communication
+// between workers is accounted explicitly.
+package parallel
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"zidian/internal/relation"
+)
+
+// pval is a partitioned intermediate relation: flat rows over a fixed
+// attribute layout, split across workers.
+type pval struct {
+	attrs []string
+	parts [][]relation.Tuple
+}
+
+func newPval(attrs []string, workers int) *pval {
+	return &pval{attrs: attrs, parts: make([][]relation.Tuple, workers)}
+}
+
+func (v *pval) workers() int { return len(v.parts) }
+
+// rows gathers all partitions into one slice.
+func (v *pval) rows() []relation.Tuple {
+	n := 0
+	for _, p := range v.parts {
+		n += len(p)
+	}
+	out := make([]relation.Tuple, 0, n)
+	for _, p := range v.parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+func (v *pval) positions(names []string) ([]int, error) {
+	pos := make(map[string]int, len(v.attrs))
+	for i, a := range v.attrs {
+		pos[a] = i
+	}
+	out := make([]int, len(names))
+	for i, n := range names {
+		j, ok := pos[n]
+		if !ok {
+			return nil, fmt.Errorf("parallel: attribute %q not in %v", n, v.attrs)
+		}
+		out[i] = j
+	}
+	return out, nil
+}
+
+// hashTuple routes a projected key to a worker.
+func hashTuple(t relation.Tuple, idx []int, workers int) int {
+	h := fnv.New64a()
+	for _, i := range idx {
+		h.Write(relation.AppendValue(nil, t[i]))
+	}
+	return int(h.Sum64() % uint64(workers))
+}
+
+// repartition redistributes rows so that rows agreeing on the key columns
+// land on the same worker. Bytes of rows that change workers are added to
+// shuffle. Empty keyIdx sends everything to worker 0 (a gather).
+func repartition(v *pval, keyIdx []int, shuffle *atomic.Int64) *pval {
+	workers := v.workers()
+	out := newPval(v.attrs, workers)
+	// buckets[src][dst]
+	buckets := make([][][]relation.Tuple, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([][]relation.Tuple, workers)
+			var moved int64
+			for _, row := range v.parts[w] {
+				dst := 0
+				if len(keyIdx) > 0 {
+					dst = hashTuple(row, keyIdx, workers)
+				}
+				local[dst] = append(local[dst], row)
+				if dst != w {
+					moved += int64(row.SizeBytes())
+				}
+			}
+			buckets[w] = local
+			shuffle.Add(moved)
+		}(w)
+	}
+	wg.Wait()
+	for dst := 0; dst < workers; dst++ {
+		for src := 0; src < workers; src++ {
+			out.parts[dst] = append(out.parts[dst], buckets[src][dst]...)
+		}
+	}
+	return out
+}
+
+// forWorkers runs fn once per worker concurrently and returns the first
+// error.
+func forWorkers(workers int, fn func(w int) error) error {
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = fn(w)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

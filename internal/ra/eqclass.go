@@ -1,0 +1,125 @@
+package ra
+
+import (
+	"sort"
+
+	"zidian/internal/relation"
+)
+
+// EqClasses partitions the attribute references of a query into equality
+// classes induced by its attr=attr predicates, and records the constant (if
+// any) each class is pinned to by attr=const predicates. This is the
+// "equality transitivity" used by the GET chase (Section 6.1) and by SPC
+// minimization.
+type EqClasses struct {
+	parent map[ColRef]ColRef
+	consts map[ColRef]relation.Value // root -> constant
+	// Unsat is true when two different constants were forced equal; such a
+	// query returns the empty answer on every database.
+	Unsat bool
+}
+
+// BuildEqClasses computes the equality classes of q.
+func BuildEqClasses(q *Query) *EqClasses {
+	e := &EqClasses{
+		parent: make(map[ColRef]ColRef),
+		consts: make(map[ColRef]relation.Value),
+	}
+	for _, eq := range q.EqAttrs {
+		e.union(eq.L, eq.R)
+	}
+	for _, c := range q.EqConsts {
+		root := e.find(c.Col)
+		if prev, ok := e.consts[root]; ok {
+			if !relation.Equal(prev, c.Val) {
+				e.Unsat = true
+			}
+			continue
+		}
+		e.consts[root] = c.Val
+	}
+	return e
+}
+
+func (e *EqClasses) find(c ColRef) ColRef {
+	p, ok := e.parent[c]
+	if !ok || p == c {
+		return c
+	}
+	root := e.find(p)
+	e.parent[c] = root
+	return root
+}
+
+func (e *EqClasses) union(a, b ColRef) {
+	ra, rb := e.find(a), e.find(b)
+	if ra == rb {
+		return
+	}
+	// Deterministic union: smaller root wins.
+	if rb.String() < ra.String() {
+		ra, rb = rb, ra
+	}
+	e.parent[rb] = ra
+	if v, ok := e.consts[rb]; ok {
+		if prev, ok2 := e.consts[ra]; ok2 {
+			if !relation.Equal(prev, v) {
+				e.Unsat = true
+			}
+		} else {
+			e.consts[ra] = v
+		}
+		delete(e.consts, rb)
+	}
+}
+
+// Find returns the canonical representative of c's class.
+func (e *EqClasses) Find(c ColRef) ColRef { return e.find(c) }
+
+// Same reports whether a and b are in the same class.
+func (e *EqClasses) Same(a, b ColRef) bool { return e.find(a) == e.find(b) }
+
+// Const returns the constant the class of c is pinned to, if any.
+func (e *EqClasses) Const(c ColRef) (relation.Value, bool) {
+	v, ok := e.consts[e.find(c)]
+	return v, ok
+}
+
+// Members returns every reference known to be equal to c (including c),
+// sorted for determinism. Only references that appeared in predicates are
+// tracked; a reference never mentioned forms a singleton class.
+func (e *EqClasses) Members(c ColRef) []ColRef {
+	root := e.find(c)
+	out := []ColRef{}
+	seen := map[ColRef]bool{}
+	add := func(x ColRef) {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	add(root)
+	for x := range e.parent {
+		if e.find(x) == root {
+			add(x)
+		}
+	}
+	if !seen[c] {
+		add(c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// ConstCols returns all references pinned to constants, with their values,
+// sorted for determinism.
+func (e *EqClasses) ConstCols() []ConstEq {
+	var out []ConstEq
+	for root, v := range e.consts {
+		for _, m := range e.Members(root) {
+			out = append(out, ConstEq{Col: m, Val: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Col.String() < out[j].Col.String() })
+	return out
+}

@@ -1,0 +1,328 @@
+package ra
+
+import (
+	"zidian/internal/relation"
+)
+
+// This file implements SPC (conjunctive query) minimization, the min(Q) of
+// Conditions (II) and (III). Minimization folds redundant atoms: an atom a
+// can be removed when there is a homomorphism from Q to Q\{a} that fixes the
+// distinguished references (projection, aggregate inputs, filter and IN
+// columns) and maps constants to themselves. By the homomorphism theorem
+// such a removal preserves equivalence. The search is exponential in the
+// number of atoms in the worst case (the problem is NP-complete), which is
+// fine at typical query sizes.
+
+// term is a tableau entry: either a variable (an equality-class root) or a
+// constant.
+type term struct {
+	isConst bool
+	val     relation.Value
+	v       ColRef // class root when isConst is false
+}
+
+func (e *EqClasses) termOf(c ColRef) term {
+	if v, ok := e.Const(c); ok {
+		return term{isConst: true, val: v}
+	}
+	return term{v: e.Find(c)}
+}
+
+// Minimize returns the minimal equivalent query min(Q). The receiver is not
+// modified. Filters and IN predicates are treated as distinguished, which is
+// sound (it never merges atoms whose removal could change the answer) though
+// it may keep a non-minimal query in corner cases involving comparisons.
+func (q *Query) Minimize() *Query {
+	cur := q
+	for {
+		removed := false
+		for _, a := range cur.Atoms {
+			if next, ok := cur.tryRemoveAtom(a.Alias); ok {
+				cur = next
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}
+
+// distinguished returns the references that a homomorphism must fix: outputs,
+// aggregate inputs, filter and IN columns.
+func (q *Query) distinguished() []ColRef {
+	var out []ColRef
+	out = append(out, q.Proj...)
+	for _, a := range q.Aggs {
+		if !a.Star {
+			out = append(out, a.Col)
+		}
+	}
+	for _, f := range q.Filters {
+		out = append(out, f.Col)
+		if f.RCol != nil {
+			out = append(out, *f.RCol)
+		}
+	}
+	for _, in := range q.Ins {
+		out = append(out, in.Col)
+	}
+	return out
+}
+
+// tryRemoveAtom attempts to fold away the atom with the given alias,
+// returning the reduced equivalent query if it succeeds.
+func (q *Query) tryRemoveAtom(alias string) (*Query, bool) {
+	if len(q.Atoms) <= 1 {
+		return nil, false
+	}
+	eq := BuildEqClasses(q)
+	if eq.Unsat {
+		return nil, false // unsatisfiable queries are left alone
+	}
+
+	// rewrite maps a reference on the removed atom to an equal surviving
+	// reference, or fails.
+	rewrite := func(c ColRef) (ColRef, bool) {
+		if c.Alias != alias {
+			return c, true
+		}
+		for _, m := range eq.Members(c) {
+			if m.Alias != alias {
+				return m, true
+			}
+		}
+		return ColRef{}, false
+	}
+
+	// Build the candidate query Q' with the atom dropped and references
+	// rewritten. Equality structure is preserved by re-emitting each class
+	// as a chain over the surviving members (connectivity through the
+	// removed atom is implied by transitivity in Q, so Q ⊆ Q' holds).
+	next := &Query{
+		OutNames: q.OutNames,
+		Distinct: q.Distinct,
+		OrderBy:  q.OrderBy,
+		Limit:    q.Limit,
+	}
+	for _, a := range q.Atoms {
+		if a.Alias != alias {
+			next.Atoms = append(next.Atoms, a)
+		}
+	}
+	// Surviving equality chains per class.
+	classSeen := map[ColRef]bool{}
+	allRefs := q.allRefs()
+	for _, c := range allRefs {
+		root := eq.Find(c)
+		if classSeen[root] {
+			continue
+		}
+		classSeen[root] = true
+		var members []ColRef
+		for _, m := range eq.Members(root) {
+			if m.Alias != alias {
+				members = append(members, m)
+			}
+		}
+		for i := 1; i < len(members); i++ {
+			next.EqAttrs = append(next.EqAttrs, AttrEq{L: members[0], R: members[i]})
+		}
+		if v, ok := eq.Const(root); ok && len(members) > 0 {
+			next.EqConsts = append(next.EqConsts, ConstEq{Col: members[0], Val: v})
+		}
+	}
+	for _, c := range q.Proj {
+		rc, ok := rewrite(c)
+		if !ok {
+			return nil, false
+		}
+		next.Proj = append(next.Proj, rc)
+	}
+	for _, a := range q.Aggs {
+		na := a
+		if !a.Star {
+			rc, ok := rewrite(a.Col)
+			if !ok {
+				return nil, false
+			}
+			na.Col = rc
+		}
+		next.Aggs = append(next.Aggs, na)
+	}
+	for _, f := range q.Filters {
+		nf := f
+		rc, ok := rewrite(f.Col)
+		if !ok {
+			return nil, false
+		}
+		nf.Col = rc
+		if f.RCol != nil {
+			rr, ok := rewrite(*f.RCol)
+			if !ok {
+				return nil, false
+			}
+			nf.RCol = &rr
+		}
+		next.Filters = append(next.Filters, nf)
+	}
+	for _, in := range q.Ins {
+		rc, ok := rewrite(in.Col)
+		if !ok {
+			return nil, false
+		}
+		next.Ins = append(next.Ins, InPred{Col: rc, Vals: in.Vals})
+	}
+
+	// Homomorphism search Q -> Q'.
+	if !homomorphism(q, eq, next) {
+		return nil, false
+	}
+	return next, true
+}
+
+// allRefs lists every reference appearing anywhere in the query.
+func (q *Query) allRefs() []ColRef {
+	var out []ColRef
+	for _, e := range q.EqAttrs {
+		out = append(out, e.L, e.R)
+	}
+	for _, c := range q.EqConsts {
+		out = append(out, c.Col)
+	}
+	for _, in := range q.Ins {
+		out = append(out, in.Col)
+	}
+	for _, f := range q.Filters {
+		out = append(out, f.Col)
+		if f.RCol != nil {
+			out = append(out, *f.RCol)
+		}
+	}
+	out = append(out, q.Proj...)
+	for _, a := range q.Aggs {
+		if !a.Star {
+			out = append(out, a.Col)
+		}
+	}
+	return out
+}
+
+// homomorphism reports whether there is a homomorphism from src (with
+// equality classes srcEq) into dst that fixes distinguished references and
+// constants.
+func homomorphism(src *Query, srcEq *EqClasses, dst *Query) bool {
+	dstEq := BuildEqClasses(dst)
+	if dstEq.Unsat {
+		return false
+	}
+
+	// Tableau rows.
+	type row struct {
+		rel   string
+		terms []term
+	}
+	srcRows := make([]row, len(src.Atoms))
+	for i, a := range src.Atoms {
+		r := row{rel: a.Rel, terms: make([]term, len(a.Schema.Attrs))}
+		for j, attr := range a.Schema.Attrs {
+			r.terms[j] = srcEq.termOf(ColRef{Alias: a.Alias, Attr: attr.Name})
+		}
+		srcRows[i] = r
+	}
+	dstRows := make([]row, len(dst.Atoms))
+	for i, a := range dst.Atoms {
+		r := row{rel: a.Rel, terms: make([]term, len(a.Schema.Attrs))}
+		for j, attr := range a.Schema.Attrs {
+			r.terms[j] = dstEq.termOf(ColRef{Alias: a.Alias, Attr: attr.Name})
+		}
+		dstRows[i] = r
+	}
+
+	// h maps source variable roots to destination terms.
+	h := make(map[ColRef]term)
+	bind := func(v ColRef, t term) bool {
+		if prev, ok := h[v]; ok {
+			return termEqual(prev, t)
+		}
+		h[v] = t
+		return true
+	}
+	// Distinguished references must be fixed: the source term of d must map
+	// to the destination term of d's surviving image. The images were
+	// computed during rewrite; recompute here from the destination query's
+	// distinguished list, which is positionally parallel to the source's.
+	srcDist := src.distinguished()
+	dstDist := dst.distinguished()
+	if len(srcDist) != len(dstDist) {
+		return false
+	}
+	for i := range srcDist {
+		st := srcEq.termOf(srcDist[i])
+		dt := dstEq.termOf(dstDist[i])
+		if st.isConst {
+			if !termEqual(st, dt) {
+				return false
+			}
+			continue
+		}
+		if !bind(st.v, dt) {
+			return false
+		}
+	}
+
+	// Backtracking assignment of source rows to destination rows.
+	var assign func(i int) bool
+	assign = func(i int) bool {
+		if i == len(srcRows) {
+			return true
+		}
+		sr := srcRows[i]
+		for _, dr := range dstRows {
+			if dr.rel != sr.rel || len(dr.terms) != len(sr.terms) {
+				continue
+			}
+			// Trail for backtracking.
+			var trail []ColRef
+			ok := true
+			for j := range sr.terms {
+				st, dt := sr.terms[j], dr.terms[j]
+				if st.isConst {
+					if !termEqual(st, dt) {
+						ok = false
+						break
+					}
+					continue
+				}
+				if prev, bound := h[st.v]; bound {
+					if !termEqual(prev, dt) {
+						ok = false
+						break
+					}
+					continue
+				}
+				h[st.v] = dt
+				trail = append(trail, st.v)
+			}
+			if ok && assign(i+1) {
+				return true
+			}
+			for _, v := range trail {
+				delete(h, v)
+			}
+		}
+		return false
+	}
+	return assign(0)
+}
+
+func termEqual(a, b term) bool {
+	if a.isConst != b.isConst {
+		return false
+	}
+	if a.isConst {
+		return relation.Equal(a.val, b.val)
+	}
+	return a.v == b.v
+}

@@ -1,0 +1,405 @@
+// Package ra models SPC and RAaggr queries over a relational schema: binding
+// from the SQL AST, equality classes, tableau-style SPC minimization, and a
+// reference in-memory evaluator used as ground truth by tests and as the
+// compute layer of the TaaV baseline.
+package ra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"zidian/internal/relation"
+	"zidian/internal/sql"
+)
+
+// Atom is one relation occurrence in the FROM clause.
+type Atom struct {
+	Rel    string
+	Alias  string
+	Schema *relation.Schema
+}
+
+// ColRef is a bound, alias-qualified attribute reference.
+type ColRef struct {
+	Alias string
+	Attr  string
+}
+
+// String renders the reference as "alias.attr".
+func (c ColRef) String() string { return c.Alias + "." + c.Attr }
+
+// AttrEq is an equality join/selection predicate between two attributes.
+type AttrEq struct{ L, R ColRef }
+
+// ConstEq is an equality selection with a constant.
+type ConstEq struct {
+	Col ColRef
+	Val relation.Value
+}
+
+// InPred is a disjunctive constant selection col IN (v1..vn).
+type InPred struct {
+	Col  ColRef
+	Vals []relation.Value
+}
+
+// Filter is a non-equality comparison: col op literal, or col op col.
+type Filter struct {
+	Col  ColRef
+	Op   sql.CmpOp
+	Lit  *relation.Value
+	RCol *ColRef
+}
+
+// Agg is one aggregate output.
+type Agg struct {
+	Func sql.AggFunc
+	Col  ColRef
+	Star bool
+	Name string // output column name
+}
+
+// Query is a bound RAaggr query: an SPC core (atoms, equalities, filters,
+// projection) plus optional group-by aggregates, DISTINCT, ORDER BY, LIMIT.
+type Query struct {
+	Atoms    []Atom
+	EqAttrs  []AttrEq
+	EqConsts []ConstEq
+	Ins      []InPred
+	Filters  []Filter
+	// Proj holds the plain output columns. When Aggs is non-empty these are
+	// exactly the group-by keys (global aggregates have empty Proj).
+	Proj []ColRef
+	Aggs []Agg
+	// OutNames gives the output column names in final order: plain columns
+	// first (as listed in SELECT), then aggregates.
+	OutNames []string
+	Distinct bool
+	OrderBy  []OrderKey
+	Limit    int // -1 when absent
+}
+
+// OrderKey is one ORDER BY entry, referring to an output column by name.
+type OrderKey struct {
+	Name string
+	Desc bool
+}
+
+// IsAggregate reports whether the query has group-by aggregates.
+func (q *Query) IsAggregate() bool { return len(q.Aggs) > 0 }
+
+// Atom returns the atom with the given alias, or nil.
+func (q *Query) Atom(alias string) *Atom {
+	for i := range q.Atoms {
+		if q.Atoms[i].Alias == alias {
+			return &q.Atoms[i]
+		}
+	}
+	return nil
+}
+
+// Bind resolves a parsed SQL query against a database schema, checking that
+// every table and attribute exists and that references are unambiguous.
+func Bind(ast *sql.Query, db *relation.Database) (*Query, error) {
+	q := &Query{Limit: ast.Limit, Distinct: ast.Distinct}
+	seen := make(map[string]bool)
+	for _, ref := range ast.From {
+		schema := db.Schema(ref.Name)
+		if schema == nil {
+			return nil, fmt.Errorf("ra: unknown relation %q", ref.Name)
+		}
+		if seen[ref.Alias] {
+			return nil, fmt.Errorf("ra: duplicate alias %q", ref.Alias)
+		}
+		seen[ref.Alias] = true
+		q.Atoms = append(q.Atoms, Atom{Rel: ref.Name, Alias: ref.Alias, Schema: schema})
+	}
+
+	resolve := func(c sql.Col) (ColRef, error) {
+		if c.Table != "" {
+			a := q.Atom(c.Table)
+			if a == nil {
+				return ColRef{}, fmt.Errorf("ra: unknown alias %q in %s", c.Table, c)
+			}
+			if !a.Schema.Has(c.Name) {
+				return ColRef{}, fmt.Errorf("ra: relation %s has no attribute %q", a.Rel, c.Name)
+			}
+			return ColRef{Alias: c.Table, Attr: c.Name}, nil
+		}
+		var found *Atom
+		for i := range q.Atoms {
+			if q.Atoms[i].Schema.Has(c.Name) {
+				if found != nil {
+					return ColRef{}, fmt.Errorf("ra: ambiguous attribute %q", c.Name)
+				}
+				found = &q.Atoms[i]
+			}
+		}
+		if found == nil {
+			return ColRef{}, fmt.Errorf("ra: unknown attribute %q", c.Name)
+		}
+		return ColRef{Alias: found.Alias, Attr: c.Name}, nil
+	}
+
+	// WHERE clause: classify conjuncts.
+	for _, p := range ast.Where {
+		left, err := resolve(p.Left)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case len(p.In) > 0:
+			if len(p.In) == 1 {
+				q.EqConsts = append(q.EqConsts, ConstEq{Col: left, Val: p.In[0]})
+			} else {
+				q.Ins = append(q.Ins, InPred{Col: left, Vals: p.In})
+			}
+		case p.Op == sql.OpEq && p.Lit != nil:
+			q.EqConsts = append(q.EqConsts, ConstEq{Col: left, Val: *p.Lit})
+		case p.Op == sql.OpEq && p.Right != nil:
+			right, err := resolve(*p.Right)
+			if err != nil {
+				return nil, err
+			}
+			q.EqAttrs = append(q.EqAttrs, AttrEq{L: left, R: right})
+		case p.Lit != nil:
+			lit := *p.Lit
+			q.Filters = append(q.Filters, Filter{Col: left, Op: p.Op, Lit: &lit})
+		case p.Right != nil:
+			right, err := resolve(*p.Right)
+			if err != nil {
+				return nil, err
+			}
+			q.Filters = append(q.Filters, Filter{Col: left, Op: p.Op, RCol: &right})
+		default:
+			return nil, fmt.Errorf("ra: malformed predicate %v", p)
+		}
+	}
+
+	// SELECT list.
+	if ast.Star {
+		if ast.GroupBy != nil {
+			return nil, fmt.Errorf("ra: SELECT * with GROUP BY is not supported")
+		}
+		for _, a := range q.Atoms {
+			for _, attr := range a.Schema.Attrs {
+				c := ColRef{Alias: a.Alias, Attr: attr.Name}
+				q.Proj = append(q.Proj, c)
+				q.OutNames = append(q.OutNames, c.String())
+			}
+		}
+	} else {
+		var plainNames []string
+		for _, item := range ast.Items {
+			if item.Agg == sql.AggNone {
+				c, err := resolve(item.Col)
+				if err != nil {
+					return nil, err
+				}
+				name := item.Alias
+				if name == "" {
+					name = c.String()
+				}
+				q.Proj = append(q.Proj, c)
+				plainNames = append(plainNames, name)
+				continue
+			}
+			agg := Agg{Func: item.Agg, Star: item.Star, Name: item.Alias}
+			if !item.Star {
+				c, err := resolve(item.Col)
+				if err != nil {
+					return nil, err
+				}
+				agg.Col = c
+			}
+			if agg.Name == "" {
+				if agg.Star {
+					agg.Name = string(agg.Func) + "(*)"
+				} else {
+					agg.Name = fmt.Sprintf("%s(%s)", agg.Func, agg.Col)
+				}
+			}
+			q.Aggs = append(q.Aggs, agg)
+		}
+		q.OutNames = plainNames
+		for _, a := range q.Aggs {
+			q.OutNames = append(q.OutNames, a.Name)
+		}
+	}
+
+	// GROUP BY validation: with aggregates, plain outputs must equal the
+	// group-by keys.
+	if len(ast.GroupBy) > 0 {
+		if len(q.Aggs) == 0 {
+			return nil, fmt.Errorf("ra: GROUP BY without aggregates is not supported")
+		}
+		keys := make(map[ColRef]bool)
+		for _, g := range ast.GroupBy {
+			c, err := resolve(g)
+			if err != nil {
+				return nil, err
+			}
+			keys[c] = true
+		}
+		if len(keys) != len(q.Proj) {
+			return nil, fmt.Errorf("ra: GROUP BY keys must match plain select columns")
+		}
+		for _, c := range q.Proj {
+			if !keys[c] {
+				return nil, fmt.Errorf("ra: select column %s is not a GROUP BY key", c)
+			}
+		}
+	} else if len(q.Aggs) > 0 && len(q.Proj) > 0 {
+		return nil, fmt.Errorf("ra: mixing plain columns and aggregates requires GROUP BY")
+	}
+
+	// ORDER BY must refer to output columns.
+	for _, o := range ast.OrderBy {
+		name := ""
+		if o.Col.Table == "" {
+			name = o.Col.Name
+		} else {
+			name = o.Col.Table + "." + o.Col.Name
+		}
+		idx := -1
+		for i, n := range q.OutNames {
+			if n == name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			// Allow ordering by the bound form of a plain column.
+			if c, err := resolve(o.Col); err == nil {
+				for i, p := range q.Proj {
+					if p == c {
+						idx = i
+						name = q.OutNames[i]
+						break
+					}
+				}
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("ra: ORDER BY column %q is not in the output", name)
+		}
+		q.OrderBy = append(q.OrderBy, OrderKey{Name: name, Desc: o.Desc})
+	}
+	return q, nil
+}
+
+// Parse parses and binds a SQL string in one step.
+func Parse(src string, db *relation.Database) (*Query, error) {
+	ast, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Bind(ast, db)
+}
+
+// MustParse is Parse that panics on error; for static workload queries.
+func MustParse(src string, db *relation.Database) *Query {
+	q, err := Parse(src, db)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// AttrsUsed returns X_R^Q for the atom with the given alias: the attributes
+// of that atom that appear in selection/join predicates, IN lists, filters,
+// or the final projection (including aggregate inputs). Sorted for
+// determinism.
+func (q *Query) AttrsUsed(alias string) []string {
+	set := make(map[string]bool)
+	add := func(c ColRef) {
+		if c.Alias == alias {
+			set[c.Attr] = true
+		}
+	}
+	for _, e := range q.EqAttrs {
+		add(e.L)
+		add(e.R)
+	}
+	for _, e := range q.EqConsts {
+		add(e.Col)
+	}
+	for _, in := range q.Ins {
+		add(in.Col)
+	}
+	for _, f := range q.Filters {
+		add(f.Col)
+		if f.RCol != nil {
+			add(*f.RCol)
+		}
+	}
+	for _, c := range q.Proj {
+		add(c)
+	}
+	for _, a := range q.Aggs {
+		if !a.Star {
+			add(a.Col)
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the bound query compactly for diagnostics.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("Q{")
+	for i, a := range q.Atoms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s as %s", a.Rel, a.Alias)
+	}
+	if len(q.EqAttrs)+len(q.EqConsts)+len(q.Ins)+len(q.Filters) > 0 {
+		b.WriteString(" | ")
+		first := true
+		sep := func() {
+			if !first {
+				b.WriteString(" ∧ ")
+			}
+			first = false
+		}
+		for _, e := range q.EqAttrs {
+			sep()
+			fmt.Fprintf(&b, "%s=%s", e.L, e.R)
+		}
+		for _, e := range q.EqConsts {
+			sep()
+			fmt.Fprintf(&b, "%s=%s", e.Col, e.Val)
+		}
+		for _, in := range q.Ins {
+			sep()
+			fmt.Fprintf(&b, "%s∈%v", in.Col, in.Vals)
+		}
+		for _, f := range q.Filters {
+			sep()
+			if f.RCol != nil {
+				fmt.Fprintf(&b, "%s%s%s", f.Col, f.Op, *f.RCol)
+			} else {
+				fmt.Fprintf(&b, "%s%s%s", f.Col, f.Op, f.Lit)
+			}
+		}
+	}
+	b.WriteString(" → ")
+	for i, c := range q.Proj {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.String())
+	}
+	for _, a := range q.Aggs {
+		b.WriteString(" " + a.Name)
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,447 @@
+package ra
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"zidian/internal/relation"
+)
+
+// paperDB builds the simplified TPC-H schema of the paper's Example 1 with
+// a small instance.
+func paperDB() *relation.Database {
+	db := relation.NewDatabase()
+
+	nation := relation.NewRelation(relation.MustSchema("NATION",
+		[]relation.Attr{{Name: "nationkey", Kind: relation.KindInt}, {Name: "name", Kind: relation.KindString}},
+		[]string{"nationkey"}))
+	nation.MustInsert(relation.Tuple{relation.Int(1), relation.String("GERMANY")})
+	nation.MustInsert(relation.Tuple{relation.Int(2), relation.String("FRANCE")})
+	db.Add(nation)
+
+	supplier := relation.NewRelation(relation.MustSchema("SUPPLIER",
+		[]relation.Attr{{Name: "suppkey", Kind: relation.KindInt}, {Name: "nationkey", Kind: relation.KindInt}},
+		[]string{"suppkey"}))
+	supplier.MustInsert(relation.Tuple{relation.Int(10), relation.Int(1)})
+	supplier.MustInsert(relation.Tuple{relation.Int(11), relation.Int(1)})
+	supplier.MustInsert(relation.Tuple{relation.Int(12), relation.Int(2)})
+	db.Add(supplier)
+
+	partsupp := relation.NewRelation(relation.MustSchema("PARTSUPP",
+		[]relation.Attr{
+			{Name: "partkey", Kind: relation.KindInt}, {Name: "suppkey", Kind: relation.KindInt},
+			{Name: "supplycost", Kind: relation.KindInt}, {Name: "availqty", Kind: relation.KindInt},
+		},
+		[]string{"partkey", "suppkey"}))
+	partsupp.MustInsert(relation.Tuple{relation.Int(100), relation.Int(10), relation.Int(5), relation.Int(1)})
+	partsupp.MustInsert(relation.Tuple{relation.Int(101), relation.Int(10), relation.Int(7), relation.Int(2)})
+	partsupp.MustInsert(relation.Tuple{relation.Int(100), relation.Int(11), relation.Int(3), relation.Int(3)})
+	partsupp.MustInsert(relation.Tuple{relation.Int(100), relation.Int(12), relation.Int(9), relation.Int(4)})
+	db.Add(partsupp)
+	return db
+}
+
+const paperQ1 = `select PS.suppkey, SUM(PS.supplycost)
+	from PARTSUPP as PS, SUPPLIER as S, NATION as N
+	where PS.suppkey = S.suppkey and S.nationkey = N.nationkey and N.name = 'GERMANY'
+	group by PS.suppkey`
+
+func TestBindPaperQ1(t *testing.T) {
+	q := MustParse(paperQ1, paperDB())
+	if len(q.Atoms) != 3 || len(q.EqAttrs) != 2 || len(q.EqConsts) != 1 {
+		t.Fatalf("bound query: %s", q)
+	}
+	if len(q.Proj) != 1 || q.Proj[0] != (ColRef{Alias: "PS", Attr: "suppkey"}) {
+		t.Fatalf("proj = %v", q.Proj)
+	}
+	if len(q.Aggs) != 1 || q.Aggs[0].Col != (ColRef{Alias: "PS", Attr: "supplycost"}) {
+		t.Fatalf("aggs = %v", q.Aggs)
+	}
+	if !q.IsAggregate() {
+		t.Fatal("aggregate query")
+	}
+	if q.Atom("PS") == nil || q.Atom("nope") != nil {
+		t.Fatal("Atom lookup")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	db := paperDB()
+	bad := []string{
+		"select X.a from NOPE X",
+		"select S.bogus from SUPPLIER S",
+		"select Z.suppkey from SUPPLIER S",
+		"select suppkey from SUPPLIER S, PARTSUPP PS",         // ambiguous
+		"select S.suppkey, SUM(S.nationkey) from SUPPLIER S",  // agg mix without group by
+		"select S.suppkey from SUPPLIER S group by S.suppkey", // group by without aggs
+		"select S.suppkey from SUPPLIER S, SUPPLIER S",        // duplicate alias
+		"select S.nationkey, COUNT(*) from SUPPLIER S group by S.suppkey",
+		"select S.suppkey from SUPPLIER S order by S.nationkey", // order by non-output
+		"select * from SUPPLIER S group by S.suppkey",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src, db); err == nil {
+			t.Fatalf("expected bind error for %q", src)
+		}
+	}
+}
+
+func TestBindUnqualifiedResolution(t *testing.T) {
+	q := MustParse("select name from NATION N where nationkey = 1", paperDB())
+	if q.Proj[0] != (ColRef{Alias: "N", Attr: "name"}) {
+		t.Fatalf("proj = %v", q.Proj)
+	}
+	if q.EqConsts[0].Col != (ColRef{Alias: "N", Attr: "nationkey"}) {
+		t.Fatalf("const = %v", q.EqConsts)
+	}
+}
+
+func TestEqClasses(t *testing.T) {
+	q := MustParse(paperQ1, paperDB())
+	eq := BuildEqClasses(q)
+	if eq.Unsat {
+		t.Fatal("satisfiable query")
+	}
+	if !eq.Same(ColRef{"PS", "suppkey"}, ColRef{"S", "suppkey"}) {
+		t.Fatal("PS.suppkey ~ S.suppkey")
+	}
+	if eq.Same(ColRef{"PS", "suppkey"}, ColRef{"N", "nationkey"}) {
+		t.Fatal("suppkey !~ nationkey")
+	}
+	if v, ok := eq.Const(ColRef{"N", "name"}); !ok || v.Str != "GERMANY" {
+		t.Fatalf("const = %v, %v", v, ok)
+	}
+	members := eq.Members(ColRef{"S", "nationkey"})
+	if len(members) != 2 {
+		t.Fatalf("members = %v", members)
+	}
+	if got := eq.ConstCols(); len(got) != 1 || got[0].Val.Str != "GERMANY" {
+		t.Fatalf("const cols = %v", got)
+	}
+}
+
+func TestEqClassesTransitiveConst(t *testing.T) {
+	db := paperDB()
+	q := MustParse(`select S.suppkey from SUPPLIER S, NATION N
+		where S.nationkey = N.nationkey and N.nationkey = 1`, db)
+	eq := BuildEqClasses(q)
+	if v, ok := eq.Const(ColRef{"S", "nationkey"}); !ok || v.Int != 1 {
+		t.Fatalf("constant must propagate through the class: %v %v", v, ok)
+	}
+}
+
+func TestEqClassesUnsat(t *testing.T) {
+	q := MustParse(`select S.suppkey from SUPPLIER S, NATION N
+		where S.nationkey = N.nationkey and N.nationkey = 1 and S.nationkey = 2`, paperDB())
+	if !BuildEqClasses(q).Unsat {
+		t.Fatal("conflicting constants must mark the classes unsatisfiable")
+	}
+}
+
+func TestAttrsUsed(t *testing.T) {
+	q := MustParse(paperQ1, paperDB())
+	got := q.AttrsUsed("PS")
+	want := []string{"suppkey", "supplycost"} // lexicographic: 'k' < 'l'
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("AttrsUsed(PS) = %v", got)
+	}
+	if got := q.AttrsUsed("N"); len(got) != 2 {
+		t.Fatalf("AttrsUsed(N) = %v", got)
+	}
+}
+
+func TestEvaluatePaperQ1(t *testing.T) {
+	db := paperDB()
+	q := MustParse(paperQ1, db)
+	res, err := Evaluate(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// German suppliers are 10 and 11: sums 5+7=12 and 3.
+	want := &Result{
+		Cols: q.OutNames,
+		Rows: []relation.Tuple{
+			{relation.Int(10), relation.Int(12)},
+			{relation.Int(11), relation.Int(3)},
+		},
+	}
+	if !res.Equal(want) {
+		t.Fatalf("result = %v", res.Rows)
+	}
+}
+
+func TestEvaluateProjectionAndFilters(t *testing.T) {
+	db := paperDB()
+	res, err := Evaluate(MustParse(
+		"select PS.partkey from PARTSUPP PS where PS.supplycost > 4 and PS.availqty < 3", db), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestEvaluateIn(t *testing.T) {
+	db := paperDB()
+	res, err := Evaluate(MustParse(
+		"select PS.supplycost from PARTSUPP PS where PS.suppkey in (10, 12)", db), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestEvaluateDistinctOrderLimit(t *testing.T) {
+	db := paperDB()
+	res, err := Evaluate(MustParse(
+		"select distinct PS.partkey from PARTSUPP PS order by PS.partkey desc limit 1", db), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 101 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestEvaluateGlobalAggregates(t *testing.T) {
+	db := paperDB()
+	res, err := Evaluate(MustParse(
+		"select COUNT(*), SUM(PS.supplycost), MIN(PS.supplycost), MAX(PS.supplycost), AVG(PS.supplycost) from PARTSUPP PS", db), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row[0].Int != 4 || row[1].Int != 24 || row[2].Int != 3 || row[3].Int != 9 {
+		t.Fatalf("aggregates = %v", row)
+	}
+	if row[4].Flt != 6.0 {
+		t.Fatalf("avg = %v", row[4])
+	}
+}
+
+func TestEvaluateCrossProductAndColFilter(t *testing.T) {
+	db := paperDB()
+	// Cross product with a column-column filter across atoms.
+	res, err := Evaluate(MustParse(
+		"select S.suppkey, N.nationkey from SUPPLIER S, NATION N where S.nationkey < N.nationkey", db), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Suppliers with nationkey 1 pair with nation 2 only: suppliers 10, 11.
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestEvaluateSelfJoin(t *testing.T) {
+	db := paperDB()
+	// Pairs of partsupp rows for the same part from different suppliers.
+	res, err := Evaluate(MustParse(
+		`select A.suppkey, B.suppkey from PARTSUPP A, PARTSUPP B
+		 where A.partkey = B.partkey and A.suppkey < B.suppkey`, db), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Part 100 has suppliers 10,11,12 -> pairs (10,11),(10,12),(11,12).
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestMinimizeRemovesRedundantRenaming(t *testing.T) {
+	db := paperDB()
+	// Example 5's Q2: PARTSUPP joined with a redundant renaming of itself.
+	q2 := MustParse(`select PS.suppkey, PS.supplycost
+		from NATION N, SUPPLIER S, PARTSUPP PS, PARTSUPP PS2
+		where N.name = 'GERMANY' and N.nationkey = S.nationkey
+		  and S.suppkey = PS.suppkey and PS.availqty = PS2.availqty
+		  and PS.partkey = PS2.partkey and PS.suppkey = PS2.suppkey
+		  and PS.supplycost = PS2.supplycost`, db)
+	m := q2.Minimize()
+	if len(m.Atoms) != 3 {
+		t.Fatalf("min(Q2) atoms = %d (%s)", len(m.Atoms), m)
+	}
+	// Equivalence: both evaluate to the same answer.
+	r1, err := Evaluate(q2, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Evaluate(m, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Equal(r2) {
+		t.Fatalf("minimization changed the answer: %v vs %v", r1.Rows, r2.Rows)
+	}
+}
+
+func TestMinimizeKeepsNonRedundantSelfJoin(t *testing.T) {
+	db := paperDB()
+	q := MustParse(`select A.suppkey, B.suppkey from PARTSUPP A, PARTSUPP B
+		where A.partkey = B.partkey and A.suppkey < B.suppkey`, db)
+	m := q.Minimize()
+	if len(m.Atoms) != 2 {
+		t.Fatalf("non-redundant self join must keep both atoms: %s", m)
+	}
+}
+
+func TestMinimizeKeepsMinimalQuery(t *testing.T) {
+	db := paperDB()
+	q := MustParse(paperQ1, db)
+	m := q.Minimize()
+	if len(m.Atoms) != 3 {
+		t.Fatalf("Q1 is already minimal: %s", m)
+	}
+}
+
+func TestMinimizeIdenticalAtoms(t *testing.T) {
+	db := paperDB()
+	q := MustParse(`select A.nationkey from SUPPLIER A, SUPPLIER B
+		where A.suppkey = B.suppkey and A.nationkey = B.nationkey`, db)
+	m := q.Minimize()
+	if len(m.Atoms) != 1 {
+		t.Fatalf("identical atom must fold: %s", m)
+	}
+	r1, _ := Evaluate(q, db)
+	r2, err := Evaluate(m, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Equal(r2) {
+		t.Fatalf("fold changed answer: %v vs %v", r1.Rows, r2.Rows)
+	}
+}
+
+func TestMinimizeRespectsFilters(t *testing.T) {
+	db := paperDB()
+	// Each atom carries its own filter; folding either one would conjoin the
+	// filters onto a single atom and change the answer, so both must stay.
+	q := MustParse(`select A.partkey from PARTSUPP A, PARTSUPP B
+		where A.partkey = B.partkey and A.supplycost > 4 and B.availqty > 2`, db)
+	m := q.Minimize()
+	if len(m.Atoms) != 2 {
+		t.Fatalf("independently filtered atoms must not fold: %s", m)
+	}
+	r1, _ := Evaluate(q, db)
+	r2, err := Evaluate(m, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Equal(r2) {
+		t.Fatalf("minimization changed the answer: %v vs %v", r1.Rows, r2.Rows)
+	}
+}
+
+func TestMinimizeFoldsImpliedFilterAtom(t *testing.T) {
+	db := paperDB()
+	// Under set semantics the unfiltered atom A is implied by B (same
+	// relation, shared join attribute), so min(Q) has a single atom.
+	q := MustParse(`select distinct A.partkey from PARTSUPP A, PARTSUPP B
+		where A.partkey = B.partkey and B.supplycost > 4`, db)
+	m := q.Minimize()
+	if len(m.Atoms) != 1 {
+		t.Fatalf("implied atom must fold: %s", m)
+	}
+	r1, _ := Evaluate(q, db)
+	r2, err := Evaluate(m, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Equal(r2) {
+		t.Fatalf("fold changed answer (distinct): %v vs %v", r1.Rows, r2.Rows)
+	}
+}
+
+func TestResultEqual(t *testing.T) {
+	a := &Result{Cols: []string{"x"}, Rows: []relation.Tuple{{relation.Int(1)}, {relation.Int(2)}}}
+	b := &Result{Cols: []string{"x"}, Rows: []relation.Tuple{{relation.Int(2)}, {relation.Int(1)}}}
+	if !a.Equal(b) {
+		t.Fatal("order must not matter")
+	}
+	c := &Result{Cols: []string{"y"}, Rows: b.Rows}
+	if a.Equal(c) {
+		t.Fatal("columns must match")
+	}
+	d := &Result{Cols: []string{"x"}, Rows: []relation.Tuple{{relation.Int(1)}}}
+	if a.Equal(d) {
+		t.Fatal("row counts must match")
+	}
+}
+
+func TestAggStateMerge(t *testing.T) {
+	a, b := NewAggState(), NewAggState()
+	a.Add(relation.Int(1))
+	a.Add(relation.Int(5))
+	b.Add(relation.Int(3))
+	b.AddCount()
+	a.Merge(b)
+	if a.Count != 4 {
+		t.Fatalf("count = %d", a.Count)
+	}
+	if got := a.Final("SUM"); got.Int != 9 {
+		t.Fatalf("sum = %v", got)
+	}
+	if got := a.Final("MIN"); got.Int != 1 {
+		t.Fatalf("min = %v", got)
+	}
+	if got := a.Final("MAX"); got.Int != 5 {
+		t.Fatalf("max = %v", got)
+	}
+	empty := NewAggState()
+	if !empty.Final("MIN").IsNull() || !empty.Final("AVG").IsNull() {
+		t.Fatal("empty aggregates are NULL")
+	}
+}
+
+// TestQuickMinimizationPreservesAnswers generates random self-join queries
+// and checks that min(Q) evaluates identically to Q under set semantics
+// (DISTINCT), the fragment minimization is defined on.
+func TestQuickMinimizationPreservesAnswers(t *testing.T) {
+	db := paperDB()
+	r := rand.New(rand.NewSource(7))
+	attrs := []string{"partkey", "suppkey", "supplycost", "availqty"}
+	for trial := 0; trial < 80; trial++ {
+		nAtoms := 2 + r.Intn(2)
+		var from, preds []string
+		for i := 0; i < nAtoms; i++ {
+			from = append(from, fmt.Sprintf("PARTSUPP A%d", i))
+		}
+		// Random equalities between consecutive atoms.
+		for i := 1; i < nAtoms; i++ {
+			a := attrs[r.Intn(2)] // join on partkey or suppkey
+			preds = append(preds, fmt.Sprintf("A%d.%s = A%d.%s", i-1, a, i, a))
+		}
+		// Occasionally a constant or a filter.
+		if r.Intn(2) == 0 {
+			preds = append(preds, fmt.Sprintf("A0.suppkey = %d", r.Intn(13)))
+		}
+		if r.Intn(3) == 0 {
+			preds = append(preds, fmt.Sprintf("A%d.supplycost > %d", r.Intn(nAtoms), r.Intn(8)))
+		}
+		proj := fmt.Sprintf("A%d.%s", r.Intn(nAtoms), attrs[r.Intn(len(attrs))])
+		src := "select distinct " + proj + " from " + strings.Join(from, ", ") +
+			" where " + strings.Join(preds, " and ")
+		q := MustParse(src, db)
+		m := q.Minimize()
+		if len(m.Atoms) > len(q.Atoms) {
+			t.Fatalf("minimization grew the query: %s", src)
+		}
+		want, err := Evaluate(q, db)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		got, err := Evaluate(m, db)
+		if err != nil {
+			t.Fatalf("min(%s): %v", src, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("minimization changed the answer of %q:\nmin = %s\n got %v\nwant %v",
+				src, m, got.Rows, want.Rows)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package relation
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	cases := []Value{
+		Null(),
+		Int(0), Int(1), Int(-1), Int(math.MaxInt64), Int(math.MinInt64),
+		Float(0), Float(1.5), Float(-1.5), Float(math.MaxFloat64), Float(-math.MaxFloat64),
+		Float(math.SmallestNonzeroFloat64),
+		String(""), String("a"), String("hello world"),
+		String("with\x00null"), String("\x00"), String("\x00\x00"), String("end\x00"),
+	}
+	for _, v := range cases {
+		enc := AppendValue(nil, v)
+		got, n, err := DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("decode %v consumed %d of %d bytes", v, n, len(enc))
+		}
+		if !Equal(got, v) {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestIntOrderPreserved(t *testing.T) {
+	vals := []int64{math.MinInt64, -1000, -1, 0, 1, 7, 1000, math.MaxInt64}
+	for i := 0; i < len(vals); i++ {
+		for j := 0; j < len(vals); j++ {
+			a := AppendValue(nil, Int(vals[i]))
+			b := AppendValue(nil, Int(vals[j]))
+			want := 0
+			if vals[i] < vals[j] {
+				want = -1
+			} else if vals[i] > vals[j] {
+				want = 1
+			}
+			if got := bytes.Compare(a, b); got != want {
+				t.Fatalf("order of %d vs %d: got %d want %d", vals[i], vals[j], got, want)
+			}
+		}
+	}
+}
+
+func TestFloatOrderPreserved(t *testing.T) {
+	vals := []float64{math.Inf(-1), -math.MaxFloat64, -2.5, -1, 0, 1, 2.5, math.MaxFloat64, math.Inf(1)}
+	for i := 0; i < len(vals); i++ {
+		for j := 0; j < len(vals); j++ {
+			a := AppendValue(nil, Float(vals[i]))
+			b := AppendValue(nil, Float(vals[j]))
+			want := 0
+			if vals[i] < vals[j] {
+				want = -1
+			} else if vals[i] > vals[j] {
+				want = 1
+			}
+			if got := bytes.Compare(a, b); got != want {
+				t.Fatalf("order of %g vs %g: got %d want %d", vals[i], vals[j], got, want)
+			}
+		}
+	}
+}
+
+func TestStringOrderPreserved(t *testing.T) {
+	vals := []string{"", "a", "ab", "a\x00", "a\x00b", "b", "ba"}
+	for i := 0; i < len(vals); i++ {
+		for j := 0; j < len(vals); j++ {
+			a := AppendValue(nil, String(vals[i]))
+			b := AppendValue(nil, String(vals[j]))
+			want := 0
+			if vals[i] < vals[j] {
+				want = -1
+			} else if vals[i] > vals[j] {
+				want = 1
+			}
+			if got := bytes.Compare(a, b); got != want {
+				t.Fatalf("order of %q vs %q: got %d want %d", vals[i], vals[j], got, want)
+			}
+		}
+	}
+}
+
+// randomValue generates values in a shape testing/quick can drive.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(4) {
+	case 0:
+		return Null()
+	case 1:
+		return Int(r.Int63() - r.Int63())
+	case 2:
+		return Float(r.NormFloat64() * 1e6)
+	default:
+		n := r.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(r.Intn(256))
+		}
+		return String(string(b))
+	}
+}
+
+type tuplePair struct{ A, B Tuple }
+
+// Generate implements quick.Generator for random tuple pairs that share a
+// kind signature per position (typed columns, like real schemas).
+func (tuplePair) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := 1 + r.Intn(4)
+	a := make(Tuple, n)
+	b := make(Tuple, n)
+	for i := 0; i < n; i++ {
+		a[i] = randomValue(r)
+		// Same-kind value in b half the time to exercise equal prefixes.
+		if r.Intn(2) == 0 {
+			b[i] = a[i]
+		} else {
+			for {
+				v := randomValue(r)
+				if v.Kind == a[i].Kind {
+					b[i] = v
+					break
+				}
+			}
+		}
+	}
+	return reflect.ValueOf(tuplePair{a, b})
+}
+
+func TestQuickTupleRoundTrip(t *testing.T) {
+	f := func(p tuplePair) bool {
+		enc := EncodeTuple(p.A)
+		dec, n, err := DecodeTuple(enc, len(p.A))
+		if err != nil || n != len(enc) {
+			return false
+		}
+		return dec.Equal(p.A)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEncodingOrderMatchesTupleOrder(t *testing.T) {
+	f := func(p tuplePair) bool {
+		ea, eb := EncodeTuple(p.A), EncodeTuple(p.B)
+		want := p.A.Compare(p.B)
+		got := bytes.Compare(ea, eb)
+		// Mixed int/float columns may disagree with numeric compare;
+		// typed columns (as generated) never mix, so order must match.
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	bad := [][]byte{
+		{},
+		{0x99},
+		{tagInt, 1, 2},
+		{tagFloat, 1},
+		{tagString, 'a'},        // unterminated
+		{tagString, 0x00},       // escape cut short
+		{tagString, 0x00, 0x77}, // invalid escape
+	}
+	for _, b := range bad {
+		if _, _, err := DecodeValue(b); err == nil {
+			t.Fatalf("decode %v: expected error", b)
+		}
+	}
+}
+
+func TestDecodeAll(t *testing.T) {
+	tup := Tuple{Int(1), String("x"), Float(2.5), Null()}
+	got, err := DecodeAll(EncodeTuple(tup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(tup) {
+		t.Fatalf("got %v want %v", got, tup)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	a := Tuple{Int(1), String("x")}
+	b := Tuple{Int(1), String("x")}
+	c := Tuple{Int(2), String("x")}
+	if KeyString(a) != KeyString(b) {
+		t.Fatal("equal tuples must share key string")
+	}
+	if KeyString(a) == KeyString(c) {
+		t.Fatal("different tuples must not collide")
+	}
+}

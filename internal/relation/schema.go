@@ -1,0 +1,231 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attr is a named, typed attribute of a relation schema.
+type Attr struct {
+	Name string
+	Kind Kind
+}
+
+// Schema describes a relation: its name, ordered attributes, and primary key.
+type Schema struct {
+	Name  string
+	Attrs []Attr
+	// Key holds the primary-key attribute names (a subset of Attrs).
+	Key []string
+
+	index map[string]int // lazily built name -> position
+}
+
+// NewSchema builds a schema and validates that key attributes exist.
+func NewSchema(name string, attrs []Attr, key []string) (*Schema, error) {
+	s := &Schema{Name: name, Attrs: attrs, Key: key}
+	s.buildIndex()
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if seen[a.Name] {
+			return nil, fmt.Errorf("relation %s: duplicate attribute %q", name, a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, k := range key {
+		if !seen[k] {
+			return nil, fmt.Errorf("relation %s: key attribute %q not in schema", name, k)
+		}
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for static workload schemas.
+func MustSchema(name string, attrs []Attr, key []string) *Schema {
+	s, err := NewSchema(name, attrs, key)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *Schema) buildIndex() {
+	s.index = make(map[string]int, len(s.Attrs))
+	for i, a := range s.Attrs {
+		s.index[a.Name] = i
+	}
+}
+
+// Index returns the position of the named attribute, or -1.
+func (s *Schema) Index(name string) int {
+	if s.index == nil {
+		s.buildIndex()
+	}
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Has reports whether the schema contains the named attribute.
+func (s *Schema) Has(name string) bool { return s.Index(name) >= 0 }
+
+// AttrNames returns the attribute names in schema order.
+func (s *Schema) AttrNames() []string {
+	out := make([]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Positions maps attribute names to their positions; it errors on unknown
+// attributes.
+func (s *Schema) Positions(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		j := s.Index(n)
+		if j < 0 {
+			return nil, fmt.Errorf("relation %s: unknown attribute %q", s.Name, n)
+		}
+		out[i] = j
+	}
+	return out, nil
+}
+
+// String renders the schema as "Name(a, b, c key(a))".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('(')
+	for i, a := range s.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Name)
+	}
+	if len(s.Key) > 0 {
+		b.WriteString(" key(")
+		b.WriteString(strings.Join(s.Key, ", "))
+		b.WriteByte(')')
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Relation is an in-memory instance of a schema.
+type Relation struct {
+	Schema *Schema
+	Tuples []Tuple
+}
+
+// NewRelation returns an empty relation over the schema.
+func NewRelation(s *Schema) *Relation { return &Relation{Schema: s} }
+
+// Insert appends a tuple after arity checking.
+func (r *Relation) Insert(t Tuple) error {
+	if len(t) != len(r.Schema.Attrs) {
+		return fmt.Errorf("relation %s: tuple arity %d != schema arity %d",
+			r.Schema.Name, len(t), len(r.Schema.Attrs))
+	}
+	r.Tuples = append(r.Tuples, t)
+	return nil
+}
+
+// MustInsert is Insert that panics on arity mismatch.
+func (r *Relation) MustInsert(t Tuple) {
+	if err := r.Insert(t); err != nil {
+		panic(err)
+	}
+}
+
+// Cardinality returns |R|, the number of tuples.
+func (r *Relation) Cardinality() int { return len(r.Tuples) }
+
+// ValueCount returns ||R||, the number of values (tuples × arity).
+func (r *Relation) ValueCount() int { return len(r.Tuples) * len(r.Schema.Attrs) }
+
+// SizeBytes returns the accounting size of the relation.
+func (r *Relation) SizeBytes() int {
+	n := 0
+	for _, t := range r.Tuples {
+		n += t.SizeBytes()
+	}
+	return n
+}
+
+// Database is a named collection of relations, the "D of schema R" of the
+// paper.
+type Database struct {
+	rels  map[string]*Relation
+	order []string
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// Add registers a relation; it replaces any prior relation of the same name.
+func (d *Database) Add(r *Relation) {
+	if _, ok := d.rels[r.Schema.Name]; !ok {
+		d.order = append(d.order, r.Schema.Name)
+	}
+	d.rels[r.Schema.Name] = r
+}
+
+// Relation returns the named relation, or nil.
+func (d *Database) Relation(name string) *Relation { return d.rels[name] }
+
+// Schema returns the schema of the named relation, or nil.
+func (d *Database) Schema(name string) *Schema {
+	if r := d.rels[name]; r != nil {
+		return r.Schema
+	}
+	return nil
+}
+
+// Names returns relation names in insertion order.
+func (d *Database) Names() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// Schemas returns all relation schemas, sorted by name for determinism.
+func (d *Database) Schemas() []*Schema {
+	out := make([]*Schema, 0, len(d.rels))
+	for _, r := range d.rels {
+		out = append(out, r.Schema)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Cardinality returns |D|, total tuples across relations.
+func (d *Database) Cardinality() int {
+	n := 0
+	for _, r := range d.rels {
+		n += r.Cardinality()
+	}
+	return n
+}
+
+// ValueCount returns ||D||, total values across relations.
+func (d *Database) ValueCount() int {
+	n := 0
+	for _, r := range d.rels {
+		n += r.ValueCount()
+	}
+	return n
+}
+
+// SizeBytes returns the accounting size of the whole database.
+func (d *Database) SizeBytes() int {
+	n := 0
+	for _, r := range d.rels {
+		n += r.SizeBytes()
+	}
+	return n
+}

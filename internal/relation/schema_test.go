@@ -1,0 +1,127 @@
+package relation
+
+import "testing"
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("supplier",
+		[]Attr{{"suppkey", KindInt}, {"name", KindString}, {"nationkey", KindInt}},
+		[]string{"suppkey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema(t)
+	if s.Index("name") != 1 {
+		t.Fatalf("Index(name) = %d", s.Index("name"))
+	}
+	if s.Index("absent") != -1 {
+		t.Fatal("expected -1 for unknown attribute")
+	}
+	if !s.Has("nationkey") || s.Has("foo") {
+		t.Fatal("Has misbehaved")
+	}
+	names := s.AttrNames()
+	if len(names) != 3 || names[0] != "suppkey" {
+		t.Fatalf("AttrNames = %v", names)
+	}
+	pos, err := s.Positions([]string{"nationkey", "suppkey"})
+	if err != nil || pos[0] != 2 || pos[1] != 0 {
+		t.Fatalf("Positions = %v err=%v", pos, err)
+	}
+	if _, err := s.Positions([]string{"zzz"}); err == nil {
+		t.Fatal("expected error on unknown attribute")
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema("r", []Attr{{"a", KindInt}, {"a", KindInt}}, nil); err == nil {
+		t.Fatal("expected duplicate-attribute error")
+	}
+	if _, err := NewSchema("r", []Attr{{"a", KindInt}}, []string{"b"}); err == nil {
+		t.Fatal("expected unknown-key error")
+	}
+}
+
+func TestRelationInsertAndCounts(t *testing.T) {
+	r := NewRelation(testSchema(t))
+	r.MustInsert(Tuple{Int(1), String("acme"), Int(10)})
+	r.MustInsert(Tuple{Int(2), String("globex"), Int(20)})
+	if r.Cardinality() != 2 {
+		t.Fatalf("cardinality = %d", r.Cardinality())
+	}
+	if r.ValueCount() != 6 {
+		t.Fatalf("value count = %d", r.ValueCount())
+	}
+	if err := r.Insert(Tuple{Int(3)}); err == nil {
+		t.Fatal("expected arity error")
+	}
+	if r.SizeBytes() <= 0 {
+		t.Fatal("size must be positive")
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	d := NewDatabase()
+	r := NewRelation(testSchema(t))
+	r.MustInsert(Tuple{Int(1), String("acme"), Int(10)})
+	d.Add(r)
+	if d.Relation("supplier") != r {
+		t.Fatal("lookup failed")
+	}
+	if d.Schema("supplier") != r.Schema {
+		t.Fatal("schema lookup failed")
+	}
+	if d.Relation("nope") != nil || d.Schema("nope") != nil {
+		t.Fatal("expected nil for unknown relation")
+	}
+	if d.Cardinality() != 1 || d.ValueCount() != 3 {
+		t.Fatalf("counts: |D|=%d ||D||=%d", d.Cardinality(), d.ValueCount())
+	}
+	if got := d.Names(); len(got) != 1 || got[0] != "supplier" {
+		t.Fatalf("Names = %v", got)
+	}
+	if got := d.Schemas(); len(got) != 1 {
+		t.Fatalf("Schemas = %v", got)
+	}
+}
+
+func TestTupleOps(t *testing.T) {
+	a := Tuple{Int(1), String("x"), Float(2)}
+	if got := a.Project([]int{2, 0}); !got.Equal(Tuple{Float(2), Int(1)}) {
+		t.Fatalf("Project = %v", got)
+	}
+	b := a.Clone()
+	b[0] = Int(9)
+	if a[0].Int != 1 {
+		t.Fatal("Clone must not alias")
+	}
+	c := a.Concat(Tuple{Null()})
+	if len(c) != 4 || !c[3].IsNull() {
+		t.Fatalf("Concat = %v", c)
+	}
+	if a.Compare(b) >= 0 {
+		t.Fatal("(1,..) should sort before (9,..)")
+	}
+	if a.Compare(a[:2]) <= 0 {
+		t.Fatal("longer tuple with equal prefix sorts after")
+	}
+}
+
+func TestValueCompareMixedNumeric(t *testing.T) {
+	if Compare(Int(2), Float(2.0)) != 0 {
+		t.Fatal("2 == 2.0")
+	}
+	if Compare(Int(2), Float(2.5)) != -1 {
+		t.Fatal("2 < 2.5")
+	}
+	if Compare(Null(), Int(0)) != -1 {
+		t.Fatal("NULL sorts first")
+	}
+	if Compare(String("a"), Int(1)) != 1 {
+		t.Fatal("strings sort after ints across kinds")
+	}
+}

@@ -1,0 +1,162 @@
+// Package relation provides the relational substrate shared by every layer
+// of the Zidian reproduction: typed values, tuples, relation schemas,
+// in-memory relations and databases, and an order-preserving tuple codec
+// used for KV keys and block payloads.
+package relation
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// Value kinds. The numeric order of the constants is also the cross-kind
+// sort order used by Compare and by the order-preserving codec.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+)
+
+// String returns a human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed SQL value. It is a comparable struct (no
+// slices or maps) so it can be used directly as a map key.
+type Value struct {
+	Kind Kind
+	Int  int64
+	Flt  float64
+	Str  string
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{Kind: KindNull} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{Kind: KindInt, Int: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{Kind: KindFloat, Flt: f} }
+
+// String returns a string value.
+func String(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// AsFloat converts numeric values to float64. Strings and nulls yield 0.
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.Int)
+	case KindFloat:
+		return v.Flt
+	default:
+		return 0
+	}
+}
+
+// AsInt converts numeric values to int64 (truncating floats).
+func (v Value) AsInt() int64 {
+	switch v.Kind {
+	case KindInt:
+		return v.Int
+	case KindFloat:
+		return int64(v.Flt)
+	default:
+		return 0
+	}
+}
+
+// Compare orders two values. Numeric values (int and float) compare
+// numerically across kinds; otherwise values of different kinds order by
+// Kind. NULL sorts before everything.
+func Compare(a, b Value) int {
+	an, bn := a.Kind == KindInt || a.Kind == KindFloat, b.Kind == KindInt || b.Kind == KindFloat
+	if an && bn {
+		if a.Kind == KindInt && b.Kind == KindInt {
+			switch {
+			case a.Int < b.Int:
+				return -1
+			case a.Int > b.Int:
+				return 1
+			}
+			return 0
+		}
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	}
+	if a.Kind != b.Kind {
+		if a.Kind < b.Kind {
+			return -1
+		}
+		return 1
+	}
+	if a.Kind == KindString {
+		switch {
+		case a.Str < b.Str:
+			return -1
+		case a.Str > b.Str:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Equal reports whether two values are equal under Compare semantics.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// String renders the value for display and debugging.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Flt, 'g', -1, 64)
+	case KindString:
+		return v.Str
+	default:
+		return "?"
+	}
+}
+
+// SizeBytes is the accounting size of a value: the number of bytes the
+// value occupies when shipped between the storage and SQL layers. It is
+// used by the experiment harness to report communication volumes.
+func (v Value) SizeBytes() int {
+	switch v.Kind {
+	case KindNull:
+		return 1
+	case KindInt, KindFloat:
+		return 8
+	case KindString:
+		return len(v.Str) + 1
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,189 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"zidian/internal/relation"
+)
+
+// Col is a possibly alias-qualified column reference "alias.attr" or "attr".
+type Col struct {
+	Table string // alias; empty when unqualified
+	Name  string
+}
+
+// String renders the column reference.
+func (c Col) String() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// AggFunc names an aggregate function.
+type AggFunc string
+
+// Supported aggregate functions.
+const (
+	AggNone  AggFunc = ""
+	AggSum   AggFunc = "SUM"
+	AggCount AggFunc = "COUNT"
+	AggMin   AggFunc = "MIN"
+	AggMax   AggFunc = "MAX"
+	AggAvg   AggFunc = "AVG"
+)
+
+// SelectItem is one output column: a plain column, or an aggregate over a
+// column (Star for COUNT(*)).
+type SelectItem struct {
+	Agg   AggFunc
+	Col   Col
+	Star  bool   // COUNT(*)
+	Alias string // output name; optional
+}
+
+// String renders the select item.
+func (s SelectItem) String() string {
+	var b strings.Builder
+	switch {
+	case s.Agg != AggNone && s.Star:
+		fmt.Fprintf(&b, "%s(*)", s.Agg)
+	case s.Agg != AggNone:
+		fmt.Fprintf(&b, "%s(%s)", s.Agg, s.Col)
+	default:
+		b.WriteString(s.Col.String())
+	}
+	if s.Alias != "" {
+		fmt.Fprintf(&b, " AS %s", s.Alias)
+	}
+	return b.String()
+}
+
+// TableRef is one FROM-clause entry.
+type TableRef struct {
+	Name  string
+	Alias string // defaults to Name
+}
+
+// CmpOp is a comparison operator in a predicate.
+type CmpOp string
+
+// Comparison operators.
+const (
+	OpEq CmpOp = "="
+	OpNe CmpOp = "<>"
+	OpLt CmpOp = "<"
+	OpLe CmpOp = "<="
+	OpGt CmpOp = ">"
+	OpGe CmpOp = ">="
+)
+
+// Pred is one conjunct of the WHERE clause. Exactly one of RHS column / RHS
+// literal / In list is set (BETWEEN is desugared into two conjuncts by the
+// parser).
+type Pred struct {
+	Left  Col
+	Op    CmpOp
+	Right *Col            // column RHS (join or self predicate)
+	Lit   *relation.Value // literal RHS
+	In    []relation.Value
+}
+
+// String renders the predicate.
+func (p Pred) String() string {
+	switch {
+	case len(p.In) > 0:
+		parts := make([]string, len(p.In))
+		for i, v := range p.In {
+			parts[i] = v.String()
+		}
+		return fmt.Sprintf("%s IN (%s)", p.Left, strings.Join(parts, ", "))
+	case p.Right != nil:
+		return fmt.Sprintf("%s %s %s", p.Left, p.Op, *p.Right)
+	case p.Lit != nil:
+		return fmt.Sprintf("%s %s %s", p.Left, p.Op, p.Lit)
+	default:
+		return p.Left.String()
+	}
+}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Col  Col
+	Desc bool
+}
+
+// Query is the AST of a parsed SELECT statement.
+type Query struct {
+	Distinct bool
+	Items    []SelectItem
+	Star     bool // SELECT *
+	From     []TableRef
+	Where    []Pred
+	GroupBy  []Col
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+// String renders the query in SQL-ish form (for plans and error messages).
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if q.Star {
+		b.WriteString("*")
+	}
+	for i, it := range q.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString(" FROM ")
+	for i, t := range q.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Name)
+		if t.Alias != t.Name {
+			b.WriteString(" AS " + t.Alias)
+		}
+	}
+	if len(q.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, p := range q.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(p.String())
+		}
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, c := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range q.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Col.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}

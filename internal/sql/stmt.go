@@ -1,0 +1,165 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"zidian/internal/relation"
+)
+
+// Insert is a parsed "INSERT INTO table VALUES (...), (...)" statement.
+type Insert struct {
+	Table string
+	Rows  [][]relation.Value
+}
+
+// Delete is a parsed "DELETE FROM table [WHERE conj]" statement. The WHERE
+// clause uses the same conjunctive predicate grammar as SELECT, with
+// unqualified or table-qualified column references.
+type Delete struct {
+	Table string
+	Where []Pred
+}
+
+// Statement is a parsed SQL statement: *Query, *Insert, or *Delete.
+type Statement interface{ isStatement() }
+
+func (*Query) isStatement()  {}
+func (*Insert) isStatement() {}
+func (*Delete) isStatement() {}
+
+// ParseStatement parses one SELECT, INSERT or DELETE statement.
+func ParseStatement(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmt Statement
+	switch {
+	case p.peekKeyword("SELECT"):
+		stmt, err = p.parseQuery()
+	case p.peekKeyword("INSERT"):
+		stmt, err = p.parseInsert()
+	case p.peekKeyword("DELETE"):
+		stmt, err = p.parseDelete()
+	default:
+		return nil, fmt.Errorf("sql: expected SELECT, INSERT or DELETE, found %s", p.peek())
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sql: trailing input at %s", p.peek())
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseInsert() (*Insert, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	for {
+		if _, err := p.expect(tokLParen, "("); err != nil {
+			return nil, err
+		}
+		var row []relation.Value
+		for {
+			v, err := p.parseLit()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	return ins, nil
+}
+
+func (p *parser) parseDelete() (*Delete, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: table}
+	if p.keyword("WHERE") {
+		for {
+			preds, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			del.Where = append(del.Where, preds...)
+			if !p.keyword("AND") {
+				break
+			}
+		}
+	}
+	return del, nil
+}
+
+// String renders the statement.
+func (i *Insert) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INSERT INTO %s VALUES ", i.Table)
+	for ri, row := range i.Rows {
+		if ri > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('(')
+		for vi, v := range row {
+			if vi > 0 {
+				b.WriteString(", ")
+			}
+			if v.Kind == relation.KindString {
+				fmt.Fprintf(&b, "'%s'", strings.ReplaceAll(v.Str, "'", "''"))
+			} else {
+				b.WriteString(v.String())
+			}
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// String renders the statement.
+func (d *Delete) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DELETE FROM %s", d.Table)
+	for i, pr := range d.Where {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(pr.String())
+	}
+	return b.String()
+}

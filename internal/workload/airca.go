@@ -1,0 +1,270 @@
+package workload
+
+import (
+	"fmt"
+
+	"zidian/internal/baav"
+	"zidian/internal/relation"
+)
+
+// The AIRCA workload stands in for the paper's US air-carrier dataset
+// (flight on-time performance joined with carrier statistics): 7 tables,
+// Zipf-skewed carriers and airports. Per-carrier fan-outs (fleet, routes,
+// monthly statistics) and per-flight fan-outs (delays) are bounded by
+// construction, making the q1–q6 templates bounded queries.
+const (
+	aircaCarriers           = 20
+	aircaAirports           = 60
+	aircaFleetPer           = 8
+	aircaRoutesPer          = 20
+	aircaMonths             = 24
+	aircaFlights            = 4000
+	aircaMaxDelaysPerFlight = 3
+)
+
+var (
+	aircaCodes     = []string{"AA", "DL", "UA", "WN", "B6", "AS", "NK", "F9", "HA", "G4", "SY", "XP", "MX", "KS", "ZW", "OO", "YX", "9E", "QX", "PT"}
+	aircaAlliances = []string{"ONEWORLD", "SKYTEAM", "STAR", "NONE"}
+	aircaMakers    = []string{"BOEING", "AIRBUS", "EMBRAER", "BOMBARDIER"}
+	aircaModels    = []string{"737-800", "A320", "A321", "E175", "CRJ900", "757-200", "787-9", "A220"}
+	aircaCauses    = []string{"CARRIER", "WEATHER", "NAS", "SECURITY", "LATE AIRCRAFT"}
+	aircaStates    = []string{"CA", "TX", "FL", "NY", "IL", "GA", "CO", "WA", "AZ", "NC", "VA", "MA"}
+)
+
+// AIRCASchemas returns the seven AIRCA relation schemas.
+func AIRCASchemas() []*relation.Schema {
+	return []*relation.Schema{
+		relation.MustSchema("CARRIER", []relation.Attr{
+			intAttr("carrier_id"), strAttr("code"), strAttr("name"), strAttr("country"),
+			strAttr("alliance"), intAttr("founded"), intAttr("fleet_size"), strAttr("hub"),
+		}, []string{"carrier_id"}),
+		relation.MustSchema("AIRPORT", []relation.Attr{
+			intAttr("airport_id"), strAttr("iata"), strAttr("city"), strAttr("state"),
+			strAttr("country"), intAttr("elevation"), intAttr("runways"), strAttr("tz"),
+		}, []string{"airport_id"}),
+		relation.MustSchema("AIRCRAFT", []relation.Attr{
+			intAttr("aircraft_id"), intAttr("carrier_id"), strAttr("model"),
+			strAttr("manufacturer"), intAttr("seats"), intAttr("range_km"), intAttr("year"),
+		}, []string{"aircraft_id"}),
+		relation.MustSchema("ROUTE", []relation.Attr{
+			intAttr("route_id"), intAttr("carrier_id"), intAttr("origin_id"),
+			intAttr("dest_id"), intAttr("distance"), intAttr("intl"),
+		}, []string{"route_id"}),
+		relation.MustSchema("FLIGHT", []relation.Attr{
+			intAttr("flight_id"), intAttr("route_id"), intAttr("aircraft_id"),
+			intAttr("carrier_id"), strAttr("flight_date"), intAttr("dep_delay"),
+			intAttr("arr_delay"), intAttr("cancelled"), intAttr("diverted"),
+			intAttr("air_time"), intAttr("taxi_out"), intAttr("taxi_in"),
+		}, []string{"flight_id"}),
+		relation.MustSchema("DELAY", []relation.Attr{
+			intAttr("delay_id"), intAttr("flight_id"), strAttr("cause"),
+			intAttr("minutes"), intAttr("weather_related"),
+		}, []string{"delay_id"}),
+		relation.MustSchema("MONTHLY", []relation.Attr{
+			intAttr("month_id"), intAttr("carrier_id"), strAttr("ym"), intAttr("flights"),
+			intAttr("passengers"), floatAttr("revenue"), floatAttr("load_factor"),
+			floatAttr("on_time_pct"),
+		}, []string{"month_id"}),
+	}
+}
+
+// AIRCA generates the synthetic air-carrier workload.
+func AIRCA(spec Spec) *Workload {
+	r := spec.rand()
+	db := relation.NewDatabase()
+	rels := make(map[string]*relation.Relation)
+	for _, s := range AIRCASchemas() {
+		rel := relation.NewRelation(s)
+		db.Add(rel)
+		rels[s.Name] = rel
+	}
+
+	nCar := aircaCarriers // fixed small domain, like the real data
+	nAir := spec.scaled(aircaAirports)
+	for c := 0; c < nCar; c++ {
+		rels["CARRIER"].MustInsert(relation.Tuple{
+			relation.Int(int64(c)),
+			relation.String(aircaCodes[c%len(aircaCodes)]),
+			relation.String(fmt.Sprintf("Carrier %s", aircaCodes[c%len(aircaCodes)])),
+			relation.String("US"),
+			relation.String(pickZipf(r, aircaAlliances, 1.3)),
+			relation.Int(int64(1930 + r.Intn(80))),
+			relation.Int(int64(aircaFleetPer)),
+			relation.String(fmt.Sprintf("HUB%02d", r.Intn(nAir))),
+		})
+		for a := 0; a < aircaFleetPer; a++ {
+			rels["AIRCRAFT"].MustInsert(relation.Tuple{
+				relation.Int(int64(c*aircaFleetPer + a)),
+				relation.Int(int64(c)),
+				relation.String(pickZipf(r, aircaModels, 1.3)),
+				relation.String(pickZipf(r, aircaMakers, 1.4)),
+				relation.Int(int64(70 + 10*r.Intn(20))),
+				relation.Int(int64(2000 + 500*r.Intn(12))),
+				relation.Int(int64(1998 + r.Intn(22))),
+			})
+		}
+		for rt := 0; rt < aircaRoutesPer; rt++ {
+			origin := zipfN(r, nAir, 1.4)
+			dest := (origin + 1 + r.Intn(nAir-1)) % nAir
+			rels["ROUTE"].MustInsert(relation.Tuple{
+				relation.Int(int64(c*aircaRoutesPer + rt)),
+				relation.Int(int64(c)),
+				relation.Int(int64(origin)),
+				relation.Int(int64(dest)),
+				relation.Int(int64(200 + r.Intn(4000))),
+				relation.Int(int64(r.Intn(2))),
+			})
+		}
+		for m := 0; m < aircaMonths; m++ {
+			rels["MONTHLY"].MustInsert(relation.Tuple{
+				relation.Int(int64(c*aircaMonths + m)),
+				relation.Int(int64(c)),
+				relation.String(fmt.Sprintf("%04d-%02d", 2000+m/12, 1+m%12)),
+				relation.Int(int64(500 + r.Intn(4000))),
+				relation.Int(int64(40000 + r.Intn(400000))),
+				relation.Float(float64(1_000_000 + r.Intn(80_000_000))),
+				relation.Float(0.5 + float64(r.Intn(45))/100),
+				relation.Float(0.6 + float64(r.Intn(39))/100),
+			})
+		}
+	}
+	for a := 0; a < nAir; a++ {
+		rels["AIRPORT"].MustInsert(relation.Tuple{
+			relation.Int(int64(a)),
+			relation.String(fmt.Sprintf("AP%03d", a)),
+			relation.String(fmt.Sprintf("City%03d", a)),
+			relation.String(pick(r, aircaStates)),
+			relation.String("US"),
+			relation.Int(int64(r.Intn(7000))),
+			relation.Int(int64(1 + r.Intn(6))),
+			relation.String(fmt.Sprintf("UTC-%d", 4+r.Intn(5))),
+		})
+	}
+	nFlights := spec.scaled(aircaFlights)
+	for f := 0; f < nFlights; f++ {
+		carrier := zipfN(r, nCar, 1.5) // skewed: big carriers fly more
+		route := carrier*aircaRoutesPer + r.Intn(aircaRoutesPer)
+		dep := r.Intn(120) - 15
+		cancelled := 0
+		if r.Intn(50) == 0 {
+			cancelled = 1
+		}
+		rels["FLIGHT"].MustInsert(relation.Tuple{
+			relation.Int(int64(f)),
+			relation.Int(int64(route)),
+			relation.Int(int64(carrier*aircaFleetPer + r.Intn(aircaFleetPer))),
+			relation.Int(int64(carrier)),
+			relation.String(date(2000+r.Intn(2), r.Intn(12), r.Intn(28))),
+			relation.Int(int64(dep)),
+			relation.Int(int64(dep + r.Intn(40) - 15)),
+			relation.Int(int64(cancelled)),
+			relation.Int(int64(r.Intn(100) / 99)),
+			relation.Int(int64(40 + r.Intn(300))),
+			relation.Int(int64(5 + r.Intn(30))),
+			relation.Int(int64(2 + r.Intn(15))),
+		})
+		if dep > 15 {
+			delays := 1 + r.Intn(aircaMaxDelaysPerFlight)
+			for d := 0; d < delays; d++ {
+				rels["DELAY"].MustInsert(relation.Tuple{
+					relation.Int(int64(f*aircaMaxDelaysPerFlight + d)),
+					relation.Int(int64(f)),
+					relation.String(pickZipf(r, aircaCauses, 1.4)),
+					relation.Int(int64(5 + r.Intn(120))),
+					relation.Int(int64(r.Intn(2))),
+				})
+			}
+		}
+	}
+
+	return &Workload{
+		Name:    "airca",
+		DB:      db,
+		Schema:  aircaBaaVSchema(db),
+		Queries: aircaQueries(),
+	}
+}
+
+func aircaBaaVSchema(db *relation.Database) *baav.Schema {
+	return baav.MustSchema(baav.RelSchemas(db),
+		baav.KVSchema{Name: "carrier_full", Rel: "CARRIER", Key: []string{"carrier_id"},
+			Val: []string{"code", "name", "country", "alliance", "founded", "fleet_size", "hub"}},
+		baav.KVSchema{Name: "carrier_by_code", Rel: "CARRIER", Key: []string{"code"},
+			Val: []string{"carrier_id", "name", "alliance", "founded"}},
+		baav.KVSchema{Name: "airport_full", Rel: "AIRPORT", Key: []string{"airport_id"},
+			Val: []string{"iata", "city", "state", "country", "elevation", "runways", "tz"}},
+		baav.KVSchema{Name: "aircraft_by_carrier", Rel: "AIRCRAFT", Key: []string{"carrier_id"},
+			Val: []string{"aircraft_id", "model", "manufacturer", "seats", "range_km", "year"}},
+		baav.KVSchema{Name: "route_by_carrier", Rel: "ROUTE", Key: []string{"carrier_id"},
+			Val: []string{"route_id", "origin_id", "dest_id", "distance", "intl"}},
+		baav.KVSchema{Name: "flight_full", Rel: "FLIGHT", Key: []string{"flight_id"},
+			Val: []string{"route_id", "aircraft_id", "carrier_id", "flight_date", "dep_delay", "arr_delay", "cancelled", "diverted", "air_time", "taxi_out", "taxi_in"}},
+		baav.KVSchema{Name: "delay_by_flight", Rel: "DELAY", Key: []string{"flight_id"},
+			Val: []string{"delay_id", "cause", "minutes", "weather_related"}},
+		baav.KVSchema{Name: "monthly_by_carrier", Rel: "MONTHLY", Key: []string{"carrier_id"},
+			Val: []string{"month_id", "ym", "flights", "passengers", "revenue", "load_factor", "on_time_pct"}},
+		// flight_by_carrier answers the per-carrier delay aggregate (aq08)
+		// from per-block statistics headers alone.
+		baav.KVSchema{Name: "flight_by_carrier", Rel: "FLIGHT", Key: []string{"carrier_id"},
+			Val: []string{"dep_delay", "air_time"}},
+	)
+}
+
+// aircaQueries: q1–q6 scan-free and bounded (carrier/flight keyed chains
+// with fixed fan-outs); q7–q12 not scan-free.
+func aircaQueries() []Query {
+	return []Query{
+		{Name: "aq01_carrier_profile", ScanFree: true, Bounded: true, SQL: `
+			select C.name, C.alliance, M.ym, M.on_time_pct
+			from CARRIER C, MONTHLY M
+			where C.code = 'DL' and M.carrier_id = C.carrier_id and M.ym >= '2001-01'`},
+		{Name: "aq02_carrier_fleet", ScanFree: true, Bounded: true, SQL: `
+			select A.model, A.manufacturer, A.seats
+			from CARRIER C, AIRCRAFT A
+			where C.code = 'AA' and A.carrier_id = C.carrier_id`},
+		{Name: "aq03_carrier_long_routes", ScanFree: true, Bounded: true, SQL: `
+			select R.route_id, R.distance
+			from CARRIER C, ROUTE R
+			where C.code = 'UA' and R.carrier_id = C.carrier_id and R.distance > 2000`},
+		{Name: "aq04_flight_delays", ScanFree: true, Bounded: true, SQL: `
+			select F.flight_date, F.dep_delay, D.cause, D.minutes
+			from FLIGHT F, DELAY D
+			where F.flight_id = 77 and D.flight_id = F.flight_id`},
+		{Name: "aq05_carrier_monthly_stats", ScanFree: true, Bounded: true, SQL: `
+			select COUNT(*), AVG(M.load_factor), MAX(M.on_time_pct)
+			from CARRIER C, MONTHLY M
+			where C.code = 'WN' and M.carrier_id = C.carrier_id`},
+		{Name: "aq06_carrier_route_airports", ScanFree: true, Bounded: true, SQL: `
+			select R.route_id, P.iata, P.city
+			from CARRIER C, ROUTE R, AIRPORT P
+			where C.code = 'B6' and R.carrier_id = C.carrier_id
+			  and P.airport_id = R.origin_id`},
+		{Name: "aq07_delay_causes", ScanFree: false, SQL: `
+			select D.cause, COUNT(*), SUM(D.minutes)
+			from DELAY D group by D.cause`},
+		{Name: "aq08_delay_by_carrier", ScanFree: false, SQL: `
+			select F.carrier_id, AVG(F.dep_delay), COUNT(*)
+			from FLIGHT F
+			group by F.carrier_id`},
+		{Name: "aq09_cancellations", ScanFree: false, SQL: `
+			select COUNT(*)
+			from FLIGHT F
+			where F.cancelled = 1 and F.flight_date >= '2001-01-01'`},
+		{Name: "aq10_weather_delays", ScanFree: false, SQL: `
+			select D.cause, COUNT(*)
+			from DELAY D, FLIGHT F
+			where D.flight_id = F.flight_id and D.weather_related = 1
+			group by D.cause`},
+		{Name: "aq11_route_utilization", ScanFree: false, SQL: `
+			select F.route_id, COUNT(*), AVG(F.air_time)
+			from FLIGHT F
+			where F.cancelled = 0
+			group by F.route_id
+			order by F.route_id limit 10`},
+		{Name: "aq12_fleet_age", ScanFree: false, SQL: `
+			select A.manufacturer, COUNT(*), MIN(A.year)
+			from AIRCRAFT A
+			where A.seats >= 100
+			group by A.manufacturer`},
+	}
+}

@@ -1,0 +1,297 @@
+package workload
+
+import (
+	"fmt"
+
+	"zidian/internal/baav"
+	"zidian/internal/relation"
+)
+
+// TPC-H base cardinalities at scale 1.0. Region and nation are fixed-size
+// as in the spec; everything else scales linearly (lineitem cardinality
+// emerges from orders × lines-per-order).
+const (
+	tpchSuppliers = 100
+	tpchParts     = 400
+	tpchCustomers = 300
+	tpchOrders    = 1500
+)
+
+var (
+	tpchRegions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	tpchNations = []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+		"GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+		"MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+		"VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+	}
+	// nationRegion maps each nation to its region index per the TPC-H spec.
+	tpchNationRegion = []int{0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1}
+
+	tpchSegments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	tpchPriorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	tpchShipModes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	tpchBrands     = []string{"Brand#11", "Brand#12", "Brand#13", "Brand#21", "Brand#22", "Brand#23", "Brand#31", "Brand#32", "Brand#41", "Brand#55"}
+	tpchContainers = []string{"SM CASE", "SM BOX", "MED BOX", "MED BAG", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP CASE"}
+	tpchTypes      = []string{"STANDARD ANODIZED TIN", "SMALL PLATED COPPER", "MEDIUM BRUSHED NICKEL", "ECONOMY BURNISHED STEEL", "PROMO POLISHED BRASS", "LARGE BURNISHED COPPER"}
+	tpchInstructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+)
+
+func intAttr(n string) relation.Attr   { return relation.Attr{Name: n, Kind: relation.KindInt} }
+func strAttr(n string) relation.Attr   { return relation.Attr{Name: n, Kind: relation.KindString} }
+func floatAttr(n string) relation.Attr { return relation.Attr{Name: n, Kind: relation.KindFloat} }
+
+// TPCHSchemas returns the eight TPC-H relation schemas (61 attributes).
+func TPCHSchemas() []*relation.Schema {
+	return []*relation.Schema{
+		relation.MustSchema("REGION",
+			[]relation.Attr{intAttr("regionkey"), strAttr("name"), strAttr("comment")},
+			[]string{"regionkey"}),
+		relation.MustSchema("NATION",
+			[]relation.Attr{intAttr("nationkey"), strAttr("name"), intAttr("regionkey"), strAttr("comment")},
+			[]string{"nationkey"}),
+		relation.MustSchema("SUPPLIER",
+			[]relation.Attr{intAttr("suppkey"), strAttr("name"), strAttr("address"), intAttr("nationkey"), strAttr("phone"), floatAttr("acctbal"), strAttr("comment")},
+			[]string{"suppkey"}),
+		relation.MustSchema("PART",
+			[]relation.Attr{intAttr("partkey"), strAttr("name"), strAttr("mfgr"), strAttr("brand"), strAttr("type"), intAttr("size"), strAttr("container"), floatAttr("retailprice"), strAttr("comment")},
+			[]string{"partkey"}),
+		relation.MustSchema("PARTSUPP",
+			[]relation.Attr{intAttr("partkey"), intAttr("suppkey"), intAttr("availqty"), floatAttr("supplycost"), strAttr("comment")},
+			[]string{"partkey", "suppkey"}),
+		relation.MustSchema("CUSTOMER",
+			[]relation.Attr{intAttr("custkey"), strAttr("name"), strAttr("address"), intAttr("nationkey"), strAttr("phone"), floatAttr("acctbal"), strAttr("mktsegment"), strAttr("comment")},
+			[]string{"custkey"}),
+		relation.MustSchema("ORDERS",
+			[]relation.Attr{intAttr("orderkey"), intAttr("custkey"), strAttr("orderstatus"), floatAttr("totalprice"), strAttr("orderdate"), strAttr("orderpriority"), strAttr("clerk"), intAttr("shippriority"), strAttr("comment")},
+			[]string{"orderkey"}),
+		relation.MustSchema("LINEITEM",
+			[]relation.Attr{intAttr("orderkey"), intAttr("partkey"), intAttr("suppkey"), intAttr("linenumber"), intAttr("quantity"), floatAttr("extendedprice"), intAttr("discount"), intAttr("tax"), strAttr("returnflag"), strAttr("linestatus"), strAttr("shipdate"), strAttr("commitdate"), strAttr("receiptdate"), strAttr("shipinstruct"), strAttr("shipmode"), strAttr("comment")},
+			[]string{"orderkey", "linenumber"}),
+	}
+}
+
+// TPCH generates the benchmark database (dbgen-like, uniform distributions
+// — TPC-H is deliberately skew-free) with its query suite and BaaV schema.
+func TPCH(spec Spec) *Workload {
+	r := spec.rand()
+	schemas := TPCHSchemas()
+	db := relation.NewDatabase()
+	rels := make(map[string]*relation.Relation)
+	for _, s := range schemas {
+		rel := relation.NewRelation(s)
+		db.Add(rel)
+		rels[s.Name] = rel
+	}
+
+	for i, name := range tpchRegions {
+		rels["REGION"].MustInsert(relation.Tuple{
+			relation.Int(int64(i)), relation.String(name), relation.String("region comment"),
+		})
+	}
+	for i, name := range tpchNations {
+		rels["NATION"].MustInsert(relation.Tuple{
+			relation.Int(int64(i)), relation.String(name),
+			relation.Int(int64(tpchNationRegion[i])), relation.String("nation comment"),
+		})
+	}
+	nSupp := spec.scaled(tpchSuppliers)
+	for i := 0; i < nSupp; i++ {
+		rels["SUPPLIER"].MustInsert(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.String(fmt.Sprintf("Supplier#%06d", i)),
+			relation.String(fmt.Sprintf("addr-%d", r.Intn(10000))),
+			relation.Int(int64(r.Intn(len(tpchNations)))),
+			relation.String(fmt.Sprintf("%02d-%07d", r.Intn(99), r.Intn(1_000_0000))),
+			relation.Float(float64(r.Intn(1_000_000))/100 - 1000),
+			relation.String("supplier comment"),
+		})
+	}
+	nPart := spec.scaled(tpchParts)
+	for i := 0; i < nPart; i++ {
+		rels["PART"].MustInsert(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.String(fmt.Sprintf("part %d", i)),
+			relation.String(fmt.Sprintf("Manufacturer#%d", 1+r.Intn(5))),
+			relation.String(pick(r, tpchBrands)),
+			relation.String(pick(r, tpchTypes)),
+			relation.Int(int64(1 + r.Intn(50))),
+			relation.String(pick(r, tpchContainers)),
+			relation.Float(900 + float64(i%200)),
+			relation.String("part comment"),
+		})
+		// Four suppliers per part, as in the spec.
+		for j := 0; j < 4; j++ {
+			rels["PARTSUPP"].MustInsert(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.Int(int64((i + j*(nSupp/4+1)) % nSupp)),
+				relation.Int(int64(1 + r.Intn(9999))),
+				relation.Float(float64(1+r.Intn(100000)) / 100),
+				relation.String("partsupp comment"),
+			})
+		}
+	}
+	nCust := spec.scaled(tpchCustomers)
+	for i := 0; i < nCust; i++ {
+		rels["CUSTOMER"].MustInsert(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.String(fmt.Sprintf("Customer#%06d", i)),
+			relation.String(fmt.Sprintf("addr-%d", r.Intn(10000))),
+			relation.Int(int64(r.Intn(len(tpchNations)))),
+			relation.String(fmt.Sprintf("%02d-%07d", r.Intn(99), r.Intn(1_000_0000))),
+			relation.Float(float64(r.Intn(1_000_000))/100 - 1000),
+			relation.String(pick(r, tpchSegments)),
+			relation.String("customer comment"),
+		})
+	}
+	nOrders := spec.scaled(tpchOrders)
+	for i := 0; i < nOrders; i++ {
+		year := 1992 + r.Intn(7)
+		odate := date(year, r.Intn(12), r.Intn(28))
+		rels["ORDERS"].MustInsert(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.Int(int64(r.Intn(nCust))),
+			relation.String(pick(r, []string{"O", "F", "P"})),
+			relation.Float(float64(1000 + r.Intn(400000))),
+			relation.String(odate),
+			relation.String(pick(r, tpchPriorities)),
+			relation.String(fmt.Sprintf("Clerk#%05d", r.Intn(1000))),
+			relation.Int(0),
+			relation.String("order comment"),
+		})
+		lines := 1 + r.Intn(7)
+		for ln := 0; ln < lines; ln++ {
+			ship := date(year, r.Intn(12), r.Intn(28))
+			rels["LINEITEM"].MustInsert(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.Int(int64(r.Intn(nPart))),
+				relation.Int(int64(r.Intn(nSupp))),
+				relation.Int(int64(ln)),
+				relation.Int(int64(1 + r.Intn(50))),
+				relation.Float(float64(1000+r.Intn(90000)) / 10),
+				relation.Int(int64(r.Intn(11))),
+				relation.Int(int64(r.Intn(9))),
+				relation.String(pick(r, []string{"A", "N", "R"})),
+				relation.String(pick(r, []string{"O", "F"})),
+				relation.String(ship),
+				relation.String(date(year, r.Intn(12), r.Intn(28))),
+				relation.String(date(year, r.Intn(12), r.Intn(28))),
+				relation.String(pick(r, tpchInstructs)),
+				relation.String(pick(r, tpchShipModes)),
+				relation.String("lineitem comment"),
+			})
+		}
+	}
+
+	return &Workload{
+		Name:    "tpch",
+		DB:      db,
+		Schema:  tpchBaaVSchema(db),
+		Queries: tpchQueries(),
+	}
+}
+
+// tpchBaaVSchema is the BaaV schema derived for the TPC-H query suite (the
+// paper extracted 64 KV schemas for its 22 queries; this suite needs 17).
+// The storage budget is roughly 3.5× the dataset, as in Section 9.
+func tpchBaaVSchema(db *relation.Database) *baav.Schema {
+	return baav.MustSchema(baav.RelSchemas(db),
+		baav.KVSchema{Name: "region_by_name", Rel: "REGION", Key: []string{"name"}, Val: []string{"regionkey"}},
+		baav.KVSchema{Name: "nation_full", Rel: "NATION", Key: []string{"nationkey"}, Val: []string{"name", "regionkey", "comment"}},
+		baav.KVSchema{Name: "nation_by_name", Rel: "NATION", Key: []string{"name"}, Val: []string{"nationkey", "regionkey"}},
+		baav.KVSchema{Name: "nation_by_region", Rel: "NATION", Key: []string{"regionkey"}, Val: []string{"nationkey", "name"}},
+		baav.KVSchema{Name: "supplier_full", Rel: "SUPPLIER", Key: []string{"suppkey"}, Val: []string{"name", "address", "nationkey", "phone", "acctbal", "comment"}},
+		baav.KVSchema{Name: "supplier_by_nation", Rel: "SUPPLIER", Key: []string{"nationkey"}, Val: []string{"suppkey", "name", "acctbal"}},
+		baav.KVSchema{Name: "part_full", Rel: "PART", Key: []string{"partkey"}, Val: []string{"name", "mfgr", "brand", "type", "size", "container", "retailprice", "comment"}},
+		baav.KVSchema{Name: "part_by_brand", Rel: "PART", Key: []string{"brand"}, Val: []string{"partkey", "container", "size", "type", "retailprice"}},
+		baav.KVSchema{Name: "partsupp_by_supp", Rel: "PARTSUPP", Key: []string{"suppkey"}, Val: []string{"partkey", "supplycost", "availqty"}},
+		baav.KVSchema{Name: "partsupp_by_part", Rel: "PARTSUPP", Key: []string{"partkey"}, Val: []string{"suppkey", "supplycost", "availqty"}},
+		baav.KVSchema{Name: "customer_full", Rel: "CUSTOMER", Key: []string{"custkey"}, Val: []string{"name", "address", "nationkey", "phone", "acctbal", "mktsegment", "comment"}},
+		baav.KVSchema{Name: "customer_by_mktsegment", Rel: "CUSTOMER", Key: []string{"mktsegment"}, Val: []string{"custkey", "nationkey", "acctbal"}},
+		baav.KVSchema{Name: "orders_full", Rel: "ORDERS", Key: []string{"orderkey"}, Val: []string{"custkey", "orderstatus", "totalprice", "orderdate", "orderpriority", "clerk", "shippriority", "comment"}},
+		baav.KVSchema{Name: "orders_by_cust", Rel: "ORDERS", Key: []string{"custkey"}, Val: []string{"orderkey", "orderdate", "orderpriority", "totalprice", "orderstatus", "shippriority"}},
+		baav.KVSchema{Name: "lineitem_by_order", Rel: "LINEITEM", Key: []string{"orderkey"}, Val: []string{"linenumber", "partkey", "suppkey", "quantity", "extendedprice", "discount", "tax", "returnflag", "linestatus", "shipdate", "shipmode"}},
+		baav.KVSchema{Name: "lineitem_by_part", Rel: "LINEITEM", Key: []string{"partkey"}, Val: []string{"orderkey", "suppkey", "quantity", "extendedprice", "discount", "shipdate"}},
+		baav.KVSchema{Name: "lineitem_by_supp", Rel: "LINEITEM", Key: []string{"suppkey"}, Val: []string{"orderkey", "partkey", "quantity", "extendedprice", "discount", "shipdate", "shipmode"}},
+		baav.KVSchema{Name: "lineitem_by_shipmode", Rel: "LINEITEM", Key: []string{"shipmode"}, Val: []string{"orderkey", "shipdate", "commitdate", "extendedprice"}},
+	)
+}
+
+// tpchQueries is the TPC-H-derived suite: the subset of the 22 benchmark
+// queries expressible in the supported SQL fragment, simplified the way the
+// paper simplifies q11 in its running example. Scan-free TPC-H queries are
+// unbounded (block degrees grow with scale — Section 9).
+func tpchQueries() []Query {
+	return []Query{
+		{Name: "tq01_pricing_summary", ScanFree: false, SQL: `
+			select L.returnflag, L.linestatus, SUM(L.quantity), SUM(L.extendedprice), AVG(L.discount), COUNT(*)
+			from LINEITEM L where L.shipdate <= '1998-09-02'
+			group by L.returnflag, L.linestatus`},
+		{Name: "tq02_min_cost_supplier", ScanFree: true, SQL: `
+			select S.suppkey, S.name, S.acctbal
+			from REGION R, NATION N, SUPPLIER S
+			where R.name = 'EUROPE' and N.regionkey = R.regionkey and S.nationkey = N.nationkey`},
+		{Name: "tq03_shipping_priority", ScanFree: true, SQL: `
+			select O.orderkey, SUM(L.extendedprice)
+			from CUSTOMER C, ORDERS O, LINEITEM L
+			where C.mktsegment = 'BUILDING' and C.custkey = O.custkey
+			  and O.orderkey = L.orderkey and O.orderdate < '1995-03-15'
+			group by O.orderkey`},
+		{Name: "tq04_order_priority", ScanFree: false, SQL: `
+			select O.orderpriority, COUNT(*)
+			from ORDERS O
+			where O.orderdate >= '1994-01-01' and O.orderdate < '1995-01-01'
+			group by O.orderpriority`},
+		{Name: "tq05_local_supplier_volume", ScanFree: true, SQL: `
+			select N.name, SUM(L.extendedprice)
+			from REGION R, NATION N, SUPPLIER S, LINEITEM L
+			where R.name = 'ASIA' and N.regionkey = R.regionkey
+			  and S.nationkey = N.nationkey and L.suppkey = S.suppkey
+			group by N.name`},
+		{Name: "tq06_revenue_forecast", ScanFree: false, SQL: `
+			select SUM(L.extendedprice), COUNT(*)
+			from LINEITEM L
+			where L.shipdate >= '1994-01-01' and L.shipdate < '1995-01-01'
+			  and L.discount between 5 and 7 and L.quantity < 24`},
+		{Name: "tq07_nation_volume", ScanFree: true, SQL: `
+			select L.shipmode, SUM(L.extendedprice)
+			from NATION N, SUPPLIER S, LINEITEM L
+			where N.name = 'FRANCE' and S.nationkey = N.nationkey and L.suppkey = S.suppkey
+			group by L.shipmode`},
+		{Name: "tq08_returned_items", ScanFree: true, SQL: `
+			select C.custkey, SUM(L.extendedprice)
+			from CUSTOMER C, ORDERS O, LINEITEM L
+			where C.mktsegment = 'AUTOMOBILE' and O.custkey = C.custkey
+			  and L.orderkey = O.orderkey and L.returnflag = 'R'
+			group by C.custkey`},
+		{Name: "tq09_important_stock", ScanFree: true, SQL: `
+			select PS.suppkey, SUM(PS.supplycost)
+			from PARTSUPP PS, SUPPLIER S, NATION N
+			where PS.suppkey = S.suppkey and S.nationkey = N.nationkey and N.name = 'GERMANY'
+			group by PS.suppkey`},
+		{Name: "tq10_shipmode_priority", ScanFree: true, SQL: `
+			select O.orderpriority, COUNT(*)
+			from LINEITEM L, ORDERS O
+			where L.shipmode in ('MAIL', 'SHIP') and L.orderkey = O.orderkey
+			  and L.shipdate < L.commitdate
+			group by O.orderpriority`},
+		{Name: "tq11_discounted_brand", ScanFree: true, SQL: `
+			select SUM(L.extendedprice)
+			from PART P, LINEITEM L
+			where P.brand = 'Brand#23' and P.container = 'MED BOX'
+			  and L.partkey = P.partkey and L.quantity < 5`},
+		{Name: "tq12_promo_effect", ScanFree: false, SQL: `
+			select P.type, SUM(L.extendedprice)
+			from LINEITEM L, PART P
+			where L.partkey = P.partkey
+			  and L.shipdate >= '1995-09-01' and L.shipdate < '1995-10-01'
+			group by P.type`},
+	}
+}
+
+// PaperQ1 is the running example of the paper (Example 3): simplified
+// TPC-H q11, used by the Exp-1 case study (Table 2).
+const PaperQ1 = `select PS.suppkey, SUM(PS.supplycost)
+	from PARTSUPP as PS, SUPPLIER as S, NATION as N
+	where PS.suppkey = S.suppkey and S.nationkey = N.nationkey and N.name = 'GERMANY'
+	group by PS.suppkey`

@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"testing"
+
+	"zidian/internal/baav"
+	"zidian/internal/core"
+	"zidian/internal/kv"
+	"zidian/internal/parallel"
+	"zidian/internal/ra"
+	"zidian/internal/taav"
+)
+
+func buildStores(t *testing.T, w *Workload) (*baav.Store, *taav.Store, *core.Checker) {
+	t.Helper()
+	bv, err := baav.Map(w.DB, w.Schema, kv.NewCluster(kv.EngineHash, 4), baav.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, err := taav.Map(w.DB, kv.NewCluster(kv.EngineHash, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bv, tv, core.NewChecker(w.Schema, baav.RelSchemas(w.DB)).WithStats(bv)
+}
+
+// verifyWorkload checks, for every query of a workload: the declared
+// scan-free classification matches Condition (III); the generated plan's
+// scan-freeness matches; and Zidian (sequential + parallel) and the TaaV
+// baseline all agree with the reference evaluator.
+func verifyWorkload(t *testing.T, w *Workload) {
+	t.Helper()
+	bv, tv, checker := buildStores(t, w)
+	if len(w.Queries) != 12 {
+		t.Fatalf("%s: expected 12 queries, have %d", w.Name, len(w.Queries))
+	}
+	for _, wq := range w.Queries {
+		q, err := ra.Parse(wq.SQL, w.DB)
+		if err != nil {
+			t.Fatalf("%s/%s: parse: %v", w.Name, wq.Name, err)
+		}
+		if got := checker.ScanFree(q); got != wq.ScanFree {
+			t.Fatalf("%s/%s: ScanFree = %v, declared %v", w.Name, wq.Name, got, wq.ScanFree)
+		}
+		info, err := checker.Plan(q)
+		if err != nil {
+			t.Fatalf("%s/%s: plan: %v", w.Name, wq.Name, err)
+		}
+		if info.ScanFree != wq.ScanFree {
+			t.Fatalf("%s/%s: plan scan-freeness %v, declared %v (plan %s)",
+				w.Name, wq.Name, info.ScanFree, wq.ScanFree, info.Root)
+		}
+		want, err := ra.Evaluate(q, w.DB)
+		if err != nil {
+			t.Fatalf("%s/%s: reference: %v", w.Name, wq.Name, err)
+		}
+		got, _, err := core.Answer(info, bv)
+		if err != nil {
+			t.Fatalf("%s/%s: answer: %v", w.Name, wq.Name, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s/%s: Zidian answer differs from reference (%d vs %d rows)",
+				w.Name, wq.Name, len(got.Rows), len(want.Rows))
+		}
+		gotPar, _, err := parallel.RunKBA(info, bv, 4)
+		if err != nil {
+			t.Fatalf("%s/%s: parallel: %v", w.Name, wq.Name, err)
+		}
+		if !gotPar.Equal(want) {
+			t.Fatalf("%s/%s: parallel Zidian answer differs", w.Name, wq.Name)
+		}
+		gotBase, _, err := parallel.RunTaaV(q, tv, 4)
+		if err != nil {
+			t.Fatalf("%s/%s: baseline: %v", w.Name, wq.Name, err)
+		}
+		if !gotBase.Equal(want) {
+			t.Fatalf("%s/%s: baseline answer differs", w.Name, wq.Name)
+		}
+	}
+}
+
+func TestTPCHWorkload(t *testing.T) {
+	w := TPCH(Spec{Scale: 0.2, Seed: 7})
+	verifyWorkload(t, w)
+}
+
+func TestMOTWorkload(t *testing.T) {
+	w := MOT(Spec{Scale: 0.5, Seed: 7})
+	verifyWorkload(t, w)
+}
+
+func TestAIRCAWorkload(t *testing.T) {
+	w := AIRCA(Spec{Scale: 0.3, Seed: 7})
+	verifyWorkload(t, w)
+}
+
+func TestTPCHCardinalityRatios(t *testing.T) {
+	w := TPCH(Spec{Scale: 0.5, Seed: 1})
+	db := w.DB
+	if db.Relation("REGION").Cardinality() != 5 || db.Relation("NATION").Cardinality() != 25 {
+		t.Fatal("region/nation are fixed-size")
+	}
+	part := db.Relation("PART").Cardinality()
+	ps := db.Relation("PARTSUPP").Cardinality()
+	if ps != 4*part {
+		t.Fatalf("partsupp = %d, want 4×part = %d", ps, 4*part)
+	}
+	orders := db.Relation("ORDERS").Cardinality()
+	li := db.Relation("LINEITEM").Cardinality()
+	if li < 2*orders || li > 8*orders {
+		t.Fatalf("lineitem/orders ratio off: %d/%d", li, orders)
+	}
+	// 61 attributes across 8 relations, as in TPC-H.
+	attrs := 0
+	for _, s := range db.Schemas() {
+		attrs += len(s.Attrs)
+	}
+	if attrs != 61 {
+		t.Fatalf("attribute count = %d, want 61", attrs)
+	}
+}
+
+func TestMOTShape(t *testing.T) {
+	w := MOT(Spec{Scale: 1, Seed: 2})
+	attrs := 0
+	for _, s := range w.DB.Schemas() {
+		attrs += len(s.Attrs)
+	}
+	if attrs != 42 {
+		t.Fatalf("MOT attribute count = %d, want 42", attrs)
+	}
+	if len(w.DB.Schemas()) != 3 {
+		t.Fatal("MOT has 3 tables")
+	}
+}
+
+func TestAIRCAShape(t *testing.T) {
+	w := AIRCA(Spec{Scale: 1, Seed: 2})
+	if len(w.DB.Schemas()) != 7 {
+		t.Fatal("AIRCA has 7 tables")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MOT(Spec{Scale: 0.5, Seed: 3})
+	b := MOT(Spec{Scale: 0.5, Seed: 3})
+	if a.DB.Cardinality() != b.DB.Cardinality() {
+		t.Fatal("same seed must generate identical sizes")
+	}
+	c := MOT(Spec{Scale: 0.5, Seed: 4})
+	if a.DB.Cardinality() == c.DB.Cardinality() && a.DB.SizeBytes() == c.DB.SizeBytes() {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGenerateByName(t *testing.T) {
+	for _, name := range []string{"tpch", "mot", "airca"} {
+		w, err := Generate(name, Spec{Scale: 0.1, Seed: 1})
+		if err != nil || w.Name != name {
+			t.Fatalf("Generate(%s) = %v, %v", name, w, err)
+		}
+	}
+	if _, err := Generate("nope", Spec{}); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}
+
+// TestBoundedQueriesStayBounded verifies the defining property of the
+// real-life q1–q6 templates: their block degrees do not grow with scale.
+func TestBoundedQueriesStayBounded(t *testing.T) {
+	for _, gen := range []func(Spec) *Workload{MOT, AIRCA} {
+		small := gen(Spec{Scale: 0.5, Seed: 5})
+		big := gen(Spec{Scale: 2, Seed: 5})
+		bvSmall, _, chkSmall := buildStores(t, small)
+		bvBig, _, chkBig := buildStores(t, big)
+		// The degree bound is calibrated on the small store with headroom.
+		bound := bvSmall.Degree("")*3 + 50
+		for i, wq := range small.Queries {
+			if !wq.Bounded {
+				continue
+			}
+			// Boundedness is a property of the plan: every instance the
+			// plan's ∝ steps touch must keep a stable degree as |D| grows.
+			qs := ra.MustParse(wq.SQL, small.DB)
+			qb := ra.MustParse(big.Queries[i].SQL, big.DB)
+			infoS, err := chkSmall.Plan(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			infoB, err := chkBig.Plan(qb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !infoS.Bounded(bvSmall, bound) {
+				t.Fatalf("%s/%s: not bounded at small scale (bound %d)", small.Name, wq.Name, bound)
+			}
+			if !infoB.Bounded(bvBig, bound) {
+				t.Fatalf("%s/%s: degree grew past %d at 4× scale", big.Name, wq.Name, bound)
+			}
+		}
+	}
+}
+
+func TestScanFreeSplitIsSixSix(t *testing.T) {
+	for _, w := range []*Workload{MOT(Spec{Scale: 0.2, Seed: 1}), AIRCA(Spec{Scale: 0.2, Seed: 1})} {
+		if len(w.ScanFreeQueries()) != 6 || len(w.NonScanFreeQueries()) != 6 {
+			t.Fatalf("%s: split = %d/%d, want 6/6", w.Name,
+				len(w.ScanFreeQueries()), len(w.NonScanFreeQueries()))
+		}
+	}
+}
+
+func TestPaperQ1Constant(t *testing.T) {
+	w := TPCH(Spec{Scale: 0.1, Seed: 1})
+	q, err := ra.Parse(PaperQ1, w.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Atoms) != 3 {
+		t.Fatal("paper Q1 has three atoms")
+	}
+}

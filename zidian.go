@@ -1,0 +1,376 @@
+// Package zidian is a Go implementation of Zidian, the middleware for
+// SQL-over-NoSQL systems from "Block as a Value for SQL over NoSQL"
+// (Cao, Fan, Yuan — PVLDB 12(10), 2019).
+//
+// Zidian replaces the conventional tuple-as-a-value (TaaV) representation
+// of relations in key-value stores with a block-as-a-value model (BaaV):
+// relations are stored as keyed blocks ⟨X, Y⟩ where arbitrary attributes X
+// key blocks of partial tuples over Y. On top of BaaV, Zidian decides
+// whether a SQL query can be answered at all (result preservation), whether
+// it can be answered without scanning any table (scan-freeness), and
+// whether it touches a bounded amount of data regardless of database size
+// (boundedness) — and generates KBA plans with those guarantees.
+//
+// The package exposes a small facade over the internal packages:
+//
+//	db := zidian.NewDatabase()             // build relations
+//	schema, _, _ := zidian.DesignSchema(db, workloadSQL, 0, true)
+//	inst, _ := zidian.Open(db, schema, zidian.Options{})
+//	res, stats, _ := inst.Query("select ... where k = 1")
+//	// stats.ScanFree, stats.Gets, stats.DataValues ...
+package zidian
+
+import (
+	"fmt"
+	"time"
+
+	"zidian/internal/baav"
+	"zidian/internal/core"
+	"zidian/internal/kba"
+	"zidian/internal/kv"
+	"zidian/internal/parallel"
+	"zidian/internal/qcs"
+	"zidian/internal/ra"
+	"zidian/internal/relation"
+	sqlpkg "zidian/internal/sql"
+)
+
+// Re-exported building blocks of the relational substrate.
+type (
+	// Database is an in-memory relational database.
+	Database = relation.Database
+	// RelSchema describes one relation.
+	RelSchema = relation.Schema
+	// Attr is a named, typed attribute.
+	Attr = relation.Attr
+	// Tuple is a row of values.
+	Tuple = relation.Tuple
+	// Value is a dynamically typed SQL value.
+	Value = relation.Value
+	// Result is a materialized query answer.
+	Result = ra.Result
+	// BaaVSchema is a set of KV schemas ~R⟨X,Y⟩.
+	BaaVSchema = baav.Schema
+	// KVSchema is one KV schema ~R⟨X,Y⟩.
+	KVSchema = baav.KVSchema
+	// DesignReport records what the T2B schema designer did.
+	DesignReport = qcs.Report
+)
+
+// Value constructors, re-exported.
+var (
+	Int    = relation.Int
+	Float  = relation.Float
+	String = relation.String
+	Null   = relation.Null
+)
+
+// Attribute kinds, re-exported.
+const (
+	KindInt    = relation.KindInt
+	KindFloat  = relation.KindFloat
+	KindString = relation.KindString
+)
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return relation.NewDatabase() }
+
+// NewRelation returns an empty relation over the schema.
+func NewRelation(s *RelSchema) *relation.Relation { return relation.NewRelation(s) }
+
+// MustRelSchema builds a relation schema, panicking on error.
+func MustRelSchema(name string, attrs []Attr, key []string) *RelSchema {
+	return relation.MustSchema(name, attrs, key)
+}
+
+// NewBaaVSchema validates a BaaV schema against a database's relations.
+func NewBaaVSchema(db *Database, kvs ...KVSchema) (*BaaVSchema, error) {
+	return baav.NewSchema(baav.RelSchemas(db), kvs...)
+}
+
+// Options configure an Instance.
+type Options struct {
+	// Nodes is the number of storage nodes (default 4).
+	Nodes int
+	// Workers is the SQL-layer parallelism (default 4).
+	Workers int
+	// MaxBoundedDegree is the block-degree bound used to classify bounded
+	// queries (default 1024).
+	MaxBoundedDegree int
+	// Store tunes segmentation, compression and statistics.
+	Store baav.Options
+}
+
+func (o Options) normalized() Options {
+	if o.Nodes <= 0 {
+		o.Nodes = 4
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.MaxBoundedDegree <= 0 {
+		o.MaxBoundedDegree = 1024
+	}
+	if o.Store.SegmentThreshold == 0 {
+		o.Store = baav.DefaultOptions()
+	}
+	return o
+}
+
+// Stats describes one query execution.
+type Stats struct {
+	// ScanFree reports whether the plan scanned no KV instance.
+	ScanFree bool
+	// Bounded reports whether the query is bounded on this store under the
+	// instance's degree bound.
+	Bounded bool
+	// Gets counts get invocations against the store.
+	Gets int64
+	// DataValues counts values fetched from the store (#data).
+	DataValues int64
+	// ShuffleBytes counts worker-to-worker communication.
+	ShuffleBytes int64
+	// Wall is the execution wall time.
+	Wall time.Duration
+	// Plan is the KBA plan rendering.
+	Plan string
+}
+
+// Instance is an opened Zidian deployment: a database mapped to a BaaV
+// store on an in-process KV cluster.
+type Instance struct {
+	db      *Database
+	schema  *BaaVSchema
+	store   *baav.Store
+	checker *core.Checker
+	opts    Options
+}
+
+// Open maps db onto the BaaV schema and returns a queryable instance.
+func Open(db *Database, schema *BaaVSchema, opts Options) (*Instance, error) {
+	opts = opts.normalized()
+	cluster := kv.NewCluster(kv.EngineHash, opts.Nodes)
+	store, err := baav.Map(db, schema, cluster, opts.Store)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		db:      db,
+		schema:  schema,
+		store:   store,
+		checker: core.NewChecker(schema, baav.RelSchemas(db)).WithStats(store),
+		opts:    opts,
+	}, nil
+}
+
+// Store exposes the underlying BaaV store for advanced use.
+func (in *Instance) Store() *baav.Store { return in.store }
+
+// Query parses, plans and executes a SQL query in parallel over the BaaV
+// store, returning the answer and execution statistics.
+func (in *Instance) Query(src string) (*Result, *Stats, error) {
+	q, err := ra.Parse(src, in.db)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := in.checker.Plan(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, m, err := parallel.RunKBA(info, in.store, in.opts.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{
+		ScanFree:     info.ScanFree,
+		Bounded:      info.Bounded(in.store, in.opts.MaxBoundedDegree),
+		Gets:         m.Gets,
+		DataValues:   m.DataValues,
+		ShuffleBytes: m.ShuffleBytes,
+		Wall:         m.Wall,
+	}
+	if info.Root != nil {
+		stats.Plan = info.Root.String()
+	}
+	return res, stats, nil
+}
+
+// Explain plans the query without running it and describes the plan and its
+// classification.
+func (in *Instance) Explain(src string) (string, error) {
+	q, err := ra.Parse(src, in.db)
+	if err != nil {
+		return "", err
+	}
+	info, err := in.checker.Plan(q)
+	if err != nil {
+		return "", err
+	}
+	if info.Empty {
+		return "empty result (unsatisfiable constants)", nil
+	}
+	kind := "not scan-free"
+	if info.ScanFree {
+		kind = "scan-free"
+		if info.Bounded(in.store, in.opts.MaxBoundedDegree) {
+			kind = "scan-free, bounded"
+		}
+	}
+	return fmt.Sprintf("[%s] %s", kind, info.Root), nil
+}
+
+// Insert incrementally maintains the BaaV store for one inserted tuple.
+func (in *Instance) Insert(rel string, t Tuple) error {
+	r := in.db.Relation(rel)
+	if r == nil {
+		return fmt.Errorf("zidian: unknown relation %q", rel)
+	}
+	if err := r.Insert(t); err != nil {
+		return err
+	}
+	return in.store.Insert(rel, t)
+}
+
+// Delete incrementally maintains the BaaV store for one deleted tuple.
+func (in *Instance) Delete(rel string, t Tuple) error {
+	r := in.db.Relation(rel)
+	if r == nil {
+		return fmt.Errorf("zidian: unknown relation %q", rel)
+	}
+	for i, u := range r.Tuples {
+		if u.Equal(t) {
+			r.Tuples = append(r.Tuples[:i], r.Tuples[i+1:]...)
+			return in.store.Delete(rel, t)
+		}
+	}
+	return nil
+}
+
+// DataPreserving checks Condition (I) for the instance's schema; when it
+// holds, the BaaV store alone can answer any query and the base TaaV store
+// can be dropped.
+func (in *Instance) DataPreserving() (bool, []string) {
+	return in.checker.DataPreserving()
+}
+
+// ScanFree checks whether a query is scan-free over the instance's schema
+// (Condition (III)) without executing it.
+func (in *Instance) ScanFree(src string) (bool, error) {
+	q, err := ra.Parse(src, in.db)
+	if err != nil {
+		return false, err
+	}
+	return in.checker.ScanFree(q), nil
+}
+
+// ExecResult is the outcome of Exec: a result set for SELECT, an affected
+// row count for INSERT and DELETE.
+type ExecResult struct {
+	// Result and Stats are set for SELECT statements.
+	Result *Result
+	Stats  *Stats
+	// Affected is the number of rows inserted or deleted.
+	Affected int
+}
+
+// Exec parses and runs one SQL statement: SELECT queries the BaaV store;
+// INSERT and DELETE update the database and incrementally maintain the
+// blocks (module M4). DELETE supports conjunctive predicates over the
+// target relation's own attributes.
+func (in *Instance) Exec(src string) (*ExecResult, error) {
+	stmt, err := sqlpkg.ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sqlpkg.Query:
+		res, stats, err := in.Query(src)
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Result: res, Stats: stats}, nil
+	case *sqlpkg.Insert:
+		for _, row := range s.Rows {
+			if err := in.Insert(s.Table, Tuple(row)); err != nil {
+				return nil, err
+			}
+		}
+		return &ExecResult{Affected: len(s.Rows)}, nil
+	case *sqlpkg.Delete:
+		rel := in.db.Relation(s.Table)
+		if rel == nil {
+			return nil, fmt.Errorf("zidian: unknown relation %q", s.Table)
+		}
+		check, err := compileDeletePreds(rel.Schema, s)
+		if err != nil {
+			return nil, err
+		}
+		var doomed []Tuple
+		for _, t := range rel.Tuples {
+			if check(t) {
+				doomed = append(doomed, t)
+			}
+		}
+		for _, t := range doomed {
+			if err := in.Delete(s.Table, t); err != nil {
+				return nil, err
+			}
+		}
+		return &ExecResult{Affected: len(doomed)}, nil
+	default:
+		return nil, fmt.Errorf("zidian: unsupported statement")
+	}
+}
+
+// compileDeletePreds compiles a DELETE's WHERE clause against the target
+// relation's schema; column references may be bare or table-qualified.
+func compileDeletePreds(schema *RelSchema, s *sqlpkg.Delete) (func(Tuple) bool, error) {
+	var preds []kba.Pred
+	colName := func(c sqlpkg.Col) (string, error) {
+		if c.Table != "" && c.Table != s.Table {
+			return "", fmt.Errorf("zidian: DELETE predicates must reference %s, found %s", s.Table, c)
+		}
+		if !schema.Has(c.Name) {
+			return "", fmt.Errorf("zidian: relation %s has no attribute %q", s.Table, c.Name)
+		}
+		return c.Name, nil
+	}
+	for _, p := range s.Where {
+		left, err := colName(p.Left)
+		if err != nil {
+			return nil, err
+		}
+		pred := kba.Pred{Attr: left, Op: p.Op, In: p.In}
+		switch {
+		case len(p.In) > 0:
+		case p.Right != nil:
+			right, err := colName(*p.Right)
+			if err != nil {
+				return nil, err
+			}
+			pred.RAttr = right
+		case p.Lit != nil:
+			lit := *p.Lit
+			pred.Lit = &lit
+		}
+		preds = append(preds, pred)
+	}
+	return kba.CompilePreds(schema.AttrNames(), preds)
+}
+
+// DesignSchema runs T2B: it extracts QCS access patterns from the workload
+// queries and designs a BaaV schema under the storage budget (0 = no
+// budget). With ensurePreserving, a primary-key schema per relation is
+// added so the result is data preserving.
+func DesignSchema(db *Database, workloadSQL []string, budget int64, ensurePreserving bool) (*BaaVSchema, *DesignReport, error) {
+	var queries []*ra.Query
+	for _, src := range workloadSQL {
+		q, err := ra.Parse(src, db)
+		if err != nil {
+			return nil, nil, err
+		}
+		queries = append(queries, q)
+	}
+	d := &qcs.Designer{Rels: baav.RelSchemas(db), Workload: queries}
+	return d.Design(db, qcs.Config{Budget: budget, EnsurePreserving: ensurePreserving})
+}

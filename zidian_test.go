@@ -1,0 +1,203 @@
+package zidian
+
+import (
+	"strings"
+	"testing"
+)
+
+// facadeDB builds the paper's Example 1 database through the public API.
+func facadeDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	nation := NewRelation(MustRelSchema("NATION",
+		[]Attr{{Name: "nationkey", Kind: KindInt}, {Name: "name", Kind: KindString}},
+		[]string{"nationkey"}))
+	nation.MustInsert(Tuple{Int(1), String("GERMANY")})
+	nation.MustInsert(Tuple{Int(2), String("FRANCE")})
+	db.Add(nation)
+	supplier := NewRelation(MustRelSchema("SUPPLIER",
+		[]Attr{{Name: "suppkey", Kind: KindInt}, {Name: "nationkey", Kind: KindInt}},
+		[]string{"suppkey"}))
+	supplier.MustInsert(Tuple{Int(10), Int(1)})
+	supplier.MustInsert(Tuple{Int(11), Int(1)})
+	supplier.MustInsert(Tuple{Int(12), Int(2)})
+	db.Add(supplier)
+	return db
+}
+
+func facadeInstance(t *testing.T) *Instance {
+	t.Helper()
+	db := facadeDB(t)
+	schema, err := NewBaaVSchema(db,
+		KVSchema{Name: "nation_by_name", Rel: "NATION", Key: []string{"name"}, Val: []string{"nationkey"}},
+		KVSchema{Name: "supplier_by_nation", Rel: "SUPPLIER", Key: []string{"nationkey"}, Val: []string{"suppkey"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Open(db, schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestFacadeQuery(t *testing.T) {
+	inst := facadeInstance(t)
+	res, stats, err := inst.Query(
+		"select S.suppkey from SUPPLIER S, NATION N where S.nationkey = N.nationkey and N.name = 'GERMANY'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if !stats.ScanFree || !stats.Bounded {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Gets == 0 || stats.Plan == "" {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestFacadeExplain(t *testing.T) {
+	inst := facadeInstance(t)
+	plan, err := inst.Explain(
+		"select S.suppkey from SUPPLIER S, NATION N where S.nationkey = N.nationkey and N.name = 'GERMANY'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "scan-free") || !strings.Contains(plan, "∝") {
+		t.Fatalf("explain = %s", plan)
+	}
+	plan, err = inst.Explain("select S.suppkey from SUPPLIER S")
+	if err != nil || !strings.Contains(plan, "not scan-free") {
+		t.Fatalf("explain = %s err=%v", plan, err)
+	}
+	plan, err = inst.Explain("select S.suppkey from SUPPLIER S where S.nationkey = 1 and S.nationkey = 2")
+	if err != nil || !strings.Contains(plan, "empty") {
+		t.Fatalf("explain = %s err=%v", plan, err)
+	}
+	if _, err := inst.Explain("not sql"); err == nil {
+		t.Fatal("bad SQL must error")
+	}
+}
+
+func TestFacadeMaintenance(t *testing.T) {
+	inst := facadeInstance(t)
+	if err := inst.Insert("SUPPLIER", Tuple{Int(13), Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := inst.Query(
+		"select S.suppkey from SUPPLIER S, NATION N where S.nationkey = N.nationkey and N.name = 'GERMANY'")
+	if err != nil || len(res.Rows) != 3 {
+		t.Fatalf("after insert: %v %v", res, err)
+	}
+	if err := inst.Delete("SUPPLIER", Tuple{Int(13), Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	res, _, _ = inst.Query(
+		"select S.suppkey from SUPPLIER S, NATION N where S.nationkey = N.nationkey and N.name = 'GERMANY'")
+	if len(res.Rows) != 2 {
+		t.Fatalf("after delete: %v", res.Rows)
+	}
+	if err := inst.Insert("NOPE", Tuple{}); err == nil {
+		t.Fatal("unknown relation")
+	}
+	if err := inst.Delete("NOPE", Tuple{}); err == nil {
+		t.Fatal("unknown relation")
+	}
+	// Deleting a missing tuple is a no-op.
+	if err := inst.Delete("SUPPLIER", Tuple{Int(99), Int(9)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDataPreserving(t *testing.T) {
+	inst := facadeInstance(t)
+	ok, missing := inst.DataPreserving()
+	if !ok || len(missing) != 0 {
+		t.Fatalf("ok=%v missing=%v", ok, missing)
+	}
+	sf, err := inst.ScanFree("select N.nationkey from NATION N where N.name = 'FRANCE'")
+	if err != nil || !sf {
+		t.Fatalf("scan free = %v err=%v", sf, err)
+	}
+	if _, err := inst.ScanFree("nonsense"); err == nil {
+		t.Fatal("bad SQL must error")
+	}
+}
+
+func TestFacadeDesignSchema(t *testing.T) {
+	db := facadeDB(t)
+	schema, report, err := DesignSchema(db, []string{
+		"select S.suppkey from SUPPLIER S, NATION N where S.nationkey = N.nationkey and N.name = 'GERMANY'",
+	}, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.FinalKVs == 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	inst, err := Open(db, schema, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := inst.Query(
+		"select S.suppkey from SUPPLIER S, NATION N where S.nationkey = N.nationkey and N.name = 'GERMANY'")
+	if err != nil || len(res.Rows) != 2 || !stats.ScanFree {
+		t.Fatalf("designed schema: %v %+v %v", res, stats, err)
+	}
+	if _, _, err := DesignSchema(db, []string{"bad sql"}, 0, false); err == nil {
+		t.Fatal("bad workload SQL must error")
+	}
+}
+
+func TestFacadeStoreAccess(t *testing.T) {
+	inst := facadeInstance(t)
+	if inst.Store() == nil {
+		t.Fatal("store must be exposed")
+	}
+	if inst.Store().Degree("supplier_by_nation") != 2 {
+		t.Fatalf("degree = %d", inst.Store().Degree("supplier_by_nation"))
+	}
+}
+
+func TestFacadeExec(t *testing.T) {
+	inst := facadeInstance(t)
+	// INSERT through SQL.
+	res, err := inst.Exec("insert into SUPPLIER values (20, 1), (21, 2)")
+	if err != nil || res.Affected != 2 {
+		t.Fatalf("insert: %+v %v", res, err)
+	}
+	sel, err := inst.Exec(
+		"select S.suppkey from SUPPLIER S, NATION N where S.nationkey = N.nationkey and N.name = 'GERMANY'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Result.Rows) != 3 || !sel.Stats.ScanFree {
+		t.Fatalf("select after insert: %v", sel.Result.Rows)
+	}
+	// DELETE with predicates (qualified and bare columns both work).
+	res, err = inst.Exec("delete from SUPPLIER where SUPPLIER.nationkey = 1 and suppkey >= 20")
+	if err != nil || res.Affected != 1 {
+		t.Fatalf("delete: %+v %v", res, err)
+	}
+	sel, _ = inst.Exec(
+		"select S.suppkey from SUPPLIER S, NATION N where S.nationkey = N.nationkey and N.name = 'GERMANY'")
+	if len(sel.Result.Rows) != 2 {
+		t.Fatalf("after delete: %v", sel.Result.Rows)
+	}
+	// Errors.
+	for _, src := range []string{
+		"delete from NOPE",
+		"delete from SUPPLIER where bogus = 1",
+		"delete from SUPPLIER where NATION.name = 'x'",
+		"insert into NOPE values (1)",
+		"not sql at all",
+	} {
+		if _, err := inst.Exec(src); err == nil {
+			t.Fatalf("expected error for %q", src)
+		}
+	}
+}
