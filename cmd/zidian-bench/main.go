@@ -11,6 +11,7 @@
 //	zidian-bench -exp 3d -workload mot   # Figure 4e/4f
 //	zidian-bench -exp 4                  # KV throughput
 //	zidian-bench -exp 4h                 # horizontal scalability
+//	zidian-bench -exp server             # serving layer (writes BENCH_server.json)
 //
 // -scale multiplies the dataset sizes; -workers and -nodes set the cluster
 // shape (paper defaults: 8 workers, 12 nodes).
@@ -19,24 +20,42 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"zidian/internal/bench"
+	"zidian/internal/server/loadgen"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, 1case, 1, 2, 3p, 3d, 4, 4h, ablation")
-		workload = flag.String("workload", "mot", "workload for exp 2/3: mot, airca, tpch")
+		exp      = flag.String("exp", "all", "experiment: all, 1case, 1, 2, 3p, 3d, 4, 4h, ablation, server")
+		workload = flag.String("workload", "mot", "workload for exp 2/3/server: mot, airca, tpch")
 		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
 		workers  = flag.Int("workers", 8, "SQL-layer workers")
 		nodes    = flag.Int("nodes", 12, "storage nodes")
 		seed     = flag.Int64("seed", 7, "generator seed")
+		clients  = flag.Int("clients", 64, "concurrent connections for -exp server")
+		requests = flag.Int("requests", 100, "statements per connection for -exp server")
+		jsonOut  = flag.String("json", "BENCH_server.json", "report path for -exp server (empty disables)")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Seed: *seed, Nodes: *nodes, Workers: *workers}
 	out := os.Stdout
+
+	serverBench := func(out io.Writer, cfg bench.Config) error {
+		return loadgen.BenchServer(out, loadgen.BenchOptions{
+			Workload: *workload,
+			Scale:    cfg.Scale,
+			Seed:     cfg.Seed,
+			Nodes:    cfg.Nodes,
+			Workers:  cfg.Workers,
+			Clients:  *clients,
+			Requests: *requests,
+			JSONPath: *jsonOut,
+		})
+	}
 
 	run := func(name string, f func() error) {
 		fmt.Fprintf(out, "==> %s\n", name)
@@ -64,6 +83,8 @@ func main() {
 		run("exp4-horizontal", func() error { return bench.Exp4Horizontal(out, cfg, nil) })
 	case "ablation":
 		run("ablation", func() error { return bench.Ablation(out, cfg) })
+	case "server":
+		run("server", func() error { return serverBench(out, cfg) })
 	case "all":
 		run("exp1-case (Table 2)", func() error { return bench.Exp1Case(out, cfg) })
 		run("exp1-overall (Table 3)", func() error { return bench.Exp1Overall(out, cfg) })
@@ -77,6 +98,7 @@ func main() {
 		run("exp4-throughput", func() error { return bench.Exp4Throughput(out, cfg) })
 		run("exp4-horizontal", func() error { return bench.Exp4Horizontal(out, cfg, nil) })
 		run("ablation", func() error { return bench.Ablation(out, cfg) })
+		run("server", func() error { return serverBench(out, cfg) })
 	default:
 		fmt.Fprintf(os.Stderr, "zidian-bench: unknown experiment %q\n", *exp)
 		flag.Usage()

@@ -1,0 +1,74 @@
+// Command zidian-loadgen drives a running zidian-server with a
+// repeated-template workload over many concurrent connections and reports
+// throughput, latency percentiles, and the plan-cache hit rate. With -out
+// it also writes the machine-readable report (the BENCH_server.json
+// format) for tracking the serving-layer perf trajectory across changes.
+//
+//	zidian-loadgen -addr localhost:7071 -clients 64 -requests 200 -out BENCH_server.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"zidian/internal/server/loadgen"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:7071", "server wire-protocol address")
+		wl       = flag.String("workload", "mot", "template suite: mot, airca, tpch")
+		clients  = flag.Int("clients", 64, "concurrent client connections")
+		requests = flag.Int("requests", 200, "statements per client")
+		pool     = flag.Int("params", 100, "distinct parameter values per template")
+		seed     = flag.Int64("seed", 1, "parameter sequence seed")
+		out      = flag.String("out", "", "write the JSON report to this file")
+	)
+	flag.Parse()
+
+	templates, err := loadgen.Templates(*wl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zidian-loadgen: %v\n", err)
+		os.Exit(2)
+	}
+	rep, err := loadgen.Run(loadgen.Options{
+		Addr:      *addr,
+		Clients:   *clients,
+		Requests:  *requests,
+		Templates: templates,
+		ParamPool: *pool,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zidian-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Workload = *wl
+
+	fmt.Printf("%d clients × %d requests in %.2fs\n", rep.Clients, *requests, rep.WallSeconds)
+	fmt.Printf("  qps        %.0f\n", rep.QPS)
+	fmt.Printf("  errors     %d\n", rep.Errors)
+	fmt.Printf("  latency µs p50=%d p90=%d p95=%d p99=%d max=%d\n",
+		rep.Latency.P50, rep.Latency.P90, rep.Latency.P95, rep.Latency.P99, rep.Latency.Max)
+	fmt.Printf("  plan cache %.1f%% hit, scan-free %.1f%%\n", 100*rep.CacheHitRate, 100*rep.ScanFreeRate)
+	if rep.Server != nil {
+		fmt.Printf("  server     %d queries, %d sessions, %d rejected, %d timed out\n",
+			rep.Server.Queries, rep.Server.TotalSessions, rep.Server.Admission.Rejected, rep.Server.Admission.TimedOut)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zidian-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "zidian-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

@@ -1,0 +1,89 @@
+// Server quickstart: start the Zidian query service in-process over the
+// synthetic MOT workload, then talk to it the way a real deployment would —
+// over TCP with the wire-protocol client and over HTTP with plain GET.
+// Demonstrates plan-cache reuse (the second identical query skips
+// parse/check/plan), prepared statements, and the stats surface.
+//
+// For a two-process deployment, run the same thing as separate binaries:
+//
+//	zidian-server -workload mot -tcp :7071 -http :7072
+//	zidian-loadgen -addr localhost:7071 -clients 64 -requests 200
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"zidian/internal/server"
+	"zidian/internal/server/client"
+)
+
+func main() {
+	// 1. Load a dataset and start the service on loopback ports.
+	inst, _, err := server.OpenWorkload("mot", 0.5, 7, 4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(inst, server.Config{})
+	tcpAddr, httpAddr, err := srv.Start("127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving on tcp %s, http %s\n\n", tcpAddr, httpAddr)
+
+	// 2. A wire-protocol client session.
+	c, err := client.Dial(tcpAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	sql := "select T.test_date, T.result, T.mileage from TEST T where T.vehicle_id = 42"
+	for i := 0; i < 2; i++ {
+		cols, rows, stats, err := c.Query(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query #%d: %d rows over %v, scan-free=%v, plan cached=%v\n",
+			i+1, len(rows), cols, stats.ScanFree, stats.CacheHit)
+	}
+
+	// 3. Prepared statements name a compiled plan inside the session.
+	if err := c.Prepare("history", "select T.test_date, T.result from TEST T where T.vehicle_id = 7"); err != nil {
+		log.Fatal(err)
+	}
+	_, rows, _, err := c.Execute("history")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prepared execution: %d rows\n", len(rows))
+
+	// 4. The same service over HTTP.
+	resp, err := http.Get("http://" + httpAddr +
+		"/query?q=select+V.make,+V.model+from+VEHICLE+V+where+V.vehicle_id+=+42")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("http /query: %s", body)
+
+	// 5. Server statistics, then a graceful drain.
+	st, err := c.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served %d statements, plan cache %.0f%% hit rate\n",
+		st.Queries, 100*st.PlanCache.HitRate)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server drained cleanly")
+}

@@ -1,0 +1,3 @@
+module zidian
+
+go 1.24

@@ -8,15 +8,18 @@ import (
 // Cluster is a hash-sharded collection of storage nodes: the distributed
 // hash table (DHT) that SQL-over-NoSQL systems use as their storage layer.
 // Keys are routed to nodes by FNV hash. All operations are safe for
-// concurrent use; each node is guarded by its own mutex so concurrent
-// workers contend only when they hit the same node.
+// concurrent use; each node is guarded by its own RWMutex so concurrent
+// readers of the same node proceed in parallel (gets are pure reads in
+// every engine) and contend only with writers. Scans take the write lock:
+// the hash and sorted engines maintain lazy sort caches that a scan may
+// materialize.
 type Cluster struct {
 	kind  EngineKind
 	nodes []*node
 }
 
 type node struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	eng     Engine
 	metrics Metrics
 }
@@ -54,10 +57,10 @@ func (c *Cluster) Get(key []byte) ([]byte, bool) { return c.GetRouted(key, key) 
 // logical block by the block's key prefix so the block stays colocated.
 func (c *Cluster) GetRouted(route, key []byte) ([]byte, bool) {
 	n := c.nodes[c.NodeFor(route)]
-	n.mu.Lock()
+	n.mu.RLock()
 	v, ok := n.eng.Get(key)
 	n.metrics.countGet(len(v))
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	return v, ok
 }
 

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Overload errors returned by Admission.Acquire. Clients should treat both
+// as retryable backpressure, not statement failures.
+var (
+	// ErrOverloaded reports that the wait queue itself is full: the server
+	// sheds the request immediately rather than queueing it.
+	ErrOverloaded = errors.New("server: overloaded, queue full")
+	// ErrQueueTimeout reports that the request waited in the queue longer
+	// than the admission timeout.
+	ErrQueueTimeout = errors.New("server: timed out waiting for an execution slot")
+)
+
+// Admission is the server's load-shedding gate: at most Slots statements
+// execute concurrently, at most Queue more wait for a slot, and no request
+// waits longer than Timeout. Everything beyond that is rejected immediately.
+// Bounding both concurrency and queue depth keeps latency predictable under
+// overload — the queue converts short bursts into delay, the bound converts
+// sustained overload into fast failures the client can back off on.
+type Admission struct {
+	slots    chan struct{}
+	queueMax int64
+	timeout  time.Duration
+
+	waiting  atomic.Int64
+	inFlight atomic.Int64
+	admitted atomic.Int64
+	rejected atomic.Int64
+	timedOut atomic.Int64
+}
+
+// AdmissionStats is a point-in-time snapshot of the gate.
+type AdmissionStats struct {
+	Slots    int   `json:"slots"`
+	InFlight int64 `json:"inFlight"`
+	Waiting  int64 `json:"waiting"`
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	TimedOut int64 `json:"timedOut"`
+}
+
+// NewAdmission builds a gate with the given concurrency, queue depth and
+// queue timeout. Non-positive arguments fall back to sane defaults.
+func NewAdmission(slots, queue int, timeout time.Duration) *Admission {
+	if slots <= 0 {
+		slots = 8
+	}
+	if queue <= 0 {
+		queue = 4 * slots
+	}
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	return &Admission{
+		slots:    make(chan struct{}, slots),
+		queueMax: int64(queue),
+		timeout:  timeout,
+	}
+}
+
+// Acquire blocks until an execution slot is free, the queue timeout expires,
+// or ctx is done. It fails fast with ErrOverloaded when the wait queue is
+// already full. On success the caller must Release exactly once.
+func (a *Admission) Acquire(ctx context.Context) error {
+	// Fast path: a free slot admits without queueing.
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		a.inFlight.Add(1)
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.queueMax {
+		a.waiting.Add(-1)
+		a.rejected.Add(1)
+		return ErrOverloaded
+	}
+	t := time.NewTimer(a.timeout)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.waiting.Add(-1)
+		a.admitted.Add(1)
+		a.inFlight.Add(1)
+		return nil
+	case <-t.C:
+		a.waiting.Add(-1)
+		a.timedOut.Add(1)
+		return ErrQueueTimeout
+	case <-ctx.Done():
+		a.waiting.Add(-1)
+		a.rejected.Add(1)
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot acquired by Acquire.
+func (a *Admission) Release() {
+	a.inFlight.Add(-1)
+	<-a.slots
+}
+
+// Stats snapshots the gate's counters.
+func (a *Admission) Stats() AdmissionStats {
+	return AdmissionStats{
+		Slots:    cap(a.slots),
+		InFlight: a.inFlight.Load(),
+		Waiting:  a.waiting.Load(),
+		Admitted: a.admitted.Load(),
+		Rejected: a.rejected.Load(),
+		TimedOut: a.timedOut.Load(),
+	}
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(2, 2, time.Second)
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.InFlight != 2 || st.Admitted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	a.Release()
+	a.Release()
+	if st := a.Stats(); st.InFlight != 0 {
+		t.Fatalf("inFlight = %d after releases", st.InFlight)
+	}
+}
+
+func TestAdmissionQueueTimeoutAndRejection(t *testing.T) {
+	a := NewAdmission(1, 1, 50*time.Millisecond)
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second acquire waits in the queue and times out.
+	timedOut := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		timedOut <- a.Acquire(ctx)
+	}()
+	// Wait until the queue is occupied so the third acquire sees it full.
+	deadline := time.Now().Add(time.Second)
+	for a.Stats().Waiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued acquire never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := a.Acquire(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("expected ErrOverloaded with full queue, got %v", err)
+	}
+	if err := <-timedOut; !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("expected ErrQueueTimeout, got %v", err)
+	}
+	wg.Wait()
+
+	st := a.Stats()
+	if st.Rejected != 1 || st.TimedOut != 1 {
+		t.Fatalf("stats = %+v, want 1 rejected / 1 timed out", st)
+	}
+
+	// Releasing the slot lets a fresh acquire through immediately.
+	a.Release()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	a.Release()
+}
+
+func TestAdmissionContextCancel(t *testing.T) {
+	a := NewAdmission(1, 4, time.Minute)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.Acquire(ctx) }()
+	for a.Stats().Waiting == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	a.Release()
+}

@@ -1,0 +1,136 @@
+// Package client is the Go client for the zidian server's line-delimited
+// JSON wire protocol. One Client owns one TCP connection; calls are
+// serialized on it (the protocol answers requests in order), so open one
+// Client per concurrent worker for parallel load.
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"zidian/internal/server"
+)
+
+// Client is one wire-protocol connection.
+type Client struct {
+	conn net.Conn
+	out  *bufio.Writer
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+	next int64
+}
+
+// Dial connects to a zidian server's TCP address.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 5*time.Second)
+}
+
+// DialTimeout connects with a dial timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	out := bufio.NewWriter(conn)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 1<<24)
+	return &Client{conn: conn, out: out, enc: json.NewEncoder(out), sc: sc}, nil
+}
+
+// Close closes the connection (and the server-side session with it).
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads its response.
+func (c *Client) roundTrip(req *server.Request) (*server.Response, error) {
+	c.next++
+	req.ID = c.next
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	if err := c.out.Flush(); err != nil {
+		return nil, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("client: connection closed by server")
+	}
+	var resp server.Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("client: malformed response: %w", err)
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
+	}
+	return &resp, nil
+}
+
+// do round-trips and converts ok:false into an error.
+func (c *Client) do(req *server.Request) (*server.Response, error) {
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("%s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Query runs one SELECT and returns columns, rows and execution statistics.
+func (c *Client) Query(sql string) (cols []string, rows [][]any, stats *server.QueryStats, err error) {
+	resp, err := c.do(&server.Request{Op: "query", SQL: sql})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return resp.Cols, resp.Rows, resp.Stats, nil
+}
+
+// Exec runs any statement. SELECTs return rows; INSERT/DELETE return the
+// affected count.
+func (c *Client) Exec(sql string) (*server.Response, error) {
+	return c.do(&server.Request{Op: "exec", SQL: sql})
+}
+
+// Prepare compiles a SELECT under a session-scoped name.
+func (c *Client) Prepare(name, sql string) error {
+	_, err := c.do(&server.Request{Op: "prepare", Name: name, SQL: sql})
+	return err
+}
+
+// Execute runs a previously prepared SELECT.
+func (c *Client) Execute(name string) (cols []string, rows [][]any, stats *server.QueryStats, err error) {
+	resp, err := c.do(&server.Request{Op: "execute", Name: name})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return resp.Cols, resp.Rows, resp.Stats, nil
+}
+
+// ClosePrepared drops a prepared statement.
+func (c *Client) ClosePrepared(name string) error {
+	_, err := c.do(&server.Request{Op: "close", Name: name})
+	return err
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.do(&server.Request{Op: "ping"})
+	return err
+}
+
+// Stats fetches server-wide statistics.
+func (c *Client) Stats() (*server.ServerStats, error) {
+	resp, err := c.do(&server.Request{Op: "stats"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Server == nil {
+		return nil, fmt.Errorf("client: stats response missing payload")
+	}
+	return resp.Server, nil
+}

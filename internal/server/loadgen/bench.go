@@ -1,0 +1,101 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"zidian/internal/server"
+)
+
+// BenchOptions parameterize one end-to-end serving-layer measurement.
+type BenchOptions struct {
+	// Workload names the dataset and template suite (mot, airca).
+	Workload string
+	// Scale, Seed, Nodes, Workers shape the served instance.
+	Scale   float64
+	Seed    int64
+	Nodes   int
+	Workers int
+	// Clients and Requests shape the generated load.
+	Clients  int
+	Requests int
+	// JSONPath, when non-empty, receives the machine-readable report
+	// (the BENCH_server.json tracked across PRs).
+	JSONPath string
+}
+
+// BenchServer measures the serving layer end to end: it starts an
+// in-process zidian server over a generated workload on a loopback TCP
+// port, drives it with the repeated-template load generator over many
+// concurrent connections, writes the JSON report, and prints a
+// human-readable summary on out.
+func BenchServer(out io.Writer, opts BenchOptions) error {
+	if opts.Clients <= 0 {
+		opts.Clients = 64
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 100
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	inst, _, err := server.OpenWorkload(opts.Workload, opts.Scale, opts.Seed, opts.Nodes, opts.Workers)
+	if err != nil {
+		return err
+	}
+	srv := server.New(inst, server.Config{
+		MaxConcurrent: opts.Workers * 2,
+		QueueDepth:    4 * opts.Clients,
+		QueueTimeout:  30 * time.Second,
+	})
+	tcpAddr, _, err := srv.Start("127.0.0.1:0", "")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	templates, err := Templates(opts.Workload)
+	if err != nil {
+		return err
+	}
+	rep, err := Run(Options{
+		Addr:      tcpAddr,
+		Clients:   opts.Clients,
+		Requests:  opts.Requests,
+		Templates: templates,
+		ParamPool: 100,
+		Seed:      opts.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	rep.Workload = opts.Workload
+
+	fmt.Fprintf(out, "%-28s %10s %10s %10s %10s %8s %8s\n",
+		"server bench", "qps", "p50µs", "p99µs", "maxµs", "errors", "hit%")
+	fmt.Fprintf(out, "%-28s %10.0f %10d %10d %10d %8d %7.1f%%\n",
+		fmt.Sprintf("%s ×%d clients", opts.Workload, opts.Clients),
+		rep.QPS, rep.Latency.P50, rep.Latency.P99, rep.Latency.Max,
+		rep.Errors, 100*rep.CacheHitRate)
+
+	if opts.JSONPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(opts.JSONPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", opts.JSONPath)
+	}
+	return nil
+}

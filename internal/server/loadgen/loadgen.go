@@ -1,0 +1,264 @@
+// Package loadgen drives a running zidian server with a repeated-template
+// workload over many concurrent wire-protocol connections and reports
+// throughput, latency percentiles, and plan-cache effectiveness. It backs
+// both the cmd/zidian-loadgen binary and the zidian-bench server experiment
+// (BENCH_server.json).
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"zidian/internal/server"
+	"zidian/internal/server/client"
+)
+
+// Template is one parameterized query shape with exactly one verb in
+// Format: %s drawn from the Strings pool when it is non-empty, otherwise %d
+// drawn from [0, ParamPool). A bounded pool keeps the set of distinct
+// statements small, so a warmed plan cache serves almost every request —
+// the repeated-template regime real OLTP-ish workloads live in.
+type Template struct {
+	Name    string
+	Format  string
+	Strings []string
+}
+
+// Parameter pools for the TPC-H templates, mirroring the generator's active
+// domains (internal/workload/tpch.go).
+var (
+	tpchRegions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	tpchNations = []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+		"GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+		"MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+		"VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+	}
+)
+
+// Templates returns the built-in template suite for a workload dataset.
+// All templates are scan-free point/chain lookups — the query class the
+// paper's middleware is designed to accelerate.
+func Templates(workload string) ([]Template, error) {
+	switch workload {
+	case "mot":
+		return []Template{
+			{Name: "vehicle_tests", Format: "select T.test_date, T.result, T.mileage from TEST T where T.vehicle_id = %d"},
+			{Name: "vehicle_profile", Format: "select V.make, V.model, T.test_date, T.result from VEHICLE V, TEST T where V.vehicle_id = %d and T.vehicle_id = V.vehicle_id"},
+			{Name: "vehicle_speeding", Format: "select O.obs_date, O.speed, O.road_type from OBSERVATION O where O.vehicle_id = %d and O.speed > 70"},
+			{Name: "vehicle_test_stats", Format: "select COUNT(*), AVG(T.mileage), MAX(T.defect_count) from TEST T where T.vehicle_id = %d"},
+			{Name: "vehicle_history", Format: "select T.test_date, T.result, O.obs_date, O.speed from VEHICLE V, TEST T, OBSERVATION O where V.vehicle_id = %d and T.vehicle_id = V.vehicle_id and O.vehicle_id = V.vehicle_id"},
+		}, nil
+	case "airca":
+		return []Template{
+			{Name: "flight_delays", Format: "select F.flight_date, F.dep_delay, D.cause, D.minutes from FLIGHT F, DELAY D where F.flight_id = %d and D.flight_id = F.flight_id"},
+			{Name: "carrier_flights", Format: "select F.flight_date, F.dep_delay, F.arr_delay from FLIGHT F where F.carrier_id = %d"},
+			{Name: "carrier_fleet", Format: "select A.model, A.manufacturer, A.seats from AIRCRAFT A where A.carrier_id = %d"},
+		}, nil
+	case "tpch":
+		return []Template{
+			{Name: "nation_suppliers", Strings: tpchNations,
+				Format: "select S.suppkey, S.name, S.acctbal from NATION N, SUPPLIER S where N.name = '%s' and S.nationkey = N.nationkey"},
+			{Name: "region_suppliers", Strings: tpchRegions,
+				Format: "select S.suppkey, S.name from REGION R, NATION N, SUPPLIER S where R.name = '%s' and N.regionkey = R.regionkey and S.nationkey = N.nationkey"},
+			{Name: "nation_volume", Strings: tpchNations,
+				Format: "select L.shipmode, SUM(L.extendedprice) from NATION N, SUPPLIER S, LINEITEM L where N.name = '%s' and S.nationkey = N.nationkey and L.suppkey = S.suppkey group by L.shipmode"},
+		}, nil
+	default:
+		return nil, fmt.Errorf("loadgen: no built-in templates for workload %q", workload)
+	}
+}
+
+// Options parameterize one load-generation run.
+type Options struct {
+	// Addr is the server's wire-protocol TCP address.
+	Addr string
+	// Clients is the number of concurrent connections (default 64).
+	Clients int
+	// Requests is the number of statements each client issues (default 100).
+	Requests int
+	// Templates is the query template suite (required).
+	Templates []Template
+	// ParamPool bounds the distinct parameter values per template
+	// (default 100). Distinct statements = len(Templates) × ParamPool.
+	ParamPool int
+	// Seed makes the parameter sequence deterministic.
+	Seed int64
+}
+
+func (o Options) normalized() Options {
+	if o.Clients <= 0 {
+		o.Clients = 64
+	}
+	if o.Requests <= 0 {
+		o.Requests = 100
+	}
+	if o.ParamPool <= 0 {
+		o.ParamPool = 100
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Latency summarizes observed latencies in microseconds.
+type Latency struct {
+	P50 int64 `json:"p50"`
+	P90 int64 `json:"p90"`
+	P95 int64 `json:"p95"`
+	P99 int64 `json:"p99"`
+	Max int64 `json:"max"`
+}
+
+// Report is the machine-readable outcome of one run: the BENCH_server.json
+// payload.
+type Report struct {
+	Bench       string  `json:"bench"`
+	Workload    string  `json:"workload,omitempty"`
+	Clients     int     `json:"clients"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	WallSeconds float64 `json:"wallSeconds"`
+	QPS         float64 `json:"qps"`
+	Latency     Latency `json:"latencyMicros"`
+	// CacheHitRate is the client-observed fraction of answered queries whose
+	// plan came from the server's plan cache.
+	CacheHitRate float64 `json:"planCacheHitRate"`
+	// ScanFreeRate is the fraction of answered queries with scan-free plans.
+	ScanFreeRate float64 `json:"scanFreeRate"`
+	// Server is the server's own statistics snapshot after the run.
+	Server *server.ServerStats `json:"server,omitempty"`
+}
+
+// Run opens Clients connections, issues Requests statements on each, and
+// aggregates the results. Every client first pings so that connection
+// failures surface before load starts. Errors do not abort the run; they
+// are counted and reported.
+func Run(opts Options) (*Report, error) {
+	opts = opts.normalized()
+	if len(opts.Templates) == 0 {
+		return nil, fmt.Errorf("loadgen: no templates")
+	}
+
+	clients := make([]*client.Client, opts.Clients)
+	for i := range clients {
+		c, err := client.Dial(opts.Addr)
+		if err != nil {
+			for _, prev := range clients[:i] {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("loadgen: dial client %d: %w", i, err)
+		}
+		if err := c.Ping(); err != nil {
+			for _, prev := range clients[:i+1] {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("loadgen: ping client %d: %w", i, err)
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	type workerResult struct {
+		lat      []int64
+		errs     int64
+		hits     int64
+		scanFree int64
+		answered int64
+	}
+	results := make([]workerResult, opts.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *client.Client) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(opts.Seed + int64(i)))
+			res := &results[i]
+			res.lat = make([]int64, 0, opts.Requests)
+			for n := 0; n < opts.Requests; n++ {
+				t := opts.Templates[r.Intn(len(opts.Templates))]
+				var sql string
+				if len(t.Strings) > 0 {
+					sql = fmt.Sprintf(t.Format, t.Strings[r.Intn(len(t.Strings))])
+				} else {
+					sql = fmt.Sprintf(t.Format, r.Intn(opts.ParamPool))
+				}
+				t0 := time.Now()
+				_, _, stats, err := c.Query(sql)
+				res.lat = append(res.lat, time.Since(t0).Microseconds())
+				if err != nil {
+					res.errs++
+					continue
+				}
+				res.answered++
+				if stats != nil {
+					if stats.CacheHit {
+						res.hits++
+					}
+					if stats.ScanFree {
+						res.scanFree++
+					}
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []int64
+	rep := &Report{
+		Bench:       "server",
+		Clients:     opts.Clients,
+		WallSeconds: wall.Seconds(),
+	}
+	var answered, hits, scanFree int64
+	for i := range results {
+		all = append(all, results[i].lat...)
+		rep.Requests += int64(len(results[i].lat))
+		rep.Errors += results[i].errs
+		answered += results[i].answered
+		hits += results[i].hits
+		scanFree += results[i].scanFree
+	}
+	if wall > 0 {
+		rep.QPS = float64(rep.Requests) / wall.Seconds()
+	}
+	if answered > 0 {
+		rep.CacheHitRate = float64(hits) / float64(answered)
+		rep.ScanFreeRate = float64(scanFree) / float64(answered)
+	}
+	rep.Latency = percentiles(all)
+
+	if st, err := clients[0].Stats(); err == nil {
+		rep.Server = st
+	}
+	return rep, nil
+}
+
+// percentiles summarizes a latency sample (µs).
+func percentiles(lat []int64) Latency {
+	if len(lat) == 0 {
+		return Latency{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	at := func(p float64) int64 {
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	return Latency{
+		P50: at(0.50),
+		P90: at(0.90),
+		P95: at(0.95),
+		P99: at(0.99),
+		Max: lat[len(lat)-1],
+	}
+}

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"zidian"
+)
+
+// PlanCache is a bounded, lock-striped LRU cache from normalized SQL text to
+// compiled zidian.Prepared statements. Compilation (parse → minimize → check
+// → chase-based plan generation) dominates the latency of small scan-free
+// queries, so a serving layer must reuse plans across requests; the cache
+// makes that reuse safe and cheap under concurrency.
+//
+// The key space is split across independently locked shards so concurrent
+// lookups of different statements do not serialize on one mutex. Each shard
+// evicts least-recently-used entries once it exceeds its share of the
+// capacity. Cached plans never expire otherwise: a plan depends only on the
+// relational and BaaV schemas, which are fixed for the lifetime of an opened
+// instance, so data maintenance (INSERT/DELETE) does not invalidate it.
+type PlanCache struct {
+	shards []cacheShard
+	perCap int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	lru *list.List // front = most recent; values are *cacheEntry
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	plan *zidian.Prepared
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Size      int     `json:"size"`
+	Capacity  int     `json:"capacity"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hitRate"`
+}
+
+const defaultCacheShards = 16
+
+// NewPlanCache builds a cache holding at most capacity plans (minimum one
+// per shard). Shards are fixed at construction.
+func NewPlanCache(capacity int) *PlanCache {
+	nShards := defaultCacheShards
+	if capacity < nShards {
+		nShards = max(1, capacity)
+	}
+	per := max(1, capacity/nShards)
+	c := &PlanCache{shards: make([]cacheShard, nShards), perCap: per}
+	for i := range c.shards {
+		c.shards[i].lru = list.New()
+		c.shards[i].m = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *PlanCache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// Get returns the cached plan for the normalized key, marking it most
+// recently used.
+func (c *PlanCache) Get(key string) (*zidian.Prepared, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.m[key]
+	if ok {
+		s.lru.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).plan, true
+}
+
+// Put stores a compiled plan under the normalized key, evicting the shard's
+// least-recently-used entry if it is full. Racing Puts of the same key keep
+// the latest plan; both compile to equivalent plans so either is correct.
+func (c *PlanCache) Put(key string, plan *zidian.Prepared) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.m[key]; ok {
+		el.Value.(*cacheEntry).plan = plan
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.m[key] = s.lru.PushFront(&cacheEntry{key: key, plan: plan})
+	var evicted int64
+	for s.lru.Len() > c.perCap {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.m, oldest.Value.(*cacheEntry).key)
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots hit/miss/eviction counters.
+func (c *PlanCache) Stats() CacheStats {
+	st := CacheStats{
+		Size:      c.Len(),
+		Capacity:  c.perCap * len(c.shards),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits) / float64(total)
+	}
+	return st
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"zidian"
+)
+
+func TestNormalizeSQL(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"SELECT  a FROM t", "select a from t"},
+		{"select a\n\tfrom   t ;", "select a from t"},
+		{"select a from t;;", "select a from t"},
+		{"SELECT a FROM t WHERE b = 'MiXeD Case'", "select a from t where b = 'MiXeD Case'"},
+		{"select a from t where b = 'two  spaces'", "select a from t where b = 'two  spaces'"},
+		{"  select 1  ", "select 1"},
+	}
+	for _, c := range cases {
+		if got := NormalizeSQL(c.in); got != c.want {
+			t.Errorf("NormalizeSQL(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Equivalent spellings share one key; different literals do not.
+	if NormalizeSQL("SELECT a FROM t WHERE x=1") != NormalizeSQL("select  a\nfrom t where x=1") {
+		t.Error("equivalent spellings should normalize identically")
+	}
+	if NormalizeSQL("select a from t where x=1") == NormalizeSQL("select a from t where x=2") {
+		t.Error("different literals must stay distinct")
+	}
+}
+
+func TestPlanCacheHitAndEviction(t *testing.T) {
+	// Capacity below the shard count collapses to a single shard, making
+	// LRU order across keys deterministic for the test.
+	c := NewPlanCache(2)
+	if len(c.shards) != 2 {
+		t.Fatalf("expected 2 shards for capacity 2, got %d", len(c.shards))
+	}
+
+	p1, p2 := new(zidian.Prepared), new(zidian.Prepared)
+	if _, ok := c.Get("q1"); ok {
+		t.Fatal("empty cache should miss")
+	}
+	c.Put("q1", p1)
+	got, ok := c.Get("q1")
+	if !ok || got != p1 {
+		t.Fatal("expected hit returning the stored plan")
+	}
+	c.Put("q1", p2)
+	if got, _ := c.Get("q1"); got != p2 {
+		t.Fatal("re-Put should replace the plan")
+	}
+
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss", st)
+	}
+
+	// Overfill one shard: each shard holds perCap=1 entry, so inserting
+	// many keys evicts the older resident of each shard.
+	for i := 0; i < 16; i++ {
+		c.Put(fmt.Sprintf("k%d", i), p1)
+	}
+	if c.Len() > 2 {
+		t.Fatalf("cache over capacity: len=%d", c.Len())
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("expected evictions after overfill")
+	}
+}
+
+func TestPlanCacheLRUOrder(t *testing.T) {
+	c := NewPlanCache(1) // one shard, one slot
+	p := new(zidian.Prepared)
+	c.Put("a", p)
+	c.Put("b", p) // evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b should be resident")
+	}
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	c := NewPlanCache(64)
+	p := new(zidian.Prepared)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("q%d", (g*7+i)%100)
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, p)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("cache over capacity: %d", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*200 {
+		t.Fatalf("lookups accounted = %d, want %d", st.Hits+st.Misses, 8*200)
+	}
+}

@@ -1,0 +1,171 @@
+// Package server is the serving layer of the SQL-over-NoSQL middleware: a
+// long-lived, concurrent query service wrapping a zidian.Instance.
+//
+// The paper positions Zidian as middleware between SQL clients and a NoSQL
+// store; this package supplies the pieces such a deployment needs beyond
+// query compilation itself — connection handling, statement reuse, and load
+// shedding:
+//
+//   - a line-delimited JSON wire protocol over TCP (one Request per line in,
+//     one Response per line out, requests served in order per connection),
+//   - an HTTP surface (POST/GET /query, GET /healthz, GET /stats),
+//   - per-connection sessions with named prepared statements,
+//   - a shared, lock-striped plan cache keyed by normalized SQL text so
+//     repeated queries skip the parse/check/plan pipeline,
+//   - admission control: a bounded number of concurrently executing
+//     statements plus a bounded wait queue with a timeout, so overload
+//     degrades into fast rejections instead of collapse,
+//   - graceful shutdown draining in-flight work.
+//
+// # Wire protocol
+//
+// Each request is one JSON object on one line. Fields:
+//
+//	{"id": 7, "op": "query",   "sql": "select ..."}        run one SELECT
+//	{"id": 8, "op": "exec",    "sql": "insert ..."}        run any statement
+//	{"id": 9, "op": "prepare", "name": "q1", "sql": "..."} compile + name a SELECT
+//	{"id":10, "op": "execute", "name": "q1"}               run a prepared SELECT
+//	{"id":11, "op": "close",   "name": "q1"}               drop a prepared SELECT
+//	{"id":12, "op": "ping"}                                liveness check
+//	{"id":13, "op": "stats"}                               server statistics
+//
+// The response mirrors the id and carries either ok:true with the payload or
+// ok:false with an error string:
+//
+//	{"id":7,"ok":true,"cols":["make","model"],"rows":[["FORD","F-150"]],
+//	 "stats":{"scanFree":true,"gets":3,"wallMicros":412,"cacheHit":true}}
+package server
+
+import (
+	"strings"
+
+	"zidian/internal/relation"
+)
+
+// Request is one client command.
+type Request struct {
+	// ID is echoed back in the response so clients can match replies.
+	ID int64 `json:"id,omitempty"`
+	// Op is the command: query, exec, prepare, execute, close, ping, stats.
+	Op string `json:"op"`
+	// SQL is the statement text for query, exec and prepare.
+	SQL string `json:"sql,omitempty"`
+	// Name identifies a prepared statement for prepare, execute and close.
+	Name string `json:"name,omitempty"`
+}
+
+// Response is the reply to one Request.
+type Response struct {
+	ID int64 `json:"id,omitempty"`
+	OK bool  `json:"ok"`
+	// Error describes the failure when OK is false.
+	Error string `json:"error,omitempty"`
+	// Cols and Rows carry a SELECT answer.
+	Cols []string `json:"cols,omitempty"`
+	Rows [][]any  `json:"rows,omitempty"`
+	// Affected is the row count of an INSERT or DELETE.
+	Affected int `json:"affected,omitempty"`
+	// Stats carries per-query execution statistics for SELECTs.
+	Stats *QueryStats `json:"stats,omitempty"`
+	// Server carries server-wide statistics for the stats op.
+	Server *ServerStats `json:"server,omitempty"`
+}
+
+// QueryStats is the wire form of zidian.Stats plus serving-layer fields.
+type QueryStats struct {
+	ScanFree   bool   `json:"scanFree"`
+	Bounded    bool   `json:"bounded"`
+	Gets       int64  `json:"gets"`
+	DataValues int64  `json:"dataValues"`
+	WallMicros int64  `json:"wallMicros"`
+	CacheHit   bool   `json:"cacheHit"`
+	Plan       string `json:"plan,omitempty"`
+}
+
+// ServerStats is the payload of the stats op and the /stats endpoint.
+type ServerStats struct {
+	UptimeSeconds  float64        `json:"uptimeSeconds"`
+	Sessions       int64          `json:"sessions"`
+	TotalSessions  int64          `json:"totalSessions"`
+	Queries        int64          `json:"queries"`
+	Errors         int64          `json:"errors"`
+	PlanCache      CacheStats     `json:"planCache"`
+	Admission      AdmissionStats `json:"admission"`
+	StoreGets      int64          `json:"storeGets"`
+	StoreScanNexts int64          `json:"storeScanNexts"`
+}
+
+// jsonValue converts a relation value to its natural JSON representation.
+func jsonValue(v relation.Value) any {
+	switch v.Kind {
+	case relation.KindInt:
+		return v.Int
+	case relation.KindFloat:
+		return v.Flt
+	case relation.KindString:
+		return v.Str
+	default:
+		return nil
+	}
+}
+
+// jsonRows converts result tuples to JSON-ready rows.
+func jsonRows(rows []relation.Tuple) [][]any {
+	out := make([][]any, len(rows))
+	for i, r := range rows {
+		row := make([]any, len(r))
+		for j, v := range r {
+			row[j] = jsonValue(v)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// NormalizeSQL canonicalizes a statement for plan-cache keying: whitespace
+// runs collapse to one space, text outside single-quoted string literals is
+// lowercased, and trailing semicolons are dropped. Two spellings of the same
+// statement therefore share one cache entry, while literals — which are part
+// of the compiled plan — stay significant.
+func NormalizeSQL(src string) string {
+	var b strings.Builder
+	b.Grow(len(src))
+	inStr := false
+	space := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if inStr {
+			b.WriteByte(c)
+			if c == '\'' {
+				inStr = false
+			}
+			continue
+		}
+		switch {
+		case c == '\'':
+			if space && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			space = false
+			inStr = true
+			b.WriteByte(c)
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			space = true
+		default:
+			if space && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			space = false
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			b.WriteByte(c)
+		}
+	}
+	s := b.String()
+	for strings.HasSuffix(s, ";") {
+		s = strings.TrimSuffix(s, ";")
+		s = strings.TrimRight(s, " ")
+	}
+	return s
+}

@@ -1,0 +1,540 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zidian"
+)
+
+// Config tunes a Server. The zero value picks serving defaults suitable for
+// tests and small deployments.
+type Config struct {
+	// MaxConcurrent bounds the number of statements executing at once
+	// (default 2×CPU-ish: 8).
+	MaxConcurrent int
+	// QueueDepth bounds how many admitted connections may wait for an
+	// execution slot (default 4×MaxConcurrent).
+	QueueDepth int
+	// QueueTimeout bounds how long a statement may wait for a slot
+	// (default 1s).
+	QueueTimeout time.Duration
+	// PlanCacheSize bounds the shared plan cache (default 4096 plans).
+	PlanCacheSize int
+	// MaxLineBytes bounds one wire-protocol line (default 1 MiB).
+	MaxLineBytes int
+}
+
+func (c Config) normalized() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxConcurrent
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = time.Second
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 4096
+	}
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = 1 << 20
+	}
+	return c
+}
+
+// Server is a long-lived, concurrent SQL service over one opened
+// zidian.Instance. It terminates the wire protocol on TCP, serves the HTTP
+// surface, shares one plan cache and one admission gate across both, and
+// serializes data maintenance (INSERT/DELETE) against the read path with a
+// store-level RWMutex: queries run concurrently with each other; writes run
+// alone. Compiled plans survive writes — they depend only on the schemas.
+type Server struct {
+	inst  *zidian.Instance
+	cfg   Config
+	cache *PlanCache
+	adm   *Admission
+
+	// dbMu is the instance-level read/write gate described above. The kv
+	// cluster below is already safe for concurrent use; this lock protects
+	// the store- and relation-level bookkeeping (block counts, degrees, row
+	// counts, relation tuple slices) that maintenance mutates.
+	dbMu sync.RWMutex
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	tcpLn   net.Listener
+	httpSrv *http.Server
+	conns   map[net.Conn]struct{}
+	closed  bool
+
+	wg        sync.WaitGroup
+	started   time.Time
+	nextSess  atomic.Uint64
+	sessions  atomic.Int64
+	totalSess atomic.Int64
+	queries   atomic.Int64
+	errors    atomic.Int64
+}
+
+// New wraps an opened instance in a server. Call ServeTCP/ServeHTTP (or
+// Start) to begin accepting, and Shutdown to drain.
+func New(inst *zidian.Instance, cfg Config) *Server {
+	cfg = cfg.normalized()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		inst:    inst,
+		cfg:     cfg,
+		cache:   NewPlanCache(cfg.PlanCacheSize),
+		adm:     NewAdmission(cfg.MaxConcurrent, cfg.QueueDepth, cfg.QueueTimeout),
+		ctx:     ctx,
+		cancel:  cancel,
+		conns:   make(map[net.Conn]struct{}),
+		started: time.Now(),
+	}
+}
+
+// Cache exposes the shared plan cache (for stats and tests).
+func (s *Server) Cache() *PlanCache { return s.cache }
+
+// Admission exposes the admission gate (for stats and tests).
+func (s *Server) Admission() *Admission { return s.adm }
+
+// Start listens on the given TCP and HTTP addresses (":0" picks a free
+// port; an empty address disables that surface) and serves in background
+// goroutines until Shutdown. It returns the bound addresses.
+func (s *Server) Start(tcpAddr, httpAddr string) (tcp, httpA string, err error) {
+	if tcpAddr != "" {
+		ln, err := net.Listen("tcp", tcpAddr)
+		if err != nil {
+			return "", "", err
+		}
+		tcp = ln.Addr().String()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.ServeTCP(ln)
+		}()
+	}
+	if httpAddr != "" {
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return "", "", err
+		}
+		httpA = ln.Addr().String()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.ServeHTTP(ln)
+		}()
+	}
+	return tcp, httpA, nil
+}
+
+// ServeTCP accepts wire-protocol connections on ln until Shutdown or a
+// permanent accept error.
+func (s *Server) ServeTCP(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.tcpLn = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.ctx.Done():
+				return nil
+			default:
+				return err
+			}
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn runs one session: read a request line, serve it, write the
+// response line, in order, until the client disconnects.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.sessions.Add(-1)
+	}()
+	s.sessions.Add(1)
+	s.totalSess.Add(1)
+	sess := newSession(s.nextSess.Add(1), conn.RemoteAddr().String())
+
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), s.cfg.MaxLineBytes)
+	out := bufio.NewWriter(conn)
+	enc := json.NewEncoder(out)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		resp := Response{}
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp.Error = "malformed request: " + err.Error()
+		} else {
+			resp = s.handle(sess, &req)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+		if err := out.Flush(); err != nil {
+			return
+		}
+	}
+	// Tell the client why the session is ending when the protocol itself
+	// failed — most importantly an oversized request line, which would
+	// otherwise look like a silent disconnect.
+	if err := sc.Err(); err != nil {
+		msg := "request line error: " + err.Error()
+		if errors.Is(err, bufio.ErrTooLong) {
+			msg = fmt.Sprintf("server: request line exceeds %d bytes", s.cfg.MaxLineBytes)
+		}
+		if enc.Encode(&Response{Error: msg}) == nil {
+			out.Flush()
+		}
+	}
+}
+
+// handle dispatches one request against a session.
+func (s *Server) handle(sess *Session, req *Request) Response {
+	resp := Response{ID: req.ID}
+	fail := func(err error) Response {
+		s.errors.Add(1)
+		resp.OK = false
+		resp.Error = err.Error()
+		return resp
+	}
+	switch req.Op {
+	case "ping":
+		resp.OK = true
+	case "stats":
+		st := s.Stats()
+		resp.OK = true
+		resp.Server = &st
+	case "query":
+		res, stats, cacheHit, err := s.Query(s.ctx, req.SQL)
+		if err != nil {
+			return fail(err)
+		}
+		s.fillResult(&resp, res, stats, cacheHit)
+	case "exec":
+		norm := NormalizeSQL(req.SQL)
+		if strings.HasPrefix(norm, "select") {
+			res, stats, cacheHit, err := s.queryNorm(s.ctx, norm, req.SQL)
+			if err != nil {
+				return fail(err)
+			}
+			s.fillResult(&resp, res, stats, cacheHit)
+			return resp
+		}
+		affected, err := s.Exec(s.ctx, req.SQL)
+		if err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+		resp.Affected = affected
+	case "prepare":
+		if req.Name == "" {
+			return fail(fmt.Errorf("server: prepare needs a statement name"))
+		}
+		p, _, err := s.compile(req.SQL)
+		if err != nil {
+			return fail(err)
+		}
+		if err := sess.SetPrepared(req.Name, p); err != nil {
+			return fail(err)
+		}
+		resp.OK = true
+	case "execute":
+		p, ok := sess.Prepared(req.Name)
+		if !ok {
+			return fail(fmt.Errorf("server: no prepared statement %q", req.Name))
+		}
+		res, stats, err := s.run(s.ctx, p)
+		if err != nil {
+			return fail(err)
+		}
+		s.fillResult(&resp, res, stats, true)
+	case "close":
+		if !sess.ClosePrepared(req.Name) {
+			return fail(fmt.Errorf("server: no prepared statement %q", req.Name))
+		}
+		resp.OK = true
+	default:
+		return fail(fmt.Errorf("server: unknown op %q", req.Op))
+	}
+	return resp
+}
+
+func (s *Server) fillResult(resp *Response, res *zidian.Result, stats *zidian.Stats, cacheHit bool) {
+	resp.OK = true
+	resp.Cols = res.Cols
+	resp.Rows = jsonRows(res.Rows)
+	resp.Stats = &QueryStats{
+		ScanFree:   stats.ScanFree,
+		Bounded:    stats.Bounded,
+		Gets:       stats.Gets,
+		DataValues: stats.DataValues,
+		WallMicros: stats.Wall.Microseconds(),
+		CacheHit:   cacheHit,
+	}
+}
+
+// compile returns the cached plan for the statement, compiling and caching
+// it on a miss, and reports whether it was a cache hit.
+func (s *Server) compile(sql string) (*zidian.Prepared, bool, error) {
+	return s.compileNorm(NormalizeSQL(sql), sql)
+}
+
+// compileNorm is compile with the normalization already done.
+func (s *Server) compileNorm(norm, sql string) (*zidian.Prepared, bool, error) {
+	if p, ok := s.cache.Get(norm); ok {
+		return p, true, nil
+	}
+	s.dbMu.RLock()
+	p, err := s.inst.Prepare(sql)
+	s.dbMu.RUnlock()
+	if err != nil {
+		return nil, false, err
+	}
+	s.cache.Put(norm, p)
+	return p, false, nil
+}
+
+// run executes a compiled plan under admission control and the read lock.
+func (s *Server) run(ctx context.Context, p *zidian.Prepared) (*zidian.Result, *zidian.Stats, error) {
+	if err := s.adm.Acquire(ctx); err != nil {
+		return nil, nil, err
+	}
+	defer s.adm.Release()
+	s.dbMu.RLock()
+	defer s.dbMu.RUnlock()
+	s.queries.Add(1)
+	return p.Run()
+}
+
+// Query compiles (or reuses) and executes one SELECT, reporting whether the
+// plan came from the cache.
+func (s *Server) Query(ctx context.Context, sql string) (*zidian.Result, *zidian.Stats, bool, error) {
+	return s.queryNorm(ctx, NormalizeSQL(sql), sql)
+}
+
+// queryNorm is Query with the normalization already done.
+func (s *Server) queryNorm(ctx context.Context, norm, sql string) (*zidian.Result, *zidian.Stats, bool, error) {
+	p, hit, err := s.compileNorm(norm, sql)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	res, stats, err := s.run(ctx, p)
+	if err != nil {
+		return nil, nil, hit, err
+	}
+	return res, stats, hit, nil
+}
+
+// Exec runs one non-SELECT statement (INSERT/DELETE) under the exclusive
+// write lock, returning the affected row count.
+func (s *Server) Exec(ctx context.Context, sql string) (int, error) {
+	if err := s.adm.Acquire(ctx); err != nil {
+		return 0, err
+	}
+	defer s.adm.Release()
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+	s.queries.Add(1)
+	r, err := s.inst.Exec(sql)
+	if err != nil {
+		return 0, err
+	}
+	return r.Affected, nil
+}
+
+// Stats snapshots server-wide statistics.
+func (s *Server) Stats() ServerStats {
+	kvm := s.inst.Store().Cluster.Metrics()
+	return ServerStats{
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Sessions:       s.sessions.Load(),
+		TotalSessions:  s.totalSess.Load(),
+		Queries:        s.queries.Load(),
+		Errors:         s.errors.Load(),
+		PlanCache:      s.cache.Stats(),
+		Admission:      s.adm.Stats(),
+		StoreGets:      kvm.Gets,
+		StoreScanNexts: kvm.ScanNexts,
+	}
+}
+
+// ServeHTTP serves the HTTP surface on ln until Shutdown:
+//
+//	POST /query   {"sql": "select ..."}  (or GET /query?q=...)
+//	GET  /healthz liveness
+//	GET  /stats   server statistics
+func (s *Server) ServeHTTP(ln net.Listener) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.httpQuery)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		st := s.Stats()
+		json.NewEncoder(w).Encode(&st)
+	})
+	srv := &http.Server{Handler: mux}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.httpSrv = srv
+	s.mu.Unlock()
+	err := srv.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+func (s *Server) httpQuery(w http.ResponseWriter, r *http.Request) {
+	var sql string
+	switch r.Method {
+	case http.MethodGet:
+		sql = r.URL.Query().Get("q")
+	case http.MethodPost:
+		var body struct {
+			SQL string `json:"sql"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, "malformed body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		sql = body.SQL
+	default:
+		http.Error(w, "use GET ?q= or POST {\"sql\": ...}", http.StatusMethodNotAllowed)
+		return
+	}
+	if strings.TrimSpace(sql) == "" {
+		http.Error(w, "empty statement", http.StatusBadRequest)
+		return
+	}
+	var resp Response
+	var err error
+	norm := NormalizeSQL(sql)
+	if strings.HasPrefix(norm, "select") {
+		var res *zidian.Result
+		var stats *zidian.Stats
+		var cacheHit bool
+		res, stats, cacheHit, err = s.queryNorm(s.ctx, norm, sql)
+		if err == nil {
+			s.fillResult(&resp, res, stats, cacheHit)
+		}
+	} else {
+		var affected int
+		affected, err = s.Exec(s.ctx, sql)
+		if err == nil {
+			resp.OK = true
+			resp.Affected = affected
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err != nil {
+		s.errors.Add(1)
+		resp.Error = err.Error()
+		// Backpressure and shutdown are transient server-side conditions the
+		// client should retry elsewhere/later; everything else is the
+		// statement's own fault.
+		if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrQueueTimeout) ||
+			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		} else {
+			w.WriteHeader(http.StatusBadRequest)
+		}
+	}
+	json.NewEncoder(w).Encode(&resp)
+}
+
+// Shutdown stops accepting, unblocks idle connections, and waits for
+// in-flight statements to drain until ctx expires, then force-closes
+// stragglers. It is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	tcpLn, httpSrv := s.tcpLn, s.httpSrv
+	// Wake blocked readers: sessions finish the statement they are serving,
+	// write its response, then fail the next read and exit cleanly.
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	s.cancel() // aborts statements waiting in the admission queue
+	if tcpLn != nil {
+		tcpLn.Close()
+	}
+	var httpErr error
+	if httpSrv != nil {
+		httpErr = httpSrv.Shutdown(ctx)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return httpErr
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}

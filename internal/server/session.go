@@ -1,0 +1,74 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"zidian"
+)
+
+// Session is the per-connection state of one client: an identity, the named
+// prepared statements the client has compiled, and bookkeeping timestamps.
+// A TCP connection owns exactly one session for its lifetime; each HTTP
+// request is sessionless. Session methods are safe for concurrent use,
+// though the TCP loop serves one request at a time per connection.
+type Session struct {
+	ID     uint64
+	Remote string
+
+	mu      sync.Mutex
+	stmts   map[string]*zidian.Prepared
+	started time.Time
+}
+
+// newSession builds an empty session.
+func newSession(id uint64, remote string) *Session {
+	return &Session{
+		ID:      id,
+		Remote:  remote,
+		stmts:   make(map[string]*zidian.Prepared),
+		started: time.Now(),
+	}
+}
+
+// maxPreparedPerSession bounds per-session statement state so a misbehaving
+// client cannot grow server memory without bound.
+const maxPreparedPerSession = 256
+
+// SetPrepared names a compiled statement within the session, replacing any
+// previous statement of that name.
+func (s *Session) SetPrepared(name string, p *zidian.Prepared) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.stmts[name]; !ok && len(s.stmts) >= maxPreparedPerSession {
+		return fmt.Errorf("server: session holds %d prepared statements already", maxPreparedPerSession)
+	}
+	s.stmts[name] = p
+	return nil
+}
+
+// Prepared looks up a named statement.
+func (s *Session) Prepared(name string) (*zidian.Prepared, bool) {
+	s.mu.Lock()
+	p, ok := s.stmts[name]
+	s.mu.Unlock()
+	return p, ok
+}
+
+// ClosePrepared drops a named statement, reporting whether it existed.
+func (s *Session) ClosePrepared(name string) bool {
+	s.mu.Lock()
+	_, ok := s.stmts[name]
+	delete(s.stmts, name)
+	s.mu.Unlock()
+	return ok
+}
+
+// PreparedCount returns the number of named statements held.
+func (s *Session) PreparedCount() int {
+	s.mu.Lock()
+	n := len(s.stmts)
+	s.mu.Unlock()
+	return n
+}

@@ -1,0 +1,23 @@
+package server
+
+import (
+	"zidian"
+	"zidian/internal/workload"
+)
+
+// OpenWorkload generates a named workload dataset ("mot", "airca" or
+// "tpch") at the given scale and opens a zidian instance over its
+// hand-designed BaaV schema — the standard bootstrap for a serving
+// deployment backed by synthetic data (zidian-server, the load-generator
+// bench, and the server tests all start here).
+func OpenWorkload(name string, scale float64, seed int64, nodes, workers int) (*zidian.Instance, *workload.Workload, error) {
+	w, err := workload.Generate(name, workload.Spec{Scale: scale, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	inst, err := zidian.Open(w.DB, w.Schema, zidian.Options{Nodes: nodes, Workers: workers})
+	if err != nil {
+		return nil, nil, err
+	}
+	return inst, w, nil
+}

@@ -167,30 +167,76 @@ func Open(db *Database, schema *BaaVSchema, opts Options) (*Instance, error) {
 func (in *Instance) Store() *baav.Store { return in.store }
 
 // Query parses, plans and executes a SQL query in parallel over the BaaV
-// store, returning the answer and execution statistics.
+// store, returning the answer and execution statistics. Each call recompiles
+// the plan from scratch; callers that repeat queries should Prepare once and
+// Run many times (or sit behind a serving layer with a plan cache).
 func (in *Instance) Query(src string) (*Result, *Stats, error) {
-	q, err := ra.Parse(src, in.db)
+	p, err := in.Prepare(src)
 	if err != nil {
 		return nil, nil, err
+	}
+	return p.Run()
+}
+
+// Prepared is a compiled query: parsed, minimized, checked and planned once,
+// executable many times. A Prepared is immutable after Prepare and safe for
+// concurrent Run calls from multiple goroutines; the underlying KBA plan is
+// only read during execution. Plans depend on the relational and BaaV
+// schemas, not on the stored data, so a Prepared stays valid across
+// Insert/Delete maintenance.
+type Prepared struct {
+	in   *Instance
+	info *core.PlanInfo
+	src  string
+}
+
+// Prepare parses, checks and plans a SQL query without executing it. The
+// returned statement amortizes the parse/check/plan cost — the hot path for
+// repeated queries — across any number of Run calls.
+func (in *Instance) Prepare(src string) (*Prepared, error) {
+	q, err := ra.Parse(src, in.db)
+	if err != nil {
+		return nil, err
 	}
 	info, err := in.checker.Plan(q)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	res, m, err := parallel.RunKBA(info, in.store, in.opts.Workers)
+	return &Prepared{in: in, info: info, src: src}, nil
+}
+
+// SQL returns the statement's source text.
+func (p *Prepared) SQL() string { return p.src }
+
+// ScanFree reports whether the compiled plan scans no KV instance.
+func (p *Prepared) ScanFree() bool { return p.info.ScanFree }
+
+// Plan renders the compiled KBA plan (empty for statically empty queries).
+func (p *Prepared) Plan() string {
+	if p.info.Root == nil {
+		return ""
+	}
+	return p.info.Root.String()
+}
+
+// Run executes the prepared plan in parallel over the BaaV store. It is safe
+// to call concurrently.
+func (p *Prepared) Run() (*Result, *Stats, error) {
+	in := p.in
+	res, m, err := parallel.RunKBA(p.info, in.store, in.opts.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats := &Stats{
-		ScanFree:     info.ScanFree,
-		Bounded:      info.Bounded(in.store, in.opts.MaxBoundedDegree),
+		ScanFree:     p.info.ScanFree,
+		Bounded:      p.info.Bounded(in.store, in.opts.MaxBoundedDegree),
 		Gets:         m.Gets,
 		DataValues:   m.DataValues,
 		ShuffleBytes: m.ShuffleBytes,
 		Wall:         m.Wall,
 	}
-	if info.Root != nil {
-		stats.Plan = info.Root.String()
+	if p.info.Root != nil {
+		stats.Plan = p.info.Root.String()
 	}
 	return res, stats, nil
 }

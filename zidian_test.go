@@ -1,6 +1,7 @@
 package zidian
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -198,6 +199,71 @@ func TestFacadeExec(t *testing.T) {
 	} {
 		if _, err := inst.Exec(src); err == nil {
 			t.Fatalf("expected error for %q", src)
+		}
+	}
+}
+
+func TestFacadePrepare(t *testing.T) {
+	inst := facadeInstance(t)
+	src := "select S.suppkey from SUPPLIER S, NATION N where S.nationkey = N.nationkey and N.name = 'GERMANY'"
+	p, err := inst.Prepare(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SQL() != src || !p.ScanFree() || !strings.Contains(p.Plan(), "∝") {
+		t.Fatalf("prepared = %q scanfree=%v plan=%q", p.SQL(), p.ScanFree(), p.Plan())
+	}
+	// A prepared statement is reusable and must agree with Query every time.
+	want, _, err := inst.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, stats, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equal(want) {
+			t.Fatalf("run %d: %v != %v", i, res.Rows, want.Rows)
+		}
+		if !stats.ScanFree || stats.Gets == 0 {
+			t.Fatalf("run %d stats = %+v", i, stats)
+		}
+	}
+	if _, err := inst.Prepare("select nothing from NOWHERE"); err == nil {
+		t.Fatal("expected error preparing over unknown relation")
+	}
+}
+
+// TestFacadePrepareConcurrent runs one compiled plan from many goroutines;
+// under -race this checks the plan-reuse path the serving layer depends on.
+func TestFacadePrepareConcurrent(t *testing.T) {
+	inst := facadeInstance(t)
+	p, err := inst.Prepare(
+		"select S.suppkey from SUPPLIER S, NATION N where S.nationkey = N.nationkey and N.name = 'GERMANY'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 20; i++ {
+				res, _, err := p.Run()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Rows) != 2 {
+					errs <- fmt.Errorf("rows = %v", res.Rows)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
 		}
 	}
 }
