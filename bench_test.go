@@ -1,4 +1,7 @@
-package zidian
+// Package zidian_test keeps these benchmarks outside the zidian package
+// proper: internal/bench imports the zidian facade (the index experiment
+// drives DDL through it), so an in-package test would form a cycle.
+package zidian_test
 
 // This file holds one testing.B benchmark per table and figure of the
 // paper's evaluation (Section 9). Each benchmark runs the corresponding

@@ -12,6 +12,7 @@
 //	zidian-bench -exp 4                  # KV throughput
 //	zidian-bench -exp 4h                 # horizontal scalability
 //	zidian-bench -exp server             # serving layer (writes BENCH_server.json)
+//	zidian-bench -exp index              # secondary indexes (writes BENCH_index.json)
 //
 // -scale multiplies the dataset sizes; -workers and -nodes set the cluster
 // shape (paper defaults: 8 workers, 12 nodes).
@@ -29,32 +30,49 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, 1case, 1, 2, 3p, 3d, 4, 4h, ablation, server")
+		exp      = flag.String("exp", "all", "experiment: all, 1case, 1, 2, 3p, 3d, 4, 4h, ablation, server, index")
 		workload = flag.String("workload", "mot", "workload for exp 2/3/server: mot, airca, tpch")
+		mix      = flag.String("mix", "point", "query mix for -exp server: point, nonkey, mixed")
 		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
 		workers  = flag.Int("workers", 8, "SQL-layer workers")
 		nodes    = flag.Int("nodes", 12, "storage nodes")
 		seed     = flag.Int64("seed", 7, "generator seed")
 		clients  = flag.Int("clients", 64, "concurrent connections for -exp server")
 		requests = flag.Int("requests", 100, "statements per connection for -exp server")
-		jsonOut  = flag.String("json", "BENCH_server.json", "report path for -exp server (empty disables)")
+		jsonOut  = flag.String("json", "", "report path for -exp server/index (default BENCH_server.json / BENCH_index.json; \"none\" disables)")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Seed: *seed, Nodes: *nodes, Workers: *workers}
 	out := os.Stdout
 
+	jsonPath := func(def string) string {
+		switch *jsonOut {
+		case "":
+			return def
+		case "none":
+			return ""
+		default:
+			return *jsonOut
+		}
+	}
+
 	serverBench := func(out io.Writer, cfg bench.Config) error {
 		return loadgen.BenchServer(out, loadgen.BenchOptions{
 			Workload: *workload,
+			Mix:      *mix,
 			Scale:    cfg.Scale,
 			Seed:     cfg.Seed,
 			Nodes:    cfg.Nodes,
 			Workers:  cfg.Workers,
 			Clients:  *clients,
 			Requests: *requests,
-			JSONPath: *jsonOut,
+			JSONPath: jsonPath("BENCH_server.json"),
 		})
+	}
+
+	indexBench := func(out io.Writer, cfg bench.Config) error {
+		return bench.ExpIndex(out, cfg, jsonPath("BENCH_index.json"))
 	}
 
 	run := func(name string, f func() error) {
@@ -85,6 +103,8 @@ func main() {
 		run("ablation", func() error { return bench.Ablation(out, cfg) })
 	case "server":
 		run("server", func() error { return serverBench(out, cfg) })
+	case "index":
+		run("index", func() error { return indexBench(out, cfg) })
 	case "all":
 		run("exp1-case (Table 2)", func() error { return bench.Exp1Case(out, cfg) })
 		run("exp1-overall (Table 3)", func() error { return bench.Exp1Overall(out, cfg) })
@@ -99,6 +119,7 @@ func main() {
 		run("exp4-horizontal", func() error { return bench.Exp4Horizontal(out, cfg, nil) })
 		run("ablation", func() error { return bench.Ablation(out, cfg) })
 		run("server", func() error { return serverBench(out, cfg) })
+		run("index", func() error { return indexBench(out, cfg) })
 	default:
 		fmt.Fprintf(os.Stderr, "zidian-bench: unknown experiment %q\n", *exp)
 		flag.Usage()

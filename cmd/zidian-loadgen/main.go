@@ -20,6 +20,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", "localhost:7071", "server wire-protocol address")
 		wl       = flag.String("workload", "mot", "template suite: mot, airca, tpch")
+		mix      = flag.String("mix", "point", "query mix: point, nonkey (selective non-key predicates over secondary indexes), mixed")
 		clients  = flag.Int("clients", 64, "concurrent client connections")
 		requests = flag.Int("requests", 200, "statements per client")
 		pool     = flag.Int("params", 100, "distinct parameter values per template")
@@ -28,7 +29,7 @@ func main() {
 	)
 	flag.Parse()
 
-	templates, err := loadgen.Templates(*wl)
+	templates, setup, err := loadgen.TemplatesMix(*wl, *mix)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "zidian-loadgen: %v\n", err)
 		os.Exit(2)
@@ -38,6 +39,7 @@ func main() {
 		Clients:   *clients,
 		Requests:  *requests,
 		Templates: templates,
+		Setup:     setup,
 		ParamPool: *pool,
 		Seed:      *seed,
 	})
@@ -46,6 +48,7 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Workload = *wl
+	rep.Mix = *mix
 
 	fmt.Printf("%d clients × %d requests in %.2fs\n", rep.Clients, *requests, rep.WallSeconds)
 	fmt.Printf("  qps        %.0f\n", rep.QPS)

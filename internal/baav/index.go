@@ -1,0 +1,16 @@
+package baav
+
+import "zidian/internal/relation"
+
+// SecondaryIndex resolves block-aware secondary-index lookups at plan
+// execution time. It is implemented by internal/index.Manager; the store
+// only needs the read path, so executors stay decoupled from the index
+// subsystem's catalog and maintenance machinery.
+type SecondaryIndex interface {
+	// Lookup returns the block keys posted under v in the named index and
+	// the number of get invocations issued.
+	Lookup(name string, v relation.Value) ([]relation.Tuple, int, error)
+	// MaxPostings returns the longest posting list of the named index; the
+	// boundedness check treats it like a block degree.
+	MaxPostings(name string) int
+}

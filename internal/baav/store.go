@@ -35,6 +35,11 @@ type Store struct {
 	Rels    map[string]*relation.Schema
 	Opts    Options
 
+	// Index, when set, serves secondary-index lookups for IndexLookup plan
+	// leaves. Index pairs live in the same cluster under a disjoint key
+	// space (internal/index).
+	Index SecondaryIndex
+
 	ids     map[string]uint32 // KV schema name -> physical id
 	degrees map[string]int    // KV schema name -> max distinct block size seen
 	blocks  map[string]int    // KV schema name -> number of keyed blocks

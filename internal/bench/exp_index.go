@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"zidian"
+)
+
+// ExpIndex measures the secondary-index subsystem end to end on a growing
+// relation: a selective non-key predicate answered by a full scan versus an
+// IndexLookup plan, plus the write-path overhead of maintaining the index.
+// The machine-readable report goes to jsonPath (BENCH_index.json).
+//
+// The relation is built so the predicate stays equally selective at every
+// size (each sku value is shared by a handful of items): the scan path
+// degrades linearly with the relation while the index path stays flat, the
+// regime where the SQL-vs-NoSQL comparison literature places NoSQL
+// middlewares behind.
+func ExpIndex(out io.Writer, cfg Config, jsonPath string) error {
+	cfg = cfg.normalized()
+	rep := &indexReport{Bench: "index", Nodes: cfg.Nodes, Workers: cfg.Workers}
+	for _, base := range []int{2000, 10000, 50000} {
+		rows := int(float64(base) * cfg.Scale)
+		if rows < 100 {
+			rows = 100
+		}
+		sz, err := expIndexAt(rows, cfg)
+		if err != nil {
+			return err
+		}
+		rep.Sizes = append(rep.Sizes, *sz)
+	}
+
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "rows\tscan µs\tindex µs\tspeedup\tscan ops\tindex ops\twrite ovhd\n")
+	for _, s := range rep.Sizes {
+		fmt.Fprintf(w, "%d\t%.0f\t%.0f\t%.1f×\t%d\t%d\t%.2f×\n",
+			s.Rows, s.ScanMicros, s.IndexMicros, s.Speedup, s.ScanOps, s.IndexOps, s.WriteOverhead)
+	}
+	w.Flush()
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// indexReport is the BENCH_index.json payload.
+type indexReport struct {
+	Bench   string            `json:"bench"`
+	Nodes   int               `json:"nodes"`
+	Workers int               `json:"workers"`
+	Sizes   []indexSizeReport `json:"sizes"`
+}
+
+type indexSizeReport struct {
+	Rows int `json:"rows"`
+	// Matching is the number of tuples the selective predicate hits.
+	Matching int `json:"matching"`
+	// ScanMicros / IndexMicros are mean per-query latencies of the same
+	// statement answered by the scan plan and the IndexLookup plan.
+	ScanMicros  float64 `json:"scanMicros"`
+	IndexMicros float64 `json:"indexMicros"`
+	Speedup     float64 `json:"speedup"`
+	// ScanOps / IndexOps count storage operations (gets + scan steps) one
+	// query issues under each plan.
+	ScanOps  int64 `json:"scanOps"`
+	IndexOps int64 `json:"indexOps"`
+	// Plan is the EXPLAIN output of the index plan.
+	Plan string `json:"plan"`
+	// BackfillMicros is the CREATE INDEX cost over the loaded relation.
+	BackfillMicros float64 `json:"backfillMicros"`
+	// Write-path overhead of index maintenance: mean per-tuple insert cost
+	// without and with the index, and their ratio.
+	BaseWriteMicros    float64 `json:"baseWriteMicros"`
+	IndexedWriteMicros float64 `json:"indexedWriteMicros"`
+	WriteOverhead      float64 `json:"writeOverhead"`
+}
+
+// itemSKUFan is how many items share one sku value — the predicate's fixed
+// selectivity.
+const itemSKUFan = 4
+
+func itemTuple(i int) zidian.Tuple {
+	return zidian.Tuple{
+		zidian.Int(int64(i)),
+		zidian.String(fmt.Sprintf("SKU-%06d", i/itemSKUFan)),
+		zidian.String(fmt.Sprintf("CAT-%02d", i%17)),
+		zidian.Float(float64(100+i%900) / 10),
+		zidian.Int(int64(1 + i%50)),
+		zidian.Int(int64(i % 23)),
+	}
+}
+
+func openItems(rows int, cfg Config) (*zidian.Instance, error) {
+	db := zidian.NewDatabase()
+	schema := zidian.MustRelSchema("ITEM", []zidian.Attr{
+		{Name: "item_id", Kind: zidian.KindInt},
+		{Name: "sku", Kind: zidian.KindString},
+		{Name: "category", Kind: zidian.KindString},
+		{Name: "price", Kind: zidian.KindFloat},
+		{Name: "qty", Kind: zidian.KindInt},
+		{Name: "warehouse", Kind: zidian.KindInt},
+	}, []string{"item_id"})
+	rel := zidian.NewRelation(schema)
+	for i := 0; i < rows; i++ {
+		rel.MustInsert(itemTuple(i))
+	}
+	db.Add(rel)
+	bv, err := zidian.NewBaaVSchema(db, zidian.KVSchema{
+		Name: "item_full", Rel: "ITEM", Key: []string{"item_id"},
+		Val: []string{"sku", "category", "price", "qty", "warehouse"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return zidian.Open(db, bv, zidian.Options{Nodes: cfg.Nodes, Workers: cfg.Workers})
+}
+
+func expIndexAt(rows int, cfg Config) (*indexSizeReport, error) {
+	inst, err := openItems(rows, cfg)
+	if err != nil {
+		return nil, err
+	}
+	target := (rows / 2) / itemSKUFan // a sku from the middle of the relation
+	query := fmt.Sprintf("select I.item_id, I.price, I.qty from ITEM I where I.sku = 'SKU-%06d'", target)
+	const repeats = 12
+	sz := &indexSizeReport{Rows: rows}
+
+	// Write-path baseline before the index exists: insert fresh tuples,
+	// then delete them to restore the dataset. One untimed pass first so
+	// the measured passes (with and without index) both run warm.
+	writes := rows / 10
+	if writes < 50 {
+		writes = 50
+	}
+	if writes > 2000 {
+		writes = 2000
+	}
+	if _, err := timeWrites(inst, rows, writes); err != nil {
+		return nil, err
+	}
+	sz.BaseWriteMicros, err = timeWrites(inst, rows, writes)
+	if err != nil {
+		return nil, err
+	}
+
+	scanRes, scanMicros, scanOps, err := timeQuery(inst, query, repeats)
+	if err != nil {
+		return nil, err
+	}
+	sz.ScanMicros, sz.ScanOps = scanMicros, scanOps
+	sz.Matching = len(scanRes.Rows)
+
+	t0 := time.Now()
+	if _, err := inst.Exec("create index ix_item_sku on ITEM(sku)"); err != nil {
+		return nil, err
+	}
+	sz.BackfillMicros = float64(time.Since(t0).Microseconds())
+
+	plan, err := inst.Explain(query)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.Contains(plan, "IndexLookup") {
+		return nil, fmt.Errorf("bench: index plan expected for %q, got %s", query, plan)
+	}
+	sz.Plan = plan
+
+	idxRes, idxMicros, idxOps, err := timeQuery(inst, query, repeats)
+	if err != nil {
+		return nil, err
+	}
+	sz.IndexMicros, sz.IndexOps = idxMicros, idxOps
+	if err := sameRows(scanRes, idxRes); err != nil {
+		return nil, fmt.Errorf("bench: scan/index answers diverge at %d rows: %v", rows, err)
+	}
+	if sz.IndexMicros > 0 {
+		sz.Speedup = sz.ScanMicros / sz.IndexMicros
+	}
+
+	sz.IndexedWriteMicros, err = timeWrites(inst, rows, writes)
+	if err != nil {
+		return nil, err
+	}
+	if sz.BaseWriteMicros > 0 {
+		sz.WriteOverhead = sz.IndexedWriteMicros / sz.BaseWriteMicros
+	}
+	return sz, nil
+}
+
+// timeQuery runs the statement repeatedly and reports the answer, the mean
+// latency in microseconds, and the mean storage operations per run.
+func timeQuery(inst *zidian.Instance, query string, repeats int) (*zidian.Result, float64, int64, error) {
+	var res *zidian.Result
+	before := inst.Store().Cluster.Metrics()
+	t0 := time.Now()
+	for i := 0; i < repeats; i++ {
+		r, _, err := inst.Query(query)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		res = r
+	}
+	micros := float64(time.Since(t0).Microseconds()) / float64(repeats)
+	delta := inst.Store().Cluster.Metrics().Sub(before)
+	ops := (delta.Gets + delta.ScanNexts) / int64(repeats)
+	return res, micros, ops, nil
+}
+
+// timeWrites inserts n fresh tuples (ids above the loaded range), deletes
+// them again, and reports the mean per-insert latency in microseconds.
+func timeWrites(inst *zidian.Instance, rows, n int) (float64, error) {
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		if err := inst.Insert("ITEM", itemTuple(rows+i)); err != nil {
+			return 0, err
+		}
+	}
+	micros := float64(time.Since(t0).Microseconds()) / float64(n)
+	for i := 0; i < n; i++ {
+		if err := inst.Delete("ITEM", itemTuple(rows+i)); err != nil {
+			return 0, err
+		}
+	}
+	return micros, nil
+}
+
+// sameRows checks two answers are the same bag of rows (order-insensitive).
+func sameRows(a, b *zidian.Result) error {
+	if len(a.Rows) != len(b.Rows) {
+		return fmt.Errorf("row counts %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	key := func(rows []zidian.Tuple) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = r.String()
+		}
+		sort.Strings(out)
+		return out
+	}
+	ka, kb := key(a.Rows), key(b.Rows)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return fmt.Errorf("row %d: %s vs %s", i, ka[i], kb[i])
+		}
+	}
+	return nil
+}

@@ -27,6 +27,20 @@ type PlanStats interface {
 	HasBlockStats() bool
 }
 
+// IndexCatalog lists the secondary indexes available to the planner. It is
+// implemented by internal/index.Manager. Unlike the BaaV schema, the
+// catalog is mutable at runtime (CREATE INDEX / DROP INDEX), so the planner
+// consults it on every Plan call; cached plans must be invalidated when it
+// changes (the serving layer's schema epoch does this).
+type IndexCatalog interface {
+	// IndexOn returns, for an index on rel(attr), the index name and the
+	// block-key attributes its postings hold (the relation's primary key).
+	IndexOn(rel, attr string) (name string, key []string, ok bool)
+	// AvgPostings estimates the posting-list length of one lookup — the
+	// cost statistic for the index-vs-scan decision.
+	AvgPostings(name string) int
+}
+
 // Checker answers the fundamental questions of modules M1 and M2: whether a
 // BaaV schema preserves a relational schema or a query, and whether a query
 // is scan-free or bounded.
@@ -38,6 +52,9 @@ type Checker struct {
 	// that already contain a scan; scan-free plans never probe from an
 	// unbounded fragment).
 	Stats PlanStats
+	// Indexes, when set, enables the planner's third access path: secondary
+	// index lookups for constant predicates on non-key attributes.
+	Indexes IndexCatalog
 }
 
 // NewChecker builds a checker for the BaaV schema over the relational
@@ -49,6 +66,13 @@ func NewChecker(schema *baav.Schema, rels map[string]*relation.Schema) *Checker 
 // WithStats attaches planner statistics (usually the BaaV store itself).
 func (c *Checker) WithStats(stats PlanStats) *Checker {
 	c.Stats = stats
+	return c
+}
+
+// WithIndexes attaches the secondary-index catalog (usually the
+// index.Manager of the opened instance).
+func (c *Checker) WithIndexes(idx IndexCatalog) *Checker {
+	c.Indexes = idx
 	return c
 }
 

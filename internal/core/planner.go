@@ -26,9 +26,11 @@ type PlanInfo struct {
 	Empty bool
 	// ScanFree reports whether Root scans no KV instance.
 	ScanFree bool
-	// Extends and Scans list the KV instances accessed by ∝ and by scans.
+	// Extends and Scans list the KV instances accessed by ∝ and by scans;
+	// Indexes lists the secondary indexes accessed by IndexLookup leaves.
 	Extends []string
 	Scans   []string
+	Indexes []string
 	// OutCols names, per output column of the query, the plan column that
 	// carries it (parallel to Query.OutNames).
 	OutCols []string
@@ -48,6 +50,13 @@ func (p *PlanInfo) Bounded(store *baav.Store, maxDeg int) bool {
 	}
 	for _, name := range p.Extends {
 		if store.Degree(name) > maxDeg {
+			return false
+		}
+	}
+	// Index lookups fan out like blocks: a posting list longer than the
+	// degree bound makes the query unbounded on this store.
+	for _, name := range p.Indexes {
+		if store.Index == nil || store.Index.MaxPostings(name) > maxDeg {
 			return false
 		}
 	}
@@ -93,6 +102,7 @@ func (c *Checker) Plan(q *ra.Query) (*PlanInfo, error) {
 		sfAtom:   make(map[string]bool),
 		atomFrag: make(map[string]*frag),
 		applied:  make(map[string]bool),
+		indexed:  make(map[string]bool),
 	}
 	get := c.GetSet(q, eq)
 	for _, atom := range q.Atoms {
@@ -109,6 +119,7 @@ type planner struct {
 	frags   []*frag
 	extends []string
 	scans   []string
+	indexes []string
 
 	// sfAtom marks atoms that the GET/VC chase proves reachable scan-free;
 	// only those may be assembled from several partial ∝ steps.
@@ -117,6 +128,9 @@ type planner struct {
 	atomFrag map[string]*frag
 	// applied guards against re-applying the same (atom, schema) extend.
 	applied map[string]bool
+	// indexed marks atoms already seeded by an IndexLookup, so the access
+	// path is tried at most once per atom.
+	indexed map[string]bool
 }
 
 func (p *planner) run() (*PlanInfo, error) {
@@ -151,6 +165,7 @@ func (p *planner) run() (*PlanInfo, error) {
 		ScanFree: kba.IsScanFree(f.plan),
 		Extends:  p.extends,
 		Scans:    p.scans,
+		Indexes:  p.indexes,
 		OutCols:  outCols,
 	}
 	return info, nil
@@ -343,11 +358,15 @@ func (p *planner) coverAtoms() error {
 	}
 	for !allCovered() {
 		// Full-cover anchors first (the single-step chase of Example 7),
-		// then partial pk-refining anchors, then merges, then scans.
+		// then partial pk-refining anchors, then merges, then index
+		// lookups, then scans.
 		if p.applyAnchor(covered, true) || p.applyAnchor(covered, false) {
 			continue
 		}
 		if p.mergeOnce(true) {
+			continue
+		}
+		if p.applyIndex(covered) {
 			continue
 		}
 		if err := p.applyScan(covered); err != nil {
@@ -355,6 +374,127 @@ func (p *planner) coverAtoms() error {
 		}
 	}
 	return nil
+}
+
+// applyIndex is the third access path: when a not-yet-fetched atom has a
+// constant-pinned non-key attribute covered by a secondary index, seed a
+// fragment with an IndexLookup of the constant's postings — the block keys
+// of the matching tuples — so the ordinary anchor step then fetches exactly
+// those blocks through the primary-key KV schema instead of scanning the
+// instance. The index is taken only when a full-covering pk-keyed schema
+// exists for the subsequent ∝ and the posting estimate beats the scan under
+// the same 4× get-vs-scan-step ratio extendBeatsScan uses.
+func (p *planner) applyIndex(covered func(string) bool) bool {
+	if p.c.Indexes == nil {
+		return false
+	}
+	vals, ok := p.seedValues()
+	if !ok || len(vals) == 0 {
+		return false
+	}
+	for _, atom := range p.q.Atoms {
+		if covered(atom.Alias) || p.atomFrag[atom.Alias] != nil || p.indexed[atom.Alias] {
+			continue
+		}
+		used := p.q.AttrsUsed(atom.Alias)
+		for _, attr := range used {
+			root := p.eq.Find(ra.ColRef{Alias: atom.Alias, Attr: attr})
+			vs := vals[root]
+			if len(vs) == 0 {
+				continue
+			}
+			name, key, ok := p.c.Indexes.IndexOn(atom.Rel, attr)
+			if !ok {
+				continue
+			}
+			// The lookup only pays off if a KV schema keyed exactly by the
+			// posted block keys covers the atom, so one ∝ completes it.
+			if !p.hasIndexAnchor(atom, key, used) {
+				continue
+			}
+			if !p.indexBeatsScan(atom, used, name, len(vs)) {
+				continue
+			}
+			valCol := "$idx." + atom.Alias + "." + attr
+			keyCols := make([]string, len(key))
+			for i, k := range key {
+				keyCols[i] = atom.Alias + "." + k
+			}
+			f := &frag{
+				plan: &kba.IndexLookup{
+					Index: name, Alias: atom.Alias,
+					ValAttr: valCol, KeyAttrs: keyCols,
+					Values: append([]relation.Value{}, vs...),
+				},
+				attrs: append([]string{valCol}, keyCols...),
+				cols:  make(map[ra.ColRef]string),
+			}
+			f.cols[root] = valCol
+			for i, k := range key {
+				kroot := p.eq.Find(ra.ColRef{Alias: atom.Alias, Attr: k})
+				if _, ok := f.cols[kroot]; !ok {
+					f.cols[kroot] = keyCols[i]
+				}
+			}
+			f.rowEst = len(vs) * p.c.Indexes.AvgPostings(name)
+			p.frags = append(p.frags, f)
+			p.indexes = append(p.indexes, name)
+			p.indexed[atom.Alias] = true
+			return true
+		}
+	}
+	return false
+}
+
+// hasIndexAnchor reports whether a KV schema of the atom's relation is
+// keyed exactly by the posted block-key attributes and covers the atom's
+// used attributes — the ∝ target that turns index postings into the atom's
+// tuples.
+func (p *planner) hasIndexAnchor(atom ra.Atom, key []string, used []string) bool {
+	keySet := make(map[string]bool, len(key))
+	for _, k := range key {
+		keySet[k] = true
+	}
+	for _, s := range p.c.Schema.ForRelation(atom.Rel) {
+		if len(s.Key) != len(keySet) {
+			continue
+		}
+		exact := true
+		for _, k := range s.Key {
+			if !keySet[k] {
+				exact = false
+				break
+			}
+		}
+		if exact && attrsCover(s.Attrs(), used) {
+			return true
+		}
+	}
+	return false
+}
+
+// indexBeatsScan compares the index path (one posting get per constant plus
+// one block get per posted key) against scanning the smallest covering
+// instance, with the same 4× ratio as extendBeatsScan. Without statistics
+// the bounded lookup wins, matching the chase's default preference for gets.
+func (p *planner) indexBeatsScan(atom ra.Atom, used []string, name string, nVals int) bool {
+	if p.c.Stats == nil {
+		return true
+	}
+	blocks := 0
+	for _, s := range p.c.Schema.ForRelation(atom.Rel) {
+		if !attrsCover(s.Attrs(), used) {
+			continue
+		}
+		if b := p.c.Stats.InstanceBlocks(s.Name); blocks == 0 || b < blocks {
+			blocks = b
+		}
+	}
+	if blocks <= 0 {
+		return true // nothing to scan: the index is the only access path
+	}
+	probes := nVals * (1 + p.c.Indexes.AvgPostings(name))
+	return blocks > 4*probes
 }
 
 // applyAnchor extends a fragment with one KV instance for an uncovered atom

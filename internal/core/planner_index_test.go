@@ -1,0 +1,208 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"zidian/internal/baav"
+	"zidian/internal/kba"
+	"zidian/internal/ra"
+	"zidian/internal/relation"
+)
+
+// fakeCatalog is a canned IndexCatalog for planner unit tests.
+type fakeCatalog struct {
+	rel, attr, name string
+	key             []string
+	avg             int
+}
+
+func (f *fakeCatalog) IndexOn(rel, attr string) (string, []string, bool) {
+	if rel == f.rel && attr == f.attr {
+		return f.name, f.key, true
+	}
+	return "", nil, false
+}
+
+func (f *fakeCatalog) AvgPostings(string) int { return f.avg }
+
+// fakeStats is a canned PlanStats with a fixed per-instance block count.
+type fakeStats struct{ blocks int }
+
+func (f *fakeStats) InstanceBlocks(string) int { return f.blocks }
+func (f *fakeStats) RelationRows(string) int   { return f.blocks }
+func (f *fakeStats) HasBlockStats() bool       { return false }
+
+// indexFixture: one relation keyed by id, one full KV schema keyed by id —
+// so a predicate on attr can only be answered by a scan or an index.
+func indexFixture(t *testing.T) (*relation.Database, *Checker) {
+	t.Helper()
+	db := relation.NewDatabase()
+	item := relation.NewRelation(relation.MustSchema("ITEM", []relation.Attr{
+		{Name: "id", Kind: relation.KindInt},
+		{Name: "sku", Kind: relation.KindString},
+		{Name: "qty", Kind: relation.KindInt},
+	}, []string{"id"}))
+	db.Add(item)
+	schema := baav.MustSchema(baav.RelSchemas(db),
+		baav.KVSchema{Name: "item_full", Rel: "ITEM", Key: []string{"id"}, Val: []string{"sku", "qty"}},
+	)
+	return db, NewChecker(schema, baav.RelSchemas(db))
+}
+
+func hasIndexLookup(p kba.Plan) bool {
+	if _, ok := p.(*kba.IndexLookup); ok {
+		return true
+	}
+	for _, c := range p.Children() {
+		if hasIndexLookup(c) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPlannerPicksIndexLookup(t *testing.T) {
+	db, c := indexFixture(t)
+	c.WithStats(&fakeStats{blocks: 1000}).
+		WithIndexes(&fakeCatalog{rel: "ITEM", attr: "sku", name: "ix_sku", key: []string{"id"}, avg: 4})
+	q := ra.MustParse("select I.id, I.qty from ITEM I where I.sku = 'S'", db)
+	info, err := c.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasIndexLookup(info.Root) {
+		t.Fatalf("plan has no IndexLookup: %s", info.Root)
+	}
+	if !info.ScanFree {
+		t.Fatalf("index plan not scan-free: %s", info.Root)
+	}
+	if len(info.Indexes) != 1 || info.Indexes[0] != "ix_sku" {
+		t.Fatalf("info.Indexes = %v", info.Indexes)
+	}
+	if len(info.Scans) != 0 {
+		t.Fatalf("index plan still scans %v", info.Scans)
+	}
+	if !strings.Contains(info.Root.String(), "IndexLookup[ix_sku") {
+		t.Fatalf("plan rendering lacks IndexLookup: %s", info.Root)
+	}
+}
+
+// TestPlannerIndexCost: with a tiny instance the 4× get-vs-scan-step ratio
+// makes the scan cheaper, so the planner must not take the index.
+func TestPlannerIndexCost(t *testing.T) {
+	db, c := indexFixture(t)
+	c.WithStats(&fakeStats{blocks: 8}).
+		WithIndexes(&fakeCatalog{rel: "ITEM", attr: "sku", name: "ix_sku", key: []string{"id"}, avg: 4})
+	q := ra.MustParse("select I.id, I.qty from ITEM I where I.sku = 'S'", db)
+	info, err := c.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasIndexLookup(info.Root) {
+		t.Fatalf("planner took the index over a cheaper scan: %s", info.Root)
+	}
+	if len(info.Scans) != 1 {
+		t.Fatalf("expected a scan plan, got %s", info.Root)
+	}
+}
+
+// TestPlannerIndexIN: an IN list becomes one IndexLookup over all values.
+func TestPlannerIndexIN(t *testing.T) {
+	db, c := indexFixture(t)
+	c.WithStats(&fakeStats{blocks: 1000}).
+		WithIndexes(&fakeCatalog{rel: "ITEM", attr: "sku", name: "ix_sku", key: []string{"id"}, avg: 4})
+	q := ra.MustParse("select I.id from ITEM I where I.sku in ('A', 'B', 'C')", db)
+	info, err := c.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lk *kba.IndexLookup
+	var find func(p kba.Plan)
+	find = func(p kba.Plan) {
+		if n, ok := p.(*kba.IndexLookup); ok {
+			lk = n
+		}
+		for _, ch := range p.Children() {
+			find(ch)
+		}
+	}
+	find(info.Root)
+	if lk == nil {
+		t.Fatalf("no IndexLookup in %s", info.Root)
+	}
+	if len(lk.Values) != 3 {
+		t.Fatalf("lookup values = %v", lk.Values)
+	}
+}
+
+// TestPlannerIndexWithoutCatalog: no catalog, no index path — the fallback
+// scan must still work.
+func TestPlannerIndexWithoutCatalog(t *testing.T) {
+	db, c := indexFixture(t)
+	c.WithStats(&fakeStats{blocks: 1000})
+	q := ra.MustParse("select I.id from ITEM I where I.sku = 'S'", db)
+	info, err := c.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasIndexLookup(info.Root) {
+		t.Fatal("IndexLookup planned without a catalog")
+	}
+	if len(info.Scans) != 1 {
+		t.Fatalf("expected scan fallback, got %s", info.Root)
+	}
+}
+
+// TestPlannerIndexAnchorRequired: the index is only usable when a KV schema
+// keyed by the posted block keys covers the atom; here the posted key does
+// not match any schema, so the planner must fall back to the scan.
+func TestPlannerIndexAnchorRequired(t *testing.T) {
+	db, c := indexFixture(t)
+	c.WithStats(&fakeStats{blocks: 1000}).
+		WithIndexes(&fakeCatalog{rel: "ITEM", attr: "sku", name: "ix_sku", key: []string{"id", "qty"}, avg: 4})
+	q := ra.MustParse("select I.id from ITEM I where I.sku = 'S'", db)
+	info, err := c.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasIndexLookup(info.Root) {
+		t.Fatalf("IndexLookup planned without a matching anchor schema: %s", info.Root)
+	}
+}
+
+// TestPlannerIndexJoin: the index seeds one atom of a join; the other atom
+// still anchors through its keyed schema, keeping the whole plan scan-free.
+func TestPlannerIndexJoin(t *testing.T) {
+	db := relation.NewDatabase()
+	item := relation.NewRelation(relation.MustSchema("ITEM", []relation.Attr{
+		{Name: "id", Kind: relation.KindInt},
+		{Name: "sku", Kind: relation.KindString},
+	}, []string{"id"}))
+	db.Add(item)
+	stock := relation.NewRelation(relation.MustSchema("STOCK", []relation.Attr{
+		{Name: "sid", Kind: relation.KindInt},
+		{Name: "item_id", Kind: relation.KindInt},
+		{Name: "qty", Kind: relation.KindInt},
+	}, []string{"sid"}))
+	db.Add(stock)
+	schema := baav.MustSchema(baav.RelSchemas(db),
+		baav.KVSchema{Name: "item_full", Rel: "ITEM", Key: []string{"id"}, Val: []string{"sku"}},
+		baav.KVSchema{Name: "stock_by_item", Rel: "STOCK", Key: []string{"item_id"}, Val: []string{"sid", "qty"}},
+	)
+	c := NewChecker(schema, baav.RelSchemas(db)).
+		WithStats(&fakeStats{blocks: 1000}).
+		WithIndexes(&fakeCatalog{rel: "ITEM", attr: "sku", name: "ix_sku", key: []string{"id"}, avg: 2})
+	q := ra.MustParse(
+		"select S.sid, S.qty from ITEM I, STOCK S where I.sku = 'S' and S.item_id = I.id", db)
+	info, err := c.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasIndexLookup(info.Root) {
+		t.Fatalf("join plan has no IndexLookup: %s", info.Root)
+	}
+	if !info.ScanFree || len(info.Scans) != 0 {
+		t.Fatalf("join plan not scan-free: %s (scans %v)", info.Root, info.Scans)
+	}
+}

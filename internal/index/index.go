@@ -1,0 +1,528 @@
+// Package index implements block-aware secondary indexes for BaaV stores.
+//
+// A secondary index on rel(attr) maps every value of a non-key attribute to
+// the set of block keys — the source relation's primary-key tuples, i.e. the
+// keys of the relation's primary-key KV schema — of the tuples carrying that
+// value. Postings are stored as ordinary key-value pairs in the same
+// kv.Cluster as the blocks they point at, so hash sharding, per-node metrics
+// and engine cost profiles apply to index traffic for free, and an index
+// lookup preserves the paper's round-trip economics: one get fetches the
+// posting, then one get per posted block key fetches exactly the blocks the
+// query needs, instead of scanning the whole instance.
+//
+// Physical layout. Index pairs live in a key space disjoint from BaaV
+// blocks: BaaV instance ids are small positive integers, index prefixes set
+// the top bit of the 4-byte id word. Id 0 of that space holds the catalog —
+// one pair per index describing (name, relation, attribute, block-key
+// attributes) — which makes indexes persistent in the store itself: a fresh
+// Manager over the same cluster recovers them with Load.
+//
+//	catalog pair:  [0x80000000]      [enc(name)]  -> enc(rel, attr, id, key...)
+//	posting pair:  [0x80000000|id]   [enc(value)] -> enc(pk1) ++ enc(pk2) ++ ...
+//
+// Posting lists keep their block keys in encoded (memcmp) order, so
+// maintenance is a binary search plus splice and lookups return keys
+// deterministically.
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"zidian/internal/kv"
+	"zidian/internal/relation"
+)
+
+// idxSpace is the top bit distinguishing index prefixes from BaaV instance
+// ids in the shared 4-byte key prefix.
+const idxSpace = uint32(1) << 31
+
+// catalogID is the reserved index id of the catalog pairs.
+const catalogID = uint32(0)
+
+// Def describes one secondary index.
+type Def struct {
+	// Name identifies the index uniquely within the store.
+	Name string
+	// Rel and Attr name the indexed relation and attribute.
+	Rel  string
+	Attr string
+	// Key lists the block-key attributes a posting holds — the indexed
+	// relation's primary key, in declared order.
+	Key []string
+
+	id      uint32
+	attrPos int
+	keyPos  []int
+}
+
+// Stats summarize one index's shape for the planner's cost decisions.
+type Stats struct {
+	// Entries is the number of distinct indexed values (posting lists).
+	Entries int
+	// Postings is the total number of (value, block key) pairs.
+	Postings int
+	// MaxPosting is the longest posting list seen.
+	MaxPosting int
+}
+
+// Manager is the secondary-index subsystem of one opened instance: the
+// catalog of index definitions plus the read/maintenance paths over the
+// cluster. All methods are safe for concurrent use; the caller is expected
+// to serialize DDL and data maintenance against each other the same way it
+// serializes writes to the BaaV store (the server's instance-level write
+// lock does this).
+type Manager struct {
+	cluster *kv.Cluster
+
+	mu     sync.RWMutex
+	defs   map[string]*Def
+	byAttr map[string]string // rel + "\x00" + attr -> index name
+	stats  map[string]*Stats
+	nextID uint32
+}
+
+// NewManager builds an empty index manager over the cluster.
+func NewManager(cluster *kv.Cluster) *Manager {
+	return &Manager{
+		cluster: cluster,
+		defs:    make(map[string]*Def),
+		byAttr:  make(map[string]string),
+		stats:   make(map[string]*Stats),
+		nextID:  1,
+	}
+}
+
+func prefix(id uint32) []byte {
+	out := make([]byte, 4)
+	binary.BigEndian.PutUint32(out, idxSpace|id)
+	return out
+}
+
+func postingKey(id uint32, v relation.Value) []byte {
+	return relation.AppendValue(prefix(id), v)
+}
+
+func catalogKey(name string) []byte {
+	return relation.AppendValue(prefix(catalogID), relation.String(name))
+}
+
+func attrKey(rel, attr string) string { return rel + "\x00" + attr }
+
+// resolve computes the positional plumbing of a definition against the
+// relation schema.
+func resolve(d *Def, schema *relation.Schema) error {
+	if len(schema.Key) == 0 {
+		return fmt.Errorf("index: relation %s has no primary key to post", d.Rel)
+	}
+	d.attrPos = schema.Index(d.Attr)
+	if d.attrPos < 0 {
+		return fmt.Errorf("index: relation %s has no attribute %q", d.Rel, d.Attr)
+	}
+	d.Key = append([]string{}, schema.Key...)
+	pos, err := schema.Positions(d.Key)
+	if err != nil {
+		return err
+	}
+	d.keyPos = pos
+	return nil
+}
+
+// Create defines and backfills an index on rel(attr) over the given tuples,
+// returning the number of tuples indexed. The definition is written to the
+// in-store catalog.
+func (m *Manager) Create(name, rel, attr string, schema *relation.Schema, tuples []relation.Tuple) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("index: index needs a name")
+	}
+	d := &Def{Name: name, Rel: rel, Attr: attr}
+	if err := resolve(d, schema); err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.defs[name]; dup {
+		return 0, fmt.Errorf("index: index %q already exists", name)
+	}
+	if prev, dup := m.byAttr[attrKey(rel, attr)]; dup {
+		return 0, fmt.Errorf("index: %s(%s) is already indexed by %q", rel, attr, prev)
+	}
+	d.id = m.nextID
+	m.nextID++
+
+	// Backfill: group block keys by indexed value, keeping each posting
+	// sorted and duplicate-free in encoded order.
+	groups := make(map[string][][]byte)
+	var order []string
+	valOf := make(map[string]relation.Value)
+	n := 0
+	for _, t := range tuples {
+		v := t[d.attrPos]
+		vk := relation.KeyString(relation.Tuple{v})
+		pk := relation.EncodeTuple(t.Project(d.keyPos))
+		if _, ok := groups[vk]; !ok {
+			order = append(order, vk)
+			valOf[vk] = v
+		}
+		lst, added := insertPosting(groups[vk], pk)
+		groups[vk] = lst
+		if added {
+			n++
+		}
+	}
+	st := &Stats{}
+	for _, vk := range order {
+		lst := groups[vk]
+		m.cluster.Put(postingKey(d.id, valOf[vk]), joinPostings(lst))
+		st.Entries++
+		st.Postings += len(lst)
+		if len(lst) > st.MaxPosting {
+			st.MaxPosting = len(lst)
+		}
+	}
+	m.cluster.Put(catalogKey(name), encodeCatalog(d))
+	m.defs[name] = d
+	m.byAttr[attrKey(rel, attr)] = name
+	m.stats[name] = st
+	return n, nil
+}
+
+// Drop removes the index and all of its postings from the store.
+func (m *Manager) Drop(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.defs[name]
+	if !ok {
+		return fmt.Errorf("index: unknown index %q", name)
+	}
+	var doomed [][]byte
+	m.cluster.Scan(prefix(d.id), func(k, _ []byte) bool {
+		doomed = append(doomed, append([]byte{}, k...))
+		return true
+	})
+	for _, k := range doomed {
+		m.cluster.Delete(k)
+	}
+	m.cluster.Delete(catalogKey(name))
+	delete(m.defs, name)
+	delete(m.byAttr, attrKey(d.Rel, d.Attr))
+	delete(m.stats, name)
+	return nil
+}
+
+// Insert maintains every index on rel for one inserted tuple: a
+// read-modify-write of the affected posting per index, O(posting) work
+// independent of the relation size.
+func (m *Manager) Insert(rel string, t relation.Tuple) error {
+	return m.maintain(rel, t, true)
+}
+
+// Delete maintains every index on rel for one deleted tuple.
+func (m *Manager) Delete(rel string, t relation.Tuple) error {
+	return m.maintain(rel, t, false)
+}
+
+func (m *Manager) maintain(rel string, t relation.Tuple, insert bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, d := range m.defs {
+		if d.Rel != rel {
+			continue
+		}
+		if d.attrPos >= len(t) {
+			return fmt.Errorf("index: tuple arity %d too small for %s(%s)", len(t), rel, d.Attr)
+		}
+		v := t[d.attrPos]
+		pk := relation.EncodeTuple(t.Project(d.keyPos))
+		key := postingKey(d.id, v)
+		var lst [][]byte
+		if data, ok := m.cluster.Get(key); ok {
+			var err error
+			if lst, err = splitPostings(data, len(d.Key)); err != nil {
+				return fmt.Errorf("index: %s: %v", d.Name, err)
+			}
+		}
+		st := m.stats[d.Name]
+		if insert {
+			grown, added := insertPosting(lst, pk)
+			if !added {
+				continue
+			}
+			m.cluster.Put(key, joinPostings(grown))
+			st.Postings++
+			if len(grown) == 1 {
+				st.Entries++
+			}
+			if len(grown) > st.MaxPosting {
+				st.MaxPosting = len(grown)
+			}
+			continue
+		}
+		shrunk, removed := removePosting(lst, pk)
+		if !removed {
+			continue
+		}
+		if len(shrunk) == 0 {
+			m.cluster.Delete(key)
+			st.Entries--
+		} else {
+			m.cluster.Put(key, joinPostings(shrunk))
+		}
+		st.Postings--
+	}
+	return nil
+}
+
+// insertPosting splices an encoded block key into a sorted posting list,
+// reporting whether it was added (false: already present). Backfill and
+// incremental maintenance share it so their ordering and dedup semantics
+// cannot diverge.
+func insertPosting(lst [][]byte, pk []byte) ([][]byte, bool) {
+	at := sort.Search(len(lst), func(i int) bool { return bytes.Compare(lst[i], pk) >= 0 })
+	if at < len(lst) && bytes.Equal(lst[at], pk) {
+		return lst, false
+	}
+	lst = append(lst, nil)
+	copy(lst[at+1:], lst[at:])
+	lst[at] = pk
+	return lst, true
+}
+
+// removePosting splices an encoded block key out of a sorted posting list,
+// reporting whether it was present.
+func removePosting(lst [][]byte, pk []byte) ([][]byte, bool) {
+	at := sort.Search(len(lst), func(i int) bool { return bytes.Compare(lst[i], pk) >= 0 })
+	if at >= len(lst) || !bytes.Equal(lst[at], pk) {
+		return lst, false
+	}
+	return append(lst[:at], lst[at+1:]...), true
+}
+
+// Lookup returns the block keys posted under value v in the named index, in
+// encoded key order, along with the number of get invocations issued. A
+// value with no posting returns no keys.
+func (m *Manager) Lookup(name string, v relation.Value) ([]relation.Tuple, int, error) {
+	m.mu.RLock()
+	d, ok := m.defs[name]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("index: unknown index %q", name)
+	}
+	data, found := m.cluster.Get(postingKey(d.id, v))
+	if !found {
+		return nil, 1, nil
+	}
+	width := len(d.Key)
+	var out []relation.Tuple
+	off := 0
+	for off < len(data) {
+		t, k, err := relation.DecodeTuple(data[off:], width)
+		if err != nil {
+			return nil, 1, fmt.Errorf("index: %s: corrupt posting: %v", name, err)
+		}
+		out = append(out, t)
+		off += k
+	}
+	return out, 1, nil
+}
+
+// IndexOn reports the index covering rel(attr): its name and the block-key
+// attributes its postings hold. It implements the planner's catalog
+// interface (core.IndexCatalog).
+func (m *Manager) IndexOn(rel, attr string) (string, []string, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	name, ok := m.byAttr[attrKey(rel, attr)]
+	if !ok {
+		return "", nil, false
+	}
+	return name, append([]string{}, m.defs[name].Key...), true
+}
+
+// AvgPostings estimates the posting-list length of one lookup against the
+// named index — the planner's analogue of a block-degree statistic.
+func (m *Manager) AvgPostings(name string) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	st, ok := m.stats[name]
+	if !ok || st.Entries == 0 {
+		return 1
+	}
+	n := st.Postings / st.Entries
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// MaxPostings returns the longest posting list of the named index; the
+// boundedness check compares it against the degree bound.
+func (m *Manager) MaxPostings(name string) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if st, ok := m.stats[name]; ok {
+		return st.MaxPosting
+	}
+	return 0
+}
+
+// StatsOf snapshots the named index's statistics.
+func (m *Manager) StatsOf(name string) (Stats, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	st, ok := m.stats[name]
+	if !ok {
+		return Stats{}, false
+	}
+	return *st, true
+}
+
+// DefOf returns a copy of the named index's definition.
+func (m *Manager) DefOf(name string) (Def, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	d, ok := m.defs[name]
+	if !ok {
+		return Def{}, false
+	}
+	out := *d
+	out.Key = append([]string{}, d.Key...)
+	out.keyPos = append([]int{}, d.keyPos...)
+	return out, true
+}
+
+// Names lists the defined indexes, sorted.
+func (m *Manager) Names() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.defs))
+	for n := range m.defs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load rebuilds the catalog from the store: definitions come from the
+// catalog pairs, statistics from a scan of each index's postings. It lets a
+// fresh Manager over an existing cluster recover the indexes a previous one
+// created.
+func (m *Manager) Load(rels map[string]*relation.Schema) error {
+	type rec struct {
+		d *Def
+	}
+	var recs []rec
+	var scanErr error
+	m.cluster.Scan(prefix(catalogID), func(_, v []byte) bool {
+		d, err := decodeCatalog(v)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		recs = append(recs, rec{d: d})
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range recs {
+		d := r.d
+		schema, ok := rels[d.Rel]
+		if !ok {
+			return fmt.Errorf("index: catalog references unknown relation %q", d.Rel)
+		}
+		id := d.id
+		if err := resolve(d, schema); err != nil {
+			return err
+		}
+		d.id = id
+		st := &Stats{}
+		width := len(d.Key)
+		m.cluster.Scan(prefix(d.id), func(_, v []byte) bool {
+			lst, err := splitPostings(v, width)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			st.Entries++
+			st.Postings += len(lst)
+			if len(lst) > st.MaxPosting {
+				st.MaxPosting = len(lst)
+			}
+			return true
+		})
+		if scanErr != nil {
+			return scanErr
+		}
+		m.defs[d.Name] = d
+		m.byAttr[attrKey(d.Rel, d.Attr)] = d.Name
+		m.stats[d.Name] = st
+		if d.id >= m.nextID {
+			m.nextID = d.id + 1
+		}
+	}
+	return nil
+}
+
+// splitPostings cuts a posting payload into its encoded block keys.
+func splitPostings(b []byte, width int) ([][]byte, error) {
+	var out [][]byte
+	off := 0
+	for off < len(b) {
+		_, n, err := relation.DecodeTuple(b[off:], width)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b[off:off+n])
+		off += n
+	}
+	return out, nil
+}
+
+// joinPostings concatenates encoded block keys into one posting payload.
+func joinPostings(lst [][]byte) []byte {
+	n := 0
+	for _, p := range lst {
+		n += len(p)
+	}
+	out := make([]byte, 0, n)
+	for _, p := range lst {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// encodeCatalog renders a definition as a catalog value: rel, attr, id,
+// then the block-key attributes.
+func encodeCatalog(d *Def) []byte {
+	t := relation.Tuple{
+		relation.String(d.Rel),
+		relation.String(d.Attr),
+		relation.Int(int64(d.id)),
+	}
+	for _, k := range d.Key {
+		t = append(t, relation.String(k))
+	}
+	return relation.AppendTuple(relation.EncodeTuple(relation.Tuple{relation.String(d.Name)}), t)
+}
+
+// decodeCatalog parses a catalog value.
+func decodeCatalog(b []byte) (*Def, error) {
+	t, err := relation.DecodeAll(b)
+	if err != nil {
+		return nil, fmt.Errorf("index: corrupt catalog entry: %v", err)
+	}
+	if len(t) < 4 {
+		return nil, fmt.Errorf("index: short catalog entry")
+	}
+	d := &Def{Name: t[0].Str, Rel: t[1].Str, Attr: t[2].Str, id: uint32(t[3].Int)}
+	for _, v := range t[4:] {
+		d.Key = append(d.Key, v.Str)
+	}
+	return d, nil
+}

@@ -1,0 +1,228 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+
+	"zidian/internal/kv"
+	"zidian/internal/relation"
+)
+
+func itemSchema(t *testing.T) *relation.Schema {
+	t.Helper()
+	return relation.MustSchema("ITEM", []relation.Attr{
+		{Name: "id", Kind: relation.KindInt},
+		{Name: "sku", Kind: relation.KindString},
+		{Name: "qty", Kind: relation.KindInt},
+	}, []string{"id"})
+}
+
+func itemTuples(n int) []relation.Tuple {
+	out := make([]relation.Tuple, n)
+	for i := range out {
+		out[i] = relation.Tuple{
+			relation.Int(int64(i)),
+			relation.String(fmt.Sprintf("S%02d", i%10)),
+			relation.Int(int64(i % 5)),
+		}
+	}
+	return out
+}
+
+func lookupIDs(t *testing.T, m *Manager, name string, v relation.Value) []int64 {
+	t.Helper()
+	keys, gets, err := m.Lookup(name, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gets != 1 {
+		t.Fatalf("lookup issued %d gets, want 1", gets)
+	}
+	out := make([]int64, len(keys))
+	for i, k := range keys {
+		out[i] = k[0].Int
+	}
+	return out
+}
+
+func TestCreateBackfillLookup(t *testing.T) {
+	c := kv.NewCluster(kv.EngineHash, 3)
+	m := NewManager(c)
+	schema := itemSchema(t)
+	n, err := m.Create("ix_sku", "ITEM", "sku", schema, itemTuples(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 40 {
+		t.Fatalf("backfilled %d, want 40", n)
+	}
+	ids := lookupIDs(t, m, "ix_sku", relation.String("S03"))
+	if len(ids) != 4 {
+		t.Fatalf("posting for S03 = %v, want 4 ids", ids)
+	}
+	for i, id := range ids {
+		if id%10 != 3 {
+			t.Fatalf("posting %d = %d, not a S03 item", i, id)
+		}
+		if i > 0 && ids[i-1] >= id {
+			t.Fatalf("posting not sorted: %v", ids)
+		}
+	}
+	if ids := lookupIDs(t, m, "ix_sku", relation.String("NOPE")); len(ids) != 0 {
+		t.Fatalf("posting for absent value = %v", ids)
+	}
+	name, key, ok := m.IndexOn("ITEM", "sku")
+	if !ok || name != "ix_sku" || len(key) != 1 || key[0] != "id" {
+		t.Fatalf("IndexOn = %q %v %v", name, key, ok)
+	}
+	if _, _, ok := m.IndexOn("ITEM", "qty"); ok {
+		t.Fatal("IndexOn reported an index that does not exist")
+	}
+	st, _ := m.StatsOf("ix_sku")
+	if st.Entries != 10 || st.Postings != 40 || st.MaxPosting != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if m.AvgPostings("ix_sku") != 4 {
+		t.Fatalf("avg postings = %d", m.AvgPostings("ix_sku"))
+	}
+}
+
+func TestMaintenance(t *testing.T) {
+	c := kv.NewCluster(kv.EngineHash, 2)
+	m := NewManager(c)
+	schema := itemSchema(t)
+	if _, err := m.Create("ix_sku", "ITEM", "sku", schema, itemTuples(20)); err != nil {
+		t.Fatal(err)
+	}
+	add := relation.Tuple{relation.Int(100), relation.String("S03"), relation.Int(1)}
+	if err := m.Insert("ITEM", add); err != nil {
+		t.Fatal(err)
+	}
+	if ids := lookupIDs(t, m, "ix_sku", relation.String("S03")); len(ids) != 3 || ids[2] != 100 {
+		t.Fatalf("after insert: %v", ids)
+	}
+	// Duplicate insert of the same block key is a no-op.
+	if err := m.Insert("ITEM", add); err != nil {
+		t.Fatal(err)
+	}
+	if ids := lookupIDs(t, m, "ix_sku", relation.String("S03")); len(ids) != 3 {
+		t.Fatalf("after duplicate insert: %v", ids)
+	}
+	if err := m.Delete("ITEM", add); err != nil {
+		t.Fatal(err)
+	}
+	if ids := lookupIDs(t, m, "ix_sku", relation.String("S03")); len(ids) != 2 {
+		t.Fatalf("after delete: %v", ids)
+	}
+	// Deleting the last posting of a value removes the pair entirely.
+	for _, id := range []int64{4, 14} {
+		if err := m.Delete("ITEM", relation.Tuple{relation.Int(id), relation.String("S04"), relation.Int(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ids := lookupIDs(t, m, "ix_sku", relation.String("S04")); len(ids) != 0 {
+		t.Fatalf("after draining S04: %v", ids)
+	}
+	st, _ := m.StatsOf("ix_sku")
+	if st.Entries != 9 {
+		t.Fatalf("entries after drain = %d, want 9", st.Entries)
+	}
+	// Maintenance on an unindexed relation is a no-op, not an error.
+	if err := m.Insert("OTHER", relation.Tuple{relation.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropRemovesPairs(t *testing.T) {
+	c := kv.NewCluster(kv.EngineHash, 2)
+	m := NewManager(c)
+	base := c.Len()
+	if _, err := m.Create("ix_sku", "ITEM", "sku", itemSchema(t), itemTuples(30)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() <= base {
+		t.Fatal("create wrote no pairs")
+	}
+	if err := m.Drop("ix_sku"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Len(); got != base {
+		t.Fatalf("pairs after drop = %d, want %d", got, base)
+	}
+	if _, _, ok := m.IndexOn("ITEM", "sku"); ok {
+		t.Fatal("dropped index still in catalog")
+	}
+	if err := m.Drop("ix_sku"); err == nil {
+		t.Fatal("double drop succeeded")
+	}
+	// The attribute is indexable again.
+	if _, err := m.Create("ix_sku2", "ITEM", "sku", itemSchema(t), itemTuples(10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	m := NewManager(kv.NewCluster(kv.EngineHash, 1))
+	schema := itemSchema(t)
+	if _, err := m.Create("ix", "ITEM", "nope", schema, nil); err == nil {
+		t.Fatal("indexing an unknown attribute succeeded")
+	}
+	if _, err := m.Create("ix", "ITEM", "sku", schema, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("ix", "ITEM", "qty", schema, nil); err == nil {
+		t.Fatal("duplicate index name succeeded")
+	}
+	if _, err := m.Create("ix2", "ITEM", "sku", schema, nil); err == nil {
+		t.Fatal("double-indexing one attribute succeeded")
+	}
+	nokey := relation.MustSchema("NOKEY", []relation.Attr{{Name: "a", Kind: relation.KindInt}}, nil)
+	if _, err := m.Create("ix3", "NOKEY", "a", nokey, nil); err == nil {
+		t.Fatal("indexing a keyless relation succeeded")
+	}
+}
+
+// TestLoadRecoversCatalog checks the persistent-in-store property: a fresh
+// Manager over the same cluster recovers definitions, postings and
+// statistics from the catalog pairs.
+func TestLoadRecoversCatalog(t *testing.T) {
+	c := kv.NewCluster(kv.EngineHash, 3)
+	m := NewManager(c)
+	schema := itemSchema(t)
+	if _, err := m.Create("ix_sku", "ITEM", "sku", schema, itemTuples(40)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("ix_qty", "ITEM", "qty", schema, itemTuples(40)); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := NewManager(c)
+	if err := m2.Load(map[string]*relation.Schema{"ITEM": schema}); err != nil {
+		t.Fatal(err)
+	}
+	names := m2.Names()
+	if len(names) != 2 || names[0] != "ix_qty" || names[1] != "ix_sku" {
+		t.Fatalf("recovered names = %v", names)
+	}
+	if ids := lookupIDs(t, m2, "ix_sku", relation.String("S07")); len(ids) != 4 {
+		t.Fatalf("recovered posting = %v", ids)
+	}
+	st, _ := m2.StatsOf("ix_qty")
+	if st.Entries != 5 || st.Postings != 40 || st.MaxPosting != 8 {
+		t.Fatalf("recovered stats = %+v", st)
+	}
+	// New ids must not collide with recovered ones: create after Load and
+	// check both indexes still answer.
+	if _, err := m2.Create("ix_more", "ITEM", "sku", schema, nil); err == nil {
+		t.Fatal("re-indexing recovered attribute succeeded")
+	}
+	if err := m2.Drop("ix_sku"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Create("ix_sku_v2", "ITEM", "sku", schema, itemTuples(10)); err != nil {
+		t.Fatal(err)
+	}
+	if ids := lookupIDs(t, m2, "ix_qty", relation.Int(2)); len(ids) != 8 {
+		t.Fatalf("ix_qty posting after churn = %v", ids)
+	}
+}

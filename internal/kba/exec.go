@@ -47,6 +47,8 @@ func (e *Executor) Run(p Plan) (*KeyedRel, error) {
 		return e.runConst(n)
 	case *ScanKV:
 		return e.runScan(n)
+	case *IndexLookup:
+		return e.runIndexLookup(n)
 	case *Extend:
 		return e.runExtend(n)
 	case *Shift:
@@ -113,6 +115,31 @@ func (e *Executor) runScan(n *ScanKV) (*KeyedRel, error) {
 		return true
 	})
 	return out, err
+}
+
+func (e *Executor) runIndexLookup(n *IndexLookup) (*KeyedRel, error) {
+	if e.Store.Index == nil {
+		return nil, fmt.Errorf("kba: plan uses index %q but the store has no index catalog", n.Index)
+	}
+	out := &KeyedRel{KeyAttrs: append([]string{n.ValAttr}, n.KeyAttrs...)}
+	for _, v := range n.Values {
+		keys, gets, err := e.Store.Index.Lookup(n.Index, v)
+		if err != nil {
+			return nil, err
+		}
+		e.Stats.Gets += int64(gets)
+		for _, k := range keys {
+			if len(k) != len(n.KeyAttrs) {
+				return nil, fmt.Errorf("kba: index %q posts %d key attributes, plan expects %d",
+					n.Index, len(k), len(n.KeyAttrs))
+			}
+			row := relation.Tuple{v}.Concat(k)
+			e.Stats.DataValues += int64(len(row))
+			e.Stats.BytesRead += int64(row.SizeBytes())
+			out.Blocks = append(out.Blocks, KeyedBlock{Key: row, Rows: []relation.Tuple{{}}})
+		}
+	}
+	return out, nil
 }
 
 func (e *Executor) runExtend(n *Extend) (*KeyedRel, error) {

@@ -74,6 +74,41 @@ func (e *Extend) String() string {
 	return fmt.Sprintf("(%s ∝ %s on %s as %s)", e.Input, e.KV, strings.Join(e.KeyFrom, ","), e.Alias)
 }
 
+// IndexLookup is the secondary-index access path: for each constant in
+// Values it fetches the posting list of the parameter index — the block
+// keys of tuples carrying that value — and emits one row (value, block key)
+// per posting. Like Const it is a bounded leaf: it issues one get per value
+// and never scans a KV instance, so plans built on it stay scan-free. The
+// planner feeds its output into ∝ on a KV schema keyed by the posted block
+// keys, replacing a full instance scan with a handful of round trips.
+type IndexLookup struct {
+	// Index names the secondary index (a catalog name, not a KV schema).
+	Index string
+	// Alias is the query alias whose tuples the index locates.
+	Alias string
+	// ValAttr is the output column carrying the matched value; it uses a
+	// synthetic "$idx." name so the later ∝ can re-fetch the real attribute
+	// without a column collision.
+	ValAttr string
+	// KeyAttrs are the alias-qualified output columns of the posted block
+	// keys, in the index's declared key order.
+	KeyAttrs []string
+	// Values are the constants to look up.
+	Values []relation.Value
+}
+
+// Children implements Plan.
+func (l *IndexLookup) Children() []Plan { return nil }
+
+// String renders the node.
+func (l *IndexLookup) String() string {
+	parts := make([]string, len(l.Values))
+	for i, v := range l.Values {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("IndexLookup[%s=%s as %s]", l.Index, strings.Join(parts, "|"), l.Alias)
+}
+
 // Shift is the shift operator ↑: it re-keys the input instance on NewKey.
 type Shift struct {
 	Input  Plan

@@ -10,9 +10,11 @@ import (
 // Keys are routed to nodes by FNV hash. All operations are safe for
 // concurrent use; each node is guarded by its own RWMutex so concurrent
 // readers of the same node proceed in parallel (gets are pure reads in
-// every engine) and contend only with writers. Scans take the write lock:
-// the hash and sorted engines maintain lazy sort caches that a scan may
-// materialize.
+// every engine) and contend only with writers. Scans take the read lock
+// when the engine's ReadOnlyScan capability allows it (hash and LSM
+// engines, whose key order is precomputed or snapshot-merged), so
+// scan-heavy mixes parallelize with gets; the sorted engine merges its
+// write buffer on scan and keeps the exclusive lock.
 type Cluster struct {
 	kind  EngineKind
 	nodes []*node
@@ -22,6 +24,17 @@ type node struct {
 	mu      sync.RWMutex
 	eng     Engine
 	metrics Metrics
+}
+
+// lockScan acquires the cheapest lock that makes a scan safe on this node's
+// engine and returns the matching unlock.
+func (n *node) lockScan() func() {
+	if n.eng.ReadOnlyScan() {
+		n.mu.RLock()
+		return n.mu.RUnlock
+	}
+	n.mu.Lock()
+	return n.mu.Unlock
 }
 
 // NewCluster builds a cluster of n nodes using the given engine kind.
@@ -95,7 +108,7 @@ func (c *Cluster) DeleteRouted(route, key []byte) bool {
 func (c *Cluster) Scan(prefix []byte, fn func(key, value []byte) bool) {
 	for _, n := range c.nodes {
 		stop := false
-		n.mu.Lock()
+		unlock := n.lockScan()
 		n.eng.Scan(prefix, func(k, v []byte) bool {
 			n.metrics.countScanNext(len(v))
 			if !fn(k, v) {
@@ -104,7 +117,7 @@ func (c *Cluster) Scan(prefix []byte, fn func(key, value []byte) bool) {
 			}
 			return true
 		})
-		n.mu.Unlock()
+		unlock()
 		if stop {
 			return
 		}
@@ -115,8 +128,7 @@ func (c *Cluster) Scan(prefix []byte, fn func(key, value []byte) bool) {
 // drivers partition work across nodes with it.
 func (c *Cluster) ScanNode(i int, prefix []byte, fn func(key, value []byte) bool) {
 	n := c.nodes[i]
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	defer n.lockScan()()
 	n.eng.Scan(prefix, func(k, v []byte) bool {
 		n.metrics.countScanNext(len(v))
 		return fn(k, v)

@@ -22,6 +22,10 @@ type Engine interface {
 	Len() int
 	// SizeBytes returns the total payload size (keys + values).
 	SizeBytes() int64
+	// ReadOnlyScan reports whether Scan never mutates engine state, so a
+	// cluster may run it under a shared (read) lock concurrently with gets.
+	// Engines that sort or merge lazily on scan must return false.
+	ReadOnlyScan() bool
 }
 
 // EngineKind selects one of the engine implementations, each standing in for
@@ -66,13 +70,22 @@ func NewEngine(kind EngineKind) Engine {
 	}
 }
 
-// hashEngine stores pairs in a map and materializes a sorted key list on
-// demand for scans.
+// hashEngine stores pairs in a map and maintains key order on the write
+// path, so scans are pure reads and the cluster can run them under
+// per-node read locks concurrently with gets (ROADMAP: parallelize
+// scan-heavy mixes). Fresh keys accumulate in a small unsorted pending
+// buffer that Put folds into the sorted slice once it fills — one O(n)
+// merge per hashMergeAt writes keeps bulk loads near O(N log N) instead of
+// the O(N²) a splice-per-key would cost. Scan merges the (copied, sorted)
+// pending buffer with the sorted keys on the fly, mutating nothing.
 type hashEngine struct {
-	m    map[string][]byte
-	keys []string // sorted cache; nil when dirty
-	size int64
+	m       map[string][]byte
+	keys    []string // sorted; excludes pending
+	pending []string // fresh keys not yet merged, unsorted
+	size    int64
 }
+
+const hashMergeAt = 4096
 
 func newHashEngine() *hashEngine {
 	return &hashEngine{m: make(map[string][]byte)}
@@ -83,13 +96,37 @@ func (e *hashEngine) Get(key []byte) ([]byte, bool) {
 	return v, ok
 }
 
+// mergePending folds the pending buffer into the sorted key slice.
+func (e *hashEngine) mergePending() {
+	if len(e.pending) == 0 {
+		return
+	}
+	sort.Strings(e.pending)
+	merged := make([]string, 0, len(e.keys)+len(e.pending))
+	i, j := 0, 0
+	for i < len(e.keys) || j < len(e.pending) {
+		if j >= len(e.pending) || (i < len(e.keys) && e.keys[i] < e.pending[j]) {
+			merged = append(merged, e.keys[i])
+			i++
+		} else {
+			merged = append(merged, e.pending[j])
+			j++
+		}
+	}
+	e.keys = merged
+	e.pending = e.pending[:0]
+}
+
 func (e *hashEngine) Put(key, value []byte) {
 	k := string(key)
 	if old, ok := e.m[k]; ok {
 		e.size -= int64(len(old))
 	} else {
 		e.size += int64(len(k))
-		e.keys = nil
+		e.pending = append(e.pending, k)
+		if len(e.pending) >= hashMergeAt {
+			e.mergePending()
+		}
 	}
 	e.m[k] = value
 	e.size += int64(len(value))
@@ -103,22 +140,32 @@ func (e *hashEngine) Delete(key []byte) bool {
 	}
 	delete(e.m, k)
 	e.size -= int64(len(k) + len(old))
-	e.keys = nil
+	// Deletes are rare next to puts: fold pending first, then splice once.
+	e.mergePending()
+	i := sort.SearchStrings(e.keys, k)
+	e.keys = append(e.keys[:i], e.keys[i+1:]...)
 	return true
 }
 
 func (e *hashEngine) Scan(prefix []byte, fn func(key, value []byte) bool) {
-	if e.keys == nil {
-		e.keys = make([]string, 0, len(e.m))
-		for k := range e.m {
-			e.keys = append(e.keys, k)
-		}
-		sort.Strings(e.keys)
-	}
 	p := string(prefix)
+	var pend []string
+	if len(e.pending) > 0 {
+		pend = append([]string{}, e.pending...)
+		sort.Strings(pend)
+		j := sort.SearchStrings(pend, p)
+		pend = pend[j:]
+	}
 	i := sort.SearchStrings(e.keys, p)
-	for ; i < len(e.keys); i++ {
-		k := e.keys[i]
+	for i < len(e.keys) || len(pend) > 0 {
+		var k string
+		if len(pend) == 0 || (i < len(e.keys) && e.keys[i] < pend[0]) {
+			k = e.keys[i]
+			i++
+		} else {
+			k = pend[0]
+			pend = pend[1:]
+		}
 		if !bytes.HasPrefix([]byte(k), prefix) {
 			return
 		}
@@ -131,3 +178,5 @@ func (e *hashEngine) Scan(prefix []byte, fn func(key, value []byte) bool) {
 func (e *hashEngine) Len() int { return len(e.m) }
 
 func (e *hashEngine) SizeBytes() int64 { return e.size }
+
+func (e *hashEngine) ReadOnlyScan() bool { return true }

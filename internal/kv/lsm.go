@@ -171,3 +171,7 @@ func (e *lsmEngine) SizeBytes() int64 {
 	e.Scan(nil, func(k, v []byte) bool { n += int64(len(k) + len(v)); return true })
 	return n
 }
+
+// ReadOnlyScan: the merge-on-scan snapshot reads the memtable and runs
+// without flushing or compacting, so scans are pure reads.
+func (e *lsmEngine) ReadOnlyScan() bool { return true }

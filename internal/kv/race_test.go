@@ -1,0 +1,90 @@
+package kv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestScanDuringGetRace drives concurrent scans, gets and writes against
+// every engine kind. Its job is to fail under the race detector if a scan
+// mutates engine state while only holding the read lock (the hash engine's
+// precomputed key order and the LSM engine's snapshot scan must stay pure
+// reads; the sorted engine must keep taking the exclusive lock).
+func TestScanDuringGetRace(t *testing.T) {
+	for _, kind := range []EngineKind{EngineHash, EngineLSM, EngineSorted} {
+		t.Run(kind.String(), func(t *testing.T) {
+			c := NewCluster(kind, 4)
+			for i := 0; i < 512; i++ {
+				c.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+			}
+			const loops = 200
+			var wg sync.WaitGroup
+			for w := 0; w < 3; w++ {
+				wg.Add(3)
+				go func(w int) { // scanner
+					defer wg.Done()
+					for i := 0; i < loops; i++ {
+						n := 0
+						c.Scan([]byte("k"), func(_, _ []byte) bool {
+							n++
+							return n < 64
+						})
+					}
+				}(w)
+				go func(w int) { // getter
+					defer wg.Done()
+					for i := 0; i < loops; i++ {
+						c.Get([]byte(fmt.Sprintf("k%04d", (i*7+w)%512)))
+					}
+				}(w)
+				go func(w int) { // writer
+					defer wg.Done()
+					for i := 0; i < loops; i++ {
+						k := []byte(fmt.Sprintf("w%d-%04d", w, i))
+						c.Put(k, []byte("x"))
+						if i%3 == 0 {
+							c.Delete(k)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			// The seeded pairs must all survive the churn.
+			for i := 0; i < 512; i += 61 {
+				if _, ok := c.Get([]byte(fmt.Sprintf("k%04d", i))); !ok {
+					t.Fatalf("%s: seeded key k%04d lost", kind, i)
+				}
+			}
+		})
+	}
+}
+
+// TestHashEngineIncrementalOrder checks that the hash engine's precomputed
+// key order survives interleaved puts and deletes.
+func TestHashEngineIncrementalOrder(t *testing.T) {
+	e := newHashEngine()
+	for _, k := range []string{"d", "a", "c", "b", "e"} {
+		e.Put([]byte(k), []byte(k))
+	}
+	e.Delete([]byte("c"))
+	e.Put([]byte("ab"), []byte("ab"))
+	e.Put([]byte("a"), []byte("a2")) // overwrite must not duplicate the key
+	var got []string
+	e.Scan(nil, func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := []string{"a", "ab", "b", "d", "e"}
+	if len(got) != len(want) {
+		t.Fatalf("scan order %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan order %v, want %v", got, want)
+		}
+	}
+	if v, ok := e.Get([]byte("a")); !ok || string(v) != "a2" {
+		t.Fatalf("overwrite lost: %q %v", v, ok)
+	}
+}

@@ -124,3 +124,7 @@ func (e *sortedEngine) SizeBytes() int64 {
 	e.merge()
 	return e.size
 }
+
+// ReadOnlyScan: scans fold the write buffer into the sorted array first, so
+// they mutate engine state and need the exclusive lock.
+func (e *sortedEngine) ReadOnlyScan() bool { return false }

@@ -57,6 +57,8 @@ func (e *kbaExec) run(p kba.Plan) (*pval, error) {
 		return e.runConst(n)
 	case *kba.ScanKV:
 		return e.runScan(n)
+	case *kba.IndexLookup:
+		return e.runIndexLookup(n)
 	case *kba.Extend:
 		if e.fetchAll {
 			return e.runExtendFetchAll(n)
@@ -153,6 +155,42 @@ func qualify(alias string, attrs []string) []string {
 		out[i] = alias + "." + a
 	}
 	return out
+}
+
+// runIndexLookup fetches the posting list of every constant (one get each)
+// and partitions the (value, block key) rows by their full content, so the
+// downstream ∝ starts from an even spread of probe keys.
+func (e *kbaExec) runIndexLookup(n *kba.IndexLookup) (*pval, error) {
+	if e.store.Index == nil {
+		return nil, fmt.Errorf("parallel: plan uses index %q but the store has no index catalog", n.Index)
+	}
+	attrs := append([]string{n.ValAttr}, n.KeyAttrs...)
+	out := newPval(attrs, e.workers)
+	all := make([]int, len(attrs))
+	for i := range all {
+		all[i] = i
+	}
+	var gets, data int64
+	for _, v := range n.Values {
+		keys, g, err := e.store.Index.Lookup(n.Index, v)
+		if err != nil {
+			return nil, err
+		}
+		gets += int64(g)
+		for _, k := range keys {
+			if len(k) != len(n.KeyAttrs) {
+				return nil, fmt.Errorf("parallel: index %q posts %d key attributes, plan expects %d",
+					n.Index, len(k), len(n.KeyAttrs))
+			}
+			row := relation.Tuple{v}.Concat(k)
+			data += int64(len(row))
+			w := hashTuple(row, all, e.workers)
+			out.parts[w] = append(out.parts[w], row)
+		}
+	}
+	e.c.gets.Add(gets)
+	e.c.data.Add(data)
+	return out, nil
 }
 
 // runExtend is the interleaved ∝: repartition the input rows by the target

@@ -15,6 +15,10 @@ import (
 type BenchOptions struct {
 	// Workload names the dataset and template suite (mot, airca).
 	Workload string
+	// Mix selects the query mix: point (default), nonkey, or mixed. Non-key
+	// mixes create the secondary indexes their templates rely on before
+	// load starts, exercising the IndexLookup access path end to end.
+	Mix string
 	// Scale, Seed, Nodes, Workers shape the served instance.
 	Scale   float64
 	Seed    int64
@@ -62,7 +66,7 @@ func BenchServer(out io.Writer, opts BenchOptions) error {
 		srv.Shutdown(ctx)
 	}()
 
-	templates, err := Templates(opts.Workload)
+	templates, setup, err := TemplatesMix(opts.Workload, opts.Mix)
 	if err != nil {
 		return err
 	}
@@ -71,6 +75,7 @@ func BenchServer(out io.Writer, opts BenchOptions) error {
 		Clients:   opts.Clients,
 		Requests:  opts.Requests,
 		Templates: templates,
+		Setup:     setup,
 		ParamPool: 100,
 		Seed:      opts.Seed,
 	})
@@ -78,11 +83,16 @@ func BenchServer(out io.Writer, opts BenchOptions) error {
 		return err
 	}
 	rep.Workload = opts.Workload
+	rep.Mix = opts.Mix
 
+	label := opts.Workload
+	if opts.Mix != "" && opts.Mix != "point" {
+		label += "/" + opts.Mix
+	}
 	fmt.Fprintf(out, "%-28s %10s %10s %10s %10s %8s %8s\n",
 		"server bench", "qps", "p50µs", "p99µs", "maxµs", "errors", "hit%")
 	fmt.Fprintf(out, "%-28s %10.0f %10d %10d %10d %8d %7.1f%%\n",
-		fmt.Sprintf("%s ×%d clients", opts.Workload, opts.Clients),
+		fmt.Sprintf("%s ×%d clients", label, opts.Clients),
 		rep.QPS, rep.Latency.P50, rep.Latency.P99, rep.Latency.Max,
 		rep.Errors, 100*rep.CacheHitRate)
 

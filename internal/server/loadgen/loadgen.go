@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,8 +28,8 @@ type Template struct {
 	Strings []string
 }
 
-// Parameter pools for the TPC-H templates, mirroring the generator's active
-// domains (internal/workload/tpch.go).
+// Parameter pools for the templates, mirroring the generators' active
+// domains (internal/workload).
 var (
 	tpchRegions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
 	tpchNations = []string{
@@ -37,6 +38,9 @@ var (
 		"MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
 		"VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
 	}
+	motMakes = []string{"FORD", "VAUXHALL", "VOLKSWAGEN", "BMW", "TOYOTA", "AUDI",
+		"MERCEDES", "NISSAN", "PEUGEOT", "HONDA", "RENAULT", "SKODA"}
+	aircaModels = []string{"737-800", "A320", "A321", "E175", "CRJ900", "757-200", "787-9", "A220"}
 )
 
 // Templates returns the built-in template suite for a workload dataset.
@@ -72,6 +76,62 @@ func Templates(workload string) ([]Template, error) {
 	}
 }
 
+// nonKeyTemplates returns the non-key-predicate suite for a workload: each
+// template selects on an attribute that is not a block key of any KV
+// schema, together with the CREATE INDEX statements that make the queries
+// index lookups instead of full scans.
+func nonKeyTemplates(workload string) ([]Template, []string, error) {
+	switch workload {
+	case "mot":
+		return []Template{
+				{Name: "make_fleet", Strings: motMakes,
+					Format: "select V.vehicle_id, V.model, V.fuel from VEHICLE V where V.make = '%s'"},
+				{Name: "road_observations",
+					Format: "select O.obs_id, O.speed, O.weather from OBSERVATION O where O.road_id = %d"},
+			}, []string{
+				"create index ix_vehicle_make on VEHICLE(make)",
+				"create index ix_obs_road on OBSERVATION(road_id)",
+			}, nil
+	case "airca":
+		return []Template{
+				{Name: "model_fleet", Strings: aircaModels,
+					Format: "select A.aircraft_id, A.seats, A.carrier_id from AIRCRAFT A where A.model = '%s'"},
+			}, []string{
+				"create index ix_aircraft_model on AIRCRAFT(model)",
+			}, nil
+	default:
+		return nil, nil, fmt.Errorf("loadgen: no non-key templates for workload %q", workload)
+	}
+}
+
+// TemplatesMix returns the template suite for a workload under a query mix,
+// plus the setup statements (DDL) the suite needs once per server:
+//
+//	point  — the key/chain lookups of Templates (no setup)
+//	nonkey — selective non-key predicates served by secondary indexes
+//	mixed  — both suites interleaved
+func TemplatesMix(workload, mix string) ([]Template, []string, error) {
+	switch mix {
+	case "", "point":
+		t, err := Templates(workload)
+		return t, nil, err
+	case "nonkey":
+		return nonKeyTemplates(workload)
+	case "mixed":
+		point, err := Templates(workload)
+		if err != nil {
+			return nil, nil, err
+		}
+		nonkey, setup, err := nonKeyTemplates(workload)
+		if err != nil {
+			return nil, nil, err
+		}
+		return append(point, nonkey...), setup, nil
+	default:
+		return nil, nil, fmt.Errorf("loadgen: unknown mix %q (want point, nonkey or mixed)", mix)
+	}
+}
+
 // Options parameterize one load-generation run.
 type Options struct {
 	// Addr is the server's wire-protocol TCP address.
@@ -82,6 +142,10 @@ type Options struct {
 	Requests int
 	// Templates is the query template suite (required).
 	Templates []Template
+	// Setup statements (typically CREATE INDEX DDL) run once on the first
+	// connection before load starts. A statement failing because its object
+	// already exists is ignored, so re-running against a warm server works.
+	Setup []string
 	// ParamPool bounds the distinct parameter values per template
 	// (default 100). Distinct statements = len(Templates) × ParamPool.
 	ParamPool int
@@ -119,6 +183,7 @@ type Latency struct {
 type Report struct {
 	Bench       string  `json:"bench"`
 	Workload    string  `json:"workload,omitempty"`
+	Mix         string  `json:"mix,omitempty"`
 	Clients     int     `json:"clients"`
 	Requests    int64   `json:"requests"`
 	Errors      int64   `json:"errors"`
@@ -166,6 +231,13 @@ func Run(opts Options) (*Report, error) {
 			c.Close()
 		}
 	}()
+
+	for _, stmt := range opts.Setup {
+		if _, err := clients[0].Exec(stmt); err != nil &&
+			!strings.Contains(err.Error(), "already") {
+			return nil, fmt.Errorf("loadgen: setup %q: %w", stmt, err)
+		}
+	}
 
 	type workerResult struct {
 		lat      []int64

@@ -1,0 +1,93 @@
+package loadgen
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"zidian/internal/server"
+)
+
+func TestTemplatesMix(t *testing.T) {
+	point, setup, err := TemplatesMix("mot", "point")
+	if err != nil || len(setup) != 0 || len(point) == 0 {
+		t.Fatalf("point: %d templates, %d setup, %v", len(point), len(setup), err)
+	}
+	nonkey, setup, err := TemplatesMix("mot", "nonkey")
+	if err != nil || len(nonkey) == 0 || len(setup) == 0 {
+		t.Fatalf("nonkey: %d templates, %d setup, %v", len(nonkey), len(setup), err)
+	}
+	for _, s := range setup {
+		if !strings.HasPrefix(s, "create index") {
+			t.Fatalf("setup statement %q is not index DDL", s)
+		}
+	}
+	mixed, _, err := TemplatesMix("mot", "mixed")
+	if err != nil || len(mixed) != len(point)+len(nonkey) {
+		t.Fatalf("mixed: %d templates, want %d, %v", len(mixed), len(point)+len(nonkey), err)
+	}
+	if _, _, err := TemplatesMix("mot", "bogus"); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+	if _, _, err := TemplatesMix("tpch", "nonkey"); err == nil {
+		t.Fatal("tpch has no non-key suite; expected an error")
+	}
+}
+
+// TestRunNonKeyMix drives the nonkey mix end to end: the setup DDL creates
+// the indexes through the wire protocol, and the run must finish with zero
+// errors. Re-running against the same warm server must tolerate the
+// already-existing indexes.
+func TestRunNonKeyMix(t *testing.T) {
+	inst, _, err := server.OpenWorkload("mot", 0.5, 7, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(inst, server.Config{MaxConcurrent: 4, QueueDepth: 64, QueueTimeout: 30 * time.Second})
+	tcp, _, err := srv.Start("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	templates, setup, err := TemplatesMix("mot", "nonkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		Addr:      tcp,
+		Clients:   4,
+		Requests:  20,
+		Templates: templates,
+		Setup:     setup,
+		ParamPool: 10,
+		Seed:      1,
+	}
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("nonkey mix finished with %d errors", rep.Errors)
+	}
+	if rep.Requests != int64(opts.Clients*opts.Requests) {
+		t.Fatalf("requests = %d", rep.Requests)
+	}
+	if got := srv.Cache().Stats(); got.Epoch == 0 {
+		t.Fatalf("setup DDL did not advance the cache epoch: %+v", got)
+	}
+	// Second run against the warm server: indexes already exist and the
+	// setup must be tolerated.
+	rep, err = Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("warm rerun finished with %d errors", rep.Errors)
+	}
+}

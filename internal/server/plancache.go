@@ -18,16 +18,25 @@ import (
 // The key space is split across independently locked shards so concurrent
 // lookups of different statements do not serialize on one mutex. Each shard
 // evicts least-recently-used entries once it exceeds its share of the
-// capacity. Cached plans never expire otherwise: a plan depends only on the
-// relational and BaaV schemas, which are fixed for the lifetime of an opened
-// instance, so data maintenance (INSERT/DELETE) does not invalidate it.
+// capacity.
+//
+// Plans depend on the relational and BaaV schemas — fixed for the lifetime
+// of an opened instance — and on the secondary-index catalog, which DDL
+// mutates at runtime. The cache therefore carries a schema epoch: every
+// entry records the epoch it was compiled under, Invalidate advances the
+// epoch, and entries from older epochs are treated as misses and dropped on
+// access. Data maintenance (INSERT/DELETE) never invalidates plans; only
+// DDL does.
 type PlanCache struct {
 	shards []cacheShard
 	perCap int
+	epoch  atomic.Uint64
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
+	hits          atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+	stale         atomic.Int64
 }
 
 type cacheShard struct {
@@ -37,8 +46,9 @@ type cacheShard struct {
 }
 
 type cacheEntry struct {
-	key  string
-	plan *zidian.Prepared
+	key   string
+	plan  *zidian.Prepared
+	epoch uint64
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
@@ -49,6 +59,11 @@ type CacheStats struct {
 	Misses    int64   `json:"misses"`
 	Evictions int64   `json:"evictions"`
 	HitRate   float64 `json:"hitRate"`
+	// Epoch is the current schema epoch; Invalidations counts Invalidate
+	// calls and StaleDrops the entries discarded for trailing the epoch.
+	Epoch         uint64 `json:"epoch"`
+	Invalidations int64  `json:"invalidations"`
+	StaleDrops    int64  `json:"staleDrops"`
 }
 
 const defaultCacheShards = 16
@@ -75,37 +90,76 @@ func (c *PlanCache) shard(key string) *cacheShard {
 	return &c.shards[h.Sum32()%uint32(len(c.shards))]
 }
 
+// Epoch returns the cache's current schema epoch. Callers that compile
+// plans outside the cache's locks should capture the epoch before
+// compiling and hand it to PutAt, so a concurrent Invalidate marks the
+// entry stale rather than letting an outdated plan land under the new
+// epoch.
+func (c *PlanCache) Epoch() uint64 { return c.epoch.Load() }
+
+// Invalidate advances the schema epoch, logically flushing every cached
+// plan in O(1): entries compiled under older epochs read as misses and are
+// dropped when next touched. Serving layers call it after DDL.
+func (c *PlanCache) Invalidate() {
+	c.epoch.Add(1)
+	c.invalidations.Add(1)
+}
+
 // Get returns the cached plan for the normalized key, marking it most
-// recently used.
+// recently used. Entries whose epoch trails the current schema epoch are
+// stale: they are removed and reported as misses.
 func (c *PlanCache) Get(key string) (*zidian.Prepared, bool) {
+	cur := c.epoch.Load()
 	s := c.shard(key)
 	s.mu.Lock()
 	el, ok := s.m[key]
+	stale := false
 	if ok {
-		s.lru.MoveToFront(el)
+		if el.Value.(*cacheEntry).epoch != cur {
+			s.lru.Remove(el)
+			delete(s.m, key)
+			ok = false
+			stale = true
+		} else {
+			s.lru.MoveToFront(el)
+		}
 	}
 	s.mu.Unlock()
 	if !ok {
 		c.misses.Add(1)
+		if stale {
+			c.stale.Add(1)
+		}
 		return nil, false
 	}
 	c.hits.Add(1)
 	return el.Value.(*cacheEntry).plan, true
 }
 
-// Put stores a compiled plan under the normalized key, evicting the shard's
+// Put stores a compiled plan under the normalized key at the current schema
+// epoch. Prefer PutAt when compilation happened outside the cache's locks.
+func (c *PlanCache) Put(key string, plan *zidian.Prepared) {
+	c.PutAt(key, plan, c.epoch.Load())
+}
+
+// PutAt stores a compiled plan under the normalized key, tagged with the
+// schema epoch the plan was compiled at, evicting the shard's
 // least-recently-used entry if it is full. Racing Puts of the same key keep
 // the latest plan; both compile to equivalent plans so either is correct.
-func (c *PlanCache) Put(key string, plan *zidian.Prepared) {
+// A plan tagged with an old epoch is stored but reads as stale, so a DDL
+// racing a compilation can never resurrect an outdated plan.
+func (c *PlanCache) PutAt(key string, plan *zidian.Prepared, epoch uint64) {
 	s := c.shard(key)
 	s.mu.Lock()
 	if el, ok := s.m[key]; ok {
-		el.Value.(*cacheEntry).plan = plan
+		e := el.Value.(*cacheEntry)
+		e.plan = plan
+		e.epoch = epoch
 		s.lru.MoveToFront(el)
 		s.mu.Unlock()
 		return
 	}
-	s.m[key] = s.lru.PushFront(&cacheEntry{key: key, plan: plan})
+	s.m[key] = s.lru.PushFront(&cacheEntry{key: key, plan: plan, epoch: epoch})
 	var evicted int64
 	for s.lru.Len() > c.perCap {
 		oldest := s.lru.Back()
@@ -134,11 +188,14 @@ func (c *PlanCache) Len() int {
 // Stats snapshots hit/miss/eviction counters.
 func (c *PlanCache) Stats() CacheStats {
 	st := CacheStats{
-		Size:      c.Len(),
-		Capacity:  c.perCap * len(c.shards),
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
+		Size:          c.Len(),
+		Capacity:      c.perCap * len(c.shards),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Epoch:         c.epoch.Load(),
+		Invalidations: c.invalidations.Load(),
+		StaleDrops:    c.stale.Load(),
 	}
 	if total := st.Hits + st.Misses; total > 0 {
 		st.HitRate = float64(st.Hits) / float64(total)

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPlanCacheEpochInvalidation: Invalidate advances the epoch and every
+// cached plan reads as a miss afterwards, with stale drops accounted.
+func TestPlanCacheEpochInvalidation(t *testing.T) {
+	c := NewPlanCache(64)
+	for i := 0; i < 8; i++ {
+		c.Put(fmt.Sprintf("q%d", i), nil)
+	}
+	if _, ok := c.Get("q3"); !ok {
+		t.Fatal("warm entry missed")
+	}
+	if c.Epoch() != 0 {
+		t.Fatalf("epoch = %d", c.Epoch())
+	}
+	c.Invalidate()
+	if c.Epoch() != 1 {
+		t.Fatalf("epoch after invalidate = %d", c.Epoch())
+	}
+	for i := 0; i < 8; i++ {
+		if _, ok := c.Get(fmt.Sprintf("q%d", i)); ok {
+			t.Fatalf("stale entry q%d hit after invalidate", i)
+		}
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 || st.StaleDrops != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Size != 0 {
+		t.Fatalf("stale entries not dropped: size = %d", st.Size)
+	}
+	// Fresh entries at the new epoch hit normally.
+	c.Put("q0", nil)
+	if _, ok := c.Get("q0"); !ok {
+		t.Fatal("fresh entry missed after invalidate")
+	}
+}
+
+// TestPlanCachePutAtStaleEpoch: a plan compiled under an old epoch (the
+// DDL-races-compilation window) is stored but never served.
+func TestPlanCachePutAtStaleEpoch(t *testing.T) {
+	c := NewPlanCache(16)
+	old := c.Epoch()
+	c.Invalidate() // DDL lands while the plan is being compiled
+	c.PutAt("q", nil, old)
+	if _, ok := c.Get("q"); ok {
+		t.Fatal("plan compiled under an old epoch was served")
+	}
+	c.PutAt("q", nil, c.Epoch())
+	if _, ok := c.Get("q"); !ok {
+		t.Fatal("plan at the current epoch missed")
+	}
+}

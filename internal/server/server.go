@@ -263,12 +263,16 @@ func (s *Server) handle(sess *Session, req *Request) Response {
 			s.fillResult(&resp, res, stats, cacheHit)
 			return resp
 		}
-		affected, err := s.Exec(s.ctx, req.SQL)
+		r, err := s.Exec(s.ctx, req.SQL)
 		if err != nil {
 			return fail(err)
 		}
 		resp.OK = true
-		resp.Affected = affected
+		resp.Affected = r.Affected
+		if r.Result != nil {
+			resp.Cols = r.Result.Cols
+			resp.Rows = jsonRows(r.Result.Rows)
+		}
 	case "prepare":
 		if req.Name == "" {
 			return fail(fmt.Errorf("server: prepare needs a statement name"))
@@ -286,9 +290,25 @@ func (s *Server) handle(sess *Session, req *Request) Response {
 		if !ok {
 			return fail(fmt.Errorf("server: no prepared statement %q", req.Name))
 		}
-		res, stats, err := s.run(s.ctx, p)
+		// DDL since compilation? Recompile against the current catalog: the
+		// old plan may use a dropped index or miss a newly created one.
+		// runFresh repeats the refresh if another DDL lands mid-execution.
+		stored := p
+		if p.Epoch() != s.inst.SchemaEpoch() {
+			p2, _, err := s.compile(p.SQL())
+			if err != nil {
+				return fail(err)
+			}
+			p = p2
+		}
+		res, stats, ran, err := s.runFresh(s.ctx, NormalizeSQL(p.SQL()), p.SQL(), p)
 		if err != nil {
 			return fail(err)
+		}
+		if ran != stored {
+			if err := sess.SetPrepared(req.Name, ran); err != nil {
+				return fail(err)
+			}
 		}
 		s.fillResult(&resp, res, stats, true)
 	case "close":
@@ -322,18 +342,22 @@ func (s *Server) compile(sql string) (*zidian.Prepared, bool, error) {
 	return s.compileNorm(NormalizeSQL(sql), sql)
 }
 
-// compileNorm is compile with the normalization already done.
+// compileNorm is compile with the normalization already done. The cache
+// epoch is captured under the read lock — DDL holds the write lock while it
+// invalidates — so a plan compiled just before a DDL lands in the cache
+// tagged stale instead of surviving the flush.
 func (s *Server) compileNorm(norm, sql string) (*zidian.Prepared, bool, error) {
 	if p, ok := s.cache.Get(norm); ok {
 		return p, true, nil
 	}
 	s.dbMu.RLock()
+	epoch := s.cache.Epoch()
 	p, err := s.inst.Prepare(sql)
 	s.dbMu.RUnlock()
 	if err != nil {
 		return nil, false, err
 	}
-	s.cache.Put(norm, p)
+	s.cache.PutAt(norm, p, epoch)
 	return p, false, nil
 }
 
@@ -361,18 +385,39 @@ func (s *Server) queryNorm(ctx context.Context, norm, sql string) (*zidian.Resul
 	if err != nil {
 		return nil, nil, false, err
 	}
-	res, stats, err := s.run(ctx, p)
+	res, stats, _, err := s.runFresh(ctx, norm, sql, p)
 	if err != nil {
 		return nil, nil, hit, err
 	}
 	return res, stats, hit, nil
 }
 
-// Exec runs one non-SELECT statement (INSERT/DELETE) under the exclusive
-// write lock, returning the affected row count.
-func (s *Server) Exec(ctx context.Context, sql string) (int, error) {
+// runFresh executes a compiled plan, recompiling and retrying when DDL made
+// the plan stale between compilation and execution (compile and run hold
+// the read lock in separate critical sections, so a DROP INDEX can land in
+// between and strand a plan on a vanished index). It returns the plan that
+// finally ran so callers can refresh session state.
+func (s *Server) runFresh(ctx context.Context, norm, sql string, p *zidian.Prepared) (*zidian.Result, *zidian.Stats, *zidian.Prepared, error) {
+	for attempt := 0; ; attempt++ {
+		res, stats, err := s.run(ctx, p)
+		if err == nil || attempt >= 2 || p.Epoch() == s.inst.SchemaEpoch() {
+			return res, stats, p, err
+		}
+		p2, _, cerr := s.compileNorm(norm, sql)
+		if cerr != nil {
+			return nil, nil, p, cerr
+		}
+		p = p2
+	}
+}
+
+// Exec runs one non-SELECT statement (INSERT/DELETE/EXPLAIN/DDL) under the
+// exclusive write lock. Catalog-changing DDL invalidates the plan cache
+// while still holding the lock, so no statement can observe the new catalog
+// with an old plan.
+func (s *Server) Exec(ctx context.Context, sql string) (*zidian.ExecResult, error) {
 	if err := s.adm.Acquire(ctx); err != nil {
-		return 0, err
+		return nil, err
 	}
 	defer s.adm.Release()
 	s.dbMu.Lock()
@@ -380,9 +425,12 @@ func (s *Server) Exec(ctx context.Context, sql string) (int, error) {
 	s.queries.Add(1)
 	r, err := s.inst.Exec(sql)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	return r.Affected, nil
+	if r.SchemaChanged {
+		s.cache.Invalidate()
+	}
+	return r, nil
 }
 
 // Stats snapshots server-wide statistics.
@@ -468,11 +516,15 @@ func (s *Server) httpQuery(w http.ResponseWriter, r *http.Request) {
 			s.fillResult(&resp, res, stats, cacheHit)
 		}
 	} else {
-		var affected int
-		affected, err = s.Exec(s.ctx, sql)
+		var r *zidian.ExecResult
+		r, err = s.Exec(s.ctx, sql)
 		if err == nil {
 			resp.OK = true
-			resp.Affected = affected
+			resp.Affected = r.Affected
+			if r.Result != nil {
+				resp.Cols = r.Result.Cols
+				resp.Rows = jsonRows(r.Result.Rows)
+			}
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")

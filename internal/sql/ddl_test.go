@@ -1,0 +1,56 @@
+package sql
+
+import "testing"
+
+func TestParseCreateIndex(t *testing.T) {
+	stmt, err := ParseStatement("CREATE INDEX ix_make ON VEHICLE(make)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, ok := stmt.(*CreateIndex)
+	if !ok {
+		t.Fatalf("statement = %T", stmt)
+	}
+	if ci.Name != "ix_make" || ci.Table != "VEHICLE" || ci.Attr != "make" {
+		t.Fatalf("parsed %+v", ci)
+	}
+	if ci.String() != "CREATE INDEX ix_make ON VEHICLE(make)" {
+		t.Fatalf("render = %q", ci.String())
+	}
+	// Case-insensitive keywords, flexible whitespace, trailing semicolon via
+	// ParseStatement's lexer conventions.
+	if _, err := ParseStatement("create   index i on t ( a )"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDropIndex(t *testing.T) {
+	stmt, err := ParseStatement("drop index ix_make")
+	if err != nil {
+		t.Fatal(err)
+	}
+	di, ok := stmt.(*DropIndex)
+	if !ok {
+		t.Fatalf("statement = %T", stmt)
+	}
+	if di.Name != "ix_make" {
+		t.Fatalf("parsed %+v", di)
+	}
+}
+
+func TestParseDDLErrors(t *testing.T) {
+	for _, src := range []string{
+		"CREATE ix ON t(a)",           // missing INDEX
+		"CREATE INDEX ON t(a)",        // missing name
+		"CREATE INDEX i t(a)",         // missing ON
+		"CREATE INDEX i ON t",         // missing column
+		"CREATE INDEX i ON t(a, b)",   // composite keys unsupported
+		"CREATE INDEX i ON t(a) junk", // trailing input
+		"DROP INDEX",                  // missing name
+		"DROP TABLE t",                // unsupported object
+	} {
+		if _, err := ParseStatement(src); err == nil {
+			t.Errorf("ParseStatement(%q) succeeded", src)
+		}
+	}
+}

@@ -21,14 +21,38 @@ type Delete struct {
 	Where []Pred
 }
 
-// Statement is a parsed SQL statement: *Query, *Insert, or *Delete.
+// CreateIndex is a parsed "CREATE INDEX name ON table(attr)" statement: it
+// defines a block-aware secondary index on one non-key attribute.
+type CreateIndex struct {
+	Name  string
+	Table string
+	Attr  string
+}
+
+// DropIndex is a parsed "DROP INDEX name" statement.
+type DropIndex struct {
+	Name string
+}
+
+// Explain is a parsed "EXPLAIN <select>" statement: it asks for the plan
+// description of the wrapped query instead of its answer.
+type Explain struct {
+	Query *Query
+}
+
+// Statement is a parsed SQL statement: *Query, *Insert, *Delete,
+// *CreateIndex, *DropIndex, or *Explain.
 type Statement interface{ isStatement() }
 
-func (*Query) isStatement()  {}
-func (*Insert) isStatement() {}
-func (*Delete) isStatement() {}
+func (*Query) isStatement()       {}
+func (*Insert) isStatement()      {}
+func (*Delete) isStatement()      {}
+func (*CreateIndex) isStatement() {}
+func (*DropIndex) isStatement()   {}
+func (*Explain) isStatement()     {}
 
-// ParseStatement parses one SELECT, INSERT or DELETE statement.
+// ParseStatement parses one SELECT, INSERT, DELETE, CREATE INDEX, DROP
+// INDEX or EXPLAIN statement.
 func ParseStatement(src string) (Statement, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -43,8 +67,17 @@ func ParseStatement(src string) (Statement, error) {
 		stmt, err = p.parseInsert()
 	case p.peekKeyword("DELETE"):
 		stmt, err = p.parseDelete()
+	case p.peekKeyword("CREATE"):
+		stmt, err = p.parseCreateIndex()
+	case p.peekKeyword("DROP"):
+		stmt, err = p.parseDropIndex()
+	case p.peekKeyword("EXPLAIN"):
+		p.advance()
+		var q *Query
+		q, err = p.parseQuery()
+		stmt = &Explain{Query: q}
 	default:
-		return nil, fmt.Errorf("sql: expected SELECT, INSERT or DELETE, found %s", p.peek())
+		return nil, fmt.Errorf("sql: expected SELECT, INSERT, DELETE, CREATE, DROP or EXPLAIN, found %s", p.peek())
 	}
 	if err != nil {
 		return nil, err
@@ -124,6 +157,59 @@ func (p *parser) parseDelete() (*Delete, error) {
 	}
 	return del, nil
 }
+
+func (p *parser) parseCreateIndex() (*CreateIndex, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INDEX"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	attr, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndex{Name: name, Table: table, Attr: attr}, nil
+}
+
+func (p *parser) parseDropIndex() (*DropIndex, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INDEX"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropIndex{Name: name}, nil
+}
+
+// String renders the statement.
+func (c *CreateIndex) String() string {
+	return fmt.Sprintf("CREATE INDEX %s ON %s(%s)", c.Name, c.Table, c.Attr)
+}
+
+// String renders the statement.
+func (d *DropIndex) String() string { return "DROP INDEX " + d.Name }
 
 // String renders the statement.
 func (i *Insert) String() string {

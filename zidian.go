@@ -22,10 +22,12 @@ package zidian
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"zidian/internal/baav"
 	"zidian/internal/core"
+	"zidian/internal/index"
 	"zidian/internal/kba"
 	"zidian/internal/kv"
 	"zidian/internal/parallel"
@@ -143,7 +145,14 @@ type Instance struct {
 	schema  *BaaVSchema
 	store   *baav.Store
 	checker *core.Checker
+	indexes *index.Manager
 	opts    Options
+
+	// epoch counts catalog-changing DDL (CREATE INDEX / DROP INDEX). Plans
+	// compiled at an older epoch may be stale: an index they use can be
+	// gone, or a better access path can exist. Serving layers key their
+	// plan caches on it.
+	epoch atomic.Uint64
 }
 
 // Open maps db onto the BaaV schema and returns a queryable instance.
@@ -154,14 +163,28 @@ func Open(db *Database, schema *BaaVSchema, opts Options) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
+	idx := index.NewManager(cluster)
+	store.Index = idx
 	return &Instance{
 		db:      db,
 		schema:  schema,
 		store:   store,
-		checker: core.NewChecker(schema, baav.RelSchemas(db)).WithStats(store),
+		checker: core.NewChecker(schema, baav.RelSchemas(db)).WithStats(store).WithIndexes(idx),
+		indexes: idx,
 		opts:    opts,
 	}, nil
 }
+
+// SchemaEpoch returns the instance's catalog epoch; it advances on every
+// successful CREATE INDEX / DROP INDEX. Compiled plans record the epoch
+// they were built at, so caches can drop plans from older epochs.
+func (in *Instance) SchemaEpoch() uint64 { return in.epoch.Load() }
+
+// IndexNames lists the defined secondary indexes, sorted.
+func (in *Instance) IndexNames() []string { return in.indexes.Names() }
+
+// IndexStats snapshots the named index's shape statistics.
+func (in *Instance) IndexStats(name string) (index.Stats, bool) { return in.indexes.StatsOf(name) }
 
 // Store exposes the underlying BaaV store for advanced use.
 func (in *Instance) Store() *baav.Store { return in.store }
@@ -182,12 +205,15 @@ func (in *Instance) Query(src string) (*Result, *Stats, error) {
 // executable many times. A Prepared is immutable after Prepare and safe for
 // concurrent Run calls from multiple goroutines; the underlying KBA plan is
 // only read during execution. Plans depend on the relational and BaaV
-// schemas, not on the stored data, so a Prepared stays valid across
-// Insert/Delete maintenance.
+// schemas and the index catalog, not on the stored data, so a Prepared
+// stays valid across Insert/Delete maintenance; DDL (CREATE/DROP INDEX)
+// advances the instance's SchemaEpoch, and statements compiled at an older
+// epoch should be recompiled (see Epoch).
 type Prepared struct {
-	in   *Instance
-	info *core.PlanInfo
-	src  string
+	in    *Instance
+	info  *core.PlanInfo
+	src   string
+	epoch uint64
 }
 
 // Prepare parses, checks and plans a SQL query without executing it. The
@@ -198,15 +224,22 @@ func (in *Instance) Prepare(src string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
+	epoch := in.epoch.Load()
 	info, err := in.checker.Plan(q)
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{in: in, info: info, src: src}, nil
+	return &Prepared{in: in, info: info, src: src, epoch: epoch}, nil
 }
 
 // SQL returns the statement's source text.
 func (p *Prepared) SQL() string { return p.src }
+
+// Epoch returns the catalog epoch the statement was compiled at. When it
+// trails the instance's SchemaEpoch, DDL has run since compilation and the
+// plan should be recompiled: it may reference a dropped index or miss a
+// newly available one.
+func (p *Prepared) Epoch() uint64 { return p.epoch }
 
 // ScanFree reports whether the compiled plan scans no KV instance.
 func (p *Prepared) ScanFree() bool { return p.info.ScanFree }
@@ -248,6 +281,11 @@ func (in *Instance) Explain(src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return in.explainQuery(q)
+}
+
+// explainQuery plans a bound query and renders the description.
+func (in *Instance) explainQuery(q *ra.Query) (string, error) {
 	info, err := in.checker.Plan(q)
 	if err != nil {
 		return "", err
@@ -262,10 +300,15 @@ func (in *Instance) Explain(src string) (string, error) {
 			kind = "scan-free, bounded"
 		}
 	}
+	if len(info.Indexes) > 0 {
+		kind += ", index-assisted"
+	}
 	return fmt.Sprintf("[%s] %s", kind, info.Root), nil
 }
 
-// Insert incrementally maintains the BaaV store for one inserted tuple.
+// Insert incrementally maintains the BaaV store and every secondary index
+// on the relation for one inserted tuple: blocks and postings change in the
+// same call, so readers admitted after it see a consistent pair.
 func (in *Instance) Insert(rel string, t Tuple) error {
 	r := in.db.Relation(rel)
 	if r == nil {
@@ -274,10 +317,14 @@ func (in *Instance) Insert(rel string, t Tuple) error {
 	if err := r.Insert(t); err != nil {
 		return err
 	}
-	return in.store.Insert(rel, t)
+	if err := in.store.Insert(rel, t); err != nil {
+		return err
+	}
+	return in.indexes.Insert(rel, t)
 }
 
-// Delete incrementally maintains the BaaV store for one deleted tuple.
+// Delete incrementally maintains the BaaV store and every secondary index
+// on the relation for one deleted tuple.
 func (in *Instance) Delete(rel string, t Tuple) error {
 	r := in.db.Relation(rel)
 	if r == nil {
@@ -286,7 +333,10 @@ func (in *Instance) Delete(rel string, t Tuple) error {
 	for i, u := range r.Tuples {
 		if u.Equal(t) {
 			r.Tuples = append(r.Tuples[:i], r.Tuples[i+1:]...)
-			return in.store.Delete(rel, t)
+			if err := in.store.Delete(rel, t); err != nil {
+				return err
+			}
+			return in.indexes.Delete(rel, t)
 		}
 	}
 	return nil
@@ -309,20 +359,28 @@ func (in *Instance) ScanFree(src string) (bool, error) {
 	return in.checker.ScanFree(q), nil
 }
 
-// ExecResult is the outcome of Exec: a result set for SELECT, an affected
-// row count for INSERT and DELETE.
+// ExecResult is the outcome of Exec: a result set for SELECT and EXPLAIN,
+// an affected row count for INSERT, DELETE and CREATE INDEX.
 type ExecResult struct {
-	// Result and Stats are set for SELECT statements.
+	// Result and Stats are set for SELECT statements (EXPLAIN sets only
+	// Result).
 	Result *Result
 	Stats  *Stats
-	// Affected is the number of rows inserted or deleted.
+	// Affected is the number of rows inserted or deleted, or the number of
+	// tuples backfilled by CREATE INDEX.
 	Affected int
+	// SchemaChanged marks catalog-changing DDL; serving layers must flush
+	// plan caches when it is set (the instance's SchemaEpoch advanced).
+	SchemaChanged bool
 }
 
 // Exec parses and runs one SQL statement: SELECT queries the BaaV store;
 // INSERT and DELETE update the database and incrementally maintain the
-// blocks (module M4). DELETE supports conjunctive predicates over the
-// target relation's own attributes.
+// blocks and index postings (module M4); CREATE INDEX / DROP INDEX change
+// the secondary-index catalog and advance the schema epoch; EXPLAIN
+// <select> returns the plan description as a one-row result. DELETE
+// supports conjunctive predicates over the target relation's own
+// attributes.
 func (in *Instance) Exec(src string) (*ExecResult, error) {
 	stmt, err := sqlpkg.ParseStatement(src)
 	if err != nil {
@@ -363,6 +421,36 @@ func (in *Instance) Exec(src string) (*ExecResult, error) {
 			}
 		}
 		return &ExecResult{Affected: len(doomed)}, nil
+	case *sqlpkg.CreateIndex:
+		rel := in.db.Relation(s.Table)
+		if rel == nil {
+			return nil, fmt.Errorf("zidian: unknown relation %q", s.Table)
+		}
+		n, err := in.indexes.Create(s.Name, s.Table, s.Attr, rel.Schema, rel.Tuples)
+		if err != nil {
+			return nil, err
+		}
+		in.epoch.Add(1)
+		return &ExecResult{Affected: n, SchemaChanged: true}, nil
+	case *sqlpkg.DropIndex:
+		if err := in.indexes.Drop(s.Name); err != nil {
+			return nil, err
+		}
+		in.epoch.Add(1)
+		return &ExecResult{SchemaChanged: true}, nil
+	case *sqlpkg.Explain:
+		q, err := ra.Bind(s.Query, in.db)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := in.explainQuery(q)
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Result: &Result{
+			Cols: []string{"plan"},
+			Rows: []Tuple{{String(plan)}},
+		}}, nil
 	default:
 		return nil, fmt.Errorf("zidian: unsupported statement")
 	}

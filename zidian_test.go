@@ -2,6 +2,8 @@ package zidian
 
 import (
 	"fmt"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -265,5 +267,220 @@ func TestFacadePrepareConcurrent(t *testing.T) {
 		if err := <-errs; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// indexInstance builds an instance big enough that the cost model prefers
+// the index over the scan: 400 vehicles across 20 makes, stored only under
+// a primary-key KV schema so a make predicate has no keyed access path.
+func indexInstance(t *testing.T) *Instance {
+	t.Helper()
+	db := NewDatabase()
+	vehicle := NewRelation(MustRelSchema("VEHICLE",
+		[]Attr{
+			{Name: "vehicle_id", Kind: KindInt},
+			{Name: "make", Kind: KindString},
+			{Name: "model", Kind: KindString},
+			{Name: "year", Kind: KindInt},
+		},
+		[]string{"vehicle_id"}))
+	for i := 0; i < 400; i++ {
+		vehicle.MustInsert(Tuple{
+			Int(int64(i)),
+			String(fmt.Sprintf("MAKE-%02d", i%20)),
+			String(fmt.Sprintf("MODEL-%03d", i%37)),
+			Int(int64(2000 + i%20)),
+		})
+	}
+	db.Add(vehicle)
+	schema, err := NewBaaVSchema(db, KVSchema{
+		Name: "vehicle_full", Rel: "VEHICLE",
+		Key: []string{"vehicle_id"}, Val: []string{"make", "model", "year"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Open(db, schema, Options{Nodes: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func sortedRows(res *Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = r.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestFacadeSecondaryIndex walks the whole index lifecycle through SQL:
+// scan plan before DDL, IndexLookup plan after, bit-for-bit identical
+// answers under insert/delete churn, and the scan plan again after DROP.
+func TestFacadeSecondaryIndex(t *testing.T) {
+	inst := indexInstance(t)
+	const q = "select V.vehicle_id, V.model from VEHICLE V where V.make = 'MAKE-07'"
+
+	plan, err := inst.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "IndexLookup") {
+		t.Fatalf("IndexLookup before CREATE INDEX: %s", plan)
+	}
+	scanRes, scanStats, err := inst.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scanStats.ScanFree || len(scanRes.Rows) != 20 {
+		t.Fatalf("scan baseline: %d rows, scanFree=%v", len(scanRes.Rows), scanStats.ScanFree)
+	}
+
+	res, err := inst.Exec("create index ix_make on VEHICLE(make)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SchemaChanged || res.Affected != 400 {
+		t.Fatalf("create index result: %+v", res)
+	}
+	if inst.SchemaEpoch() != 1 {
+		t.Fatalf("epoch = %d after one DDL", inst.SchemaEpoch())
+	}
+	if names := inst.IndexNames(); len(names) != 1 || names[0] != "ix_make" {
+		t.Fatalf("IndexNames = %v", names)
+	}
+	if st, ok := inst.IndexStats("ix_make"); !ok || st.Entries != 20 || st.Postings != 400 {
+		t.Fatalf("IndexStats = %+v %v", st, ok)
+	}
+
+	plan, err = inst.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "IndexLookup") || !strings.Contains(plan, "index-assisted") {
+		t.Fatalf("post-DDL plan: %s", plan)
+	}
+	idxRes, idxStats, err := inst.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idxStats.ScanFree {
+		t.Fatalf("index plan not scan-free: %+v", idxStats)
+	}
+	if got, want := sortedRows(idxRes), sortedRows(scanRes); !reflect.DeepEqual(got, want) {
+		t.Fatalf("index answer diverges:\n got %v\nwant %v", got, want)
+	}
+
+	// Churn: inserts and deletes must keep index and scan answers in
+	// lockstep (the index is dropped and recreated to obtain the scan
+	// reference at each step — its absence forces the scan plan).
+	if _, err := inst.Exec("insert into VEHICLE values (900, 'MAKE-07', 'MODEL-900', 2024), (901, 'MAKE-07', 'MODEL-901', 2025), (902, 'MAKE-01', 'MODEL-902', 2025)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Exec("delete from VEHICLE where vehicle_id = 7"); err != nil {
+		t.Fatal(err)
+	}
+	idxRes, _, err = inst.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Exec("drop index ix_make"); err != nil {
+		t.Fatal(err)
+	}
+	scanRes, scanStats, err = inst.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scanStats.ScanFree {
+		t.Fatal("scan reference unexpectedly scan-free after DROP INDEX")
+	}
+	if len(scanRes.Rows) != 21 { // 20 - 1 deleted + 2 inserted
+		t.Fatalf("churned rows = %d", len(scanRes.Rows))
+	}
+	if got, want := sortedRows(idxRes), sortedRows(scanRes); !reflect.DeepEqual(got, want) {
+		t.Fatalf("index answer diverges under churn:\n got %v\nwant %v", got, want)
+	}
+	if inst.SchemaEpoch() != 2 {
+		t.Fatalf("epoch = %d after two DDLs", inst.SchemaEpoch())
+	}
+
+	// DDL error paths.
+	for _, src := range []string{
+		"create index ix2 on NOPE(make)",
+		"create index ix2 on VEHICLE(nope)",
+		"drop index ix_make", // already dropped
+	} {
+		if _, err := inst.Exec(src); err == nil {
+			t.Fatalf("expected error for %q", src)
+		}
+	}
+}
+
+// TestFacadeExplainStatement: EXPLAIN <select> through Exec returns the
+// plan as a one-row result.
+func TestFacadeExplainStatement(t *testing.T) {
+	inst := indexInstance(t)
+	if _, err := inst.Exec("create index ix_make on VEHICLE(make)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Exec("EXPLAIN select V.vehicle_id from VEHICLE V where V.make = 'MAKE-03'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Result == nil || len(res.Result.Rows) != 1 || len(res.Result.Cols) != 1 {
+		t.Fatalf("explain result = %+v", res)
+	}
+	if plan := res.Result.Rows[0][0].Str; !strings.Contains(plan, "IndexLookup") {
+		t.Fatalf("explain plan = %q", plan)
+	}
+}
+
+// TestFacadePreparedEpoch: a Prepared records its compilation epoch and
+// keeps executing after DDL (the plan stays valid when its access paths
+// survive), while the epoch mismatch signals that recompilation would help.
+func TestFacadePreparedEpoch(t *testing.T) {
+	inst := indexInstance(t)
+	const q = "select V.vehicle_id, V.model from VEHICLE V where V.make = 'MAKE-05'"
+	p, err := inst.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Epoch() != inst.SchemaEpoch() {
+		t.Fatalf("fresh statement epoch %d != instance %d", p.Epoch(), inst.SchemaEpoch())
+	}
+	if _, err := inst.Exec("create index ix_make on VEHICLE(make)"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Epoch() == inst.SchemaEpoch() {
+		t.Fatal("DDL did not advance the instance epoch past the statement's")
+	}
+	// The stale scan plan still answers correctly.
+	res, _, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := inst.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, _, err := p2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sortedRows(res), sortedRows(res2)) {
+		t.Fatal("stale and fresh plans disagree")
+	}
+	if !p2.ScanFree() || !strings.Contains(p2.Plan(), "IndexLookup") {
+		t.Fatalf("recompiled plan = %s", p2.Plan())
+	}
+	// A plan whose index is dropped must fail loudly, not silently return
+	// wrong answers — the serving layer recompiles on epoch mismatch.
+	if _, err := inst.Exec("drop index ix_make"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p2.Run(); err == nil {
+		t.Fatal("plan over a dropped index ran without error")
 	}
 }
