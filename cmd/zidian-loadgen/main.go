@@ -25,6 +25,8 @@ func main() {
 		requests = flag.Int("requests", 200, "statements per client")
 		pool     = flag.Int("params", 100, "distinct parameter values per template")
 		seed     = flag.Int64("seed", 1, "parameter sequence seed")
+		prep     = flag.Bool("parameterized", false, "send `?` templates with wire parameters instead of inlined literals")
+		distinct = flag.Bool("distinct", false, "use a globally unique literal per request (numeric templates)")
 		out      = flag.String("out", "", "write the JSON report to this file")
 	)
 	flag.Parse()
@@ -35,13 +37,15 @@ func main() {
 		os.Exit(2)
 	}
 	rep, err := loadgen.Run(loadgen.Options{
-		Addr:      *addr,
-		Clients:   *clients,
-		Requests:  *requests,
-		Templates: templates,
-		Setup:     setup,
-		ParamPool: *pool,
-		Seed:      *seed,
+		Addr:           *addr,
+		Clients:        *clients,
+		Requests:       *requests,
+		Templates:      templates,
+		Setup:          setup,
+		ParamPool:      *pool,
+		Seed:           *seed,
+		Parameterized:  *prep,
+		DistinctParams: *distinct,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "zidian-loadgen: %v\n", err)

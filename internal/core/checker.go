@@ -272,6 +272,12 @@ func (c *Checker) GetSet(q *ra.Query, eq *ra.EqClasses) map[ra.ColRef]bool {
 	for _, in := range q.Ins {
 		get[eq.Find(in.Col)] = true
 	}
+	// Parameter-pinned classes are constants whose value arrives at bind
+	// time: retrievability depends only on the pin, not the value, so the
+	// template chases exactly like any literal instantiation.
+	for _, pe := range q.EqParams {
+		get[eq.Find(pe.Col)] = true
+	}
 	for changed := true; changed; {
 		changed = false
 		for _, atom := range q.Atoms {

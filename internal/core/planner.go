@@ -37,6 +37,15 @@ type PlanInfo struct {
 	// UsedStats marks plans answered from per-block statistics headers
 	// without decoding tuples (the Section 8.2 aggregate pushdown).
 	UsedStats bool
+	// NumParams counts the `?` placeholders of the source query. When
+	// non-zero, Root is a plan template: compiled once, then executed many
+	// times by calling Bind with a fresh parameter list — no re-parse,
+	// re-check or re-plan per execution.
+	NumParams int
+	// ParamKinds records the expected relation.Kind per parameter slot
+	// (from the column each placeholder compares with); Bind validates and
+	// coerces supplied values against it.
+	ParamKinds []relation.Kind
 }
 
 // Bounded reports whether the plan is bounded on the store: scan-free with
@@ -95,7 +104,8 @@ func (f *frag) has(name string) bool {
 func (c *Checker) Plan(q *ra.Query) (*PlanInfo, error) {
 	eq := ra.BuildEqClasses(q)
 	if eq.Unsat {
-		return &PlanInfo{Query: q, Empty: true, ScanFree: true}, nil
+		return &PlanInfo{Query: q, Empty: true, ScanFree: true,
+			NumParams: q.NumParams, ParamKinds: q.ParamKinds}, nil
 	}
 	p := &planner{
 		c: c, q: q, eq: eq,
@@ -142,7 +152,8 @@ func (p *planner) run() (*PlanInfo, error) {
 	} else if seed != nil {
 		p.frags = append(p.frags, seed)
 	} else if p.seedEmpty() {
-		return &PlanInfo{Query: p.q, Empty: true, ScanFree: true}, nil
+		return &PlanInfo{Query: p.q, Empty: true, ScanFree: true,
+			NumParams: p.q.NumParams, ParamKinds: p.q.ParamKinds}, nil
 	}
 
 	if err := p.coverAtoms(); err != nil {
@@ -160,13 +171,15 @@ func (p *planner) run() (*PlanInfo, error) {
 		return nil, err
 	}
 	info := &PlanInfo{
-		Query:    p.q,
-		Root:     f.plan,
-		ScanFree: kba.IsScanFree(f.plan),
-		Extends:  p.extends,
-		Scans:    p.scans,
-		Indexes:  p.indexes,
-		OutCols:  outCols,
+		Query:      p.q,
+		Root:       f.plan,
+		ScanFree:   kba.IsScanFree(f.plan),
+		Extends:    p.extends,
+		Scans:      p.scans,
+		Indexes:    p.indexes,
+		OutCols:    outCols,
+		NumParams:  p.q.NumParams,
+		ParamKinds: p.q.ParamKinds,
 	}
 	return info, nil
 }
@@ -183,7 +196,7 @@ func (p *planner) tryStatsAgg() (*PlanInfo, bool) {
 	if len(q.Atoms) != 1 || !q.IsAggregate() || len(q.Proj) == 0 {
 		return nil, false
 	}
-	if len(q.EqAttrs)+len(q.EqConsts)+len(q.Ins)+len(q.Filters) > 0 {
+	if len(q.EqAttrs)+len(q.EqConsts)+len(q.EqParams)+len(q.Ins)+len(q.Filters) > 0 {
 		return nil, false
 	}
 	atom := q.Atoms[0]
@@ -250,20 +263,30 @@ func (p *planner) tryStatsAgg() (*PlanInfo, bool) {
 	return nil, false
 }
 
-// seedValues collects, per constant-pinned equality class, the candidate
-// values (intersecting constants with IN lists). The bool result is false
-// when some class has an empty candidate set (unsatisfiable).
-func (p *planner) seedValues() (map[ra.ColRef][]relation.Value, bool) {
-	vals := make(map[ra.ColRef][]relation.Value)
+// seedValues collects, per pinned equality class, the candidate bind-time
+// args: literal constants (intersected with literal-only IN lists, as
+// before) and parameter slots whose values arrive at Bind time. The
+// template's shape — how many candidates pin each class — is all the
+// planner needs for its access-path decisions; the concrete values are
+// irrelevant until execution. The bool result is false when some class has
+// a statically empty candidate set (unsatisfiable); classes pinned only
+// through parameters are never statically empty. IN lists containing
+// parameter slots cannot be intersected at plan time, so they seed only
+// classes nothing else pins and are re-checked by the residual select.
+func (p *planner) seedValues() (map[ra.ColRef][]kba.Arg, bool) {
+	lits := make(map[ra.ColRef][]relation.Value)
 	for _, ce := range p.eq.ConstCols() {
 		root := p.eq.Find(ce.Col)
-		if _, ok := vals[root]; !ok {
-			vals[root] = []relation.Value{ce.Val}
+		if _, ok := lits[root]; !ok {
+			lits[root] = []relation.Value{ce.Val}
 		}
 	}
 	for _, in := range p.q.Ins {
+		if len(in.Slots) > 0 {
+			continue
+		}
 		root := p.eq.Find(in.Col)
-		if prev, ok := vals[root]; ok {
+		if prev, ok := lits[root]; ok {
 			var kept []relation.Value
 			for _, v := range prev {
 				for _, w := range in.Vals {
@@ -273,17 +296,66 @@ func (p *planner) seedValues() (map[ra.ColRef][]relation.Value, bool) {
 					}
 				}
 			}
-			vals[root] = kept
+			lits[root] = kept
 		} else {
-			vals[root] = append([]relation.Value{}, in.Vals...)
+			lits[root] = dedupeVals(in.Vals)
 		}
 	}
-	for _, vs := range vals {
+	for _, vs := range lits {
 		if len(vs) == 0 {
 			return nil, false
 		}
 	}
+	vals := make(map[ra.ColRef][]kba.Arg, len(lits))
+	for root, vs := range lits {
+		args := make([]kba.Arg, len(vs))
+		for i, v := range vs {
+			args[i] = kba.LitArg(v)
+		}
+		vals[root] = args
+	}
+	// Parameter pins seed classes not already pinned by literals; when a
+	// class has both, the literal seeds and the residual select enforces the
+	// parameter equality at execution time.
+	for _, pe := range p.q.EqParams {
+		root := p.eq.Find(pe.Col)
+		if _, ok := vals[root]; !ok {
+			vals[root] = []kba.Arg{kba.SlotArg(pe.Slot)}
+		}
+	}
+	for _, in := range p.q.Ins {
+		if len(in.Slots) == 0 {
+			continue
+		}
+		root := p.eq.Find(in.Col)
+		if _, ok := vals[root]; ok {
+			continue
+		}
+		var args []kba.Arg
+		for _, v := range dedupeVals(in.Vals) {
+			args = append(args, kba.LitArg(v))
+		}
+		for _, slot := range in.Slots {
+			args = append(args, kba.SlotArg(slot))
+		}
+		vals[root] = args
+	}
 	return vals, true
+}
+
+// dedupeVals removes duplicate values, preserving first-seen order: an IN
+// list with repeated elements must seed each candidate once.
+func dedupeVals(vs []relation.Value) []relation.Value {
+	seen := make(map[string]bool, len(vs))
+	out := make([]relation.Value, 0, len(vs))
+	for _, v := range vs {
+		k := relation.KeyString(relation.Tuple{v})
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func (p *planner) seedEmpty() bool {
@@ -291,9 +363,14 @@ func (p *planner) seedEmpty() bool {
 	return !ok
 }
 
-// buildSeed materializes all constant-pinned classes as one Const fragment,
-// taking the cross product of IN lists. Seed columns use synthetic "$const."
-// names so they never collide with fetched "alias.attr" columns.
+// buildSeed materializes all pinned classes as one Const fragment, taking
+// the cross product of the per-class candidate args. Seed columns use
+// synthetic "$const." names so they never collide with fetched "alias.attr"
+// columns. A seed with only literal args materializes its key tuples at
+// plan time, exactly as before; a seed touched by a parameter slot becomes
+// a template leaf (Const.Args) whose keys Bind materializes per execution —
+// the cross-product structure, and hence the plan shape, is fixed at plan
+// time either way.
 func (p *planner) buildSeed() (*frag, error) {
 	vals, ok := p.seedValues()
 	if !ok {
@@ -309,23 +386,44 @@ func (p *planner) buildSeed() (*frag, error) {
 	sort.Slice(roots, func(i, j int) bool { return roots[i].String() < roots[j].String() })
 
 	f := &frag{cols: make(map[ra.ColRef]string)}
-	keys := []relation.Tuple{{}}
+	rows := [][]kba.Arg{{}}
+	hasSlot := false
 	for _, r := range roots {
 		name := "$const." + r.String()
 		f.attrs = append(f.attrs, name)
 		f.cols[r] = name
-		var next []relation.Tuple
-		for _, base := range keys {
-			for _, v := range vals[r] {
-				next = append(next, base.Concat(relation.Tuple{v}))
+		var next [][]kba.Arg
+		for _, base := range rows {
+			for _, a := range vals[r] {
+				if a.IsSlot {
+					hasSlot = true
+				}
+				row := make([]kba.Arg, len(base)+1)
+				copy(row, base)
+				row[len(base)] = a
+				next = append(next, row)
 			}
 		}
-		keys = next
-		if len(keys) > 10000 {
+		rows = next
+		if len(rows) > 10000 {
 			return nil, fmt.Errorf("core: constant seed cross product too large")
 		}
 	}
-	f.plan = &kba.Const{KeyAttrs: append([]string{}, f.attrs...), Keys: keys}
+	c := &kba.Const{KeyAttrs: append([]string{}, f.attrs...)}
+	if hasSlot {
+		c.Args = rows
+	} else {
+		keys := make([]relation.Tuple, len(rows))
+		for i, row := range rows {
+			t := make(relation.Tuple, len(row))
+			for j, a := range row {
+				t[j] = a.Lit
+			}
+			keys[i] = t
+		}
+		c.Keys = keys
+	}
+	f.plan = c
 	return f, nil
 }
 
@@ -420,12 +518,28 @@ func (p *planner) applyIndex(covered func(string) bool) bool {
 			for i, k := range key {
 				keyCols[i] = atom.Alias + "." + k
 			}
+			lookup := &kba.IndexLookup{
+				Index: name, Alias: atom.Alias,
+				ValAttr: valCol, KeyAttrs: keyCols,
+			}
+			// A lookup over parameter slots stays a template leaf; Bind
+			// resolves the probe values per execution.
+			template := false
+			for _, a := range vs {
+				if a.IsSlot {
+					template = true
+					break
+				}
+			}
+			if template {
+				lookup.Args = append([]kba.Arg{}, vs...)
+			} else {
+				for _, a := range vs {
+					lookup.Values = append(lookup.Values, a.Lit)
+				}
+			}
 			f := &frag{
-				plan: &kba.IndexLookup{
-					Index: name, Alias: atom.Alias,
-					ValAttr: valCol, KeyAttrs: keyCols,
-					Values: append([]relation.Value{}, vs...),
-				},
+				plan:  lookup,
 				attrs: append([]string{valCol}, keyCols...),
 				cols:  make(map[ra.ColRef]string),
 			}
@@ -767,12 +881,23 @@ func (p *planner) residualSelect(f *frag) error {
 		v := ce.Val
 		preds = append(preds, kba.Pred{Attr: col, Op: "=", Lit: &v})
 	}
+	// Parameter equalities are verified like constant ones; the slot is
+	// resolved at bind time. Even when the parameter seeded the class, the
+	// recheck is cheap and keeps the template uniform with the literal path.
+	for _, pe := range p.q.EqParams {
+		col, ok := colFor(pe.Col)
+		if !ok {
+			return fmt.Errorf("core: predicate column %s not materialized", pe.Col)
+		}
+		slot := pe.Slot
+		preds = append(preds, kba.Pred{Attr: col, Op: "=", Param: &slot})
+	}
 	for _, in := range p.q.Ins {
 		col, ok := colFor(in.Col)
 		if !ok {
 			return fmt.Errorf("core: predicate column %s not materialized", in.Col)
 		}
-		preds = append(preds, kba.Pred{Attr: col, In: in.Vals})
+		preds = append(preds, kba.Pred{Attr: col, In: in.Vals, InSlots: in.Slots})
 	}
 	for _, fl := range p.q.Filters {
 		col, ok := colFor(fl.Col)
@@ -780,13 +905,17 @@ func (p *planner) residualSelect(f *frag) error {
 			return fmt.Errorf("core: filter column %s not materialized", fl.Col)
 		}
 		pred := kba.Pred{Attr: col, Op: fl.Op}
-		if fl.RCol != nil {
+		switch {
+		case fl.RCol != nil:
 			rcol, ok := colFor(*fl.RCol)
 			if !ok {
 				return fmt.Errorf("core: filter column %s not materialized", *fl.RCol)
 			}
 			pred.RAttr = rcol
-		} else {
+		case fl.Param != nil:
+			slot := *fl.Param
+			pred.Param = &slot
+		default:
 			lit := *fl.Lit
 			pred.Lit = &lit
 		}

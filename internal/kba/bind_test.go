@@ -1,0 +1,81 @@
+package kba
+
+import (
+	"testing"
+
+	"zidian/internal/relation"
+	"zidian/internal/sql"
+)
+
+func TestBindMaterializesTemplates(t *testing.T) {
+	slot0, slot1 := 0, 1
+	tmpl := &Select{
+		Input: &Extend{
+			Input: &Const{
+				KeyAttrs: []string{"$const.a"},
+				Args:     [][]Arg{{SlotArg(0)}, {LitArg(relation.Int(7))}},
+			},
+			KV: "kv", Alias: "T", KeyFrom: []string{"$const.a"},
+		},
+		Preds: []Pred{
+			{Attr: "$const.a", Op: sql.OpEq, Param: &slot0},
+			{Attr: "T.b", Op: sql.OpGt, Param: &slot1},
+			{Attr: "T.c", In: []relation.Value{relation.Int(1)}, InSlots: []int{1}},
+		},
+	}
+	if !HasParams(tmpl) {
+		t.Fatal("template must report params")
+	}
+	bound, err := Bind(tmpl, []relation.Value{relation.Int(7), relation.Int(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasParams(bound) {
+		t.Fatalf("bound plan still has params: %s", bound)
+	}
+	sel := bound.(*Select)
+	c := sel.Input.(*Extend).Input.(*Const)
+	// Slot 0 bound to 7 collides with the literal 7: the seed dedupes.
+	if len(c.Keys) != 1 || !relation.Equal(c.Keys[0][0], relation.Int(7)) {
+		t.Fatalf("seed keys = %v", c.Keys)
+	}
+	if sel.Preds[0].Lit == nil || !relation.Equal(*sel.Preds[0].Lit, relation.Int(7)) {
+		t.Fatalf("pred 0 = %+v", sel.Preds[0])
+	}
+	if sel.Preds[1].Lit == nil || !relation.Equal(*sel.Preds[1].Lit, relation.Int(3)) {
+		t.Fatalf("pred 1 = %+v", sel.Preds[1])
+	}
+	if len(sel.Preds[2].In) != 2 || len(sel.Preds[2].InSlots) != 0 {
+		t.Fatalf("pred 2 = %+v", sel.Preds[2])
+	}
+	// The template is untouched and rebindable.
+	if !HasParams(tmpl) || len(tmpl.Preds[0].In) != 0 || tmpl.Preds[0].Param == nil {
+		t.Fatalf("template mutated: %s", tmpl)
+	}
+	bound2, err := Bind(tmpl, []relation.Value{relation.Int(8), relation.Int(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 := bound2.(*Select).Input.(*Extend).Input.(*Const); len(c2.Keys) != 2 {
+		t.Fatalf("second binding keys = %v", c2.Keys)
+	}
+}
+
+func TestBindSharesParamFreeSubtrees(t *testing.T) {
+	scan := &ScanKV{KV: "kv", Alias: "T"}
+	lit := relation.Int(5)
+	plain := &Select{Input: scan, Preds: []Pred{{Attr: "T.a", Op: sql.OpEq, Lit: &lit}}}
+	bound, err := Bind(plain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound != Plan(plain) {
+		t.Fatal("param-free plan must bind to itself")
+	}
+	// A slot out of range is a template/binding mismatch.
+	slot := 3
+	bad := &Select{Input: scan, Preds: []Pred{{Attr: "T.a", Op: sql.OpEq, Param: &slot}}}
+	if _, err := Bind(bad, []relation.Value{relation.Int(1)}); err == nil {
+		t.Fatal("out-of-range slot must error")
+	}
+}

@@ -75,6 +75,9 @@ func (e *Executor) Run(p Plan) (*KeyedRel, error) {
 }
 
 func (e *Executor) runConst(n *Const) (*KeyedRel, error) {
+	if len(n.Args) > 0 {
+		return nil, fmt.Errorf("kba: plan template has unbound parameters (call Bind before executing)")
+	}
 	out := &KeyedRel{KeyAttrs: n.KeyAttrs}
 	for _, k := range n.Keys {
 		if len(k) != len(n.KeyAttrs) {
@@ -118,6 +121,9 @@ func (e *Executor) runScan(n *ScanKV) (*KeyedRel, error) {
 }
 
 func (e *Executor) runIndexLookup(n *IndexLookup) (*KeyedRel, error) {
+	if len(n.Args) > 0 {
+		return nil, fmt.Errorf("kba: plan template has unbound parameters (call Bind before executing)")
+	}
 	if e.Store.Index == nil {
 		return nil, fmt.Errorf("kba: plan uses index %q but the store has no index catalog", n.Index)
 	}
@@ -293,6 +299,9 @@ func CompilePreds(attrs []string, preds []Pred) (func(relation.Tuple) bool, erro
 		pos[a] = i
 	}
 	for _, p := range preds {
+		if p.hasSlots() {
+			return nil, fmt.Errorf("kba: predicate %s has unbound parameters (call Bind before executing)", p)
+		}
 		i, ok := pos[p.Attr]
 		if !ok {
 			return nil, fmt.Errorf("kba: predicate attribute %q not in %v", p.Attr, attrs)

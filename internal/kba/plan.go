@@ -19,11 +19,49 @@ type Plan interface {
 	String() string
 }
 
+// Arg is a bind-time value in a plan template: either a literal known at
+// plan time or a slot into the parameter array supplied at Bind time. The
+// zero value is a literal NULL; construct with LitArg / SlotArg.
+type Arg struct {
+	Lit    relation.Value
+	Slot   int // 0-based parameter slot, meaningful when IsSlot
+	IsSlot bool
+}
+
+// LitArg wraps a literal as an Arg.
+func LitArg(v relation.Value) Arg { return Arg{Lit: v} }
+
+// SlotArg refers to parameter slot i.
+func SlotArg(i int) Arg { return Arg{Slot: i, IsSlot: true} }
+
+// Resolve returns the literal the Arg stands for under the given bindings.
+func (a Arg) Resolve(params []relation.Value) (relation.Value, error) {
+	if !a.IsSlot {
+		return a.Lit, nil
+	}
+	if a.Slot < 0 || a.Slot >= len(params) {
+		return relation.Value{}, fmt.Errorf("kba: parameter slot %d out of range (have %d)", a.Slot, len(params))
+	}
+	return params[a.Slot], nil
+}
+
+// String renders the Arg: the literal, or "?i" for a slot.
+func (a Arg) String() string {
+	if a.IsSlot {
+		return fmt.Sprintf("?%d", a.Slot)
+	}
+	return a.Lit.String()
+}
+
 // Const is a constant keyed-block leaf, e.g. the "GERMANY" seed of the
-// paper's Example 3. Val-less constants hold bare key tuples.
+// paper's Example 3. Val-less constants hold bare key tuples. In a plan
+// template, Args carries the seed rows with parameter slots in place of
+// bind-time values; Bind materializes them into Keys, and a Const with
+// non-empty Args is not executable.
 type Const struct {
 	KeyAttrs []string
 	Keys     []relation.Tuple
+	Args     [][]Arg
 }
 
 // Children implements Plan.
@@ -31,9 +69,16 @@ func (c *Const) Children() []Plan { return nil }
 
 // String renders the node.
 func (c *Const) String() string {
-	parts := make([]string, 0, len(c.Keys))
+	parts := make([]string, 0, len(c.Keys)+len(c.Args))
 	for _, k := range c.Keys {
 		parts = append(parts, k.String())
+	}
+	for _, row := range c.Args {
+		elems := make([]string, len(row))
+		for i, a := range row {
+			elems[i] = a.String()
+		}
+		parts = append(parts, "("+strings.Join(elems, ", ")+")")
 	}
 	return fmt.Sprintf("const[%s=%s]", strings.Join(c.KeyAttrs, ","), strings.Join(parts, "|"))
 }
@@ -95,6 +140,10 @@ type IndexLookup struct {
 	KeyAttrs []string
 	// Values are the constants to look up.
 	Values []relation.Value
+	// Args, in a plan template, are the lookup values with parameter slots
+	// unresolved; Bind materializes them into Values. A lookup with
+	// non-empty Args is not executable.
+	Args []Arg
 }
 
 // Children implements Plan.
@@ -102,9 +151,12 @@ func (l *IndexLookup) Children() []Plan { return nil }
 
 // String renders the node.
 func (l *IndexLookup) String() string {
-	parts := make([]string, len(l.Values))
-	for i, v := range l.Values {
-		parts[i] = v.String()
+	parts := make([]string, 0, len(l.Values)+len(l.Args))
+	for _, v := range l.Values {
+		parts = append(parts, v.String())
+	}
+	for _, a := range l.Args {
+		parts = append(parts, a.String())
 	}
 	return fmt.Sprintf("IndexLookup[%s=%s as %s]", l.Index, strings.Join(parts, "|"), l.Alias)
 }
@@ -144,22 +196,32 @@ func (j *Join) String() string {
 	return fmt.Sprintf("(%s ⋈[%s] %s)", j.L, strings.Join(pairs, ","), j.R)
 }
 
-// Pred is a selection predicate over qualified attribute names.
+// Pred is a selection predicate over qualified attribute names. In a plan
+// template the comparison value may be a parameter slot (Param) and an IN
+// list may carry unresolved slots (InSlots); Bind resolves both, and
+// CompilePreds refuses predicates still holding slots.
 type Pred struct {
-	Attr  string
-	Op    sql.CmpOp
-	Lit   *relation.Value
-	RAttr string // attribute-attribute comparison when non-empty
-	In    []relation.Value
+	Attr    string
+	Op      sql.CmpOp
+	Lit     *relation.Value
+	Param   *int // parameter slot for the RHS
+	RAttr   string // attribute-attribute comparison when non-empty
+	In      []relation.Value
+	InSlots []int // parameter slots appended to In at bind time
 }
+
+// hasSlots reports whether the predicate still references parameter slots.
+func (p Pred) hasSlots() bool { return p.Param != nil || len(p.InSlots) > 0 }
 
 // String renders the predicate.
 func (p Pred) String() string {
 	switch {
-	case len(p.In) > 0:
-		return fmt.Sprintf("%s IN(%d)", p.Attr, len(p.In))
+	case len(p.In)+len(p.InSlots) > 0:
+		return fmt.Sprintf("%s IN(%d)", p.Attr, len(p.In)+len(p.InSlots))
 	case p.RAttr != "":
 		return fmt.Sprintf("%s%s%s", p.Attr, p.Op, p.RAttr)
+	case p.Param != nil:
+		return fmt.Sprintf("%s%s?%d", p.Attr, p.Op, *p.Param)
 	default:
 		return fmt.Sprintf("%s%s%s", p.Attr, p.Op, p.Lit)
 	}

@@ -10,11 +10,13 @@ import (
 // Keys are routed to nodes by FNV hash. All operations are safe for
 // concurrent use; each node is guarded by its own RWMutex so concurrent
 // readers of the same node proceed in parallel (gets are pure reads in
-// every engine) and contend only with writers. Scans take the read lock
-// when the engine's ReadOnlyScan capability allows it (hash and LSM
-// engines, whose key order is precomputed or snapshot-merged), so
-// scan-heavy mixes parallelize with gets; the sorted engine merges its
-// write buffer on scan and keeps the exclusive lock.
+// every engine) and contend only with writers. Scans run under the per-node
+// read lock on all three engine kinds — the hash engine's key order is
+// precomputed on the write path, the LSM engine's merge-on-scan is a pure
+// read, and the sorted engine overlays its write buffer on the sorted array
+// without folding it — so scan-heavy mixes parallelize with gets. The
+// ReadOnlyScan capability gate remains for engines that cannot promise a
+// non-mutating scan.
 type Cluster struct {
 	kind  EngineKind
 	nodes []*node

@@ -39,8 +39,9 @@ const (
 	// EngineLSM is a log-structured merge engine (memtable + sorted runs
 	// with compaction); it plays the role of HBase ("hstore").
 	EngineLSM
-	// EngineSorted keeps one sorted array with a write buffer, like a Kudu
-	// tablet ("kstore"): slower point writes, fast ordered scans.
+	// EngineSorted keeps one sorted array with a write buffer folded in on
+	// the write path, like a Kudu tablet ("kstore"): slower point writes,
+	// fast ordered scans (read-only buffer overlay).
 	EngineSorted
 )
 

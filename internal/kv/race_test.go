@@ -8,9 +8,10 @@ import (
 
 // TestScanDuringGetRace drives concurrent scans, gets and writes against
 // every engine kind. Its job is to fail under the race detector if a scan
-// mutates engine state while only holding the read lock (the hash engine's
-// precomputed key order and the LSM engine's snapshot scan must stay pure
-// reads; the sorted engine must keep taking the exclusive lock).
+// mutates engine state while only holding the read lock: the hash engine's
+// precomputed key order, the LSM engine's snapshot scan, and the sorted
+// engine's buffer-overlay scan must all stay pure reads (all three now
+// report ReadOnlyScan, so every cluster scan runs under the shared lock).
 func TestScanDuringGetRace(t *testing.T) {
 	for _, kind := range []EngineKind{EngineHash, EngineLSM, EngineSorted} {
 		t.Run(kind.String(), func(t *testing.T) {
@@ -57,6 +58,58 @@ func TestScanDuringGetRace(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestSortedEngineScanOverlay checks the sorted engine's read-only scan:
+// unmerged buffered inserts, overrides and deletions must all be visible in
+// key order without the scan folding the buffer.
+func TestSortedEngineScanOverlay(t *testing.T) {
+	e := newSortedEngine()
+	for _, k := range []string{"d", "a", "c"} {
+		e.Put([]byte(k), []byte("s:"+k))
+	}
+	e.merge() // sorted array now holds a, c, d
+	// Buffered, unmerged writes: a fresh key, an override, and a delete.
+	e.Put([]byte("b"), []byte("b:new"))
+	e.Put([]byte("c"), []byte("c:override"))
+	e.Delete([]byte("d"))
+	if len(e.buf) == 0 {
+		t.Fatal("test needs an unmerged buffer")
+	}
+	bufBefore := len(e.buf)
+	var got []string
+	e.Scan(nil, func(k, v []byte) bool {
+		got = append(got, string(k)+"="+string(v))
+		return true
+	})
+	want := []string{"a=s:a", "b=b:new", "c=c:override"}
+	if len(got) != len(want) {
+		t.Fatalf("scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan = %v, want %v", got, want)
+		}
+	}
+	if len(e.buf) != bufBefore {
+		t.Fatalf("scan mutated the buffer: %d -> %d entries", bufBefore, len(e.buf))
+	}
+	if n := e.Len(); n != 3 {
+		t.Fatalf("Len = %d, want 3", n)
+	}
+	if e.SizeBytes() <= 0 {
+		t.Fatalf("SizeBytes = %d", e.SizeBytes())
+	}
+	// Prefix scans see the overlay too.
+	e.Put([]byte("cc"), []byte("cc:new"))
+	got = nil
+	e.Scan([]byte("c"), func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 2 || got[0] != "c" || got[1] != "cc" {
+		t.Fatalf("prefix scan = %v", got)
 	}
 }
 

@@ -1,19 +1,24 @@
 package kv
 
 import (
-	"bytes"
 	"sort"
+	"strings"
 )
 
 // sortedEngine keeps one sorted array of pairs plus a small unsorted write
-// buffer that is merged in when it grows, similar to a Kudu tablet
-// (DiskRowSet + DeltaMemStore): point reads are binary searches, ordered
-// scans are sequential, and writes pay a merge cost.
+// buffer that is folded in on the write path once it grows, similar to a
+// Kudu tablet (DiskRowSet + DeltaMemStore): point reads are binary searches,
+// ordered scans are sequential, and writes pay an amortized merge cost.
+// Merging happens only on Put/Delete (batched every mergeAt writes), never
+// on the read path: Scan overlays the buffer on the sorted array on the
+// fly, so it is a pure read and the cluster can run it under the per-node
+// read lock, concurrent with gets — scans on all three engine kinds now
+// parallelize with point reads.
 type sortedEngine struct {
 	keys []string
 	vals [][]byte
 	buf  map[string][]byte // overrides; nil value = delete
-	size int64
+	size int64             // payload bytes of the sorted array only
 
 	mergeAt int
 }
@@ -58,7 +63,8 @@ func (e *sortedEngine) Delete(key []byte) bool {
 	return true
 }
 
-// merge folds the buffer into the sorted array.
+// merge folds the buffer into the sorted array. Called only from the write
+// path (Put/Delete), under the exclusive lock.
 func (e *sortedEngine) merge() {
 	if len(e.buf) == 0 {
 		return
@@ -101,30 +107,86 @@ func (e *sortedEngine) merge() {
 	}
 }
 
+// Scan walks the sorted array and the write buffer with a read-only
+// two-pointer overlay: buffered entries win over sorted ones of the same
+// key, and buffered deletions hide them. Nothing is mutated, so the
+// cluster runs scans under the shared lock.
 func (e *sortedEngine) Scan(prefix []byte, fn func(key, value []byte) bool) {
-	e.merge() // scans see a fully merged view
 	p := string(prefix)
-	i := sort.SearchStrings(e.keys, p)
-	for ; i < len(e.keys); i++ {
-		if !bytes.HasPrefix([]byte(e.keys[i]), prefix) {
-			return
+	var bufKeys []string
+	for k := range e.buf {
+		if strings.HasPrefix(k, p) {
+			bufKeys = append(bufKeys, k)
 		}
-		if !fn([]byte(e.keys[i]), e.vals[i]) {
+	}
+	sort.Strings(bufKeys)
+	i := sort.SearchStrings(e.keys, p)
+	for i < len(e.keys) || len(bufKeys) > 0 {
+		fromSorted := len(bufKeys) == 0 ||
+			(i < len(e.keys) && e.keys[i] < bufKeys[0])
+		var k string
+		var v []byte
+		switch {
+		case fromSorted:
+			if i >= len(e.keys) {
+				return
+			}
+			k, v = e.keys[i], e.vals[i]
+			i++
+			if !strings.HasPrefix(k, p) {
+				return
+			}
+		default:
+			k = bufKeys[0]
+			bufKeys = bufKeys[1:]
+			v = e.buf[k]
+			if i < len(e.keys) && e.keys[i] == k {
+				i++ // buffer overrides the sorted entry
+			}
+			if v == nil {
+				continue // buffered deletion
+			}
+		}
+		if !fn([]byte(k), v) {
 			return
 		}
 	}
 }
 
+// Len counts live pairs without folding the buffer: sorted entries plus
+// buffered inserts minus buffered deletions of present keys.
 func (e *sortedEngine) Len() int {
-	e.merge()
-	return len(e.keys)
+	n := len(e.keys)
+	for k, v := range e.buf {
+		i := sort.SearchStrings(e.keys, k)
+		present := i < len(e.keys) && e.keys[i] == k
+		switch {
+		case v == nil && present:
+			n--
+		case v != nil && !present:
+			n++
+		}
+	}
+	return n
 }
 
+// SizeBytes accounts the sorted payload plus the buffer's net effect,
+// without folding the buffer.
 func (e *sortedEngine) SizeBytes() int64 {
-	e.merge()
-	return e.size
+	total := e.size
+	for k, v := range e.buf {
+		i := sort.SearchStrings(e.keys, k)
+		present := i < len(e.keys) && e.keys[i] == k
+		if present {
+			total -= int64(len(k) + len(e.vals[i]))
+		}
+		if v != nil {
+			total += int64(len(k) + len(v))
+		}
+	}
+	return total
 }
 
-// ReadOnlyScan: scans fold the write buffer into the sorted array first, so
-// they mutate engine state and need the exclusive lock.
-func (e *sortedEngine) ReadOnlyScan() bool { return false }
+// ReadOnlyScan: the overlay scan never mutates engine state, so cluster
+// scans may run under the shared (read) lock, concurrent with gets.
+func (e *sortedEngine) ReadOnlyScan() bool { return true }

@@ -88,6 +88,9 @@ func (e *kbaExec) run(p kba.Plan) (*pval, error) {
 }
 
 func (e *kbaExec) runConst(n *kba.Const) (*pval, error) {
+	if len(n.Args) > 0 {
+		return nil, fmt.Errorf("parallel: plan template has unbound parameters (call Bind before executing)")
+	}
 	out := newPval(append([]string{}, n.KeyAttrs...), e.workers)
 	all := make([]int, len(n.KeyAttrs))
 	for i := range all {
@@ -161,6 +164,9 @@ func qualify(alias string, attrs []string) []string {
 // and partitions the (value, block key) rows by their full content, so the
 // downstream ∝ starts from an even spread of probe keys.
 func (e *kbaExec) runIndexLookup(n *kba.IndexLookup) (*pval, error) {
+	if len(n.Args) > 0 {
+		return nil, fmt.Errorf("parallel: plan template has unbound parameters (call Bind before executing)")
+	}
 	if e.store.Index == nil {
 		return nil, fmt.Errorf("parallel: plan uses index %q but the store has no index catalog", n.Index)
 	}

@@ -17,6 +17,9 @@ import (
 // layer, and joined there with hash shuffles — no predicate pushdown, no
 // index access, exactly the behaviour the paper attributes to TaaV systems.
 func RunTaaV(q *ra.Query, store *taav.Store, workers int) (*ra.Result, *Metrics, error) {
+	if q.NumParams > 0 {
+		return nil, nil, fmt.Errorf("parallel: cannot run a template with %d unbound parameters (bind first)", q.NumParams)
+	}
 	if workers < 1 {
 		workers = 1
 	}

@@ -52,6 +52,12 @@ func Extract(q *ra.Query) []QCS {
 	for _, in := range q.Ins {
 		known[eq.Find(in.Col)] = true
 	}
+	// Parameter-pinned columns are constant-bound at execution time, so a
+	// template query contributes the same access patterns as any of its
+	// literal instantiations.
+	for _, pe := range q.EqParams {
+		known[eq.Find(pe.Col)] = true
+	}
 
 	visited := make(map[string]bool)
 	out := make([]QCS, 0, len(q.Atoms))

@@ -99,8 +99,12 @@ func newBinding(cols []ColRef) *binding {
 func (b *binding) has(c ColRef) bool { _, ok := b.idx[c]; return ok }
 
 // Evaluate runs the query over an in-memory database. It is the reference
-// ("ground truth") evaluator: single-node, no storage accounting.
+// ("ground truth") evaluator: single-node, no storage accounting. Templates
+// must be bound first (BindParams) — the evaluator works on literals only.
 func Evaluate(q *Query, db *relation.Database) (*Result, error) {
+	if q.NumParams > 0 {
+		return nil, fmt.Errorf("ra: cannot evaluate a template with %d unbound parameters", q.NumParams)
+	}
 	rows, bind, err := evaluateSPC(q, db)
 	if err != nil {
 		return nil, err

@@ -50,7 +50,9 @@ func (q *Query) Minimize() *Query {
 }
 
 // distinguished returns the references that a homomorphism must fix: outputs,
-// aggregate inputs, filter and IN columns.
+// aggregate inputs, filter, IN and parameter columns. Parameter equalities
+// pin a class to a value unknown until bind time, so — like filters — they
+// must survive minimization verbatim.
 func (q *Query) distinguished() []ColRef {
 	var out []ColRef
 	out = append(out, q.Proj...)
@@ -67,6 +69,9 @@ func (q *Query) distinguished() []ColRef {
 	}
 	for _, in := range q.Ins {
 		out = append(out, in.Col)
+	}
+	for _, pe := range q.EqParams {
+		out = append(out, pe.Col)
 	}
 	return out
 }
@@ -101,10 +106,12 @@ func (q *Query) tryRemoveAtom(alias string) (*Query, bool) {
 	// as a chain over the surviving members (connectivity through the
 	// removed atom is implied by transitivity in Q, so Q ⊆ Q' holds).
 	next := &Query{
-		OutNames: q.OutNames,
-		Distinct: q.Distinct,
-		OrderBy:  q.OrderBy,
-		Limit:    q.Limit,
+		OutNames:   q.OutNames,
+		Distinct:   q.Distinct,
+		OrderBy:    q.OrderBy,
+		Limit:      q.Limit,
+		NumParams:  q.NumParams,
+		ParamKinds: q.ParamKinds,
 	}
 	for _, a := range q.Atoms {
 		if a.Alias != alias {
@@ -172,7 +179,14 @@ func (q *Query) tryRemoveAtom(alias string) (*Query, bool) {
 		if !ok {
 			return nil, false
 		}
-		next.Ins = append(next.Ins, InPred{Col: rc, Vals: in.Vals})
+		next.Ins = append(next.Ins, InPred{Col: rc, Vals: in.Vals, Slots: in.Slots})
+	}
+	for _, pe := range q.EqParams {
+		rc, ok := rewrite(pe.Col)
+		if !ok {
+			return nil, false
+		}
+		next.EqParams = append(next.EqParams, ParamEq{Col: rc, Slot: pe.Slot})
 	}
 
 	// Homomorphism search Q -> Q'.
@@ -190,6 +204,9 @@ func (q *Query) allRefs() []ColRef {
 	}
 	for _, c := range q.EqConsts {
 		out = append(out, c.Col)
+	}
+	for _, pe := range q.EqParams {
+		out = append(out, pe.Col)
 	}
 	for _, in := range q.Ins {
 		out = append(out, in.Col)

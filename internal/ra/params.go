@@ -1,0 +1,74 @@
+package ra
+
+import (
+	"fmt"
+
+	"zidian/internal/relation"
+)
+
+// CheckParams validates a bound parameter list against a template's arity
+// and per-slot expected kinds, returning the (possibly numerically coerced)
+// values to execute with. It is the single arity/type gate shared by the
+// plan-level Bind and the reference-evaluation path.
+func CheckParams(params []relation.Value, numParams int, kinds []relation.Kind) ([]relation.Value, error) {
+	if len(params) != numParams {
+		return nil, fmt.Errorf("ra: statement wants %d parameters, got %d", numParams, len(params))
+	}
+	if numParams == 0 {
+		return nil, nil
+	}
+	out := make([]relation.Value, len(params))
+	for i, v := range params {
+		want := relation.KindNull
+		if i < len(kinds) {
+			want = kinds[i]
+		}
+		cv, err := relation.CoerceKind(v, want)
+		if err != nil {
+			return nil, fmt.Errorf("ra: parameter %d: %w", i, err)
+		}
+		out[i] = cv
+	}
+	return out, nil
+}
+
+// BindParams substitutes bound values into a template query, returning an
+// equivalent literal-only query: col = ? becomes a constant equality, `?`
+// IN elements become literal elements, and `?` filter bounds become literal
+// bounds. The receiver is not modified. It is the query-level counterpart of
+// the plan-level Bind, used by the reference evaluator and by differential
+// tests; the serving hot path binds compiled plans instead.
+func (q *Query) BindParams(params []relation.Value) (*Query, error) {
+	vals, err := CheckParams(params, q.NumParams, q.ParamKinds)
+	if err != nil {
+		return nil, err
+	}
+	if q.NumParams == 0 {
+		return q, nil
+	}
+	out := *q
+	out.NumParams = 0
+	out.ParamKinds = nil
+	out.EqParams = nil
+	out.EqConsts = append([]ConstEq{}, q.EqConsts...)
+	for _, pe := range q.EqParams {
+		out.EqConsts = append(out.EqConsts, ConstEq{Col: pe.Col, Val: vals[pe.Slot]})
+	}
+	out.Ins = nil
+	for _, in := range q.Ins {
+		b := InPred{Col: in.Col, Vals: append([]relation.Value{}, in.Vals...)}
+		for _, slot := range in.Slots {
+			b.Vals = append(b.Vals, vals[slot])
+		}
+		out.Ins = append(out.Ins, b)
+	}
+	out.Filters = nil
+	for _, f := range q.Filters {
+		if f.Param != nil {
+			lit := vals[*f.Param]
+			f = Filter{Col: f.Col, Op: f.Op, Lit: &lit}
+		}
+		out.Filters = append(out.Filters, f)
+	}
+	return &out, nil
+}

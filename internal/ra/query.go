@@ -38,18 +38,31 @@ type ConstEq struct {
 	Val relation.Value
 }
 
-// InPred is a disjunctive constant selection col IN (v1..vn).
-type InPred struct {
+// ParamEq is an equality selection with a bind-time parameter (col = ?).
+// The value is unknown when the template is planned but fixed for each
+// execution, so the planner treats the class as constant-pinned: its value
+// seeds the chase, and the concrete literal is injected by Bind.
+type ParamEq struct {
 	Col  ColRef
-	Vals []relation.Value
+	Slot int // 0-based placeholder index
 }
 
-// Filter is a non-equality comparison: col op literal, or col op col.
+// InPred is a disjunctive constant selection col IN (v1..vn). Slots lists
+// the placeholder indices of `?` elements; Vals holds the literal elements.
+type InPred struct {
+	Col   ColRef
+	Vals  []relation.Value
+	Slots []int
+}
+
+// Filter is a non-equality comparison: col op literal, col op `?`, or
+// col op col.
 type Filter struct {
-	Col  ColRef
-	Op   sql.CmpOp
-	Lit  *relation.Value
-	RCol *ColRef
+	Col   ColRef
+	Op    sql.CmpOp
+	Lit   *relation.Value
+	Param *int // placeholder index for a `?` RHS
+	RCol  *ColRef
 }
 
 // Agg is one aggregate output.
@@ -66,6 +79,7 @@ type Query struct {
 	Atoms    []Atom
 	EqAttrs  []AttrEq
 	EqConsts []ConstEq
+	EqParams []ParamEq
 	Ins      []InPred
 	Filters  []Filter
 	// Proj holds the plain output columns. When Aggs is non-empty these are
@@ -78,6 +92,14 @@ type Query struct {
 	Distinct bool
 	OrderBy  []OrderKey
 	Limit    int // -1 when absent
+	// NumParams counts the `?` placeholders; a query with NumParams > 0 is a
+	// template and must be bound (plan-level Bind, or BindParams here) with
+	// exactly that many values before execution.
+	NumParams int
+	// ParamKinds records, per placeholder slot, the relation.Kind of the
+	// column the placeholder is compared with (or inserted into). Bind
+	// validates supplied values against it; KindNull means unconstrained.
+	ParamKinds []relation.Kind
 }
 
 // OrderKey is one ORDER BY entry, referring to an output column by name.
@@ -142,6 +164,28 @@ func Bind(ast *sql.Query, db *relation.Database) (*Query, error) {
 		return ColRef{Alias: found.Alias, Attr: c.Name}, nil
 	}
 
+	q.NumParams = ast.NumParams
+	if q.NumParams > 0 {
+		q.ParamKinds = make([]relation.Kind, q.NumParams)
+	}
+	// kindOf returns the declared kind of a bound column, for param slot
+	// type expectations.
+	kindOf := func(c ColRef) relation.Kind {
+		a := q.Atom(c.Alias)
+		if a == nil {
+			return relation.KindNull
+		}
+		if i := a.Schema.Index(c.Attr); i >= 0 {
+			return a.Schema.Attrs[i].Kind
+		}
+		return relation.KindNull
+	}
+	expectKind := func(slot int, c ColRef) {
+		if slot >= 0 && slot < len(q.ParamKinds) {
+			q.ParamKinds[slot] = kindOf(c)
+		}
+	}
+
 	// WHERE clause: classify conjuncts.
 	for _, p := range ast.Where {
 		left, err := resolve(p.Left)
@@ -149,12 +193,25 @@ func Bind(ast *sql.Query, db *relation.Database) (*Query, error) {
 			return nil, err
 		}
 		switch {
-		case len(p.In) > 0:
-			if len(p.In) == 1 {
-				q.EqConsts = append(q.EqConsts, ConstEq{Col: left, Val: p.In[0]})
-			} else {
-				q.Ins = append(q.Ins, InPred{Col: left, Vals: p.In})
+		case p.IsIn():
+			for _, pr := range p.InParams {
+				expectKind(pr.Index, left)
 			}
+			switch {
+			case len(p.InParams) == 0 && len(p.In) == 1:
+				q.EqConsts = append(q.EqConsts, ConstEq{Col: left, Val: p.In[0]})
+			case len(p.In) == 0 && len(p.InParams) == 1:
+				q.EqParams = append(q.EqParams, ParamEq{Col: left, Slot: p.InParams[0].Index})
+			default:
+				in := InPred{Col: left, Vals: p.In}
+				for _, pr := range p.InParams {
+					in.Slots = append(in.Slots, pr.Index)
+				}
+				q.Ins = append(q.Ins, in)
+			}
+		case p.Op == sql.OpEq && p.Param != nil:
+			expectKind(p.Param.Index, left)
+			q.EqParams = append(q.EqParams, ParamEq{Col: left, Slot: p.Param.Index})
 		case p.Op == sql.OpEq && p.Lit != nil:
 			q.EqConsts = append(q.EqConsts, ConstEq{Col: left, Val: *p.Lit})
 		case p.Op == sql.OpEq && p.Right != nil:
@@ -163,6 +220,10 @@ func Bind(ast *sql.Query, db *relation.Database) (*Query, error) {
 				return nil, err
 			}
 			q.EqAttrs = append(q.EqAttrs, AttrEq{L: left, R: right})
+		case p.Param != nil:
+			expectKind(p.Param.Index, left)
+			slot := p.Param.Index
+			q.Filters = append(q.Filters, Filter{Col: left, Op: p.Op, Param: &slot})
 		case p.Lit != nil:
 			lit := *p.Lit
 			q.Filters = append(q.Filters, Filter{Col: left, Op: p.Op, Lit: &lit})
@@ -325,6 +386,9 @@ func (q *Query) AttrsUsed(alias string) []string {
 	for _, e := range q.EqConsts {
 		add(e.Col)
 	}
+	for _, e := range q.EqParams {
+		add(e.Col)
+	}
 	for _, in := range q.Ins {
 		add(in.Col)
 	}
@@ -360,7 +424,7 @@ func (q *Query) String() string {
 		}
 		fmt.Fprintf(&b, "%s as %s", a.Rel, a.Alias)
 	}
-	if len(q.EqAttrs)+len(q.EqConsts)+len(q.Ins)+len(q.Filters) > 0 {
+	if len(q.EqAttrs)+len(q.EqConsts)+len(q.EqParams)+len(q.Ins)+len(q.Filters) > 0 {
 		b.WriteString(" | ")
 		first := true
 		sep := func() {
@@ -377,15 +441,26 @@ func (q *Query) String() string {
 			sep()
 			fmt.Fprintf(&b, "%s=%s", e.Col, e.Val)
 		}
+		for _, e := range q.EqParams {
+			sep()
+			fmt.Fprintf(&b, "%s=?%d", e.Col, e.Slot)
+		}
 		for _, in := range q.Ins {
 			sep()
-			fmt.Fprintf(&b, "%s∈%v", in.Col, in.Vals)
+			if len(in.Slots) > 0 {
+				fmt.Fprintf(&b, "%s∈%v?%v", in.Col, in.Vals, in.Slots)
+			} else {
+				fmt.Fprintf(&b, "%s∈%v", in.Col, in.Vals)
+			}
 		}
 		for _, f := range q.Filters {
 			sep()
-			if f.RCol != nil {
+			switch {
+			case f.RCol != nil:
 				fmt.Fprintf(&b, "%s%s%s", f.Col, f.Op, *f.RCol)
-			} else {
+			case f.Param != nil:
+				fmt.Fprintf(&b, "%s%s?%d", f.Col, f.Op, *f.Param)
+			default:
 				fmt.Fprintf(&b, "%s%s%s", f.Col, f.Op, f.Lit)
 			}
 		}

@@ -145,6 +145,44 @@ func (v Value) String() string {
 	}
 }
 
+// CoerceKind validates a bind-time value against an expected attribute kind
+// and returns the value to use. Numeric kinds interconvert losslessly (an
+// integral float binds to an int column as the int, an int binds to a float
+// column as the float) so wire formats that blur the distinction still hit
+// the right blocks; anything else is a type mismatch. KindNull as the
+// expectation accepts any non-null value. NULL never binds: the query
+// fragment has no NULL comparisons.
+func CoerceKind(v Value, want Kind) (Value, error) {
+	if v.Kind == KindNull {
+		return Value{}, fmt.Errorf("relation: cannot bind NULL parameter")
+	}
+	switch want {
+	case KindNull:
+		return v, nil
+	case KindInt:
+		switch v.Kind {
+		case KindInt:
+			return v, nil
+		case KindFloat:
+			if i := int64(v.Flt); float64(i) == v.Flt {
+				return Int(i), nil
+			}
+		}
+	case KindFloat:
+		switch v.Kind {
+		case KindFloat:
+			return v, nil
+		case KindInt:
+			return Float(float64(v.Int)), nil
+		}
+	case KindString:
+		if v.Kind == KindString {
+			return v, nil
+		}
+	}
+	return Value{}, fmt.Errorf("relation: parameter type mismatch: %s value for %s column", v.Kind, want)
+}
+
 // SizeBytes is the accounting size of a value: the number of bytes the
 // value occupies when shipped between the storage and SQL layers. It is
 // used by the experiment harness to report communication volumes.

@@ -82,8 +82,14 @@ func (c *Client) do(req *server.Request) (*server.Response, error) {
 }
 
 // Query runs one SELECT and returns columns, rows and execution statistics.
-func (c *Client) Query(sql string) (cols []string, rows [][]any, stats *server.QueryStats, err error) {
-	resp, err := c.do(&server.Request{Op: "query", SQL: sql})
+// The statement may carry `?` placeholders bound positionally by params
+// (Go integers, floats, strings, or relation.Value).
+func (c *Client) Query(sql string, params ...any) (cols []string, rows [][]any, stats *server.QueryStats, err error) {
+	raw, err := server.EncodeParams(params)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	resp, err := c.do(&server.Request{Op: "query", SQL: sql, Params: raw})
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -91,20 +97,30 @@ func (c *Client) Query(sql string) (cols []string, rows [][]any, stats *server.Q
 }
 
 // Exec runs any statement. SELECTs return rows; INSERT/DELETE return the
-// affected count.
-func (c *Client) Exec(sql string) (*server.Response, error) {
-	return c.do(&server.Request{Op: "exec", SQL: sql})
+// affected count. `?` placeholders bind positionally from params.
+func (c *Client) Exec(sql string, params ...any) (*server.Response, error) {
+	raw, err := server.EncodeParams(params)
+	if err != nil {
+		return nil, err
+	}
+	return c.do(&server.Request{Op: "exec", SQL: sql, Params: raw})
 }
 
-// Prepare compiles a SELECT under a session-scoped name.
+// Prepare compiles a SELECT — possibly a `?` template — under a
+// session-scoped name.
 func (c *Client) Prepare(name, sql string) error {
 	_, err := c.do(&server.Request{Op: "prepare", Name: name, SQL: sql})
 	return err
 }
 
-// Execute runs a previously prepared SELECT.
-func (c *Client) Execute(name string) (cols []string, rows [][]any, stats *server.QueryStats, err error) {
-	resp, err := c.do(&server.Request{Op: "execute", Name: name})
+// Execute runs a previously prepared SELECT, binding params into its `?`
+// placeholders.
+func (c *Client) Execute(name string, params ...any) (cols []string, rows [][]any, stats *server.QueryStats, err error) {
+	raw, err := server.EncodeParams(params)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	resp, err := c.do(&server.Request{Op: "execute", Name: name, Params: raw})
 	if err != nil {
 		return nil, nil, nil, err
 	}

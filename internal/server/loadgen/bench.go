@@ -96,6 +96,42 @@ func BenchServer(out io.Writer, opts BenchOptions) error {
 		rep.QPS, rep.Latency.P50, rep.Latency.P99, rep.Latency.Max,
 		rep.Errors, 100*rep.CacheHitRate)
 
+	// Distinct-literal phases: every request carries a literal never seen
+	// before, so literal-inlined caching cannot hit and only template reuse
+	// can. Phase one inlines (the pre-template baseline, ~0%), phase two
+	// parameterizes (one cached template per shape, approaching 100%). Only
+	// numeric templates can generate unbounded distinct literals.
+	var numeric []Template
+	for _, t := range templates {
+		if len(t.Strings) == 0 {
+			numeric = append(numeric, t)
+		}
+	}
+	if len(numeric) > 0 {
+		inlined, err := Run(Options{
+			Addr: tcpAddr, Clients: opts.Clients, Requests: opts.Requests,
+			Templates: numeric, Seed: opts.Seed + 1, DistinctParams: true,
+		})
+		if err != nil {
+			return err
+		}
+		parameterized, err := Run(Options{
+			Addr: tcpAddr, Clients: opts.Clients, Requests: opts.Requests,
+			Templates: numeric, Seed: opts.Seed + 2, DistinctParams: true,
+			Parameterized: true,
+		})
+		if err != nil {
+			return err
+		}
+		rep.PlanCacheHitRateDistinctLiteralsInlined = inlined.CacheHitRate
+		rep.PlanCacheHitRateDistinctLiterals = parameterized.CacheHitRate
+		// rep.Server stays the main phase's snapshot: its counters track the
+		// repeated-template regime across PRs and must not absorb the
+		// distinct-literal phases' cache flooding.
+		fmt.Fprintf(out, "distinct-literal hit rate: inlined %.1f%% → parameterized %.1f%%\n",
+			100*inlined.CacheHitRate, 100*parameterized.CacheHitRate)
+	}
+
 	if opts.JSONPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -21,11 +21,23 @@ import (
 // Format: %s drawn from the Strings pool when it is non-empty, otherwise %d
 // drawn from [0, ParamPool). A bounded pool keeps the set of distinct
 // statements small, so a warmed plan cache serves almost every request —
-// the repeated-template regime real OLTP-ish workloads live in.
+// the repeated-template regime real OLTP-ish workloads live in. With
+// Options.Parameterized the verb is replaced by a `?` placeholder and the
+// value travels as a wire parameter instead, so every instantiation of the
+// template shares one plan-cache entry regardless of the pool size.
 type Template struct {
 	Name    string
 	Format  string
 	Strings []string
+}
+
+// ParamSQL returns the template's `?` form: the single literal verb
+// (quoted %s or bare %d) replaced by a placeholder.
+func (t Template) ParamSQL() string {
+	if len(t.Strings) > 0 {
+		return strings.Replace(t.Format, "'%s'", "?", 1)
+	}
+	return strings.Replace(t.Format, "%d", "?", 1)
 }
 
 // Parameter pools for the templates, mirroring the generators' active
@@ -151,6 +163,15 @@ type Options struct {
 	ParamPool int
 	// Seed makes the parameter sequence deterministic.
 	Seed int64
+	// Parameterized sends each template as a `?` statement with the value
+	// as a wire parameter, instead of inlining the literal into the SQL
+	// text. One plan-cache entry then serves the whole template.
+	Parameterized bool
+	// DistinctParams makes every request use a globally unique numeric
+	// value (client × request counter) instead of drawing from ParamPool —
+	// the distinct-literal regime where literal-inlined caching degrades to
+	// ~0% hits. Only meaningful for numeric templates.
+	DistinctParams bool
 }
 
 func (o Options) normalized() Options {
@@ -195,6 +216,17 @@ type Report struct {
 	CacheHitRate float64 `json:"planCacheHitRate"`
 	// ScanFreeRate is the fraction of answered queries with scan-free plans.
 	ScanFreeRate float64 `json:"scanFreeRate"`
+	// Parameterized records whether statements were sent as `?` templates
+	// with wire parameters.
+	Parameterized bool `json:"parameterized,omitempty"`
+	// PlanCacheHitRateDistinctLiterals is the cache hit rate of the
+	// distinct-literal phase run with parameterized statements: every
+	// request uses a literal never seen before, and only template reuse can
+	// produce hits. PlanCacheHitRateDistinctLiteralsInlined is the same
+	// workload with literals inlined into the SQL text — the pre-template
+	// baseline, which degrades to ~0%.
+	PlanCacheHitRateDistinctLiterals        float64 `json:"planCacheHitRateDistinctLiterals"`
+	PlanCacheHitRateDistinctLiteralsInlined float64 `json:"planCacheHitRateDistinctLiteralsInlined"`
 	// Server is the server's own statistics snapshot after the run.
 	Server *server.ServerStats `json:"server,omitempty"`
 }
@@ -247,6 +279,13 @@ func Run(opts Options) (*Report, error) {
 		answered int64
 	}
 	results := make([]workerResult, opts.Clients)
+	// Derive each template's `?` form once, outside the timed loop.
+	paramSQL := make([]string, len(opts.Templates))
+	if opts.Parameterized {
+		for i, t := range opts.Templates {
+			paramSQL[i] = t.ParamSQL()
+		}
+	}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i, c := range clients {
@@ -257,15 +296,29 @@ func Run(opts Options) (*Report, error) {
 			res := &results[i]
 			res.lat = make([]int64, 0, opts.Requests)
 			for n := 0; n < opts.Requests; n++ {
-				t := opts.Templates[r.Intn(len(opts.Templates))]
+				ti := r.Intn(len(opts.Templates))
+				t := opts.Templates[ti]
+				var arg any
+				switch {
+				case len(t.Strings) > 0:
+					arg = t.Strings[r.Intn(len(t.Strings))]
+				case opts.DistinctParams:
+					// Globally unique literal, offset past any ParamPool
+					// value another phase may have warmed the cache with.
+					arg = 1<<20 + i*opts.Requests + n
+				default:
+					arg = r.Intn(opts.ParamPool)
+				}
 				var sql string
-				if len(t.Strings) > 0 {
-					sql = fmt.Sprintf(t.Format, t.Strings[r.Intn(len(t.Strings))])
+				var params []any
+				if opts.Parameterized {
+					sql = paramSQL[ti]
+					params = []any{arg}
 				} else {
-					sql = fmt.Sprintf(t.Format, r.Intn(opts.ParamPool))
+					sql = fmt.Sprintf(t.Format, arg)
 				}
 				t0 := time.Now()
-				_, _, stats, err := c.Query(sql)
+				_, _, stats, err := c.Query(sql, params...)
 				res.lat = append(res.lat, time.Since(t0).Microseconds())
 				if err != nil {
 					res.errs++
@@ -288,9 +341,10 @@ func Run(opts Options) (*Report, error) {
 
 	var all []int64
 	rep := &Report{
-		Bench:       "server",
-		Clients:     opts.Clients,
-		WallSeconds: wall.Seconds(),
+		Bench:         "server",
+		Clients:       opts.Clients,
+		WallSeconds:   wall.Seconds(),
+		Parameterized: opts.Parameterized,
 	}
 	var answered, hits, scanFree int64
 	for i := range results {

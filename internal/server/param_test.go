@@ -1,0 +1,227 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"zidian/internal/server"
+	"zidian/internal/server/client"
+)
+
+// TestWireParams drives parameterized statements over the wire protocol:
+// direct queries, prepare/execute with per-execution bindings, DML, and the
+// bind-error surface.
+func TestWireParams(t *testing.T) {
+	srv, tcp, _ := startServer(t, server.Config{})
+	c, err := client.Dial(tcp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const tmpl = "select T.test_date, T.result, T.mileage from TEST T where T.vehicle_id = ?"
+	// The same template with different bindings must return the same rows
+	// as the literal-inlined spelling.
+	for _, id := range []int{1, 2, 3, 7} {
+		_, litRows, _, err := c.Query(fmt.Sprintf(
+			"select T.test_date, T.result, T.mileage from TEST T where T.vehicle_id = %d", id))
+		if err != nil {
+			t.Fatalf("literal %d: %v", id, err)
+		}
+		_, parRows, stats, err := c.Query(tmpl, id)
+		if err != nil {
+			t.Fatalf("param %d: %v", id, err)
+		}
+		if fmt.Sprint(parRows) != fmt.Sprint(litRows) {
+			t.Fatalf("id %d: literal %v != parameterized %v", id, litRows, parRows)
+		}
+		if !stats.ScanFree {
+			t.Fatalf("id %d: stats %+v", id, stats)
+		}
+	}
+	// After the first compile, every distinct binding is a cache hit on the
+	// same template entry.
+	_, _, stats, err := c.Query(tmpl, 99)
+	if err != nil || !stats.CacheHit {
+		t.Fatalf("template should be cached: %+v %v", stats, err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PlanCache.ParamsHits == 0 {
+		t.Fatalf("paramsHits = 0: %+v", st.PlanCache)
+	}
+
+	// prepare / execute with per-execution params.
+	if err := c.Prepare("pt", tmpl); err != nil {
+		t.Fatal(err)
+	}
+	_, rows1, _, err := c.Execute("pt", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lit1, _, err := c.Query("select T.test_date, T.result, T.mileage from TEST T where T.vehicle_id = 1")
+	if err != nil || fmt.Sprint(rows1) != fmt.Sprint(lit1) {
+		t.Fatalf("execute(1) = %v, want %v (%v)", rows1, lit1, err)
+	}
+	if _, _, _, err := c.Execute("pt"); err == nil || !strings.Contains(err.Error(), "parameters") {
+		t.Fatalf("arity mismatch over the wire: %v", err)
+	}
+	if _, _, _, err := c.Execute("pt", "not-a-number"); err == nil {
+		t.Fatal("type mismatch over the wire must error")
+	}
+	if err := c.ClosePrepared("pt"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Parameterized DML through exec.
+	resp, err := c.Exec(
+		"insert into VEHICLE values (?, 'FORD', 'FORD-M001', 'PETROL', 'RED', ?, 1600, 'LONDON', 1200, 4, 120, 'MID', '2015-01-01')",
+		990001, 2015)
+	if err != nil || resp.Affected != 1 {
+		t.Fatalf("insert: %+v %v", resp, err)
+	}
+	_, rows, _, err := c.Query("select V.make from VEHICLE V where V.vehicle_id = ?", 990001)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("inserted row: %v %v", rows, err)
+	}
+	resp, err = c.Exec("delete from VEHICLE where vehicle_id = ?", 990001)
+	if err != nil || resp.Affected != 1 {
+		t.Fatalf("delete: %+v %v", resp, err)
+	}
+	// Params with DDL are rejected.
+	if _, err := c.Exec("create index ix_whatever on VEHICLE(make)", 1); err == nil {
+		t.Fatal("params with DDL must error")
+	}
+
+	_ = srv
+}
+
+// TestWireParamDecoding checks the JSON → value mapping: integral numbers
+// must arrive as ints (they key blocks), fractions as floats, strings as
+// strings, and anything else is rejected.
+func TestWireParamDecoding(t *testing.T) {
+	raw := func(parts ...string) []json.RawMessage {
+		out := make([]json.RawMessage, len(parts))
+		for i, p := range parts {
+			out[i] = json.RawMessage(p)
+		}
+		return out
+	}
+	vals, err := server.DecodeParams(raw("42", "2.5", `"x"`, "1e3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].Kind.String() != "int" || vals[0].Int != 42 {
+		t.Fatalf("vals[0] = %+v", vals[0])
+	}
+	if vals[1].Kind.String() != "float" || vals[1].Flt != 2.5 {
+		t.Fatalf("vals[1] = %+v", vals[1])
+	}
+	if vals[2].Kind.String() != "string" || vals[2].Str != "x" {
+		t.Fatalf("vals[2] = %+v", vals[2])
+	}
+	for _, bad := range []string{"true", "null", "[1]", "{}", ""} {
+		if _, err := server.DecodeParams(raw(bad)); err == nil {
+			t.Errorf("DecodeParams(%s) succeeded", bad)
+		}
+	}
+}
+
+// TestHTTPQueryParams exercises the HTTP surface's params array.
+func TestHTTPQueryParams(t *testing.T) {
+	_, _, httpA := startServer(t, server.Config{})
+	body, _ := json.Marshal(map[string]any{
+		"sql":    "select V.make, V.model from VEHICLE V where V.vehicle_id = ?",
+		"params": []any{3},
+	})
+	resp, err := http.Post("http://"+httpA+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var r server.Response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK || len(r.Rows) != 1 {
+		t.Fatalf("response = %+v", r)
+	}
+	// Arity mismatch surfaces as a client error.
+	body, _ = json.Marshal(map[string]any{
+		"sql": "select V.make from VEHICLE V where V.vehicle_id = ?",
+	})
+	resp2, err := http.Post("http://"+httpA+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp2.StatusCode)
+	}
+}
+
+// TestTemplateCacheKeying pins the cache-keying contract: parameterized
+// statements share one entry per template across all bindings, while
+// non-parameterized SQL falls back to literal-inlined keys (distinct
+// literals = distinct entries, the intended fallback), with the hit split
+// reported per class.
+func TestTemplateCacheKeying(t *testing.T) {
+	srv, tcp, _ := startServer(t, server.Config{})
+	c, err := client.Dial(tcp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const tmpl = "select V.make from VEHICLE V where V.vehicle_id = ?"
+	for i := 0; i < 10; i++ {
+		if _, _, _, err := c.Query(tmpl, 1000+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := srv.Cache().Stats()
+	if cs.ParamsHits != 9 {
+		t.Fatalf("10 distinct bindings should be 1 miss + 9 template hits: %+v", cs)
+	}
+	if srv.Cache().Len() != 1 {
+		t.Fatalf("cache should hold one template entry, has %d", srv.Cache().Len())
+	}
+
+	// Different spellings of the same template normalize to one key.
+	if _, _, _, err := c.Query("SELECT  V.make FROM VEHICLE V WHERE V.vehicle_id = ?;", 1); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Cache().Len() != 1 {
+		t.Fatalf("normalization should collapse spellings: %d entries", srv.Cache().Len())
+	}
+
+	// The literal fallback: distinct literals make distinct entries and no
+	// cross-literal reuse, but exact-text repeats still hit.
+	base := srv.Cache().Stats()
+	for i := 0; i < 5; i++ {
+		sql := fmt.Sprintf("select V.make from VEHICLE V where V.vehicle_id = %d", 2000+i)
+		if _, _, _, err := c.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs = srv.Cache().Stats()
+	if got := cs.Misses - base.Misses; got != 5 {
+		t.Fatalf("5 distinct literals should all miss, missed %d", got)
+	}
+	if srv.Cache().Len() != 6 {
+		t.Fatalf("cache entries = %d, want 1 template + 5 literal", srv.Cache().Len())
+	}
+	if _, _, stats, err := c.Query("select V.make from VEHICLE V where V.vehicle_id = 2000"); err != nil || !stats.CacheHit {
+		t.Fatalf("exact-text repeat should hit: %+v %v", stats, err)
+	}
+	cs = srv.Cache().Stats()
+	if cs.LiteralHits == 0 {
+		t.Fatalf("literalHits = 0: %+v", cs)
+	}
+}

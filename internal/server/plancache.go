@@ -15,6 +15,14 @@ import (
 // queries, so a serving layer must reuse plans across requests; the cache
 // makes that reuse safe and cheap under concurrency.
 //
+// The key is the normalized statement text. A parameterized statement keeps
+// its `?` placeholders in the key, so one cached template serves every
+// binding — the serving hot path. Non-parameterized SQL falls back to
+// literal-inlined keys on purpose: the literals are baked into the compiled
+// plan, so they must stay significant, and a distinct-literal workload that
+// does not parameterize pays one compilation per distinct statement (the
+// ParamsHits/LiteralHits split in CacheStats makes the difference visible).
+//
 // The key space is split across independently locked shards so concurrent
 // lookups of different statements do not serialize on one mutex. Each shard
 // evicts least-recently-used entries once it exceeds its share of the
@@ -33,6 +41,8 @@ type PlanCache struct {
 	epoch  atomic.Uint64
 
 	hits          atomic.Int64
+	paramsHits    atomic.Int64
+	literalHits   atomic.Int64
 	misses        atomic.Int64
 	evictions     atomic.Int64
 	invalidations atomic.Int64
@@ -59,6 +69,13 @@ type CacheStats struct {
 	Misses    int64   `json:"misses"`
 	Evictions int64   `json:"evictions"`
 	HitRate   float64 `json:"hitRate"`
+	// ParamsHits counts hits on parameterized templates (one entry serving
+	// every literal of a statement shape) and LiteralHits counts hits on
+	// literal-inlined entries (the fallback for non-parameterized SQL, whose
+	// cache key keeps the literals). The split makes the template-reuse win
+	// observable: a distinct-literal workload only hits through ParamsHits.
+	ParamsHits  int64 `json:"paramsHits"`
+	LiteralHits int64 `json:"literalHits"`
 	// Epoch is the current schema epoch; Invalidations counts Invalidate
 	// calls and StaleDrops the entries discarded for trailing the epoch.
 	Epoch         uint64 `json:"epoch"`
@@ -133,7 +150,13 @@ func (c *PlanCache) Get(key string) (*zidian.Prepared, bool) {
 		return nil, false
 	}
 	c.hits.Add(1)
-	return el.Value.(*cacheEntry).plan, true
+	plan := el.Value.(*cacheEntry).plan
+	if plan != nil && plan.NumParams() > 0 {
+		c.paramsHits.Add(1)
+	} else {
+		c.literalHits.Add(1)
+	}
+	return plan, true
 }
 
 // Put stores a compiled plan under the normalized key at the current schema
@@ -191,6 +214,8 @@ func (c *PlanCache) Stats() CacheStats {
 		Size:          c.Len(),
 		Capacity:      c.perCap * len(c.shards),
 		Hits:          c.hits.Load(),
+		ParamsHits:    c.paramsHits.Load(),
+		LiteralHits:   c.literalHits.Load(),
 		Misses:        c.misses.Load(),
 		Evictions:     c.evictions.Load(),
 		Epoch:         c.epoch.Load(),

@@ -29,6 +29,15 @@
 //	{"id":12, "op": "ping"}                                liveness check
 //	{"id":13, "op": "stats"}                               server statistics
 //
+// Statements may carry `?` placeholders; the params array binds them
+// positionally. JSON integers bind as SQL ints, fractions as floats,
+// strings as strings:
+//
+//	{"id":14, "op": "query", "sql": "select V.make from VEHICLE V where V.vehicle_id = ?",
+//	 "params": [42]}
+//	{"id":15, "op": "prepare", "name": "q2", "sql": "... where V.vehicle_id = ?"}
+//	{"id":16, "op": "execute", "name": "q2", "params": [7]}
+//
 // The response mirrors the id and carries either ok:true with the payload or
 // ok:false with an error string:
 //
@@ -37,6 +46,8 @@
 package server
 
 import (
+	"encoding/json"
+	"fmt"
 	"strings"
 
 	"zidian/internal/relation"
@@ -52,6 +63,76 @@ type Request struct {
 	SQL string `json:"sql,omitempty"`
 	// Name identifies a prepared statement for prepare, execute and close.
 	Name string `json:"name,omitempty"`
+	// Params binds the statement's `?` placeholders positionally (query,
+	// exec, execute). Elements are JSON numbers or strings.
+	Params []json.RawMessage `json:"params,omitempty"`
+}
+
+// DecodeParams converts a request's raw JSON parameters into SQL values.
+// Integral JSON numbers become ints (block keys are routinely ints, and a
+// float-typed 42 would encode to a different storage key than the int 42),
+// other numbers become floats, JSON strings become strings. Booleans, null,
+// arrays and objects are rejected.
+func DecodeParams(raw []json.RawMessage) ([]relation.Value, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	out := make([]relation.Value, len(raw))
+	for i, r := range raw {
+		s := strings.TrimSpace(string(r))
+		if s == "" {
+			return nil, fmt.Errorf("server: parameter %d is empty", i)
+		}
+		if s[0] == '"' {
+			var v string
+			if err := json.Unmarshal(r, &v); err != nil {
+				return nil, fmt.Errorf("server: parameter %d: %w", i, err)
+			}
+			out[i] = relation.String(v)
+			continue
+		}
+		var num json.Number
+		if err := json.Unmarshal(r, &num); err != nil {
+			return nil, fmt.Errorf("server: parameter %d must be a number or string, got %s", i, s)
+		}
+		if iv, err := num.Int64(); err == nil {
+			out[i] = relation.Int(iv)
+			continue
+		}
+		fv, err := num.Float64()
+		if err != nil {
+			return nil, fmt.Errorf("server: parameter %d: %w", i, err)
+		}
+		out[i] = relation.Float(fv)
+	}
+	return out, nil
+}
+
+// EncodeParams converts Go values into wire parameters; the client uses it
+// to build requests. Supported kinds: integers, floats, strings, and
+// relation.Value.
+func EncodeParams(params []any) ([]json.RawMessage, error) {
+	if len(params) == 0 {
+		return nil, nil
+	}
+	out := make([]json.RawMessage, len(params))
+	for i, p := range params {
+		if v, ok := p.(relation.Value); ok {
+			p = jsonValue(v)
+		}
+		switch p.(type) {
+		case int, int8, int16, int32, int64, uint, uint8, uint16, uint32, uint64,
+			float32, float64, string:
+		default:
+			return nil, fmt.Errorf("server: unsupported parameter %d type %T", i, p)
+		}
+		b, err := json.Marshal(p)
+		if err != nil {
+			return nil, fmt.Errorf("server: parameter %d: %w", i, err)
+		}
+		out[i] = b
+	}
+	return out, nil
 }
 
 // Response is the reply to one Request.

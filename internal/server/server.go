@@ -248,22 +248,30 @@ func (s *Server) handle(sess *Session, req *Request) Response {
 		resp.OK = true
 		resp.Server = &st
 	case "query":
-		res, stats, cacheHit, err := s.Query(s.ctx, req.SQL)
+		params, err := DecodeParams(req.Params)
+		if err != nil {
+			return fail(err)
+		}
+		res, stats, cacheHit, err := s.Query(s.ctx, req.SQL, params...)
 		if err != nil {
 			return fail(err)
 		}
 		s.fillResult(&resp, res, stats, cacheHit)
 	case "exec":
+		params, err := DecodeParams(req.Params)
+		if err != nil {
+			return fail(err)
+		}
 		norm := NormalizeSQL(req.SQL)
 		if strings.HasPrefix(norm, "select") {
-			res, stats, cacheHit, err := s.queryNorm(s.ctx, norm, req.SQL)
+			res, stats, cacheHit, err := s.queryNorm(s.ctx, norm, req.SQL, params)
 			if err != nil {
 				return fail(err)
 			}
 			s.fillResult(&resp, res, stats, cacheHit)
 			return resp
 		}
-		r, err := s.Exec(s.ctx, req.SQL)
+		r, err := s.Exec(s.ctx, req.SQL, params...)
 		if err != nil {
 			return fail(err)
 		}
@@ -286,6 +294,10 @@ func (s *Server) handle(sess *Session, req *Request) Response {
 		}
 		resp.OK = true
 	case "execute":
+		params, err := DecodeParams(req.Params)
+		if err != nil {
+			return fail(err)
+		}
 		p, ok := sess.Prepared(req.Name)
 		if !ok {
 			return fail(fmt.Errorf("server: no prepared statement %q", req.Name))
@@ -301,7 +313,7 @@ func (s *Server) handle(sess *Session, req *Request) Response {
 			}
 			p = p2
 		}
-		res, stats, ran, err := s.runFresh(s.ctx, NormalizeSQL(p.SQL()), p.SQL(), p)
+		res, stats, ran, err := s.runFresh(s.ctx, NormalizeSQL(p.SQL()), p.SQL(), p, params)
 		if err != nil {
 			return fail(err)
 		}
@@ -361,8 +373,9 @@ func (s *Server) compileNorm(norm, sql string) (*zidian.Prepared, bool, error) {
 	return p, false, nil
 }
 
-// run executes a compiled plan under admission control and the read lock.
-func (s *Server) run(ctx context.Context, p *zidian.Prepared) (*zidian.Result, *zidian.Stats, error) {
+// run executes a compiled plan under admission control and the read lock,
+// binding params into the plan template first.
+func (s *Server) run(ctx context.Context, p *zidian.Prepared, params []zidian.Value) (*zidian.Result, *zidian.Stats, error) {
 	if err := s.adm.Acquire(ctx); err != nil {
 		return nil, nil, err
 	}
@@ -370,22 +383,26 @@ func (s *Server) run(ctx context.Context, p *zidian.Prepared) (*zidian.Result, *
 	s.dbMu.RLock()
 	defer s.dbMu.RUnlock()
 	s.queries.Add(1)
-	return p.Run()
+	return p.Run(params...)
 }
 
-// Query compiles (or reuses) and executes one SELECT, reporting whether the
-// plan came from the cache.
-func (s *Server) Query(ctx context.Context, sql string) (*zidian.Result, *zidian.Stats, bool, error) {
-	return s.queryNorm(ctx, NormalizeSQL(sql), sql)
+// Query compiles (or reuses) and executes one SELECT, binding params into
+// the statement's `?` placeholders, and reports whether the plan came from
+// the cache. Parameterized statements share one cache entry across all
+// bindings: the cache key is the template text, so a distinct-literal
+// workload that parameterizes compiles once per template instead of once
+// per literal.
+func (s *Server) Query(ctx context.Context, sql string, params ...zidian.Value) (*zidian.Result, *zidian.Stats, bool, error) {
+	return s.queryNorm(ctx, NormalizeSQL(sql), sql, params)
 }
 
 // queryNorm is Query with the normalization already done.
-func (s *Server) queryNorm(ctx context.Context, norm, sql string) (*zidian.Result, *zidian.Stats, bool, error) {
+func (s *Server) queryNorm(ctx context.Context, norm, sql string, params []zidian.Value) (*zidian.Result, *zidian.Stats, bool, error) {
 	p, hit, err := s.compileNorm(norm, sql)
 	if err != nil {
 		return nil, nil, false, err
 	}
-	res, stats, _, err := s.runFresh(ctx, norm, sql, p)
+	res, stats, _, err := s.runFresh(ctx, norm, sql, p, params)
 	if err != nil {
 		return nil, nil, hit, err
 	}
@@ -397,9 +414,9 @@ func (s *Server) queryNorm(ctx context.Context, norm, sql string) (*zidian.Resul
 // the read lock in separate critical sections, so a DROP INDEX can land in
 // between and strand a plan on a vanished index). It returns the plan that
 // finally ran so callers can refresh session state.
-func (s *Server) runFresh(ctx context.Context, norm, sql string, p *zidian.Prepared) (*zidian.Result, *zidian.Stats, *zidian.Prepared, error) {
+func (s *Server) runFresh(ctx context.Context, norm, sql string, p *zidian.Prepared, params []zidian.Value) (*zidian.Result, *zidian.Stats, *zidian.Prepared, error) {
 	for attempt := 0; ; attempt++ {
-		res, stats, err := s.run(ctx, p)
+		res, stats, err := s.run(ctx, p, params)
 		if err == nil || attempt >= 2 || p.Epoch() == s.inst.SchemaEpoch() {
 			return res, stats, p, err
 		}
@@ -412,10 +429,10 @@ func (s *Server) runFresh(ctx context.Context, norm, sql string, p *zidian.Prepa
 }
 
 // Exec runs one non-SELECT statement (INSERT/DELETE/EXPLAIN/DDL) under the
-// exclusive write lock. Catalog-changing DDL invalidates the plan cache
-// while still holding the lock, so no statement can observe the new catalog
-// with an old plan.
-func (s *Server) Exec(ctx context.Context, sql string) (*zidian.ExecResult, error) {
+// exclusive write lock, binding params into `?` placeholders. Catalog-
+// changing DDL invalidates the plan cache while still holding the lock, so
+// no statement can observe the new catalog with an old plan.
+func (s *Server) Exec(ctx context.Context, sql string, params ...zidian.Value) (*zidian.ExecResult, error) {
 	if err := s.adm.Acquire(ctx); err != nil {
 		return nil, err
 	}
@@ -423,7 +440,7 @@ func (s *Server) Exec(ctx context.Context, sql string) (*zidian.ExecResult, erro
 	s.dbMu.Lock()
 	defer s.dbMu.Unlock()
 	s.queries.Add(1)
-	r, err := s.inst.Exec(sql)
+	r, err := s.inst.Exec(sql, params...)
 	if err != nil {
 		return nil, err
 	}
@@ -451,7 +468,7 @@ func (s *Server) Stats() ServerStats {
 
 // ServeHTTP serves the HTTP surface on ln until Shutdown:
 //
-//	POST /query   {"sql": "select ..."}  (or GET /query?q=...)
+//	POST /query   {"sql": "select ...", "params": [...]}  (or GET /query?q=...)
 //	GET  /healthz liveness
 //	GET  /stats   server statistics
 func (s *Server) ServeHTTP(ln net.Listener) error {
@@ -484,18 +501,21 @@ func (s *Server) ServeHTTP(ln net.Listener) error {
 
 func (s *Server) httpQuery(w http.ResponseWriter, r *http.Request) {
 	var sql string
+	var rawParams []json.RawMessage
 	switch r.Method {
 	case http.MethodGet:
 		sql = r.URL.Query().Get("q")
 	case http.MethodPost:
 		var body struct {
-			SQL string `json:"sql"`
+			SQL    string            `json:"sql"`
+			Params []json.RawMessage `json:"params"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 			http.Error(w, "malformed body: "+err.Error(), http.StatusBadRequest)
 			return
 		}
 		sql = body.SQL
+		rawParams = body.Params
 	default:
 		http.Error(w, "use GET ?q= or POST {\"sql\": ...}", http.StatusMethodNotAllowed)
 		return
@@ -504,20 +524,24 @@ func (s *Server) httpQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty statement", http.StatusBadRequest)
 		return
 	}
+	params, err := DecodeParams(rawParams)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	var resp Response
-	var err error
 	norm := NormalizeSQL(sql)
 	if strings.HasPrefix(norm, "select") {
 		var res *zidian.Result
 		var stats *zidian.Stats
 		var cacheHit bool
-		res, stats, cacheHit, err = s.queryNorm(s.ctx, norm, sql)
+		res, stats, cacheHit, err = s.queryNorm(s.ctx, norm, sql, params)
 		if err == nil {
 			s.fillResult(&resp, res, stats, cacheHit)
 		}
 	} else {
 		var r *zidian.ExecResult
-		r, err = s.Exec(s.ctx, sql)
+		r, err = s.Exec(s.ctx, sql, params...)
 		if err == nil {
 			resp.OK = true
 			resp.Affected = r.Affected

@@ -66,6 +66,17 @@ type TableRef struct {
 	Alias string // defaults to Name
 }
 
+// Param is a `?` placeholder in a value position (a predicate RHS, an IN
+// list element, or an INSERT value). Placeholders are numbered left to right
+// across the whole statement, starting at 0; the statement compiles into a
+// plan template and Index selects the bound value at execution time.
+type Param struct {
+	Index int
+}
+
+// String renders the placeholder.
+func (p Param) String() string { return "?" }
+
 // CmpOp is a comparison operator in a predicate.
 type CmpOp string
 
@@ -80,32 +91,53 @@ const (
 )
 
 // Pred is one conjunct of the WHERE clause. Exactly one of RHS column / RHS
-// literal / In list is set (BETWEEN is desugared into two conjuncts by the
-// parser).
+// literal / RHS placeholder / IN list is set (BETWEEN is desugared into two
+// conjuncts by the parser). An IN list may mix literals (In) and
+// placeholders (InParams); at least one of the two is non-empty for an IN
+// predicate.
 type Pred struct {
-	Left  Col
-	Op    CmpOp
-	Right *Col            // column RHS (join or self predicate)
-	Lit   *relation.Value // literal RHS
-	In    []relation.Value
+	Left     Col
+	Op       CmpOp
+	Right    *Col            // column RHS (join or self predicate)
+	Lit      *relation.Value // literal RHS
+	Param    *Param          // `?` RHS
+	In       []relation.Value
+	InParams []Param // `?` elements of the IN list
 }
+
+// IsIn reports whether the predicate is an IN membership test.
+func (p Pred) IsIn() bool { return len(p.In)+len(p.InParams) > 0 }
 
 // String renders the predicate.
 func (p Pred) String() string {
 	switch {
-	case len(p.In) > 0:
-		parts := make([]string, len(p.In))
-		for i, v := range p.In {
-			parts[i] = v.String()
+	case p.IsIn():
+		parts := make([]string, 0, len(p.In)+len(p.InParams))
+		for _, v := range p.In {
+			parts = append(parts, renderLit(v))
+		}
+		for range p.InParams {
+			parts = append(parts, "?")
 		}
 		return fmt.Sprintf("%s IN (%s)", p.Left, strings.Join(parts, ", "))
 	case p.Right != nil:
 		return fmt.Sprintf("%s %s %s", p.Left, p.Op, *p.Right)
+	case p.Param != nil:
+		return fmt.Sprintf("%s %s ?", p.Left, p.Op)
 	case p.Lit != nil:
-		return fmt.Sprintf("%s %s %s", p.Left, p.Op, p.Lit)
+		return fmt.Sprintf("%s %s %s", p.Left, p.Op, renderLit(*p.Lit))
 	default:
 		return p.Left.String()
 	}
+}
+
+// renderLit renders a literal in re-parseable SQL form: strings are quoted
+// with '' escaping, numbers render naturally.
+func renderLit(v relation.Value) string {
+	if v.Kind == relation.KindString {
+		return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+	}
+	return v.String()
 }
 
 // OrderItem is one ORDER BY entry.
@@ -124,6 +156,9 @@ type Query struct {
 	GroupBy  []Col
 	OrderBy  []OrderItem
 	Limit    int // -1 when absent
+	// NumParams counts the `?` placeholders in the statement; slots 0 to
+	// NumParams-1 must all be bound before execution.
+	NumParams int
 }
 
 // String renders the query in SQL-ish form (for plans and error messages).

@@ -23,7 +23,8 @@ const (
 	tokLParen
 	tokRParen
 	tokStar
-	tokOp // = <> < <= > >=
+	tokOp    // = <> < <= > >=
+	tokParam // ? placeholder
 )
 
 type token struct {
@@ -87,6 +88,9 @@ func (l *lexer) next() (token, error) {
 	case c == '*':
 		l.pos++
 		return token{tokStar, "*", start}, nil
+	case c == '?':
+		l.pos++
+		return token{tokParam, "?", start}, nil
 	case c == '=':
 		l.pos++
 		return token{tokOp, "=", start}, nil

@@ -1,0 +1,116 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseParamsInPredicates(t *testing.T) {
+	q, err := Parse("select a from T where a = ? and b > ? and c between ? and ? and d in (?, 5, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumParams != 6 {
+		t.Fatalf("NumParams = %d, want 6", q.NumParams)
+	}
+	// Placeholders number left to right: a=?0, b>?1, c>=?2, c<=?3, d∈{?4,5,?5}.
+	w := q.Where
+	if len(w) != 5 {
+		t.Fatalf("predicates = %d: %v", len(w), w)
+	}
+	if w[0].Param == nil || w[0].Param.Index != 0 || w[0].Op != OpEq {
+		t.Fatalf("w[0] = %+v", w[0])
+	}
+	if w[1].Param == nil || w[1].Param.Index != 1 || w[1].Op != OpGt {
+		t.Fatalf("w[1] = %+v", w[1])
+	}
+	if w[2].Param == nil || w[2].Param.Index != 2 || w[2].Op != OpGe {
+		t.Fatalf("between lo = %+v", w[2])
+	}
+	if w[3].Param == nil || w[3].Param.Index != 3 || w[3].Op != OpLe {
+		t.Fatalf("between hi = %+v", w[3])
+	}
+	in := w[4]
+	if !in.IsIn() || len(in.In) != 1 || len(in.InParams) != 2 {
+		t.Fatalf("in = %+v", in)
+	}
+	if in.InParams[0].Index != 4 || in.InParams[1].Index != 5 {
+		t.Fatalf("in params = %+v", in.InParams)
+	}
+	// The template renders with placeholders and re-parses to the same
+	// number of slots.
+	s := q.String()
+	if strings.Count(s, "?") != 6 {
+		t.Fatalf("rendered %q", s)
+	}
+	q2, err := Parse(s)
+	if err != nil || q2.NumParams != 6 {
+		t.Fatalf("re-parse %q: %v (params %d)", s, err, q2.NumParams)
+	}
+}
+
+func TestParseParamsInInsertDelete(t *testing.T) {
+	stmt, err := ParseStatement("insert into T values (?, 'x', ?), (3, ?, 4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*Insert)
+	if ins.NumParams != 3 || ins.Params == nil {
+		t.Fatalf("insert = %+v", ins)
+	}
+	if ins.Params[0][0] == nil || ins.Params[0][0].Index != 0 ||
+		ins.Params[0][1] != nil ||
+		ins.Params[0][2] == nil || ins.Params[0][2].Index != 1 ||
+		ins.Params[1][1] == nil || ins.Params[1][1].Index != 2 {
+		t.Fatalf("insert params = %+v", ins.Params)
+	}
+	if s := ins.String(); strings.Count(s, "?") != 3 {
+		t.Fatalf("rendered %q", s)
+	}
+	if _, err := ParseStatement(ins.String()); err != nil {
+		t.Fatalf("re-parse %q: %v", ins.String(), err)
+	}
+
+	stmt, err = ParseStatement("delete from T where a = ? and b in (?, 7)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := stmt.(*Delete)
+	if del.NumParams != 2 {
+		t.Fatalf("delete = %+v", del)
+	}
+	if _, err := ParseStatement(del.String()); err != nil {
+		t.Fatalf("re-parse %q: %v", del.String(), err)
+	}
+	// Literal-only statements carry no param bookkeeping.
+	stmt, err = ParseStatement("insert into T values (1, 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins := stmt.(*Insert); ins.NumParams != 0 || ins.Params != nil {
+		t.Fatalf("literal insert = %+v", ins)
+	}
+}
+
+func TestParamsRejectedInDDL(t *testing.T) {
+	for _, src := range []string{
+		"create index i on T(?)",
+		"create index ? on T(a)",
+		"drop index ?",
+	} {
+		if _, err := ParseStatement(src); err == nil {
+			t.Errorf("ParseStatement(%q) succeeded", src)
+		}
+	}
+	// A placeholder in a position the grammar gives no meaning is an error,
+	// not a silent literal.
+	for _, src := range []string{
+		"select ? from T",
+		"select a from ?",
+		"select a from T limit ?",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}

@@ -37,6 +37,17 @@ func MustParse(src string) *Query {
 type parser struct {
 	toks []token
 	pos  int
+	// params counts the `?` placeholders consumed so far; each placeholder
+	// is numbered left to right across the whole statement.
+	params int
+}
+
+// param consumes a `?` token and allocates the next placeholder slot.
+func (p *parser) param() *Param {
+	p.advance()
+	pr := &Param{Index: p.params}
+	p.params++
+	return pr
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -209,6 +220,7 @@ func (p *parser) parseQuery() (*Query, error) {
 		}
 		q.Limit = n
 	}
+	q.NumParams = p.params
 	return q, nil
 }
 
@@ -279,6 +291,16 @@ func (p *parser) parseCol() (Col, error) {
 	return Col{Name: first}, nil
 }
 
+// parseLitOrParam parses a literal value or a `?` placeholder; exactly one
+// of the two results is meaningful (the Param pointer is nil for literals).
+func (p *parser) parseLitOrParam() (relation.Value, *Param, error) {
+	if p.peek().kind == tokParam {
+		return relation.Value{}, p.param(), nil
+	}
+	v, err := p.parseLit()
+	return v, nil, err
+}
+
 // parseLit parses a literal value.
 func (p *parser) parseLit() (relation.Value, error) {
 	t := p.peek()
@@ -305,40 +327,55 @@ func (p *parser) parseLit() (relation.Value, error) {
 	}
 }
 
-// parsePred parses one predicate; BETWEEN desugars to two conjuncts.
+// boundPred builds one comparison conjunct whose RHS is a literal or a `?`
+// placeholder.
+func boundPred(left Col, op CmpOp, lit *relation.Value, param *Param) Pred {
+	if param != nil {
+		return Pred{Left: left, Op: op, Param: param}
+	}
+	return Pred{Left: left, Op: op, Lit: lit}
+}
+
+// parsePred parses one predicate; BETWEEN desugars to two conjuncts. Value
+// positions (comparison RHS, BETWEEN bounds, IN elements) accept `?`
+// placeholders.
 func (p *parser) parsePred() ([]Pred, error) {
 	left, err := p.parseCol()
 	if err != nil {
 		return nil, err
 	}
 	if p.keyword("BETWEEN") {
-		lo, err := p.parseLit()
+		lo, loParam, err := p.parseLitOrParam()
 		if err != nil {
 			return nil, err
 		}
 		if err := p.expectKeyword("AND"); err != nil {
 			return nil, err
 		}
-		hi, err := p.parseLit()
+		hi, hiParam, err := p.parseLitOrParam()
 		if err != nil {
 			return nil, err
 		}
 		return []Pred{
-			{Left: left, Op: OpGe, Lit: &lo},
-			{Left: left, Op: OpLe, Lit: &hi},
+			boundPred(left, OpGe, &lo, loParam),
+			boundPred(left, OpLe, &hi, hiParam),
 		}, nil
 	}
 	if p.keyword("IN") {
 		if _, err := p.expect(tokLParen, "("); err != nil {
 			return nil, err
 		}
-		var vals []relation.Value
+		pred := Pred{Left: left, Op: OpEq}
 		for {
-			v, err := p.parseLit()
+			v, param, err := p.parseLitOrParam()
 			if err != nil {
 				return nil, err
 			}
-			vals = append(vals, v)
+			if param != nil {
+				pred.InParams = append(pred.InParams, *param)
+			} else {
+				pred.In = append(pred.In, v)
+			}
 			if p.peek().kind != tokComma {
 				break
 			}
@@ -347,7 +384,7 @@ func (p *parser) parsePred() ([]Pred, error) {
 		if _, err := p.expect(tokRParen, ")"); err != nil {
 			return nil, err
 		}
-		return []Pred{{Left: left, Op: OpEq, In: vals}}, nil
+		return []Pred{pred}, nil
 	}
 	opTok, err := p.expect(tokOp, "comparison operator")
 	if err != nil {
@@ -355,12 +392,12 @@ func (p *parser) parsePred() ([]Pred, error) {
 	}
 	op := CmpOp(opTok.text)
 	t := p.peek()
-	if t.kind == tokNumber || t.kind == tokString {
-		lit, err := p.parseLit()
+	if t.kind == tokNumber || t.kind == tokString || t.kind == tokParam {
+		lit, param, err := p.parseLitOrParam()
 		if err != nil {
 			return nil, err
 		}
-		return []Pred{{Left: left, Op: op, Lit: &lit}}, nil
+		return []Pred{boundPred(left, op, &lit, param)}, nil
 	}
 	right, err := p.parseCol()
 	if err != nil {

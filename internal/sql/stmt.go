@@ -8,17 +8,28 @@ import (
 )
 
 // Insert is a parsed "INSERT INTO table VALUES (...), (...)" statement.
+// Value positions accept `?` placeholders: a parameterized row holds the
+// zero Value at each placeholder position and Params records which
+// positions those are.
 type Insert struct {
 	Table string
 	Rows  [][]relation.Value
+	// Params, when non-nil, parallels Rows: Params[r][c] is the placeholder
+	// occupying Rows[r][c], or nil for a literal position.
+	Params [][]*Param
+	// NumParams counts the statement's `?` placeholders.
+	NumParams int
 }
 
 // Delete is a parsed "DELETE FROM table [WHERE conj]" statement. The WHERE
 // clause uses the same conjunctive predicate grammar as SELECT, with
-// unqualified or table-qualified column references.
+// unqualified or table-qualified column references; value positions accept
+// `?` placeholders.
 type Delete struct {
 	Table string
 	Where []Pred
+	// NumParams counts the statement's `?` placeholders.
+	NumParams int
 }
 
 // CreateIndex is a parsed "CREATE INDEX name ON table(attr)" statement: it
@@ -43,6 +54,23 @@ type Explain struct {
 // Statement is a parsed SQL statement: *Query, *Insert, *Delete,
 // *CreateIndex, *DropIndex, or *Explain.
 type Statement interface{ isStatement() }
+
+// StatementParams returns the number of `?` placeholders in a parsed
+// statement. DDL never carries placeholders (the parser rejects them there).
+func StatementParams(stmt Statement) int {
+	switch s := stmt.(type) {
+	case *Query:
+		return s.NumParams
+	case *Insert:
+		return s.NumParams
+	case *Delete:
+		return s.NumParams
+	case *Explain:
+		return s.Query.NumParams
+	default:
+		return 0
+	}
+}
 
 func (*Query) isStatement()       {}
 func (*Insert) isStatement()      {}
@@ -108,12 +136,14 @@ func (p *parser) parseInsert() (*Insert, error) {
 			return nil, err
 		}
 		var row []relation.Value
+		var rowParams []*Param
 		for {
-			v, err := p.parseLit()
+			v, param, err := p.parseLitOrParam()
 			if err != nil {
 				return nil, err
 			}
 			row = append(row, v)
+			rowParams = append(rowParams, param)
 			if p.peek().kind != tokComma {
 				break
 			}
@@ -123,11 +153,16 @@ func (p *parser) parseInsert() (*Insert, error) {
 			return nil, err
 		}
 		ins.Rows = append(ins.Rows, row)
+		ins.Params = append(ins.Params, rowParams)
 		if p.peek().kind != tokComma {
 			break
 		}
 		p.advance()
 	}
+	if p.params == 0 {
+		ins.Params = nil
+	}
+	ins.NumParams = p.params
 	return ins, nil
 }
 
@@ -155,6 +190,7 @@ func (p *parser) parseDelete() (*Delete, error) {
 			}
 		}
 	}
+	del.NumParams = p.params
 	return del, nil
 }
 
@@ -224,7 +260,9 @@ func (i *Insert) String() string {
 			if vi > 0 {
 				b.WriteString(", ")
 			}
-			if v.Kind == relation.KindString {
+			if i.Params != nil && i.Params[ri][vi] != nil {
+				b.WriteByte('?')
+			} else if v.Kind == relation.KindString {
 				fmt.Fprintf(&b, "'%s'", strings.ReplaceAll(v.Str, "'", "''"))
 			} else {
 				b.WriteString(v.String())

@@ -190,21 +190,28 @@ func (in *Instance) IndexStats(name string) (index.Stats, bool) { return in.inde
 func (in *Instance) Store() *baav.Store { return in.store }
 
 // Query parses, plans and executes a SQL query in parallel over the BaaV
-// store, returning the answer and execution statistics. Each call recompiles
-// the plan from scratch; callers that repeat queries should Prepare once and
-// Run many times (or sit behind a serving layer with a plan cache).
-func (in *Instance) Query(src string) (*Result, *Stats, error) {
+// store, returning the answer and execution statistics. The statement may
+// contain `?` placeholders, bound positionally by params. Each call
+// recompiles the plan from scratch; callers that repeat a statement shape
+// should Prepare the `?` template once and Run it many times with different
+// bindings (or sit behind a serving layer with a plan cache).
+func (in *Instance) Query(src string, params ...Value) (*Result, *Stats, error) {
 	p, err := in.Prepare(src)
 	if err != nil {
 		return nil, nil, err
 	}
-	return p.Run()
+	return p.Run(params...)
 }
 
 // Prepared is a compiled query: parsed, minimized, checked and planned once,
-// executable many times. A Prepared is immutable after Prepare and safe for
-// concurrent Run calls from multiple goroutines; the underlying KBA plan is
-// only read during execution. Plans depend on the relational and BaaV
+// executable many times. A statement with `?` placeholders compiles into a
+// plan template: the planner fixes the access paths from the template's
+// shape, and each Run binds a fresh parameter list into the template
+// (validating arity and types) without re-parsing, re-checking or
+// re-planning — one compiled plan serves every literal of the statement
+// shape. A Prepared is immutable after Prepare and safe for concurrent Run
+// calls from multiple goroutines; binding copies the few parameterized plan
+// nodes and shares the rest. Plans depend on the relational and BaaV
 // schemas and the index catalog, not on the stored data, so a Prepared
 // stays valid across Insert/Delete maintenance; DDL (CREATE/DROP INDEX)
 // advances the instance's SchemaEpoch, and statements compiled at an older
@@ -235,6 +242,15 @@ func (in *Instance) Prepare(src string) (*Prepared, error) {
 // SQL returns the statement's source text.
 func (p *Prepared) SQL() string { return p.src }
 
+// NumParams returns the number of `?` placeholders the statement carries;
+// Run must be given exactly that many values.
+func (p *Prepared) NumParams() int {
+	if p == nil || p.info == nil {
+		return 0
+	}
+	return p.info.NumParams
+}
+
 // Epoch returns the catalog epoch the statement was compiled at. When it
 // trails the instance's SchemaEpoch, DDL has run since compilation and the
 // plan should be recompiled: it may reference a dropped index or miss a
@@ -252,26 +268,39 @@ func (p *Prepared) Plan() string {
 	return p.info.Root.String()
 }
 
-// Run executes the prepared plan in parallel over the BaaV store. It is safe
-// to call concurrently.
-func (p *Prepared) Run() (*Result, *Stats, error) {
+// Run executes the prepared plan in parallel over the BaaV store, binding
+// params into the plan template first (a statement without placeholders
+// takes no params). Binding validates arity and per-slot types and injects
+// the values into the compiled plan — the statement is never re-planned. It
+// is safe to call concurrently; each call binds its own copy of the
+// parameterized nodes.
+func (p *Prepared) Run(params ...Value) (*Result, *Stats, error) {
 	in := p.in
-	res, m, err := parallel.RunKBA(p.info, in.store, in.opts.Workers)
+	info, err := p.info.Bind(params)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, m, err := parallel.RunKBA(info, in.store, in.opts.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats := &Stats{
-		ScanFree:     p.info.ScanFree,
-		Bounded:      p.info.Bounded(in.store, in.opts.MaxBoundedDegree),
+		ScanFree:     info.ScanFree,
+		Bounded:      info.Bounded(in.store, in.opts.MaxBoundedDegree),
 		Gets:         m.Gets,
 		DataValues:   m.DataValues,
 		ShuffleBytes: m.ShuffleBytes,
 		Wall:         m.Wall,
 	}
-	if p.info.Root != nil {
-		stats.Plan = p.info.Root.String()
+	if info.Root != nil {
+		stats.Plan = info.Root.String()
 	}
 	return res, stats, nil
+}
+
+// Execute is Run under the name conventional for prepared statements.
+func (p *Prepared) Execute(params ...Value) (*Result, *Stats, error) {
+	return p.Run(params...)
 }
 
 // Explain plans the query without running it and describes the plan and its
@@ -380,32 +409,43 @@ type ExecResult struct {
 // the secondary-index catalog and advance the schema epoch; EXPLAIN
 // <select> returns the plan description as a one-row result. DELETE
 // supports conjunctive predicates over the target relation's own
-// attributes.
-func (in *Instance) Exec(src string) (*ExecResult, error) {
+// attributes. SELECT, INSERT and DELETE accept `?` placeholders bound
+// positionally by params; DDL does not (a placeholder there is a parse
+// error, and passing params alongside DDL is rejected).
+func (in *Instance) Exec(src string, params ...Value) (*ExecResult, error) {
 	stmt, err := sqlpkg.ParseStatement(src)
 	if err != nil {
 		return nil, err
 	}
+	if want := sqlpkg.StatementParams(stmt); len(params) != want {
+		if _, ok := stmt.(*sqlpkg.Explain); !ok {
+			return nil, fmt.Errorf("zidian: statement wants %d parameters, got %d", want, len(params))
+		}
+	}
 	switch s := stmt.(type) {
 	case *sqlpkg.Query:
-		res, stats, err := in.Query(src)
+		res, stats, err := in.Query(src, params...)
 		if err != nil {
 			return nil, err
 		}
 		return &ExecResult{Result: res, Stats: stats}, nil
 	case *sqlpkg.Insert:
-		for _, row := range s.Rows {
-			if err := in.Insert(s.Table, Tuple(row)); err != nil {
+		rows, err := bindInsertRows(in.db, s, params)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			if err := in.Insert(s.Table, row); err != nil {
 				return nil, err
 			}
 		}
-		return &ExecResult{Affected: len(s.Rows)}, nil
+		return &ExecResult{Affected: len(rows)}, nil
 	case *sqlpkg.Delete:
 		rel := in.db.Relation(s.Table)
 		if rel == nil {
 			return nil, fmt.Errorf("zidian: unknown relation %q", s.Table)
 		}
-		check, err := compileDeletePreds(rel.Schema, s)
+		check, err := compileDeletePreds(rel.Schema, s, params)
 		if err != nil {
 			return nil, err
 		}
@@ -457,8 +497,10 @@ func (in *Instance) Exec(src string) (*ExecResult, error) {
 }
 
 // compileDeletePreds compiles a DELETE's WHERE clause against the target
-// relation's schema; column references may be bare or table-qualified.
-func compileDeletePreds(schema *RelSchema, s *sqlpkg.Delete) (func(Tuple) bool, error) {
+// relation's schema; column references may be bare or table-qualified, and
+// value positions may be `?` placeholders bound from params (validated
+// against the referenced column's kind).
+func compileDeletePreds(schema *RelSchema, s *sqlpkg.Delete, params []Value) (func(Tuple) bool, error) {
 	var preds []kba.Pred
 	colName := func(c sqlpkg.Col) (string, error) {
 		if c.Table != "" && c.Table != s.Table {
@@ -469,6 +511,20 @@ func compileDeletePreds(schema *RelSchema, s *sqlpkg.Delete) (func(Tuple) bool, 
 		}
 		return c.Name, nil
 	}
+	bindTo := func(pr *sqlpkg.Param, attr string) (Value, error) {
+		if pr.Index < 0 || pr.Index >= len(params) {
+			return Value{}, fmt.Errorf("zidian: parameter slot %d out of range (have %d)", pr.Index, len(params))
+		}
+		kind := relation.KindNull
+		if i := schema.Index(attr); i >= 0 {
+			kind = schema.Attrs[i].Kind
+		}
+		v, err := relation.CoerceKind(params[pr.Index], kind)
+		if err != nil {
+			return Value{}, fmt.Errorf("zidian: parameter %d: %w", pr.Index, err)
+		}
+		return v, nil
+	}
 	for _, p := range s.Where {
 		left, err := colName(p.Left)
 		if err != nil {
@@ -476,13 +532,29 @@ func compileDeletePreds(schema *RelSchema, s *sqlpkg.Delete) (func(Tuple) bool, 
 		}
 		pred := kba.Pred{Attr: left, Op: p.Op, In: p.In}
 		switch {
-		case len(p.In) > 0:
+		case p.IsIn():
+			// Copy before appending bound values: p.In belongs to the
+			// parsed statement, which must stay reusable.
+			pred.In = append([]Value{}, p.In...)
+			for _, pr := range p.InParams {
+				v, err := bindTo(&pr, left)
+				if err != nil {
+					return nil, err
+				}
+				pred.In = append(pred.In, v)
+			}
 		case p.Right != nil:
 			right, err := colName(*p.Right)
 			if err != nil {
 				return nil, err
 			}
 			pred.RAttr = right
+		case p.Param != nil:
+			v, err := bindTo(p.Param, left)
+			if err != nil {
+				return nil, err
+			}
+			pred.Lit = &v
 		case p.Lit != nil:
 			lit := *p.Lit
 			pred.Lit = &lit
@@ -490,6 +562,42 @@ func compileDeletePreds(schema *RelSchema, s *sqlpkg.Delete) (func(Tuple) bool, 
 		preds = append(preds, pred)
 	}
 	return kba.CompilePreds(schema.AttrNames(), preds)
+}
+
+// bindInsertRows resolves an INSERT's rows, substituting bound parameters
+// at their placeholder positions and validating each against the target
+// column's declared kind.
+func bindInsertRows(db *Database, s *sqlpkg.Insert, params []Value) ([]Tuple, error) {
+	rel := db.Relation(s.Table)
+	if rel == nil {
+		return nil, fmt.Errorf("zidian: unknown relation %q", s.Table)
+	}
+	out := make([]Tuple, len(s.Rows))
+	for ri, row := range s.Rows {
+		t := make(Tuple, len(row))
+		copy(t, row)
+		if s.Params != nil {
+			for ci, pr := range s.Params[ri] {
+				if pr == nil {
+					continue
+				}
+				if pr.Index < 0 || pr.Index >= len(params) {
+					return nil, fmt.Errorf("zidian: parameter slot %d out of range (have %d)", pr.Index, len(params))
+				}
+				kind := relation.KindNull
+				if ci < len(rel.Schema.Attrs) {
+					kind = rel.Schema.Attrs[ci].Kind
+				}
+				v, err := relation.CoerceKind(params[pr.Index], kind)
+				if err != nil {
+					return nil, fmt.Errorf("zidian: parameter %d: %w", pr.Index, err)
+				}
+				t[ci] = v
+			}
+		}
+		out[ri] = t
+	}
+	return out, nil
 }
 
 // DesignSchema runs T2B: it extracts QCS access patterns from the workload
