@@ -13,6 +13,7 @@
 //	zidian-bench -exp 4h                 # horizontal scalability
 //	zidian-bench -exp server             # serving layer (writes BENCH_server.json)
 //	zidian-bench -exp index              # secondary indexes (writes BENCH_index.json)
+//	zidian-bench -exp range              # range predicates / ordered posting scans (writes BENCH_range.json)
 //
 // -scale multiplies the dataset sizes; -workers and -nodes set the cluster
 // shape (paper defaults: 8 workers, 12 nodes).
@@ -30,16 +31,16 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, 1case, 1, 2, 3p, 3d, 4, 4h, ablation, server, index")
+		exp      = flag.String("exp", "all", "experiment: all, 1case, 1, 2, 3p, 3d, 4, 4h, ablation, server, index, range")
 		workload = flag.String("workload", "mot", "workload for exp 2/3/server: mot, airca, tpch")
-		mix      = flag.String("mix", "point", "query mix for -exp server: point, nonkey, mixed")
+		mix      = flag.String("mix", "point", "query mix for -exp server: point, nonkey, range, mixed")
 		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
 		workers  = flag.Int("workers", 8, "SQL-layer workers")
 		nodes    = flag.Int("nodes", 12, "storage nodes")
 		seed     = flag.Int64("seed", 7, "generator seed")
 		clients  = flag.Int("clients", 64, "concurrent connections for -exp server")
 		requests = flag.Int("requests", 100, "statements per connection for -exp server")
-		jsonOut  = flag.String("json", "", "report path for -exp server/index (default BENCH_server.json / BENCH_index.json; \"none\" disables)")
+		jsonOut  = flag.String("json", "", "report path for -exp server/index/range (default BENCH_server.json / BENCH_index.json / BENCH_range.json; \"none\" disables)")
 	)
 	flag.Parse()
 
@@ -75,6 +76,10 @@ func main() {
 		return bench.ExpIndex(out, cfg, jsonPath("BENCH_index.json"))
 	}
 
+	rangeBench := func(out io.Writer, cfg bench.Config) error {
+		return bench.ExpRange(out, cfg, jsonPath("BENCH_range.json"))
+	}
+
 	run := func(name string, f func() error) {
 		fmt.Fprintf(out, "==> %s\n", name)
 		if err := f(); err != nil {
@@ -105,6 +110,8 @@ func main() {
 		run("server", func() error { return serverBench(out, cfg) })
 	case "index":
 		run("index", func() error { return indexBench(out, cfg) })
+	case "range":
+		run("range", func() error { return rangeBench(out, cfg) })
 	case "all":
 		run("exp1-case (Table 2)", func() error { return bench.Exp1Case(out, cfg) })
 		run("exp1-overall (Table 3)", func() error { return bench.Exp1Overall(out, cfg) })
@@ -120,6 +127,7 @@ func main() {
 		run("ablation", func() error { return bench.Ablation(out, cfg) })
 		run("server", func() error { return serverBench(out, cfg) })
 		run("index", func() error { return indexBench(out, cfg) })
+		run("range", func() error { return rangeBench(out, cfg) })
 	default:
 		fmt.Fprintf(os.Stderr, "zidian-bench: unknown experiment %q\n", *exp)
 		flag.Usage()

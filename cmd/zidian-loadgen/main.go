@@ -20,7 +20,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", "localhost:7071", "server wire-protocol address")
 		wl       = flag.String("workload", "mot", "template suite: mot, airca, tpch")
-		mix      = flag.String("mix", "point", "query mix: point, nonkey (selective non-key predicates over secondary indexes), mixed")
+		mix      = flag.String("mix", "point", "query mix: point, nonkey (selective non-key predicates over secondary indexes), range (BETWEEN windows over ordered posting scans), mixed")
 		clients  = flag.Int("clients", 64, "concurrent client connections")
 		requests = flag.Int("requests", 200, "statements per client")
 		pool     = flag.Int("params", 100, "distinct parameter values per template")

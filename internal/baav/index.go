@@ -10,6 +10,12 @@ type SecondaryIndex interface {
 	// Lookup returns the block keys posted under v in the named index and
 	// the number of get invocations issued.
 	Lookup(name string, v relation.Value) ([]relation.Tuple, int, error)
+	// Range returns the postings of every indexed value within the bounds
+	// (nil = unbounded side; loIncl/hiIncl select closed ends) as parallel
+	// slices — vals[i] posted block key keys[i] — merged into encoded
+	// (value, key) order, plus the number of posting lists visited by the
+	// bounded ordered walk.
+	Range(name string, lo, hi *relation.Value, loIncl, hiIncl bool) (vals []relation.Value, keys []relation.Tuple, scanned int, err error)
 	// MaxPostings returns the longest posting list of the named index; the
 	// boundedness check treats it like a block degree.
 	MaxPostings(name string) int

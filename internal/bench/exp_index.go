@@ -108,6 +108,12 @@ func itemTuple(i int) zidian.Tuple {
 }
 
 func openItems(rows int, cfg Config) (*zidian.Instance, error) {
+	return openItemsOn(rows, cfg, "hash")
+}
+
+// openItemsOn is openItems over a chosen kv engine kind; the range
+// experiment sweeps all three.
+func openItemsOn(rows int, cfg Config, engine string) (*zidian.Instance, error) {
 	db := zidian.NewDatabase()
 	schema := zidian.MustRelSchema("ITEM", []zidian.Attr{
 		{Name: "item_id", Kind: zidian.KindInt},
@@ -129,7 +135,7 @@ func openItems(rows int, cfg Config) (*zidian.Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	return zidian.Open(db, bv, zidian.Options{Nodes: cfg.Nodes, Workers: cfg.Workers})
+	return zidian.Open(db, bv, zidian.Options{Engine: engine, Nodes: cfg.Nodes, Workers: cfg.Workers})
 }
 
 func expIndexAt(rows int, cfg Config) (*indexSizeReport, error) {

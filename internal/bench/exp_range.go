@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"zidian"
+	"zidian/internal/server"
+	"zidian/internal/server/loadgen"
+)
+
+// ExpRange measures range predicates served by ordered posting scans
+// end to end: for each of the three kv engine kinds and each relation size,
+// a selectivity sweep of BETWEEN windows over the indexed sku attribute is
+// answered by a full scan and by the IndexRange plan, and the two are
+// compared on latency and storage operations. A final serving-layer phase
+// drives parameterized BETWEEN windows with distinct bounds through an
+// in-process server and records the plan-cache hit rate — one cached
+// template must serve every window (the PR 3 rate). The machine-readable
+// report goes to jsonPath (BENCH_range.json).
+func ExpRange(out io.Writer, cfg Config, jsonPath string) error {
+	cfg = cfg.normalized()
+	rep := &rangeReport{Bench: "range", Nodes: cfg.Nodes, Workers: cfg.Workers}
+	for _, engine := range []string{"hash", "lsm", "sorted"} {
+		er := rangeEngineReport{Engine: engine}
+		for _, base := range []int{2000, 10000, 50000} {
+			rows := int(float64(base) * cfg.Scale)
+			if rows < 400 {
+				rows = 400
+			}
+			sz, err := expRangeAt(rows, cfg, engine)
+			if err != nil {
+				return err
+			}
+			er.Sizes = append(er.Sizes, *sz)
+		}
+		rep.Engines = append(rep.Engines, er)
+	}
+
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "engine\trows\trange%%\tmatch\tscan µs\trange µs\tspeedup\tscan ops\trange ops\n")
+	for _, er := range rep.Engines {
+		for _, sz := range er.Sizes {
+			for _, sw := range sz.Sweeps {
+				fmt.Fprintf(w, "%s\t%d\t%.0f%%\t%d\t%.0f\t%.0f\t%.1f×\t%d\t%d\n",
+					er.Engine, sz.Rows, sw.FracPct, sw.Matching,
+					sw.ScanMicros, sw.RangeMicros, sw.Speedup, sw.ScanOps, sw.RangeOps)
+			}
+		}
+	}
+	w.Flush()
+
+	if err := expRangeCache(out, cfg, rep); err != nil {
+		return err
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// rangeReport is the BENCH_range.json payload.
+type rangeReport struct {
+	Bench   string              `json:"bench"`
+	Nodes   int                 `json:"nodes"`
+	Workers int                 `json:"workers"`
+	Engines []rangeEngineReport `json:"engines"`
+	// ParamCacheHitRate is the plan-cache hit rate of the serving-layer
+	// phase: distinct-bounds BETWEEN windows sent as `?` templates — only
+	// template reuse can hit. ParamCacheHitRateInlined is the same workload
+	// with bounds inlined into the SQL text (the no-template baseline).
+	ParamCacheHitRate        float64 `json:"planCacheHitRateParamBounds"`
+	ParamCacheHitRateInlined float64 `json:"planCacheHitRateInlinedBounds"`
+}
+
+type rangeEngineReport struct {
+	Engine string            `json:"engine"`
+	Sizes  []rangeSizeReport `json:"sizes"`
+}
+
+type rangeSizeReport struct {
+	Rows   int                `json:"rows"`
+	Sweeps []rangeSweepReport `json:"sweeps"`
+	// Plan is the EXPLAIN output of the narrowest range's index plan.
+	Plan string `json:"plan"`
+}
+
+type rangeSweepReport struct {
+	// FracPct is the window width as a percentage of the sku value space.
+	FracPct float64 `json:"fracPct"`
+	// Matching is the number of rows the window selects.
+	Matching int `json:"matching"`
+	// ScanMicros / RangeMicros are mean per-query latencies of the same
+	// statement answered by the full-scan plan and the IndexRange plan.
+	ScanMicros  float64 `json:"scanMicros"`
+	RangeMicros float64 `json:"rangeMicros"`
+	Speedup     float64 `json:"speedup"`
+	// ScanOps / RangeOps count storage operations (gets + scan steps) one
+	// query issues under each plan.
+	ScanOps  int64 `json:"scanOps"`
+	RangeOps int64 `json:"rangeOps"`
+}
+
+// rangeSweepFracs are the window widths, as fractions of the sku space.
+var rangeSweepFracs = []float64{0.01, 0.05, 0.20}
+
+// rangeQueryAt renders the BETWEEN window of the given width centred in the
+// sku space: skus run SKU-000000 .. SKU-00NNNN with fan itemSKUFan.
+func rangeQueryAt(rows int, frac float64) string {
+	skus := rows / itemSKUFan
+	width := int(float64(skus) * frac)
+	if width < 1 {
+		width = 1
+	}
+	lo := skus/2 - width/2
+	return fmt.Sprintf(
+		"select I.item_id, I.price, I.qty from ITEM I where I.sku between 'SKU-%06d' and 'SKU-%06d'",
+		lo, lo+width-1)
+}
+
+func expRangeAt(rows int, cfg Config, engine string) (*rangeSizeReport, error) {
+	const repeats = 8
+	sz := &rangeSizeReport{Rows: rows}
+
+	// Full-scan phase: no index exists.
+	scanInst, err := openItemsOn(rows, cfg, engine)
+	if err != nil {
+		return nil, err
+	}
+	scans := make([]*zidian.Result, len(rangeSweepFracs))
+	for i, frac := range rangeSweepFracs {
+		q := rangeQueryAt(rows, frac)
+		res, micros, ops, err := timeQuery(scanInst, q, repeats)
+		if err != nil {
+			return nil, err
+		}
+		scans[i] = res
+		sz.Sweeps = append(sz.Sweeps, rangeSweepReport{
+			FracPct:    100 * frac,
+			Matching:   len(res.Rows),
+			ScanMicros: micros,
+			ScanOps:    ops,
+		})
+	}
+
+	// Index phase: same statements over the ordered posting scan.
+	if _, err := scanInst.Exec("create index ix_item_sku on ITEM(sku)"); err != nil {
+		return nil, err
+	}
+	for i, frac := range rangeSweepFracs {
+		q := rangeQueryAt(rows, frac)
+		plan, err := scanInst.Explain(q)
+		if err != nil {
+			return nil, err
+		}
+		if !strings.Contains(plan, "index-range") {
+			return nil, fmt.Errorf("bench: index-range plan expected for %q on %s, got %s", q, engine, plan)
+		}
+		if i == 0 {
+			sz.Plan = plan
+		}
+		res, micros, ops, err := timeQuery(scanInst, q, repeats)
+		if err != nil {
+			return nil, err
+		}
+		if err := sameRows(scans[i], res); err != nil {
+			return nil, fmt.Errorf("bench: scan/range answers diverge at %d rows on %s: %v", rows, engine, err)
+		}
+		sw := &sz.Sweeps[i]
+		sw.RangeMicros, sw.RangeOps = micros, ops
+		if sw.RangeMicros > 0 {
+			sw.Speedup = sw.ScanMicros / sw.RangeMicros
+		}
+	}
+	return sz, nil
+}
+
+// expRangeCache is the serving-layer phase: an in-process server over the
+// mot workload driven with the range mix, every request a distinct-bounds
+// BETWEEN window, first inlined (each window a fresh statement, so the
+// cache cannot hit) and then parameterized (one template per shape).
+func expRangeCache(out io.Writer, cfg Config, rep *rangeReport) error {
+	inst, _, err := server.OpenWorkload("mot", cfg.Scale, cfg.Seed, cfg.Nodes, cfg.Workers)
+	if err != nil {
+		return err
+	}
+	srv := server.New(inst, server.Config{
+		MaxConcurrent: cfg.Workers * 2,
+		QueueDepth:    256,
+		QueueTimeout:  30 * time.Second,
+	})
+	tcpAddr, _, err := srv.Start("127.0.0.1:0", "")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	templates, setup, err := loadgen.TemplatesMix("mot", "range")
+	if err != nil {
+		return err
+	}
+	inlined, err := loadgen.Run(loadgen.Options{
+		Addr: tcpAddr, Clients: 32, Requests: 50,
+		Templates: templates, Setup: setup,
+		Seed: cfg.Seed, DistinctParams: true,
+	})
+	if err != nil {
+		return err
+	}
+	parameterized, err := loadgen.Run(loadgen.Options{
+		Addr: tcpAddr, Clients: 32, Requests: 50,
+		Templates: templates, Setup: setup,
+		Seed: cfg.Seed + 1, DistinctParams: true, Parameterized: true,
+	})
+	if err != nil {
+		return err
+	}
+	rep.ParamCacheHitRateInlined = inlined.CacheHitRate
+	rep.ParamCacheHitRate = parameterized.CacheHitRate
+	fmt.Fprintf(out, "distinct-bounds hit rate: inlined %.1f%% → parameterized %.1f%%\n",
+		100*inlined.CacheHitRate, 100*parameterized.CacheHitRate)
+	return nil
+}

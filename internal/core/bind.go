@@ -32,6 +32,19 @@ func (p *PlanInfo) Bind(params []relation.Value) (*PlanInfo, error) {
 	}
 	out := *p
 	out.Root = root
+	// A LIMIT ? slot binds into the result shaping (ToResult reads
+	// Query.Limit), not the plan tree: clone the query with the literal
+	// limit so the shared template stays parameterized.
+	if p.Query != nil && p.Query.LimitParam != nil {
+		n, err := p.Query.LimitOf(vals)
+		if err != nil {
+			return nil, err
+		}
+		bq := *p.Query
+		bq.Limit = n
+		bq.LimitParam = nil
+		out.Query = &bq
+	}
 	out.NumParams = 0
 	out.ParamKinds = nil
 	return &out, nil

@@ -39,6 +39,10 @@ type IndexCatalog interface {
 	// AvgPostings estimates the posting-list length of one lookup — the
 	// cost statistic for the index-vs-scan decision.
 	AvgPostings(name string) int
+	// Shape returns the index's distinct-entry and total-posting counts —
+	// the statistics behind the range-vs-scan decision (range fraction ×
+	// average posting).
+	Shape(name string) (entries, postings int)
 }
 
 // Checker answers the fundamental questions of modules M1 and M2: whether a

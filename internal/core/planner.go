@@ -3,12 +3,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"zidian/internal/baav"
 	"zidian/internal/kba"
 	"zidian/internal/ra"
 	"zidian/internal/relation"
+	"zidian/internal/sql"
 )
 
 // ErrNotAnswerable reports that the BaaV schema cannot answer the query
@@ -27,10 +29,13 @@ type PlanInfo struct {
 	// ScanFree reports whether Root scans no KV instance.
 	ScanFree bool
 	// Extends and Scans list the KV instances accessed by ∝ and by scans;
-	// Indexes lists the secondary indexes accessed by IndexLookup leaves.
+	// Indexes lists the secondary indexes accessed by IndexLookup leaves,
+	// and Ranges those walked by IndexRange leaves (bounded ordered posting
+	// scans serving range predicates).
 	Extends []string
 	Scans   []string
 	Indexes []string
+	Ranges  []string
 	// OutCols names, per output column of the query, the plan column that
 	// carries it (parallel to Query.OutNames).
 	OutCols []string
@@ -130,6 +135,7 @@ type planner struct {
 	extends []string
 	scans   []string
 	indexes []string
+	ranges  []string
 
 	// sfAtom marks atoms that the GET/VC chase proves reachable scan-free;
 	// only those may be assembled from several partial ∝ steps.
@@ -177,6 +183,7 @@ func (p *planner) run() (*PlanInfo, error) {
 		Extends:    p.extends,
 		Scans:      p.scans,
 		Indexes:    p.indexes,
+		Ranges:     p.ranges,
 		OutCols:    outCols,
 		NumParams:  p.q.NumParams,
 		ParamKinds: p.q.ParamKinds,
@@ -467,6 +474,9 @@ func (p *planner) coverAtoms() error {
 		if p.applyIndex(covered) {
 			continue
 		}
+		if p.applyRange(covered) {
+			continue
+		}
 		if err := p.applyScan(covered); err != nil {
 			return err
 		}
@@ -587,14 +597,11 @@ func (p *planner) hasIndexAnchor(atom ra.Atom, key []string, used []string) bool
 	return false
 }
 
-// indexBeatsScan compares the index path (one posting get per constant plus
-// one block get per posted key) against scanning the smallest covering
-// instance, with the same 4× ratio as extendBeatsScan. Without statistics
-// the bounded lookup wins, matching the chase's default preference for gets.
-func (p *planner) indexBeatsScan(atom ra.Atom, used []string, name string, nVals int) bool {
-	if p.c.Stats == nil {
-		return true
-	}
+// smallestCoveringBlocks returns the block count of the smallest KV
+// instance covering the atom's used attributes — the cheapest scan the
+// index and range paths must beat. Zero means no covering instance (or no
+// statistics for it).
+func (p *planner) smallestCoveringBlocks(atom ra.Atom, used []string) int {
 	blocks := 0
 	for _, s := range p.c.Schema.ForRelation(atom.Rel) {
 		if !attrsCover(s.Attrs(), used) {
@@ -604,10 +611,269 @@ func (p *planner) indexBeatsScan(atom ra.Atom, used []string, name string, nVals
 			blocks = b
 		}
 	}
+	return blocks
+}
+
+// indexBeatsScan compares the index path (one posting get per constant plus
+// one block get per posted key) against scanning the smallest covering
+// instance, with the same 4× ratio as extendBeatsScan. Without statistics
+// the bounded lookup wins, matching the chase's default preference for gets.
+func (p *planner) indexBeatsScan(atom ra.Atom, used []string, name string, nVals int) bool {
+	if p.c.Stats == nil {
+		return true
+	}
+	blocks := p.smallestCoveringBlocks(atom, used)
 	if blocks <= 0 {
 		return true // nothing to scan: the index is the only access path
 	}
 	probes := nVals * (1 + p.c.Indexes.AvgPostings(name))
+	return blocks > 4*probes
+}
+
+// rangeBound is one side of a recognized range predicate, as a bind-time
+// Arg: a literal bound known at plan time, or a parameter slot resolved at
+// Bind time (so `attr BETWEEN ? AND ?` and `attr > ?` share one template).
+type rangeBound struct {
+	arg  kba.Arg
+	incl bool
+}
+
+// tightenLo keeps the stricter of two lower bounds when both are literals;
+// with a parameter slot on either side the first recognized bound wins and
+// the residual selection enforces the rest.
+func tightenLo(prev, next *rangeBound) *rangeBound {
+	if prev == nil {
+		return next
+	}
+	if !prev.arg.IsSlot && !next.arg.IsSlot {
+		c := relation.Compare(next.arg.Lit, prev.arg.Lit)
+		if c > 0 || (c == 0 && !next.incl) {
+			return next
+		}
+	}
+	return prev
+}
+
+// tightenHi is tightenLo for upper bounds.
+func tightenHi(prev, next *rangeBound) *rangeBound {
+	if prev == nil {
+		return next
+	}
+	if !prev.arg.IsSlot && !next.arg.IsSlot {
+		c := relation.Compare(next.arg.Lit, prev.arg.Lit)
+		if c < 0 || (c == 0 && !next.incl) {
+			return next
+		}
+	}
+	return prev
+}
+
+// rangeConjuncts collects the query's one-sided range filters on the atom
+// attribute — col > v, col >= v, col < v, col <= v with a literal or `?`
+// RHS (BETWEEN desugars into the >=/<= pair at parse time) — merged into at
+// most one lower and one upper bound.
+func (p *planner) rangeConjuncts(alias, attr string) (lo, hi *rangeBound) {
+	for i := range p.q.Filters {
+		f := &p.q.Filters[i]
+		if f.Col.Alias != alias || f.Col.Attr != attr || f.RCol != nil {
+			continue
+		}
+		var arg kba.Arg
+		switch {
+		case f.Param != nil:
+			arg = kba.SlotArg(*f.Param)
+		case f.Lit != nil:
+			arg = kba.LitArg(*f.Lit)
+		default:
+			continue
+		}
+		switch f.Op {
+		case sql.OpGt, sql.OpGe:
+			lo = tightenLo(lo, &rangeBound{arg: arg, incl: f.Op == sql.OpGe})
+		case sql.OpLt, sql.OpLe:
+			hi = tightenHi(hi, &rangeBound{arg: arg, incl: f.Op == sql.OpLe})
+		}
+	}
+	return lo, hi
+}
+
+// alignRangeBound aligns a literal fence with the indexed column's declared
+// kind, so the encoded posting-key fence sorts among the stored postings
+// the way Compare orders the values (the key codec partitions by kind tag;
+// a float fence would sort past every int posting). After ra.Bind's
+// lossless literal coercion the only remaining numeric mismatch is a
+// non-integral float over an int column; its fence rounds inward to the
+// nearest enclosed integer — exactly the integers the float bound admits —
+// and the residual selection keeps enforcing the written bound. A fence
+// beyond the int range is dropped (nil): the walk widens to unbounded on
+// that side and the residual filter still applies. Non-numeric mixes
+// encode consistently with Compare's kind ordering and pass through.
+func alignRangeBound(b *rangeBound, kind relation.Kind, lower bool) *rangeBound {
+	if b == nil || b.arg.IsSlot {
+		return b // slots are coerced to the column kind by CheckParams at bind time
+	}
+	v := b.arg.Lit
+	if kind != relation.KindInt || v.Kind != relation.KindFloat {
+		return b
+	}
+	f := v.Flt
+	if f < -(1<<62) || f > 1<<62 {
+		return nil
+	}
+	fence := math.Ceil(f)
+	if !lower {
+		fence = math.Floor(f)
+	}
+	incl := true
+	if fence == f {
+		incl = b.incl
+	}
+	return &rangeBound{arg: kba.LitArg(relation.Int(int64(fence))), incl: incl}
+}
+
+// applyRange is the fourth access path: when a not-yet-fetched atom has a
+// range predicate on an indexed non-key attribute, seed a fragment with an
+// IndexRange — one bounded ordered walk over the value-ordered posting key
+// space, yielding the block keys of exactly the matching tuples — so the
+// anchor step then fetches those blocks through the primary-key KV schema
+// instead of scanning the instance. Like applyIndex it requires a
+// full-covering pk-keyed anchor schema and a favourable cost estimate; the
+// range bounds may be literals or parameter slots, so a `BETWEEN ? AND ?`
+// template fixes the access path once and binds per execution.
+func (p *planner) applyRange(covered func(string) bool) bool {
+	if p.c.Indexes == nil {
+		return false
+	}
+	vals, ok := p.seedValues()
+	if !ok {
+		return false // statically empty seed; run() bails out earlier
+	}
+	for _, atom := range p.q.Atoms {
+		if covered(atom.Alias) || p.atomFrag[atom.Alias] != nil || p.indexed[atom.Alias] {
+			continue
+		}
+		used := p.q.AttrsUsed(atom.Alias)
+		for _, attr := range used {
+			root := p.eq.Find(ra.ColRef{Alias: atom.Alias, Attr: attr})
+			if len(vals[root]) > 0 {
+				continue // equality-pinned: the lookup path owns this attribute
+			}
+			lo, hi := p.rangeConjuncts(atom.Alias, attr)
+			if lo == nil && hi == nil {
+				continue
+			}
+			kind := relation.KindNull
+			if rel, ok := p.c.Rels[atom.Rel]; ok {
+				if i := rel.Index(attr); i >= 0 {
+					kind = rel.Attrs[i].Kind
+				}
+			}
+			lo, hi = alignRangeBound(lo, kind, true), alignRangeBound(hi, kind, false)
+			if lo == nil && hi == nil {
+				continue
+			}
+			name, key, ok := p.c.Indexes.IndexOn(atom.Rel, attr)
+			if !ok {
+				continue
+			}
+			if !p.hasIndexAnchor(atom, key, used) {
+				continue
+			}
+			if !p.rangeBeatsScan(atom, used, name, lo != nil && hi != nil) {
+				continue
+			}
+			valCol := "$idx." + atom.Alias + "." + attr
+			keyCols := make([]string, len(key))
+			for i, k := range key {
+				keyCols[i] = atom.Alias + "." + k
+			}
+			node := &kba.IndexRange{
+				Index: name, Alias: atom.Alias,
+				ValAttr: valCol, KeyAttrs: keyCols,
+			}
+			if lo != nil {
+				a := lo.arg
+				node.Lo, node.LoIncl = &a, lo.incl
+			}
+			if hi != nil {
+				a := hi.arg
+				node.Hi, node.HiIncl = &a, hi.incl
+			}
+			f := &frag{
+				plan:  node,
+				attrs: append([]string{valCol}, keyCols...),
+				cols:  make(map[ra.ColRef]string),
+			}
+			f.cols[root] = valCol
+			for i, k := range key {
+				kroot := p.eq.Find(ra.ColRef{Alias: atom.Alias, Attr: k})
+				if _, ok := f.cols[kroot]; !ok {
+					f.cols[kroot] = keyCols[i]
+				}
+			}
+			f.rowEst = p.rangeRowEst(name, lo != nil && hi != nil)
+			p.frags = append(p.frags, f)
+			p.ranges = append(p.ranges, name)
+			p.indexed[atom.Alias] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Assumed matched fractions of the distinct-value space when no per-value
+// statistics exist — shape-only estimates, matching the template
+// discipline (a `?` bound must plan identically to any literal): a
+// two-sided range is assumed to match 1/8 of the entries, a one-sided
+// range 1/3.
+const (
+	rangeFracTwoSidedDiv = 8
+	rangeFracOneSidedDiv = 3
+)
+
+// rangeMatched estimates how many posting lists a range matches.
+func (p *planner) rangeMatched(name string, twoSided bool) (matched, avg int) {
+	entries, postings := p.c.Indexes.Shape(name)
+	if entries <= 0 {
+		return 0, 1
+	}
+	div := rangeFracOneSidedDiv
+	if twoSided {
+		div = rangeFracTwoSidedDiv
+	}
+	matched = (entries + div - 1) / div
+	avg = postings / entries
+	if avg < 1 {
+		avg = 1
+	}
+	return matched, avg
+}
+
+// rangeRowEst bounds the fragment rows an IndexRange is expected to emit.
+func (p *planner) rangeRowEst(name string, twoSided bool) int {
+	matched, avg := p.rangeMatched(name, twoSided)
+	return matched * avg
+}
+
+// rangeBeatsScan compares the range path — frac × entries posting-list
+// steps on the ordered walk plus one block get per matched posting —
+// against scanning the smallest covering instance, under the same 4×
+// get-vs-scan-step ratio as extendBeatsScan and indexBeatsScan. Without
+// statistics the bounded walk wins, matching the chase's preference for
+// targeted access.
+func (p *planner) rangeBeatsScan(atom ra.Atom, used []string, name string, twoSided bool) bool {
+	if p.c.Stats == nil {
+		return true
+	}
+	blocks := p.smallestCoveringBlocks(atom, used)
+	if blocks <= 0 {
+		return true // nothing to scan: the range walk is the only access path
+	}
+	matched, avg := p.rangeMatched(name, twoSided)
+	if matched <= 0 {
+		return true
+	}
+	probes := matched * (1 + avg)
 	return blocks > 4*probes
 }
 

@@ -15,6 +15,7 @@ type fakeCatalog struct {
 	rel, attr, name string
 	key             []string
 	avg             int
+	entries         int // distinct values; 0 defaults to 100
 }
 
 func (f *fakeCatalog) IndexOn(rel, attr string) (string, []string, bool) {
@@ -25,6 +26,14 @@ func (f *fakeCatalog) IndexOn(rel, attr string) (string, []string, bool) {
 }
 
 func (f *fakeCatalog) AvgPostings(string) int { return f.avg }
+
+func (f *fakeCatalog) Shape(string) (int, int) {
+	n := f.entries
+	if n == 0 {
+		n = 100
+	}
+	return n, n * f.avg
+}
 
 // fakeStats is a canned PlanStats with a fixed per-instance block count.
 type fakeStats struct{ blocks int }

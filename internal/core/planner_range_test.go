@@ -1,0 +1,210 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"zidian/internal/kba"
+	"zidian/internal/ra"
+	"zidian/internal/relation"
+)
+
+func findIndexRange(p kba.Plan) *kba.IndexRange {
+	if n, ok := p.(*kba.IndexRange); ok {
+		return n
+	}
+	for _, c := range p.Children() {
+		if r := findIndexRange(c); r != nil {
+			return r
+		}
+	}
+	return nil
+}
+
+// rangeCatalog: 1000 blocks, 250 distinct values × 4 postings — selective
+// enough that a two-sided range beats the scan (matched ≈ 250/8 = 32,
+// probes ≈ 32×5 = 160, 4×160 = 640 < 1000).
+func rangeFixture(t *testing.T) (*Checker, *fakeCatalog) {
+	t.Helper()
+	_, c := indexFixture(t)
+	cat := &fakeCatalog{rel: "ITEM", attr: "sku", name: "ix_sku", key: []string{"id"}, avg: 4, entries: 250}
+	c.WithStats(&fakeStats{blocks: 1000}).WithIndexes(cat)
+	return c, cat
+}
+
+func TestPlannerPicksIndexRange(t *testing.T) {
+	c, _ := rangeFixture(t)
+	db, _ := indexFixture(t)
+	q := ra.MustParse("select I.id, I.qty from ITEM I where I.sku between 'A' and 'B'", db)
+	info, err := c.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := findIndexRange(info.Root)
+	if r == nil {
+		t.Fatalf("plan has no IndexRange: %s", info.Root)
+	}
+	if r.Lo == nil || r.Hi == nil || !r.LoIncl || !r.HiIncl {
+		t.Fatalf("BETWEEN must become a closed two-sided range: %s", r)
+	}
+	if r.Lo.Lit.Str != "A" || r.Hi.Lit.Str != "B" {
+		t.Fatalf("bounds = %s", r)
+	}
+	if info.ScanFree {
+		t.Fatalf("range plan claimed scan-free (the posting walk is a bounded scan): %s", info.Root)
+	}
+	if len(info.Scans) != 0 {
+		t.Fatalf("range plan still scans an instance: %v", info.Scans)
+	}
+	if len(info.Ranges) != 1 || info.Ranges[0] != "ix_sku" {
+		t.Fatalf("info.Ranges = %v", info.Ranges)
+	}
+	// The residual selection must re-verify the range predicate.
+	if !strings.Contains(info.Root.String(), "I.sku>=") || !strings.Contains(info.Root.String(), "I.sku<=") {
+		t.Fatalf("residual range predicates missing: %s", info.Root)
+	}
+}
+
+// TestPlannerRangeOpenBounds: strict comparisons keep their open ends.
+func TestPlannerRangeOpenBounds(t *testing.T) {
+	c, _ := rangeFixture(t)
+	db, _ := indexFixture(t)
+	q := ra.MustParse("select I.id from ITEM I where I.sku > 'A' and I.sku < 'B'", db)
+	info, err := c.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := findIndexRange(info.Root)
+	if r == nil {
+		t.Fatalf("no IndexRange: %s", info.Root)
+	}
+	if r.LoIncl || r.HiIncl {
+		t.Fatalf("strict bounds must stay open: %s", r)
+	}
+}
+
+// TestPlannerRangeTightensLiteralBounds: redundant literal conjuncts
+// collapse to the strictest pair.
+func TestPlannerRangeTightensLiteralBounds(t *testing.T) {
+	c, _ := rangeFixture(t)
+	db, _ := indexFixture(t)
+	q := ra.MustParse(
+		"select I.id from ITEM I where I.sku >= 'A' and I.sku > 'C' and I.sku <= 'Z' and I.sku < 'X'", db)
+	info, err := c.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := findIndexRange(info.Root)
+	if r == nil {
+		t.Fatalf("no IndexRange: %s", info.Root)
+	}
+	if r.Lo.Lit.Str != "C" || r.LoIncl {
+		t.Fatalf("lower bound not tightened: %s", r)
+	}
+	if r.Hi.Lit.Str != "X" || r.HiIncl {
+		t.Fatalf("upper bound not tightened: %s", r)
+	}
+}
+
+// TestPlannerRangeTemplate: `?` bounds keep the same access path as
+// literals (shape-only decision) and carry slot args for Bind.
+func TestPlannerRangeTemplate(t *testing.T) {
+	c, _ := rangeFixture(t)
+	db, _ := indexFixture(t)
+	q := ra.MustParse("select I.id from ITEM I where I.sku between ? and ?", db)
+	info, err := c.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := findIndexRange(info.Root)
+	if r == nil {
+		t.Fatalf("template plan has no IndexRange: %s", info.Root)
+	}
+	if r.Lo == nil || !r.Lo.IsSlot || r.Lo.Slot != 0 || r.Hi == nil || !r.Hi.IsSlot || r.Hi.Slot != 1 {
+		t.Fatalf("template bounds = %s", r)
+	}
+	if !kba.HasParams(info.Root) {
+		t.Fatal("template not reported as parameterized")
+	}
+	bound, err := info.Bind([]relation.Value{relation.String("A"), relation.String("B")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := findIndexRange(bound.Root)
+	if br.Lo.IsSlot || br.Hi.IsSlot || br.Lo.Lit.Str != "A" || br.Hi.Lit.Str != "B" {
+		t.Fatalf("bound range = %s", br)
+	}
+	if kba.HasParams(bound.Root) {
+		t.Fatal("bound plan still parameterized")
+	}
+	// One-sided template.
+	q2 := ra.MustParse("select I.id from ITEM I where I.sku >= ?", db)
+	info2, err := c.Plan(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-sided ranges on this shape lose to the scan (matched ≈ 1/3 of the
+	// entries); the plan must fall back without error.
+	if findIndexRange(info2.Root) != nil {
+		t.Fatalf("one-sided range took the index against the cost model: %s", info2.Root)
+	}
+	if len(info2.Scans) != 1 {
+		t.Fatalf("expected scan fallback: %s", info2.Root)
+	}
+}
+
+// TestPlannerRangeCost: a small instance or a wide range keeps the scan.
+func TestPlannerRangeCost(t *testing.T) {
+	db, _ := indexFixture(t)
+	_, c := indexFixture(t)
+	// Tiny instance: matched ≈ 16/8 = 2 lists → probes = 2×(1+4) = 10, and
+	// 4×10 = 40 > 30 blocks, so the 4× ratio favours the scan.
+	c.WithStats(&fakeStats{blocks: 30}).
+		WithIndexes(&fakeCatalog{rel: "ITEM", attr: "sku", name: "ix_sku", key: []string{"id"}, avg: 4, entries: 16})
+	q := ra.MustParse("select I.id from ITEM I where I.sku between 'A' and 'B'", db)
+	info, err := c.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findIndexRange(info.Root) != nil {
+		t.Fatalf("range path taken against the cost model: %s", info.Root)
+	}
+	if len(info.Scans) != 1 {
+		t.Fatalf("expected scan plan: %s", info.Root)
+	}
+}
+
+// TestPlannerRangeNeedsAnchor: without a pk-keyed covering schema for the
+// posted block keys the range path is unusable.
+func TestPlannerRangeNeedsAnchor(t *testing.T) {
+	db, _ := indexFixture(t)
+	_, c := indexFixture(t)
+	c.WithStats(&fakeStats{blocks: 1000}).
+		WithIndexes(&fakeCatalog{rel: "ITEM", attr: "sku", name: "ix_sku", key: []string{"id", "qty"}, avg: 4, entries: 250})
+	q := ra.MustParse("select I.id from ITEM I where I.sku between 'A' and 'B'", db)
+	info, err := c.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findIndexRange(info.Root) != nil {
+		t.Fatalf("IndexRange planned without a matching anchor schema: %s", info.Root)
+	}
+}
+
+// TestPlannerRangeEqualityWins: an equality pin on the same attribute keeps
+// the IndexLookup path; the range conjunct stays residual.
+func TestPlannerRangeEqualityWins(t *testing.T) {
+	c, _ := rangeFixture(t)
+	db, _ := indexFixture(t)
+	q := ra.MustParse("select I.id from ITEM I where I.sku = 'A' and I.sku <= 'B'", db)
+	info, err := c.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findIndexRange(info.Root) != nil {
+		t.Fatalf("range path taken over the equality lookup: %s", info.Root)
+	}
+	if !hasIndexLookup(info.Root) {
+		t.Fatalf("equality pin lost the lookup path: %s", info.Root)
+	}
+}

@@ -65,8 +65,41 @@ type Stats struct {
 	Entries int
 	// Postings is the total number of (value, block key) pairs.
 	Postings int
-	// MaxPosting is the longest posting list seen.
+	// MaxPosting is the exact length of the longest posting list currently
+	// stored: it shrinks under deletes too, so the planner's boundedness
+	// check recovers after a heavy-delete workload instead of staying
+	// pessimistic on a stale ceiling.
 	MaxPosting int
+
+	// lens counts posting lists by length; maintenance moves one list
+	// between adjacent lengths per call, so MaxPosting retightens in
+	// amortized O(1) without ever rescanning the index.
+	lens map[int]int
+}
+
+// bump moves one posting list from length `from` to length `to` (zero
+// means the list does not exist on that side) and retightens MaxPosting.
+// The downward walk only revisits lengths an earlier growth walked up
+// through, so maintenance stays O(posting) amortized — draining a hot
+// value never rescans the index.
+func (st *Stats) bump(from, to int) {
+	if st.lens == nil {
+		st.lens = make(map[int]int)
+	}
+	if from > 0 {
+		if st.lens[from]--; st.lens[from] <= 0 {
+			delete(st.lens, from)
+		}
+	}
+	if to > 0 {
+		st.lens[to]++
+	}
+	if to > st.MaxPosting {
+		st.MaxPosting = to
+	}
+	for st.MaxPosting > 0 && st.lens[st.MaxPosting] == 0 {
+		st.MaxPosting--
+	}
 }
 
 // Manager is the secondary-index subsystem of one opened instance: the
@@ -179,9 +212,7 @@ func (m *Manager) Create(name, rel, attr string, schema *relation.Schema, tuples
 		m.cluster.Put(postingKey(d.id, valOf[vk]), joinPostings(lst))
 		st.Entries++
 		st.Postings += len(lst)
-		if len(lst) > st.MaxPosting {
-			st.MaxPosting = len(lst)
-		}
+		st.bump(0, len(lst))
 	}
 	m.cluster.Put(catalogKey(name), encodeCatalog(d))
 	m.defs[name] = d
@@ -256,9 +287,7 @@ func (m *Manager) maintain(rel string, t relation.Tuple, insert bool) error {
 			if len(grown) == 1 {
 				st.Entries++
 			}
-			if len(grown) > st.MaxPosting {
-				st.MaxPosting = len(grown)
-			}
+			st.bump(len(lst), len(grown))
 			continue
 		}
 		shrunk, removed := removePosting(lst, pk)
@@ -272,6 +301,7 @@ func (m *Manager) maintain(rel string, t relation.Tuple, insert bool) error {
 			m.cluster.Put(key, joinPostings(shrunk))
 		}
 		st.Postings--
+		st.bump(len(lst), len(shrunk))
 	}
 	return nil
 }
@@ -329,6 +359,91 @@ func (m *Manager) Lookup(name string, v relation.Value) ([]relation.Tuple, int, 
 	return out, 1, nil
 }
 
+// Range returns the postings of every indexed value within the bounds, as
+// parallel slices: vals[i] is the indexed value that posted block key
+// keys[i]. A nil lo (hi) leaves that side unbounded; loIncl/hiIncl select
+// closed or open ends. Postings are stored in encoded (memcmp) value order,
+// so the read is ONE ordered cluster walk bounded to the index prefix with
+// encoded-value fences — the engines seek to lo and stop past hi, visiting
+// only the posting lists the range matches, never the whole posting space.
+// Block keys are deduplicated and the result is sorted by (value, block
+// key) in encoded order, so callers see one deterministic merged posting
+// regardless of how the key space is sharded. scanned reports the number of
+// posting lists visited (the walk's scan steps).
+func (m *Manager) Range(name string, lo, hi *relation.Value, loIncl, hiIncl bool) (vals []relation.Value, keys []relation.Tuple, scanned int, err error) {
+	m.mu.RLock()
+	d, ok := m.defs[name]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, nil, 0, fmt.Errorf("index: unknown index %q", name)
+	}
+	pfx := prefix(d.id)
+	var loKey, hiKey []byte
+	if lo != nil {
+		loKey = postingKey(d.id, *lo)
+	}
+	if hi != nil {
+		hiKey = postingKey(d.id, *hi)
+	}
+	width := len(d.Key)
+	type entry struct {
+		ord string
+		val relation.Value
+		key relation.Tuple
+	}
+	var entries []entry
+	seen := make(map[string]bool)
+	var scanErr error
+	m.cluster.ScanRange(pfx, loKey, hiKey, func(k, v []byte) bool {
+		// Open bounds: the fences are inclusive at the byte level, so an
+		// excluded endpoint shows up as its exact posting key and is skipped.
+		if !loIncl && loKey != nil && bytes.Equal(k, loKey) {
+			return true
+		}
+		if !hiIncl && hiKey != nil && bytes.Equal(k, hiKey) {
+			return true
+		}
+		val, _, err := relation.DecodeValue(k[len(pfx):])
+		if err != nil {
+			scanErr = fmt.Errorf("index: %s: corrupt posting key: %v", name, err)
+			return false
+		}
+		lst, err := splitPostings(v, width)
+		if err != nil {
+			scanErr = fmt.Errorf("index: %s: %v", name, err)
+			return false
+		}
+		scanned++
+		for _, pk := range lst {
+			if seen[string(pk)] {
+				continue
+			}
+			seen[string(pk)] = true
+			t, _, err := relation.DecodeTuple(pk, width)
+			if err != nil {
+				scanErr = fmt.Errorf("index: %s: corrupt posting: %v", name, err)
+				return false
+			}
+			entries = append(entries, entry{ord: string(k[len(pfx):]) + string(pk), val: val, key: t})
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, nil, scanned, scanErr
+	}
+	// Nodes are walked one after another, each in key order; merge to one
+	// global (value, block key) order so results are deterministic across
+	// engine kinds and shard layouts.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ord < entries[j].ord })
+	vals = make([]relation.Value, len(entries))
+	keys = make([]relation.Tuple, len(entries))
+	for i, e := range entries {
+		vals[i] = e.val
+		keys[i] = e.key
+	}
+	return vals, keys, scanned, nil
+}
+
 // IndexOn reports the index covering rel(attr): its name and the block-key
 // attributes its postings hold. It implements the planner's catalog
 // interface (core.IndexCatalog).
@@ -356,6 +471,18 @@ func (m *Manager) AvgPostings(name string) int {
 		n = 1
 	}
 	return n
+}
+
+// Shape returns the entry and posting counts of the named index — the
+// planner's statistics for range-selectivity estimates (range fraction ×
+// average posting). It implements core.IndexCatalog.
+func (m *Manager) Shape(name string) (entries, postings int) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if st, ok := m.stats[name]; ok {
+		return st.Entries, st.Postings
+	}
+	return 0, 0
 }
 
 // MaxPostings returns the longest posting list of the named index; the
@@ -451,9 +578,7 @@ func (m *Manager) Load(rels map[string]*relation.Schema) error {
 			}
 			st.Entries++
 			st.Postings += len(lst)
-			if len(lst) > st.MaxPosting {
-				st.MaxPosting = len(lst)
-			}
+			st.bump(0, len(lst))
 			return true
 		})
 		if scanErr != nil {

@@ -226,3 +226,194 @@ func TestLoadRecoversCatalog(t *testing.T) {
 		t.Fatalf("ix_qty posting after churn = %v", ids)
 	}
 }
+
+// rangeIDs runs a Range over ix_sku-style indexes and flattens the posted
+// ids, checking vals/keys stay parallel.
+func rangeIDs(t *testing.T, m *Manager, name string, lo, hi *relation.Value, loIncl, hiIncl bool) []int64 {
+	t.Helper()
+	vals, keys, _, err := m.Range(name, lo, hi, loIncl, hiIncl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != len(keys) {
+		t.Fatalf("Range returned %d vals, %d keys", len(vals), len(keys))
+	}
+	out := make([]int64, len(keys))
+	for i, k := range keys {
+		out[i] = k[0].Int
+	}
+	return out
+}
+
+// TestRangeOrderedWalk checks the ordered posting walk on every engine
+// kind: bounds, inclusivity, unbounded sides, empty windows, and the
+// deterministic (value, key) output order.
+func TestRangeOrderedWalk(t *testing.T) {
+	for _, kind := range []kv.EngineKind{kv.EngineHash, kv.EngineLSM, kv.EngineSorted} {
+		t.Run(kind.String(), func(t *testing.T) {
+			c := kv.NewCluster(kind, 3)
+			m := NewManager(c)
+			if _, err := m.Create("ix_sku", "ITEM", "sku", itemSchema(t), itemTuples(40)); err != nil {
+				t.Fatal(err)
+			}
+			lo, hi := relation.String("S03"), relation.String("S05")
+
+			// Closed range: S03, S04, S05 → 12 ids, each id%10 in [3,5].
+			ids := rangeIDs(t, m, "ix_sku", &lo, &hi, true, true)
+			if len(ids) != 12 {
+				t.Fatalf("closed range ids = %v", ids)
+			}
+			for _, id := range ids {
+				if id%10 < 3 || id%10 > 5 {
+					t.Fatalf("id %d outside [S03, S05]", id)
+				}
+			}
+
+			// Scan cost is the number of matched posting lists, not the
+			// whole posting space.
+			c.ResetMetrics()
+			_, _, scanned, err := m.Range("ix_sku", &lo, &hi, true, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if scanned != 3 {
+				t.Fatalf("scanned %d posting lists, want 3", scanned)
+			}
+			if got := c.Metrics().ScanNexts; got != 3 {
+				t.Fatalf("cluster scan steps = %d, want 3 (bounded walk)", got)
+			}
+
+			// Open ends exclude their boundary value.
+			if ids := rangeIDs(t, m, "ix_sku", &lo, &hi, false, true); len(ids) != 8 {
+				t.Fatalf("(S03, S05] ids = %v", ids)
+			}
+			if ids := rangeIDs(t, m, "ix_sku", &lo, &hi, true, false); len(ids) != 8 {
+				t.Fatalf("[S03, S05) ids = %v", ids)
+			}
+			if ids := rangeIDs(t, m, "ix_sku", &lo, &hi, false, false); len(ids) != 4 {
+				t.Fatalf("(S03, S05) ids = %v", ids)
+			}
+
+			// Unbounded sides.
+			if ids := rangeIDs(t, m, "ix_sku", &lo, nil, true, true); len(ids) != 28 {
+				t.Fatalf("[S03, +inf) ids = %v", ids)
+			}
+			if ids := rangeIDs(t, m, "ix_sku", nil, &hi, true, true); len(ids) != 24 {
+				t.Fatalf("(-inf, S05] ids = %v", ids)
+			}
+			if ids := rangeIDs(t, m, "ix_sku", nil, nil, true, true); len(ids) != 40 {
+				t.Fatalf("full range ids = %v", ids)
+			}
+
+			// Empty windows: inverted bounds and a gap between values.
+			if ids := rangeIDs(t, m, "ix_sku", &hi, &lo, true, true); len(ids) != 0 {
+				t.Fatalf("inverted range ids = %v", ids)
+			}
+			gapLo, gapHi := relation.String("S03a"), relation.String("S03z")
+			if ids := rangeIDs(t, m, "ix_sku", &gapLo, &gapHi, true, true); len(ids) != 0 {
+				t.Fatalf("gap range ids = %v", ids)
+			}
+
+			// Output is merged into encoded (value, key) order regardless of
+			// sharding.
+			vals, keys, _, err := m.Range("ix_sku", &lo, &hi, true, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < len(vals); i++ {
+				if relation.Compare(vals[i-1], vals[i]) > 0 {
+					t.Fatalf("values out of order at %d: %v", i, vals)
+				}
+				if relation.Compare(vals[i-1], vals[i]) == 0 && keys[i-1][0].Int >= keys[i][0].Int {
+					t.Fatalf("keys out of order within value at %d", i)
+				}
+			}
+
+			if _, _, _, err := m.Range("nope", &lo, &hi, true, true); err == nil {
+				t.Fatal("Range on unknown index succeeded")
+			}
+		})
+	}
+}
+
+// TestRangeSeesMaintenance: postings added and removed by incremental
+// maintenance are visible to the ordered walk (including, on the sorted
+// engine, writes still sitting in the unmerged buffer).
+func TestRangeSeesMaintenance(t *testing.T) {
+	c := kv.NewCluster(kv.EngineSorted, 2)
+	m := NewManager(c)
+	if _, err := m.Create("ix_sku", "ITEM", "sku", itemSchema(t), itemTuples(20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert("ITEM", relation.Tuple{relation.Int(200), relation.String("S03x"), relation.Int(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete("ITEM", relation.Tuple{relation.Int(4), relation.String("S04"), relation.Int(4)}); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := relation.String("S03"), relation.String("S04")
+	ids := rangeIDs(t, m, "ix_sku", &lo, &hi, true, true)
+	// S03: {3, 13}, S03x: {200}, S04: {14} (4 deleted).
+	want := map[int64]bool{3: true, 13: true, 200: true, 14: true}
+	if len(ids) != len(want) {
+		t.Fatalf("ids after maintenance = %v", ids)
+	}
+	for _, id := range ids {
+		if !want[id] {
+			t.Fatalf("unexpected id %d in %v", id, ids)
+		}
+	}
+}
+
+// TestMaxPostingDecay: the delete path must shrink MaxPosting once the
+// longest list shrinks, so the planner's boundedness check recovers after a
+// heavy-delete workload (pre-fix, MaxPosting only ever grew).
+func TestMaxPostingDecay(t *testing.T) {
+	c := kv.NewCluster(kv.EngineHash, 2)
+	m := NewManager(c)
+	schema := itemSchema(t)
+	// One hot value with 30 postings, nine values with 1 each.
+	var tuples []relation.Tuple
+	for i := 0; i < 30; i++ {
+		tuples = append(tuples, relation.Tuple{relation.Int(int64(i)), relation.String("HOT"), relation.Int(0)})
+	}
+	for i := 0; i < 9; i++ {
+		tuples = append(tuples, relation.Tuple{relation.Int(int64(100 + i)), relation.String(fmt.Sprintf("C%d", i)), relation.Int(0)})
+	}
+	if _, err := m.Create("ix_sku", "ITEM", "sku", schema, tuples); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MaxPostings("ix_sku"); got != 30 {
+		t.Fatalf("MaxPostings = %d, want 30", got)
+	}
+	// Drain the hot value down to 2 postings.
+	for i := 0; i < 28; i++ {
+		if err := m.Delete("ITEM", relation.Tuple{relation.Int(int64(i)), relation.String("HOT"), relation.Int(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.MaxPostings("ix_sku"); got != 2 {
+		t.Fatalf("MaxPostings after drain = %d, want 2 (stale ceiling not recomputed)", got)
+	}
+	st, _ := m.StatsOf("ix_sku")
+	if st.Entries != 10 || st.Postings != 11 {
+		t.Fatalf("stats after drain = %+v", st)
+	}
+	// Growth after decay re-raises it.
+	for i := 0; i < 3; i++ {
+		if err := m.Insert("ITEM", relation.Tuple{relation.Int(int64(300 + i)), relation.String("C0"), relation.Int(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.MaxPostings("ix_sku"); got != 4 {
+		t.Fatalf("MaxPostings after regrowth = %d, want 4", got)
+	}
+	// Deleting a non-longest list must not trigger a recompute visible as a
+	// wrong maximum.
+	if err := m.Delete("ITEM", relation.Tuple{relation.Int(101), relation.String("C1"), relation.Int(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MaxPostings("ix_sku"); got != 4 {
+		t.Fatalf("MaxPostings after unrelated delete = %d, want 4", got)
+	}
+}

@@ -53,6 +53,30 @@ func Bind(p Plan, params []relation.Value) (Plan, error) {
 		out.Args = nil
 		out.Values = dedupeValues(vals)
 		return &out, nil
+	case *IndexRange:
+		if !n.hasSlots() {
+			return n, nil
+		}
+		out := *n
+		resolveBound := func(a *Arg) (*Arg, error) {
+			if a == nil || !a.IsSlot {
+				return a, nil
+			}
+			v, err := a.Resolve(params)
+			if err != nil {
+				return nil, err
+			}
+			lit := LitArg(v)
+			return &lit, nil
+		}
+		var err error
+		if out.Lo, err = resolveBound(n.Lo); err != nil {
+			return nil, err
+		}
+		if out.Hi, err = resolveBound(n.Hi); err != nil {
+			return nil, err
+		}
+		return &out, nil
 	case *Select:
 		in, err := Bind(n.Input, params)
 		if err != nil {
@@ -204,6 +228,10 @@ func HasParams(p Plan) bool {
 		}
 	case *IndexLookup:
 		if len(n.Args) > 0 {
+			return true
+		}
+	case *IndexRange:
+		if n.hasSlots() {
 			return true
 		}
 	case *Select:

@@ -16,7 +16,7 @@ type ExecStats struct {
 	Gets       int64 // get invocations against the BaaV store
 	Blocks     int64 // keyed blocks fetched (hits)
 	DataValues int64 // values accessed (block rows × width, plus keys)
-	ScanBlocks int64 // blocks visited by ScanKV / StatsAgg leaves
+	ScanBlocks int64 // blocks visited by ScanKV / StatsAgg leaves, posting lists by IndexRange walks
 	BytesRead  int64 // accounting size of all fetched data
 }
 
@@ -49,6 +49,8 @@ func (e *Executor) Run(p Plan) (*KeyedRel, error) {
 		return e.runScan(n)
 	case *IndexLookup:
 		return e.runIndexLookup(n)
+	case *IndexRange:
+		return e.runIndexRange(n)
 	case *Extend:
 		return e.runExtend(n)
 	case *Shift:
@@ -144,6 +146,53 @@ func (e *Executor) runIndexLookup(n *IndexLookup) (*KeyedRel, error) {
 			e.Stats.BytesRead += int64(row.SizeBytes())
 			out.Blocks = append(out.Blocks, KeyedBlock{Key: row, Rows: []relation.Tuple{{}}})
 		}
+	}
+	return out, nil
+}
+
+// RangeBounds resolves an IndexRange node's bound Args into the values the
+// index walk takes; shared by both executors. It fails on unresolved slots.
+func RangeBounds(n *IndexRange) (lo, hi *relation.Value, err error) {
+	resolve := func(a *Arg) (*relation.Value, error) {
+		if a == nil {
+			return nil, nil
+		}
+		if a.IsSlot {
+			return nil, fmt.Errorf("kba: plan template has unbound parameters (call Bind before executing)")
+		}
+		v := a.Lit
+		return &v, nil
+	}
+	if lo, err = resolve(n.Lo); err != nil {
+		return nil, nil, err
+	}
+	hi, err = resolve(n.Hi)
+	return lo, hi, err
+}
+
+func (e *Executor) runIndexRange(n *IndexRange) (*KeyedRel, error) {
+	lo, hi, err := RangeBounds(n)
+	if err != nil {
+		return nil, err
+	}
+	if e.Store.Index == nil {
+		return nil, fmt.Errorf("kba: plan uses index %q but the store has no index catalog", n.Index)
+	}
+	vals, keys, scanned, err := e.Store.Index.Range(n.Index, lo, hi, n.LoIncl, n.HiIncl)
+	if err != nil {
+		return nil, err
+	}
+	e.Stats.ScanBlocks += int64(scanned)
+	out := &KeyedRel{KeyAttrs: append([]string{n.ValAttr}, n.KeyAttrs...)}
+	for i, k := range keys {
+		if len(k) != len(n.KeyAttrs) {
+			return nil, fmt.Errorf("kba: index %q posts %d key attributes, plan expects %d",
+				n.Index, len(k), len(n.KeyAttrs))
+		}
+		row := relation.Tuple{vals[i]}.Concat(k)
+		e.Stats.DataValues += int64(len(row))
+		e.Stats.BytesRead += int64(row.SizeBytes())
+		out.Blocks = append(out.Blocks, KeyedBlock{Key: row, Rows: []relation.Tuple{{}}})
 	}
 	return out, nil
 }

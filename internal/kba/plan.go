@@ -161,6 +161,62 @@ func (l *IndexLookup) String() string {
 	return fmt.Sprintf("IndexLookup[%s=%s as %s]", l.Index, strings.Join(parts, "|"), l.Alias)
 }
 
+// IndexRange is the ordered-posting-scan access path for range predicates:
+// it walks the parameter index's posting key space between the Lo and Hi
+// bounds — one bounded ordered cluster scan, since postings are stored in
+// encoded value order — and emits one row (value, block key) per posting in
+// the range. Like IndexLookup, its output feeds ∝ on a KV schema keyed by
+// the posted block keys, so a selective range fetches exactly the blocks it
+// matches instead of scanning the instance. Unlike Const and IndexLookup it
+// is not a get-only leaf: the posting walk is a (bounded) scan, so plans
+// containing it are not scan-free in the paper's strict sense.
+type IndexRange struct {
+	// Index names the secondary index (a catalog name, not a KV schema).
+	Index string
+	// Alias is the query alias whose tuples the range locates.
+	Alias string
+	// ValAttr is the output column carrying the matched value, under a
+	// synthetic "$idx." name (see IndexLookup.ValAttr).
+	ValAttr string
+	// KeyAttrs are the alias-qualified output columns of the posted block
+	// keys, in the index's declared key order.
+	KeyAttrs []string
+	// Lo and Hi bound the walk; a nil side is unbounded. In a plan template
+	// a bound may be a parameter slot, resolved by Bind; a node whose bound
+	// still holds a slot is not executable.
+	Lo, Hi *Arg
+	// LoIncl and HiIncl select closed (<=) or open (<) ends.
+	LoIncl, HiIncl bool
+}
+
+// Children implements Plan.
+func (r *IndexRange) Children() []Plan { return nil }
+
+// hasSlots reports whether a bound still references a parameter slot.
+func (r *IndexRange) hasSlots() bool {
+	return (r.Lo != nil && r.Lo.IsSlot) || (r.Hi != nil && r.Hi.IsSlot)
+}
+
+// String renders the node with interval notation: closed/open brackets for
+// inclusive/exclusive bounds, -∞/+∞ for unbounded sides.
+func (r *IndexRange) String() string {
+	lo, lob := "-∞", "("
+	if r.Lo != nil {
+		lo = r.Lo.String()
+		if r.LoIncl {
+			lob = "["
+		}
+	}
+	hi, hib := "+∞", ")"
+	if r.Hi != nil {
+		hi = r.Hi.String()
+		if r.HiIncl {
+			hib = "]"
+		}
+	}
+	return fmt.Sprintf("IndexRange[%s∈%s%s, %s%s as %s]", r.Index, lob, lo, hi, hib, r.Alias)
+}
+
 // Shift is the shift operator ↑: it re-keys the input instance on NewKey.
 type Shift struct {
 	Input  Plan
@@ -336,10 +392,12 @@ func (d *Distinct) String() string { return fmt.Sprintf("δ(%s)", d.Input) }
 
 // IsScanFree reports whether the plan is scan-free over its BaaV schema:
 // every leaf is a constant (Section 4.2). Extend parameters do not count as
-// leaves.
+// leaves. An IndexRange leaf is a bounded ordered scan of the posting key
+// space — far cheaper than an instance scan, but still a scan, so plans
+// containing one are not scan-free.
 func IsScanFree(p Plan) bool {
 	switch p.(type) {
-	case *ScanKV, *StatsAgg:
+	case *ScanKV, *StatsAgg, *IndexRange:
 		return false
 	}
 	for _, c := range p.Children() {

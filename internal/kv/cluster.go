@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"bytes"
 	"hash/fnv"
 	"sync"
 )
@@ -124,6 +125,63 @@ func (c *Cluster) Scan(prefix []byte, fn func(key, value []byte) bool) {
 			return
 		}
 	}
+}
+
+// ScanRange visits every pair whose key k satisfies the window — k starts
+// with prefix, lo <= k (when lo is non-nil) and k <= hi (when hi is
+// non-nil), all bytewise — node by node in ascending key order within each
+// node, until fn returns false. Keys below the window are never touched
+// (the engines seek), and each node's walk stops at the window's upper
+// fence without aborting the other nodes, so a posting-range lookup over a
+// hash-sharded key space costs O(matching pairs) scan steps, not
+// O(key space). Every visited pair counts as one scan step.
+func (c *Cluster) ScanRange(prefix, lo, hi []byte, fn func(key, value []byte) bool) {
+	start := prefix
+	if bytes.Compare(lo, prefix) > 0 {
+		start = lo
+	}
+	// An open upper side still gets a byte fence — the prefix successor —
+	// so engines that snapshot their window (the LSM merge-on-scan) stay
+	// bounded by the prefix instead of materializing the key-space tail.
+	// The fence key itself lies outside the prefix; the HasPrefix check
+	// below rejects it before it is counted or visited.
+	if hi == nil {
+		hi = prefixSuccessor(prefix)
+	}
+	for _, n := range c.nodes {
+		stop := false
+		unlock := n.lockScan()
+		n.eng.ScanRange(start, hi, func(k, v []byte) bool {
+			if !bytes.HasPrefix(k, prefix) {
+				return false // past the prefix on this node; next node
+			}
+			n.metrics.countScanNext(len(v))
+			if !fn(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		unlock()
+		if stop {
+			return
+		}
+	}
+}
+
+// prefixSuccessor returns the smallest byte string greater than every key
+// carrying the prefix, or nil (unbounded) when no such string exists (the
+// prefix is empty or all 0xFF).
+func prefixSuccessor(prefix []byte) []byte {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xFF {
+			out := make([]byte, i+1)
+			copy(out, prefix[:i+1])
+			out[i]++
+			return out
+		}
+	}
+	return nil
 }
 
 // ScanNode visits pairs with the prefix on one node only; parallel scan

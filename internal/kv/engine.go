@@ -18,6 +18,12 @@ type Engine interface {
 	// Scan visits pairs whose key starts with prefix, in ascending key
 	// order, until fn returns false. An empty prefix visits everything.
 	Scan(prefix []byte, fn func(key, value []byte) bool)
+	// ScanRange visits pairs with from <= key <= to (bytewise), in ascending
+	// key order, until fn returns false. A nil from starts at the first key;
+	// a nil to runs to the last. The bounded seek is what makes ordered
+	// posting-range walks cost O(range), not O(instance): keys below from are
+	// never visited. ScanRange obeys the same ReadOnlyScan contract as Scan.
+	ScanRange(from, to []byte, fn func(key, value []byte) bool)
 	// Len returns the number of stored pairs.
 	Len() int
 	// SizeBytes returns the total payload size (keys + values).
@@ -149,15 +155,24 @@ func (e *hashEngine) Delete(key []byte) bool {
 }
 
 func (e *hashEngine) Scan(prefix []byte, fn func(key, value []byte) bool) {
-	p := string(prefix)
+	e.ScanRange(prefix, nil, func(k, v []byte) bool {
+		if !bytes.HasPrefix(k, prefix) {
+			return false
+		}
+		return fn(k, v)
+	})
+}
+
+func (e *hashEngine) ScanRange(from, to []byte, fn func(key, value []byte) bool) {
+	f := string(from)
 	var pend []string
 	if len(e.pending) > 0 {
 		pend = append([]string{}, e.pending...)
 		sort.Strings(pend)
-		j := sort.SearchStrings(pend, p)
+		j := sort.SearchStrings(pend, f)
 		pend = pend[j:]
 	}
-	i := sort.SearchStrings(e.keys, p)
+	i := sort.SearchStrings(e.keys, f)
 	for i < len(e.keys) || len(pend) > 0 {
 		var k string
 		if len(pend) == 0 || (i < len(e.keys) && e.keys[i] < pend[0]) {
@@ -167,7 +182,7 @@ func (e *hashEngine) Scan(prefix []byte, fn func(key, value []byte) bool) {
 			k = pend[0]
 			pend = pend[1:]
 		}
-		if !bytes.HasPrefix([]byte(k), prefix) {
+		if to != nil && k > string(to) {
 			return
 		}
 		if !fn([]byte(k), e.m[k]) {

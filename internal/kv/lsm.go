@@ -128,21 +128,41 @@ func (e *lsmEngine) compact() {
 
 // Scan merges the memtable and all runs, newest version wins.
 func (e *lsmEngine) Scan(prefix []byte, fn func(key, value []byte) bool) {
-	// Small engine sizes make a merge-on-scan snapshot acceptable; real
-	// LSM trees stream a k-way merge instead.
+	e.scanMerged(prefix, prefix, nil, fn)
+}
+
+// ScanRange is the bounded ordered walk: the snapshot covers only the
+// [from, to] key window, so the cost is proportional to the range, not the
+// engine.
+func (e *lsmEngine) ScanRange(from, to []byte, fn func(key, value []byte) bool) {
+	e.scanMerged(from, nil, to, fn)
+}
+
+// scanMerged builds a merge-on-scan snapshot of the keys at or above seek
+// that satisfy the (prefix, to) window and streams it in ascending order,
+// newest version winning. Small engine sizes make the snapshot acceptable;
+// real LSM trees stream a k-way merge instead. Shared by prefix scans
+// (prefix set, to nil) and bounded range scans (prefix nil, to set).
+func (e *lsmEngine) scanMerged(seek, prefix, to []byte, fn func(key, value []byte) bool) {
+	keep := func(k string) bool {
+		if prefix != nil && !bytes.HasPrefix([]byte(k), prefix) {
+			return false
+		}
+		return to == nil || k <= string(to)
+	}
+	s := string(seek)
 	merged := make(map[string][]byte)
-	p := string(prefix)
 	for _, r := range e.runs {
-		i := sort.SearchStrings(r.keys, p)
+		i := sort.SearchStrings(r.keys, s)
 		for ; i < len(r.keys); i++ {
-			if !bytes.HasPrefix([]byte(r.keys[i]), prefix) {
+			if !keep(r.keys[i]) {
 				break
 			}
 			merged[r.keys[i]] = r.vals[i]
 		}
 	}
 	for k, v := range e.mem {
-		if bytes.HasPrefix([]byte(k), prefix) {
+		if k >= s && keep(k) {
 			merged[k] = v
 		}
 	}

@@ -1,0 +1,126 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestEngineScanRange checks the bounded ordered walk on every engine kind:
+// inclusive byte bounds, seeks that skip keys below the window, and
+// visibility of unmerged writes (the sorted engine's buffer, the LSM
+// memtable).
+func TestEngineScanRange(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			e := NewEngine(kind)
+			for i := 0; i < 100; i++ {
+				e.Put([]byte(fmt.Sprintf("k%03d", i)), []byte{byte(i)})
+			}
+			var got []string
+			e.ScanRange([]byte("k010"), []byte("k015"), func(k, _ []byte) bool {
+				got = append(got, string(k))
+				return true
+			})
+			want := []string{"k010", "k011", "k012", "k013", "k014", "k015"}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("ScanRange = %v, want %v", got, want)
+			}
+
+			// Open-ended bounds.
+			got = nil
+			e.ScanRange([]byte("k097"), nil, func(k, _ []byte) bool {
+				got = append(got, string(k))
+				return true
+			})
+			if !reflect.DeepEqual(got, []string{"k097", "k098", "k099"}) {
+				t.Fatalf("open-hi ScanRange = %v", got)
+			}
+			got = nil
+			e.ScanRange(nil, []byte("k001"), func(k, _ []byte) bool {
+				got = append(got, string(k))
+				return true
+			})
+			if !reflect.DeepEqual(got, []string{"k000", "k001"}) {
+				t.Fatalf("open-lo ScanRange = %v", got)
+			}
+
+			// A fresh unmerged write inside the window must be visible.
+			e.Put([]byte("k012x"), []byte("new"))
+			e.Delete([]byte("k013"))
+			got = nil
+			e.ScanRange([]byte("k012"), []byte("k014"), func(k, _ []byte) bool {
+				got = append(got, string(k))
+				return true
+			})
+			if !reflect.DeepEqual(got, []string{"k012", "k012x", "k014"}) {
+				t.Fatalf("post-write ScanRange = %v", got)
+			}
+
+			// Early stop.
+			n := 0
+			e.ScanRange(nil, nil, func(_, _ []byte) bool {
+				n++
+				return n < 3
+			})
+			if n != 3 {
+				t.Fatalf("early stop visited %d", n)
+			}
+		})
+	}
+}
+
+// TestClusterScanRange checks that the cluster walk visits only in-window
+// pairs across all nodes (hash sharding spreads the range), counts exactly
+// one scan step per visited pair, and stops per node at the upper fence.
+func TestClusterScanRange(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			c := NewCluster(kind, 4)
+			prefix := []byte("p:")
+			for i := 0; i < 200; i++ {
+				c.Put([]byte(fmt.Sprintf("p:%03d", i)), []byte{1})
+				c.Put([]byte(fmt.Sprintf("q:%03d", i)), []byte{2}) // outside prefix
+			}
+			c.ResetMetrics()
+			seen := make(map[string]bool)
+			c.ScanRange(prefix, []byte("p:050"), []byte("p:059"), func(k, _ []byte) bool {
+				seen[string(k)] = true
+				return true
+			})
+			if len(seen) != 10 {
+				t.Fatalf("visited %d keys, want 10: %v", len(seen), seen)
+			}
+			for i := 50; i < 60; i++ {
+				if !seen[fmt.Sprintf("p:%03d", i)] {
+					t.Fatalf("missing p:%03d", i)
+				}
+			}
+			if m := c.Metrics(); m.ScanNexts != 10 {
+				t.Fatalf("scan steps = %d, want 10 (bounded walk must skip out-of-range keys)", m.ScanNexts)
+			}
+
+			// Open upper side: the walk is fenced by the prefix successor,
+			// so it covers the prefix tail but never the q: key space.
+			c.ResetMetrics()
+			n := 0
+			c.ScanRange(prefix, []byte("p:190"), nil, func(k, _ []byte) bool {
+				if !bytes.HasPrefix(k, prefix) {
+					t.Fatalf("open-hi walk escaped the prefix: %q", k)
+				}
+				n++
+				return true
+			})
+			if n != 10 {
+				t.Fatalf("open-hi walk visited %d keys, want 10", n)
+			}
+			if succ := prefixSuccessor([]byte{0xFF, 0xFF}); succ != nil {
+				t.Fatalf("prefixSuccessor(FF FF) = %x, want nil", succ)
+			}
+			if succ := prefixSuccessor([]byte{0x01, 0xFF}); !bytes.Equal(succ, []byte{0x02}) {
+				t.Fatalf("prefixSuccessor(01 FF) = %x, want 02", succ)
+			}
+		})
+	}
+}

@@ -113,14 +113,31 @@ func (e *sortedEngine) merge() {
 // cluster runs scans under the shared lock.
 func (e *sortedEngine) Scan(prefix []byte, fn func(key, value []byte) bool) {
 	p := string(prefix)
+	e.overlayScan(p,
+		func(k string) bool { return strings.HasPrefix(k, p) },
+		fn)
+}
+
+// ScanRange is the bounded ordered walk over [from, to]: the same read-only
+// buffer overlay as Scan, seeked to from and stopped past to, so buffered
+// but unmerged writes inside the range are visible without folding.
+func (e *sortedEngine) ScanRange(from, to []byte, fn func(key, value []byte) bool) {
+	e.overlayScan(string(from),
+		func(k string) bool { return to == nil || k <= string(to) },
+		fn)
+}
+
+// overlayScan merges the sorted array and the write buffer from the seek
+// position, visiting keys while within reports true.
+func (e *sortedEngine) overlayScan(seek string, within func(string) bool, fn func(key, value []byte) bool) {
 	var bufKeys []string
 	for k := range e.buf {
-		if strings.HasPrefix(k, p) {
+		if k >= seek && within(k) {
 			bufKeys = append(bufKeys, k)
 		}
 	}
 	sort.Strings(bufKeys)
-	i := sort.SearchStrings(e.keys, p)
+	i := sort.SearchStrings(e.keys, seek)
 	for i < len(e.keys) || len(bufKeys) > 0 {
 		fromSorted := len(bufKeys) == 0 ||
 			(i < len(e.keys) && e.keys[i] < bufKeys[0])
@@ -133,7 +150,7 @@ func (e *sortedEngine) Scan(prefix []byte, fn func(key, value []byte) bool) {
 			}
 			k, v = e.keys[i], e.vals[i]
 			i++
-			if !strings.HasPrefix(k, p) {
+			if !within(k) {
 				return
 			}
 		default:

@@ -110,6 +110,7 @@ func (q *Query) tryRemoveAtom(alias string) (*Query, bool) {
 		Distinct:   q.Distinct,
 		OrderBy:    q.OrderBy,
 		Limit:      q.Limit,
+		LimitParam: q.LimitParam,
 		NumParams:  q.NumParams,
 		ParamKinds: q.ParamKinds,
 	}

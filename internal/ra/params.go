@@ -32,6 +32,25 @@ func CheckParams(params []relation.Value, numParams int, kinds []relation.Kind) 
 	return out, nil
 }
 
+// LimitOf resolves the query's effective LIMIT under already-checked bound
+// values: the literal limit when no LIMIT ? slot exists, otherwise the
+// slot's value, which must be a non-negative integer (CheckParams has
+// coerced numerics to the slot's int kind by the time this runs).
+func (q *Query) LimitOf(vals []relation.Value) (int, error) {
+	if q.LimitParam == nil {
+		return q.Limit, nil
+	}
+	slot := *q.LimitParam
+	if slot < 0 || slot >= len(vals) {
+		return 0, fmt.Errorf("ra: LIMIT parameter slot %d out of range (have %d)", slot, len(vals))
+	}
+	v := vals[slot]
+	if v.Kind != relation.KindInt || v.Int < 0 {
+		return 0, fmt.Errorf("ra: LIMIT parameter must be a non-negative integer, got %s", v)
+	}
+	return int(v.Int), nil
+}
+
 // BindParams substitutes bound values into a template query, returning an
 // equivalent literal-only query: col = ? becomes a constant equality, `?`
 // IN elements become literal elements, and `?` filter bounds become literal
@@ -49,6 +68,14 @@ func (q *Query) BindParams(params []relation.Value) (*Query, error) {
 	out := *q
 	out.NumParams = 0
 	out.ParamKinds = nil
+	if q.LimitParam != nil {
+		n, err := q.LimitOf(vals)
+		if err != nil {
+			return nil, err
+		}
+		out.Limit = n
+		out.LimitParam = nil
+	}
 	out.EqParams = nil
 	out.EqConsts = append([]ConstEq{}, q.EqConsts...)
 	for _, pe := range q.EqParams {

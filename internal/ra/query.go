@@ -92,6 +92,11 @@ type Query struct {
 	Distinct bool
 	OrderBy  []OrderKey
 	Limit    int // -1 when absent
+	// LimitParam is the placeholder slot of a LIMIT ? clause (nil for a
+	// literal or absent limit). The slot's expected kind is int and the
+	// bound value must be non-negative; it shapes only the answer cut, so
+	// the plan template is independent of it.
+	LimitParam *int
 	// NumParams counts the `?` placeholders; a query with NumParams > 0 is a
 	// template and must be bound (plan-level Bind, or BindParams here) with
 	// exactly that many values before execution.
@@ -168,6 +173,13 @@ func Bind(ast *sql.Query, db *relation.Database) (*Query, error) {
 	if q.NumParams > 0 {
 		q.ParamKinds = make([]relation.Kind, q.NumParams)
 	}
+	if ast.LimitParam != nil {
+		slot := ast.LimitParam.Index
+		q.LimitParam = &slot
+		if slot >= 0 && slot < len(q.ParamKinds) {
+			q.ParamKinds[slot] = relation.KindInt
+		}
+	}
 	// kindOf returns the declared kind of a bound column, for param slot
 	// type expectations.
 	kindOf := func(c ColRef) relation.Kind {
@@ -185,6 +197,21 @@ func Bind(ast *sql.Query, db *relation.Database) (*Query, error) {
 			q.ParamKinds[slot] = kindOf(c)
 		}
 	}
+	// coerceLit aligns a predicate literal with its column's declared kind
+	// when the conversion is lossless (44.0 over an int column becomes the
+	// int 44), mirroring what CheckParams does for `?` bindings. Compare
+	// treats numeric kinds uniformly, so this never changes a predicate's
+	// truth value — but key-encoded access paths (constant ∝ probes, index
+	// postings, posting-range fences) partition by kind tag, and only a
+	// kind-aligned literal finds the stored keys. Lossy mixes (44.5 over an
+	// int column) stay as written: equality on them is unsatisfiable either
+	// way, and the planner's range path rounds its fences separately.
+	coerceLit := func(c ColRef, v relation.Value) relation.Value {
+		if cv, err := relation.CoerceKind(v, kindOf(c)); err == nil {
+			return cv
+		}
+		return v
+	}
 
 	// WHERE clause: classify conjuncts.
 	for _, p := range ast.Where {
@@ -199,11 +226,14 @@ func Bind(ast *sql.Query, db *relation.Database) (*Query, error) {
 			}
 			switch {
 			case len(p.InParams) == 0 && len(p.In) == 1:
-				q.EqConsts = append(q.EqConsts, ConstEq{Col: left, Val: p.In[0]})
+				q.EqConsts = append(q.EqConsts, ConstEq{Col: left, Val: coerceLit(left, p.In[0])})
 			case len(p.In) == 0 && len(p.InParams) == 1:
 				q.EqParams = append(q.EqParams, ParamEq{Col: left, Slot: p.InParams[0].Index})
 			default:
-				in := InPred{Col: left, Vals: p.In}
+				in := InPred{Col: left}
+				for _, v := range p.In {
+					in.Vals = append(in.Vals, coerceLit(left, v))
+				}
 				for _, pr := range p.InParams {
 					in.Slots = append(in.Slots, pr.Index)
 				}
@@ -213,7 +243,7 @@ func Bind(ast *sql.Query, db *relation.Database) (*Query, error) {
 			expectKind(p.Param.Index, left)
 			q.EqParams = append(q.EqParams, ParamEq{Col: left, Slot: p.Param.Index})
 		case p.Op == sql.OpEq && p.Lit != nil:
-			q.EqConsts = append(q.EqConsts, ConstEq{Col: left, Val: *p.Lit})
+			q.EqConsts = append(q.EqConsts, ConstEq{Col: left, Val: coerceLit(left, *p.Lit)})
 		case p.Op == sql.OpEq && p.Right != nil:
 			right, err := resolve(*p.Right)
 			if err != nil {
@@ -225,7 +255,7 @@ func Bind(ast *sql.Query, db *relation.Database) (*Query, error) {
 			slot := p.Param.Index
 			q.Filters = append(q.Filters, Filter{Col: left, Op: p.Op, Param: &slot})
 		case p.Lit != nil:
-			lit := *p.Lit
+			lit := coerceLit(left, *p.Lit)
 			q.Filters = append(q.Filters, Filter{Col: left, Op: p.Op, Lit: &lit})
 		case p.Right != nil:
 			right, err := resolve(*p.Right)

@@ -29,15 +29,44 @@ type Template struct {
 	Name    string
 	Format  string
 	Strings []string
+	// Verbs is the number of %d verbs in Format (default 1). Multi-verb
+	// templates drive range predicates: each request draws one base value
+	// and derives the following verbs from it (base + Span), so a
+	// two-verb BETWEEN template produces a window of fixed width at a
+	// random position.
+	Verbs int
+	// Base offsets drawn numeric values into the template's active domain
+	// (e.g. model years start at 1995, not 0).
+	Base int
+	// Span is the width added per subsequent verb of a multi-verb template.
+	Span int
 }
 
-// ParamSQL returns the template's `?` form: the single literal verb
-// (quoted %s or bare %d) replaced by a placeholder.
+// verbs returns the effective verb count.
+func (t Template) verbs() int {
+	if t.Verbs < 1 {
+		return 1
+	}
+	return t.Verbs
+}
+
+// args derives the request's verb values from one drawn base value.
+func (t Template) args(base int) []any {
+	out := make([]any, t.verbs())
+	out[0] = base
+	for i := 1; i < len(out); i++ {
+		out[i] = base + i*t.Span
+	}
+	return out
+}
+
+// ParamSQL returns the template's `?` form: every literal verb (quoted %s
+// or bare %d) replaced by a placeholder.
 func (t Template) ParamSQL() string {
 	if len(t.Strings) > 0 {
 		return strings.Replace(t.Format, "'%s'", "?", 1)
 	}
-	return strings.Replace(t.Format, "%d", "?", 1)
+	return strings.ReplaceAll(t.Format, "%d", "?")
 }
 
 // Parameter pools for the templates, mirroring the generators' active
@@ -116,12 +145,48 @@ func nonKeyTemplates(workload string) ([]Template, []string, error) {
 	}
 }
 
+// rangeTemplates returns the range-predicate suite for a workload: each
+// template is a two-sided BETWEEN window over an indexed non-key attribute,
+// served by the IndexRange ordered-posting-scan access path, together with
+// the CREATE INDEX statements the windows rely on. Every request draws a
+// fresh window position, and with Options.Parameterized both bounds travel
+// as wire parameters so one plan-cache template serves every window.
+func rangeTemplates(workload string) ([]Template, []string, error) {
+	// The selected output attributes deliberately include one column only
+	// the relation's pk-keyed full instance covers (color, lane, taxi_out):
+	// a narrower non-pk instance covering the whole query would make the
+	// planner's cost model — correctly — prefer scanning it over walking
+	// the posting range.
+	switch workload {
+	case "mot":
+		return []Template{
+				{Name: "year_band", Verbs: 2, Base: 1995, Span: 2,
+					Format: "select V.vehicle_id, V.color, V.fuel from VEHICLE V where V.year between %d and %d"},
+				{Name: "speed_band", Verbs: 2, Base: 20, Span: 5,
+					Format: "select O.obs_id, O.direction, O.lane from OBSERVATION O where O.speed between %d and %d"},
+			}, []string{
+				"create index ix_vehicle_year on VEHICLE(year)",
+				"create index ix_obs_speed on OBSERVATION(speed)",
+			}, nil
+	case "airca":
+		return []Template{
+				{Name: "dep_delay_band", Verbs: 2, Base: -15, Span: 10,
+					Format: "select F.flight_id, F.taxi_out, F.taxi_in from FLIGHT F where F.dep_delay between %d and %d"},
+			}, []string{
+				"create index ix_flight_dep_delay on FLIGHT(dep_delay)",
+			}, nil
+	default:
+		return nil, nil, fmt.Errorf("loadgen: no range templates for workload %q", workload)
+	}
+}
+
 // TemplatesMix returns the template suite for a workload under a query mix,
 // plus the setup statements (DDL) the suite needs once per server:
 //
 //	point  — the key/chain lookups of Templates (no setup)
 //	nonkey — selective non-key predicates served by secondary indexes
-//	mixed  — both suites interleaved
+//	range  — BETWEEN windows served by ordered posting scans
+//	mixed  — all suites interleaved
 func TemplatesMix(workload, mix string) ([]Template, []string, error) {
 	switch mix {
 	case "", "point":
@@ -129,6 +194,8 @@ func TemplatesMix(workload, mix string) ([]Template, []string, error) {
 		return t, nil, err
 	case "nonkey":
 		return nonKeyTemplates(workload)
+	case "range":
+		return rangeTemplates(workload)
 	case "mixed":
 		point, err := Templates(workload)
 		if err != nil {
@@ -138,9 +205,13 @@ func TemplatesMix(workload, mix string) ([]Template, []string, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		return append(point, nonkey...), setup, nil
+		ranged, rangeSetup, err := rangeTemplates(workload)
+		if err != nil {
+			return nil, nil, err
+		}
+		return append(append(point, nonkey...), ranged...), append(setup, rangeSetup...), nil
 	default:
-		return nil, nil, fmt.Errorf("loadgen: unknown mix %q (want point, nonkey or mixed)", mix)
+		return nil, nil, fmt.Errorf("loadgen: unknown mix %q (want point, nonkey, range or mixed)", mix)
 	}
 }
 
@@ -298,24 +369,24 @@ func Run(opts Options) (*Report, error) {
 			for n := 0; n < opts.Requests; n++ {
 				ti := r.Intn(len(opts.Templates))
 				t := opts.Templates[ti]
-				var arg any
+				var args []any
 				switch {
 				case len(t.Strings) > 0:
-					arg = t.Strings[r.Intn(len(t.Strings))]
+					args = []any{t.Strings[r.Intn(len(t.Strings))]}
 				case opts.DistinctParams:
 					// Globally unique literal, offset past any ParamPool
 					// value another phase may have warmed the cache with.
-					arg = 1<<20 + i*opts.Requests + n
+					args = t.args(1<<20 + i*opts.Requests + n)
 				default:
-					arg = r.Intn(opts.ParamPool)
+					args = t.args(t.Base + r.Intn(opts.ParamPool))
 				}
 				var sql string
 				var params []any
 				if opts.Parameterized {
 					sql = paramSQL[ti]
-					params = []any{arg}
+					params = args
 				} else {
-					sql = fmt.Sprintf(t.Format, arg)
+					sql = fmt.Sprintf(t.Format, args...)
 				}
 				t0 := time.Now()
 				_, _, stats, err := c.Query(sql, params...)

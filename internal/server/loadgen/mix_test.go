@@ -23,15 +23,82 @@ func TestTemplatesMix(t *testing.T) {
 			t.Fatalf("setup statement %q is not index DDL", s)
 		}
 	}
+	ranged, setup, err := TemplatesMix("mot", "range")
+	if err != nil || len(ranged) == 0 || len(setup) == 0 {
+		t.Fatalf("range: %d templates, %d setup, %v", len(ranged), len(setup), err)
+	}
+	for _, tm := range ranged {
+		if tm.Verbs != 2 || !strings.Contains(tm.Format, "between %d and %d") {
+			t.Fatalf("range template %q is not a two-verb BETWEEN window", tm.Name)
+		}
+		if got := tm.ParamSQL(); strings.Count(got, "?") != 2 || strings.Contains(got, "%d") {
+			t.Fatalf("range template %q ParamSQL = %q", tm.Name, got)
+		}
+	}
 	mixed, _, err := TemplatesMix("mot", "mixed")
-	if err != nil || len(mixed) != len(point)+len(nonkey) {
-		t.Fatalf("mixed: %d templates, want %d, %v", len(mixed), len(point)+len(nonkey), err)
+	if err != nil || len(mixed) != len(point)+len(nonkey)+len(ranged) {
+		t.Fatalf("mixed: %d templates, want %d, %v", len(mixed), len(point)+len(nonkey)+len(ranged), err)
 	}
 	if _, _, err := TemplatesMix("mot", "bogus"); err == nil {
 		t.Fatal("unknown mix accepted")
 	}
 	if _, _, err := TemplatesMix("tpch", "nonkey"); err == nil {
 		t.Fatal("tpch has no non-key suite; expected an error")
+	}
+}
+
+// TestRunRangeMix drives the range mix end to end through the wire
+// protocol: the setup DDL creates the indexes, every request carries a
+// BETWEEN window, and parameterized bounds must reuse one cached template
+// per shape.
+func TestRunRangeMix(t *testing.T) {
+	inst, _, err := server.OpenWorkload("mot", 0.5, 7, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(inst, server.Config{MaxConcurrent: 4, QueueDepth: 64, QueueTimeout: 30 * time.Second})
+	tcp, _, err := srv.Start("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	templates, setup, err := TemplatesMix("mot", "range")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Options{
+		Addr:          tcp,
+		Clients:       4,
+		Requests:      25,
+		Templates:     templates,
+		Setup:         setup,
+		ParamPool:     10,
+		Seed:          1,
+		Parameterized: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("range mix finished with %d errors", rep.Errors)
+	}
+	// One template per shape: after at most len(templates) misses per
+	// client warmup, everything hits.
+	if rep.CacheHitRate < 0.9 {
+		t.Fatalf("parameterized range mix hit rate = %.2f, want >= 0.9", rep.CacheHitRate)
+	}
+	// The served plans must actually use the range access path.
+	plan, err := inst.Explain("select V.vehicle_id, V.color, V.fuel from VEHICLE V where V.year between 2000 and 2002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "index-range") {
+		t.Fatalf("range mix statement not served by IndexRange: %s", plan)
 	}
 }
 

@@ -33,6 +33,77 @@ func TestNormalizeSQL(t *testing.T) {
 	}
 }
 
+// TestNormalizeSQLQuoteEscape: the lexer's '' escape keeps a literal open
+// and a ' inside a "-quoted literal is ordinary content
+// (internal/sql/lexer.go:126), so the normalizer must track both region
+// kinds the way the lexer does. The pre-fix normalizer toggled string mode
+// on every bare ' and ignored " entirely; an apostrophe inside a "-quoted
+// literal therefore flipped it into string mode, the following real
+// literal was classified as bare text and case-folded, and two statements
+// that differ only inside that literal collided on one plan-cache key —
+// serving the wrong cached plan.
+func TestNormalizeSQLQuoteEscape(t *testing.T) {
+	// Verbatim copy of everything inside an escaped literal.
+	in := "SELECT a FROM t WHERE b = 'It''s  A  Test'"
+	if got, want := NormalizeSQL(in), "select a from t where b = 'It''s  A  Test'"; got != want {
+		t.Errorf("NormalizeSQL(%q) = %q, want %q", in, got, want)
+	}
+	// Distinct statements the pre-fix normalizer keyed identically: the '
+	// inside "It's" desynchronized its string tracking, so 'D' was folded
+	// to 'd' — a wrong-plan collision (both pairs verified colliding on the
+	// pre-fix implementation).
+	collide := [][2]string{
+		{
+			`select a from t where b = "It's" and c = 'D'`,
+			`select a from t where b = "it's" and c = 'd'`,
+		},
+		{
+			`select a from t where b = "x'y" and c = 'A  B'`,
+			`select a from t where b = "x'y" and c = 'a  b'`,
+		},
+	}
+	for _, pair := range collide {
+		if NormalizeSQL(pair[0]) == NormalizeSQL(pair[1]) {
+			t.Errorf("distinct statements share a cache key:\n  %q\n  %q\n  key %q",
+				pair[0], pair[1], NormalizeSQL(pair[0]))
+		}
+	}
+	// Escapes and quoted quotes must not split the key on spelling variants.
+	if NormalizeSQL("SELECT a FROM t WHERE b = 'it''s'") != NormalizeSQL("select  a from t where b = 'it''s'") {
+		t.Error("equivalent spellings around an escaped literal should share a key")
+	}
+	if NormalizeSQL(`SELECT a FROM t WHERE b = "it's"`) != NormalizeSQL(`select a  from t where b = "it's"`) {
+		t.Error(`equivalent spellings around a "-quoted apostrophe should share a key`)
+	}
+}
+
+// TestNormalizeSQLIdentifierCase: the parser preserves identifier case and
+// relation/attribute lookups are case-sensitive, so SELECT * FROM Emp and
+// select * from emp name different relations. The pre-fix normalizer
+// lowercased identifiers (and "-quoted regions, which it did not track at
+// all) and served one cached plan for both.
+func TestNormalizeSQLIdentifierCase(t *testing.T) {
+	if NormalizeSQL("SELECT * FROM Emp") == NormalizeSQL("select * from emp") {
+		t.Error("identifiers differing in case must not share a cache key")
+	}
+	// Keywords still fold: spelling variants of one statement share a key.
+	if got, want := NormalizeSQL("SELECT V.make FROM VEHICLE V WHERE V.id = 1"),
+		"select V.make from VEHICLE V where V.id = 1"; got != want {
+		t.Errorf("keyword folding: got %q, want %q", got, want)
+	}
+	if NormalizeSQL("SELECT V.make FROM VEHICLE V") != NormalizeSQL("select V.make from VEHICLE V") {
+		t.Error("keyword-case variants of one statement should share a key")
+	}
+	// "-quoted regions are tracked and copied verbatim.
+	if got, want := NormalizeSQL(`SELECT a FROM t WHERE b = "MiXeD  Case"`),
+		`select a from t where b = "MiXeD  Case"`; got != want {
+		t.Errorf("double-quoted region: got %q, want %q", got, want)
+	}
+	if NormalizeSQL(`select a from t where b = "AB"`) == NormalizeSQL(`select a from t where b = "ab"`) {
+		t.Error(`"-quoted contents differing in case must not share a cache key`)
+	}
+}
+
 func TestPlanCacheHitAndEviction(t *testing.T) {
 	// Capacity below the shard count collapses to a single shard, making
 	// LRU order across keys deterministic for the test.

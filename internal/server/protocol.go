@@ -51,6 +51,7 @@ import (
 	"strings"
 
 	"zidian/internal/relation"
+	"zidian/internal/sql"
 )
 
 // Request is one client command.
@@ -204,43 +205,78 @@ func jsonRows(rows []relation.Tuple) [][]any {
 }
 
 // NormalizeSQL canonicalizes a statement for plan-cache keying: whitespace
-// runs collapse to one space, text outside single-quoted string literals is
-// lowercased, and trailing semicolons are dropped. Two spellings of the same
-// statement therefore share one cache entry, while literals — which are part
-// of the compiled plan — stay significant.
+// runs outside quoted regions collapse to one space, reserved keywords fold
+// to lower case, and trailing semicolons are dropped. Two spellings of the
+// same statement therefore share one cache entry, while everything the
+// compiled plan depends on stays significant:
+//
+//   - string literals — including text after an embedded '' escape, which
+//     the lexer keeps inside the literal (internal/sql/lexer.go) — are
+//     copied verbatim, so statements differing only inside a literal never
+//     collide on one cache key;
+//   - "-quoted regions are tracked like '-quoted ones and copied verbatim;
+//   - identifier case is preserved (the parser keeps it, and relation and
+//     attribute lookups are case-sensitive), so SELECT * FROM Emp and
+//     select * from emp — different relations — key separately. Only words
+//     in the lexer's reserved set, which can never be identifiers, fold.
 func NormalizeSQL(src string) string {
 	var b strings.Builder
 	b.Grow(len(src))
-	inStr := false
 	space := false
-	for i := 0; i < len(src); i++ {
-		c := src[i]
-		if inStr {
-			b.WriteByte(c)
-			if c == '\'' {
-				inStr = false
-			}
-			continue
+	flushSpace := func() {
+		if space && b.Len() > 0 {
+			b.WriteByte(' ')
 		}
+		space = false
+	}
+	isWord := func(c byte) bool {
+		return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+	}
+	for i := 0; i < len(src); {
+		c := src[i]
 		switch {
-		case c == '\'':
-			if space && b.Len() > 0 {
-				b.WriteByte(' ')
-			}
-			space = false
-			inStr = true
+		case c == '\'' || c == '"':
+			// Quoted region: copy verbatim up to the closing quote. A ''
+			// inside a '-quoted literal is the lexer's escape for one quote
+			// character, not the end of the literal, so it keeps the region
+			// open (the pre-fix normalizer exited here and mangled the rest
+			// of the literal).
+			quote := c
+			flushSpace()
 			b.WriteByte(c)
+			i++
+			for i < len(src) {
+				b.WriteByte(src[i])
+				if src[i] == quote {
+					if quote == '\'' && i+1 < len(src) && src[i+1] == quote {
+						b.WriteByte(src[i+1])
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			space = true
+			i++
+		case isWord(c):
+			start := i
+			for i < len(src) && isWord(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			flushSpace()
+			if sql.IsReserved(word) {
+				b.WriteString(strings.ToLower(word))
+			} else {
+				b.WriteString(word)
+			}
 		default:
-			if space && b.Len() > 0 {
-				b.WriteByte(' ')
-			}
-			space = false
-			if 'A' <= c && c <= 'Z' {
-				c += 'a' - 'A'
-			}
+			flushSpace()
 			b.WriteByte(c)
+			i++
 		}
 	}
 	s := b.String()

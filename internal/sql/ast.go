@@ -156,6 +156,10 @@ type Query struct {
 	GroupBy  []Col
 	OrderBy  []OrderItem
 	Limit    int // -1 when absent
+	// LimitParam is the `?` placeholder of a parameterized LIMIT ? clause;
+	// nil when the limit is a literal (or absent). The bound value must be
+	// a non-negative integer.
+	LimitParam *Param
 	// NumParams counts the `?` placeholders in the statement; slots 0 to
 	// NumParams-1 must all be bound before execution.
 	NumParams int
@@ -217,7 +221,10 @@ func (q *Query) String() string {
 			}
 		}
 	}
-	if q.Limit >= 0 {
+	switch {
+	case q.LimitParam != nil:
+		b.WriteString(" LIMIT ?")
+	case q.Limit >= 0:
 		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
 	}
 	return b.String()

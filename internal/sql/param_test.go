@@ -107,10 +107,47 @@ func TestParamsRejectedInDDL(t *testing.T) {
 	for _, src := range []string{
 		"select ? from T",
 		"select a from ?",
-		"select a from T limit ?",
+		"select a from T order by ?",
 	} {
 		if _, err := Parse(src); err == nil {
 			t.Errorf("Parse(%q) succeeded", src)
 		}
+	}
+}
+
+// TestLimitParamParse: LIMIT ? allocates a placeholder slot like any other
+// value position, numbered left to right across the statement.
+func TestLimitParamParse(t *testing.T) {
+	q, err := Parse("select a from T where b = ? limit ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumParams != 2 {
+		t.Fatalf("NumParams = %d, want 2", q.NumParams)
+	}
+	if q.LimitParam == nil || q.LimitParam.Index != 1 {
+		t.Fatalf("LimitParam = %+v, want slot 1", q.LimitParam)
+	}
+	if q.Limit != -1 {
+		t.Fatalf("Limit = %d, want -1 while parameterized", q.Limit)
+	}
+	if got := q.String(); !strings.HasSuffix(got, "LIMIT ?") {
+		t.Fatalf("String() = %q", got)
+	}
+	// The rendering re-parses to the same shape.
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", q.String(), err)
+	}
+	if q2.NumParams != 2 || q2.LimitParam == nil || q2.LimitParam.Index != 1 {
+		t.Fatalf("re-parsed = %+v", q2)
+	}
+	// Literal limits are unaffected.
+	q3, err := Parse("select a from T limit 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3.Limit != 5 || q3.LimitParam != nil || q3.NumParams != 0 {
+		t.Fatalf("literal limit = %+v", q3)
 	}
 }

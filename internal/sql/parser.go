@@ -101,6 +101,14 @@ var reserved = map[string]bool{
 	"between": true, "in": true, "asc": true, "desc": true,
 }
 
+// IsReserved reports whether word is one of the dialect's reserved words
+// (case-insensitive). Reserved words can never be identifiers, so they are
+// the exact set a cache-key normalizer may case-fold without merging
+// statements that parse differently: identifier case is significant (the
+// parser preserves it and relation/attribute lookups are case-sensitive),
+// keyword case is not.
+func IsReserved(word string) bool { return reserved[strings.ToLower(word)] }
+
 func (p *parser) ident() (string, error) {
 	t := p.peek()
 	if t.kind != tokIdent || reserved[strings.ToLower(t.text)] {
@@ -210,15 +218,19 @@ func (p *parser) parseQuery() (*Query, error) {
 		}
 	}
 	if p.keyword("LIMIT") {
-		t, err := p.expect(tokNumber, "limit count")
-		if err != nil {
-			return nil, err
+		if p.peek().kind == tokParam {
+			q.LimitParam = p.param()
+		} else {
+			t, err := p.expect(tokNumber, "limit count")
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(t.text)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("sql: bad LIMIT %q", t.text)
+			}
+			q.Limit = n
 		}
-		n, err := strconv.Atoi(t.text)
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("sql: bad LIMIT %q", t.text)
-		}
-		q.Limit = n
 	}
 	q.NumParams = p.params
 	return q, nil

@@ -92,6 +92,11 @@ func NewBaaVSchema(db *Database, kvs ...KVSchema) (*BaaVSchema, error) {
 
 // Options configure an Instance.
 type Options struct {
+	// Engine selects the storage-node engine kind: "hash" (default, the
+	// Cassandra-style partition store), "lsm" (HBase-style), or "sorted"
+	// (Kudu-style). Benchmarks and differential tests use it to run the
+	// same instance shape over all three engines.
+	Engine string
 	// Nodes is the number of storage nodes (default 4).
 	Nodes int
 	// Workers is the SQL-layer parallelism (default 4).
@@ -155,10 +160,28 @@ type Instance struct {
 	epoch atomic.Uint64
 }
 
+// engineKind maps the Options.Engine name to the kv engine kind.
+func engineKind(name string) (kv.EngineKind, error) {
+	switch name {
+	case "", "hash":
+		return kv.EngineHash, nil
+	case "lsm":
+		return kv.EngineLSM, nil
+	case "sorted":
+		return kv.EngineSorted, nil
+	default:
+		return 0, fmt.Errorf("zidian: unknown engine %q (want hash, lsm or sorted)", name)
+	}
+}
+
 // Open maps db onto the BaaV schema and returns a queryable instance.
 func Open(db *Database, schema *BaaVSchema, opts Options) (*Instance, error) {
 	opts = opts.normalized()
-	cluster := kv.NewCluster(kv.EngineHash, opts.Nodes)
+	kind, err := engineKind(opts.Engine)
+	if err != nil {
+		return nil, err
+	}
+	cluster := kv.NewCluster(kind, opts.Nodes)
 	store, err := baav.Map(db, schema, cluster, opts.Store)
 	if err != nil {
 		return nil, err
@@ -331,6 +354,9 @@ func (in *Instance) explainQuery(q *ra.Query) (string, error) {
 	}
 	if len(info.Indexes) > 0 {
 		kind += ", index-assisted"
+	}
+	if len(info.Ranges) > 0 {
+		kind += ", index-range"
 	}
 	return fmt.Sprintf("[%s] %s", kind, info.Root), nil
 }

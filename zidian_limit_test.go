@@ -1,0 +1,73 @@
+package zidian
+
+import "testing"
+
+// TestLimitParam covers the parameterized LIMIT ? satellite end to end:
+// the slot flows lexer → AST → binder → PlanInfo.Bind, with arity and kind
+// validation (non-negative int) and template reuse across limits.
+func TestLimitParam(t *testing.T) {
+	db := NewDatabase()
+	schema := MustRelSchema("T", []Attr{
+		{Name: "id", Kind: KindInt},
+		{Name: "v", Kind: KindInt},
+	}, []string{"id"})
+	rel := NewRelation(schema)
+	for i := 0; i < 20; i++ {
+		rel.MustInsert(Tuple{Int(int64(i)), Int(int64(i * 2))})
+	}
+	db.Add(rel)
+	bv, err := NewBaaVSchema(db, KVSchema{Name: "t_full", Rel: "T", Key: []string{"id"}, Val: []string{"v"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Open(db, bv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := inst.Prepare("select T.id from T T order by T.id limit ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int64{0, 3, 7, 100} {
+		res, _, err := p.Run(Int(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(n)
+		if want > 20 {
+			want = 20
+		}
+		if len(res.Rows) != want {
+			t.Fatalf("limit %d: rows = %d, want %d", n, len(res.Rows), want)
+		}
+	}
+	if _, _, err := p.Run(Int(-1)); err == nil {
+		t.Fatal("negative LIMIT parameter accepted")
+	}
+	if _, _, err := p.Run(String("x")); err == nil {
+		t.Fatal("string LIMIT parameter accepted")
+	}
+	if _, _, err := p.Run(); err == nil {
+		t.Fatal("missing LIMIT parameter accepted")
+	}
+	// combined with a predicate slot
+	p2, err := inst.Prepare("select T.id from T T where T.v >= ? order by T.id limit ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := p2.Run(Int(10), Int(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	// template must stay reusable with a different limit
+	res, _, err = p2.Run(Int(10), Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+}

@@ -1,0 +1,496 @@
+package zidian
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"zidian/internal/core"
+	"zidian/internal/ra"
+	sqlpkg "zidian/internal/sql"
+	"zidian/internal/workload"
+)
+
+var rangeEngines = []string{"hash", "lsm", "sorted"}
+
+// rangeItemsDB builds the ITEM fixture: 800 rows, 200 distinct skus (fan 4),
+// 50 distinct qtys (fan 16), 200 distinct prices (fan 4), pk-keyed full
+// schema.
+func rangeItemsDB(t *testing.T) (*Database, *BaaVSchema) {
+	t.Helper()
+	db := NewDatabase()
+	schema := MustRelSchema("ITEM", []Attr{
+		{Name: "item_id", Kind: KindInt},
+		{Name: "sku", Kind: KindString},
+		{Name: "qty", Kind: KindInt},
+		{Name: "price", Kind: KindFloat},
+	}, []string{"item_id"})
+	rel := NewRelation(schema)
+	for i := 0; i < 800; i++ {
+		rel.MustInsert(Tuple{
+			Int(int64(i)),
+			String(fmt.Sprintf("SKU-%05d", i/4)),
+			Int(int64(i % 50)),
+			Float(float64(100+i%200) / 10),
+		})
+	}
+	db.Add(rel)
+	bv, err := NewBaaVSchema(db, KVSchema{
+		Name: "item_full", Rel: "ITEM", Key: []string{"item_id"},
+		Val: []string{"sku", "qty", "price"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, bv
+}
+
+// rangeSuite: the dedicated range workload — two-sided closed/open/half-open
+// bounds, one-sided comparisons, empty windows (inverted bounds and gaps),
+// string and int attributes, and ranges composed with other predicates.
+var rangeSuite = []string{
+	"select I.item_id, I.qty from ITEM I where I.sku between 'SKU-00010' and 'SKU-00019'",
+	"select I.item_id from ITEM I where I.sku >= 'SKU-00190' and I.sku < 'SKU-00195'",
+	"select I.item_id from ITEM I where I.sku > 'SKU-00010' and I.sku <= 'SKU-00012'",
+	"select I.item_id from ITEM I where I.sku > 'SKU-00010' and I.sku < 'SKU-00011'",
+	"select I.item_id from ITEM I where I.sku between 'SKU-00150' and 'SKU-00050'",
+	"select I.item_id from ITEM I where I.sku > 'SKU-00180'",
+	"select I.item_id from ITEM I where I.sku <= 'SKU-00003'",
+	"select I.item_id, I.price from ITEM I where I.qty between 10 and 12",
+	"select I.item_id, I.qty from ITEM I where I.price between 10 and 20",
+	"select I.item_id from ITEM I where I.qty >= 48",
+	"select I.sku, I.qty from ITEM I where I.sku between 'SKU-00020' and 'SKU-00024' and I.qty > 25",
+	"select COUNT(*), MIN(I.qty), MAX(I.qty) from ITEM I where I.sku between 'SKU-00030' and 'SKU-00039'",
+	"select I.item_id from ITEM I where I.sku between 'SKU-00040' and 'SKU-00044' order by I.item_id limit 7",
+}
+
+var rangeSuiteDDL = []string{
+	"create index ix_item_sku on ITEM(sku)",
+	"create index ix_item_qty on ITEM(qty)",
+	"create index ix_item_price on ITEM(price)",
+}
+
+// TestDifferentialRangeSuite runs every range query four ways — forced full
+// scan (no indexes) and index-served, each literal-inlined and with
+// parameterized bounds — on all three kv engines, and requires byte-identical
+// results across all twelve combinations.
+func TestDifferentialRangeSuite(t *testing.T) {
+	for qi, src := range rangeSuite {
+		var reference string
+		var refLabel string
+		check := func(label string, res *Result) {
+			t.Helper()
+			got := renderResult(res)
+			if reference == "" {
+				reference, refLabel = got, label
+				return
+			}
+			if got != reference {
+				t.Fatalf("q%d %q:\n%s differs from %s\n--- %s\n%s--- %s\n%s",
+					qi, src, label, refLabel, refLabel, reference, label, got)
+			}
+		}
+		for _, eng := range rangeEngines {
+			db, bv := rangeItemsDB(t)
+			inst, err := Open(db, bv, Options{Engine: eng, Nodes: 4, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tmpl, params := paramize(t, src)
+
+			// Forced full scan: no index exists yet.
+			scanRes, scanStats, err := inst.Query(src)
+			if err != nil {
+				t.Fatalf("q%d scan on %s: %v", qi, eng, err)
+			}
+			if strings.Contains(scanStats.Plan, "IndexRange") {
+				t.Fatalf("q%d: IndexRange before CREATE INDEX on %s", qi, eng)
+			}
+			check(eng+"/scan/literal", scanRes)
+			p, err := inst.Prepare(tmpl)
+			if err != nil {
+				t.Fatalf("q%d scan template %q: %v", qi, tmpl, err)
+			}
+			scanPar, _, err := p.Run(params...)
+			if err != nil {
+				t.Fatalf("q%d scan bound on %s: %v", qi, eng, err)
+			}
+			check(eng+"/scan/params", scanPar)
+
+			// Index-served: same statements after DDL.
+			for _, ddl := range rangeSuiteDDL {
+				if _, err := inst.Exec(ddl); err != nil {
+					t.Fatal(err)
+				}
+			}
+			idxRes, _, err := inst.Query(src)
+			if err != nil {
+				t.Fatalf("q%d index on %s: %v", qi, eng, err)
+			}
+			check(eng+"/index/literal", idxRes)
+			p2, err := inst.Prepare(tmpl)
+			if err != nil {
+				t.Fatalf("q%d index template: %v", qi, err)
+			}
+			idxPar, _, err := p2.Run(params...)
+			if err != nil {
+				t.Fatalf("q%d index bound on %s: %v", qi, eng, err)
+			}
+			check(eng+"/index/params", idxPar)
+		}
+	}
+}
+
+// TestRangeBoundedWalk asserts the access-path change is real, not just
+// plan text: Explain reports index-range, and the store's scan-next metrics
+// confirm the walk visits the matched posting lists instead of the
+// instance.
+func TestRangeBoundedWalk(t *testing.T) {
+	const q = "select I.item_id, I.qty from ITEM I where I.sku between 'SKU-00100' and 'SKU-00109'"
+	for _, eng := range rangeEngines {
+		db, bv := rangeItemsDB(t)
+		inst, err := Open(db, bv, Options{Engine: eng, Nodes: 4, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := inst.Store().Cluster.Metrics()
+		if _, _, err := inst.Query(q); err != nil {
+			t.Fatal(err)
+		}
+		scanDelta := inst.Store().Cluster.Metrics().Sub(before)
+		if scanDelta.ScanNexts < 800 {
+			t.Fatalf("%s: full scan visited %d pairs, expected >= 800", eng, scanDelta.ScanNexts)
+		}
+
+		if _, err := inst.Exec("create index ix_item_sku on ITEM(sku)"); err != nil {
+			t.Fatal(err)
+		}
+		plan, err := inst.Explain(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(plan, "index-range") || !strings.Contains(plan, "IndexRange") {
+			t.Fatalf("%s: Explain lacks index-range: %s", eng, plan)
+		}
+		before = inst.Store().Cluster.Metrics()
+		res, _, err := inst.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta := inst.Store().Cluster.Metrics().Sub(before)
+		if len(res.Rows) != 40 {
+			t.Fatalf("%s: rows = %d, want 40", eng, len(res.Rows))
+		}
+		// 10 matched posting lists; everything else arrives via gets.
+		if delta.ScanNexts > 20 {
+			t.Fatalf("%s: bounded walk took %d scan steps, want ~10", eng, delta.ScanNexts)
+		}
+		if delta.Gets < 40 {
+			t.Fatalf("%s: expected one get per matched block, got %d", eng, delta.Gets)
+		}
+
+		// Sequential-executor parity: the same plan run outside the
+		// parallel runtime returns the same rows, and its logical stats
+		// count the posting walk, not an instance scan.
+		bound, err := ra.Parse(q, inst.db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := inst.checker.Plan(bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqRes, seqStats, err := core.Answer(info, inst.store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if renderResult(seqRes) != renderResult(res) {
+			t.Fatalf("%s: sequential and parallel range answers differ", eng)
+		}
+		if seqStats.ScanBlocks != 10 {
+			t.Fatalf("%s: sequential walk visited %d posting lists, want 10", eng, seqStats.ScanBlocks)
+		}
+	}
+}
+
+// TestRangeSpansBufferedSortedWrites: rows inserted after index creation
+// sit in the sorted engine's unmerged write buffer; a range spanning them
+// must see them on every engine, with identical answers.
+func TestRangeSpansBufferedSortedWrites(t *testing.T) {
+	const q = "select I.item_id, I.sku from ITEM I where I.sku between 'SKU-90000' and 'SKU-90009'"
+	var reference string
+	for _, eng := range rangeEngines {
+		db, bv := rangeItemsDB(t)
+		inst, err := Open(db, bv, Options{Engine: eng, Nodes: 2, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := inst.Exec("create index ix_item_sku on ITEM(sku)"); err != nil {
+			t.Fatal(err)
+		}
+		// Fresh band of skus, written through incremental maintenance after
+		// the backfill — on the sorted engine these postings stay in the
+		// write buffer (well under the fold threshold).
+		for i := 0; i < 30; i++ {
+			if err := inst.Insert("ITEM", Tuple{
+				Int(int64(10000 + i)), String(fmt.Sprintf("SKU-%05d", 90000+i/3)),
+				Int(int64(i)), Float(1.5),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// And a deletion inside the band must be invisible to the walk.
+		if err := inst.Delete("ITEM", Tuple{
+			Int(10001), String("SKU-90000"), Int(1), Float(1.5),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		res, stats, err := inst.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(stats.Plan, "IndexRange") {
+			t.Fatalf("%s: buffered-band query not index-served: %s", eng, stats.Plan)
+		}
+		if len(res.Rows) != 29 {
+			t.Fatalf("%s: rows = %d, want 29 (30 inserts − 1 delete)", eng, len(res.Rows))
+		}
+		got := renderResult(res)
+		if reference == "" {
+			reference = got
+		} else if got != reference {
+			t.Fatalf("%s: buffered-band answer differs:\n%s\nvs\n%s", eng, got, reference)
+		}
+	}
+}
+
+// TestDifferentialWorkloadRangeQueries runs every workload-suite query that
+// carries a range predicate — scan vs indexed (indexes created on each
+// ranged attribute), literal vs parameterized — across all three engines,
+// requiring byte-identical results.
+func TestDifferentialWorkloadRangeQueries(t *testing.T) {
+	for _, name := range []string{"mot", "airca", "tpch"} {
+		t.Run(name, func(t *testing.T) {
+			w, err := workload.Generate(name, workload.Spec{Scale: 0.1, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Find the suite's range queries and the (relation, attribute)
+			// pairs their range conjuncts touch.
+			type rq struct {
+				name, sql string
+			}
+			var rqs []rq
+			ddl := map[string]string{}
+			for _, q := range w.Queries {
+				ast, err := sqlpkg.Parse(q.SQL)
+				if err != nil {
+					t.Fatalf("%s: %v", q.Name, err)
+				}
+				ranged := false
+				for _, p := range ast.Where {
+					switch p.Op {
+					case sqlpkg.OpLt, sqlpkg.OpLe, sqlpkg.OpGt, sqlpkg.OpGe:
+					default:
+						continue
+					}
+					if p.Lit == nil {
+						continue
+					}
+					ranged = true
+					rel := p.Left.Table
+					for _, ref := range ast.From {
+						if ref.Alias == p.Left.Table {
+							rel = ref.Name
+						}
+					}
+					key := rel + "." + p.Left.Name
+					ddl[key] = fmt.Sprintf("create index ix_%s_%s on %s(%s)",
+						strings.ToLower(rel), strings.ToLower(p.Left.Name), rel, p.Left.Name)
+				}
+				if ranged {
+					rqs = append(rqs, rq{q.Name, q.SQL})
+				}
+			}
+			if len(rqs) == 0 {
+				t.Fatalf("workload %s has no range queries to exercise", name)
+			}
+			for _, q := range rqs {
+				tmpl, params := paramize(t, q.sql)
+				var reference, refLabel string
+				check := func(label string, res *Result) {
+					t.Helper()
+					got := renderResult(res)
+					if reference == "" {
+						reference, refLabel = got, label
+						return
+					}
+					if got != reference {
+						t.Fatalf("%s: %s differs from %s\n--- %s\n%s--- %s\n%s",
+							q.name, label, refLabel, refLabel, reference, label, got)
+					}
+				}
+				for _, eng := range rangeEngines {
+					w2, err := workload.Generate(name, workload.Spec{Scale: 0.1, Seed: 1})
+					if err != nil {
+						t.Fatal(err)
+					}
+					inst, err := Open(w2.DB, w2.Schema, Options{Engine: eng, Nodes: 4, Workers: 4})
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, _, err := inst.Query(q.sql)
+					if err != nil {
+						t.Fatalf("%s scan on %s: %v", q.name, eng, err)
+					}
+					check(eng+"/scan", res)
+					for _, stmt := range ddl {
+						if _, err := inst.Exec(stmt); err != nil {
+							t.Fatalf("%s: %q: %v", q.name, stmt, err)
+						}
+					}
+					res2, _, err := inst.Query(q.sql)
+					if err != nil {
+						t.Fatalf("%s indexed on %s: %v", q.name, eng, err)
+					}
+					check(eng+"/indexed", res2)
+					p, err := inst.Prepare(tmpl)
+					if err != nil {
+						t.Fatalf("%s template %q: %v", q.name, tmpl, err)
+					}
+					res3, _, err := p.Run(params...)
+					if err != nil {
+						t.Fatalf("%s bound on %s: %v", q.name, eng, err)
+					}
+					check(eng+"/indexed/params", res3)
+				}
+			}
+		})
+	}
+}
+
+// TestRangeKindMismatchLiterals: literal predicate values whose numeric
+// kind differs from the indexed column's must still answer identically on
+// the key-encoded access paths. Compare treats int/float numerically, but
+// the key codec partitions by kind tag, so an unaligned fence or probe
+// would silently miss every stored posting: ra.Bind coerces lossless
+// literals to the column kind, and the planner rounds a non-integral float
+// fence over an int column inward.
+func TestRangeKindMismatchLiterals(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want int    // expected row count
+		path string // substring the post-DDL plan must contain
+	}{
+		// Non-integral float bounds over the int qty column (fan 16 per
+		// value): ints in [44.5, 47.5] are {45, 46, 47}.
+		{"select I.item_id from ITEM I where I.qty between 44.5 and 47.5", 48, "IndexRange"},
+		// Integral float bounds coerce losslessly.
+		{"select I.item_id from ITEM I where I.qty between 45.0 and 47.0", 48, "IndexRange"},
+		// Int bounds over the float price column: price = (100 + i%200)/10,
+		// so [10, 12] matches i%200 ∈ {0..20}, 4 rows each.
+		{"select I.item_id from ITEM I where I.price between 10 and 12", 84, "IndexRange"},
+		// Equality with an integral float over an int column takes the
+		// IndexLookup path and must still find the postings.
+		{"select I.item_id from ITEM I where I.qty = 44.0", 16, "IndexLookup"},
+		// Lossy float equality matches nothing — on every path.
+		{"select I.item_id from ITEM I where I.qty = 44.5", 0, ""},
+	}
+	for _, eng := range rangeEngines {
+		db, bv := rangeItemsDB(t)
+		inst, err := Open(db, bv, Options{Engine: eng, Nodes: 4, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scans := make([]*Result, len(cases))
+		for i, c := range cases {
+			res, _, err := inst.Query(c.sql)
+			if err != nil {
+				t.Fatalf("%s scan %q: %v", eng, c.sql, err)
+			}
+			if len(res.Rows) != c.want {
+				t.Fatalf("%s scan %q: rows = %d, want %d", eng, c.sql, len(res.Rows), c.want)
+			}
+			scans[i] = res
+		}
+		for _, ddl := range rangeSuiteDDL {
+			if _, err := inst.Exec(ddl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, c := range cases {
+			res, stats, err := inst.Query(c.sql)
+			if err != nil {
+				t.Fatalf("%s indexed %q: %v", eng, c.sql, err)
+			}
+			if c.path != "" && !strings.Contains(stats.Plan, c.path) {
+				t.Fatalf("%s %q: expected %s path, got %s", eng, c.sql, c.path, stats.Plan)
+			}
+			if renderResult(res) != renderResult(scans[i]) {
+				t.Fatalf("%s %q: indexed answer (%d rows) differs from scan (%d rows); plan %s",
+					eng, c.sql, len(res.Rows), len(scans[i].Rows), stats.Plan)
+			}
+		}
+	}
+}
+
+// TestFacadeIndexEligibilityAfterDeletes: the planner's boundedness check
+// compares an index's longest posting list against the degree bound. A
+// heavy-delete workload that shrinks the longest list must restore
+// eligibility (pre-fix, Stats.MaxPosting never decreased, so the check
+// stayed pessimistic forever).
+func TestFacadeIndexEligibilityAfterDeletes(t *testing.T) {
+	db := NewDatabase()
+	schema := MustRelSchema("EV", []Attr{
+		{Name: "id", Kind: KindInt},
+		{Name: "tag", Kind: KindString},
+	}, []string{"id"})
+	rel := NewRelation(schema)
+	// One hot tag with 30 rows, twenty cold tags with 2 rows each.
+	for i := 0; i < 30; i++ {
+		rel.MustInsert(Tuple{Int(int64(i)), String("HOT")})
+	}
+	for i := 0; i < 40; i++ {
+		rel.MustInsert(Tuple{Int(int64(100 + i)), String(fmt.Sprintf("COLD-%02d", i/2))})
+	}
+	db.Add(rel)
+	bv, err := NewBaaVSchema(db, KVSchema{Name: "ev_full", Rel: "EV", Key: []string{"id"}, Val: []string{"tag"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Open(db, bv, Options{MaxBoundedDegree: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Exec("create index ix_ev_tag on EV(tag)"); err != nil {
+		t.Fatal(err)
+	}
+	const q = "select E.id from EV E where E.tag = 'COLD-03'"
+	_, stats, err := inst.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stats.Plan, "IndexLookup") {
+		t.Fatalf("expected an index plan: %s", stats.Plan)
+	}
+	if stats.Bounded {
+		t.Fatalf("hot posting (30) above the degree bound (8) must make the plan unbounded")
+	}
+	// Heavy-delete workload: drain the hot tag.
+	for i := 0; i < 28; i++ {
+		if err := inst.Delete("EV", Tuple{Int(int64(i)), String("HOT")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, ok := inst.IndexStats("ix_ev_tag")
+	if !ok || st.MaxPosting != 2 {
+		t.Fatalf("MaxPosting after drain = %d (ok=%v), want 2", st.MaxPosting, ok)
+	}
+	_, stats, err = inst.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Bounded {
+		t.Fatalf("index did not regain eligibility after deletes: %+v", st)
+	}
+}
