@@ -14,6 +14,7 @@
 //	zidian-bench -exp server             # serving layer (writes BENCH_server.json)
 //	zidian-bench -exp index              # secondary indexes (writes BENCH_index.json)
 //	zidian-bench -exp range              # range predicates / ordered posting scans (writes BENCH_range.json)
+//	zidian-bench -exp mixed              # mixed read/write locking regimes (writes BENCH_mixed.json)
 //
 // -scale multiplies the dataset sizes; -workers and -nodes set the cluster
 // shape (paper defaults: 8 workers, 12 nodes).
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, 1case, 1, 2, 3p, 3d, 4, 4h, ablation, server, index, range")
+		exp      = flag.String("exp", "all", "experiment: all, 1case, 1, 2, 3p, 3d, 4, 4h, ablation, server, index, range, mixed")
 		workload = flag.String("workload", "mot", "workload for exp 2/3/server: mot, airca, tpch")
 		mix      = flag.String("mix", "point", "query mix for -exp server: point, nonkey, range, mixed")
 		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
@@ -80,6 +81,10 @@ func main() {
 		return bench.ExpRange(out, cfg, jsonPath("BENCH_range.json"))
 	}
 
+	mixedBench := func(out io.Writer, cfg bench.Config) error {
+		return bench.ExpMixed(out, cfg, jsonPath("BENCH_mixed.json"), *clients, *requests)
+	}
+
 	run := func(name string, f func() error) {
 		fmt.Fprintf(out, "==> %s\n", name)
 		if err := f(); err != nil {
@@ -112,6 +117,8 @@ func main() {
 		run("index", func() error { return indexBench(out, cfg) })
 	case "range":
 		run("range", func() error { return rangeBench(out, cfg) })
+	case "mixed":
+		run("mixed", func() error { return mixedBench(out, cfg) })
 	case "all":
 		run("exp1-case (Table 2)", func() error { return bench.Exp1Case(out, cfg) })
 		run("exp1-overall (Table 3)", func() error { return bench.Exp1Overall(out, cfg) })
@@ -128,6 +135,7 @@ func main() {
 		run("server", func() error { return serverBench(out, cfg) })
 		run("index", func() error { return indexBench(out, cfg) })
 		run("range", func() error { return rangeBench(out, cfg) })
+		run("mixed", func() error { return mixedBench(out, cfg) })
 	default:
 		fmt.Fprintf(os.Stderr, "zidian-bench: unknown experiment %q\n", *exp)
 		flag.Usage()

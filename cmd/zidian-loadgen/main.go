@@ -20,7 +20,9 @@ func main() {
 	var (
 		addr     = flag.String("addr", "localhost:7071", "server wire-protocol address")
 		wl       = flag.String("workload", "mot", "template suite: mot, airca, tpch")
-		mix      = flag.String("mix", "point", "query mix: point, nonkey (selective non-key predicates over secondary indexes), range (BETWEEN windows over ordered posting scans), mixed")
+		mix      = flag.String("mix", "point", "query mix: point, nonkey (selective non-key predicates over secondary indexes), range (BETWEEN windows over ordered posting scans), mixed, readwrite (multi-relation reads + INSERT/DELETE writes; see -write-frac)")
+		wfrac    = flag.Float64("write-frac", 0.2, "write fraction for -mix readwrite (0..1)")
+		wbase    = flag.Int("write-base", 1<<21, "first unique id for -mix readwrite inserts (vary across runs against a warm server)")
 		clients  = flag.Int("clients", 64, "concurrent client connections")
 		requests = flag.Int("requests", 200, "statements per client")
 		pool     = flag.Int("params", 100, "distinct parameter values per template")
@@ -31,22 +33,32 @@ func main() {
 	)
 	flag.Parse()
 
-	templates, setup, err := loadgen.TemplatesMix(*wl, *mix)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "zidian-loadgen: %v\n", err)
-		os.Exit(2)
-	}
-	rep, err := loadgen.Run(loadgen.Options{
+	opts := loadgen.Options{
 		Addr:           *addr,
 		Clients:        *clients,
 		Requests:       *requests,
-		Templates:      templates,
-		Setup:          setup,
 		ParamPool:      *pool,
 		Seed:           *seed,
 		Parameterized:  *prep,
 		DistinctParams: *distinct,
-	})
+	}
+	if *mix == "readwrite" {
+		reads, writes, setup, err := loadgen.ReadWriteMix(*wl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zidian-loadgen: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Templates, opts.WriteTemplates, opts.Setup = reads, writes, setup
+		opts.WriteFraction, opts.WriteIDBase = *wfrac, *wbase
+	} else {
+		templates, setup, err := loadgen.TemplatesMix(*wl, *mix)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zidian-loadgen: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Templates, opts.Setup = templates, setup
+	}
+	rep, err := loadgen.Run(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "zidian-loadgen: %v\n", err)
 		os.Exit(1)
@@ -60,6 +72,9 @@ func main() {
 	fmt.Printf("  latency µs p50=%d p90=%d p95=%d p99=%d max=%d\n",
 		rep.Latency.P50, rep.Latency.P90, rep.Latency.P95, rep.Latency.P99, rep.Latency.Max)
 	fmt.Printf("  plan cache %.1f%% hit, scan-free %.1f%%\n", 100*rep.CacheHitRate, 100*rep.ScanFreeRate)
+	if rep.Writes > 0 {
+		fmt.Printf("  writes     %d (%.0f%% of requests)\n", rep.Writes, 100*float64(rep.Writes)/float64(rep.Requests))
+	}
 	if rep.Server != nil {
 		fmt.Printf("  server     %d queries, %d sessions, %d rejected, %d timed out\n",
 			rep.Server.Queries, rep.Server.TotalSessions, rep.Server.Admission.Rejected, rep.Server.Admission.TimedOut)

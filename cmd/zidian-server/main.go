@@ -43,6 +43,7 @@ func main() {
 		queueTO  = flag.Duration("queue-timeout", time.Second, "admission queue timeout")
 		cacheSz  = flag.Int("plan-cache", 4096, "plan cache capacity (plans)")
 		drainTO  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain timeout")
+		gwl      = flag.Bool("global-write-lock", false, "serialize every write against every read instance-wide (legacy gate; default is per-relation locking)")
 	)
 	flag.Parse()
 
@@ -62,10 +63,11 @@ func main() {
 		len(w.DB.Names()), w.DB.Cardinality(), time.Since(start).Round(time.Millisecond))
 
 	srv := server.New(inst, server.Config{
-		MaxConcurrent: *inflight,
-		QueueDepth:    *queue,
-		QueueTimeout:  *queueTO,
-		PlanCacheSize: *cacheSz,
+		MaxConcurrent:   *inflight,
+		QueueDepth:      *queue,
+		QueueTimeout:    *queueTO,
+		PlanCacheSize:   *cacheSz,
+		GlobalWriteLock: *gwl,
 	})
 	tcp, httpA, err := srv.Start(*tcpAddr, *httpAddr)
 	if err != nil {

@@ -16,6 +16,11 @@ type SecondaryIndex interface {
 	// (value, key) order, plus the number of posting lists visited by the
 	// bounded ordered walk.
 	Range(name string, lo, hi *relation.Value, loIncl, hiIncl bool) (vals []relation.Value, keys []relation.Tuple, scanned int, err error)
+	// RangeLimit is Range bounded to the first limit postings in (value,
+	// key) order (negative = unbounded): the streaming merge stops the walk
+	// after O(limit) posting lists per node, so a pushed-down LIMIT costs
+	// O(limit) scan steps instead of O(range).
+	RangeLimit(name string, lo, hi *relation.Value, loIncl, hiIncl bool, limit int) (vals []relation.Value, keys []relation.Tuple, scanned int, err error)
 	// MaxPostings returns the longest posting list of the named index; the
 	// boundedness check treats it like a block degree.
 	MaxPostings(name string) int

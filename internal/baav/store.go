@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"zidian/internal/kv"
 	"zidian/internal/relation"
@@ -40,10 +41,17 @@ type Store struct {
 	// space (internal/index).
 	Index SecondaryIndex
 
-	ids     map[string]uint32 // KV schema name -> physical id
-	degrees map[string]int    // KV schema name -> max distinct block size seen
-	blocks  map[string]int    // KV schema name -> number of keyed blocks
-	relRows map[string]int    // relation name -> tuple count
+	ids map[string]uint32 // KV schema name -> physical id
+
+	// statsMu guards the bookkeeping maps below. The kv cluster already
+	// synchronizes the stored pairs; this lock covers the store-level
+	// statistics so maintenance on one relation can run concurrently with
+	// planners and executors reading degrees, block counts, and row counts
+	// for any relation (the maps are shared even when the keys are not).
+	statsMu sync.RWMutex
+	degrees map[string]int // KV schema name -> max distinct block size seen
+	blocks  map[string]int // KV schema name -> number of keyed blocks
+	relRows map[string]int // relation name -> tuple count
 }
 
 // NewStore creates an empty BaaV store for the schema on the cluster.
@@ -212,12 +220,16 @@ func (st *Store) putBlock(kvSchema KVSchema, key relation.Tuple, blk *Block, che
 			st.Cluster.DeleteRouted(prefix, segKey(prefix, seg))
 		}
 		if oldSegs > 0 {
+			st.statsMu.Lock()
 			st.blocks[kvSchema.Name]--
+			st.statsMu.Unlock()
 		}
 		return nil
 	}
 	if !checkOld || oldSegs == 0 {
+		st.statsMu.Lock()
 		st.blocks[kvSchema.Name]++
+		st.statsMu.Unlock()
 	}
 
 	// Split into segments of at most SegmentThreshold stored tuples.
@@ -246,9 +258,11 @@ func (st *Store) putBlock(kvSchema KVSchema, key relation.Tuple, blk *Block, che
 	for seg := nsegs; seg < int(oldSegs); seg++ {
 		st.Cluster.DeleteRouted(prefix, segKey(prefix, uint32(seg)))
 	}
+	st.statsMu.Lock()
 	if d := blk.Distinct(); d > st.degrees[kvSchema.Name] {
 		st.degrees[kvSchema.Name] = d
 	}
+	st.statsMu.Unlock()
 	return nil
 }
 
@@ -402,6 +416,15 @@ func (st *Store) Delete(rel string, t relation.Tuple) error {
 	return st.maintain(rel, t, false)
 }
 
+// maintain applies one tuple's insert or delete to every KV schema
+// projecting the relation, in two phases: a validate-and-read phase that
+// performs every fallible step (schema resolution, block reads, decoding)
+// and stages the edited blocks in memory, then an apply phase that writes
+// them out. An error in phase one leaves the store untouched; phase two is
+// pure cluster puts/deletes over blocks that were just read successfully,
+// so short of concurrent external corruption every staged edit lands — the
+// write path's callers rely on this all-or-nothing shape to keep the
+// relation, the blocks, and the index postings consistent.
 func (st *Store) maintain(rel string, t relation.Tuple, insert bool) error {
 	schema, ok := st.Rels[rel]
 	if !ok {
@@ -410,7 +433,12 @@ func (st *Store) maintain(rel string, t relation.Tuple, insert bool) error {
 	if len(t) != len(schema.Attrs) {
 		return fmt.Errorf("baav: tuple arity %d != %s arity %d", len(t), rel, len(schema.Attrs))
 	}
-	changed := false
+	type edit struct {
+		kvSchema KVSchema
+		key      relation.Tuple
+		blk      *Block
+	}
+	var edits []edit
 	for _, kvSchema := range st.Schema.ForRelation(rel) {
 		keyPos, err := schema.Positions(kvSchema.Key)
 		if err != nil {
@@ -437,24 +465,33 @@ func (st *Store) maintain(rel string, t relation.Tuple, insert bool) error {
 		} else if !blk.Remove(val) {
 			continue
 		}
-		changed = true
-		if err := st.putBlock(kvSchema, key, blk, true); err != nil {
+		edits = append(edits, edit{kvSchema: kvSchema, key: key, blk: blk})
+	}
+	if len(edits) == 0 {
+		return nil
+	}
+	for _, e := range edits {
+		if err := st.putBlock(e.kvSchema, e.key, e.blk, true); err != nil {
 			return err
 		}
 	}
-	if changed {
-		if insert {
-			st.relRows[rel]++
-		} else if st.relRows[rel] > 0 {
-			st.relRows[rel]--
-		}
+	st.statsMu.Lock()
+	if insert {
+		st.relRows[rel]++
+	} else if st.relRows[rel] > 0 {
+		st.relRows[rel]--
 	}
+	st.statsMu.Unlock()
 	return nil
 }
 
 // InstanceBlocks returns the number of keyed blocks in the named KV
 // instance — the planner's cost statistic for scan-vs-probe decisions.
-func (st *Store) InstanceBlocks(name string) int { return st.blocks[name] }
+func (st *Store) InstanceBlocks(name string) int {
+	st.statsMu.RLock()
+	defer st.statsMu.RUnlock()
+	return st.blocks[name]
+}
 
 // InstanceBytes returns the physical payload size of one KV instance
 // (keys + encoded block segments), by scanning its prefix.
@@ -473,7 +510,11 @@ func (st *Store) InstanceBytes(name string) (int64, error) {
 
 // RelationRows returns the tuple count of a base relation as loaded and
 // maintained — the planner's cardinality statistic.
-func (st *Store) RelationRows(rel string) int { return st.relRows[rel] }
+func (st *Store) RelationRows(rel string) int {
+	st.statsMu.RLock()
+	defer st.statsMu.RUnlock()
+	return st.relRows[rel]
+}
 
 // HasBlockStats reports whether blocks carry statistics headers, enabling
 // the planner's aggregate pushdown (Section 8.2's statistics feature).
@@ -483,6 +524,8 @@ func (st *Store) HasBlockStats() bool { return st.Opts.Stats }
 // instance (deg(~D) of Section 4.1), and the store-wide maximum when name
 // is empty.
 func (st *Store) Degree(name string) int {
+	st.statsMu.RLock()
+	defer st.statsMu.RUnlock()
 	if name != "" {
 		return st.degrees[name]
 	}
@@ -505,7 +548,9 @@ func (st *Store) ComputeDegree(name string) (int, error) {
 		return true
 	})
 	if err == nil {
+		st.statsMu.Lock()
 		st.degrees[name] = max
+		st.statsMu.Unlock()
 	}
 	return max, err
 }

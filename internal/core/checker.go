@@ -43,6 +43,13 @@ type IndexCatalog interface {
 	// the statistics behind the range-vs-scan decision (range fraction ×
 	// average posting).
 	Shape(name string) (entries, postings int)
+	// ValueBounds returns the smallest and largest value the index
+	// currently holds (ok false when unknown or empty). The planner uses
+	// them to replace the shape-only matched-fraction guess with an
+	// interpolated estimate when a range's bounds are literals; the
+	// statistic is maintained incrementally on insert and delete, so it
+	// stays exact under churn.
+	ValueBounds(name string) (lo, hi relation.Value, ok bool)
 }
 
 // Checker answers the fundamental questions of modules M1 and M2: whether a

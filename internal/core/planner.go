@@ -36,6 +36,13 @@ type PlanInfo struct {
 	Scans   []string
 	Indexes []string
 	Ranges  []string
+	// Relations lists the base relations the query reads, sorted and
+	// deduplicated. Every KV instance, index posting, and statistic the
+	// plan touches belongs to one of them, so a serving layer that holds
+	// these relations' read locks (and a writer that holds its target
+	// relation's write lock) schedules statements without inspecting the
+	// plan tree.
+	Relations []string
 	// OutCols names, per output column of the query, the plan column that
 	// carries it (parallel to Query.OutNames).
 	OutCols []string
@@ -107,6 +114,29 @@ func (f *frag) has(name string) bool {
 // KV-instance scans, fragments join on shared equality classes, and residual
 // predicates, projection and aggregation finish the plan.
 func (c *Checker) Plan(q *ra.Query) (*PlanInfo, error) {
+	info, err := c.plan(q)
+	if info != nil {
+		info.Relations = queryRelations(q)
+	}
+	return info, err
+}
+
+// queryRelations lists the base relations a query's atoms reference, sorted
+// and deduplicated — the lock set a serving layer schedules the plan with.
+func queryRelations(q *ra.Query) []string {
+	seen := make(map[string]bool, len(q.Atoms))
+	var out []string
+	for _, atom := range q.Atoms {
+		if !seen[atom.Rel] {
+			seen[atom.Rel] = true
+			out = append(out, atom.Rel)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *Checker) plan(q *ra.Query) (*PlanInfo, error) {
 	eq := ra.BuildEqClasses(q)
 	if eq.Unsat {
 		return &PlanInfo{Query: q, Empty: true, ScanFree: true,
@@ -147,6 +177,98 @@ type planner struct {
 	// indexed marks atoms already seeded by an IndexLookup, so the access
 	// path is tried at most once per atom.
 	indexed map[string]bool
+
+	// rangeNode is the IndexRange leaf applyRange seeded (at most one per
+	// plan: only single-atom plans push limits), with the alias/attribute
+	// it ranges over; rangeExact reports that the walk's fences enforce
+	// exactly the query's recognized range conjuncts, so the residual
+	// selection cannot drop a walked posting. The LIMIT pushdown needs all
+	// three.
+	rangeNode  *kba.IndexRange
+	rangeAlias string
+	rangeAttr  string
+	rangeExact bool
+}
+
+// recordRange captures the IndexRange leaf for the LIMIT pushdown and
+// decides exactness: the walk is exact when no written fence was dropped by
+// kind alignment (a dropped fence widens the walk and leaves the residual
+// selection doing real filtering) and no side mixes a parameter slot into
+// multiple conjuncts. Literal-only sides always tighten to the strictest
+// bound, so every conjunct is implied by the walk; but the merge cannot
+// compare a slot, so with more than one conjunct on a slot-carrying side an
+// unenforced — possibly stricter — bound stays residual, and stopping the
+// walk at the limit could discard rows the stricter bound admits later.
+func (p *planner) recordRange(node *kba.IndexRange, alias, attr string, rawLo, rawHi, lo, hi *rangeBound) {
+	exact := !(rawLo != nil && lo == nil) && !(rawHi != nil && hi == nil)
+	if exact {
+		nLo, nHi := 0, 0
+		slotLo, slotHi := false, false
+		for i := range p.q.Filters {
+			f := &p.q.Filters[i]
+			if f.Col.Alias != alias || f.Col.Attr != attr || f.RCol != nil {
+				continue
+			}
+			if f.Param == nil && f.Lit == nil {
+				continue
+			}
+			switch f.Op {
+			case sql.OpGt, sql.OpGe:
+				nLo++
+				slotLo = slotLo || f.Param != nil
+			case sql.OpLt, sql.OpLe:
+				nHi++
+				slotHi = slotHi || f.Param != nil
+			}
+		}
+		exact = !(slotLo && nLo > 1) && !(slotHi && nHi > 1)
+	}
+	p.rangeNode, p.rangeAlias, p.rangeAttr, p.rangeExact = node, alias, attr, exact
+}
+
+// pushRangeLimit pushes the query's LIMIT into the IndexRange leaf when
+// every walked posting is guaranteed to reach the output row-for-row: a
+// single-atom plan whose only access is the range walk plus its pk-keyed ∝
+// (each posting fetches exactly its own block), no aggregation, DISTINCT,
+// or ORDER BY to reshape the row set, and no predicate beyond the range
+// conjuncts the walk's fences already enforce. The walk then stops O(k)
+// posting lists in instead of merging the whole range; ToResult's trim
+// stays as the final authority on the row count.
+func (p *planner) pushRangeLimit() {
+	q := p.q
+	if p.rangeNode == nil || !p.rangeExact {
+		return
+	}
+	if q.Limit < 0 && q.LimitParam == nil {
+		return
+	}
+	if len(q.Atoms) != 1 || q.IsAggregate() || q.Distinct || len(q.OrderBy) > 0 {
+		return
+	}
+	if len(p.scans) > 0 || len(p.indexes) > 0 || len(p.extends) != 1 {
+		return
+	}
+	if len(q.EqConsts)+len(q.EqParams)+len(q.Ins)+len(q.EqAttrs) > 0 {
+		return
+	}
+	for i := range q.Filters {
+		f := &q.Filters[i]
+		if f.Col.Alias != p.rangeAlias || f.Col.Attr != p.rangeAttr || f.RCol != nil {
+			return
+		}
+		switch f.Op {
+		case sql.OpGt, sql.OpGe, sql.OpLt, sql.OpLe:
+		default:
+			return
+		}
+	}
+	var a kba.Arg
+	if q.LimitParam != nil {
+		a = kba.SlotArg(*q.LimitParam)
+	} else {
+		a = kba.LitArg(relation.Int(int64(q.Limit)))
+	}
+	p.rangeNode.Limit = &a
 }
 
 func (p *planner) run() (*PlanInfo, error) {
@@ -176,6 +298,7 @@ func (p *planner) run() (*PlanInfo, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.pushRangeLimit()
 	info := &PlanInfo{
 		Query:      p.q,
 		Root:       f.plan,
@@ -762,6 +885,7 @@ func (p *planner) applyRange(covered func(string) bool) bool {
 			if lo == nil && hi == nil {
 				continue
 			}
+			rawLo, rawHi := lo, hi
 			kind := relation.KindNull
 			if rel, ok := p.c.Rels[atom.Rel]; ok {
 				if i := rel.Index(attr); i >= 0 {
@@ -779,7 +903,7 @@ func (p *planner) applyRange(covered func(string) bool) bool {
 			if !p.hasIndexAnchor(atom, key, used) {
 				continue
 			}
-			if !p.rangeBeatsScan(atom, used, name, lo != nil && hi != nil) {
+			if !p.rangeBeatsScan(atom, used, name, lo, hi) {
 				continue
 			}
 			valCol := "$idx." + atom.Alias + "." + attr
@@ -811,37 +935,102 @@ func (p *planner) applyRange(covered func(string) bool) bool {
 					f.cols[kroot] = keyCols[i]
 				}
 			}
-			f.rowEst = p.rangeRowEst(name, lo != nil && hi != nil)
+			f.rowEst = p.rangeRowEst(name, lo, hi)
 			p.frags = append(p.frags, f)
 			p.ranges = append(p.ranges, name)
 			p.indexed[atom.Alias] = true
+			p.recordRange(node, atom.Alias, attr, rawLo, rawHi, lo, hi)
 			return true
 		}
 	}
 	return false
 }
 
-// Assumed matched fractions of the distinct-value space when no per-value
-// statistics exist — shape-only estimates, matching the template
-// discipline (a `?` bound must plan identically to any literal): a
-// two-sided range is assumed to match 1/8 of the entries, a one-sided
-// range 1/3.
+// Assumed matched fractions of the distinct-value space when the bounds'
+// positions within the domain are unknown — the fallback for parameter
+// slots (a `?` bound must plan identically to any literal: the template
+// discipline), for non-numeric values, and for indexes without min/max
+// statistics: a two-sided range is assumed to match 1/8 of the entries, a
+// one-sided range 1/3.
 const (
 	rangeFracTwoSidedDiv = 8
 	rangeFracOneSidedDiv = 3
 )
 
+// numericVal converts a value to its numeric magnitude for interpolation.
+func numericVal(v relation.Value) (float64, bool) {
+	switch v.Kind {
+	case relation.KindInt:
+		return float64(v.Int), true
+	case relation.KindFloat:
+		return v.Flt, true
+	}
+	return 0, false
+}
+
+// rangeFrac estimates the fraction of the index's distinct values a range
+// matches. Literal numeric bounds interpolate against the index's
+// maintained min/max — this is what lets a highly selective one-sided
+// `attr > lit` beat the scan instead of being charged the 1/3 shape guess —
+// while slot bounds, non-numeric values, and stat-less indexes keep the
+// shape-only fractions. Zero means the window provably clears the domain.
+func (p *planner) rangeFrac(name string, lo, hi *rangeBound) float64 {
+	shape := 1.0 / float64(rangeFracOneSidedDiv)
+	if lo != nil && hi != nil {
+		shape = 1.0 / float64(rangeFracTwoSidedDiv)
+	}
+	if (lo != nil && lo.arg.IsSlot) || (hi != nil && hi.arg.IsSlot) {
+		return shape
+	}
+	min, max, ok := p.c.Indexes.ValueBounds(name)
+	if !ok {
+		return shape
+	}
+	minF, okMin := numericVal(min)
+	maxF, okMax := numericVal(max)
+	if !okMin || !okMax {
+		return shape
+	}
+	loF, hiF := minF, maxF
+	if lo != nil {
+		v, ok := numericVal(lo.arg.Lit)
+		if !ok {
+			return shape
+		}
+		loF = v
+	}
+	if hi != nil {
+		v, ok := numericVal(hi.arg.Lit)
+		if !ok {
+			return shape
+		}
+		hiF = v
+	}
+	if hiF < loF || hiF < minF || loF > maxF {
+		return 0
+	}
+	if loF < minF {
+		loF = minF
+	}
+	if hiF > maxF {
+		hiF = maxF
+	}
+	if maxF <= minF {
+		return 1 // a single distinct value, inside the window
+	}
+	return (hiF - loF) / (maxF - minF)
+}
+
 // rangeMatched estimates how many posting lists a range matches.
-func (p *planner) rangeMatched(name string, twoSided bool) (matched, avg int) {
+func (p *planner) rangeMatched(name string, lo, hi *rangeBound) (matched, avg int) {
 	entries, postings := p.c.Indexes.Shape(name)
 	if entries <= 0 {
 		return 0, 1
 	}
-	div := rangeFracOneSidedDiv
-	if twoSided {
-		div = rangeFracTwoSidedDiv
+	matched = int(math.Ceil(p.rangeFrac(name, lo, hi) * float64(entries)))
+	if matched > entries {
+		matched = entries
 	}
-	matched = (entries + div - 1) / div
 	avg = postings / entries
 	if avg < 1 {
 		avg = 1
@@ -850,8 +1039,8 @@ func (p *planner) rangeMatched(name string, twoSided bool) (matched, avg int) {
 }
 
 // rangeRowEst bounds the fragment rows an IndexRange is expected to emit.
-func (p *planner) rangeRowEst(name string, twoSided bool) int {
-	matched, avg := p.rangeMatched(name, twoSided)
+func (p *planner) rangeRowEst(name string, lo, hi *rangeBound) int {
+	matched, avg := p.rangeMatched(name, lo, hi)
 	return matched * avg
 }
 
@@ -861,7 +1050,7 @@ func (p *planner) rangeRowEst(name string, twoSided bool) int {
 // get-vs-scan-step ratio as extendBeatsScan and indexBeatsScan. Without
 // statistics the bounded walk wins, matching the chase's preference for
 // targeted access.
-func (p *planner) rangeBeatsScan(atom ra.Atom, used []string, name string, twoSided bool) bool {
+func (p *planner) rangeBeatsScan(atom ra.Atom, used []string, name string, lo, hi *rangeBound) bool {
 	if p.c.Stats == nil {
 		return true
 	}
@@ -869,7 +1058,7 @@ func (p *planner) rangeBeatsScan(atom ra.Atom, used []string, name string, twoSi
 	if blocks <= 0 {
 		return true // nothing to scan: the range walk is the only access path
 	}
-	matched, avg := p.rangeMatched(name, twoSided)
+	matched, avg := p.rangeMatched(name, lo, hi)
 	if matched <= 0 {
 		return true
 	}

@@ -16,6 +16,9 @@ type fakeCatalog struct {
 	key             []string
 	avg             int
 	entries         int // distinct values; 0 defaults to 100
+	// min/max, when both set, are the index's value bounds (nil: no
+	// statistics, so the planner keeps the shape-only fractions).
+	min, max *relation.Value
 }
 
 func (f *fakeCatalog) IndexOn(rel, attr string) (string, []string, bool) {
@@ -26,6 +29,13 @@ func (f *fakeCatalog) IndexOn(rel, attr string) (string, []string, bool) {
 }
 
 func (f *fakeCatalog) AvgPostings(string) int { return f.avg }
+
+func (f *fakeCatalog) ValueBounds(string) (relation.Value, relation.Value, bool) {
+	if f.min == nil || f.max == nil {
+		return relation.Value{}, relation.Value{}, false
+	}
+	return *f.min, *f.max, true
+}
 
 func (f *fakeCatalog) Shape(string) (int, int) {
 	n := f.entries

@@ -153,6 +153,137 @@ func TestPlannerRangeTemplate(t *testing.T) {
 	}
 }
 
+// TestPlannerRangeValueBounds: with min/max statistics, literal bounds
+// interpolate — a narrow slice of the domain beats the scan where the
+// shape-only guess refused it, a window outside the domain estimates zero,
+// and slot bounds keep the shape fractions (template discipline).
+func TestPlannerRangeValueBounds(t *testing.T) {
+	db, _ := indexFixture(t)
+	newChecker := func(min, max *relation.Value) *Checker {
+		_, c := indexFixture(t)
+		c.WithStats(&fakeStats{blocks: 1000}).
+			WithIndexes(&fakeCatalog{rel: "ITEM", attr: "qty", name: "ix_qty",
+				key: []string{"id"}, avg: 4, entries: 250, min: min, max: max})
+		return c
+	}
+	lo, hi := relation.Int(0), relation.Int(999)
+
+	// Shape-only 1/3: matched 84, probes 420, 4×420 > 1000 → scan.
+	q := ra.MustParse("select I.id from ITEM I where I.qty >= 990", db)
+	info, err := newChecker(nil, nil).Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findIndexRange(info.Root) != nil {
+		t.Fatalf("one-sided range took the walk without statistics: %s", info.Root)
+	}
+	// Interpolated: (999−990)/999 of 250 entries ≈ 3 lists → walk wins.
+	info, err = newChecker(&lo, &hi).Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findIndexRange(info.Root) == nil {
+		t.Fatalf("selective one-sided literal range still scans with min/max: %s", info.Root)
+	}
+	// Unselective stays a scan even with statistics.
+	q2 := ra.MustParse("select I.id from ITEM I where I.qty >= 100", db)
+	info, err = newChecker(&lo, &hi).Plan(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findIndexRange(info.Root) != nil {
+		t.Fatalf("unselective range took the walk: %s", info.Root)
+	}
+	// A window past the domain estimates zero matched lists → walk wins.
+	q3 := ra.MustParse("select I.id from ITEM I where I.qty between 2000 and 3000", db)
+	info, err = newChecker(&lo, &hi).Plan(q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findIndexRange(info.Root) == nil {
+		t.Fatalf("out-of-domain window scanned instead of walking nothing: %s", info.Root)
+	}
+	// Slot bounds must plan like the stat-less case.
+	q4 := ra.MustParse("select I.id from ITEM I where I.qty >= ?", db)
+	info, err = newChecker(&lo, &hi).Plan(q4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findIndexRange(info.Root) != nil {
+		t.Fatalf("`?` bound planned value-dependently: %s", info.Root)
+	}
+}
+
+// TestPlannerRangeLimitPushdown: the qualifying shape carries the query's
+// LIMIT into the IndexRange leaf — as a literal or a slot — and
+// disqualifying shapes do not.
+func TestPlannerRangeLimitPushdown(t *testing.T) {
+	c, _ := rangeFixture(t)
+	db, _ := indexFixture(t)
+	q := ra.MustParse("select I.id from ITEM I where I.sku between 'A' and 'B' limit 5", db)
+	info, err := c.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := findIndexRange(info.Root)
+	if r == nil || r.Limit == nil || r.Limit.IsSlot || r.Limit.Lit.Int != 5 {
+		t.Fatalf("LIMIT 5 not pushed into the walk: %s", info.Root)
+	}
+	q2 := ra.MustParse("select I.id from ITEM I where I.sku between ? and ? limit ?", db)
+	info, err = c.Plan(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = findIndexRange(info.Root)
+	if r == nil || r.Limit == nil || !r.Limit.IsSlot || r.Limit.Slot != 2 {
+		t.Fatalf("LIMIT ? not pushed as a slot: %s", info.Root)
+	}
+	bound, err := info.Bind([]relation.Value{relation.String("A"), relation.String("B"), relation.Int(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := findIndexRange(bound.Root)
+	if br.Limit == nil || br.Limit.IsSlot || br.Limit.Lit.Int != 7 {
+		t.Fatalf("bound limit = %s", bound.Root)
+	}
+	// An extra predicate on another attribute can drop walked postings.
+	q3 := ra.MustParse("select I.id from ITEM I where I.sku between 'A' and 'B' and I.qty > 3 limit 5", db)
+	info, err = c.Plan(q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := findIndexRange(info.Root); r != nil && r.Limit != nil {
+		t.Fatalf("limit pushed despite a residual predicate: %s", info.Root)
+	}
+	// A slot conjunct the literal bound merge dropped stays residual and
+	// can be stricter than the walk's fence; stopping at the limit would
+	// discard rows the residual admits later in the range (regression: the
+	// exactness check used to consider only the surviving bound).
+	q4 := ra.MustParse("select I.id from ITEM I where I.sku >= 'A' and I.sku <= 'B' and I.sku >= ? limit 2", db)
+	info, err = c.Plan(q4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := findIndexRange(info.Root); r != nil && r.Limit != nil {
+		t.Fatalf("limit pushed despite an unenforced slot conjunct: %s", info.Root)
+	}
+}
+
+// TestPlanInfoRelations: every plan records the sorted base-relation set
+// its execution reads — the serving layer's lock set.
+func TestPlanInfoRelations(t *testing.T) {
+	c, _ := rangeFixture(t)
+	db, _ := indexFixture(t)
+	q := ra.MustParse("select I.id from ITEM I where I.sku between 'A' and 'B'", db)
+	info, err := c.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Relations) != 1 || info.Relations[0] != "ITEM" {
+		t.Fatalf("Relations = %v, want [ITEM]", info.Relations)
+	}
+}
+
 // TestPlannerRangeCost: a small instance or a wide range keeps the scan.
 func TestPlannerRangeCost(t *testing.T) {
 	db, _ := indexFixture(t)

@@ -75,6 +75,63 @@ type Stats struct {
 	// between adjacent lengths per call, so MaxPosting retightens in
 	// amortized O(1) without ever rescanning the index.
 	lens map[int]int
+
+	// vals lists the distinct indexed values currently present, sorted in
+	// encoded (memcmp) key order — the order the posting key space walks
+	// in. Maintenance splices one entry per created or drained posting
+	// list, so the min/max the planner uses to tighten range selectivity
+	// decay under deletes exactly like MaxPosting does.
+	vals []valEntry
+}
+
+// valEntry pairs a distinct indexed value with its encoded key, which
+// defines the sort order of Stats.vals.
+type valEntry struct {
+	key string
+	val relation.Value
+}
+
+// addValue splices a newly present distinct value into the sorted list.
+func (st *Stats) addValue(v relation.Value) {
+	k := string(relation.AppendValue(nil, v))
+	at := sort.Search(len(st.vals), func(i int) bool { return st.vals[i].key >= k })
+	if at < len(st.vals) && st.vals[at].key == k {
+		return
+	}
+	st.vals = append(st.vals, valEntry{})
+	copy(st.vals[at+1:], st.vals[at:])
+	st.vals[at] = valEntry{key: k, val: v}
+}
+
+// setValues installs the distinct-value list in one shot — backfill and
+// Load use it so building an index stays O(n log n) in the distinct-value
+// count instead of paying a splice per value. The input may be unordered.
+func (st *Stats) setValues(vals []relation.Value) {
+	st.vals = make([]valEntry, len(vals))
+	for i, v := range vals {
+		st.vals[i] = valEntry{key: string(relation.AppendValue(nil, v)), val: v}
+	}
+	sort.Slice(st.vals, func(i, j int) bool { return st.vals[i].key < st.vals[j].key })
+}
+
+// removeValue splices a drained distinct value out of the sorted list.
+func (st *Stats) removeValue(v relation.Value) {
+	k := string(relation.AppendValue(nil, v))
+	at := sort.Search(len(st.vals), func(i int) bool { return st.vals[i].key >= k })
+	if at >= len(st.vals) || st.vals[at].key != k {
+		return
+	}
+	st.vals = append(st.vals[:at], st.vals[at+1:]...)
+}
+
+// ValueBounds returns the smallest and largest indexed value currently
+// present (in encoded key order, which matches the posting walk). ok is
+// false for an empty index.
+func (st *Stats) ValueBounds() (lo, hi relation.Value, ok bool) {
+	if len(st.vals) == 0 {
+		return relation.Value{}, relation.Value{}, false
+	}
+	return st.vals[0].val, st.vals[len(st.vals)-1].val, true
 }
 
 // bump moves one posting list from length `from` to length `to` (zero
@@ -207,13 +264,16 @@ func (m *Manager) Create(name, rel, attr string, schema *relation.Schema, tuples
 		}
 	}
 	st := &Stats{}
+	distinct := make([]relation.Value, 0, len(order))
 	for _, vk := range order {
 		lst := groups[vk]
 		m.cluster.Put(postingKey(d.id, valOf[vk]), joinPostings(lst))
 		st.Entries++
 		st.Postings += len(lst)
 		st.bump(0, len(lst))
+		distinct = append(distinct, valOf[vk])
 	}
+	st.setValues(distinct)
 	m.cluster.Put(catalogKey(name), encodeCatalog(d))
 	m.defs[name] = d
 	m.byAttr[attrKey(rel, attr)] = name
@@ -256,9 +316,23 @@ func (m *Manager) Delete(rel string, t relation.Tuple) error {
 	return m.maintain(rel, t, false)
 }
 
+// maintain updates every index on rel for one inserted or deleted tuple in
+// two phases: a validate-and-read phase that performs every fallible step
+// (arity checks, posting reads, payload decoding) without writing anything,
+// and an apply phase of pure cluster puts/deletes that cannot fail. An error
+// therefore leaves every posting list exactly as it was — the write path's
+// callers rely on this to keep relation, blocks, and postings consistent.
 func (m *Manager) maintain(rel string, t relation.Tuple, insert bool) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	type edit struct {
+		d       *Def
+		v       relation.Value
+		key     []byte
+		oldLen  int
+		payload [][]byte
+	}
+	var edits []edit
 	for _, d := range m.defs {
 		if d.Rel != rel {
 			continue
@@ -276,32 +350,38 @@ func (m *Manager) maintain(rel string, t relation.Tuple, insert bool) error {
 				return fmt.Errorf("index: %s: %v", d.Name, err)
 			}
 		}
-		st := m.stats[d.Name]
+		oldLen := len(lst)
+		var next [][]byte
+		var changed bool
 		if insert {
-			grown, added := insertPosting(lst, pk)
-			if !added {
-				continue
-			}
-			m.cluster.Put(key, joinPostings(grown))
-			st.Postings++
-			if len(grown) == 1 {
-				st.Entries++
-			}
-			st.bump(len(lst), len(grown))
-			continue
-		}
-		shrunk, removed := removePosting(lst, pk)
-		if !removed {
-			continue
-		}
-		if len(shrunk) == 0 {
-			m.cluster.Delete(key)
-			st.Entries--
+			next, changed = insertPosting(lst, pk)
 		} else {
-			m.cluster.Put(key, joinPostings(shrunk))
+			next, changed = removePosting(lst, pk)
 		}
-		st.Postings--
-		st.bump(len(lst), len(shrunk))
+		if !changed {
+			continue
+		}
+		edits = append(edits, edit{d: d, v: v, key: key, oldLen: oldLen, payload: next})
+	}
+	for _, e := range edits {
+		st := m.stats[e.d.Name]
+		if len(e.payload) == 0 {
+			m.cluster.Delete(e.key)
+			st.Entries--
+			st.removeValue(e.v)
+		} else {
+			m.cluster.Put(e.key, joinPostings(e.payload))
+			if e.oldLen == 0 {
+				st.Entries++
+				st.addValue(e.v)
+			}
+		}
+		if insert {
+			st.Postings++
+		} else {
+			st.Postings--
+		}
+		st.bump(e.oldLen, len(e.payload))
 	}
 	return nil
 }
@@ -371,11 +451,26 @@ func (m *Manager) Lookup(name string, v relation.Value) ([]relation.Tuple, int, 
 // regardless of how the key space is sharded. scanned reports the number of
 // posting lists visited (the walk's scan steps).
 func (m *Manager) Range(name string, lo, hi *relation.Value, loIncl, hiIncl bool) (vals []relation.Value, keys []relation.Tuple, scanned int, err error) {
+	return m.RangeLimit(name, lo, hi, loIncl, hiIncl, -1)
+}
+
+// RangeLimit is Range bounded to the first limit postings in (value, block
+// key) order; a negative limit is unbounded, a zero limit returns nothing.
+// The merge is streaming: each storage node walks its slice of the posting
+// key space in ascending order and stops as soon as it alone has yielded
+// limit entries — since a node's walk is ordered, no later posting list on
+// it can displace an already-collected entry from the global first limit.
+// A bound LIMIT k therefore costs O(k) scan steps per node, not O(range):
+// the walk never visits the posting lists past the ones the answer needs.
+func (m *Manager) RangeLimit(name string, lo, hi *relation.Value, loIncl, hiIncl bool, limit int) (vals []relation.Value, keys []relation.Tuple, scanned int, err error) {
 	m.mu.RLock()
 	d, ok := m.defs[name]
 	m.mu.RUnlock()
 	if !ok {
 		return nil, nil, 0, fmt.Errorf("index: unknown index %q", name)
+	}
+	if limit == 0 {
+		return nil, nil, 0, nil
 	}
 	pfx := prefix(d.id)
 	var loKey, hiKey []byte
@@ -394,47 +489,56 @@ func (m *Manager) Range(name string, lo, hi *relation.Value, loIncl, hiIncl bool
 	var entries []entry
 	seen := make(map[string]bool)
 	var scanErr error
-	m.cluster.ScanRange(pfx, loKey, hiKey, func(k, v []byte) bool {
-		// Open bounds: the fences are inclusive at the byte level, so an
-		// excluded endpoint shows up as its exact posting key and is skipped.
-		if !loIncl && loKey != nil && bytes.Equal(k, loKey) {
-			return true
-		}
-		if !hiIncl && hiKey != nil && bytes.Equal(k, hiKey) {
-			return true
-		}
-		val, _, err := relation.DecodeValue(k[len(pfx):])
-		if err != nil {
-			scanErr = fmt.Errorf("index: %s: corrupt posting key: %v", name, err)
-			return false
-		}
-		lst, err := splitPostings(v, width)
-		if err != nil {
-			scanErr = fmt.Errorf("index: %s: %v", name, err)
-			return false
-		}
-		scanned++
-		for _, pk := range lst {
-			if seen[string(pk)] {
-				continue
+	for node := 0; node < m.cluster.NodeCount(); node++ {
+		fromNode := 0
+		m.cluster.ScanRangeNode(node, pfx, loKey, hiKey, func(k, v []byte) bool {
+			// Open bounds: the fences are inclusive at the byte level, so an
+			// excluded endpoint shows up as its exact posting key and is skipped.
+			if !loIncl && loKey != nil && bytes.Equal(k, loKey) {
+				return true
 			}
-			seen[string(pk)] = true
-			t, _, err := relation.DecodeTuple(pk, width)
+			if !hiIncl && hiKey != nil && bytes.Equal(k, hiKey) {
+				return true
+			}
+			val, _, err := relation.DecodeValue(k[len(pfx):])
 			if err != nil {
-				scanErr = fmt.Errorf("index: %s: corrupt posting: %v", name, err)
+				scanErr = fmt.Errorf("index: %s: corrupt posting key: %v", name, err)
 				return false
 			}
-			entries = append(entries, entry{ord: string(k[len(pfx):]) + string(pk), val: val, key: t})
+			lst, err := splitPostings(v, width)
+			if err != nil {
+				scanErr = fmt.Errorf("index: %s: %v", name, err)
+				return false
+			}
+			scanned++
+			for _, pk := range lst {
+				if seen[string(pk)] {
+					continue
+				}
+				seen[string(pk)] = true
+				t, _, err := relation.DecodeTuple(pk, width)
+				if err != nil {
+					scanErr = fmt.Errorf("index: %s: corrupt posting: %v", name, err)
+					return false
+				}
+				entries = append(entries, entry{ord: string(k[len(pfx):]) + string(pk), val: val, key: t})
+				fromNode++
+			}
+			// Whole posting lists only: entries within one list are already
+			// key-ordered, so the cut stays sound at list granularity.
+			return limit < 0 || fromNode < limit
+		})
+		if scanErr != nil {
+			return nil, nil, scanned, scanErr
 		}
-		return true
-	})
-	if scanErr != nil {
-		return nil, nil, scanned, scanErr
 	}
 	// Nodes are walked one after another, each in key order; merge to one
 	// global (value, block key) order so results are deterministic across
 	// engine kinds and shard layouts.
 	sort.Slice(entries, func(i, j int) bool { return entries[i].ord < entries[j].ord })
+	if limit >= 0 && len(entries) > limit {
+		entries = entries[:limit]
+	}
 	vals = make([]relation.Value, len(entries))
 	keys = make([]relation.Tuple, len(entries))
 	for i, e := range entries {
@@ -485,6 +589,20 @@ func (m *Manager) Shape(name string) (entries, postings int) {
 	return 0, 0
 }
 
+// ValueBounds returns the smallest and largest value currently indexed by
+// the named index — the per-index min/max statistic the planner uses to
+// tighten range-selectivity estimates for literal bounds. It implements
+// core.IndexCatalog; ok is false for unknown or empty indexes.
+func (m *Manager) ValueBounds(name string) (lo, hi relation.Value, ok bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	st, found := m.stats[name]
+	if !found {
+		return relation.Value{}, relation.Value{}, false
+	}
+	return st.ValueBounds()
+}
+
 // MaxPostings returns the longest posting list of the named index; the
 // boundedness check compares it against the degree bound.
 func (m *Manager) MaxPostings(name string) int {
@@ -496,7 +614,8 @@ func (m *Manager) MaxPostings(name string) int {
 	return 0
 }
 
-// StatsOf snapshots the named index's statistics.
+// StatsOf snapshots the named index's statistics. The snapshot detaches the
+// internal histogram and value list, which later maintenance keeps mutating.
 func (m *Manager) StatsOf(name string) (Stats, bool) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -504,7 +623,10 @@ func (m *Manager) StatsOf(name string) (Stats, bool) {
 	if !ok {
 		return Stats{}, false
 	}
-	return *st, true
+	out := *st
+	out.lens = nil
+	out.vals = append([]valEntry{}, st.vals...)
+	return out, true
 }
 
 // DefOf returns a copy of the named index's definition.
@@ -570,8 +692,15 @@ func (m *Manager) Load(rels map[string]*relation.Schema) error {
 		d.id = id
 		st := &Stats{}
 		width := len(d.Key)
-		m.cluster.Scan(prefix(d.id), func(_, v []byte) bool {
+		pfx := prefix(d.id)
+		var distinct []relation.Value
+		m.cluster.Scan(pfx, func(k, v []byte) bool {
 			lst, err := splitPostings(v, width)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			val, _, err := relation.DecodeValue(k[len(pfx):])
 			if err != nil {
 				scanErr = err
 				return false
@@ -579,8 +708,10 @@ func (m *Manager) Load(rels map[string]*relation.Schema) error {
 			st.Entries++
 			st.Postings += len(lst)
 			st.bump(0, len(lst))
+			distinct = append(distinct, val)
 			return true
 		})
+		st.setValues(distinct)
 		if scanErr != nil {
 			return scanErr
 		}

@@ -76,6 +76,9 @@ func Bind(p Plan, params []relation.Value) (Plan, error) {
 		if out.Hi, err = resolveBound(n.Hi); err != nil {
 			return nil, err
 		}
+		if out.Limit, err = resolveBound(n.Limit); err != nil {
+			return nil, err
+		}
 		return &out, nil
 	case *Select:
 		in, err := Bind(n.Input, params)

@@ -170,15 +170,37 @@ func RangeBounds(n *IndexRange) (lo, hi *relation.Value, err error) {
 	return lo, hi, err
 }
 
+// RangeWalkLimit resolves an IndexRange node's pushed-down LIMIT into the
+// posting cap the walk takes: -1 when the node carries none. It fails on
+// unresolved slots and on non-integer or negative bound values (which the
+// query-level LIMIT validation rejects before execution anyway).
+func RangeWalkLimit(n *IndexRange) (int, error) {
+	if n.Limit == nil {
+		return -1, nil
+	}
+	if n.Limit.IsSlot {
+		return 0, fmt.Errorf("kba: plan template has unbound parameters (call Bind before executing)")
+	}
+	v := n.Limit.Lit
+	if v.Kind != relation.KindInt || v.Int < 0 {
+		return 0, fmt.Errorf("kba: index range limit must be a non-negative integer, got %s", v)
+	}
+	return int(v.Int), nil
+}
+
 func (e *Executor) runIndexRange(n *IndexRange) (*KeyedRel, error) {
 	lo, hi, err := RangeBounds(n)
+	if err != nil {
+		return nil, err
+	}
+	limit, err := RangeWalkLimit(n)
 	if err != nil {
 		return nil, err
 	}
 	if e.Store.Index == nil {
 		return nil, fmt.Errorf("kba: plan uses index %q but the store has no index catalog", n.Index)
 	}
-	vals, keys, scanned, err := e.Store.Index.Range(n.Index, lo, hi, n.LoIncl, n.HiIncl)
+	vals, keys, scanned, err := e.Store.Index.RangeLimit(n.Index, lo, hi, n.LoIncl, n.HiIncl, limit)
 	if err != nil {
 		return nil, err
 	}

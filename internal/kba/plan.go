@@ -187,6 +187,13 @@ type IndexRange struct {
 	Lo, Hi *Arg
 	// LoIncl and HiIncl select closed (<=) or open (<) ends.
 	LoIncl, HiIncl bool
+	// Limit, when non-nil, bounds the walk to the first Limit postings in
+	// (value, block key) order — the planner pushes a query's LIMIT down
+	// here when every walked posting is guaranteed to survive to the
+	// output, so the ordered merge stops O(limit) steps in instead of
+	// paying for the whole range. Like the bounds it is a bind-time Arg,
+	// so a `LIMIT ?` template fixes the plan once and binds per execution.
+	Limit *Arg
 }
 
 // Children implements Plan.
@@ -194,7 +201,8 @@ func (r *IndexRange) Children() []Plan { return nil }
 
 // hasSlots reports whether a bound still references a parameter slot.
 func (r *IndexRange) hasSlots() bool {
-	return (r.Lo != nil && r.Lo.IsSlot) || (r.Hi != nil && r.Hi.IsSlot)
+	return (r.Lo != nil && r.Lo.IsSlot) || (r.Hi != nil && r.Hi.IsSlot) ||
+		(r.Limit != nil && r.Limit.IsSlot)
 }
 
 // String renders the node with interval notation: closed/open brackets for
@@ -214,7 +222,11 @@ func (r *IndexRange) String() string {
 			hib = "]"
 		}
 	}
-	return fmt.Sprintf("IndexRange[%s∈%s%s, %s%s as %s]", r.Index, lob, lo, hi, hib, r.Alias)
+	limit := ""
+	if r.Limit != nil {
+		limit = " limit " + r.Limit.String()
+	}
+	return fmt.Sprintf("IndexRange[%s∈%s%s, %s%s%s as %s]", r.Index, lob, lo, hi, hib, limit, r.Alias)
 }
 
 // Shift is the shift operator ↑: it re-keys the input instance on NewKey.

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Cluster is a hash-sharded collection of storage nodes: the distributed
@@ -21,6 +23,25 @@ import (
 type Cluster struct {
 	kind  EngineKind
 	nodes []*node
+
+	// opDelayNanos, when non-zero, emulates the network round trip a real
+	// SQL-over-NoSQL deployment pays per storage operation (the in-process
+	// cluster is otherwise latency-free): each get/put/delete, and each
+	// node seek of a scan, sleeps this long outside the node's lock.
+	// Benchmarks that study how locking regimes overlap storage waits
+	// (zidian-bench -exp mixed) opt in via SetOpDelay; the default is off.
+	opDelayNanos atomic.Int64
+}
+
+// SetOpDelay installs an emulated per-operation storage latency (zero
+// disables). Safe to change at runtime.
+func (c *Cluster) SetOpDelay(d time.Duration) { c.opDelayNanos.Store(int64(d)) }
+
+// opWait sleeps the emulated storage latency, if any.
+func (c *Cluster) opWait() {
+	if d := c.opDelayNanos.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
 }
 
 type node struct {
@@ -72,6 +93,7 @@ func (c *Cluster) Get(key []byte) ([]byte, bool) { return c.GetRouted(key, key) 
 // that owns route rather than key. BaaV stores route all segments of one
 // logical block by the block's key prefix so the block stays colocated.
 func (c *Cluster) GetRouted(route, key []byte) ([]byte, bool) {
+	c.opWait()
 	n := c.nodes[c.NodeFor(route)]
 	n.mu.RLock()
 	v, ok := n.eng.Get(key)
@@ -85,6 +107,7 @@ func (c *Cluster) Put(key, value []byte) { c.PutRouted(key, key, value) }
 
 // PutRouted is Put with an explicit routing key.
 func (c *Cluster) PutRouted(route, key, value []byte) {
+	c.opWait()
 	n := c.nodes[c.NodeFor(route)]
 	n.mu.Lock()
 	n.eng.Put(key, value)
@@ -97,6 +120,7 @@ func (c *Cluster) Delete(key []byte) bool { return c.DeleteRouted(key, key) }
 
 // DeleteRouted is Delete with an explicit routing key.
 func (c *Cluster) DeleteRouted(route, key []byte) bool {
+	c.opWait()
 	n := c.nodes[c.NodeFor(route)]
 	n.mu.Lock()
 	ok := n.eng.Delete(key)
@@ -111,6 +135,7 @@ func (c *Cluster) DeleteRouted(route, key []byte) bool {
 func (c *Cluster) Scan(prefix []byte, fn func(key, value []byte) bool) {
 	for _, n := range c.nodes {
 		stop := false
+		c.opWait() // one emulated seek round trip per node
 		unlock := n.lockScan()
 		n.eng.Scan(prefix, func(k, v []byte) bool {
 			n.metrics.countScanNext(len(v))
@@ -136,6 +161,20 @@ func (c *Cluster) Scan(prefix []byte, fn func(key, value []byte) bool) {
 // hash-sharded key space costs O(matching pairs) scan steps, not
 // O(key space). Every visited pair counts as one scan step.
 func (c *Cluster) ScanRange(prefix, lo, hi []byte, fn func(key, value []byte) bool) {
+	for i := range c.nodes {
+		if !c.ScanRangeNode(i, prefix, lo, hi, fn) {
+			return
+		}
+	}
+}
+
+// ScanRangeNode is ScanRange restricted to one storage node: it walks the
+// node's pairs inside the window in ascending key order and reports whether
+// the walk reached the window's end (false: fn stopped it early). Callers
+// that merge across nodes use it to stop each node independently — a
+// LIMIT-bounded posting walk stops a node as soon as that node has yielded
+// enough entries, without abandoning the other nodes' contributions.
+func (c *Cluster) ScanRangeNode(i int, prefix, lo, hi []byte, fn func(key, value []byte) bool) bool {
 	start := prefix
 	if bytes.Compare(lo, prefix) > 0 {
 		start = lo
@@ -148,25 +187,23 @@ func (c *Cluster) ScanRange(prefix, lo, hi []byte, fn func(key, value []byte) bo
 	if hi == nil {
 		hi = prefixSuccessor(prefix)
 	}
-	for _, n := range c.nodes {
-		stop := false
-		unlock := n.lockScan()
-		n.eng.ScanRange(start, hi, func(k, v []byte) bool {
-			if !bytes.HasPrefix(k, prefix) {
-				return false // past the prefix on this node; next node
-			}
-			n.metrics.countScanNext(len(v))
-			if !fn(k, v) {
-				stop = true
-				return false
-			}
-			return true
-		})
-		unlock()
-		if stop {
-			return
+	n := c.nodes[i]
+	stopped := false
+	c.opWait() // one emulated seek round trip per node
+	unlock := n.lockScan()
+	n.eng.ScanRange(start, hi, func(k, v []byte) bool {
+		if !bytes.HasPrefix(k, prefix) {
+			return false // past the prefix on this node; next node
 		}
-	}
+		n.metrics.countScanNext(len(v))
+		if !fn(k, v) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	unlock()
+	return !stopped
 }
 
 // prefixSuccessor returns the smallest byte string greater than every key
@@ -188,6 +225,7 @@ func prefixSuccessor(prefix []byte) []byte {
 // drivers partition work across nodes with it.
 func (c *Cluster) ScanNode(i int, prefix []byte, fn func(key, value []byte) bool) {
 	n := c.nodes[i]
+	c.opWait() // one emulated seek round trip per node
 	defer n.lockScan()()
 	n.eng.Scan(prefix, func(k, v []byte) bool {
 		n.metrics.countScanNext(len(v))

@@ -210,10 +210,14 @@ func (e *kbaExec) runIndexRange(n *kba.IndexRange) (*pval, error) {
 	if err != nil {
 		return nil, err
 	}
+	limit, err := kba.RangeWalkLimit(n)
+	if err != nil {
+		return nil, err
+	}
 	if e.store.Index == nil {
 		return nil, fmt.Errorf("parallel: plan uses index %q but the store has no index catalog", n.Index)
 	}
-	vals, keys, scanned, err := e.store.Index.Range(n.Index, lo, hi, n.LoIncl, n.HiIncl)
+	vals, keys, scanned, err := e.store.Index.RangeLimit(n.Index, lo, hi, n.LoIncl, n.HiIncl, limit)
 	if err != nil {
 		return nil, err
 	}

@@ -40,6 +40,15 @@ type Template struct {
 	Base int
 	// Span is the width added per subsequent verb of a multi-verb template.
 	Span int
+	// Write marks a data-modifying template: Format is an INSERT whose %d
+	// verbs (pk and any fk positions, Span 0) all take one globally unique
+	// base id per request, sent via exec instead of query.
+	Write bool
+	// Delete, on a write template, is the paired single-verb DELETE format;
+	// the generator occasionally deletes a previously inserted id through
+	// it, so the write mix exercises both maintenance directions and the
+	// dataset stays roughly stable.
+	Delete string
 }
 
 // verbs returns the effective verb count.
@@ -180,6 +189,66 @@ func rangeTemplates(workload string) ([]Template, []string, error) {
 	}
 }
 
+// readWriteTemplates returns the mixed read/write suite for a workload: a
+// read side spread across the relations (point and chain lookups plus an
+// index-served range, so reads hold shared relation locks of every flavor)
+// and a write side of INSERT/DELETE templates over two different relations
+// (so writers exercise disjoint write locks, and index posting maintenance
+// rides the written relations' locks). The setup DDL creates the index the
+// suites rely on. The throughput contrast between Config.GlobalWriteLock
+// and per-relation locking on this suite is the PR's headline number.
+func readWriteTemplates(workload string) (reads, writes []Template, setup []string, err error) {
+	switch workload {
+	case "mot":
+		// The read side is OLTP-shaped — cheap point and chain lookups, a
+		// few storage round trips each — leaning toward VEHICLE, the
+		// relation the writers never touch, so per-relation locking has
+		// disjoint traffic to overlap; the TEST/OBSERVATION reads keep the
+		// conflict path honest. Writes are single-row inserts paired with
+		// deletes of earlier inserts: each is a handful of block and
+		// posting maintenance round trips — an exclusive window the
+		// instance-wide gate charges to every statement, and a
+		// per-relation lock charges only to the written relation's.
+		reads = []Template{
+			{Name: "vehicle_lookup", Format: "select V.make, V.model, V.fuel, V.year from VEHICLE V where V.vehicle_id = %d"},
+			{Name: "vehicle_detail", Format: "select V.color, V.region, V.engine_cc from VEHICLE V where V.vehicle_id = %d"},
+			{Name: "vehicle_profile", Format: "select V.make, V.model, T.test_date, T.result from VEHICLE V, TEST T where V.vehicle_id = %d and T.vehicle_id = V.vehicle_id"},
+			{Name: "test_history", Format: "select T.test_date, T.result, T.mileage from TEST T where T.vehicle_id = %d"},
+			{Name: "obs_history", Format: "select O.obs_date, O.speed, O.road_type from OBSERVATION O where O.vehicle_id = %d"},
+		}
+		// Every insert's keys are derived from the unique base id — fresh
+		// blocks per statement on every KV schema (vehicle_by_make_model
+		// via the model name, obs_by_region via the region) — so write
+		// cost stays O(deg), matching module M4, instead of piling one hot
+		// block forever.
+		writes = []Template{
+			{Name: "write_vehicle", Write: true, Verbs: 3,
+				Format: "insert into VEHICLE values (%d, 'ZMAKE', 'ZM-%d', 'PETROL', 'BLACK', 2026, 1600, 'R-%d', 1200, 4, 120, 'BAND-A', '2026-01-15')",
+				Delete: "delete from VEHICLE where vehicle_id = %d"},
+			{Name: "write_test", Write: true, Verbs: 2,
+				Format: "insert into TEST values (%d, %d, 3, '2026-01-15', 'PASS', 52000, 'CLASS-4', 45.50, 35, 0, 1, 0, 77, 'MI')",
+				Delete: "delete from TEST where test_id = %d"},
+			{Name: "write_obs", Write: true, Verbs: 4,
+				Format: "insert into OBSERVATION values (%d, %d, %d, '2026-01-15', 44, 'N', 1, 'DRY', 12, 'R-%d', 9, 0, 2, 1, 'URBAN')",
+				Delete: "delete from OBSERVATION where obs_id = %d"},
+		}
+		// The speed index keeps secondary-index posting maintenance on the
+		// OBSERVATION write path, under that relation's lock.
+		setup = []string{"create index ix_obs_speed on OBSERVATION(speed)"}
+		return reads, writes, setup, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("loadgen: no read/write templates for workload %q", workload)
+	}
+}
+
+// ReadWriteMix returns the mixed read/write suite for a workload: the read
+// templates, the write templates, and the setup DDL. Pass the reads as
+// Options.Templates and the writes as Options.WriteTemplates with a
+// WriteFraction.
+func ReadWriteMix(workload string) (reads, writes []Template, setup []string, err error) {
+	return readWriteTemplates(workload)
+}
+
 // TemplatesMix returns the template suite for a workload under a query mix,
 // plus the setup statements (DDL) the suite needs once per server:
 //
@@ -187,6 +256,9 @@ func rangeTemplates(workload string) ([]Template, []string, error) {
 //	nonkey — selective non-key predicates served by secondary indexes
 //	range  — BETWEEN windows served by ordered posting scans
 //	mixed  — all suites interleaved
+//
+// The readwrite mix does not fit this signature (it adds write templates);
+// use ReadWriteMix for it.
 func TemplatesMix(workload, mix string) ([]Template, []string, error) {
 	switch mix {
 	case "", "point":
@@ -243,6 +315,19 @@ type Options struct {
 	// the distinct-literal regime where literal-inlined caching degrades to
 	// ~0% hits. Only meaningful for numeric templates.
 	DistinctParams bool
+	// WriteTemplates, with WriteFraction > 0, mixes writes into the load:
+	// each request flips a coin and, at the write fraction, draws a write
+	// template instead of a read. Inserts take a globally unique id
+	// (WriteIDBase + client × Requests + request), deletes reclaim ids the
+	// same client inserted earlier, so the statements never collide across
+	// clients and the mixed run is reproducible.
+	WriteTemplates []Template
+	// WriteFraction is the probability a request is a write (0..1).
+	WriteFraction float64
+	// WriteIDBase offsets the unique write ids clear of the generated
+	// dataset's pk space (default 1<<21). Reruns against a warm server
+	// should vary it to keep inserted pks fresh.
+	WriteIDBase int
 }
 
 func (o Options) normalized() Options {
@@ -257,6 +342,9 @@ func (o Options) normalized() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.WriteIDBase == 0 {
+		o.WriteIDBase = 1 << 21
 	}
 	return o
 }
@@ -290,6 +378,10 @@ type Report struct {
 	// Parameterized records whether statements were sent as `?` templates
 	// with wire parameters.
 	Parameterized bool `json:"parameterized,omitempty"`
+	// Writes counts the data-modifying statements issued; WriteFraction
+	// echoes the configured write probability.
+	Writes        int64   `json:"writes,omitempty"`
+	WriteFraction float64 `json:"writeFraction,omitempty"`
 	// PlanCacheHitRateDistinctLiterals is the cache hit rate of the
 	// distinct-literal phase run with parameterized statements: every
 	// request uses a literal never seen before, and only template reuse can
@@ -348,6 +440,7 @@ func Run(opts Options) (*Report, error) {
 		hits     int64
 		scanFree int64
 		answered int64
+		writes   int64
 	}
 	results := make([]workerResult, opts.Clients)
 	// Derive each template's `?` form once, outside the timed loop.
@@ -366,7 +459,33 @@ func Run(opts Options) (*Report, error) {
 			r := rand.New(rand.NewSource(opts.Seed + int64(i)))
 			res := &results[i]
 			res.lat = make([]int64, 0, opts.Requests)
+			// Per write template, the ids this client has inserted and not
+			// yet deleted — the pool its paired deletes reclaim from.
+			live := make([][]int, len(opts.WriteTemplates))
 			for n := 0; n < opts.Requests; n++ {
+				if len(opts.WriteTemplates) > 0 && r.Float64() < opts.WriteFraction {
+					wi := r.Intn(len(opts.WriteTemplates))
+					wt := opts.WriteTemplates[wi]
+					var stmt string
+					if wt.Delete != "" && len(live[wi]) > 0 && r.Float64() < 0.3 {
+						at := r.Intn(len(live[wi]))
+						id := live[wi][at]
+						live[wi] = append(live[wi][:at], live[wi][at+1:]...)
+						stmt = fmt.Sprintf(wt.Delete, id)
+					} else {
+						id := opts.WriteIDBase + i*opts.Requests + n
+						live[wi] = append(live[wi], id)
+						stmt = fmt.Sprintf(wt.Format, wt.args(id)...)
+					}
+					t0 := time.Now()
+					_, err := c.Exec(stmt)
+					res.lat = append(res.lat, time.Since(t0).Microseconds())
+					res.writes++
+					if err != nil {
+						res.errs++
+					}
+					continue
+				}
 				ti := r.Intn(len(opts.Templates))
 				t := opts.Templates[ti]
 				var args []any
@@ -416,12 +535,14 @@ func Run(opts Options) (*Report, error) {
 		Clients:       opts.Clients,
 		WallSeconds:   wall.Seconds(),
 		Parameterized: opts.Parameterized,
+		WriteFraction: opts.WriteFraction,
 	}
 	var answered, hits, scanFree int64
 	for i := range results {
 		all = append(all, results[i].lat...)
 		rep.Requests += int64(len(results[i].lat))
 		rep.Errors += results[i].errs
+		rep.Writes += results[i].writes
 		answered += results[i].answered
 		hits += results[i].hits
 		scanFree += results[i].scanFree

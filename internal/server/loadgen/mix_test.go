@@ -102,6 +102,87 @@ func TestRunRangeMix(t *testing.T) {
 	}
 }
 
+// TestReadWriteMixShape checks the mixed suite's contract: reads are plain
+// query templates, writes are exec templates whose verbs all derive from
+// one unique base id (so concurrent clients never collide) with a paired
+// single-verb delete, and the setup is index DDL.
+func TestReadWriteMixShape(t *testing.T) {
+	reads, writes, setup, err := ReadWriteMix("mot")
+	if err != nil || len(reads) == 0 || len(writes) == 0 || len(setup) == 0 {
+		t.Fatalf("ReadWriteMix: %d reads, %d writes, %d setup, %v", len(reads), len(writes), len(setup), err)
+	}
+	for _, r := range reads {
+		if r.Write || r.Delete != "" {
+			t.Fatalf("read template %q marked as a write", r.Name)
+		}
+	}
+	for _, w := range writes {
+		if !w.Write || !strings.HasPrefix(w.Format, "insert into ") {
+			t.Fatalf("write template %q is not an INSERT", w.Name)
+		}
+		if !strings.HasPrefix(w.Delete, "delete from ") || strings.Count(w.Delete, "%d") != 1 {
+			t.Fatalf("write template %q has no single-verb paired delete: %q", w.Name, w.Delete)
+		}
+		for _, a := range w.args(10) {
+			if v := a.(int); v != 10 {
+				t.Fatalf("write template %q derives verb %d, want the base id", w.Name, v)
+			}
+		}
+	}
+	if _, _, _, err := ReadWriteMix("tpch"); err == nil {
+		t.Fatal("tpch has no readwrite suite; expected an error")
+	}
+}
+
+// TestRunReadWriteMix drives the mixed read/write suite end to end through
+// the wire protocol at a 50% write fraction and requires zero errors — the
+// per-relation locking path under real concurrent INSERT/DELETE traffic.
+func TestRunReadWriteMix(t *testing.T) {
+	inst, _, err := server.OpenWorkload("mot", 0.3, 7, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(inst, server.Config{MaxConcurrent: 4, QueueDepth: 64, QueueTimeout: 30 * time.Second})
+	tcp, _, err := srv.Start("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	reads, writes, setup, err := ReadWriteMix("mot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Options{
+		Addr:           tcp,
+		Clients:        4,
+		Requests:       30,
+		Templates:      reads,
+		WriteTemplates: writes,
+		WriteFraction:  0.5,
+		Setup:          setup,
+		ParamPool:      10,
+		Seed:           1,
+		Parameterized:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("readwrite mix finished with %d errors", rep.Errors)
+	}
+	if rep.Requests != 4*30 {
+		t.Fatalf("requests = %d", rep.Requests)
+	}
+	if rep.Writes == 0 || rep.Writes == rep.Requests {
+		t.Fatalf("writes = %d of %d requests; the mix did not mix", rep.Writes, rep.Requests)
+	}
+}
+
 // TestRunNonKeyMix drives the nonkey mix end to end: the setup DDL creates
 // the indexes through the wire protocol, and the run must finish with zero
 // errors. Re-running against the same warm server must tolerate the

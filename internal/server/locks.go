@@ -1,0 +1,129 @@
+package server
+
+import (
+	"sort"
+	"sync"
+)
+
+// relLocks schedules statements for mixed read/write traffic with
+// per-relation read/write locking plus one global DDL gate:
+//
+//   - A SELECT takes the global gate shared, then the read lock of every
+//     base relation its compiled plan touches, in sorted order. Readers of
+//     the same relation share; readers of different relations never meet.
+//   - An INSERT or DELETE takes the global gate shared, then its single
+//     target relation's write lock: it excludes only that relation's
+//     readers and writer. Writes to disjoint relations run in parallel,
+//     and readers of untouched relations are never stalled — the paper's
+//     module M4 makes a write touch only its own blocks and postings, so
+//     the lock scope matches the data scope. Index posting maintenance for
+//     rel(attr) rides the same write path, so a reader admitted after the
+//     write sees a consistent block/posting pair per relation.
+//   - DDL (CREATE/DROP INDEX) takes the global gate exclusive: it changes
+//     the catalog that compiled plans and the plan cache depend on, so
+//     nothing else may be in flight. Plan compilation takes the global
+//     gate shared (compileLock), preserving the cache's epoch-capture
+//     dance exactly as under the old instance-wide lock.
+//
+// Deadlock freedom: every acquisition orders the global gate first, then
+// relation locks in sorted name order; writers hold at most one relation
+// lock. There is no lock-upgrade path.
+//
+// The legacy single-gate behavior (every write excludes every read,
+// instance-wide) remains available behind globalOnly for A/B measurement —
+// zidian-bench's -exp mixed compares the two regimes.
+type relLocks struct {
+	globalOnly bool
+	global     sync.RWMutex
+
+	// rels is built once at construction from the schema's fixed relation
+	// set and never mutated after, so the hot path reads it lock-free. A
+	// name outside it (a typo'd INSERT target — the statement fails
+	// downstream anyway) maps to the shared fallback lock instead of
+	// growing state per distinct bad name.
+	rels    map[string]*sync.RWMutex
+	unknown sync.RWMutex
+}
+
+// newRelLocks builds a lock manager over the fixed relation set; globalOnly
+// selects the legacy instance-wide write gate instead of per-relation
+// locking.
+func newRelLocks(globalOnly bool, rels []string) *relLocks {
+	l := &relLocks{globalOnly: globalOnly, rels: make(map[string]*sync.RWMutex, len(rels))}
+	for _, r := range rels {
+		l.rels[r] = &sync.RWMutex{}
+	}
+	return l
+}
+
+// lockFor returns the named relation's lock, or the fallback for names
+// outside the schema. Read-only after construction — no synchronization.
+func (l *relLocks) lockFor(rel string) *sync.RWMutex {
+	if m, ok := l.rels[rel]; ok {
+		return m
+	}
+	return &l.unknown
+}
+
+// acquireRead locks the given relations for reading (shared), returning the
+// release. rels may be in any order and contain duplicates; acquisition
+// sorts and dedups so concurrent multi-relation readers cannot deadlock.
+func (l *relLocks) acquireRead(rels []string) func() {
+	l.global.RLock()
+	if l.globalOnly || len(rels) == 0 {
+		return l.global.RUnlock
+	}
+	sorted := rels
+	if !sort.StringsAreSorted(sorted) {
+		// The usual producer (PlanInfo.Relations) is already canonical;
+		// only unordered ad-hoc lists pay the copy and sort.
+		sorted = append([]string{}, rels...)
+		sort.Strings(sorted)
+	}
+	locks := make([]*sync.RWMutex, 0, len(sorted))
+	for i, r := range sorted {
+		if i > 0 && r == sorted[i-1] {
+			continue
+		}
+		m := l.lockFor(r)
+		m.RLock()
+		locks = append(locks, m)
+	}
+	return func() {
+		for i := len(locks) - 1; i >= 0; i-- {
+			locks[i].RUnlock()
+		}
+		l.global.RUnlock()
+	}
+}
+
+// acquireWrite locks one relation for writing (exclusive against its
+// readers and writer, shared against everything else), returning the
+// release.
+func (l *relLocks) acquireWrite(rel string) func() {
+	if l.globalOnly {
+		l.global.Lock()
+		return l.global.Unlock
+	}
+	l.global.RLock()
+	m := l.lockFor(rel)
+	m.Lock()
+	return func() {
+		m.Unlock()
+		l.global.RUnlock()
+	}
+}
+
+// acquireDDL locks the whole instance exclusively for a catalog change.
+func (l *relLocks) acquireDDL() func() {
+	l.global.Lock()
+	return l.global.Unlock
+}
+
+// compileLock locks the instance for plan compilation: shared with reads
+// and writes, excluded by DDL — the window in which the plan cache's epoch
+// is captured, so a plan compiled just before a DDL lands tagged stale.
+func (l *relLocks) compileLock() func() {
+	l.global.RLock()
+	return l.global.RUnlock
+}

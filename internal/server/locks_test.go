@@ -1,0 +1,138 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// mixedTestRels is the fixed relation set the lock scenarios run over.
+var mixedTestRels = []string{"VEHICLE", "TEST", "OBSERVATION"}
+
+// tryAcquire runs acquire in a goroutine and reports whether it completed
+// within the patience window, returning the release when it did. A blocked
+// acquisition keeps waiting in the background and self-releases, so each
+// scenario below uses a fresh relLocks to keep leftovers from interfering.
+func tryAcquire(acquire func() func()) (release func(), ok bool) {
+	done := make(chan func(), 1)
+	go func() { done <- acquire() }()
+	select {
+	case rel := <-done:
+		return rel, true
+	case <-time.After(200 * time.Millisecond):
+		go func() { (<-done)() }() // release once it eventually acquires
+		return nil, false
+	}
+}
+
+// TestRelLocksOverlap pins the scheduling semantics the mixed-workload
+// speedup rests on: while a writer holds one relation, readers and writers
+// of other relations proceed, only that relation's readers block, and DDL
+// excludes everything.
+func TestRelLocksOverlap(t *testing.T) {
+	// Writer vs disjoint traffic: everything not touching TEST proceeds.
+	{
+		l := newRelLocks(false, mixedTestRels)
+		releaseW := l.acquireWrite("TEST")
+		if rel, ok := tryAcquire(func() func() { return l.acquireRead([]string{"VEHICLE"}) }); !ok {
+			t.Fatal("reader of an unwritten relation blocked behind the writer")
+		} else {
+			rel()
+		}
+		if rel, ok := tryAcquire(func() func() { return l.acquireWrite("OBSERVATION") }); !ok {
+			t.Fatal("writer of a different relation blocked behind the writer")
+		} else {
+			rel()
+		}
+		releaseW()
+	}
+	// Writer vs the written relation's reader: excluded until release.
+	{
+		l := newRelLocks(false, mixedTestRels)
+		releaseW := l.acquireWrite("TEST")
+		if rel, ok := tryAcquire(func() func() { return l.acquireRead([]string{"VEHICLE", "TEST"}) }); ok {
+			rel()
+			t.Fatal("reader of the written relation was admitted mid-write")
+		}
+		releaseW()
+	}
+	// Readers share; duplicate/unsorted lock sets are fine.
+	{
+		l := newRelLocks(false, mixedTestRels)
+		r1 := l.acquireRead([]string{"TEST"})
+		r2, ok := tryAcquire(func() func() { return l.acquireRead([]string{"TEST", "VEHICLE", "TEST"}) })
+		if !ok {
+			t.Fatal("readers of one relation did not share")
+		}
+		r1()
+		r2()
+	}
+	// DDL excludes writers...
+	{
+		l := newRelLocks(false, mixedTestRels)
+		releaseW := l.acquireWrite("TEST")
+		if rel, ok := tryAcquire(l.acquireDDL); ok {
+			rel()
+			t.Fatal("DDL was admitted while a writer held a relation")
+		}
+		releaseW()
+	}
+	// ...and readers, and excludes them in turn.
+	{
+		l := newRelLocks(false, mixedTestRels)
+		r := l.acquireRead([]string{"TEST"})
+		if rel, ok := tryAcquire(l.acquireDDL); ok {
+			rel()
+			t.Fatal("DDL was admitted while a reader was in flight")
+		}
+		r()
+	}
+	{
+		l := newRelLocks(false, mixedTestRels)
+		releaseDDL := l.acquireDDL()
+		if rel, ok := tryAcquire(func() func() { return l.acquireRead([]string{"VEHICLE"}) }); ok {
+			rel()
+			t.Fatal("reader was admitted during DDL")
+		}
+		releaseDDL()
+	}
+}
+
+// TestRelLocksUnknownRelation: names outside the schema share the fallback
+// lock — the table never grows — and never stall schema relations.
+func TestRelLocksUnknownRelation(t *testing.T) {
+	l := newRelLocks(false, mixedTestRels)
+	releaseW := l.acquireWrite("NOPE")
+	if rel, ok := tryAcquire(func() func() { return l.acquireRead([]string{"VEHICLE"}) }); !ok {
+		t.Fatal("schema reader blocked behind an unknown-relation writer")
+	} else {
+		rel()
+	}
+	if rel, ok := tryAcquire(func() func() { return l.acquireWrite("ALSO-NOPE") }); ok {
+		rel()
+		t.Fatal("two unknown-relation writers did not share the fallback lock")
+	}
+	releaseW()
+}
+
+// TestRelLocksGlobalMode: the legacy gate serializes every write against
+// every read, instance-wide.
+func TestRelLocksGlobalMode(t *testing.T) {
+	{
+		l := newRelLocks(true, mixedTestRels)
+		releaseW := l.acquireWrite("TEST")
+		if rel, ok := tryAcquire(func() func() { return l.acquireRead([]string{"VEHICLE"}) }); ok {
+			rel()
+			t.Fatal("global mode admitted a reader during a write")
+		}
+		releaseW()
+	}
+	{
+		l := newRelLocks(true, mixedTestRels)
+		r := l.acquireRead([]string{"VEHICLE"})
+		if rel, ok := tryAcquire(func() func() { return l.acquireWrite("OBSERVATION") }); ok {
+			rel()
+			t.Fatal("global mode admitted a writer during a read")
+		}
+		r()
+	}
+}

@@ -32,6 +32,11 @@ type Config struct {
 	PlanCacheSize int
 	// MaxLineBytes bounds one wire-protocol line (default 1 MiB).
 	MaxLineBytes int
+	// GlobalWriteLock reverts to the legacy instance-wide write gate:
+	// every INSERT/DELETE excludes every statement on every relation,
+	// instead of only its target relation's. It exists for A/B comparison
+	// (zidian-bench -exp mixed) — per-relation locking is the default.
+	GlobalWriteLock bool
 }
 
 func (c Config) normalized() Config {
@@ -56,20 +61,25 @@ func (c Config) normalized() Config {
 // Server is a long-lived, concurrent SQL service over one opened
 // zidian.Instance. It terminates the wire protocol on TCP, serves the HTTP
 // surface, shares one plan cache and one admission gate across both, and
-// serializes data maintenance (INSERT/DELETE) against the read path with a
-// store-level RWMutex: queries run concurrently with each other; writes run
-// alone. Compiled plans survive writes — they depend only on the schemas.
+// schedules statements with per-relation read/write locking (see relLocks):
+// queries run concurrently with each other and with writes to relations
+// they do not read; an INSERT/DELETE excludes only its target relation; DDL
+// alone takes the instance-wide gate. Compiled plans survive writes — they
+// depend only on the schemas — and each plan carries the relation set its
+// execution reads, which is exactly the lock set taken.
 type Server struct {
 	inst  *zidian.Instance
 	cfg   Config
 	cache *PlanCache
 	adm   *Admission
 
-	// dbMu is the instance-level read/write gate described above. The kv
-	// cluster below is already safe for concurrent use; this lock protects
-	// the store- and relation-level bookkeeping (block counts, degrees, row
-	// counts, relation tuple slices) that maintenance mutates.
-	dbMu sync.RWMutex
+	// locks is the statement scheduler described above. The kv cluster
+	// below is already safe for concurrent use, and the store/index
+	// bookkeeping is internally synchronized; these locks provide the
+	// statement-level consistency — a reader admitted after a write sees
+	// the relation's blocks and index postings move together — and the DDL
+	// gate the plan cache's epoch capture relies on.
+	locks *relLocks
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -99,6 +109,7 @@ func New(inst *zidian.Instance, cfg Config) *Server {
 		cfg:     cfg,
 		cache:   NewPlanCache(cfg.PlanCacheSize),
 		adm:     NewAdmission(cfg.MaxConcurrent, cfg.QueueDepth, cfg.QueueTimeout),
+		locks:   newRelLocks(cfg.GlobalWriteLock, inst.Relations()),
 		ctx:     ctx,
 		cancel:  cancel,
 		conns:   make(map[net.Conn]struct{}),
@@ -355,17 +366,17 @@ func (s *Server) compile(sql string) (*zidian.Prepared, bool, error) {
 }
 
 // compileNorm is compile with the normalization already done. The cache
-// epoch is captured under the read lock — DDL holds the write lock while it
-// invalidates — so a plan compiled just before a DDL lands in the cache
-// tagged stale instead of surviving the flush.
+// epoch is captured under the compile lock — DDL holds the global gate
+// exclusively while it invalidates — so a plan compiled just before a DDL
+// lands in the cache tagged stale instead of surviving the flush.
 func (s *Server) compileNorm(norm, sql string) (*zidian.Prepared, bool, error) {
 	if p, ok := s.cache.Get(norm); ok {
 		return p, true, nil
 	}
-	s.dbMu.RLock()
+	release := s.locks.compileLock()
 	epoch := s.cache.Epoch()
 	p, err := s.inst.Prepare(sql)
-	s.dbMu.RUnlock()
+	release()
 	if err != nil {
 		return nil, false, err
 	}
@@ -373,15 +384,16 @@ func (s *Server) compileNorm(norm, sql string) (*zidian.Prepared, bool, error) {
 	return p, false, nil
 }
 
-// run executes a compiled plan under admission control and the read lock,
-// binding params into the plan template first.
+// run executes a compiled plan under admission control and the read locks
+// of the relations the plan touches, binding params into the plan template
+// first. Writes to any other relation proceed concurrently.
 func (s *Server) run(ctx context.Context, p *zidian.Prepared, params []zidian.Value) (*zidian.Result, *zidian.Stats, error) {
 	if err := s.adm.Acquire(ctx); err != nil {
 		return nil, nil, err
 	}
 	defer s.adm.Release()
-	s.dbMu.RLock()
-	defer s.dbMu.RUnlock()
+	release := s.locks.acquireRead(p.Relations())
+	defer release()
 	s.queries.Add(1)
 	return p.Run(params...)
 }
@@ -428,17 +440,44 @@ func (s *Server) runFresh(ctx context.Context, norm, sql string, p *zidian.Prepa
 	}
 }
 
-// Exec runs one non-SELECT statement (INSERT/DELETE/EXPLAIN/DDL) under the
-// exclusive write lock, binding params into `?` placeholders. Catalog-
-// changing DDL invalidates the plan cache while still holding the lock, so
-// no statement can observe the new catalog with an old plan.
+// Exec runs one SQL statement under the locks its kind requires:
+// INSERT/DELETE take their target relation's write lock (statements on
+// other relations keep flowing), DDL takes the instance-wide gate and
+// invalidates the plan cache while still holding it — so no statement can
+// observe the new catalog with an old plan — EXPLAIN takes only the compile
+// lock (it plans, it touches no data), and a SELECT routed here delegates
+// to the cached read path. Params bind into `?` placeholders.
 func (s *Server) Exec(ctx context.Context, sql string, params ...zidian.Value) (*zidian.ExecResult, error) {
+	kind, target, err := zidian.StatementInfo(sql)
+	if err != nil {
+		return nil, err
+	}
+	if kind == zidian.StmtSelect {
+		norm := NormalizeSQL(sql)
+		p, _, err := s.compileNorm(norm, sql)
+		if err != nil {
+			return nil, err
+		}
+		res, stats, ran, err := s.runFresh(ctx, norm, sql, p, params)
+		if err != nil {
+			return nil, err
+		}
+		return &zidian.ExecResult{Result: res, Stats: stats, Relations: ran.Relations()}, nil
+	}
 	if err := s.adm.Acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer s.adm.Release()
-	s.dbMu.Lock()
-	defer s.dbMu.Unlock()
+	var release func()
+	switch kind {
+	case zidian.StmtInsert, zidian.StmtDelete:
+		release = s.locks.acquireWrite(target)
+	case zidian.StmtDDL:
+		release = s.locks.acquireDDL()
+	default: // EXPLAIN: planning only, no data access
+		release = s.locks.compileLock()
+	}
+	defer release()
 	s.queries.Add(1)
 	r, err := s.inst.Exec(sql, params...)
 	if err != nil {

@@ -22,6 +22,7 @@ package zidian
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -206,6 +207,15 @@ func (in *Instance) SchemaEpoch() uint64 { return in.epoch.Load() }
 // IndexNames lists the defined secondary indexes, sorted.
 func (in *Instance) IndexNames() []string { return in.indexes.Names() }
 
+// Relations lists the base relations of the opened database, sorted. The
+// set is fixed at open time; serving layers size their per-relation lock
+// tables from it and reject write targets outside it.
+func (in *Instance) Relations() []string {
+	names := append([]string{}, in.db.Names()...)
+	sort.Strings(names)
+	return names
+}
+
 // IndexStats snapshots the named index's shape statistics.
 func (in *Instance) IndexStats(name string) (index.Stats, bool) { return in.indexes.StatsOf(name) }
 
@@ -283,6 +293,18 @@ func (p *Prepared) Epoch() uint64 { return p.epoch }
 // ScanFree reports whether the compiled plan scans no KV instance.
 func (p *Prepared) ScanFree() bool { return p.info.ScanFree }
 
+// Relations lists the base relations the compiled plan reads, sorted and
+// deduplicated. Every block, index posting, and statistic the plan touches
+// belongs to one of them, so a serving layer that holds these relations'
+// read locks runs the statement concurrently with writes to any other
+// relation.
+func (p *Prepared) Relations() []string {
+	if p == nil || p.info == nil {
+		return nil
+	}
+	return append([]string{}, p.info.Relations...)
+}
+
 // Plan renders the compiled KBA plan (empty for statically empty queries).
 func (p *Prepared) Plan() string {
 	if p.info.Root == nil {
@@ -333,17 +355,20 @@ func (in *Instance) Explain(src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return in.explainQuery(q)
+	desc, _, err := in.explainQuery(q)
+	return desc, err
 }
 
-// explainQuery plans a bound query and renders the description.
-func (in *Instance) explainQuery(q *ra.Query) (string, error) {
+// explainQuery plans a bound query, returning the rendered description and
+// the plan's base-relation read set.
+func (in *Instance) explainQuery(q *ra.Query) (string, []string, error) {
 	info, err := in.checker.Plan(q)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
+	rels := append([]string{}, info.Relations...)
 	if info.Empty {
-		return "empty result (unsatisfiable constants)", nil
+		return "empty result (unsatisfiable constants)", rels, nil
 	}
 	kind := "not scan-free"
 	if info.ScanFree {
@@ -358,12 +383,19 @@ func (in *Instance) explainQuery(q *ra.Query) (string, error) {
 	if len(info.Ranges) > 0 {
 		kind += ", index-range"
 	}
-	return fmt.Sprintf("[%s] %s", kind, info.Root), nil
+	return fmt.Sprintf("[%s] %s", kind, info.Root), rels, nil
 }
 
 // Insert incrementally maintains the BaaV store and every secondary index
 // on the relation for one inserted tuple: blocks and postings change in the
 // same call, so readers admitted after it see a consistent pair.
+//
+// The three stores move together or not at all: the store and index
+// maintenance paths validate and read before their first write (so their
+// own errors leave them untouched), and a failure after an earlier step has
+// applied is compensated — the relation append is truncated and the blocks
+// are deleted — so an error never strands the relation, the blocks, and the
+// postings in disagreement.
 func (in *Instance) Insert(rel string, t Tuple) error {
 	r := in.db.Relation(rel)
 	if r == nil {
@@ -372,14 +404,26 @@ func (in *Instance) Insert(rel string, t Tuple) error {
 	if err := r.Insert(t); err != nil {
 		return err
 	}
+	undoRel := func() { r.Tuples = r.Tuples[:len(r.Tuples)-1] }
 	if err := in.store.Insert(rel, t); err != nil {
+		undoRel()
 		return err
 	}
-	return in.indexes.Insert(rel, t)
+	if err := in.indexes.Insert(rel, t); err != nil {
+		if derr := in.store.Delete(rel, t); derr != nil {
+			return fmt.Errorf("%w (and undoing the block insert failed: %v)", err, derr)
+		}
+		undoRel()
+		return err
+	}
+	return nil
 }
 
 // Delete incrementally maintains the BaaV store and every secondary index
-// on the relation for one deleted tuple.
+// on the relation for one deleted tuple. Like Insert it keeps the three
+// stores consistent under failure: the relation's tuple slice is spliced
+// only after blocks and postings both succeeded, and a posting failure
+// restores the already-removed blocks.
 func (in *Instance) Delete(rel string, t Tuple) error {
 	r := in.db.Relation(rel)
 	if r == nil {
@@ -387,11 +431,17 @@ func (in *Instance) Delete(rel string, t Tuple) error {
 	}
 	for i, u := range r.Tuples {
 		if u.Equal(t) {
-			r.Tuples = append(r.Tuples[:i], r.Tuples[i+1:]...)
 			if err := in.store.Delete(rel, t); err != nil {
 				return err
 			}
-			return in.indexes.Delete(rel, t)
+			if err := in.indexes.Delete(rel, t); err != nil {
+				if rerr := in.store.Insert(rel, t); rerr != nil {
+					return fmt.Errorf("%w (and restoring the deleted blocks failed: %v)", err, rerr)
+				}
+				return err
+			}
+			r.Tuples = append(r.Tuples[:i], r.Tuples[i+1:]...)
+			return nil
 		}
 	}
 	return nil
@@ -427,6 +477,54 @@ type ExecResult struct {
 	// SchemaChanged marks catalog-changing DDL; serving layers must flush
 	// plan caches when it is set (the instance's SchemaEpoch advanced).
 	SchemaChanged bool
+	// Relations lists the base relations the statement touched: the read
+	// set for SELECT and EXPLAIN, the written relation for INSERT and
+	// DELETE, the indexed relation for CREATE/DROP INDEX.
+	Relations []string
+}
+
+// StmtKind classifies a SQL statement for scheduling: serving layers pick
+// locks by kind before executing (readers share, writers exclude their
+// target relation, DDL excludes everything).
+type StmtKind int
+
+const (
+	// StmtSelect is a SELECT query: a pure read over its plan's relations.
+	StmtSelect StmtKind = iota
+	// StmtInsert and StmtDelete write one target relation (blocks, index
+	// postings, and the relation's tuples move together).
+	StmtInsert
+	StmtDelete
+	// StmtDDL changes the catalog (CREATE INDEX / DROP INDEX): it
+	// invalidates compiled plans, so it must exclude every other statement.
+	StmtDDL
+	// StmtExplain plans a query without touching any data.
+	StmtExplain
+)
+
+// StatementInfo classifies a statement without executing it, returning its
+// kind and, for INSERT/DELETE, the relation it writes. Serving layers call
+// it to choose locks: reads take their plan's relation read locks, writes
+// their target's write lock, DDL the global gate.
+func StatementInfo(src string) (kind StmtKind, target string, err error) {
+	stmt, err := sqlpkg.ParseStatement(src)
+	if err != nil {
+		return 0, "", err
+	}
+	switch s := stmt.(type) {
+	case *sqlpkg.Query:
+		return StmtSelect, "", nil
+	case *sqlpkg.Insert:
+		return StmtInsert, s.Table, nil
+	case *sqlpkg.Delete:
+		return StmtDelete, s.Table, nil
+	case *sqlpkg.CreateIndex, *sqlpkg.DropIndex:
+		return StmtDDL, "", nil
+	case *sqlpkg.Explain:
+		return StmtExplain, "", nil
+	default:
+		return 0, "", fmt.Errorf("zidian: unsupported statement")
+	}
 }
 
 // Exec parses and runs one SQL statement: SELECT queries the BaaV store;
@@ -450,11 +548,15 @@ func (in *Instance) Exec(src string, params ...Value) (*ExecResult, error) {
 	}
 	switch s := stmt.(type) {
 	case *sqlpkg.Query:
-		res, stats, err := in.Query(src, params...)
+		p, err := in.Prepare(src)
 		if err != nil {
 			return nil, err
 		}
-		return &ExecResult{Result: res, Stats: stats}, nil
+		res, stats, err := p.Run(params...)
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Result: res, Stats: stats, Relations: p.Relations()}, nil
 	case *sqlpkg.Insert:
 		rows, err := bindInsertRows(in.db, s, params)
 		if err != nil {
@@ -465,7 +567,7 @@ func (in *Instance) Exec(src string, params ...Value) (*ExecResult, error) {
 				return nil, err
 			}
 		}
-		return &ExecResult{Affected: len(rows)}, nil
+		return &ExecResult{Affected: len(rows), Relations: []string{s.Table}}, nil
 	case *sqlpkg.Delete:
 		rel := in.db.Relation(s.Table)
 		if rel == nil {
@@ -486,7 +588,7 @@ func (in *Instance) Exec(src string, params ...Value) (*ExecResult, error) {
 				return nil, err
 			}
 		}
-		return &ExecResult{Affected: len(doomed)}, nil
+		return &ExecResult{Affected: len(doomed), Relations: []string{s.Table}}, nil
 	case *sqlpkg.CreateIndex:
 		rel := in.db.Relation(s.Table)
 		if rel == nil {
@@ -497,26 +599,31 @@ func (in *Instance) Exec(src string, params ...Value) (*ExecResult, error) {
 			return nil, err
 		}
 		in.epoch.Add(1)
-		return &ExecResult{Affected: n, SchemaChanged: true}, nil
+		return &ExecResult{Affected: n, SchemaChanged: true, Relations: []string{s.Table}}, nil
 	case *sqlpkg.DropIndex:
+		def, hadDef := in.indexes.DefOf(s.Name)
 		if err := in.indexes.Drop(s.Name); err != nil {
 			return nil, err
 		}
 		in.epoch.Add(1)
-		return &ExecResult{SchemaChanged: true}, nil
+		r := &ExecResult{SchemaChanged: true}
+		if hadDef {
+			r.Relations = []string{def.Rel}
+		}
+		return r, nil
 	case *sqlpkg.Explain:
 		q, err := ra.Bind(s.Query, in.db)
 		if err != nil {
 			return nil, err
 		}
-		plan, err := in.explainQuery(q)
+		plan, rels, err := in.explainQuery(q)
 		if err != nil {
 			return nil, err
 		}
 		return &ExecResult{Result: &Result{
 			Cols: []string{"plan"},
 			Rows: []Tuple{{String(plan)}},
-		}}, nil
+		}, Relations: rels}, nil
 	default:
 		return nil, fmt.Errorf("zidian: unsupported statement")
 	}
