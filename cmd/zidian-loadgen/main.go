@@ -30,6 +30,7 @@ func main() {
 		prep     = flag.Bool("parameterized", false, "send `?` templates with wire parameters instead of inlined literals")
 		distinct = flag.Bool("distinct", false, "use a globally unique literal per request (numeric templates)")
 		out      = flag.String("out", "", "write the JSON report to this file")
+		metrics  = flag.String("metrics", "", "server /metrics URL (e.g. http://localhost:7072/metrics); scraped after the run to fold server-side latency quantiles into the report")
 	)
 	flag.Parse()
 
@@ -41,6 +42,7 @@ func main() {
 		Seed:           *seed,
 		Parameterized:  *prep,
 		DistinctParams: *distinct,
+		MetricsURL:     *metrics,
 	}
 	if *mix == "readwrite" {
 		reads, writes, setup, err := loadgen.ReadWriteMix(*wl)
@@ -78,6 +80,10 @@ func main() {
 	if rep.Server != nil {
 		fmt.Printf("  server     %d queries, %d sessions, %d rejected, %d timed out\n",
 			rep.Server.Queries, rep.Server.TotalSessions, rep.Server.Admission.Rejected, rep.Server.Admission.TimedOut)
+	}
+	if sl := rep.ServerLatency; sl != nil {
+		fmt.Printf("  server-side latency µs p50=%.0f p95=%.0f p99=%.0f (%d statements)\n",
+			sl.P50Micros, sl.P95Micros, sl.P99Micros, sl.Count)
 	}
 
 	if *out != "" {

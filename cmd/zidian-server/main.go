@@ -1,7 +1,7 @@
 // Command zidian-server runs the Zidian middleware as a long-lived,
 // concurrent query service over a generated workload dataset: the
 // line-delimited JSON wire protocol on -tcp and the HTTP surface
-// (/query, /healthz, /stats) on -http.
+// (/query, /healthz, /stats, Prometheus-text /metrics) on -http.
 //
 // Quickstart (two terminals):
 //
@@ -44,6 +44,9 @@ func main() {
 		cacheSz  = flag.Int("plan-cache", 4096, "plan cache capacity (plans)")
 		drainTO  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain timeout")
 		gwl      = flag.Bool("global-write-lock", false, "serialize every write against every read instance-wide (legacy gate; default is per-relation locking)")
+		obsOn    = flag.Bool("obs", true, "collect metrics and serve /metrics (off disables all observability counting)")
+		slowTO   = flag.Duration("slow-query-threshold", 0, "log statements slower than this as JSON lines on stderr (0 disables)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the HTTP listener")
 	)
 	flag.Parse()
 
@@ -63,11 +66,14 @@ func main() {
 		len(w.DB.Names()), w.DB.Cardinality(), time.Since(start).Round(time.Millisecond))
 
 	srv := server.New(inst, server.Config{
-		MaxConcurrent:   *inflight,
-		QueueDepth:      *queue,
-		QueueTimeout:    *queueTO,
-		PlanCacheSize:   *cacheSz,
-		GlobalWriteLock: *gwl,
+		MaxConcurrent:      *inflight,
+		QueueDepth:         *queue,
+		QueueTimeout:       *queueTO,
+		PlanCacheSize:      *cacheSz,
+		GlobalWriteLock:    *gwl,
+		DisableMetrics:     !*obsOn,
+		SlowQueryThreshold: *slowTO,
+		EnablePprof:        *pprofOn,
 	})
 	tcp, httpA, err := srv.Start(*tcpAddr, *httpAddr)
 	if err != nil {

@@ -1,6 +1,9 @@
 package baav
 
-import "zidian/internal/relation"
+import (
+	"zidian/internal/obs"
+	"zidian/internal/relation"
+)
 
 // SecondaryIndex resolves block-aware secondary-index lookups at plan
 // execution time. It is implemented by internal/index.Manager; the store
@@ -10,6 +13,10 @@ type SecondaryIndex interface {
 	// Lookup returns the block keys posted under v in the named index and
 	// the number of get invocations issued.
 	Lookup(name string, v relation.Value) ([]relation.Tuple, int, error)
+	// LookupT is Lookup with a per-statement trace (nil untraced): kv ops
+	// count into the trace's kv sink and decoded posting lists into its
+	// posting-read counter.
+	LookupT(t *obs.Trace, name string, v relation.Value) ([]relation.Tuple, int, error)
 	// Range returns the postings of every indexed value within the bounds
 	// (nil = unbounded side; loIncl/hiIncl select closed ends) as parallel
 	// slices — vals[i] posted block key keys[i] — merged into encoded
@@ -21,6 +28,8 @@ type SecondaryIndex interface {
 	// after O(limit) posting lists per node, so a pushed-down LIMIT costs
 	// O(limit) scan steps instead of O(range).
 	RangeLimit(name string, lo, hi *relation.Value, loIncl, hiIncl bool, limit int) (vals []relation.Value, keys []relation.Tuple, scanned int, err error)
+	// RangeLimitT is RangeLimit with a per-statement trace (nil untraced).
+	RangeLimitT(t *obs.Trace, name string, lo, hi *relation.Value, loIncl, hiIncl bool, limit int) (vals []relation.Value, keys []relation.Tuple, scanned int, err error)
 	// MaxPostings returns the longest posting list of the named index; the
 	// boundedness check treats it like a block degree.
 	MaxPostings(name string) int

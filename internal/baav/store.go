@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"zidian/internal/kv"
+	"zidian/internal/obs"
 	"zidian/internal/relation"
 )
 
@@ -112,7 +113,7 @@ func Map(db *relation.Database, schema *Schema, cluster *kv.Cluster, opts Option
 		}
 		sort.Strings(order) // deterministic layout
 		for _, ks := range order {
-			if err := st.putBlock(kvSchema, keyOf[ks], groups[ks], false); err != nil {
+			if err := st.putBlock(nil, kvSchema, keyOf[ks], groups[ks], false); err != nil {
 				return nil, err
 			}
 		}
@@ -145,6 +146,11 @@ func (st *Store) instancePrefix(id uint32) []byte {
 // reassembling segments. It returns nil when no block exists. gets reports
 // the number of get invocations issued.
 func (st *Store) GetBlock(name string, key relation.Tuple) (blk *Block, stats *BlockStats, gets int, err error) {
+	return st.GetBlockT(nil, name, key)
+}
+
+// GetBlockT is GetBlock with a per-statement kv trace sink (nil untraced).
+func (st *Store) GetBlockT(kvt *obs.KV, name string, key relation.Tuple) (blk *Block, stats *BlockStats, gets int, err error) {
 	kvSchema := st.Schema.ByName(name)
 	if kvSchema == nil {
 		return nil, nil, 0, fmt.Errorf("baav: unknown KV schema %q", name)
@@ -153,7 +159,7 @@ func (st *Store) GetBlock(name string, key relation.Tuple) (blk *Block, stats *B
 	prefix := st.blockPrefix(id, key)
 	width := len(kvSchema.Val)
 
-	data, ok := st.Cluster.GetRouted(prefix, segKey(prefix, 0))
+	data, ok := st.Cluster.GetRoutedT(kvt, prefix, segKey(prefix, 0))
 	gets = 1
 	if !ok {
 		return nil, nil, gets, nil
@@ -167,7 +173,7 @@ func (st *Store) GetBlock(name string, key relation.Tuple) (blk *Block, stats *B
 		return nil, nil, gets, err
 	}
 	for seg := uint32(1); seg < uint32(nsegs); seg++ {
-		data, ok := st.Cluster.GetRouted(prefix, segKey(prefix, seg))
+		data, ok := st.Cluster.GetRoutedT(kvt, prefix, segKey(prefix, seg))
 		gets++
 		if !ok {
 			return nil, nil, gets, fmt.Errorf("baav: missing segment %d of block in %s", seg, name)
@@ -200,14 +206,15 @@ func (st *Store) GetBlock(name string, key relation.Tuple) (blk *Block, stats *B
 
 // putBlock writes a block under key, splitting into segments. When checkOld
 // is set it first reads the previous segment count and deletes leftovers.
-func (st *Store) putBlock(kvSchema KVSchema, key relation.Tuple, blk *Block, checkOld bool) error {
+// kvt is the per-statement trace sink (nil untraced).
+func (st *Store) putBlock(kvt *obs.KV, kvSchema KVSchema, key relation.Tuple, blk *Block, checkOld bool) error {
 	id := st.ids[kvSchema.Name]
 	prefix := st.blockPrefix(id, key)
 	width := len(kvSchema.Val)
 
 	oldSegs := uint64(0)
 	if checkOld {
-		if data, ok := st.Cluster.GetRouted(prefix, segKey(prefix, 0)); ok {
+		if data, ok := st.Cluster.GetRoutedT(kvt, prefix, segKey(prefix, 0)); ok {
 			n, k := binary.Uvarint(data)
 			if k <= 0 {
 				return errCorruptBlock
@@ -217,7 +224,7 @@ func (st *Store) putBlock(kvSchema KVSchema, key relation.Tuple, blk *Block, che
 	}
 	if len(blk.Tuples) == 0 {
 		for seg := uint32(0); seg < uint32(oldSegs); seg++ {
-			st.Cluster.DeleteRouted(prefix, segKey(prefix, seg))
+			st.Cluster.DeleteRoutedT(kvt, prefix, segKey(prefix, seg))
 		}
 		if oldSegs > 0 {
 			st.statsMu.Lock()
@@ -253,10 +260,10 @@ func (st *Store) putBlock(kvSchema KVSchema, key relation.Tuple, blk *Block, che
 			head := binary.AppendUvarint(nil, uint64(nsegs))
 			payload = append(head, payload...)
 		}
-		st.Cluster.PutRouted(prefix, segKey(prefix, uint32(seg)), payload)
+		st.Cluster.PutRoutedT(kvt, prefix, segKey(prefix, uint32(seg)), payload)
 	}
 	for seg := nsegs; seg < int(oldSegs); seg++ {
-		st.Cluster.DeleteRouted(prefix, segKey(prefix, uint32(seg)))
+		st.Cluster.DeleteRoutedT(kvt, prefix, segKey(prefix, uint32(seg)))
 	}
 	st.statsMu.Lock()
 	if d := blk.Distinct(); d > st.degrees[kvSchema.Name] {
@@ -273,14 +280,19 @@ func (st *Store) PutBlock(name string, key relation.Tuple, blk *Block) error {
 	if kvSchema == nil {
 		return fmt.Errorf("baav: unknown KV schema %q", name)
 	}
-	return st.putBlock(*kvSchema, key, blk, true)
+	return st.putBlock(nil, *kvSchema, key, blk, true)
 }
 
 // ScanInstance visits every keyed block of the named KV instance in key
 // order until fn returns false. Segment reassembly is transparent.
 func (st *Store) ScanInstance(name string, fn func(key relation.Tuple, blk *Block, stats *BlockStats) bool) error {
+	return st.ScanInstanceT(nil, name, fn)
+}
+
+// ScanInstanceT is ScanInstance with a per-statement kv trace sink.
+func (st *Store) ScanInstanceT(kvt *obs.KV, name string, fn func(key relation.Tuple, blk *Block, stats *BlockStats) bool) error {
 	return st.scanInstanceWith(name, fn, func(prefix []byte, visit func(k, v []byte) bool) {
-		st.Cluster.Scan(prefix, visit)
+		st.Cluster.ScanT(kvt, prefix, visit)
 	})
 }
 
@@ -289,8 +301,13 @@ func (st *Store) ScanInstance(name string, fn func(key relation.Tuple, blk *Bloc
 // prefix), so per-node scans see whole blocks; parallel scan drivers split
 // work across nodes with it.
 func (st *Store) ScanInstanceNode(node int, name string, fn func(key relation.Tuple, blk *Block, stats *BlockStats) bool) error {
+	return st.ScanInstanceNodeT(nil, node, name, fn)
+}
+
+// ScanInstanceNodeT is ScanInstanceNode with a per-statement kv trace sink.
+func (st *Store) ScanInstanceNodeT(kvt *obs.KV, node int, name string, fn func(key relation.Tuple, blk *Block, stats *BlockStats) bool) error {
 	return st.scanInstanceWith(name, fn, func(prefix []byte, visit func(k, v []byte) bool) {
-		st.Cluster.ScanNode(node, prefix, visit)
+		st.Cluster.ScanNodeT(kvt, node, prefix, visit)
 	})
 }
 
@@ -370,6 +387,11 @@ func (st *Store) scanInstanceWith(name string, fn func(key relation.Tuple, blk *
 // ScanStats visits only the statistics of every block of the instance,
 // reading headers without decoding tuples. Blocks without stats yield nil.
 func (st *Store) ScanStats(name string, fn func(key relation.Tuple, stats *BlockStats) bool) error {
+	return st.ScanStatsT(nil, name, fn)
+}
+
+// ScanStatsT is ScanStats with a per-statement kv trace sink.
+func (st *Store) ScanStatsT(kvt *obs.KV, name string, fn func(key relation.Tuple, stats *BlockStats) bool) error {
 	kvSchema := st.Schema.ByName(name)
 	if kvSchema == nil {
 		return fmt.Errorf("baav: unknown KV schema %q", name)
@@ -377,7 +399,7 @@ func (st *Store) ScanStats(name string, fn func(key relation.Tuple, stats *Block
 	id := st.ids[name]
 	keyWidth := len(kvSchema.Key)
 	var scanErr error
-	st.Cluster.Scan(st.instancePrefix(id), func(k, v []byte) bool {
+	st.Cluster.ScanT(kvt, st.instancePrefix(id), func(k, v []byte) bool {
 		key, n, err := relation.DecodeTuple(k[4:], keyWidth)
 		if err != nil {
 			scanErr = err
@@ -408,12 +430,22 @@ func (st *Store) ScanStats(name string, fn func(key relation.Tuple, stats *Block
 // schema projecting that relation — O(deg(~D)) per tuple, independent of
 // |D| (Section 8.2).
 func (st *Store) Insert(rel string, t relation.Tuple) error {
-	return st.maintain(rel, t, true)
+	return st.maintain(nil, rel, t, true)
+}
+
+// InsertT is Insert with a per-statement kv trace sink.
+func (st *Store) InsertT(kvt *obs.KV, rel string, t relation.Tuple) error {
+	return st.maintain(kvt, rel, t, true)
 }
 
 // Delete incrementally maintains the store for one deleted tuple.
 func (st *Store) Delete(rel string, t relation.Tuple) error {
-	return st.maintain(rel, t, false)
+	return st.maintain(nil, rel, t, false)
+}
+
+// DeleteT is Delete with a per-statement kv trace sink.
+func (st *Store) DeleteT(kvt *obs.KV, rel string, t relation.Tuple) error {
+	return st.maintain(kvt, rel, t, false)
 }
 
 // maintain applies one tuple's insert or delete to every KV schema
@@ -425,7 +457,7 @@ func (st *Store) Delete(rel string, t relation.Tuple) error {
 // so short of concurrent external corruption every staged edit lands — the
 // write path's callers rely on this all-or-nothing shape to keep the
 // relation, the blocks, and the index postings consistent.
-func (st *Store) maintain(rel string, t relation.Tuple, insert bool) error {
+func (st *Store) maintain(kvt *obs.KV, rel string, t relation.Tuple, insert bool) error {
 	schema, ok := st.Rels[rel]
 	if !ok {
 		return fmt.Errorf("baav: unknown relation %q", rel)
@@ -450,7 +482,7 @@ func (st *Store) maintain(rel string, t relation.Tuple, insert bool) error {
 		}
 		key := t.Project(keyPos)
 		val := t.Project(valPos)
-		blk, _, _, err := st.GetBlock(kvSchema.Name, key)
+		blk, _, _, err := st.GetBlockT(kvt, kvSchema.Name, key)
 		if err != nil {
 			return err
 		}
@@ -471,7 +503,7 @@ func (st *Store) maintain(rel string, t relation.Tuple, insert bool) error {
 		return nil
 	}
 	for _, e := range edits {
-		if err := st.putBlock(e.kvSchema, e.key, e.blk, true); err != nil {
+		if err := st.putBlock(kvt, e.kvSchema, e.key, e.blk, true); err != nil {
 			return err
 		}
 	}

@@ -57,9 +57,11 @@ func ExpMixed(out io.Writer, cfg Config, jsonPath string, clients, requests int)
 			if global {
 				ph.GlobalQPS, ph.GlobalErrors = run.QPS, run.Errors
 				ph.GlobalP99Micros = run.Latency.P99
+				ph.GlobalServerLatency = run.ServerLatency
 			} else {
 				ph.PerRelationQPS, ph.PerRelationErrors = run.QPS, run.Errors
 				ph.PerRelationP99Micros = run.Latency.P99
+				ph.PerRelationServerLatency = run.ServerLatency
 				ph.Writes = run.Writes
 			}
 		}
@@ -132,6 +134,10 @@ type mixedPhase struct {
 	// throughput is capacity-bound.
 	GlobalP99Micros      int64 `json:"globalP99Micros"`
 	PerRelationP99Micros int64 `json:"perRelationP99Micros"`
+	// Server-side latency summaries scraped from each cell's /metrics after
+	// the run: the same tail without wire or client scheduling time.
+	GlobalServerLatency      *loadgen.ServerLatency `json:"globalServerLatencyMicros,omitempty"`
+	PerRelationServerLatency *loadgen.ServerLatency `json:"perRelationServerLatencyMicros,omitempty"`
 }
 
 // expMixedRun drives one (lock mode, write fraction) cell: a fresh mot
@@ -164,7 +170,7 @@ func expMixedRun(cfg Config, globalLock bool, frac float64, clients, requests in
 		QueueDepth:      4 * clients,
 		QueueTimeout:    30 * time.Second,
 	})
-	tcpAddr, _, err := srv.Start("127.0.0.1:0", "")
+	tcpAddr, httpAddr, err := srv.Start("127.0.0.1:0", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
@@ -188,5 +194,6 @@ func expMixedRun(cfg Config, globalLock bool, frac float64, clients, requests in
 		Setup:          setup,
 		Seed:           cfg.Seed,
 		Parameterized:  true,
+		MetricsURL:     "http://" + httpAddr + "/metrics",
 	})
 }

@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"zidian/internal/kv"
+	"zidian/internal/obs"
 	"zidian/internal/relation"
 )
 
@@ -308,12 +309,22 @@ func (m *Manager) Drop(name string) error {
 // read-modify-write of the affected posting per index, O(posting) work
 // independent of the relation size.
 func (m *Manager) Insert(rel string, t relation.Tuple) error {
-	return m.maintain(rel, t, true)
+	return m.maintain(nil, rel, t, true)
+}
+
+// InsertT is Insert with a per-statement kv trace sink.
+func (m *Manager) InsertT(kvt *obs.KV, rel string, t relation.Tuple) error {
+	return m.maintain(kvt, rel, t, true)
 }
 
 // Delete maintains every index on rel for one deleted tuple.
 func (m *Manager) Delete(rel string, t relation.Tuple) error {
-	return m.maintain(rel, t, false)
+	return m.maintain(nil, rel, t, false)
+}
+
+// DeleteT is Delete with a per-statement kv trace sink.
+func (m *Manager) DeleteT(kvt *obs.KV, rel string, t relation.Tuple) error {
+	return m.maintain(kvt, rel, t, false)
 }
 
 // maintain updates every index on rel for one inserted or deleted tuple in
@@ -322,7 +333,7 @@ func (m *Manager) Delete(rel string, t relation.Tuple) error {
 // and an apply phase of pure cluster puts/deletes that cannot fail. An error
 // therefore leaves every posting list exactly as it was — the write path's
 // callers rely on this to keep relation, blocks, and postings consistent.
-func (m *Manager) maintain(rel string, t relation.Tuple, insert bool) error {
+func (m *Manager) maintain(kvt *obs.KV, rel string, t relation.Tuple, insert bool) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	type edit struct {
@@ -344,7 +355,7 @@ func (m *Manager) maintain(rel string, t relation.Tuple, insert bool) error {
 		pk := relation.EncodeTuple(t.Project(d.keyPos))
 		key := postingKey(d.id, v)
 		var lst [][]byte
-		if data, ok := m.cluster.Get(key); ok {
+		if data, ok := m.cluster.GetRoutedT(kvt, key, key); ok {
 			var err error
 			if lst, err = splitPostings(data, len(d.Key)); err != nil {
 				return fmt.Errorf("index: %s: %v", d.Name, err)
@@ -366,11 +377,11 @@ func (m *Manager) maintain(rel string, t relation.Tuple, insert bool) error {
 	for _, e := range edits {
 		st := m.stats[e.d.Name]
 		if len(e.payload) == 0 {
-			m.cluster.Delete(e.key)
+			m.cluster.DeleteRoutedT(kvt, e.key, e.key)
 			st.Entries--
 			st.removeValue(e.v)
 		} else {
-			m.cluster.Put(e.key, joinPostings(e.payload))
+			m.cluster.PutRoutedT(kvt, e.key, e.key, joinPostings(e.payload))
 			if e.oldLen == 0 {
 				st.Entries++
 				st.addValue(e.v)
@@ -415,16 +426,25 @@ func removePosting(lst [][]byte, pk []byte) ([][]byte, bool) {
 // encoded key order, along with the number of get invocations issued. A
 // value with no posting returns no keys.
 func (m *Manager) Lookup(name string, v relation.Value) ([]relation.Tuple, int, error) {
+	return m.LookupT(nil, name, v)
+}
+
+// LookupT is Lookup with a per-statement trace sink (nil untraced): the
+// posting get counts into the trace's kv counters, and each decoded
+// posting list into its posting-read counter.
+func (m *Manager) LookupT(t *obs.Trace, name string, v relation.Value) ([]relation.Tuple, int, error) {
 	m.mu.RLock()
 	d, ok := m.defs[name]
 	m.mu.RUnlock()
 	if !ok {
 		return nil, 0, fmt.Errorf("index: unknown index %q", name)
 	}
-	data, found := m.cluster.Get(postingKey(d.id, v))
+	key := postingKey(d.id, v)
+	data, found := m.cluster.GetRoutedT(t.KVCounters(), key, key)
 	if !found {
 		return nil, 1, nil
 	}
+	t.CountPostings(1)
 	width := len(d.Key)
 	var out []relation.Tuple
 	off := 0
@@ -451,7 +471,7 @@ func (m *Manager) Lookup(name string, v relation.Value) ([]relation.Tuple, int, 
 // regardless of how the key space is sharded. scanned reports the number of
 // posting lists visited (the walk's scan steps).
 func (m *Manager) Range(name string, lo, hi *relation.Value, loIncl, hiIncl bool) (vals []relation.Value, keys []relation.Tuple, scanned int, err error) {
-	return m.RangeLimit(name, lo, hi, loIncl, hiIncl, -1)
+	return m.RangeLimitT(nil, name, lo, hi, loIncl, hiIncl, -1)
 }
 
 // RangeLimit is Range bounded to the first limit postings in (value, block
@@ -463,6 +483,13 @@ func (m *Manager) Range(name string, lo, hi *relation.Value, loIncl, hiIncl bool
 // A bound LIMIT k therefore costs O(k) scan steps per node, not O(range):
 // the walk never visits the posting lists past the ones the answer needs.
 func (m *Manager) RangeLimit(name string, lo, hi *relation.Value, loIncl, hiIncl bool, limit int) (vals []relation.Value, keys []relation.Tuple, scanned int, err error) {
+	return m.RangeLimitT(nil, name, lo, hi, loIncl, hiIncl, limit)
+}
+
+// RangeLimitT is RangeLimit with a per-statement trace sink (nil
+// untraced): scan steps count into the trace's kv counters and each
+// decoded posting list into its posting-read counter.
+func (m *Manager) RangeLimitT(t *obs.Trace, name string, lo, hi *relation.Value, loIncl, hiIncl bool, limit int) (vals []relation.Value, keys []relation.Tuple, scanned int, err error) {
 	m.mu.RLock()
 	d, ok := m.defs[name]
 	m.mu.RUnlock()
@@ -491,7 +518,7 @@ func (m *Manager) RangeLimit(name string, lo, hi *relation.Value, loIncl, hiIncl
 	var scanErr error
 	for node := 0; node < m.cluster.NodeCount(); node++ {
 		fromNode := 0
-		m.cluster.ScanRangeNode(node, pfx, loKey, hiKey, func(k, v []byte) bool {
+		m.cluster.ScanRangeNodeT(t.KVCounters(), node, pfx, loKey, hiKey, func(k, v []byte) bool {
 			// Open bounds: the fences are inclusive at the byte level, so an
 			// excluded endpoint shows up as its exact posting key and is skipped.
 			if !loIncl && loKey != nil && bytes.Equal(k, loKey) {
@@ -532,6 +559,7 @@ func (m *Manager) RangeLimit(name string, lo, hi *relation.Value, loIncl, hiIncl
 			return nil, nil, scanned, scanErr
 		}
 	}
+	t.CountPostings(scanned)
 	// Nodes are walked one after another, each in key order; merge to one
 	// global (value, block key) order so results are deterministic across
 	// engine kinds and shard layouts.

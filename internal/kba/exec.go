@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"zidian/internal/baav"
+	"zidian/internal/obs"
 	"zidian/internal/relation"
 	"zidian/internal/sql"
 )
@@ -33,6 +34,15 @@ func (s *ExecStats) Add(o ExecStats) {
 type Executor struct {
 	Store *baav.Store
 	Stats *ExecStats
+
+	// Trace, when set, records one operator span per executed plan node
+	// plus kv/posting/block counters for the statement.
+	Trace *obs.Trace
+	// KV, when set while Trace is nil, sinks kv-op counts without opening
+	// operator spans. The parallel executor's sequential delegate (StatsAgg)
+	// uses it so the delegate's kv traffic lands in the enclosing
+	// statement's totals without starting a second span tree.
+	KV *obs.KV
 }
 
 // NewExecutor returns an executor with a fresh stats record.
@@ -40,8 +50,39 @@ func NewExecutor(store *baav.Store) *Executor {
 	return &Executor{Store: store, Stats: &ExecStats{}}
 }
 
-// Run executes the plan and returns the resulting KV instance.
+// kv returns the kv-op sink the executor threads into the store: the
+// trace's counters when tracing, the bare sink otherwise, nil untraced.
+func (e *Executor) kv() *obs.KV {
+	if e.Trace != nil {
+		return &e.Trace.KV
+	}
+	return e.KV
+}
+
+// Run executes the plan and returns the resulting KV instance. Under a
+// trace every node gets an operator span whose kv delta is inclusive of
+// its inputs (the plan-tree recursion runs within the parent's span).
 func (e *Executor) Run(p Plan) (*KeyedRel, error) {
+	span := e.Trace.StartOp(OpName(p), NodeLabel(p))
+	out, err := e.exec(p)
+	e.Trace.FinishOp(span, RowCount(out))
+	return out, err
+}
+
+// RowCount returns the flattened row count of a result without
+// materializing it; 0 for nil.
+func RowCount(kr *KeyedRel) int {
+	if kr == nil {
+		return 0
+	}
+	n := 0
+	for _, b := range kr.Blocks {
+		n += len(b.Rows)
+	}
+	return n
+}
+
+func (e *Executor) exec(p Plan) (*KeyedRel, error) {
 	switch n := p.(type) {
 	case *Const:
 		return e.runConst(n)
@@ -108,9 +149,10 @@ func (e *Executor) runScan(n *ScanKV) (*KeyedRel, error) {
 		KeyAttrs: qualify(n.Alias, kvSchema.Key),
 		ValAttrs: qualify(n.Alias, kvSchema.Val),
 	}
-	err := e.Store.ScanInstance(n.KV, func(key relation.Tuple, blk *baav.Block, _ *baav.BlockStats) bool {
+	err := e.Store.ScanInstanceT(e.kv(), n.KV, func(key relation.Tuple, blk *baav.Block, _ *baav.BlockStats) bool {
 		rows := blk.Expand()
 		e.Stats.ScanBlocks++
+		e.Trace.CountBlocks(1)
 		e.Stats.DataValues += int64(len(rows)*len(kvSchema.Val) + len(key))
 		e.Stats.BytesRead += int64(key.SizeBytes())
 		for _, r := range rows {
@@ -131,7 +173,7 @@ func (e *Executor) runIndexLookup(n *IndexLookup) (*KeyedRel, error) {
 	}
 	out := &KeyedRel{KeyAttrs: append([]string{n.ValAttr}, n.KeyAttrs...)}
 	for _, v := range n.Values {
-		keys, gets, err := e.Store.Index.Lookup(n.Index, v)
+		keys, gets, err := e.Store.Index.LookupT(e.Trace, n.Index, v)
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +242,7 @@ func (e *Executor) runIndexRange(n *IndexRange) (*KeyedRel, error) {
 	if e.Store.Index == nil {
 		return nil, fmt.Errorf("kba: plan uses index %q but the store has no index catalog", n.Index)
 	}
-	vals, keys, scanned, err := e.Store.Index.RangeLimit(n.Index, lo, hi, n.LoIncl, n.HiIncl, limit)
+	vals, keys, scanned, err := e.Store.Index.RangeLimitT(e.Trace, n.Index, lo, hi, n.LoIncl, n.HiIncl, limit)
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +299,7 @@ func (e *Executor) runExtend(n *Extend) (*KeyedRel, error) {
 		ks := relation.KeyString(key)
 		rows, ok := cache[ks]
 		if !ok {
-			blk, _, gets, err := e.Store.GetBlock(n.KV, key)
+			blk, _, gets, err := e.Store.GetBlockT(e.kv(), n.KV, key)
 			if err != nil {
 				return nil, err
 			}
@@ -265,6 +307,7 @@ func (e *Executor) runExtend(n *Extend) (*KeyedRel, error) {
 			if blk != nil {
 				rows = blk.Expand()
 				e.Stats.Blocks++
+				e.Trace.CountBlocks(1)
 				e.Stats.DataValues += int64(len(rows)*len(kvSchema.Val) + len(key))
 				e.Stats.BytesRead += int64(key.SizeBytes())
 				for _, r := range rows {

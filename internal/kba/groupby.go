@@ -95,7 +95,7 @@ func (e *Executor) runStatsAgg(n *StatsAgg) (*KeyedRel, error) {
 	// merge them here by key.
 	merged := make(map[string]*statsAcc)
 	var order []string
-	err := e.Store.ScanStats(n.KV, func(key relation.Tuple, stats *baav.BlockStats) bool {
+	err := e.Store.ScanStatsT(e.kv(), n.KV, func(key relation.Tuple, stats *baav.BlockStats) bool {
 		e.Stats.ScanBlocks++
 		if stats == nil {
 			return true // block without stats: handled by validation below

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"zidian/internal/obs"
 )
 
 // Cluster is a hash-sharded collection of storage nodes: the distributed
@@ -37,10 +39,12 @@ type Cluster struct {
 // disables). Safe to change at runtime.
 func (c *Cluster) SetOpDelay(d time.Duration) { c.opDelayNanos.Store(int64(d)) }
 
-// opWait sleeps the emulated storage latency, if any.
-func (c *Cluster) opWait() {
+// opWait sleeps the emulated storage latency, if any, attributing the wait
+// to the statement's trace counters when one is threaded through.
+func (c *Cluster) opWait(t *obs.KV) {
 	if d := c.opDelayNanos.Load(); d > 0 {
 		time.Sleep(time.Duration(d))
+		t.CountWait(time.Duration(d))
 	}
 }
 
@@ -93,12 +97,19 @@ func (c *Cluster) Get(key []byte) ([]byte, bool) { return c.GetRouted(key, key) 
 // that owns route rather than key. BaaV stores route all segments of one
 // logical block by the block's key prefix so the block stays colocated.
 func (c *Cluster) GetRouted(route, key []byte) ([]byte, bool) {
-	c.opWait()
+	return c.GetRoutedT(nil, route, key)
+}
+
+// GetRoutedT is GetRouted with a per-statement trace sink (nil for
+// untraced callers); the trace counts exactly what the node metrics count.
+func (c *Cluster) GetRoutedT(t *obs.KV, route, key []byte) ([]byte, bool) {
+	c.opWait(t)
 	n := c.nodes[c.NodeFor(route)]
 	n.mu.RLock()
 	v, ok := n.eng.Get(key)
 	n.metrics.countGet(len(v))
 	n.mu.RUnlock()
+	t.CountGet(len(v))
 	return v, ok
 }
 
@@ -106,26 +117,34 @@ func (c *Cluster) GetRouted(route, key []byte) ([]byte, bool) {
 func (c *Cluster) Put(key, value []byte) { c.PutRouted(key, key, value) }
 
 // PutRouted is Put with an explicit routing key.
-func (c *Cluster) PutRouted(route, key, value []byte) {
-	c.opWait()
+func (c *Cluster) PutRouted(route, key, value []byte) { c.PutRoutedT(nil, route, key, value) }
+
+// PutRoutedT is PutRouted with a per-statement trace sink.
+func (c *Cluster) PutRoutedT(t *obs.KV, route, key, value []byte) {
+	c.opWait(t)
 	n := c.nodes[c.NodeFor(route)]
 	n.mu.Lock()
 	n.eng.Put(key, value)
 	n.metrics.countPut(len(key) + len(value))
 	n.mu.Unlock()
+	t.CountPut(len(key) + len(value))
 }
 
 // Delete removes key, reporting whether it was present.
 func (c *Cluster) Delete(key []byte) bool { return c.DeleteRouted(key, key) }
 
 // DeleteRouted is Delete with an explicit routing key.
-func (c *Cluster) DeleteRouted(route, key []byte) bool {
-	c.opWait()
+func (c *Cluster) DeleteRouted(route, key []byte) bool { return c.DeleteRoutedT(nil, route, key) }
+
+// DeleteRoutedT is DeleteRouted with a per-statement trace sink.
+func (c *Cluster) DeleteRoutedT(t *obs.KV, route, key []byte) bool {
+	c.opWait(t)
 	n := c.nodes[c.NodeFor(route)]
 	n.mu.Lock()
 	ok := n.eng.Delete(key)
 	n.metrics.countDelete()
 	n.mu.Unlock()
+	t.CountDelete()
 	return ok
 }
 
@@ -133,12 +152,18 @@ func (c *Cluster) DeleteRouted(route, key []byte) bool {
 // order within each node, until fn returns false. Every visited pair counts
 // as one scan step (a next()+get in the paper's terms).
 func (c *Cluster) Scan(prefix []byte, fn func(key, value []byte) bool) {
+	c.ScanT(nil, prefix, fn)
+}
+
+// ScanT is Scan with a per-statement trace sink.
+func (c *Cluster) ScanT(t *obs.KV, prefix []byte, fn func(key, value []byte) bool) {
 	for _, n := range c.nodes {
 		stop := false
-		c.opWait() // one emulated seek round trip per node
+		c.opWait(t) // one emulated seek round trip per node
 		unlock := n.lockScan()
 		n.eng.Scan(prefix, func(k, v []byte) bool {
 			n.metrics.countScanNext(len(v))
+			t.CountScanNext(len(v))
 			if !fn(k, v) {
 				stop = true
 				return false
@@ -175,6 +200,14 @@ func (c *Cluster) ScanRange(prefix, lo, hi []byte, fn func(key, value []byte) bo
 // LIMIT-bounded posting walk stops a node as soon as that node has yielded
 // enough entries, without abandoning the other nodes' contributions.
 func (c *Cluster) ScanRangeNode(i int, prefix, lo, hi []byte, fn func(key, value []byte) bool) bool {
+	return c.ScanRangeNodeT(nil, i, prefix, lo, hi, fn)
+}
+
+// ScanRangeNodeT is ScanRangeNode with a per-statement trace sink. The
+// trace counts a scan step only after the prefix check admits the pair —
+// the same fence the node metrics apply — so traced totals always equal
+// the cluster-wide metric delta for the statement.
+func (c *Cluster) ScanRangeNodeT(t *obs.KV, i int, prefix, lo, hi []byte, fn func(key, value []byte) bool) bool {
 	start := prefix
 	if bytes.Compare(lo, prefix) > 0 {
 		start = lo
@@ -189,13 +222,14 @@ func (c *Cluster) ScanRangeNode(i int, prefix, lo, hi []byte, fn func(key, value
 	}
 	n := c.nodes[i]
 	stopped := false
-	c.opWait() // one emulated seek round trip per node
+	c.opWait(t) // one emulated seek round trip per node
 	unlock := n.lockScan()
 	n.eng.ScanRange(start, hi, func(k, v []byte) bool {
 		if !bytes.HasPrefix(k, prefix) {
 			return false // past the prefix on this node; next node
 		}
 		n.metrics.countScanNext(len(v))
+		t.CountScanNext(len(v))
 		if !fn(k, v) {
 			stopped = true
 			return false
@@ -224,11 +258,17 @@ func prefixSuccessor(prefix []byte) []byte {
 // ScanNode visits pairs with the prefix on one node only; parallel scan
 // drivers partition work across nodes with it.
 func (c *Cluster) ScanNode(i int, prefix []byte, fn func(key, value []byte) bool) {
+	c.ScanNodeT(nil, i, prefix, fn)
+}
+
+// ScanNodeT is ScanNode with a per-statement trace sink.
+func (c *Cluster) ScanNodeT(t *obs.KV, i int, prefix []byte, fn func(key, value []byte) bool) {
 	n := c.nodes[i]
-	c.opWait() // one emulated seek round trip per node
+	c.opWait(t) // one emulated seek round trip per node
 	defer n.lockScan()()
 	n.eng.Scan(prefix, func(k, v []byte) bool {
 		n.metrics.countScanNext(len(v))
+		t.CountScanNext(len(v))
 		return fn(k, v)
 	})
 }

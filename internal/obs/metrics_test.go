@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bufio"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.NewGauge("g", "a gauge")
+	g.Set(3)
+	g.Set(2)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %g, want 2", got)
+	}
+	v := r.NewCounterVec("v_total", "labeled", "kind")
+	v.With("a").Inc()
+	v.With("a").Inc()
+	v.With("b").Inc()
+	if v.With("a").Value() != 2 || v.With("b").Value() != 1 {
+		t.Fatalf("vec = a:%d b:%d", v.With("a").Value(), v.With("b").Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram(nil) // DefBuckets
+	if q := h.Snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", q)
+	}
+	// 100 observations spread evenly over [1ms, 100ms]: the true p50 is
+	// ~50ms, p99 ~99ms. Bucket interpolation is coarse; assert the right
+	// bucket neighborhood rather than exact values.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if p50 := s.Quantile(0.50); p50 < 0.025 || p50 > 0.1 {
+		t.Fatalf("p50 = %gs, want within [0.025, 0.1]", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 0.05 || p99 > 0.25 {
+		t.Fatalf("p99 = %gs, want within [0.05, 0.25]", p99)
+	}
+	if s.Quantile(0.50) > s.Quantile(0.99) {
+		t.Fatal("quantiles not monotone")
+	}
+	wantSum := int64(0)
+	for i := 1; i <= 100; i++ {
+		wantSum += int64(time.Duration(i) * time.Millisecond)
+	}
+	if s.SumNanos != wantSum {
+		t.Fatalf("sum = %d, want %d", s.SumNanos, wantSum)
+	}
+}
+
+func TestHistSnapshotMerge(t *testing.T) {
+	a := newHistogram(nil)
+	b := newHistogram(nil)
+	for i := 0; i < 10; i++ {
+		a.Observe(time.Millisecond)
+		b.Observe(100 * time.Millisecond)
+	}
+	m := a.Snapshot()
+	m.Merge(b.Snapshot())
+	if m.Count != 20 {
+		t.Fatalf("merged count = %d, want 20", m.Count)
+	}
+	if p50 := m.Quantile(0.5); p50 > 0.1 {
+		t.Fatalf("merged p50 = %g, want below the upper mode", p50)
+	}
+	if p95 := m.Quantile(0.95); p95 < 0.05 {
+		t.Fatalf("merged p95 = %g, want in the upper mode", p95)
+	}
+}
+
+// sampleLine matches one Prometheus text sample: name{labels} value.
+var sampleLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? [0-9eE.+-]+$|^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? \+Inf$`)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("t_ops_total", "ops").Add(7)
+	cv := r.NewCounterVec("t_events_total", "events", "kind")
+	cv.With("x").Add(2)
+	cv.With("y").Add(3)
+	r.NewGauge("t_depth", "depth").Set(1.5)
+	h := r.NewHistogram("t_latency_seconds", "latency", nil)
+	h.Observe(time.Millisecond)
+	h.Observe(time.Second)
+	hv := r.NewHistogramVec("t_verb_seconds", "by verb", "verb", nil)
+	hv.With("select").Observe(10 * time.Millisecond)
+	hv.With("insert").Observe(20 * time.Millisecond)
+	r.RegisterFunc("t_pull", "pull-style", "gauge", "mode", func() []Sample {
+		return []Sample{{Label: "a", Value: 1}, {Label: "b", Value: 2}}
+	})
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	text := sb.String()
+
+	for _, fam := range []string{"t_ops_total", "t_events_total", "t_depth",
+		"t_latency_seconds", "t_verb_seconds", "t_pull"} {
+		if !strings.Contains(text, "# HELP "+fam+" ") {
+			t.Fatalf("missing HELP for %s in:\n%s", fam, text)
+		}
+		if !strings.Contains(text, "# TYPE "+fam+" ") {
+			t.Fatalf("missing TYPE for %s", fam)
+		}
+	}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+
+	// Histogram invariants: cumulative buckets are monotone, the +Inf bucket
+	// equals _count, and _sum is present.
+	var cum []int64
+	var count int64 = -1
+	sc = bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(fields[0], "t_latency_seconds_bucket{"):
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value %q: %v", fields[1], err)
+			}
+			cum = append(cum, v)
+		case fields[0] == "t_latency_seconds_count":
+			count, _ = strconv.ParseInt(fields[1], 10, 64)
+		}
+	}
+	if len(cum) == 0 || count != 2 {
+		t.Fatalf("histogram exposition missing (buckets=%d count=%d)", len(cum), count)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative buckets not monotone: %v", cum)
+		}
+	}
+	if cum[len(cum)-1] != count {
+		t.Fatalf("+Inf bucket %d != count %d", cum[len(cum)-1], count)
+	}
+	if !strings.Contains(text, "t_latency_seconds_sum ") {
+		t.Fatal("missing _sum sample")
+	}
+	if !strings.Contains(text, `t_verb_seconds_bucket{verb="insert",le=`) {
+		t.Fatal("labeled histogram missing verb label on buckets")
+	}
+}

@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// KV accumulates kv-layer counters for one traced statement. Every method
+// is safe on a nil receiver so untraced call paths stay allocation- and
+// branch-cheap: the cluster threads a *KV through its routed operations and
+// counts into it only when non-nil, mirroring exactly what the per-node
+// Metrics count (so a trace's totals equal the cluster-wide delta for the
+// statement). Fields are atomics because the parallel executor's workers
+// record concurrently.
+type KV struct {
+	gets, puts, deletes, scanNexts atomic.Int64
+	bytesRead, bytesWritten        atomic.Int64
+	waitNanos                      atomic.Int64 // emulated storage round-trip sleeps
+}
+
+// CountGet records one point read of n value bytes.
+func (k *KV) CountGet(n int) {
+	if k == nil {
+		return
+	}
+	k.gets.Add(1)
+	k.bytesRead.Add(int64(n))
+}
+
+// CountPut records one write of n key+value bytes.
+func (k *KV) CountPut(n int) {
+	if k == nil {
+		return
+	}
+	k.puts.Add(1)
+	k.bytesWritten.Add(int64(n))
+}
+
+// CountDelete records one delete.
+func (k *KV) CountDelete() {
+	if k == nil {
+		return
+	}
+	k.deletes.Add(1)
+}
+
+// CountScanNext records one scan step over n value bytes.
+func (k *KV) CountScanNext(n int) {
+	if k == nil {
+		return
+	}
+	k.scanNexts.Add(1)
+	k.bytesRead.Add(int64(n))
+}
+
+// CountWait records emulated round-trip time spent sleeping in the store.
+func (k *KV) CountWait(d time.Duration) {
+	if k == nil {
+		return
+	}
+	k.waitNanos.Add(int64(d))
+}
+
+// Snapshot returns the current totals; zero for a nil receiver.
+func (k *KV) Snapshot() KVSnapshot {
+	if k == nil {
+		return KVSnapshot{}
+	}
+	return KVSnapshot{
+		Gets:         k.gets.Load(),
+		Puts:         k.puts.Load(),
+		Deletes:      k.deletes.Load(),
+		ScanNexts:    k.scanNexts.Load(),
+		BytesRead:    k.bytesRead.Load(),
+		BytesWritten: k.bytesWritten.Load(),
+		WaitNanos:    k.waitNanos.Load(),
+	}
+}
+
+// KVSnapshot is an immutable copy of KV counters.
+type KVSnapshot struct {
+	Gets         int64 `json:"gets"`
+	Puts         int64 `json:"puts"`
+	Deletes      int64 `json:"deletes"`
+	ScanNexts    int64 `json:"scanNexts"`
+	BytesRead    int64 `json:"bytesRead"`
+	BytesWritten int64 `json:"bytesWritten"`
+	WaitNanos    int64 `json:"waitNanos"`
+}
+
+// Sub returns s - o, the delta between two snapshots.
+func (s KVSnapshot) Sub(o KVSnapshot) KVSnapshot {
+	return KVSnapshot{
+		Gets:         s.Gets - o.Gets,
+		Puts:         s.Puts - o.Puts,
+		Deletes:      s.Deletes - o.Deletes,
+		ScanNexts:    s.ScanNexts - o.ScanNexts,
+		BytesRead:    s.BytesRead - o.BytesRead,
+		BytesWritten: s.BytesWritten - o.BytesWritten,
+		WaitNanos:    s.WaitNanos - o.WaitNanos,
+	}
+}
+
+// Ops is the total kv operation count across all op kinds.
+func (s KVSnapshot) Ops() int64 { return s.Gets + s.Puts + s.Deletes + s.ScanNexts }
+
+// Trace is the per-statement trace context. The server allocates one per
+// traced statement and threads it through planner and executor; layers
+// below the executor see only the embedded KV counters. All counter
+// methods are nil-safe. The operator span stack is NOT synchronized: plan
+// tree recursion is single-goroutine in both executors (the parallel
+// executor fans workers out only inside an operator and joins them before
+// the operator's span finishes), so spans open and close on one goroutine.
+type Trace struct {
+	KV           KV
+	postingReads atomic.Int64 // index posting lists decoded
+	blocks       atomic.Int64 // data blocks fetched and decoded
+
+	// QueueWaitNanos and LockWaitNanos are written once by the server
+	// before the executor runs (or after a failed acquire), never raced.
+	QueueWaitNanos int64
+	LockWaitNanos  int64
+
+	Root  *OpNode
+	stack []*OpNode
+}
+
+// CountPostings records n index posting-list reads; nil-safe.
+func (t *Trace) CountPostings(n int) {
+	if t == nil {
+		return
+	}
+	t.postingReads.Add(int64(n))
+}
+
+// CountBlocks records n block fetches; nil-safe.
+func (t *Trace) CountBlocks(n int) {
+	if t == nil {
+		return
+	}
+	t.blocks.Add(int64(n))
+}
+
+// PostingReads returns the posting-list read total; 0 when nil.
+func (t *Trace) PostingReads() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.postingReads.Load()
+}
+
+// Blocks returns the block fetch total; 0 when nil.
+func (t *Trace) Blocks() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.blocks.Load()
+}
+
+// KVCounters returns the trace's kv counter sink, nil for a nil trace, so
+// callers can pass it down without re-checking the trace itself.
+func (t *Trace) KVCounters() *KV {
+	if t == nil {
+		return nil
+	}
+	return &t.KV
+}
+
+// OpNode is one operator's span in the executed plan tree: static identity
+// (Name, Label), measured rows and wall time, the inclusive kv-op delta
+// observed while the span was open, and — for parallel operators — the
+// worker fan-out with per-worker row counts.
+type OpNode struct {
+	Name      string        `json:"name"`
+	Label     string        `json:"label,omitempty"`
+	Rows      int64         `json:"rows"`
+	Wall      time.Duration `json:"wallNanos"`
+	KV        KVSnapshot    `json:"kv"`
+	Workers   int           `json:"workers,omitempty"`
+	PerWorker []int64       `json:"perWorker,omitempty"`
+	Children  []*OpNode     `json:"children,omitempty"`
+
+	start   time.Time
+	startKV KVSnapshot
+}
+
+// StartOp opens an operator span as a child of the innermost open span
+// (or as the root). Returns nil on a nil trace.
+func (t *Trace) StartOp(name, label string) *OpNode {
+	if t == nil {
+		return nil
+	}
+	n := &OpNode{Name: name, Label: label, start: time.Now(), startKV: t.KV.Snapshot()}
+	if len(t.stack) == 0 {
+		t.Root = n
+	} else {
+		p := t.stack[len(t.stack)-1]
+		p.Children = append(p.Children, n)
+	}
+	t.stack = append(t.stack, n)
+	return n
+}
+
+// FinishOp closes the span, recording its row count, wall time, and
+// inclusive kv delta. No-op when the trace or span is nil.
+func (t *Trace) FinishOp(n *OpNode, rows int) {
+	if t == nil || n == nil {
+		return
+	}
+	n.Rows = int64(rows)
+	n.Wall = time.Since(n.start)
+	n.KV = t.KV.Snapshot().Sub(n.startKV)
+	if len(t.stack) > 0 && t.stack[len(t.stack)-1] == n {
+		t.stack = t.stack[:len(t.stack)-1]
+	}
+}
+
+// RenderPlan renders an operator tree as indented lines, one per node.
+// With analyze=false only the static shape (Name and Label) is shown; with
+// analyze=true each line carries rows, wall time, the inclusive kv-op
+// breakdown, and worker fan-out.
+func RenderPlan(root *OpNode, analyze bool) []string {
+	var out []string
+	var walk func(n *OpNode, depth int)
+	walk = func(n *OpNode, depth int) {
+		if n == nil {
+			return
+		}
+		var b strings.Builder
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Name)
+		if n.Label != "" {
+			b.WriteByte(' ')
+			b.WriteString(n.Label)
+		}
+		if analyze {
+			fmt.Fprintf(&b, " (rows=%d time=%s", n.Rows, fmtDur(n.Wall))
+			if ops := n.KV.Ops(); ops > 0 {
+				fmt.Fprintf(&b, " kvops=%d", ops)
+				var parts []string
+				if n.KV.Gets > 0 {
+					parts = append(parts, fmt.Sprintf("gets=%d", n.KV.Gets))
+				}
+				if n.KV.ScanNexts > 0 {
+					parts = append(parts, fmt.Sprintf("scan_next=%d", n.KV.ScanNexts))
+				}
+				if n.KV.Puts > 0 {
+					parts = append(parts, fmt.Sprintf("puts=%d", n.KV.Puts))
+				}
+				if n.KV.Deletes > 0 {
+					parts = append(parts, fmt.Sprintf("deletes=%d", n.KV.Deletes))
+				}
+				if len(parts) > 0 {
+					fmt.Fprintf(&b, " [%s]", strings.Join(parts, " "))
+				}
+			}
+			if n.KV.WaitNanos > 0 {
+				fmt.Fprintf(&b, " rtt=%s", fmtDur(time.Duration(n.KV.WaitNanos)))
+			}
+			if n.Workers > 0 {
+				fmt.Fprintf(&b, " workers=%d", n.Workers)
+				if len(n.PerWorker) > 0 {
+					fmt.Fprintf(&b, " per_worker=%s", fmtPerWorker(n.PerWorker))
+				}
+			}
+			b.WriteByte(')')
+		}
+		out = append(out, b.String())
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return out
+}
+
+// fmtPerWorker renders per-worker row counts compactly: the exact list for
+// small fan-outs, min/median/max beyond eight workers.
+func fmtPerWorker(rows []int64) string {
+	if len(rows) <= 8 {
+		parts := make([]string, len(rows))
+		for i, r := range rows {
+			parts[i] = fmt.Sprintf("%d", r)
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	}
+	sorted := append([]int64(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return fmt.Sprintf("[min=%d med=%d max=%d n=%d]",
+		sorted[0], sorted[len(sorted)/2], sorted[len(sorted)-1], len(sorted))
+}
+
+// fmtDur rounds a duration for display so plan lines stay scannable.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(100 * time.Nanosecond).String()
+	}
+}

@@ -71,8 +71,9 @@ func (e *kbaExec) runExtendFetchAll(n *kba.Extend) (*pval, error) {
 		var local []chunk
 		var data, fetch, moved int64
 		for node := w; node < nodes; node += e.workers {
-			err := e.store.ScanInstanceNode(node, n.KV, func(key relation.Tuple, blk *baav.Block, _ *baav.BlockStats) bool {
+			err := e.store.ScanInstanceNodeT(e.kv(), node, n.KV, func(key relation.Tuple, blk *baav.Block, _ *baav.BlockStats) bool {
 				rows := blk.Expand()
+				e.trace.CountBlocks(1)
 				data += int64(len(rows)*len(kvSchema.Val) + len(key))
 				fetch += int64(key.SizeBytes())
 				all := make([]int, len(key))

@@ -8,6 +8,7 @@ import (
 	"zidian/internal/baav"
 	"zidian/internal/core"
 	"zidian/internal/kba"
+	"zidian/internal/obs"
 	"zidian/internal/ra"
 	"zidian/internal/relation"
 )
@@ -16,6 +17,13 @@ import (
 // strategy (Section 7.2) on the given number of workers and shapes the
 // relational answer.
 func RunKBA(info *core.PlanInfo, store *baav.Store, workers int) (*ra.Result, *Metrics, error) {
+	return RunKBATraced(info, store, workers, nil)
+}
+
+// RunKBATraced is RunKBA with a per-statement trace: operator spans record
+// rows, wall time, inclusive kv deltas, and the worker fan-out with
+// per-worker row counts. A nil trace costs nothing.
+func RunKBATraced(info *core.PlanInfo, store *baav.Store, workers int, t *obs.Trace) (*ra.Result, *Metrics, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -24,7 +32,7 @@ func RunKBA(info *core.PlanInfo, store *baav.Store, workers int) (*ra.Result, *M
 		res, err := info.ToResult(nil)
 		return res, &Metrics{Workers: workers, Wall: time.Since(start)}, err
 	}
-	e := &kbaExec{store: store, workers: workers}
+	e := &kbaExec{store: store, workers: workers, trace: t}
 	v, err := e.run(info.Root)
 	if err != nil {
 		return nil, nil, err
@@ -47,9 +55,45 @@ type kbaExec struct {
 	// fetchAll flattens ∝ into retrieve-then-join (the Section 7.1
 	// strawman) instead of the interleaved strategy.
 	fetchAll bool
+	// trace, when set, records operator spans and statement counters. The
+	// span stack stays single-goroutine: run recurses on the driving
+	// goroutine only, and forWorkers joins its workers before any span
+	// finishes.
+	trace *obs.Trace
 }
 
+// kv returns the kv-op sink threaded into store calls; nil untraced.
+func (e *kbaExec) kv() *obs.KV { return e.trace.KVCounters() }
+
+// run executes a node under an operator span. Workers fan out only inside
+// exec, so span open/close stays on the driving goroutine; litPlan wrappers
+// (already computed intermediates) get no span of their own.
 func (e *kbaExec) run(p kba.Plan) (*pval, error) {
+	if l, ok := p.(*litPlan); ok {
+		return l.v, nil
+	}
+	span := e.trace.StartOp(kba.OpName(p), kba.NodeLabel(p))
+	v, err := e.exec(p)
+	rows := 0
+	if v != nil {
+		if span != nil {
+			span.Workers = e.workers
+			span.PerWorker = make([]int64, len(v.parts))
+			for w, part := range v.parts {
+				span.PerWorker[w] = int64(len(part))
+				rows += len(part)
+			}
+		} else {
+			for _, part := range v.parts {
+				rows += len(part)
+			}
+		}
+	}
+	e.trace.FinishOp(span, rows)
+	return v, err
+}
+
+func (e *kbaExec) exec(p kba.Plan) (*pval, error) {
 	switch n := p.(type) {
 	case *litPlan:
 		return n.v, nil
@@ -126,8 +170,9 @@ func (e *kbaExec) runScan(n *kba.ScanKV) (*pval, error) {
 		var local []relation.Tuple
 		var data, fetch int64
 		for node := w; node < nodes; node += e.workers {
-			err := e.store.ScanInstanceNode(node, n.KV, func(key relation.Tuple, blk *baav.Block, _ *baav.BlockStats) bool {
+			err := e.store.ScanInstanceNodeT(e.kv(), node, n.KV, func(key relation.Tuple, blk *baav.Block, _ *baav.BlockStats) bool {
 				rows := blk.Expand()
+				e.trace.CountBlocks(1)
 				data += int64(len(rows)*len(kvSchema.Val) + len(key))
 				fetch += int64(key.SizeBytes())
 				for _, r := range rows {
@@ -180,7 +225,7 @@ func (e *kbaExec) runIndexLookup(n *kba.IndexLookup) (*pval, error) {
 	}
 	var gets, data int64
 	for _, v := range n.Values {
-		keys, g, err := e.store.Index.Lookup(n.Index, v)
+		keys, g, err := e.store.Index.LookupT(e.trace, n.Index, v)
 		if err != nil {
 			return nil, err
 		}
@@ -217,7 +262,7 @@ func (e *kbaExec) runIndexRange(n *kba.IndexRange) (*pval, error) {
 	if e.store.Index == nil {
 		return nil, fmt.Errorf("parallel: plan uses index %q but the store has no index catalog", n.Index)
 	}
-	vals, keys, scanned, err := e.store.Index.RangeLimit(n.Index, lo, hi, n.LoIncl, n.HiIncl, limit)
+	vals, keys, scanned, err := e.store.Index.RangeLimitT(e.trace, n.Index, lo, hi, n.LoIncl, n.HiIncl, limit)
 	if err != nil {
 		return nil, err
 	}
@@ -274,13 +319,14 @@ func (e *kbaExec) runExtend(n *kba.Extend) (*pval, error) {
 			ks := relation.KeyString(key)
 			rows, ok := cache[ks]
 			if !ok {
-				blk, _, g, err := e.store.GetBlock(n.KV, key)
+				blk, _, g, err := e.store.GetBlockT(e.kv(), n.KV, key)
 				if err != nil {
 					return err
 				}
 				gets += int64(g)
 				if blk != nil {
 					rows = blk.Expand()
+					e.trace.CountBlocks(1)
 					data += int64(len(rows)*len(kvSchema.Val) + len(key))
 					fetch += int64(key.SizeBytes())
 					for _, r := range rows {
@@ -503,8 +549,11 @@ func (l *litPlan) String() string       { return "lit" }
 
 func (e *kbaExec) runStatsAgg(n *kba.StatsAgg) (*pval, error) {
 	// Statistics scans read only block headers; run sequentially and
-	// partition the (tiny) output.
+	// partition the (tiny) output. The delegate sinks kv ops into the
+	// statement's counters without opening a second span tree (this node's
+	// own span is already on the stack).
 	seq := kba.NewExecutor(e.store)
+	seq.KV = e.kv()
 	rel, err := seq.Run(n)
 	if err != nil {
 		return nil, err

@@ -69,14 +69,32 @@ func (c *Client) roundTrip(req *server.Request) (*server.Response, error) {
 	return &resp, nil
 }
 
-// do round-trips and converts ok:false into an error.
+// ServerError is an ok:false response surfaced as an error. Code carries
+// the server's machine-readable class ("queue_timeout", "overloaded",
+// "canceled", "statement"); Retryable reports whether the failure is
+// backpressure the client should back off and retry rather than a fault in
+// the statement itself.
+type ServerError struct {
+	Msg  string
+	Code string
+}
+
+// Error returns the server's message.
+func (e *ServerError) Error() string { return e.Msg }
+
+// Retryable reports whether the error is transient backpressure.
+func (e *ServerError) Retryable() bool {
+	return e.Code == "queue_timeout" || e.Code == "overloaded" || e.Code == "canceled"
+}
+
+// do round-trips and converts ok:false into a *ServerError.
 func (c *Client) do(req *server.Request) (*server.Response, error) {
 	resp, err := c.roundTrip(req)
 	if err != nil {
 		return nil, err
 	}
 	if !resp.OK {
-		return resp, fmt.Errorf("%s", resp.Error)
+		return resp, &ServerError{Msg: resp.Error, Code: resp.Code}
 	}
 	return resp, nil
 }

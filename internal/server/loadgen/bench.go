@@ -56,10 +56,11 @@ func BenchServer(out io.Writer, opts BenchOptions) error {
 		QueueDepth:    4 * opts.Clients,
 		QueueTimeout:  30 * time.Second,
 	})
-	tcpAddr, _, err := srv.Start("127.0.0.1:0", "")
+	tcpAddr, httpAddr, err := srv.Start("127.0.0.1:0", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
+	metricsURL := "http://" + httpAddr + "/metrics"
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -71,13 +72,14 @@ func BenchServer(out io.Writer, opts BenchOptions) error {
 		return err
 	}
 	rep, err := Run(Options{
-		Addr:      tcpAddr,
-		Clients:   opts.Clients,
-		Requests:  opts.Requests,
-		Templates: templates,
-		Setup:     setup,
-		ParamPool: 100,
-		Seed:      opts.Seed,
+		Addr:       tcpAddr,
+		Clients:    opts.Clients,
+		Requests:   opts.Requests,
+		Templates:  templates,
+		Setup:      setup,
+		ParamPool:  100,
+		Seed:       opts.Seed,
+		MetricsURL: metricsURL,
 	})
 	if err != nil {
 		return err
@@ -95,6 +97,10 @@ func BenchServer(out io.Writer, opts BenchOptions) error {
 		fmt.Sprintf("%s ×%d clients", label, opts.Clients),
 		rep.QPS, rep.Latency.P50, rep.Latency.P99, rep.Latency.Max,
 		rep.Errors, 100*rep.CacheHitRate)
+	if sl := rep.ServerLatency; sl != nil {
+		fmt.Fprintf(out, "server-side latency (scraped): p50 %.0fµs p95 %.0fµs p99 %.0fµs over %d statements\n",
+			sl.P50Micros, sl.P95Micros, sl.P99Micros, sl.Count)
+	}
 
 	// Distinct-literal phases: every request carries a literal never seen
 	// before, so literal-inlined caching cannot hit and only template reuse

@@ -328,6 +328,11 @@ type Options struct {
 	// dataset's pk space (default 1<<21). Reruns against a warm server
 	// should vary it to keep inserted pks fresh.
 	WriteIDBase int
+	// MetricsURL, when non-empty, is the server's /metrics endpoint; the run
+	// scrapes it at the end and folds the server-side latency histogram into
+	// Report.ServerLatency. Scrape failures are non-fatal (the field stays
+	// nil) — a server running with metrics disabled still takes load.
+	MetricsURL string
 }
 
 func (o Options) normalized() Options {
@@ -392,6 +397,10 @@ type Report struct {
 	PlanCacheHitRateDistinctLiteralsInlined float64 `json:"planCacheHitRateDistinctLiteralsInlined"`
 	// Server is the server's own statistics snapshot after the run.
 	Server *server.ServerStats `json:"server,omitempty"`
+	// ServerLatency is the server-side statement latency summary scraped
+	// from /metrics (Options.MetricsURL); nil when no URL was given or the
+	// scrape failed.
+	ServerLatency *ServerLatency `json:"serverLatencyMicros,omitempty"`
 }
 
 // Run opens Clients connections, issues Requests statements on each, and
@@ -558,6 +567,11 @@ func Run(opts Options) (*Report, error) {
 
 	if st, err := clients[0].Stats(); err == nil {
 		rep.Server = st
+	}
+	if opts.MetricsURL != "" {
+		if sl, err := ScrapeServerLatency(opts.MetricsURL); err == nil {
+			rep.ServerLatency = sl
+		}
 	}
 	return rep, nil
 }

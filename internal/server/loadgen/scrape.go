@@ -1,0 +1,148 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"zidian/internal/obs"
+)
+
+// ServerLatency is the server-side statement latency summary scraped from
+// /metrics after a run: quantiles of the zidian_query_duration_seconds
+// histogram merged across verbs. Unlike the client-observed Latency it
+// excludes wire and scheduling time outside the server, so the gap between
+// the two is the protocol overhead.
+type ServerLatency struct {
+	Count     int64   `json:"count"`
+	P50Micros float64 `json:"p50Micros"`
+	P95Micros float64 `json:"p95Micros"`
+	P99Micros float64 `json:"p99Micros"`
+}
+
+// ScrapeServerLatency fetches a Prometheus-text /metrics page and summarizes
+// the zidian_query_duration_seconds histogram, merging buckets across the
+// verb label.
+func ScrapeServerLatency(metricsURL string) (*ServerLatency, error) {
+	hc := http.Client{Timeout: 5 * time.Second}
+	resp, err := hc.Get(metricsURL)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: scrape %s: status %s", metricsURL, resp.Status)
+	}
+	snap, err := parseHistogram(resp.Body, "zidian_query_duration_seconds")
+	if err != nil {
+		return nil, err
+	}
+	if snap.Count == 0 {
+		return nil, fmt.Errorf("loadgen: scrape %s: histogram empty", metricsURL)
+	}
+	return &ServerLatency{
+		Count:     snap.Count,
+		P50Micros: snap.Quantile(0.50) * 1e6,
+		P95Micros: snap.Quantile(0.95) * 1e6,
+		P99Micros: snap.Quantile(0.99) * 1e6,
+	}, nil
+}
+
+// parseHistogram reads Prometheus text exposition and reassembles one
+// histogram family into an obs.HistSnapshot, summing the cumulative bucket
+// counts of every label combination (so a {verb}-labeled family merges into
+// one distribution). Only the subset of the format the zidian server emits
+// is understood; unknown lines are skipped.
+func parseHistogram(r io.Reader, name string) (obs.HistSnapshot, error) {
+	var snap obs.HistSnapshot
+	cum := map[float64]int64{} // le bound (+Inf as math.Inf) → summed cumulative count
+	var infCum, count int64
+	var sumSeconds float64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		metric, valStr := fields[0], fields[1]
+		switch {
+		case strings.HasPrefix(metric, name+"_bucket{"):
+			le, ok := labelValue(metric, "le")
+			if !ok {
+				continue
+			}
+			v, err := strconv.ParseInt(valStr, 10, 64)
+			if err != nil {
+				continue
+			}
+			if le == "+Inf" {
+				infCum += v
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				continue
+			}
+			cum[bound] += v
+		case metric == name+"_sum" || strings.HasPrefix(metric, name+"_sum{"):
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err == nil {
+				sumSeconds += v
+			}
+		case metric == name+"_count" || strings.HasPrefix(metric, name+"_count{"):
+			v, err := strconv.ParseInt(valStr, 10, 64)
+			if err == nil {
+				count += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return snap, err
+	}
+	if len(cum) == 0 && infCum == 0 {
+		return snap, fmt.Errorf("loadgen: histogram %s not found in scrape", name)
+	}
+	bounds := make([]float64, 0, len(cum))
+	for b := range cum {
+		bounds = append(bounds, b)
+	}
+	sort.Float64s(bounds)
+	snap.Bounds = bounds
+	snap.Counts = make([]int64, len(bounds)+1)
+	var prev int64
+	for i, b := range bounds {
+		snap.Counts[i] = cum[b] - prev
+		prev = cum[b]
+	}
+	snap.Counts[len(bounds)] = infCum - prev
+	snap.Count = count
+	snap.SumNanos = int64(sumSeconds * 1e9)
+	return snap, nil
+}
+
+// labelValue extracts one label's value from a metric{k="v",...} sample name.
+func labelValue(metric, key string) (string, bool) {
+	open := strings.IndexByte(metric, '{')
+	end := strings.LastIndexByte(metric, '}')
+	if open < 0 || end < open {
+		return "", false
+	}
+	for _, pair := range strings.Split(metric[open+1:end], ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || k != key {
+			continue
+		}
+		return strings.Trim(v, `"`), true
+	}
+	return "", false
+}

@@ -1,0 +1,92 @@
+package loadgen
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"zidian/internal/obs"
+)
+
+// TestParseHistogramRoundTrip: a {verb}-labeled histogram written in
+// Prometheus text parses back into a snapshot equal to the registry's own
+// merged view, so scraped quantiles match server-side ones.
+func TestParseHistogramRoundTrip(t *testing.T) {
+	r := obs.NewRegistry()
+	hv := r.NewHistogramVec("zidian_query_duration_seconds", "latency", "verb", nil)
+	for i := 1; i <= 50; i++ {
+		hv.With("select").Observe(time.Duration(i) * time.Millisecond)
+	}
+	for i := 1; i <= 10; i++ {
+		hv.With("insert").Observe(time.Duration(i) * 10 * time.Millisecond)
+	}
+	// An unrelated histogram the parser must skip.
+	r.NewHistogram("zidian_admission_wait_seconds", "queue", nil).Observe(time.Second)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	got, err := parseHistogram(strings.NewReader(sb.String()), "zidian_query_duration_seconds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hv.MergedSnapshot()
+	if got.Count != want.Count {
+		t.Fatalf("count = %d, want %d", got.Count, want.Count)
+	}
+	if len(got.Counts) != len(want.Counts) {
+		t.Fatalf("bucket count = %d, want %d", len(got.Counts), len(want.Counts))
+	}
+	for i := range want.Counts {
+		if got.Counts[i] != want.Counts[i] {
+			t.Fatalf("bucket %d = %d, want %d (got %v want %v)",
+				i, got.Counts[i], want.Counts[i], got.Counts, want.Counts)
+		}
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if g, w := got.Quantile(q), want.Quantile(q); math.Abs(g-w) > 1e-9 {
+			t.Fatalf("q%.0f = %g, want %g", 100*q, g, w)
+		}
+	}
+	// The sum survives the float round trip to within formatting precision.
+	if math.Abs(float64(got.SumNanos-want.SumNanos)) > 1e3 {
+		t.Fatalf("sumNanos = %d, want ~%d", got.SumNanos, want.SumNanos)
+	}
+}
+
+func TestParseHistogramMissing(t *testing.T) {
+	_, err := parseHistogram(strings.NewReader("# HELP other x\nother_total 3\n"), "zidian_query_duration_seconds")
+	if err == nil {
+		t.Fatal("expected error for missing family")
+	}
+}
+
+// TestScrapeServerLatency drives the scraper against a fake /metrics page.
+func TestScrapeServerLatency(t *testing.T) {
+	r := obs.NewRegistry()
+	hv := r.NewHistogramVec("zidian_query_duration_seconds", "latency", "verb", nil)
+	for i := 0; i < 100; i++ {
+		hv.With("select").Observe(2 * time.Millisecond)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		r.WritePrometheus(w)
+	}))
+	defer ts.Close()
+
+	sl, err := ScrapeServerLatency(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Count != 100 {
+		t.Fatalf("count = %d, want 100", sl.Count)
+	}
+	// All observations land in the (1ms, 2.5ms] bucket.
+	if sl.P50Micros < 1000 || sl.P50Micros > 2500 {
+		t.Fatalf("p50 = %gµs, want within the 1–2.5ms bucket", sl.P50Micros)
+	}
+	if sl.P99Micros < sl.P50Micros {
+		t.Fatal("quantiles not monotone")
+	}
+}

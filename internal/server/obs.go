@@ -1,0 +1,318 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"sync"
+	"time"
+
+	"zidian/internal/obs"
+)
+
+// Statement verbs used as metric label values and slow-log kinds.
+const (
+	verbSelect         = "select"
+	verbInsert         = "insert"
+	verbDelete         = "delete"
+	verbDDL            = "ddl"
+	verbExplain        = "explain"
+	verbExplainAnalyze = "explain_analyze"
+)
+
+// serverObs is the server's observability surface: the metrics registry
+// behind /metrics, the per-statement measurement context, and the
+// slow-query log. A nil *serverObs (Config.DisableMetrics) is fully inert —
+// every method is nil-safe, begin returns a nil context, and the nil trace
+// it yields turns off counting all the way down to the kv cluster.
+type serverObs struct {
+	reg *obs.Registry
+
+	queries  *obs.CounterVec   // zidian_queries_total{verb}
+	errs     *obs.CounterVec   // zidian_query_errors_total{reason}
+	latency  *obs.HistogramVec // zidian_query_duration_seconds{verb}
+	admWait  *obs.Histogram    // zidian_admission_wait_seconds
+	lockWait *obs.Histogram    // zidian_lock_wait_seconds
+	postings *obs.Counter      // zidian_index_posting_reads_total
+	blocks   *obs.Counter      // zidian_blocks_fetched_total
+
+	slowThreshold time.Duration
+	slowMu        sync.Mutex
+	slowOut       io.Writer
+}
+
+// newServerObs builds the registry and registers every family the server
+// exposes. Pre-existing stats structs (admission gate, plan cache, kv node
+// metrics, session counters) join via pull-style RegisterFunc closures so
+// their own bookkeeping stays untouched.
+func newServerObs(s *Server, cfg Config) *serverObs {
+	o := &serverObs{
+		reg:           obs.NewRegistry(),
+		slowThreshold: cfg.SlowQueryThreshold,
+		slowOut:       cfg.SlowQueryLog,
+	}
+	r := o.reg
+	o.queries = r.NewCounterVec("zidian_queries_total",
+		"Statements executed, by verb.", "verb")
+	o.errs = r.NewCounterVec("zidian_query_errors_total",
+		"Statements failed, by reason.", "reason")
+	o.latency = r.NewHistogramVec("zidian_query_duration_seconds",
+		"End-to-end statement wall time inside the server, by verb.", "verb", nil)
+	o.admWait = r.NewHistogram("zidian_admission_wait_seconds",
+		"Time statements spent queued at the admission gate, including waits that ended in rejection or timeout.", nil)
+	o.lockWait = r.NewHistogram("zidian_lock_wait_seconds",
+		"Time statements spent acquiring relation locks.", nil)
+	o.postings = r.NewCounter("zidian_index_posting_reads_total",
+		"Secondary-index posting entries read by traced statements.")
+	o.blocks = r.NewCounter("zidian_blocks_fetched_total",
+		"BaaV blocks fetched and decoded by traced statements.")
+
+	r.RegisterFunc("zidian_admission_in_flight",
+		"Statements currently holding an execution slot.", "gauge", "",
+		func() []obs.Sample {
+			return []obs.Sample{{Value: float64(s.adm.Stats().InFlight)}}
+		})
+	r.RegisterFunc("zidian_admission_waiting",
+		"Statements currently queued for an execution slot.", "gauge", "",
+		func() []obs.Sample {
+			return []obs.Sample{{Value: float64(s.adm.Stats().Waiting)}}
+		})
+	r.RegisterFunc("zidian_admission_total",
+		"Admission gate outcomes, by result.", "counter", "result",
+		func() []obs.Sample {
+			st := s.adm.Stats()
+			return []obs.Sample{
+				{Label: "admitted", Value: float64(st.Admitted)},
+				{Label: "rejected", Value: float64(st.Rejected)},
+				{Label: "timed_out", Value: float64(st.TimedOut)},
+			}
+		})
+	r.RegisterFunc("zidian_plan_cache_events_total",
+		"Plan cache activity, by event.", "counter", "event",
+		func() []obs.Sample {
+			st := s.cache.Stats()
+			return []obs.Sample{
+				{Label: "hit", Value: float64(st.Hits)},
+				{Label: "miss", Value: float64(st.Misses)},
+				{Label: "eviction", Value: float64(st.Evictions)},
+				{Label: "params_hit", Value: float64(st.ParamsHits)},
+				{Label: "literal_hit", Value: float64(st.LiteralHits)},
+				{Label: "invalidation", Value: float64(st.Invalidations)},
+				{Label: "stale_drop", Value: float64(st.StaleDrops)},
+			}
+		})
+	r.RegisterFunc("zidian_plan_cache_size",
+		"Compiled plans currently cached.", "gauge", "",
+		func() []obs.Sample {
+			return []obs.Sample{{Value: float64(s.cache.Len())}}
+		})
+	r.RegisterFunc("zidian_plan_cache_epoch",
+		"Current schema epoch of the plan cache.", "gauge", "",
+		func() []obs.Sample {
+			return []obs.Sample{{Value: float64(s.cache.Epoch())}}
+		})
+	r.RegisterFunc("zidian_kv_ops_total",
+		"KV operations served by the storage nodes, by op.", "counter", "op",
+		func() []obs.Sample {
+			m := s.inst.Store().Cluster.Metrics()
+			return []obs.Sample{
+				{Label: "delete", Value: float64(m.Deletes)},
+				{Label: "get", Value: float64(m.Gets)},
+				{Label: "put", Value: float64(m.Puts)},
+				{Label: "scan_next", Value: float64(m.ScanNexts)},
+			}
+		})
+	r.RegisterFunc("zidian_kv_bytes_total",
+		"Bytes moved between the SQL layer and the storage nodes, by direction.", "counter", "dir",
+		func() []obs.Sample {
+			m := s.inst.Store().Cluster.Metrics()
+			return []obs.Sample{
+				{Label: "read", Value: float64(m.BytesRead)},
+				{Label: "written", Value: float64(m.BytesWritten)},
+			}
+		})
+	r.RegisterFunc("zidian_sessions",
+		"Open wire-protocol sessions.", "gauge", "",
+		func() []obs.Sample {
+			return []obs.Sample{{Value: float64(s.sessions.Load())}}
+		})
+	r.RegisterFunc("zidian_sessions_total",
+		"Wire-protocol sessions accepted since start.", "counter", "",
+		func() []obs.Sample {
+			return []obs.Sample{{Value: float64(s.totalSess.Load())}}
+		})
+	r.RegisterFunc("zidian_uptime_seconds",
+		"Seconds since the server started.", "gauge", "",
+		func() []obs.Sample {
+			return []obs.Sample{{Value: time.Since(s.started).Seconds()}}
+		})
+	return o
+}
+
+// begin opens a per-statement measurement context. Nil receiver → nil
+// context → nil trace, so a disabled server pays only nil checks.
+func (o *serverObs) begin(verb string) *stmtCtx {
+	if o == nil {
+		return nil
+	}
+	return &stmtCtx{o: o, verb: verb, trace: &obs.Trace{}, start: time.Now()}
+}
+
+// stmtCtx measures one statement through the serving layer: it owns the
+// statement's trace, records where time went (queue, locks, execution), and
+// on finish folds everything into the registry and — when the statement was
+// slow or failed slow — the slow-query log. All methods are nil-safe.
+type stmtCtx struct {
+	o         *serverObs
+	verb      string
+	norm      string
+	arity     int
+	relations []string
+	cacheHit  bool
+	trace     *obs.Trace
+	start     time.Time
+	done      bool
+}
+
+// Trace returns the statement's trace (nil when metrics are disabled).
+func (c *stmtCtx) Trace() *obs.Trace {
+	if c == nil {
+		return nil
+	}
+	return c.trace
+}
+
+// setStmt records the normalized template text and bind arity.
+func (c *stmtCtx) setStmt(norm string, arity int) {
+	if c == nil {
+		return
+	}
+	c.norm, c.arity = norm, arity
+}
+
+// setRelations records the statement's relation footprint.
+func (c *stmtCtx) setRelations(rels []string) {
+	if c == nil {
+		return
+	}
+	c.relations = rels
+}
+
+// admissionWait records time spent at the admission gate. It is called on
+// every acquire — successful or not — so a statement that times out in the
+// queue still reports where its latency went.
+func (c *stmtCtx) admissionWait(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.trace.QueueWaitNanos += int64(d)
+	c.o.admWait.Observe(d)
+}
+
+// locksWait records time spent acquiring relation locks.
+func (c *stmtCtx) locksWait(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.trace.LockWaitNanos += int64(d)
+	c.o.lockWait.Observe(d)
+}
+
+// finish closes the statement: verb and latency counters, error counters by
+// reason, trace-derived posting/block totals, and the slow-query log when
+// the statement exceeded the threshold. Idempotent so retry loops can call
+// it once per statement regardless of exit path.
+func (c *stmtCtx) finish(rows int, cacheHit bool, err error) {
+	if c == nil || c.done {
+		return
+	}
+	c.done = true
+	c.cacheHit = cacheHit
+	wall := time.Since(c.start)
+	c.o.queries.With(c.verb).Inc()
+	c.o.latency.With(c.verb).Observe(wall)
+	if err != nil {
+		c.o.errs.With(errorCode(err)).Inc()
+	}
+	c.o.postings.Add(c.trace.PostingReads())
+	c.o.blocks.Add(c.trace.Blocks())
+	c.o.logSlow(c, rows, wall, err)
+}
+
+// slowEntry is one slow-query log line: everything needed to understand an
+// offending statement without re-running it — the template (never literal
+// values), where the time went layer by layer, and what the statement
+// touched.
+type slowEntry struct {
+	TS              string         `json:"ts"`
+	Verb            string         `json:"verb"`
+	Template        string         `json:"template"`
+	BindArity       int            `json:"bindArity"`
+	Relations       []string       `json:"relations,omitempty"`
+	Rows            int            `json:"rows"`
+	WallMicros      int64          `json:"wallMicros"`
+	QueueWaitMicros int64          `json:"queueWaitMicros"`
+	LockWaitMicros  int64          `json:"lockWaitMicros"`
+	KV              obs.KVSnapshot `json:"kv"`
+	PostingReads    int64          `json:"postingReads"`
+	BlocksFetched   int64          `json:"blocksFetched"`
+	CacheHit        bool           `json:"cacheHit"`
+	Error           string         `json:"error,omitempty"`
+	Code            string         `json:"code,omitempty"`
+}
+
+// logSlow emits one JSON line when the statement's wall time crossed the
+// threshold. Failed statements are logged too — a queue timeout is exactly
+// the kind of slowness the log exists to explain.
+func (o *serverObs) logSlow(c *stmtCtx, rows int, wall time.Duration, err error) {
+	if o.slowThreshold <= 0 || o.slowOut == nil || wall < o.slowThreshold {
+		return
+	}
+	e := slowEntry{
+		TS:              time.Now().UTC().Format(time.RFC3339Nano),
+		Verb:            c.verb,
+		Template:        c.norm,
+		BindArity:       c.arity,
+		Relations:       c.relations,
+		Rows:            rows,
+		WallMicros:      wall.Microseconds(),
+		QueueWaitMicros: c.trace.QueueWaitNanos / 1e3,
+		LockWaitMicros:  c.trace.LockWaitNanos / 1e3,
+		KV:              c.trace.KV.Snapshot(),
+		PostingReads:    c.trace.PostingReads(),
+		BlocksFetched:   c.trace.Blocks(),
+		CacheHit:        c.cacheHit,
+	}
+	if err != nil {
+		e.Error = err.Error()
+		e.Code = errorCode(err)
+	}
+	line, merr := json.Marshal(&e)
+	if merr != nil {
+		return
+	}
+	line = append(line, '\n')
+	o.slowMu.Lock()
+	o.slowOut.Write(line)
+	o.slowMu.Unlock()
+}
+
+// errorCode maps a statement error to the machine-readable code carried in
+// the response payload and the slow-query log: backpressure and shutdown
+// conditions keep distinct codes so clients can tell retryable rejections
+// from statement faults.
+func errorCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrQueueTimeout):
+		return "queue_timeout"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	default:
+		return "statement"
+	}
+}

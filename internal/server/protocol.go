@@ -140,8 +140,12 @@ func EncodeParams(params []any) ([]json.RawMessage, error) {
 type Response struct {
 	ID int64 `json:"id,omitempty"`
 	OK bool  `json:"ok"`
-	// Error describes the failure when OK is false.
+	// Error describes the failure when OK is false; Code is its
+	// machine-readable class ("queue_timeout", "overloaded", "canceled",
+	// "statement"), so clients can tell retryable backpressure rejections
+	// from statement faults without parsing the message.
 	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
 	// Cols and Rows carry a SELECT answer.
 	Cols []string `json:"cols,omitempty"`
 	Rows [][]any  `json:"rows,omitempty"`
@@ -175,6 +179,18 @@ type ServerStats struct {
 	Admission      AdmissionStats `json:"admission"`
 	StoreGets      int64          `json:"storeGets"`
 	StoreScanNexts int64          `json:"storeScanNexts"`
+	// QueryLatency summarizes the server-side statement latency histogram
+	// (all verbs merged); nil when metrics are disabled or nothing ran yet.
+	QueryLatency *LatencyQuantiles `json:"queryLatency,omitempty"`
+}
+
+// LatencyQuantiles are interpolated quantiles of a latency histogram, in
+// microseconds to match the rest of the wire stats.
+type LatencyQuantiles struct {
+	Count     int64   `json:"count"`
+	P50Micros float64 `json:"p50Micros"`
+	P95Micros float64 `json:"p95Micros"`
+	P99Micros float64 `json:"p99Micros"`
 }
 
 // jsonValue converts a relation value to its natural JSON representation.

@@ -6,14 +6,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"zidian"
+	"zidian/internal/obs"
 )
 
 // Config tunes a Server. The zero value picks serving defaults suitable for
@@ -37,6 +41,22 @@ type Config struct {
 	// instead of only its target relation's. It exists for A/B comparison
 	// (zidian-bench -exp mixed) — per-relation locking is the default.
 	GlobalWriteLock bool
+	// DisableMetrics turns the observability layer off entirely: no
+	// registry, no per-statement traces, no slow-query log, and /metrics
+	// answers 404. Metrics are on by default; this exists for overhead
+	// measurement (zidian-bench -exp server with -obs=off).
+	DisableMetrics bool
+	// SlowQueryThreshold, when positive, emits one structured JSON line to
+	// SlowQueryLog for every statement whose server-side wall time meets or
+	// exceeds it (including statements that failed slowly, e.g. queue
+	// timeouts). Zero disables the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query lines (default os.Stderr when a
+	// threshold is set).
+	SlowQueryLog io.Writer
+	// EnablePprof mounts net/http/pprof handlers under /debug/pprof/ on the
+	// HTTP surface.
+	EnablePprof bool
 }
 
 func (c Config) normalized() Config {
@@ -54,6 +74,9 @@ func (c Config) normalized() Config {
 	}
 	if c.MaxLineBytes <= 0 {
 		c.MaxLineBytes = 1 << 20
+	}
+	if c.SlowQueryThreshold > 0 && c.SlowQueryLog == nil {
+		c.SlowQueryLog = os.Stderr
 	}
 	return c
 }
@@ -81,6 +104,10 @@ type Server struct {
 	// gate the plan cache's epoch capture relies on.
 	locks *relLocks
 
+	// obs is the metrics registry + slow-query log; nil when
+	// Config.DisableMetrics is set (every use is nil-safe).
+	obs *serverObs
+
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -104,7 +131,7 @@ type Server struct {
 func New(inst *zidian.Instance, cfg Config) *Server {
 	cfg = cfg.normalized()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		inst:    inst,
 		cfg:     cfg,
 		cache:   NewPlanCache(cfg.PlanCacheSize),
@@ -115,6 +142,19 @@ func New(inst *zidian.Instance, cfg Config) *Server {
 		conns:   make(map[net.Conn]struct{}),
 		started: time.Now(),
 	}
+	if !cfg.DisableMetrics {
+		s.obs = newServerObs(s, cfg)
+	}
+	return s
+}
+
+// MetricsRegistry exposes the server's metrics registry for tests and
+// embedders; nil when Config.DisableMetrics is set.
+func (s *Server) MetricsRegistry() *obs.Registry {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.reg
 }
 
 // Cache exposes the shared plan cache (for stats and tests).
@@ -249,6 +289,7 @@ func (s *Server) handle(sess *Session, req *Request) Response {
 		s.errors.Add(1)
 		resp.OK = false
 		resp.Error = err.Error()
+		resp.Code = errorCode(err)
 		return resp
 	}
 	switch req.Op {
@@ -324,10 +365,16 @@ func (s *Server) handle(sess *Session, req *Request) Response {
 			}
 			p = p2
 		}
-		res, stats, ran, err := s.runFresh(s.ctx, NormalizeSQL(p.SQL()), p.SQL(), p, params)
+		norm := NormalizeSQL(p.SQL())
+		c := s.obs.begin(verbSelect)
+		c.setStmt(norm, len(params))
+		c.setRelations(p.Relations())
+		res, stats, ran, err := s.runFresh(s.ctx, c, norm, p.SQL(), p, params)
 		if err != nil {
+			c.finish(0, true, err)
 			return fail(err)
 		}
+		c.finish(len(res.Rows), true, nil)
 		if ran != stored {
 			if err := sess.SetPrepared(req.Name, ran); err != nil {
 				return fail(err)
@@ -386,16 +433,23 @@ func (s *Server) compileNorm(norm, sql string) (*zidian.Prepared, bool, error) {
 
 // run executes a compiled plan under admission control and the read locks
 // of the relations the plan touches, binding params into the plan template
-// first. Writes to any other relation proceed concurrently.
-func (s *Server) run(ctx context.Context, p *zidian.Prepared, params []zidian.Value) (*zidian.Result, *zidian.Stats, error) {
-	if err := s.adm.Acquire(ctx); err != nil {
+// first. Writes to any other relation proceed concurrently. Queue and lock
+// waits land in the statement context even when acquisition fails, so a
+// timed-out statement still reports where its latency went.
+func (s *Server) run(ctx context.Context, c *stmtCtx, p *zidian.Prepared, params []zidian.Value) (*zidian.Result, *zidian.Stats, error) {
+	qStart := time.Now()
+	err := s.adm.Acquire(ctx)
+	c.admissionWait(time.Since(qStart))
+	if err != nil {
 		return nil, nil, err
 	}
 	defer s.adm.Release()
+	lStart := time.Now()
 	release := s.locks.acquireRead(p.Relations())
+	c.locksWait(time.Since(lStart))
 	defer release()
 	s.queries.Add(1)
-	return p.Run(params...)
+	return p.RunTraced(c.Trace(), params...)
 }
 
 // Query compiles (or reuses) and executes one SELECT, binding params into
@@ -410,14 +464,20 @@ func (s *Server) Query(ctx context.Context, sql string, params ...zidian.Value) 
 
 // queryNorm is Query with the normalization already done.
 func (s *Server) queryNorm(ctx context.Context, norm, sql string, params []zidian.Value) (*zidian.Result, *zidian.Stats, bool, error) {
+	c := s.obs.begin(verbSelect)
+	c.setStmt(norm, len(params))
 	p, hit, err := s.compileNorm(norm, sql)
 	if err != nil {
+		c.finish(0, false, err)
 		return nil, nil, false, err
 	}
-	res, stats, _, err := s.runFresh(ctx, norm, sql, p, params)
+	c.setRelations(p.Relations())
+	res, stats, _, err := s.runFresh(ctx, c, norm, sql, p, params)
 	if err != nil {
+		c.finish(0, hit, err)
 		return nil, nil, hit, err
 	}
+	c.finish(len(res.Rows), hit, nil)
 	return res, stats, hit, nil
 }
 
@@ -426,9 +486,9 @@ func (s *Server) queryNorm(ctx context.Context, norm, sql string, params []zidia
 // the read lock in separate critical sections, so a DROP INDEX can land in
 // between and strand a plan on a vanished index). It returns the plan that
 // finally ran so callers can refresh session state.
-func (s *Server) runFresh(ctx context.Context, norm, sql string, p *zidian.Prepared, params []zidian.Value) (*zidian.Result, *zidian.Stats, *zidian.Prepared, error) {
+func (s *Server) runFresh(ctx context.Context, c *stmtCtx, norm, sql string, p *zidian.Prepared, params []zidian.Value) (*zidian.Result, *zidian.Stats, *zidian.Prepared, error) {
 	for attempt := 0; ; attempt++ {
-		res, stats, err := s.run(ctx, p, params)
+		res, stats, err := s.run(ctx, c, p, params)
 		if err == nil || attempt >= 2 || p.Epoch() == s.inst.SchemaEpoch() {
 			return res, stats, p, err
 		}
@@ -445,8 +505,9 @@ func (s *Server) runFresh(ctx context.Context, norm, sql string, p *zidian.Prepa
 // other relations keep flowing), DDL takes the instance-wide gate and
 // invalidates the plan cache while still holding it — so no statement can
 // observe the new catalog with an old plan — EXPLAIN takes only the compile
-// lock (it plans, it touches no data), and a SELECT routed here delegates
-// to the cached read path. Params bind into `?` placeholders.
+// lock (it plans, it touches no data), EXPLAIN ANALYZE schedules like the
+// SELECT it wraps (it executes), and a SELECT routed here delegates to the
+// cached read path. Params bind into `?` placeholders.
 func (s *Server) Exec(ctx context.Context, sql string, params ...zidian.Value) (*zidian.ExecResult, error) {
 	kind, target, err := zidian.StatementInfo(sql)
 	if err != nil {
@@ -454,21 +515,46 @@ func (s *Server) Exec(ctx context.Context, sql string, params ...zidian.Value) (
 	}
 	if kind == zidian.StmtSelect {
 		norm := NormalizeSQL(sql)
-		p, _, err := s.compileNorm(norm, sql)
+		c := s.obs.begin(verbSelect)
+		c.setStmt(norm, len(params))
+		p, hit, err := s.compileNorm(norm, sql)
 		if err != nil {
+			c.finish(0, false, err)
 			return nil, err
 		}
-		res, stats, ran, err := s.runFresh(ctx, norm, sql, p, params)
+		c.setRelations(p.Relations())
+		res, stats, ran, err := s.runFresh(ctx, c, norm, sql, p, params)
 		if err != nil {
+			c.finish(0, hit, err)
 			return nil, err
 		}
+		c.finish(len(res.Rows), hit, nil)
 		return &zidian.ExecResult{Result: res, Stats: stats, Relations: ran.Relations()}, nil
 	}
+	if kind == zidian.StmtExplainAnalyze {
+		return s.execExplainAnalyze(ctx, sql, params)
+	}
+	verb := verbExplain
+	switch kind {
+	case zidian.StmtInsert:
+		verb = verbInsert
+	case zidian.StmtDelete:
+		verb = verbDelete
+	case zidian.StmtDDL:
+		verb = verbDDL
+	}
+	c := s.obs.begin(verb)
+	c.setStmt(NormalizeSQL(sql), len(params))
+	qStart := time.Now()
 	if err := s.adm.Acquire(ctx); err != nil {
+		c.admissionWait(time.Since(qStart))
+		c.finish(0, false, err)
 		return nil, err
 	}
+	c.admissionWait(time.Since(qStart))
 	defer s.adm.Release()
 	var release func()
+	lStart := time.Now()
 	switch kind {
 	case zidian.StmtInsert, zidian.StmtDelete:
 		release = s.locks.acquireWrite(target)
@@ -477,22 +563,67 @@ func (s *Server) Exec(ctx context.Context, sql string, params ...zidian.Value) (
 	default: // EXPLAIN: planning only, no data access
 		release = s.locks.compileLock()
 	}
+	c.locksWait(time.Since(lStart))
 	defer release()
 	s.queries.Add(1)
-	r, err := s.inst.Exec(sql, params...)
+	r, err := s.inst.ExecTraced(c.Trace(), sql, params...)
 	if err != nil {
+		c.finish(0, false, err)
 		return nil, err
 	}
 	if r.SchemaChanged {
 		s.cache.Invalidate()
 	}
+	c.setRelations(r.Relations)
+	c.finish(r.Affected, false, nil)
 	return r, nil
 }
 
-// Stats snapshots server-wide statistics.
+// execExplainAnalyze serves EXPLAIN ANALYZE <select>: the inner SELECT
+// compiles through the plan cache under its own template key (so the
+// analyzed statement shares the cached plan of the query it wraps), the
+// statement schedules exactly like a read — admission, then the plan's
+// relation read locks — and executes under the statement trace; the client
+// receives the annotated operator tree instead of the rows.
+func (s *Server) execExplainAnalyze(ctx context.Context, sql string, params []zidian.Value) (*zidian.ExecResult, error) {
+	inner, _ := zidian.TrimExplainAnalyze(sql)
+	norm := NormalizeSQL(inner)
+	c := s.obs.begin(verbExplainAnalyze)
+	c.setStmt(norm, len(params))
+	p, hit, err := s.compileNorm(norm, inner)
+	if err != nil {
+		c.finish(0, false, err)
+		return nil, err
+	}
+	c.setRelations(p.Relations())
+	qStart := time.Now()
+	if err := s.adm.Acquire(ctx); err != nil {
+		c.admissionWait(time.Since(qStart))
+		c.finish(0, hit, err)
+		return nil, err
+	}
+	c.admissionWait(time.Since(qStart))
+	defer s.adm.Release()
+	lStart := time.Now()
+	release := s.locks.acquireRead(p.Relations())
+	c.locksWait(time.Since(lStart))
+	defer release()
+	s.queries.Add(1)
+	res, stats, _, err := p.Analyze(c.Trace(), params...)
+	if err != nil {
+		c.finish(0, hit, err)
+		return nil, err
+	}
+	c.finish(len(res.Rows), hit, nil)
+	return &zidian.ExecResult{Result: res, Stats: stats, Relations: p.Relations()}, nil
+}
+
+// Stats snapshots server-wide statistics. With metrics enabled it includes
+// the server-side statement latency quantiles derived from the
+// zidian_query_duration_seconds histogram (all verbs merged).
 func (s *Server) Stats() ServerStats {
 	kvm := s.inst.Store().Cluster.Metrics()
-	return ServerStats{
+	st := ServerStats{
 		UptimeSeconds:  time.Since(s.started).Seconds(),
 		Sessions:       s.sessions.Load(),
 		TotalSessions:  s.totalSess.Load(),
@@ -503,13 +634,27 @@ func (s *Server) Stats() ServerStats {
 		StoreGets:      kvm.Gets,
 		StoreScanNexts: kvm.ScanNexts,
 	}
+	if s.obs != nil {
+		snap := s.obs.latency.MergedSnapshot()
+		if snap.Count > 0 {
+			st.QueryLatency = &LatencyQuantiles{
+				Count:     snap.Count,
+				P50Micros: snap.Quantile(0.50) * 1e6,
+				P95Micros: snap.Quantile(0.95) * 1e6,
+				P99Micros: snap.Quantile(0.99) * 1e6,
+			}
+		}
+	}
+	return st
 }
 
 // ServeHTTP serves the HTTP surface on ln until Shutdown:
 //
 //	POST /query   {"sql": "select ...", "params": [...]}  (or GET /query?q=...)
 //	GET  /healthz liveness
-//	GET  /stats   server statistics
+//	GET  /stats   server statistics (JSON superset of the metrics families)
+//	GET  /metrics Prometheus text exposition (404 when metrics are disabled)
+//	GET  /debug/pprof/* profiling, when Config.EnablePprof is set
 func (s *Server) ServeHTTP(ln net.Listener) error {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.httpQuery)
@@ -522,6 +667,21 @@ func (s *Server) ServeHTTP(ln net.Listener) error {
 		st := s.Stats()
 		json.NewEncoder(w).Encode(&st)
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		if s.obs == nil {
+			http.Error(w, "metrics disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.obs.reg.WritePrometheus(w)
+	})
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	srv := &http.Server{Handler: mux}
 	s.mu.Lock()
 	if s.closed {
@@ -594,6 +754,7 @@ func (s *Server) httpQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.errors.Add(1)
 		resp.Error = err.Error()
+		resp.Code = errorCode(err)
 		// Backpressure and shutdown are transient server-side conditions the
 		// client should retry elsewhere/later; everything else is the
 		// statement's own fault.

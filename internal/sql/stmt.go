@@ -45,10 +45,13 @@ type DropIndex struct {
 	Name string
 }
 
-// Explain is a parsed "EXPLAIN <select>" statement: it asks for the plan
-// description of the wrapped query instead of its answer.
+// Explain is a parsed "EXPLAIN [ANALYZE] <select>" statement: it asks for
+// the plan description of the wrapped query instead of its answer. With
+// Analyze set, the query is also executed and the plan tree is annotated
+// with per-operator measurements.
 type Explain struct {
-	Query *Query
+	Query   *Query
+	Analyze bool
 }
 
 // Statement is a parsed SQL statement: *Query, *Insert, *Delete,
@@ -101,9 +104,10 @@ func ParseStatement(src string) (Statement, error) {
 		stmt, err = p.parseDropIndex()
 	case p.peekKeyword("EXPLAIN"):
 		p.advance()
+		analyze := p.keyword("ANALYZE")
 		var q *Query
 		q, err = p.parseQuery()
-		stmt = &Explain{Query: q}
+		stmt = &Explain{Query: q, Analyze: analyze}
 	default:
 		return nil, fmt.Errorf("sql: expected SELECT, INSERT, DELETE, CREATE, DROP or EXPLAIN, found %s", p.peek())
 	}

@@ -23,6 +23,7 @@ package zidian
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"zidian/internal/index"
 	"zidian/internal/kba"
 	"zidian/internal/kv"
+	"zidian/internal/obs"
 	"zidian/internal/parallel"
 	"zidian/internal/qcs"
 	"zidian/internal/ra"
@@ -320,15 +322,29 @@ func (p *Prepared) Plan() string {
 // is safe to call concurrently; each call binds its own copy of the
 // parameterized nodes.
 func (p *Prepared) Run(params ...Value) (*Result, *Stats, error) {
+	return p.RunTraced(nil, params...)
+}
+
+// RunTraced is Run with a per-statement trace: when t is non-nil the
+// executor records one operator span per plan node (rows, wall time,
+// inclusive kv-op deltas, worker fan-out) into t.Root and counts kv ops,
+// posting reads and block fetches into t's counters. A nil trace costs
+// nothing; Run is RunTraced(nil).
+func (p *Prepared) RunTraced(t *obs.Trace, params ...Value) (*Result, *Stats, error) {
 	in := p.in
 	info, err := p.info.Bind(params)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, m, err := parallel.RunKBA(info, in.store, in.opts.Workers)
+	res, m, err := parallel.RunKBATraced(info, in.store, in.opts.Workers, t)
 	if err != nil {
 		return nil, nil, err
 	}
+	return res, in.statsFor(info, m), nil
+}
+
+// statsFor shapes executor metrics into the facade's per-query Stats.
+func (in *Instance) statsFor(info *core.PlanInfo, m *parallel.Metrics) *Stats {
 	stats := &Stats{
 		ScanFree:     info.ScanFree,
 		Bounded:      info.Bounded(in.store, in.opts.MaxBoundedDegree),
@@ -340,7 +356,55 @@ func (p *Prepared) Run(params ...Value) (*Result, *Stats, error) {
 	if info.Root != nil {
 		stats.Plan = info.Root.String()
 	}
-	return res, stats, nil
+	return stats
+}
+
+// Analyze is EXPLAIN ANALYZE as a prepared-statement method: it executes
+// the statement under a trace and returns, in place of the query answer, the
+// annotated plan rendering — one "plan" row per line: the classification
+// headline, the operator tree with measured rows/time/kv-ops per node, and a
+// statement-wide totals line. A non-nil t is used as the statement trace (a
+// serving layer passes its own so queue and lock waits land in the same
+// counters); nil allocates a fresh one. Stats are those of the execution.
+func (p *Prepared) Analyze(t *obs.Trace, params ...Value) (*Result, *Stats, *obs.Trace, error) {
+	return p.in.analyzeInfo(t, p.info, params)
+}
+
+// analyzeInfo binds and executes a compiled plan under a trace and renders
+// the annotated operator tree.
+func (in *Instance) analyzeInfo(t *obs.Trace, info *core.PlanInfo, params []Value) (*Result, *Stats, *obs.Trace, error) {
+	if t == nil {
+		t = &obs.Trace{}
+	}
+	if info.Empty {
+		res := planLinesResult([]string{"empty result (unsatisfiable constants)"})
+		return res, &Stats{}, t, nil
+	}
+	bound, err := info.Bind(params)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ans, m, err := parallel.RunKBATraced(bound, in.store, in.opts.Workers, t)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	kvs := t.KV.Snapshot()
+	lines := []string{fmt.Sprintf("[%s] %s", in.planClass(info), info.Root)}
+	lines = append(lines, obs.RenderPlan(t.Root, true)...)
+	lines = append(lines, fmt.Sprintf(
+		"totals: rows=%d wall=%s kv_ops=%d (gets=%d scan_next=%d puts=%d deletes=%d) rtt=%s posting_reads=%d blocks=%d",
+		len(ans.Rows), m.Wall, kvs.Ops(), kvs.Gets, kvs.ScanNexts, kvs.Puts, kvs.Deletes,
+		time.Duration(kvs.WaitNanos), t.PostingReads(), t.Blocks()))
+	return planLinesResult(lines), in.statsFor(bound, m), t, nil
+}
+
+// planLinesResult shapes rendered plan lines as a one-column result.
+func planLinesResult(lines []string) *Result {
+	rows := make([]Tuple, len(lines))
+	for i, l := range lines {
+		rows[i] = Tuple{String(l)}
+	}
+	return &Result{Cols: []string{"plan"}, Rows: rows}
 }
 
 // Execute is Run under the name conventional for prepared statements.
@@ -360,7 +424,9 @@ func (in *Instance) Explain(src string) (string, error) {
 }
 
 // explainQuery plans a bound query, returning the rendered description and
-// the plan's base-relation read set.
+// the plan's base-relation read set. The first line is the classification
+// headline with the compact plan expression; the lines below are the same
+// operator tree EXPLAIN ANALYZE annotates, unannotated.
 func (in *Instance) explainQuery(q *ra.Query) (string, []string, error) {
 	info, err := in.checker.Plan(q)
 	if err != nil {
@@ -370,6 +436,15 @@ func (in *Instance) explainQuery(q *ra.Query) (string, []string, error) {
 	if info.Empty {
 		return "empty result (unsatisfiable constants)", rels, nil
 	}
+	lines := []string{fmt.Sprintf("[%s] %s", in.planClass(info), info.Root)}
+	lines = append(lines, obs.RenderPlan(kba.PlanTree(info.Root), false)...)
+	return strings.Join(lines, "\n"), rels, nil
+}
+
+// planClass names a compiled plan's classification for EXPLAIN headlines:
+// scan-freeness, boundedness under the instance's degree bound, and the
+// index access paths it uses.
+func (in *Instance) planClass(info *core.PlanInfo) string {
 	kind := "not scan-free"
 	if info.ScanFree {
 		kind = "scan-free"
@@ -383,7 +458,7 @@ func (in *Instance) explainQuery(q *ra.Query) (string, []string, error) {
 	if len(info.Ranges) > 0 {
 		kind += ", index-range"
 	}
-	return fmt.Sprintf("[%s] %s", kind, info.Root), rels, nil
+	return kind
 }
 
 // Insert incrementally maintains the BaaV store and every secondary index
@@ -396,7 +471,11 @@ func (in *Instance) explainQuery(q *ra.Query) (string, []string, error) {
 // applied is compensated — the relation append is truncated and the blocks
 // are deleted — so an error never strands the relation, the blocks, and the
 // postings in disagreement.
-func (in *Instance) Insert(rel string, t Tuple) error {
+func (in *Instance) Insert(rel string, t Tuple) error { return in.insertT(nil, rel, t) }
+
+// insertT is Insert with an optional kv-op counter sink for traced writes;
+// compensation paths count too — their kv traffic is real.
+func (in *Instance) insertT(kvt *obs.KV, rel string, t Tuple) error {
 	r := in.db.Relation(rel)
 	if r == nil {
 		return fmt.Errorf("zidian: unknown relation %q", rel)
@@ -405,12 +484,12 @@ func (in *Instance) Insert(rel string, t Tuple) error {
 		return err
 	}
 	undoRel := func() { r.Tuples = r.Tuples[:len(r.Tuples)-1] }
-	if err := in.store.Insert(rel, t); err != nil {
+	if err := in.store.InsertT(kvt, rel, t); err != nil {
 		undoRel()
 		return err
 	}
-	if err := in.indexes.Insert(rel, t); err != nil {
-		if derr := in.store.Delete(rel, t); derr != nil {
+	if err := in.indexes.InsertT(kvt, rel, t); err != nil {
+		if derr := in.store.DeleteT(kvt, rel, t); derr != nil {
 			return fmt.Errorf("%w (and undoing the block insert failed: %v)", err, derr)
 		}
 		undoRel()
@@ -424,18 +503,21 @@ func (in *Instance) Insert(rel string, t Tuple) error {
 // stores consistent under failure: the relation's tuple slice is spliced
 // only after blocks and postings both succeeded, and a posting failure
 // restores the already-removed blocks.
-func (in *Instance) Delete(rel string, t Tuple) error {
+func (in *Instance) Delete(rel string, t Tuple) error { return in.deleteT(nil, rel, t) }
+
+// deleteT is Delete with an optional kv-op counter sink for traced writes.
+func (in *Instance) deleteT(kvt *obs.KV, rel string, t Tuple) error {
 	r := in.db.Relation(rel)
 	if r == nil {
 		return fmt.Errorf("zidian: unknown relation %q", rel)
 	}
 	for i, u := range r.Tuples {
 		if u.Equal(t) {
-			if err := in.store.Delete(rel, t); err != nil {
+			if err := in.store.DeleteT(kvt, rel, t); err != nil {
 				return err
 			}
-			if err := in.indexes.Delete(rel, t); err != nil {
-				if rerr := in.store.Insert(rel, t); rerr != nil {
+			if err := in.indexes.DeleteT(kvt, rel, t); err != nil {
+				if rerr := in.store.InsertT(kvt, rel, t); rerr != nil {
 					return fmt.Errorf("%w (and restoring the deleted blocks failed: %v)", err, rerr)
 				}
 				return err
@@ -500,6 +582,10 @@ const (
 	StmtDDL
 	// StmtExplain plans a query without touching any data.
 	StmtExplain
+	// StmtExplainAnalyze plans AND executes the wrapped query, so serving
+	// layers schedule it like a read: it takes the query's relation read
+	// locks and runs under a statement trace.
+	StmtExplainAnalyze
 )
 
 // StatementInfo classifies a statement without executing it, returning its
@@ -521,22 +607,65 @@ func StatementInfo(src string) (kind StmtKind, target string, err error) {
 	case *sqlpkg.CreateIndex, *sqlpkg.DropIndex:
 		return StmtDDL, "", nil
 	case *sqlpkg.Explain:
+		if s.Analyze {
+			return StmtExplainAnalyze, "", nil
+		}
 		return StmtExplain, "", nil
 	default:
 		return 0, "", fmt.Errorf("zidian: unsupported statement")
 	}
 }
 
+// TrimExplainAnalyze strips a leading "EXPLAIN ANALYZE" prefix (case
+// insensitive, whitespace separated) and reports whether it was present.
+// Serving layers use it to compile and cache the inner SELECT under its own
+// statement template, so EXPLAIN ANALYZE shares the cached plan of the
+// query it wraps.
+func TrimExplainAnalyze(src string) (string, bool) {
+	s, ok := trimWord(strings.TrimSpace(src), "EXPLAIN")
+	if !ok {
+		return src, false
+	}
+	s, ok = trimWord(s, "ANALYZE")
+	if !ok {
+		return src, false
+	}
+	return s, true
+}
+
+// trimWord consumes one leading keyword followed by whitespace.
+func trimWord(s, word string) (string, bool) {
+	if len(s) <= len(word) || !strings.EqualFold(s[:len(word)], word) {
+		return s, false
+	}
+	rest := s[len(word):]
+	trimmed := strings.TrimLeft(rest, " \t\r\n")
+	if trimmed == rest {
+		return s, false
+	}
+	return trimmed, true
+}
+
 // Exec parses and runs one SQL statement: SELECT queries the BaaV store;
 // INSERT and DELETE update the database and incrementally maintain the
 // blocks and index postings (module M4); CREATE INDEX / DROP INDEX change
 // the secondary-index catalog and advance the schema epoch; EXPLAIN
-// <select> returns the plan description as a one-row result. DELETE
+// <select> returns the plan description as a one-row result, and EXPLAIN
+// ANALYZE <select> executes the query and returns the annotated operator
+// tree, one row per rendered line. DELETE
 // supports conjunctive predicates over the target relation's own
 // attributes. SELECT, INSERT and DELETE accept `?` placeholders bound
 // positionally by params; DDL does not (a placeholder there is a parse
 // error, and passing params alongside DDL is rejected).
 func (in *Instance) Exec(src string, params ...Value) (*ExecResult, error) {
+	return in.ExecTraced(nil, src, params...)
+}
+
+// ExecTraced is Exec with a per-statement trace: SELECT records operator
+// spans and kv counters into t, INSERT/DELETE count their block and posting
+// maintenance kv ops, and EXPLAIN ANALYZE uses t as the execution trace. A
+// nil trace costs nothing; Exec is ExecTraced(nil).
+func (in *Instance) ExecTraced(t *obs.Trace, src string, params ...Value) (*ExecResult, error) {
 	stmt, err := sqlpkg.ParseStatement(src)
 	if err != nil {
 		return nil, err
@@ -552,7 +681,7 @@ func (in *Instance) Exec(src string, params ...Value) (*ExecResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, stats, err := p.Run(params...)
+		res, stats, err := p.RunTraced(t, params...)
 		if err != nil {
 			return nil, err
 		}
@@ -563,7 +692,7 @@ func (in *Instance) Exec(src string, params ...Value) (*ExecResult, error) {
 			return nil, err
 		}
 		for _, row := range rows {
-			if err := in.Insert(s.Table, row); err != nil {
+			if err := in.insertT(t.KVCounters(), s.Table, row); err != nil {
 				return nil, err
 			}
 		}
@@ -578,13 +707,13 @@ func (in *Instance) Exec(src string, params ...Value) (*ExecResult, error) {
 			return nil, err
 		}
 		var doomed []Tuple
-		for _, t := range rel.Tuples {
-			if check(t) {
-				doomed = append(doomed, t)
+		for _, u := range rel.Tuples {
+			if check(u) {
+				doomed = append(doomed, u)
 			}
 		}
-		for _, t := range doomed {
-			if err := in.Delete(s.Table, t); err != nil {
+		for _, d := range doomed {
+			if err := in.deleteT(t.KVCounters(), s.Table, d); err != nil {
 				return nil, err
 			}
 		}
@@ -615,6 +744,18 @@ func (in *Instance) Exec(src string, params ...Value) (*ExecResult, error) {
 		q, err := ra.Bind(s.Query, in.db)
 		if err != nil {
 			return nil, err
+		}
+		if s.Analyze {
+			info, err := in.checker.Plan(q)
+			if err != nil {
+				return nil, err
+			}
+			rels := append([]string{}, info.Relations...)
+			res, stats, _, err := in.analyzeInfo(t, info, params)
+			if err != nil {
+				return nil, err
+			}
+			return &ExecResult{Result: res, Stats: stats, Relations: rels}, nil
 		}
 		plan, rels, err := in.explainQuery(q)
 		if err != nil {
