@@ -15,6 +15,7 @@
 //	zidian-bench -exp index              # secondary indexes (writes BENCH_index.json)
 //	zidian-bench -exp range              # range predicates / ordered posting scans (writes BENCH_range.json)
 //	zidian-bench -exp mixed              # mixed read/write locking regimes (writes BENCH_mixed.json)
+//	zidian-bench -exp replay             # capture→replay fidelity (writes BENCH_replay.json)
 //
 // -scale multiplies the dataset sizes; -workers and -nodes set the cluster
 // shape (paper defaults: 8 workers, 12 nodes).
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, 1case, 1, 2, 3p, 3d, 4, 4h, ablation, server, index, range, mixed")
+		exp      = flag.String("exp", "all", "experiment: all, 1case, 1, 2, 3p, 3d, 4, 4h, ablation, server, index, range, mixed, replay")
 		workload = flag.String("workload", "mot", "workload for exp 2/3/server: mot, airca, tpch")
 		mix      = flag.String("mix", "point", "query mix for -exp server: point, nonkey, range, mixed")
 		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
@@ -85,6 +86,19 @@ func main() {
 		return bench.ExpMixed(out, cfg, jsonPath("BENCH_mixed.json"), *clients, *requests)
 	}
 
+	replayBench := func(out io.Writer, cfg bench.Config) error {
+		return loadgen.BenchReplay(out, loadgen.ReplayBenchOptions{
+			Workload: *workload,
+			Scale:    cfg.Scale,
+			Seed:     cfg.Seed,
+			Nodes:    cfg.Nodes,
+			Workers:  cfg.Workers,
+			Clients:  *clients,
+			Requests: *requests,
+			JSONPath: jsonPath("BENCH_replay.json"),
+		})
+	}
+
 	run := func(name string, f func() error) {
 		fmt.Fprintf(out, "==> %s\n", name)
 		if err := f(); err != nil {
@@ -119,6 +133,8 @@ func main() {
 		run("range", func() error { return rangeBench(out, cfg) })
 	case "mixed":
 		run("mixed", func() error { return mixedBench(out, cfg) })
+	case "replay":
+		run("replay", func() error { return replayBench(out, cfg) })
 	case "all":
 		run("exp1-case (Table 2)", func() error { return bench.Exp1Case(out, cfg) })
 		run("exp1-overall (Table 3)", func() error { return bench.Exp1Overall(out, cfg) })
@@ -136,6 +152,7 @@ func main() {
 		run("index", func() error { return indexBench(out, cfg) })
 		run("range", func() error { return rangeBench(out, cfg) })
 		run("mixed", func() error { return mixedBench(out, cfg) })
+		run("replay", func() error { return replayBench(out, cfg) })
 	default:
 		fmt.Fprintf(os.Stderr, "zidian-bench: unknown experiment %q\n", *exp)
 		flag.Usage()

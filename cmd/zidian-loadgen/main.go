@@ -31,8 +31,52 @@ func main() {
 		distinct = flag.Bool("distinct", false, "use a globally unique literal per request (numeric templates)")
 		out      = flag.String("out", "", "write the JSON report to this file")
 		metrics  = flag.String("metrics", "", "server /metrics URL (e.g. http://localhost:7072/metrics); scraped after the run to fold server-side latency quantiles into the report")
+		strict   = flag.Bool("metrics-strict", false, "exit non-zero when the -metrics scrape fails instead of warning")
+		replay   = flag.String("replay", "", "replay a capture file recorded by zidian-server -capture instead of generating templates")
+		speed    = flag.Float64("speed", 1, "replay pacing factor: 1 reproduces the captured arrival deltas, 2 is twice as fast, 0 is as fast as possible")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		rep, err := loadgen.Replay(loadgen.ReplayOptions{
+			Addr:          *addr,
+			Path:          *replay,
+			Clients:       *clients,
+			Speed:         *speed,
+			Seed:          *seed,
+			ParamPool:     *pool,
+			MetricsURL:    *metrics,
+			MetricsStrict: *strict,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zidian-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("replayed %d statements in %.2fs (%d clients)\n", rep.Requests, rep.WallSeconds, rep.Clients)
+		fmt.Printf("  qps        %.0f\n", rep.QPS)
+		fmt.Printf("  errors     %d\n", rep.Errors)
+		fmt.Printf("  latency µs p50=%d p90=%d p95=%d p99=%d max=%d\n",
+			rep.Latency.P50, rep.Latency.P90, rep.Latency.P95, rep.Latency.P99, rep.Latency.Max)
+		fmt.Printf("  row digest %s\n", rep.RowDigest)
+		if sl := rep.ServerLatency; sl != nil {
+			fmt.Printf("  server-side latency µs p50=%.0f p95=%.0f p99=%.0f (%d statements)\n",
+				sl.P50Micros, sl.P95Micros, sl.P99Micros, sl.Count)
+		}
+		if *out != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "zidian-loadgen: %v\n", err)
+				os.Exit(1)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "zidian-loadgen: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		return
+	}
 
 	opts := loadgen.Options{
 		Addr:           *addr,
@@ -43,6 +87,7 @@ func main() {
 		Parameterized:  *prep,
 		DistinctParams: *distinct,
 		MetricsURL:     *metrics,
+		MetricsStrict:  *strict,
 	}
 	if *mix == "readwrite" {
 		reads, writes, setup, err := loadgen.ReadWriteMix(*wl)

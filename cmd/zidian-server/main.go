@@ -45,7 +45,12 @@ func main() {
 		drainTO  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain timeout")
 		gwl      = flag.Bool("global-write-lock", false, "serialize every write against every read instance-wide (legacy gate; default is per-relation locking)")
 		obsOn    = flag.Bool("obs", true, "collect metrics and serve /metrics (off disables all observability counting)")
-		slowTO   = flag.Duration("slow-query-threshold", 0, "log statements slower than this as JSON lines on stderr (0 disables)")
+		slowTO   = flag.Duration("slow-query-threshold", 0, "log statements slower than this as JSON lines (0 disables)")
+		slowLog  = flag.String("slow-query-log", "", "slow-query log file (default stderr); with -slow-query-max-bytes the file rotates to <path>.1 at the cap")
+		slowMax  = flag.Int64("slow-query-max-bytes", 0, "byte cap for the slow-query log: rotate a -slow-query-log file at the cap, or drop further lines (counted on zidian_slow_query_dropped_total); 0 = unbounded")
+		capture  = flag.String("capture", "", "stream one anonymized JSON line per statement to this file for zidian-loadgen -replay (templates and bind kinds only — never literal values)")
+		stmtCap  = flag.Int("stmt-stats", 512, "statement templates tracked by /stats/statements and SHOW STATEMENTS (cold templates fold into _evicted)")
+		stmtTop  = flag.Int("stmt-metrics-top", 10, "templates exported as per-template zidian_stmt_* families on /metrics")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the HTTP listener")
 	)
 	flag.Parse()
@@ -65,7 +70,7 @@ func main() {
 	fmt.Printf("loaded %d relations, %d rows in %v\n",
 		len(w.DB.Names()), w.DB.Cardinality(), time.Since(start).Round(time.Millisecond))
 
-	srv := server.New(inst, server.Config{
+	cfg := server.Config{
 		MaxConcurrent:      *inflight,
 		QueueDepth:         *queue,
 		QueueTimeout:       *queueTO,
@@ -73,8 +78,31 @@ func main() {
 		GlobalWriteLock:    *gwl,
 		DisableMetrics:     !*obsOn,
 		SlowQueryThreshold: *slowTO,
+		SlowQueryMaxBytes:  *slowMax,
+		StmtStatsCapacity:  *stmtCap,
+		StmtMetricsTopK:    *stmtTop,
 		EnablePprof:        *pprofOn,
-	})
+	}
+	if *slowLog != "" {
+		f, err := server.OpenRotatingFile(*slowLog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zidian-server: open slow-query log: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.SlowQueryLog = f
+	}
+	if *capture != "" {
+		f, err := os.OpenFile(*capture, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zidian-server: open capture log: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.CaptureLog = f
+		fmt.Printf("capturing workload to %s\n", *capture)
+	}
+	srv := server.New(inst, cfg)
 	tcp, httpA, err := srv.Start(*tcpAddr, *httpAddr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "zidian-server: %v\n", err)

@@ -11,6 +11,7 @@
 //	  and N.name = 'GERMANY' group by PS.suppkey
 //
 // Meta commands: \schema (BaaV schema), \tables (relations), \q (quit).
+// SHOW STATEMENTS prints this session's per-template statement statistics.
 package main
 
 import (
@@ -19,8 +20,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"zidian"
+	"zidian/internal/obs"
+	"zidian/internal/server"
 	"zidian/internal/workload"
 )
 
@@ -45,6 +49,7 @@ func main() {
 	}
 	fmt.Printf("zidian-sql: %s at scale %g (%d tuples); \\q to quit\n",
 		*name, *scale, w.DB.Cardinality())
+	stmts := obs.NewStmtStats(256)
 
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -90,7 +95,7 @@ func main() {
 		}
 		src := strings.TrimSuffix(strings.TrimSpace(pending.String()), ";")
 		pending.Reset()
-		runQuery(inst, src)
+		runQuery(inst, stmts, src)
 		prompt()
 	}
 }
@@ -103,10 +108,26 @@ func looksComplete(src string) bool {
 		strings.HasSuffix(lower, ";")
 }
 
-func runQuery(inst *zidian.Instance, src string) {
+func runQuery(inst *zidian.Instance, stmts *obs.StmtStats, src string) {
 	lower := strings.ToLower(strings.TrimSpace(src))
+	if lower == "show statements" {
+		showStatements(stmts)
+		return
+	}
+	norm := server.NormalizeSQL(src)
+	template, _ := server.AnonymizeSQL(norm, nil)
 	if strings.HasPrefix(lower, "insert") || strings.HasPrefix(lower, "delete") {
+		verb := "insert"
+		if strings.HasPrefix(lower, "delete") {
+			verb = "delete"
+		}
+		t0 := time.Now()
 		out, err := inst.Exec(src)
+		u := obs.StmtUsage{Verb: verb, Template: template, Wall: time.Since(t0), Err: err != nil}
+		if out != nil {
+			u.Rows = int64(out.Affected)
+		}
+		stmts.Record(u)
 		if err != nil {
 			fmt.Println("error:", err)
 			return
@@ -114,7 +135,13 @@ func runQuery(inst *zidian.Instance, src string) {
 		fmt.Printf("-- %d rows affected\n", out.Affected)
 		return
 	}
+	t0 := time.Now()
 	res, stats, err := inst.Query(src)
+	u := obs.StmtUsage{Verb: "select", Template: template, Wall: time.Since(t0), Err: err != nil}
+	if res != nil {
+		u.Rows = int64(len(res.Rows))
+	}
+	stmts.Record(u)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -144,4 +171,32 @@ func runQuery(inst *zidian.Instance, src string) {
 	fmt.Printf("-- %d rows; %s; %d gets, %d values, %s\n",
 		len(res.Rows), kind, stats.Gets, stats.DataValues, stats.Wall)
 	fmt.Printf("-- plan: %s\n", stats.Plan)
+}
+
+// showStatements prints this session's per-template statistics, the shell's
+// local analogue of the server's SHOW STATEMENTS.
+func showStatements(stmts *obs.StmtStats) {
+	snap := stmts.Snapshot()
+	entries := snap.Statements
+	obs.SortStmtEntries(entries, obs.SortByTotalTime)
+	if snap.Evicted != nil {
+		entries = append(entries, *snap.Evicted)
+	}
+	if len(entries) == 0 {
+		fmt.Println("-- no statements recorded yet")
+		return
+	}
+	fmt.Printf("%-56s %-7s %6s %6s %8s %10s %8s %8s\n",
+		"template", "verb", "calls", "errs", "rows", "total_ms", "mean_us", "p95_us")
+	for _, e := range entries {
+		name := e.Template
+		if len(name) > 56 {
+			name = name[:53] + "..."
+		}
+		fmt.Printf("%-56s %-7s %6d %6d %8d %10.2f %8.0f %8.0f\n",
+			name, e.Verb, e.Calls, e.Errors, e.Rows,
+			float64(e.TotalNanos)/1e6, e.MeanMicros, e.P95Micros)
+	}
+	fmt.Printf("-- %d templates tracked (capacity %d, %d evictions)\n",
+		snap.Tracked, snap.Capacity, snap.Evictions)
 }

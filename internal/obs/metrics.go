@@ -222,12 +222,22 @@ type HistSnapshot struct {
 	SumNanos int64
 }
 
+// MinQuantileSamples is the smallest observation count at which bucket
+// quantiles are meaningful. Below it, interpolating a p50/p95/p99 from one
+// or two samples just reads back a bucket boundary as if it were signal, so
+// Quantile reports 0 instead and callers should omit quantiles entirely.
+const MinQuantileSamples = 3
+
+// QuantilesValid reports whether the snapshot holds enough observations for
+// Quantile to return a meaningful estimate.
+func (s HistSnapshot) QuantilesValid() bool { return s.Count >= MinQuantileSamples }
+
 // Quantile estimates the q-quantile (0 < q <= 1) in seconds by linear
 // interpolation within the bucket containing the target rank. Observations
-// beyond the last finite bound clamp to it. Returns 0 for an empty
-// histogram.
+// beyond the last finite bound clamp to it. Returns 0 when the histogram
+// holds fewer than MinQuantileSamples observations (see QuantilesValid).
 func (s HistSnapshot) Quantile(q float64) float64 {
-	if s.Count == 0 {
+	if !s.QuantilesValid() {
 		return 0
 	}
 	rank := q * float64(s.Count)

@@ -65,6 +65,39 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantilesLowSamples(t *testing.T) {
+	// Below MinQuantileSamples every quantile must be exactly 0 — a p99
+	// interpolated from one or two observations is a bucket boundary dressed
+	// up as signal.
+	for n := 0; n < MinQuantileSamples; n++ {
+		h := newHistogram(nil)
+		for i := 0; i < n; i++ {
+			h.Observe(7 * time.Millisecond)
+		}
+		s := h.Snapshot()
+		if s.QuantilesValid() {
+			t.Fatalf("n=%d: QuantilesValid = true, want false", n)
+		}
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			if v := s.Quantile(q); v != 0 {
+				t.Fatalf("n=%d: Quantile(%g) = %g, want 0", n, q, v)
+			}
+		}
+	}
+	// At exactly MinQuantileSamples quantiles turn on and are non-zero.
+	h := newHistogram(nil)
+	for i := 0; i < MinQuantileSamples; i++ {
+		h.Observe(7 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if !s.QuantilesValid() {
+		t.Fatalf("n=%d: QuantilesValid = false, want true", MinQuantileSamples)
+	}
+	if v := s.Quantile(0.5); v <= 0 {
+		t.Fatalf("n=%d: Quantile(0.5) = %g, want > 0", MinQuantileSamples, v)
+	}
+}
+
 func TestHistSnapshotMerge(t *testing.T) {
 	a := newHistogram(nil)
 	b := newHistogram(nil)

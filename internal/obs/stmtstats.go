@@ -1,0 +1,444 @@
+package obs
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EvictedTemplate is the template label under which the totals of templates
+// evicted from a StmtStats registry are folded. Nothing is lost on eviction:
+// calls, kv ops, and time recorded for a cold template move into this bucket,
+// so summing every snapshot entry (including it) always equals the global
+// counters for the same window.
+const EvictedTemplate = "_evicted"
+
+// StmtUsage is one finished statement's contribution to the per-template
+// statistics registry: the identity key (Verb, Template — the anonymized
+// normalized text, literals replaced by placeholders) plus everything the
+// statement's trace measured.
+type StmtUsage struct {
+	Verb     string
+	Template string
+	Wall     time.Duration
+	Rows     int64
+	Err      bool
+	CacheHit bool
+	KV       KVSnapshot
+	// PostingReads and Blocks are the trace's index/block access totals.
+	PostingReads int64
+	Blocks       int64
+	// QueueWaitNanos and LockWaitNanos are scheduling time outside execution.
+	QueueWaitNanos int64
+	LockWaitNanos  int64
+	// Relations is the statement's relation footprint (may be nil).
+	Relations []string
+}
+
+// stmtKey identifies one aggregate: the anonymized template under its verb,
+// so "select ..." and "explain analyze select ..." of the same shape stay
+// distinguishable.
+type stmtKey struct {
+	verb     string
+	template string
+}
+
+// stmtAgg is one template's running totals. All fields are plain values
+// guarded by the owning shard's mutex — Record is one short critical section,
+// no per-field atomics needed.
+type stmtAgg struct {
+	calls          int64
+	errors         int64
+	rows           int64
+	cacheHits      int64
+	wallNanos      int64
+	kv             KVSnapshot
+	postingReads   int64
+	blocks         int64
+	queueWaitNanos int64
+	lockWaitNanos  int64
+	// latCounts are DefBuckets latency bucket counts (last entry +Inf),
+	// enough to report per-template p50/p95/p99.
+	latCounts []int64
+	relations map[string]struct{}
+}
+
+func newStmtAgg() *stmtAgg {
+	return &stmtAgg{latCounts: make([]int64, len(DefBuckets)+1)}
+}
+
+// add folds one statement into the aggregate.
+func (a *stmtAgg) add(u StmtUsage) {
+	a.calls++
+	if u.Err {
+		a.errors++
+	}
+	if u.CacheHit {
+		a.cacheHits++
+	}
+	a.rows += u.Rows
+	a.wallNanos += int64(u.Wall)
+	a.kv = mergeKV(a.kv, u.KV)
+	a.postingReads += u.PostingReads
+	a.blocks += u.Blocks
+	a.queueWaitNanos += u.QueueWaitNanos
+	a.lockWaitNanos += u.LockWaitNanos
+	a.latCounts[sort.SearchFloat64s(DefBuckets, u.Wall.Seconds())]++
+	if len(u.Relations) > 0 {
+		if a.relations == nil {
+			a.relations = make(map[string]struct{}, len(u.Relations))
+		}
+		for _, r := range u.Relations {
+			a.relations[r] = struct{}{}
+		}
+	}
+}
+
+// merge folds another aggregate in (eviction path).
+func (a *stmtAgg) merge(o *stmtAgg) {
+	a.calls += o.calls
+	a.errors += o.errors
+	a.rows += o.rows
+	a.cacheHits += o.cacheHits
+	a.wallNanos += o.wallNanos
+	a.kv = mergeKV(a.kv, o.kv)
+	a.postingReads += o.postingReads
+	a.blocks += o.blocks
+	a.queueWaitNanos += o.queueWaitNanos
+	a.lockWaitNanos += o.lockWaitNanos
+	for i, c := range o.latCounts {
+		a.latCounts[i] += c
+	}
+	if len(o.relations) > 0 {
+		if a.relations == nil {
+			a.relations = make(map[string]struct{}, len(o.relations))
+		}
+		for r := range o.relations {
+			a.relations[r] = struct{}{}
+		}
+	}
+}
+
+func mergeKV(a, b KVSnapshot) KVSnapshot {
+	return KVSnapshot{
+		Gets:         a.Gets + b.Gets,
+		Puts:         a.Puts + b.Puts,
+		Deletes:      a.Deletes + b.Deletes,
+		ScanNexts:    a.ScanNexts + b.ScanNexts,
+		BytesRead:    a.BytesRead + b.BytesRead,
+		BytesWritten: a.BytesWritten + b.BytesWritten,
+		WaitNanos:    a.WaitNanos + b.WaitNanos,
+	}
+}
+
+type stmtNode struct {
+	key stmtKey
+	agg *stmtAgg
+}
+
+// stmtShard is one lock stripe: a bounded LRU of template aggregates plus the
+// shard's fold bucket for evicted totals.
+type stmtShard struct {
+	mu      sync.Mutex
+	items   map[stmtKey]*list.Element
+	lru     *list.List // front = most recently recorded
+	evicted *stmtAgg   // nil until the first eviction
+}
+
+// StmtStats is a bounded, lock-striped registry of per-statement-template
+// aggregates. It is the serving layer's answer to "which statement shapes are
+// eating the cluster": every finished statement folds its trace into the
+// aggregate keyed by (verb, anonymized template). Capacity is enforced per
+// shard with LRU eviction; evicted totals fold into the EvictedTemplate
+// bucket so the registry's sums stay conserved under template churn.
+type StmtStats struct {
+	shards    []*stmtShard
+	perCap    int
+	capacity  int
+	evictions atomic.Int64
+}
+
+// NewStmtStats returns a registry tracking at most capacity templates
+// (default 512 when capacity <= 0). Striping is sized so each shard keeps a
+// useful LRU window even at small capacities.
+func NewStmtStats(capacity int) *StmtStats {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	nShards := 16
+	for nShards > 1 && capacity/nShards < 4 {
+		nShards /= 2
+	}
+	perCap := (capacity + nShards - 1) / nShards
+	s := &StmtStats{shards: make([]*stmtShard, nShards), perCap: perCap, capacity: capacity}
+	for i := range s.shards {
+		s.shards[i] = &stmtShard{items: make(map[stmtKey]*list.Element), lru: list.New()}
+	}
+	return s
+}
+
+// fnv32a hashes a key for shard selection.
+func fnv32a(verb, template string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(verb); i++ {
+		h = (h ^ uint32(verb[i])) * 16777619
+	}
+	h = (h ^ 0) * 16777619 // separator so ("a","bc") and ("ab","c") differ
+	for i := 0; i < len(template); i++ {
+		h = (h ^ uint32(template[i])) * 16777619
+	}
+	return h
+}
+
+// Record folds one finished statement into its template aggregate, creating
+// it (and evicting the shard's coldest template into the fold bucket when the
+// shard is full) on first sight. Safe for concurrent use.
+func (s *StmtStats) Record(u StmtUsage) {
+	if s == nil {
+		return
+	}
+	key := stmtKey{verb: u.Verb, template: u.Template}
+	sh := s.shards[fnv32a(u.Verb, u.Template)%uint32(len(s.shards))]
+	sh.mu.Lock()
+	el, ok := sh.items[key]
+	if ok {
+		sh.lru.MoveToFront(el)
+	} else {
+		if sh.lru.Len() >= s.perCap {
+			back := sh.lru.Back()
+			old := back.Value.(*stmtNode)
+			if sh.evicted == nil {
+				sh.evicted = newStmtAgg()
+			}
+			sh.evicted.merge(old.agg)
+			delete(sh.items, old.key)
+			sh.lru.Remove(back)
+			s.evictions.Add(1)
+		}
+		el = sh.lru.PushFront(&stmtNode{key: key, agg: newStmtAgg()})
+		sh.items[key] = el
+	}
+	el.Value.(*stmtNode).agg.add(u)
+	sh.mu.Unlock()
+}
+
+// Evictions returns the number of templates evicted since creation.
+func (s *StmtStats) Evictions() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.evictions.Load()
+}
+
+// Tracked returns the number of templates currently held.
+func (s *StmtStats) Tracked() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity returns the configured template bound.
+func (s *StmtStats) Capacity() int {
+	if s == nil {
+		return 0
+	}
+	return s.capacity
+}
+
+// StmtEntry is one template's immutable aggregate snapshot. Quantiles are 0
+// (and omitted from JSON) when the template has fewer than MinQuantileSamples
+// observations — interpolating a p99 from one sample is noise, not signal.
+type StmtEntry struct {
+	Template       string     `json:"template"`
+	Verb           string     `json:"verb"`
+	Calls          int64      `json:"calls"`
+	Errors         int64      `json:"errors,omitempty"`
+	Rows           int64      `json:"rows"`
+	CacheHits      int64      `json:"cacheHits"`
+	TotalNanos     int64      `json:"totalNanos"`
+	MeanMicros     float64    `json:"meanMicros"`
+	P50Micros      float64    `json:"p50Micros,omitempty"`
+	P95Micros      float64    `json:"p95Micros,omitempty"`
+	P99Micros      float64    `json:"p99Micros,omitempty"`
+	KV             KVSnapshot `json:"kv"`
+	KVOps          int64      `json:"kvOps"`
+	PostingReads   int64      `json:"postingReads,omitempty"`
+	Blocks         int64      `json:"blocks,omitempty"`
+	QueueWaitNanos int64      `json:"queueWaitNanos,omitempty"`
+	LockWaitNanos  int64      `json:"lockWaitNanos,omitempty"`
+	Relations      []string   `json:"relations,omitempty"`
+}
+
+// entry shapes an aggregate into its exported form.
+func (a *stmtAgg) entry(key stmtKey) StmtEntry {
+	e := StmtEntry{
+		Template:       key.template,
+		Verb:           key.verb,
+		Calls:          a.calls,
+		Errors:         a.errors,
+		Rows:           a.rows,
+		CacheHits:      a.cacheHits,
+		TotalNanos:     a.wallNanos,
+		KV:             a.kv,
+		KVOps:          a.kv.Ops(),
+		PostingReads:   a.postingReads,
+		Blocks:         a.blocks,
+		QueueWaitNanos: a.queueWaitNanos,
+		LockWaitNanos:  a.lockWaitNanos,
+	}
+	if a.calls > 0 {
+		e.MeanMicros = float64(a.wallNanos) / float64(a.calls) / 1e3
+	}
+	snap := HistSnapshot{Bounds: DefBuckets, Counts: a.latCounts, Count: a.calls, SumNanos: a.wallNanos}
+	if snap.QuantilesValid() {
+		e.P50Micros = snap.Quantile(0.50) * 1e6
+		e.P95Micros = snap.Quantile(0.95) * 1e6
+		e.P99Micros = snap.Quantile(0.99) * 1e6
+	}
+	if len(a.relations) > 0 {
+		e.Relations = make([]string, 0, len(a.relations))
+		for r := range a.relations {
+			e.Relations = append(e.Relations, r)
+		}
+		sort.Strings(e.Relations)
+	}
+	return e
+}
+
+// StmtSnapshot is a point-in-time copy of the whole registry.
+type StmtSnapshot struct {
+	// Statements holds one entry per tracked (verb, template) pair,
+	// unsorted; see SortStmtEntries.
+	Statements []StmtEntry
+	// Evicted carries the fold bucket's totals (template EvictedTemplate,
+	// empty verb); nil when nothing has been evicted.
+	Evicted *StmtEntry
+	// Tracked and Capacity describe registry occupancy; Evictions counts
+	// templates evicted since creation.
+	Tracked   int
+	Capacity  int
+	Evictions int64
+}
+
+// Snapshot copies every aggregate out under the shard locks. The per-shard
+// eviction buckets merge into one Evicted entry.
+func (s *StmtStats) Snapshot() StmtSnapshot {
+	if s == nil {
+		return StmtSnapshot{}
+	}
+	snap := StmtSnapshot{Capacity: s.capacity, Evictions: s.evictions.Load()}
+	var evicted *stmtAgg
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			n := el.Value.(*stmtNode)
+			snap.Statements = append(snap.Statements, n.agg.entry(n.key))
+		}
+		if sh.evicted != nil {
+			if evicted == nil {
+				evicted = newStmtAgg()
+			}
+			evicted.merge(sh.evicted)
+		}
+		sh.mu.Unlock()
+	}
+	snap.Tracked = len(snap.Statements)
+	if evicted != nil {
+		e := evicted.entry(stmtKey{template: EvictedTemplate})
+		snap.Evicted = &e
+	}
+	return snap
+}
+
+// Sort orders for SortStmtEntries and the /stats/statements ?by= parameter.
+const (
+	SortByTotalTime = "total_time"
+	SortByCalls     = "calls"
+	SortByKVOps     = "kv_ops"
+)
+
+// SortStmtEntries orders entries descending by the given measure
+// (SortByTotalTime, SortByCalls, SortByKVOps; anything else falls back to
+// total time), breaking ties by template then verb for stable output.
+func SortStmtEntries(entries []StmtEntry, by string) {
+	measure := func(e *StmtEntry) int64 {
+		switch by {
+		case SortByCalls:
+			return e.Calls
+		case SortByKVOps:
+			return e.KVOps
+		default:
+			return e.TotalNanos
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		mi, mj := measure(&entries[i]), measure(&entries[j])
+		if mi != mj {
+			return mi > mj
+		}
+		if entries[i].Template != entries[j].Template {
+			return entries[i].Template < entries[j].Template
+		}
+		return entries[i].Verb < entries[j].Verb
+	})
+}
+
+// StmtTemplateTotal is one template's cross-verb totals, for the per-template
+// /metrics families.
+type StmtTemplateTotal struct {
+	Template string
+	Seconds  float64
+	Calls    int64
+	KVOps    int64
+}
+
+// TopTemplates returns the k templates with the most total time, summing
+// across verbs (a template queried both directly and via EXPLAIN ANALYZE
+// exports one label, not two). The eviction bucket competes like any other
+// template under the EvictedTemplate label, so /metrics sums stay conserved.
+func (s *StmtStats) TopTemplates(k int) []StmtTemplateTotal {
+	if s == nil || k <= 0 {
+		return nil
+	}
+	snap := s.Snapshot()
+	byTemplate := make(map[string]*StmtTemplateTotal, len(snap.Statements))
+	fold := func(e *StmtEntry) {
+		t := byTemplate[e.Template]
+		if t == nil {
+			t = &StmtTemplateTotal{Template: e.Template}
+			byTemplate[e.Template] = t
+		}
+		t.Seconds += float64(e.TotalNanos) / 1e9
+		t.Calls += e.Calls
+		t.KVOps += e.KVOps
+	}
+	for i := range snap.Statements {
+		fold(&snap.Statements[i])
+	}
+	if snap.Evicted != nil {
+		fold(snap.Evicted)
+	}
+	out := make([]StmtTemplateTotal, 0, len(byTemplate))
+	for _, t := range byTemplate {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seconds != out[j].Seconds {
+			return out[i].Seconds > out[j].Seconds
+		}
+		return out[i].Template < out[j].Template
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func usageFor(verb, template string, wall time.Duration, rows int64) StmtUsage {
+	return StmtUsage{
+		Verb:     verb,
+		Template: template,
+		Wall:     wall,
+		Rows:     rows,
+		KV:       KVSnapshot{Gets: 2, ScanNexts: 3, BytesRead: 100},
+	}
+}
+
+func TestStmtStatsBasicAggregation(t *testing.T) {
+	s := NewStmtStats(64)
+	for i := 0; i < 5; i++ {
+		u := usageFor("select", "select a from T where id = ?", 10*time.Millisecond, 1)
+		u.CacheHit = i > 0
+		u.Relations = []string{"T"}
+		s.Record(u)
+	}
+	u := usageFor("select", "select a from T where id = ?", 20*time.Millisecond, 0)
+	u.Err = true
+	s.Record(u)
+	s.Record(usageFor("insert", "insert into T values (?, ?)", time.Millisecond, 0))
+
+	snap := s.Snapshot()
+	if snap.Tracked != 2 || len(snap.Statements) != 2 {
+		t.Fatalf("tracked = %d entries = %d, want 2/2", snap.Tracked, len(snap.Statements))
+	}
+	if snap.Evicted != nil || snap.Evictions != 0 {
+		t.Fatalf("unexpected evictions: %+v", snap)
+	}
+	var sel *StmtEntry
+	for i := range snap.Statements {
+		if snap.Statements[i].Verb == "select" {
+			sel = &snap.Statements[i]
+		}
+	}
+	if sel == nil {
+		t.Fatal("select entry missing")
+	}
+	if sel.Calls != 6 || sel.Errors != 1 || sel.Rows != 5 || sel.CacheHits != 4 {
+		t.Fatalf("select entry = %+v", sel)
+	}
+	wantNanos := int64(5*10*time.Millisecond + 20*time.Millisecond)
+	if sel.TotalNanos != wantNanos {
+		t.Fatalf("totalNanos = %d, want %d", sel.TotalNanos, wantNanos)
+	}
+	if sel.KV.Gets != 12 || sel.KVOps != sel.KV.Ops() {
+		t.Fatalf("kv aggregation wrong: %+v", sel.KV)
+	}
+	if sel.P95Micros <= 0 {
+		t.Fatalf("p95 = %g, want > 0 at %d samples", sel.P95Micros, sel.Calls)
+	}
+	if len(sel.Relations) != 1 || sel.Relations[0] != "T" {
+		t.Fatalf("relations = %v", sel.Relations)
+	}
+}
+
+func TestStmtStatsLowSampleQuantilesOmitted(t *testing.T) {
+	s := NewStmtStats(8)
+	s.Record(usageFor("select", "select 1", time.Millisecond, 1))
+	snap := s.Snapshot()
+	e := snap.Statements[0]
+	if e.P50Micros != 0 || e.P95Micros != 0 || e.P99Micros != 0 {
+		t.Fatalf("quantiles at n=1 should be 0, got %+v", e)
+	}
+	if e.MeanMicros <= 0 {
+		t.Fatalf("mean should still be reported, got %g", e.MeanMicros)
+	}
+}
+
+// TestStmtStatsEvictionConservation drives many more templates than the
+// registry can hold and checks nothing is lost: the per-template sums plus
+// the _evicted fold bucket must equal exactly what was recorded.
+func TestStmtStatsEvictionConservation(t *testing.T) {
+	const capacity = 8
+	s := NewStmtStats(capacity)
+	const templates = 100
+	const callsPer = 3
+	for c := 0; c < callsPer; c++ {
+		for i := 0; i < templates; i++ {
+			s.Record(usageFor("select", fmt.Sprintf("select a from T%d", i), time.Millisecond, 2))
+		}
+	}
+	snap := s.Snapshot()
+	if snap.Tracked > capacity {
+		t.Fatalf("tracked %d > capacity %d", snap.Tracked, capacity)
+	}
+	if snap.Evictions == 0 || snap.Evicted == nil {
+		t.Fatalf("expected evictions, got %d (evicted=%v)", snap.Evictions, snap.Evicted)
+	}
+	if snap.Evicted.Template != EvictedTemplate {
+		t.Fatalf("evicted template = %q", snap.Evicted.Template)
+	}
+	var calls, rows, nanos, kvOps int64
+	for _, e := range snap.Statements {
+		calls += e.Calls
+		rows += e.Rows
+		nanos += e.TotalNanos
+		kvOps += e.KVOps
+	}
+	calls += snap.Evicted.Calls
+	rows += snap.Evicted.Rows
+	nanos += snap.Evicted.TotalNanos
+	kvOps += snap.Evicted.KVOps
+	wantCalls := int64(templates * callsPer)
+	if calls != wantCalls {
+		t.Fatalf("calls conserved: got %d, want %d", calls, wantCalls)
+	}
+	if rows != 2*wantCalls {
+		t.Fatalf("rows conserved: got %d, want %d", rows, 2*wantCalls)
+	}
+	if nanos != wantCalls*int64(time.Millisecond) {
+		t.Fatalf("nanos conserved: got %d, want %d", nanos, wantCalls*int64(time.Millisecond))
+	}
+	if kvOps != 5*wantCalls {
+		t.Fatalf("kv ops conserved: got %d, want %d", kvOps, 5*wantCalls)
+	}
+}
+
+// TestStmtStatsConcurrentConservation is the -race half of the registry
+// conservation satellite: N goroutines recording M templates concurrently,
+// with a capacity small enough to force eviction churn; per-template sums
+// (including _evicted) must equal the totals each goroutine contributed.
+func TestStmtStatsConcurrentConservation(t *testing.T) {
+	const (
+		goroutines = 8
+		templates  = 40
+		perG       = 200
+	)
+	s := NewStmtStats(16)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tpl := fmt.Sprintf("select a from T%d where id = ?", (g*7+i)%templates)
+				u := usageFor("select", tpl, time.Duration(1+i%5)*time.Millisecond, 1)
+				u.PostingReads = 2
+				u.Blocks = 1
+				s.Record(u)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	snap := s.Snapshot()
+	var calls, kvOps, postings, blocks, nanos int64
+	sum := func(e StmtEntry) {
+		calls += e.Calls
+		kvOps += e.KVOps
+		postings += e.PostingReads
+		blocks += e.Blocks
+		nanos += e.TotalNanos
+	}
+	for _, e := range snap.Statements {
+		sum(e)
+	}
+	if snap.Evicted != nil {
+		sum(*snap.Evicted)
+	}
+	wantCalls := int64(goroutines * perG)
+	if calls != wantCalls {
+		t.Fatalf("calls = %d, want %d", calls, wantCalls)
+	}
+	if kvOps != 5*wantCalls {
+		t.Fatalf("kv ops = %d, want %d", kvOps, 5*wantCalls)
+	}
+	if postings != 2*wantCalls || blocks != wantCalls {
+		t.Fatalf("postings/blocks = %d/%d, want %d/%d", postings, blocks, 2*wantCalls, wantCalls)
+	}
+	var wantNanos int64
+	for i := 0; i < perG; i++ {
+		wantNanos += int64(goroutines) * int64(time.Duration(1+i%5)*time.Millisecond)
+	}
+	if nanos != wantNanos {
+		t.Fatalf("nanos = %d, want %d", nanos, wantNanos)
+	}
+}
+
+func TestSortStmtEntries(t *testing.T) {
+	entries := []StmtEntry{
+		{Template: "b", Calls: 5, KVOps: 1, TotalNanos: 100},
+		{Template: "a", Calls: 1, KVOps: 9, TotalNanos: 300},
+		{Template: "c", Calls: 3, KVOps: 4, TotalNanos: 200},
+	}
+	SortStmtEntries(entries, SortByTotalTime)
+	if entries[0].Template != "a" || entries[2].Template != "b" {
+		t.Fatalf("total_time order wrong: %v", entries)
+	}
+	SortStmtEntries(entries, SortByCalls)
+	if entries[0].Template != "b" || entries[2].Template != "a" {
+		t.Fatalf("calls order wrong: %v", entries)
+	}
+	SortStmtEntries(entries, SortByKVOps)
+	if entries[0].Template != "a" || entries[2].Template != "b" {
+		t.Fatalf("kv_ops order wrong: %v", entries)
+	}
+	// Ties break by template ascending for stable output.
+	tied := []StmtEntry{{Template: "z", Calls: 1}, {Template: "y", Calls: 1}}
+	SortStmtEntries(tied, SortByCalls)
+	if tied[0].Template != "y" {
+		t.Fatalf("tie-break wrong: %v", tied)
+	}
+}
+
+func TestTopTemplates(t *testing.T) {
+	s := NewStmtStats(32)
+	// Same template under two verbs folds into one total.
+	s.Record(usageFor("select", "select a from T where id = ?", 10*time.Millisecond, 1))
+	s.Record(usageFor("explain_analyze", "select a from T where id = ?", 30*time.Millisecond, 1))
+	s.Record(usageFor("select", "select b from U", time.Millisecond, 1))
+	top := s.TopTemplates(1)
+	if len(top) != 1 {
+		t.Fatalf("top len = %d", len(top))
+	}
+	if top[0].Template != "select a from T where id = ?" || top[0].Calls != 2 {
+		t.Fatalf("top = %+v", top[0])
+	}
+	if top[0].Seconds < 0.039 || top[0].Seconds > 0.041 {
+		t.Fatalf("seconds = %g", top[0].Seconds)
+	}
+	if got := s.TopTemplates(10); len(got) != 2 {
+		t.Fatalf("top(10) len = %d, want 2", len(got))
+	}
+}
+
+func TestStmtStatsNilSafe(t *testing.T) {
+	var s *StmtStats
+	s.Record(usageFor("select", "x", time.Millisecond, 1)) // must not panic
+	if s.Tracked() != 0 || s.Evictions() != 0 || s.Capacity() != 0 {
+		t.Fatal("nil registry should report zeros")
+	}
+	if snap := s.Snapshot(); snap.Tracked != 0 || len(snap.Statements) != 0 {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+	if top := s.TopTemplates(5); top != nil {
+		t.Fatalf("nil top = %v", top)
+	}
+}

@@ -1,0 +1,231 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"zidian/internal/server"
+)
+
+// ReplayBenchReport is the BENCH_replay.json payload: the capture phase, the
+// replay phase, and the per-template before/after comparison that makes a
+// captured workload a regression instrument.
+type ReplayBenchReport struct {
+	Bench    string  `json:"bench"`
+	Workload string  `json:"workload"`
+	Captured int     `json:"captured"`
+	Capture  *Report `json:"capture"`
+	Replay   *Report `json:"replay"`
+	// Templates compares each captured template's aggregate between the
+	// capture server and the replay server.
+	Templates []ReplayTemplateDelta `json:"templates"`
+}
+
+// ReplayTemplateDelta is one template's before (capture run) and after
+// (replay run) aggregates.
+type ReplayTemplateDelta struct {
+	Template      string  `json:"template"`
+	Verb          string  `json:"verb"`
+	CaptureCalls  int64   `json:"captureCalls"`
+	ReplayCalls   int64   `json:"replayCalls"`
+	CaptureMeanUs float64 `json:"captureMeanUs"`
+	ReplayMeanUs  float64 `json:"replayMeanUs"`
+	CaptureKVOps  int64   `json:"captureKvOps"`
+	ReplayKVOps   int64   `json:"replayKvOps"`
+}
+
+// ReplayBenchOptions parameterize the capture→replay experiment.
+type ReplayBenchOptions struct {
+	// Workload, Scale, Seed, Nodes, Workers shape the served instances.
+	Workload string
+	Scale    float64
+	Seed     int64
+	Nodes    int
+	Workers  int
+	// Clients and Requests shape the capture-phase load.
+	Clients  int
+	Requests int
+	// JSONPath receives the machine-readable report.
+	JSONPath string
+}
+
+// BenchReplay runs the capture/replay experiment end to end: a server with a
+// capture sink takes a loadgen burst, the capture is replayed against a
+// fresh server over the same dataset, and the two servers' /stats/statements
+// snapshots are compared per template. Identical template sets and matching
+// call counts demonstrate that a captured workload is a faithful,
+// reproducible bench input.
+func BenchReplay(out io.Writer, opts ReplayBenchOptions) error {
+	if opts.Clients <= 0 {
+		opts.Clients = 16
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 50
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+
+	templates, setup, err := TemplatesMix(opts.Workload, "point")
+	if err != nil {
+		return err
+	}
+
+	// Phase 1: capture. The sink is an in-memory buffer — the experiment
+	// needs the entries, not a file.
+	var captureBuf bytes.Buffer
+	startServer := func(capture io.Writer) (*server.Server, string, string, error) {
+		inst, _, err := server.OpenWorkload(opts.Workload, opts.Scale, opts.Seed, opts.Nodes, opts.Workers)
+		if err != nil {
+			return nil, "", "", err
+		}
+		srv := server.New(inst, server.Config{
+			MaxConcurrent: opts.Workers * 2,
+			QueueDepth:    4 * opts.Clients,
+			QueueTimeout:  30 * time.Second,
+			CaptureLog:    capture,
+		})
+		tcpAddr, httpAddr, err := srv.Start("127.0.0.1:0", "127.0.0.1:0")
+		if err != nil {
+			return nil, "", "", err
+		}
+		return srv, tcpAddr, httpAddr, nil
+	}
+	shutdown := func(srv *server.Server) {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+
+	srvA, tcpA, httpA, err := startServer(&captureBuf)
+	if err != nil {
+		return err
+	}
+	capRep, err := Run(Options{
+		Addr: tcpA, Clients: opts.Clients, Requests: opts.Requests,
+		Templates: templates, Setup: setup, Seed: opts.Seed,
+		Parameterized: true,
+	})
+	if err != nil {
+		shutdown(srvA)
+		return err
+	}
+	before, err := FetchStatements("http://" + httpA + "/stats/statements")
+	shutdown(srvA)
+	if err != nil {
+		return err
+	}
+
+	// Parse the captured stream the same way -replay parses a file.
+	entries, err := parseCaptureStream(&captureBuf)
+	if err != nil {
+		return err
+	}
+
+	// Phase 2: replay against a fresh server over the same dataset, as fast
+	// as possible — the comparison is per-template work, not pacing.
+	srvB, tcpB, httpB, err := startServer(nil)
+	if err != nil {
+		return err
+	}
+	repRep, err := Replay(ReplayOptions{
+		Addr: tcpB, Entries: entries, Clients: opts.Clients, Seed: opts.Seed,
+	})
+	if err != nil {
+		shutdown(srvB)
+		return err
+	}
+	after, err := FetchStatements("http://" + httpB + "/stats/statements")
+	shutdown(srvB)
+	if err != nil {
+		return err
+	}
+
+	report := &ReplayBenchReport{
+		Bench:    "replay",
+		Workload: opts.Workload,
+		Captured: len(entries),
+		Capture:  capRep,
+		Replay:   repRep,
+	}
+	type key struct{ template, verb string }
+	afterBy := make(map[key]*ReplayTemplateDelta)
+	for i := range after.Statements {
+		e := &after.Statements[i]
+		afterBy[key{e.Template, e.Verb}] = &ReplayTemplateDelta{
+			Template: e.Template, Verb: e.Verb,
+			ReplayCalls: e.Calls, ReplayMeanUs: e.MeanMicros, ReplayKVOps: e.KVOps,
+		}
+	}
+	for i := range before.Statements {
+		e := &before.Statements[i]
+		d := afterBy[key{e.Template, e.Verb}]
+		if d == nil {
+			d = &ReplayTemplateDelta{Template: e.Template, Verb: e.Verb}
+			afterBy[key{e.Template, e.Verb}] = d
+		}
+		d.CaptureCalls = e.Calls
+		d.CaptureMeanUs = e.MeanMicros
+		d.CaptureKVOps = e.KVOps
+	}
+	for _, d := range afterBy {
+		report.Templates = append(report.Templates, *d)
+	}
+	sort.Slice(report.Templates, func(i, j int) bool {
+		return report.Templates[i].Template < report.Templates[j].Template
+	})
+
+	fmt.Fprintf(out, "%-60s %10s %10s %10s %10s\n",
+		"replay bench: template", "cap calls", "rep calls", "cap µs", "rep µs")
+	for _, d := range report.Templates {
+		name := d.Template
+		if len(name) > 60 {
+			name = name[:57] + "..."
+		}
+		fmt.Fprintf(out, "%-60s %10d %10d %10.0f %10.0f\n",
+			name, d.CaptureCalls, d.ReplayCalls, d.CaptureMeanUs, d.ReplayMeanUs)
+	}
+	fmt.Fprintf(out, "captured %d statements, replayed %d (%.0f qps), row digest %s\n",
+		len(entries), repRep.Requests, repRep.QPS, repRep.RowDigest)
+
+	if opts.JSONPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(opts.JSONPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", opts.JSONPath)
+	}
+	return nil
+}
+
+// parseCaptureStream reads capture lines from an in-memory stream; shared
+// shape with ReadCapture's file path.
+func parseCaptureStream(r io.Reader) ([]server.CaptureEntry, error) {
+	var entries []server.CaptureEntry
+	dec := json.NewDecoder(r)
+	for dec.More() {
+		var e server.CaptureEntry
+		if err := dec.Decode(&e); err != nil {
+			break
+		}
+		if e.Template == "" {
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("loadgen: capture stream holds no replayable entries")
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].DTMicros < entries[j].DTMicros })
+	return entries, nil
+}

@@ -8,6 +8,7 @@ package loadgen
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -330,9 +331,13 @@ type Options struct {
 	WriteIDBase int
 	// MetricsURL, when non-empty, is the server's /metrics endpoint; the run
 	// scrapes it at the end and folds the server-side latency histogram into
-	// Report.ServerLatency. Scrape failures are non-fatal (the field stays
-	// nil) — a server running with metrics disabled still takes load.
+	// Report.ServerLatency. Without MetricsStrict, scrape failures are
+	// non-fatal: a warning goes to stderr and the field stays nil — a server
+	// running with metrics disabled still takes load.
 	MetricsURL string
+	// MetricsStrict turns a failed MetricsURL scrape into a run error, so CI
+	// smoke jobs cannot silently pass against a dead metrics endpoint.
+	MetricsStrict bool
 }
 
 func (o Options) normalized() Options {
@@ -401,6 +406,14 @@ type Report struct {
 	// from /metrics (Options.MetricsURL); nil when no URL was given or the
 	// scrape failed.
 	ServerLatency *ServerLatency `json:"serverLatencyMicros,omitempty"`
+	// Speed echoes the replay pacing factor (replay runs only; 0 = as fast
+	// as possible).
+	Speed float64 `json:"speed,omitempty"`
+	// RowDigest is an order-insensitive digest of the result rows of every
+	// successful SELECT in a replay run: two replays of the same capture
+	// against equal datasets produce equal digests, so byte-identical reads
+	// can be asserted without retaining the rows.
+	RowDigest string `json:"rowDigest,omitempty"`
 }
 
 // Run opens Clients connections, issues Requests statements on each, and
@@ -569,8 +582,14 @@ func Run(opts Options) (*Report, error) {
 		rep.Server = st
 	}
 	if opts.MetricsURL != "" {
-		if sl, err := ScrapeServerLatency(opts.MetricsURL); err == nil {
+		sl, err := ScrapeServerLatency(opts.MetricsURL)
+		switch {
+		case err == nil:
 			rep.ServerLatency = sl
+		case opts.MetricsStrict:
+			return nil, fmt.Errorf("loadgen: metrics scrape %s: %w", opts.MetricsURL, err)
+		default:
+			fmt.Fprintf(os.Stderr, "loadgen: warning: metrics scrape %s failed: %v\n", opts.MetricsURL, err)
 		}
 	}
 	return rep, nil

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"zidian/internal/obs"
+	"zidian/internal/relation"
 )
 
 // Statement verbs used as metric label values and slow-log kinds.
@@ -19,6 +20,7 @@ const (
 	verbDDL            = "ddl"
 	verbExplain        = "explain"
 	verbExplainAnalyze = "explain_analyze"
+	verbShow           = "show"
 )
 
 // serverObs is the server's observability surface: the metrics registry
@@ -37,9 +39,22 @@ type serverObs struct {
 	postings *obs.Counter      // zidian_index_posting_reads_total
 	blocks   *obs.Counter      // zidian_blocks_fetched_total
 
+	// stmts is the per-template statistics registry behind
+	// /stats/statements and SHOW STATEMENTS; stmtTopK bounds how many
+	// templates the per-template /metrics families export.
+	stmts    *obs.StmtStats
+	stmtTopK int
+
+	// capture, when non-nil, streams one anonymized JSON line per finished
+	// statement for later replay.
+	capture *captureLog
+
 	slowThreshold time.Duration
+	slowMaxBytes  int64
+	slowDropped   *obs.Counter // zidian_slow_query_dropped_total
 	slowMu        sync.Mutex
 	slowOut       io.Writer
+	slowBytes     int64 // bytes written since start/last rotation, under slowMu
 }
 
 // newServerObs builds the registry and registers every family the server
@@ -49,7 +64,11 @@ type serverObs struct {
 func newServerObs(s *Server, cfg Config) *serverObs {
 	o := &serverObs{
 		reg:           obs.NewRegistry(),
+		stmts:         obs.NewStmtStats(cfg.StmtStatsCapacity),
+		stmtTopK:      cfg.StmtMetricsTopK,
+		capture:       newCaptureLog(cfg.CaptureLog),
 		slowThreshold: cfg.SlowQueryThreshold,
+		slowMaxBytes:  cfg.SlowQueryMaxBytes,
 		slowOut:       cfg.SlowQueryLog,
 	}
 	r := o.reg
@@ -67,6 +86,49 @@ func newServerObs(s *Server, cfg Config) *serverObs {
 		"Secondary-index posting entries read by traced statements.")
 	o.blocks = r.NewCounter("zidian_blocks_fetched_total",
 		"BaaV blocks fetched and decoded by traced statements.")
+	o.slowDropped = r.NewCounter("zidian_slow_query_dropped_total",
+		"Slow-query log lines dropped by the size cap.")
+
+	r.RegisterFunc("zidian_stmt_seconds_total",
+		"Total statement wall time for the top-K templates by total time.", "counter", "template",
+		func() []obs.Sample {
+			top := o.stmts.TopTemplates(o.stmtTopK)
+			out := make([]obs.Sample, len(top))
+			for i, t := range top {
+				out[i] = obs.Sample{Label: t.Template, Value: t.Seconds}
+			}
+			return out
+		})
+	r.RegisterFunc("zidian_stmt_calls_total",
+		"Statement calls for the top-K templates by total time.", "counter", "template",
+		func() []obs.Sample {
+			top := o.stmts.TopTemplates(o.stmtTopK)
+			out := make([]obs.Sample, len(top))
+			for i, t := range top {
+				out[i] = obs.Sample{Label: t.Template, Value: float64(t.Calls)}
+			}
+			return out
+		})
+	r.RegisterFunc("zidian_stmt_kv_ops_total",
+		"Traced KV operations for the top-K templates by total time.", "counter", "template",
+		func() []obs.Sample {
+			top := o.stmts.TopTemplates(o.stmtTopK)
+			out := make([]obs.Sample, len(top))
+			for i, t := range top {
+				out[i] = obs.Sample{Label: t.Template, Value: float64(t.KVOps)}
+			}
+			return out
+		})
+	r.RegisterFunc("zidian_stmt_templates",
+		"Statement templates currently tracked by the statistics registry.", "gauge", "",
+		func() []obs.Sample {
+			return []obs.Sample{{Value: float64(o.stmts.Tracked())}}
+		})
+	r.RegisterFunc("zidian_stmt_templates_evicted_total",
+		"Statement templates evicted from the statistics registry (totals fold into the _evicted bucket).", "counter", "",
+		func() []obs.Sample {
+			return []obs.Sample{{Value: float64(o.stmts.Evictions())}}
+		})
 
 	r.RegisterFunc("zidian_admission_in_flight",
 		"Statements currently holding an execution slot.", "gauge", "",
@@ -167,7 +229,9 @@ type stmtCtx struct {
 	o         *serverObs
 	verb      string
 	norm      string
-	arity     int
+	template  string   // anonymized norm: literals replaced by ?
+	binds     []string // kinds of bound/replaced values, in order
+	session   uint64   // originating wire session (0 for HTTP)
 	relations []string
 	cacheHit  bool
 	trace     *obs.Trace
@@ -183,12 +247,24 @@ func (c *stmtCtx) Trace() *obs.Trace {
 	return c.trace
 }
 
-// setStmt records the normalized template text and bind arity.
-func (c *stmtCtx) setStmt(norm string, arity int) {
+// setStmt records the normalized statement text and derives the anonymized
+// template and bind-kind list that key the statistics registry and the
+// capture stream. params are the statement's bound values (their kinds fill
+// the positions of pre-existing ? placeholders; values are never kept).
+func (c *stmtCtx) setStmt(norm string, params []relation.Value) {
 	if c == nil {
 		return
 	}
-	c.norm, c.arity = norm, arity
+	c.norm = norm
+	c.template, c.binds = AnonymizeSQL(norm, params)
+}
+
+// setSession records the originating wire session for capture.
+func (c *stmtCtx) setSession(id uint64) {
+	if c == nil {
+		return
+	}
+	c.session = id
 }
 
 // setRelations records the statement's relation footprint.
@@ -237,6 +313,31 @@ func (c *stmtCtx) finish(rows int, cacheHit bool, err error) {
 	}
 	c.o.postings.Add(c.trace.PostingReads())
 	c.o.blocks.Add(c.trace.Blocks())
+	// Fold into the per-template registry with the same wall value the
+	// global histogram observed, so per-template sums reconcile exactly
+	// against the global families.
+	c.o.stmts.Record(obs.StmtUsage{
+		Verb:           c.verb,
+		Template:       c.template,
+		Wall:           wall,
+		Rows:           int64(rows),
+		Err:            err != nil,
+		CacheHit:       cacheHit,
+		KV:             c.trace.KV.Snapshot(),
+		PostingReads:   c.trace.PostingReads(),
+		Blocks:         c.trace.Blocks(),
+		QueueWaitNanos: c.trace.QueueWaitNanos,
+		LockWaitNanos:  c.trace.LockWaitNanos,
+		Relations:      c.relations,
+	})
+	c.o.capture.record(CaptureEntry{
+		Session:  c.session,
+		Verb:     c.verb,
+		Template: c.template,
+		Binds:    c.binds,
+		Rows:     int64(rows),
+		OK:       err == nil,
+	})
 	c.o.logSlow(c, rows, wall, err)
 }
 
@@ -272,8 +373,8 @@ func (o *serverObs) logSlow(c *stmtCtx, rows int, wall time.Duration, err error)
 	e := slowEntry{
 		TS:              time.Now().UTC().Format(time.RFC3339Nano),
 		Verb:            c.verb,
-		Template:        c.norm,
-		BindArity:       c.arity,
+		Template:        c.template,
+		BindArity:       len(c.binds),
 		Relations:       c.relations,
 		Rows:            rows,
 		WallMicros:      wall.Microseconds(),
@@ -294,8 +395,26 @@ func (o *serverObs) logSlow(c *stmtCtx, rows int, wall time.Duration, err error)
 	}
 	line = append(line, '\n')
 	o.slowMu.Lock()
-	o.slowOut.Write(line)
-	o.slowMu.Unlock()
+	defer o.slowMu.Unlock()
+	if o.slowMaxBytes > 0 {
+		if int64(len(line)) > o.slowMaxBytes {
+			// A single line larger than the whole cap can never fit.
+			o.slowDropped.Inc()
+			return
+		}
+		if o.slowBytes+int64(len(line)) > o.slowMaxBytes {
+			// Cap reached: rotate when the sink supports it, otherwise
+			// drop and count — the log must never outgrow its bound.
+			rot, ok := o.slowOut.(interface{ Rotate() error })
+			if !ok || rot.Rotate() != nil {
+				o.slowDropped.Inc()
+				return
+			}
+			o.slowBytes = 0
+		}
+	}
+	n, _ := o.slowOut.Write(line)
+	o.slowBytes += int64(n)
 }
 
 // errorCode maps a statement error to the machine-readable code carried in

@@ -50,6 +50,7 @@ import (
 	"fmt"
 	"strings"
 
+	"zidian/internal/obs"
 	"zidian/internal/relation"
 	"zidian/internal/sql"
 )
@@ -182,6 +183,20 @@ type ServerStats struct {
 	// QueryLatency summarizes the server-side statement latency histogram
 	// (all verbs merged); nil when metrics are disabled or nothing ran yet.
 	QueryLatency *LatencyQuantiles `json:"queryLatency,omitempty"`
+}
+
+// StatementsPayload is the body of GET /stats/statements: the per-template
+// statement statistics registry, sorted and optionally truncated. Templates
+// are anonymized (literals replaced by ?), so the payload never carries data
+// values. Evicted, when present, folds the totals of templates evicted from
+// the registry so sums over the payload stay conserved.
+type StatementsPayload struct {
+	SortedBy   string           `json:"sortedBy"`
+	Tracked    int              `json:"tracked"`
+	Capacity   int              `json:"capacity"`
+	Evictions  int64            `json:"evictions"`
+	Statements []obs.StmtEntry  `json:"statements"`
+	Evicted    *obs.StmtEntry   `json:"evicted,omitempty"`
 }
 
 // LatencyQuantiles are interpolated quantiles of a latency histogram, in

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -54,6 +55,22 @@ type Config struct {
 	// SlowQueryLog receives slow-query lines (default os.Stderr when a
 	// threshold is set).
 	SlowQueryLog io.Writer
+	// SlowQueryMaxBytes, when positive, bounds the slow-query log: when the
+	// cap would be exceeded the sink is rotated if it supports
+	// Rotate() error (see RotatingFile), otherwise the line is dropped and
+	// counted on zidian_slow_query_dropped_total. Zero means unbounded.
+	SlowQueryMaxBytes int64
+	// StmtStatsCapacity bounds the per-template statement statistics
+	// registry behind /stats/statements and SHOW STATEMENTS (default 512
+	// templates; cold templates evict into the _evicted bucket).
+	StmtStatsCapacity int
+	// StmtMetricsTopK bounds how many templates the per-template /metrics
+	// families (zidian_stmt_*) export (default 10).
+	StmtMetricsTopK int
+	// CaptureLog, when non-nil, receives one JSON line per finished
+	// statement (anonymized template, bind kinds, arrival delta, session,
+	// outcome — never literal values) for replay via zidian-loadgen -replay.
+	CaptureLog io.Writer
 	// EnablePprof mounts net/http/pprof handlers under /debug/pprof/ on the
 	// HTTP surface.
 	EnablePprof bool
@@ -78,7 +95,26 @@ func (c Config) normalized() Config {
 	if c.SlowQueryThreshold > 0 && c.SlowQueryLog == nil {
 		c.SlowQueryLog = os.Stderr
 	}
+	if c.StmtStatsCapacity <= 0 {
+		c.StmtStatsCapacity = 512
+	}
+	if c.StmtMetricsTopK <= 0 {
+		c.StmtMetricsTopK = 10
+	}
 	return c
+}
+
+// sessKey carries the originating wire-session id through a statement's
+// context so the capture stream can preserve per-session ordering.
+type sessKey struct{}
+
+func withSessionID(ctx context.Context, id uint64) context.Context {
+	return context.WithValue(ctx, sessKey{}, id)
+}
+
+func sessionID(ctx context.Context) uint64 {
+	id, _ := ctx.Value(sessKey{}).(uint64)
+	return id
 }
 
 // Server is a long-lived, concurrent SQL service over one opened
@@ -285,6 +321,7 @@ func (s *Server) serveConn(conn net.Conn) {
 // handle dispatches one request against a session.
 func (s *Server) handle(sess *Session, req *Request) Response {
 	resp := Response{ID: req.ID}
+	ctx := withSessionID(s.ctx, sess.ID)
 	fail := func(err error) Response {
 		s.errors.Add(1)
 		resp.OK = false
@@ -304,7 +341,7 @@ func (s *Server) handle(sess *Session, req *Request) Response {
 		if err != nil {
 			return fail(err)
 		}
-		res, stats, cacheHit, err := s.Query(s.ctx, req.SQL, params...)
+		res, stats, cacheHit, err := s.Query(ctx, req.SQL, params...)
 		if err != nil {
 			return fail(err)
 		}
@@ -316,14 +353,14 @@ func (s *Server) handle(sess *Session, req *Request) Response {
 		}
 		norm := NormalizeSQL(req.SQL)
 		if strings.HasPrefix(norm, "select") {
-			res, stats, cacheHit, err := s.queryNorm(s.ctx, norm, req.SQL, params)
+			res, stats, cacheHit, err := s.queryNorm(ctx, norm, req.SQL, params)
 			if err != nil {
 				return fail(err)
 			}
 			s.fillResult(&resp, res, stats, cacheHit)
 			return resp
 		}
-		r, err := s.Exec(s.ctx, req.SQL, params...)
+		r, err := s.Exec(ctx, req.SQL, params...)
 		if err != nil {
 			return fail(err)
 		}
@@ -367,9 +404,10 @@ func (s *Server) handle(sess *Session, req *Request) Response {
 		}
 		norm := NormalizeSQL(p.SQL())
 		c := s.obs.begin(verbSelect)
-		c.setStmt(norm, len(params))
+		c.setStmt(norm, params)
+		c.setSession(sess.ID)
 		c.setRelations(p.Relations())
-		res, stats, ran, err := s.runFresh(s.ctx, c, norm, p.SQL(), p, params)
+		res, stats, ran, err := s.runFresh(ctx, c, norm, p.SQL(), p, params)
 		if err != nil {
 			c.finish(0, true, err)
 			return fail(err)
@@ -465,7 +503,8 @@ func (s *Server) Query(ctx context.Context, sql string, params ...zidian.Value) 
 // queryNorm is Query with the normalization already done.
 func (s *Server) queryNorm(ctx context.Context, norm, sql string, params []zidian.Value) (*zidian.Result, *zidian.Stats, bool, error) {
 	c := s.obs.begin(verbSelect)
-	c.setStmt(norm, len(params))
+	c.setStmt(norm, params)
+	c.setSession(sessionID(ctx))
 	p, hit, err := s.compileNorm(norm, sql)
 	if err != nil {
 		c.finish(0, false, err)
@@ -513,10 +552,14 @@ func (s *Server) Exec(ctx context.Context, sql string, params ...zidian.Value) (
 	if err != nil {
 		return nil, err
 	}
+	if kind == zidian.StmtShow {
+		return s.execShow(ctx)
+	}
 	if kind == zidian.StmtSelect {
 		norm := NormalizeSQL(sql)
 		c := s.obs.begin(verbSelect)
-		c.setStmt(norm, len(params))
+		c.setStmt(norm, params)
+		c.setSession(sessionID(ctx))
 		p, hit, err := s.compileNorm(norm, sql)
 		if err != nil {
 			c.finish(0, false, err)
@@ -544,7 +587,8 @@ func (s *Server) Exec(ctx context.Context, sql string, params ...zidian.Value) (
 		verb = verbDDL
 	}
 	c := s.obs.begin(verb)
-	c.setStmt(NormalizeSQL(sql), len(params))
+	c.setStmt(NormalizeSQL(sql), params)
+	c.setSession(sessionID(ctx))
 	qStart := time.Now()
 	if err := s.adm.Acquire(ctx); err != nil {
 		c.admissionWait(time.Since(qStart))
@@ -589,7 +633,8 @@ func (s *Server) execExplainAnalyze(ctx context.Context, sql string, params []zi
 	inner, _ := zidian.TrimExplainAnalyze(sql)
 	norm := NormalizeSQL(inner)
 	c := s.obs.begin(verbExplainAnalyze)
-	c.setStmt(norm, len(params))
+	c.setStmt(norm, params)
+	c.setSession(sessionID(ctx))
 	p, hit, err := s.compileNorm(norm, inner)
 	if err != nil {
 		c.finish(0, false, err)
@@ -618,6 +663,54 @@ func (s *Server) execExplainAnalyze(ctx context.Context, sql string, params []zi
 	return &zidian.ExecResult{Result: res, Stats: stats, Relations: p.Relations()}, nil
 }
 
+// execShow serves SHOW STATEMENTS: a relational rendering of the statement
+// statistics registry, ordered by total time. It reads only registry
+// snapshots — no data access, no admission — but still counts as a statement
+// under the "show" verb so the registry observes its own readers.
+func (s *Server) execShow(ctx context.Context) (*zidian.ExecResult, error) {
+	if s.obs == nil {
+		return nil, fmt.Errorf("server: SHOW STATEMENTS requires metrics (disabled by configuration)")
+	}
+	c := s.obs.begin(verbShow)
+	c.setStmt("show statements", nil)
+	c.setSession(sessionID(ctx))
+	snap := s.obs.stmts.Snapshot()
+	entries := snap.Statements
+	obs.SortStmtEntries(entries, obs.SortByTotalTime)
+	if snap.Evicted != nil {
+		entries = append(entries, *snap.Evicted)
+	}
+	res := &zidian.Result{Cols: []string{
+		"template", "verb", "calls", "errors", "rows", "total_ms", "mean_us",
+		"p50_us", "p95_us", "p99_us", "kv_ops", "rtt_ms", "postings", "blocks", "hit_pct",
+	}}
+	for _, e := range entries {
+		hitPct := 0.0
+		if e.Calls > 0 {
+			hitPct = 100 * float64(e.CacheHits) / float64(e.Calls)
+		}
+		res.Rows = append(res.Rows, zidian.Tuple{
+			zidian.String(e.Template),
+			zidian.String(e.Verb),
+			zidian.Int(e.Calls),
+			zidian.Int(e.Errors),
+			zidian.Int(e.Rows),
+			zidian.Float(float64(e.TotalNanos) / 1e6),
+			zidian.Float(e.MeanMicros),
+			zidian.Float(e.P50Micros),
+			zidian.Float(e.P95Micros),
+			zidian.Float(e.P99Micros),
+			zidian.Int(e.KVOps),
+			zidian.Float(float64(e.KV.WaitNanos) / 1e6),
+			zidian.Int(e.PostingReads),
+			zidian.Int(e.Blocks),
+			zidian.Float(hitPct),
+		})
+	}
+	c.finish(len(res.Rows), false, nil)
+	return &zidian.ExecResult{Result: res}, nil
+}
+
 // Stats snapshots server-wide statistics. With metrics enabled it includes
 // the server-side statement latency quantiles derived from the
 // zidian_query_duration_seconds histogram (all verbs merged).
@@ -636,7 +729,7 @@ func (s *Server) Stats() ServerStats {
 	}
 	if s.obs != nil {
 		snap := s.obs.latency.MergedSnapshot()
-		if snap.Count > 0 {
+		if snap.QuantilesValid() {
 			st.QueryLatency = &LatencyQuantiles{
 				Count:     snap.Count,
 				P50Micros: snap.Quantile(0.50) * 1e6,
@@ -653,6 +746,9 @@ func (s *Server) Stats() ServerStats {
 //	POST /query   {"sql": "select ...", "params": [...]}  (or GET /query?q=...)
 //	GET  /healthz liveness
 //	GET  /stats   server statistics (JSON superset of the metrics families)
+//	GET  /stats/statements per-template statement statistics
+//	              (?top=K bounds the list, ?by=total_time|calls|kv_ops sorts;
+//	              404 when metrics are disabled)
 //	GET  /metrics Prometheus text exposition (404 when metrics are disabled)
 //	GET  /debug/pprof/* profiling, when Config.EnablePprof is set
 func (s *Server) ServeHTTP(ln net.Listener) error {
@@ -667,6 +763,7 @@ func (s *Server) ServeHTTP(ln net.Listener) error {
 		st := s.Stats()
 		json.NewEncoder(w).Encode(&st)
 	})
+	mux.HandleFunc("/stats/statements", s.httpStatements)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		if s.obs == nil {
 			http.Error(w, "metrics disabled", http.StatusNotFound)
@@ -696,6 +793,51 @@ func (s *Server) ServeHTTP(ln net.Listener) error {
 		return nil
 	}
 	return err
+}
+
+// httpStatements serves GET /stats/statements: the statement statistics
+// registry as JSON, sorted by ?by= (total_time default, calls, kv_ops) and
+// bounded by ?top=K.
+func (s *Server) httpStatements(w http.ResponseWriter, r *http.Request) {
+	if s.obs == nil {
+		http.Error(w, "metrics disabled", http.StatusNotFound)
+		return
+	}
+	by := r.URL.Query().Get("by")
+	switch by {
+	case "", obs.SortByTotalTime, obs.SortByCalls, obs.SortByKVOps:
+	default:
+		http.Error(w, fmt.Sprintf("unknown sort %q: use %s, %s or %s",
+			by, obs.SortByTotalTime, obs.SortByCalls, obs.SortByKVOps), http.StatusBadRequest)
+		return
+	}
+	if by == "" {
+		by = obs.SortByTotalTime
+	}
+	top := 0
+	if t := r.URL.Query().Get("top"); t != "" {
+		n, err := strconv.Atoi(t)
+		if err != nil || n <= 0 {
+			http.Error(w, "top must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		top = n
+	}
+	snap := s.obs.stmts.Snapshot()
+	obs.SortStmtEntries(snap.Statements, by)
+	if top > 0 && len(snap.Statements) > top {
+		snap.Statements = snap.Statements[:top]
+	}
+	payload := StatementsPayload{
+		SortedBy:   by,
+		Tracked:    snap.Tracked,
+		Capacity:   snap.Capacity,
+		Evictions:  snap.Evictions,
+		Statements: snap.Statements,
+		Evicted:    snap.Evicted,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&payload)
 }
 
 func (s *Server) httpQuery(w http.ResponseWriter, r *http.Request) {

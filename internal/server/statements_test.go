@@ -1,0 +1,247 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"zidian/internal/server"
+	"zidian/internal/server/client"
+	"zidian/internal/server/loadgen"
+)
+
+// fetchStatements decodes /stats/statements, failing the test on a non-200.
+func fetchStatements(t *testing.T, url string) *server.StatementsPayload {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	var payload server.StatementsPayload
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	return &payload
+}
+
+func TestStatementsEndpoint(t *testing.T) {
+	_, tcp, httpA := startServer(t, server.Config{MaxConcurrent: 4, QueueDepth: 64, QueueTimeout: 30 * time.Second})
+	c, err := client.Dial(tcp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Five calls of one template (distinct literals), three of another.
+	for i := 0; i < 5; i++ {
+		if _, _, _, err := c.Query(fmt.Sprintf(testTemplates[0], 910000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, _, err := c.Query(fmt.Sprintf(testTemplates[1], 920000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	base := "http://" + httpA + "/stats/statements"
+	payload := fetchStatements(t, base)
+	if payload.SortedBy != "total_time" {
+		t.Fatalf("default sort %q, want total_time", payload.SortedBy)
+	}
+	if payload.Capacity <= 0 || payload.Tracked <= 0 {
+		t.Fatalf("implausible registry shape: %+v", payload)
+	}
+	var calls0, calls1 int64
+	for _, e := range payload.Statements {
+		for i := 0; i < 5; i++ {
+			if strings.Contains(e.Template, fmt.Sprintf("%d", 910000+i)) ||
+				strings.Contains(e.Template, fmt.Sprintf("%d", 920000+i)) {
+				t.Fatalf("literal leaked into template %q", e.Template)
+			}
+		}
+		if e.Verb != "select" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(e.Template, "select T.test_date"):
+			calls0 = e.Calls
+		case strings.HasPrefix(e.Template, "select V.make"):
+			calls1 = e.Calls
+		}
+	}
+	if calls0 != 5 || calls1 != 3 {
+		t.Fatalf("template calls = %d, %d; want 5, 3", calls0, calls1)
+	}
+
+	if top := fetchStatements(t, base+"?top=1"); len(top.Statements) != 1 {
+		t.Fatalf("?top=1 returned %d statements", len(top.Statements))
+	}
+	byCalls := fetchStatements(t, base+"?by=calls")
+	for i := 1; i < len(byCalls.Statements); i++ {
+		if byCalls.Statements[i].Calls > byCalls.Statements[i-1].Calls {
+			t.Fatalf("?by=calls not descending at %d", i)
+		}
+	}
+	for _, bad := range []string{"?by=bogus", "?top=0", "?top=x"} {
+		resp, err := http.Get(base + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s%s: status %d, want 400", base, bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestShowStatementsWire(t *testing.T) {
+	_, tcp, _ := startServer(t, server.Config{MaxConcurrent: 4, QueueDepth: 64, QueueTimeout: 30 * time.Second})
+	c, err := client.Dial(tcp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 4; i++ {
+		if _, _, _, err := c.Query(fmt.Sprintf(testTemplates[0], i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := c.Exec("SHOW STATEMENTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Cols) == 0 || resp.Cols[0] != "template" {
+		t.Fatalf("SHOW STATEMENTS cols = %v", resp.Cols)
+	}
+	col := make(map[string]int, len(resp.Cols))
+	for i, name := range resp.Cols {
+		col[name] = i
+	}
+	found := false
+	for _, row := range resp.Rows {
+		tmpl, _ := row[col["template"]].(string)
+		if strings.HasPrefix(tmpl, "select T.test_date") && strings.Contains(tmpl, "T.vehicle_id = ?") {
+			found = true
+			if calls, _ := row[col["calls"]].(float64); calls != 4 {
+				t.Fatalf("calls = %v, want 4", row[col["calls"]])
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("anonymized template missing from SHOW STATEMENTS rows: %v", resp.Rows)
+	}
+}
+
+// TestCaptureReplayRoundTrip captures a run, asserts the capture leaks no
+// literal, replays it onto fresh servers, and requires (a) the replayed
+// server's template set and per-template call counts to match the captured
+// server's exactly, and (b) two same-seed replays to produce byte-identical
+// read results (equal row digests).
+func TestCaptureReplayRoundTrip(t *testing.T) {
+	var captureBuf bytes.Buffer
+	_, tcpA, httpA := startServer(t, server.Config{
+		MaxConcurrent: 4, QueueDepth: 64, QueueTimeout: 30 * time.Second,
+		CaptureLog: &captureBuf,
+	})
+	c, err := client.Dial(tcpA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, _, _, err := c.Query(fmt.Sprintf(testTemplates[0], 867530+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, _, _, err := c.Query(fmt.Sprintf(testTemplates[3], i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	before := fetchStatements(t, "http://"+httpA+"/stats/statements")
+
+	raw := captureBuf.String()
+	for i := 0; i < 6; i++ {
+		if strings.Contains(raw, fmt.Sprintf("%d", 867530+i)) {
+			t.Fatalf("literal leaked into capture stream:\n%s", raw)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "capture.jsonl")
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := loadgen.ReadCapture(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 10 {
+		t.Fatalf("capture holds %d entries, want 10", len(entries))
+	}
+
+	// Replay onto two fresh servers with one seed: template sets and call
+	// counts must match the capture, and the digests each other.
+	digests := make([]string, 2)
+	for r := 0; r < 2; r++ {
+		_, tcpB, httpB := startServer(t, server.Config{MaxConcurrent: 4, QueueDepth: 64, QueueTimeout: 30 * time.Second})
+		rep, err := loadgen.Replay(loadgen.ReplayOptions{Addr: tcpB, Path: path, Clients: 4, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Requests != int64(len(entries)) || rep.Errors != 0 {
+			t.Fatalf("replay %d: %d requests (%d errors), want %d clean", r, rep.Requests, rep.Errors, len(entries))
+		}
+		digests[r] = rep.RowDigest
+
+		after := fetchStatements(t, "http://"+httpB+"/stats/statements")
+		if got, want := templateCalls(after), templateCalls(before); !equalCalls(got, want) {
+			t.Fatalf("replayed template calls diverge:\n got %v\nwant %v", got, want)
+		}
+	}
+	if digests[0] != digests[1] {
+		t.Fatalf("same-seed replays produced different row digests: %s vs %s", digests[0], digests[1])
+	}
+	if digests[0] == fmt.Sprintf("%016x", 0) {
+		t.Fatal("replay digest is zero — no rows were folded")
+	}
+}
+
+// templateCalls maps each select template to its call count.
+func templateCalls(p *server.StatementsPayload) map[string]int64 {
+	out := make(map[string]int64)
+	for _, e := range p.Statements {
+		if e.Verb == "select" {
+			out[e.Template] += e.Calls
+		}
+	}
+	return out
+}
+
+func equalCalls(a, b map[string]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -54,8 +54,15 @@ type Explain struct {
 	Analyze bool
 }
 
+// Show is a parsed "SHOW STATEMENTS" statement: it asks the serving layer
+// for its per-template statement statistics instead of touching data. What
+// names the requested report; only "STATEMENTS" exists today.
+type Show struct {
+	What string
+}
+
 // Statement is a parsed SQL statement: *Query, *Insert, *Delete,
-// *CreateIndex, *DropIndex, or *Explain.
+// *CreateIndex, *DropIndex, *Explain, or *Show.
 type Statement interface{ isStatement() }
 
 // StatementParams returns the number of `?` placeholders in a parsed
@@ -81,9 +88,10 @@ func (*Delete) isStatement()      {}
 func (*CreateIndex) isStatement() {}
 func (*DropIndex) isStatement()   {}
 func (*Explain) isStatement()     {}
+func (*Show) isStatement()        {}
 
 // ParseStatement parses one SELECT, INSERT, DELETE, CREATE INDEX, DROP
-// INDEX or EXPLAIN statement.
+// INDEX, EXPLAIN or SHOW statement.
 func ParseStatement(src string) (Statement, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -108,8 +116,14 @@ func ParseStatement(src string) (Statement, error) {
 		var q *Query
 		q, err = p.parseQuery()
 		stmt = &Explain{Query: q, Analyze: analyze}
+	case p.peekKeyword("SHOW"):
+		p.advance()
+		if err := p.expectKeyword("STATEMENTS"); err != nil {
+			return nil, err
+		}
+		stmt = &Show{What: "STATEMENTS"}
 	default:
-		return nil, fmt.Errorf("sql: expected SELECT, INSERT, DELETE, CREATE, DROP or EXPLAIN, found %s", p.peek())
+		return nil, fmt.Errorf("sql: expected SELECT, INSERT, DELETE, CREATE, DROP, EXPLAIN or SHOW, found %s", p.peek())
 	}
 	if err != nil {
 		return nil, err

@@ -586,6 +586,10 @@ const (
 	// layers schedule it like a read: it takes the query's relation read
 	// locks and runs under a statement trace.
 	StmtExplainAnalyze
+	// StmtShow reads serving-layer state (SHOW STATEMENTS): no data access,
+	// no locks. Only a serving layer can answer it — the embedded instance
+	// has no statement registry.
+	StmtShow
 )
 
 // StatementInfo classifies a statement without executing it, returning its
@@ -611,6 +615,8 @@ func StatementInfo(src string) (kind StmtKind, target string, err error) {
 			return StmtExplainAnalyze, "", nil
 		}
 		return StmtExplain, "", nil
+	case *sqlpkg.Show:
+		return StmtShow, "", nil
 	default:
 		return 0, "", fmt.Errorf("zidian: unsupported statement")
 	}
@@ -765,6 +771,8 @@ func (in *Instance) ExecTraced(t *obs.Trace, src string, params ...Value) (*Exec
 			Cols: []string{"plan"},
 			Rows: []Tuple{{String(plan)}},
 		}, Relations: rels}, nil
+	case *sqlpkg.Show:
+		return nil, fmt.Errorf("zidian: SHOW %s requires a serving layer (statement statistics live in the server, not the embedded instance)", s.What)
 	default:
 		return nil, fmt.Errorf("zidian: unsupported statement")
 	}
