@@ -1,6 +1,7 @@
 package baav
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -42,17 +43,24 @@ type Store struct {
 	// space (internal/index).
 	Index SecondaryIndex
 
-	ids map[string]uint32 // KV schema name -> physical id
+	ids   map[string]uint32 // KV schema name -> physical id
+	kvRel map[string]string // KV schema name -> source relation
 
 	// statsMu guards the bookkeeping maps below. The kv cluster already
 	// synchronizes the stored pairs; this lock covers the store-level
 	// statistics so maintenance on one relation can run concurrently with
 	// planners and executors reading degrees, block counts, and row counts
 	// for any relation (the maps are shared even when the keys are not).
-	statsMu sync.RWMutex
+	// A pointer so snapshot views (shallow Store copies) share the lock.
+	statsMu *sync.RWMutex
 	degrees map[string]int // KV schema name -> max distinct block size seen
 	blocks  map[string]int // KV schema name -> number of keyed blocks
 	relRows map[string]int // relation name -> tuple count
+
+	// mvcc is the shared version directory and per-relation commit state;
+	// snap, when set, pins this view's reads to a snapshot (see AtSnapshot).
+	mvcc *mvccState
+	snap *Snapshot
 }
 
 // NewStore creates an empty BaaV store for the schema on the cluster.
@@ -66,13 +74,17 @@ func NewStore(schema *Schema, rels map[string]*relation.Schema, cluster *kv.Clus
 		Rels:    rels,
 		Opts:    opts,
 		ids:     make(map[string]uint32),
+		kvRel:   make(map[string]string),
+		statsMu: &sync.RWMutex{},
 		degrees: make(map[string]int),
 		blocks:  make(map[string]int),
 		relRows: make(map[string]int),
+		mvcc:    newMVCCState(),
 	}
 	names := schema.Names()
 	for i, n := range names {
 		st.ids[n] = uint32(i + 1)
+		st.kvRel[n] = schema.ByName(n).Rel
 	}
 	return st
 }
@@ -113,7 +125,7 @@ func Map(db *relation.Database, schema *Schema, cluster *kv.Cluster, opts Option
 		}
 		sort.Strings(order) // deterministic layout
 		for _, ks := range order {
-			if err := st.putBlock(nil, kvSchema, keyOf[ks], groups[ks], false); err != nil {
+			if err := st.loadBlock(kvSchema, keyOf[ks], groups[ks]); err != nil {
 				return nil, err
 			}
 		}
@@ -129,11 +141,7 @@ func (st *Store) blockPrefix(id uint32, key relation.Tuple) []byte {
 	return relation.AppendTuple(out, key)
 }
 
-func segKey(prefix []byte, seg uint32) []byte {
-	out := make([]byte, len(prefix), len(prefix)+4)
-	copy(out, prefix)
-	return binary.BigEndian.AppendUint32(out, seg)
-}
+// Physical segment keys are version-suffixed; see verSegKey in mvcc.go.
 
 // instancePrefix is the physical key prefix of a whole KV instance.
 func (st *Store) instancePrefix(id uint32) []byte {
@@ -150,6 +158,10 @@ func (st *Store) GetBlock(name string, key relation.Tuple) (blk *Block, stats *B
 }
 
 // GetBlockT is GetBlock with a per-statement kv trace sink (nil untraced).
+// The read resolves against this view's snapshot sequence: the version
+// directory picks the winning version in memory, then every segment of
+// that version is fetched in one batched multi-get (the segments share a
+// route, so the whole block costs one round trip).
 func (st *Store) GetBlockT(kvt *obs.KV, name string, key relation.Tuple) (blk *Block, stats *BlockStats, gets int, err error) {
 	kvSchema := st.Schema.ByName(name)
 	if kvSchema == nil {
@@ -157,115 +169,58 @@ func (st *Store) GetBlockT(kvt *obs.KV, name string, key relation.Tuple) (blk *B
 	}
 	id := st.ids[name]
 	prefix := st.blockPrefix(id, key)
-	width := len(kvSchema.Val)
+	seqLimit := st.snapSeqFor(kvSchema.Rel)
 
-	data, ok := st.Cluster.GetRoutedT(kvt, prefix, segKey(prefix, 0))
-	gets = 1
+	winner, ok := pickWinner(st.mvcc.lookup(name, string(prefix)), seqLimit)
 	if !ok {
-		return nil, nil, gets, nil
+		// No version visible at this snapshot. Probe the kv layer anyway so
+		// a point lookup of an absent block keeps the accounting shape (one
+		// get, one round trip) of a physical miss; the probe key cannot hit
+		// (a version at exactly seqLimit would have been visible).
+		st.Cluster.GetRoutedT(kvt, prefix, verSegKey(prefix, 0, seqLimit))
+		return nil, nil, 1, nil
 	}
-	nsegs, k := binary.Uvarint(data)
-	if k <= 0 {
-		return nil, nil, gets, errCorruptBlock
+	if winner.nsegs == 0 {
+		// Tombstone: the block is deleted at this snapshot. Reading it costs
+		// the one get a real versioned store would pay.
+		st.Cluster.GetRoutedT(kvt, prefix, verSegKey(prefix, 0, winner.ver))
+		return nil, nil, 1, nil
 	}
-	blk, stats, err = DecodeBlock(data[k:], width)
+	reqs := make([]kv.GetRequest, winner.nsegs)
+	for seg := 0; seg < winner.nsegs; seg++ {
+		reqs[seg] = kv.GetRequest{Route: prefix, Key: verSegKey(prefix, uint32(seg), winner.ver)}
+	}
+	res := st.Cluster.GetManyRouted(kvt, reqs)
+	gets = winner.nsegs
+	datas := make([][]byte, winner.nsegs)
+	for i, r := range res {
+		if !r.OK {
+			return nil, nil, gets, fmt.Errorf("baav: missing segment %d of block in %s", i, name)
+		}
+		datas[i] = r.Value
+	}
+	blk, stats, err = assembleSegs(datas, len(kvSchema.Val))
 	if err != nil {
 		return nil, nil, gets, err
-	}
-	for seg := uint32(1); seg < uint32(nsegs); seg++ {
-		data, ok := st.Cluster.GetRoutedT(kvt, prefix, segKey(prefix, seg))
-		gets++
-		if !ok {
-			return nil, nil, gets, fmt.Errorf("baav: missing segment %d of block in %s", seg, name)
-		}
-		more, moreStats, err := DecodeBlock(data, width)
-		if err != nil {
-			return nil, nil, gets, err
-		}
-		blk.Tuples = append(blk.Tuples, more.Tuples...)
-		switch {
-		case blk.Counts != nil && more.Counts != nil:
-			blk.Counts = append(blk.Counts, more.Counts...)
-		case blk.Counts != nil:
-			for range more.Tuples {
-				blk.Counts = append(blk.Counts, 1)
-			}
-		case more.Counts != nil:
-			blk.Counts = make([]int64, len(blk.Tuples)-len(more.Tuples))
-			for i := range blk.Counts {
-				blk.Counts[i] = 1
-			}
-			blk.Counts = append(blk.Counts, more.Counts...)
-		}
-		if stats != nil {
-			stats.Merge(moreStats)
-		}
 	}
 	return blk, stats, gets, nil
 }
 
-// putBlock writes a block under key, splitting into segments. When checkOld
-// is set it first reads the previous segment count and deletes leftovers.
-// kvt is the per-statement trace sink (nil untraced).
-func (st *Store) putBlock(kvt *obs.KV, kvSchema KVSchema, key relation.Tuple, blk *Block, checkOld bool) error {
-	id := st.ids[kvSchema.Name]
-	prefix := st.blockPrefix(id, key)
-	width := len(kvSchema.Val)
-
-	oldSegs := uint64(0)
-	if checkOld {
-		if data, ok := st.Cluster.GetRoutedT(kvt, prefix, segKey(prefix, 0)); ok {
-			n, k := binary.Uvarint(data)
-			if k <= 0 {
-				return errCorruptBlock
-			}
-			oldSegs = n
-		}
-	}
+// loadBlock writes the initial (sequence-zero) version of a block during
+// Map, bypassing the commit machinery: the load is single-threaded and
+// nothing can be reading yet.
+func (st *Store) loadBlock(kvSchema KVSchema, key relation.Tuple, blk *Block) error {
 	if len(blk.Tuples) == 0 {
-		for seg := uint32(0); seg < uint32(oldSegs); seg++ {
-			st.Cluster.DeleteRoutedT(kvt, prefix, segKey(prefix, seg))
-		}
-		if oldSegs > 0 {
-			st.statsMu.Lock()
-			st.blocks[kvSchema.Name]--
-			st.statsMu.Unlock()
-		}
 		return nil
 	}
-	if !checkOld || oldSegs == 0 {
-		st.statsMu.Lock()
-		st.blocks[kvSchema.Name]++
-		st.statsMu.Unlock()
+	prefix := st.blockPrefix(st.ids[kvSchema.Name], key)
+	ops, nsegs := st.encodeVersionOps(kvSchema, prefix, blk, 0)
+	for _, op := range ops {
+		st.Cluster.PutRouted(op.Route, op.Key, op.Value)
 	}
-
-	// Split into segments of at most SegmentThreshold stored tuples.
-	thr := st.Opts.SegmentThreshold
-	nsegs := (len(blk.Tuples) + thr - 1) / thr
-	for seg := 0; seg < nsegs; seg++ {
-		lo, hi := seg*thr, (seg+1)*thr
-		if hi > len(blk.Tuples) {
-			hi = len(blk.Tuples)
-		}
-		part := &Block{Tuples: blk.Tuples[lo:hi]}
-		if blk.Counts != nil {
-			part.Counts = blk.Counts[lo:hi]
-		}
-		var stats *BlockStats
-		if st.Opts.Stats {
-			stats = part.ComputeStats(width)
-		}
-		payload := EncodeBlock(part, stats, width)
-		if seg == 0 {
-			head := binary.AppendUvarint(nil, uint64(nsegs))
-			payload = append(head, payload...)
-		}
-		st.Cluster.PutRoutedT(kvt, prefix, segKey(prefix, uint32(seg)), payload)
-	}
-	for seg := nsegs; seg < int(oldSegs); seg++ {
-		st.Cluster.DeleteRoutedT(kvt, prefix, segKey(prefix, uint32(seg)))
-	}
+	st.mvcc.addVersion(kvSchema.Name, string(prefix), verEntry{ver: 0, nsegs: nsegs})
 	st.statsMu.Lock()
+	st.blocks[kvSchema.Name]++
 	if d := blk.Distinct(); d > st.degrees[kvSchema.Name] {
 		st.degrees[kvSchema.Name] = d
 	}
@@ -273,14 +228,25 @@ func (st *Store) putBlock(kvt *obs.KV, kvSchema KVSchema, key relation.Tuple, bl
 	return nil
 }
 
-// PutBlock stores a block under key in the named KV instance, replacing any
-// existing block.
+// PutBlock stores a block under key in the named KV instance, replacing
+// any existing block, as a single-block commit on the owning relation: a
+// new version is written and installed, and unreachable versions are
+// reclaimed.
 func (st *Store) PutBlock(name string, key relation.Tuple, blk *Block) error {
 	kvSchema := st.Schema.ByName(name)
 	if kvSchema == nil {
 		return fmt.Errorf("baav: unknown KV schema %q", name)
 	}
-	return st.putBlock(nil, *kvSchema, key, blk, true)
+	c, err := st.BeginCommit(kvSchema.Rel)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	c.stagePut(*kvSchema, key, blk)
+	st.Cluster.ApplyBatch(nil, c.Ops())
+	c.Install()
+	c.Reclaim(nil)
+	return nil
 }
 
 // ScanInstance visits every keyed block of the named KV instance in key
@@ -311,6 +277,13 @@ func (st *Store) ScanInstanceNodeT(kvt *obs.KV, node int, name string, fn func(k
 	})
 }
 
+// scanInstanceWith drives a raw kv scan over the instance's prefix and
+// reassembles winner-version blocks. The physical key order within one
+// block is (segment, newest-version-first), so the first segment-0 key at
+// or below the snapshot sequence is the block's winning version; segments
+// of any other version, and versions newer than the snapshot (including
+// in-flight uninstalled commits), are skipped. A winning tombstone yields
+// nothing — the block is deleted at this snapshot.
 func (st *Store) scanInstanceWith(name string, fn func(key relation.Tuple, blk *Block, stats *BlockStats) bool,
 	driver func(prefix []byte, visit func(k, v []byte) bool)) error {
 	kvSchema := st.Schema.ByName(name)
@@ -320,7 +293,11 @@ func (st *Store) scanInstanceWith(name string, fn func(key relation.Tuple, blk *
 	id := st.ids[name]
 	width := len(kvSchema.Val)
 	keyWidth := len(kvSchema.Key)
+	seqLimit := st.snapSeqFor(kvSchema.Rel)
 
+	var curPrefix []byte // block whose versions are being resolved
+	var winnerVer uint64
+	haveWinner := false
 	var curKey relation.Tuple
 	var curBlk *Block
 	var curStats *BlockStats
@@ -342,36 +319,57 @@ func (st *Store) scanInstanceWith(name string, fn func(key relation.Tuple, blk *
 			scanErr = err
 			return false
 		}
-		seg := binary.BigEndian.Uint32(k[4+n:])
-		payload := v
-		if seg == 0 {
+		if len(k) < 4+n+12 {
+			scanErr = errCorruptBlock
+			return false
+		}
+		prefixLen := 4 + n
+		seg := binary.BigEndian.Uint32(k[prefixLen:])
+		ver := ^binary.BigEndian.Uint64(k[prefixLen+4:])
+		if !bytes.Equal(curPrefix, k[:prefixLen]) {
 			if !flush() {
 				stopped = true
 				return false
 			}
-			_, hk := binary.Uvarint(v)
+			curPrefix = append(curPrefix[:0], k[:prefixLen]...)
+			haveWinner = false
+		}
+		if seg == 0 {
+			if haveWinner || ver > seqLimit {
+				return true // older than the winner, or not yet visible
+			}
+			haveWinner = true
+			winnerVer = ver
+			nsegs, hk := binary.Uvarint(v)
 			if hk <= 0 {
 				scanErr = errCorruptBlock
 				return false
 			}
-			payload = v[hk:]
-			curKey = key
+			if nsegs == 0 {
+				return true // tombstone: deleted at this snapshot
+			}
+			blk, stats, err := DecodeBlock(v[hk:], width)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			curKey, curBlk, curStats = key, blk, stats
+			return true
 		}
-		blk, stats, err := DecodeBlock(payload, width)
+		if !haveWinner || ver != winnerVer || curBlk == nil {
+			return true // segment of a non-winning version
+		}
+		blk, stats, err := DecodeBlock(v, width)
 		if err != nil {
 			scanErr = err
 			return false
 		}
-		if seg == 0 {
-			curBlk, curStats = blk, stats
-		} else if curBlk != nil {
-			curBlk.Tuples = append(curBlk.Tuples, blk.Tuples...)
-			if curBlk.Counts != nil && blk.Counts != nil {
-				curBlk.Counts = append(curBlk.Counts, blk.Counts...)
-			}
-			if curStats != nil {
-				curStats.Merge(stats)
-			}
+		curBlk.Tuples = append(curBlk.Tuples, blk.Tuples...)
+		if curBlk.Counts != nil && blk.Counts != nil {
+			curBlk.Counts = append(curBlk.Counts, blk.Counts...)
+		}
+		if curStats != nil {
+			curStats.Merge(stats)
 		}
 		return true
 	})
@@ -390,7 +388,9 @@ func (st *Store) ScanStats(name string, fn func(key relation.Tuple, stats *Block
 	return st.ScanStatsT(nil, name, fn)
 }
 
-// ScanStatsT is ScanStats with a per-statement kv trace sink.
+// ScanStatsT is ScanStats with a per-statement kv trace sink. Like the
+// block scans it resolves each block's winning version at this view's
+// snapshot sequence and emits stats only for that version's segments.
 func (st *Store) ScanStatsT(kvt *obs.KV, name string, fn func(key relation.Tuple, stats *BlockStats) bool) error {
 	kvSchema := st.Schema.ByName(name)
 	if kvSchema == nil {
@@ -398,6 +398,11 @@ func (st *Store) ScanStatsT(kvt *obs.KV, name string, fn func(key relation.Tuple
 	}
 	id := st.ids[name]
 	keyWidth := len(kvSchema.Key)
+	seqLimit := st.snapSeqFor(kvSchema.Rel)
+
+	var curPrefix []byte
+	var winnerVer uint64
+	haveWinner := false
 	var scanErr error
 	st.Cluster.ScanT(kvt, st.instancePrefix(id), func(k, v []byte) bool {
 		key, n, err := relation.DecodeTuple(k[4:], keyWidth)
@@ -405,15 +410,35 @@ func (st *Store) ScanStatsT(kvt *obs.KV, name string, fn func(key relation.Tuple
 			scanErr = err
 			return false
 		}
-		seg := binary.BigEndian.Uint32(k[4+n:])
+		if len(k) < 4+n+12 {
+			scanErr = errCorruptBlock
+			return false
+		}
+		prefixLen := 4 + n
+		seg := binary.BigEndian.Uint32(k[prefixLen:])
+		ver := ^binary.BigEndian.Uint64(k[prefixLen+4:])
+		if !bytes.Equal(curPrefix, k[:prefixLen]) {
+			curPrefix = append(curPrefix[:0], k[:prefixLen]...)
+			haveWinner = false
+		}
 		payload := v
 		if seg == 0 {
-			_, hk := binary.Uvarint(v)
+			if haveWinner || ver > seqLimit {
+				return true
+			}
+			haveWinner = true
+			winnerVer = ver
+			nsegs, hk := binary.Uvarint(v)
 			if hk <= 0 {
 				scanErr = errCorruptBlock
 				return false
 			}
+			if nsegs == 0 {
+				return true // tombstone
+			}
 			payload = v[hk:]
+		} else if !haveWinner || ver != winnerVer {
+			return true
 		}
 		stats, err := DecodeBlockStats(payload)
 		if err != nil {
@@ -448,72 +473,29 @@ func (st *Store) DeleteT(kvt *obs.KV, rel string, t relation.Tuple) error {
 	return st.maintain(kvt, rel, t, false)
 }
 
-// maintain applies one tuple's insert or delete to every KV schema
-// projecting the relation, in two phases: a validate-and-read phase that
-// performs every fallible step (schema resolution, block reads, decoding)
-// and stages the edited blocks in memory, then an apply phase that writes
-// them out. An error in phase one leaves the store untouched; phase two is
-// pure cluster puts/deletes over blocks that were just read successfully,
-// so short of concurrent external corruption every staged edit lands — the
-// write path's callers rely on this all-or-nothing shape to keep the
-// relation, the blocks, and the index postings consistent.
+// maintain applies one tuple's insert or delete as a single-op commit:
+// stage (every fallible step — reads, decoding — happens here, leaving
+// the store untouched on error), write the new block versions in one
+// batch, install the sequence, reclaim what the watermark allows. The
+// all-or-nothing shape PR 5's two-phase path provided is now structural:
+// nothing is visible until Install.
 func (st *Store) maintain(kvt *obs.KV, rel string, t relation.Tuple, insert bool) error {
-	schema, ok := st.Rels[rel]
-	if !ok {
-		return fmt.Errorf("baav: unknown relation %q", rel)
+	c, err := st.BeginCommit(rel)
+	if err != nil {
+		return err
 	}
-	if len(t) != len(schema.Attrs) {
-		return fmt.Errorf("baav: tuple arity %d != %s arity %d", len(t), rel, len(schema.Attrs))
-	}
-	type edit struct {
-		kvSchema KVSchema
-		key      relation.Tuple
-		blk      *Block
-	}
-	var edits []edit
-	for _, kvSchema := range st.Schema.ForRelation(rel) {
-		keyPos, err := schema.Positions(kvSchema.Key)
-		if err != nil {
-			return err
-		}
-		valPos, err := schema.Positions(kvSchema.Val)
-		if err != nil {
-			return err
-		}
-		key := t.Project(keyPos)
-		val := t.Project(valPos)
-		blk, _, _, err := st.GetBlockT(kvt, kvSchema.Name, key)
-		if err != nil {
-			return err
-		}
-		if blk == nil {
-			if !insert {
-				continue
-			}
-			blk = &Block{}
-		}
-		if insert {
-			blk.Add(val, st.Opts.Compress)
-		} else if !blk.Remove(val) {
-			continue
-		}
-		edits = append(edits, edit{kvSchema: kvSchema, key: key, blk: blk})
-	}
-	if len(edits) == 0 {
-		return nil
-	}
-	for _, e := range edits {
-		if err := st.putBlock(kvt, e.kvSchema, e.key, e.blk, true); err != nil {
-			return err
-		}
-	}
-	st.statsMu.Lock()
+	defer c.Close()
 	if insert {
-		st.relRows[rel]++
-	} else if st.relRows[rel] > 0 {
-		st.relRows[rel]--
+		err = c.StageInsert(kvt, t)
+	} else {
+		_, err = c.StageDelete(kvt, t)
 	}
-	st.statsMu.Unlock()
+	if err != nil {
+		return err
+	}
+	st.Cluster.ApplyBatch(kvt, c.Ops())
+	c.Install()
+	c.Reclaim(kvt)
 	return nil
 }
 

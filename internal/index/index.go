@@ -30,6 +30,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"zidian/internal/kv"
@@ -174,6 +175,11 @@ type Manager struct {
 	byAttr map[string]string // rel + "\x00" + attr -> index name
 	stats  map[string]*Stats
 	nextID uint32
+
+	// Deferred posting shrinks, per relation, keyed by pendKey — see
+	// commit.go. Guarded by pendMu, never by mu.
+	pendMu  sync.Mutex
+	pending map[string]map[string]pendingRemoval
 }
 
 // NewManager builds an empty index manager over the cluster.
@@ -302,6 +308,18 @@ func (m *Manager) Drop(name string) error {
 	delete(m.defs, name)
 	delete(m.byAttr, attrKey(d.Rel, d.Attr))
 	delete(m.stats, name)
+	m.pendMu.Lock()
+	if pend := m.pending[d.Rel]; pend != nil {
+		for id := range pend {
+			if strings.HasPrefix(id, name+"\x00") {
+				delete(pend, id)
+			}
+		}
+		if len(pend) == 0 {
+			delete(m.pending, d.Rel)
+		}
+	}
+	m.pendMu.Unlock()
 	return nil
 }
 
@@ -758,7 +776,7 @@ func splitPostings(b []byte, width int) ([][]byte, error) {
 	var out [][]byte
 	off := 0
 	for off < len(b) {
-		_, n, err := relation.DecodeTuple(b[off:], width)
+		n, err := relation.SkipTuple(b[off:], width)
 		if err != nil {
 			return nil, err
 		}

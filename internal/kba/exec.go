@@ -63,7 +63,7 @@ func (e *Executor) kv() *obs.KV {
 // trace every node gets an operator span whose kv delta is inclusive of
 // its inputs (the plan-tree recursion runs within the parent's span).
 func (e *Executor) Run(p Plan) (*KeyedRel, error) {
-	span := e.Trace.StartOp(OpName(p), NodeLabel(p))
+	span := e.Trace.StartOpLazy(OpName(p), func() string { return NodeLabel(p) })
 	out, err := e.exec(p)
 	e.Trace.FinishOp(span, RowCount(out))
 	return out, err

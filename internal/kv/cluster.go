@@ -33,17 +33,56 @@ type Cluster struct {
 	// Benchmarks that study how locking regimes overlap storage waits
 	// (zidian-bench -exp mixed) opt in via SetOpDelay; the default is off.
 	opDelayNanos atomic.Int64
+	// perOpBatchDelay makes ApplyBatch/GetManyRouted charge the emulated
+	// delay once per operation instead of once per batched round — the wire
+	// behavior of the pre-batching write path, where every put and posting
+	// read was its own RPC. Benchmarks enable it on baseline cells to keep
+	// an A/B honest; serving deployments never should.
+	perOpBatchDelay atomic.Bool
 }
 
 // SetOpDelay installs an emulated per-operation storage latency (zero
 // disables). Safe to change at runtime.
 func (c *Cluster) SetOpDelay(d time.Duration) { c.opDelayNanos.Store(int64(d)) }
 
+// SetPerOpBatchDelay switches the emulated-delay cost model of batched
+// calls between one round trip per node group (default, the batched-RPC
+// fan-out this store issues) and one round trip per operation (the legacy
+// per-op RPCs of the pre-group-commit write path, for baseline benchmark
+// cells).
+func (c *Cluster) SetPerOpBatchDelay(v bool) { c.perOpBatchDelay.Store(v) }
+
 // opWait sleeps the emulated storage latency, if any, attributing the wait
 // to the statement's trace counters when one is threaded through.
 func (c *Cluster) opWait(t *obs.KV) {
 	if d := c.opDelayNanos.Load(); d > 0 {
 		time.Sleep(time.Duration(d))
+		t.CountWait(time.Duration(d))
+	}
+}
+
+// batchWait models one batched round issued to `nodes` storage nodes
+// concurrently, the way a real client library fans out per-node RPCs: the
+// wall-clock wait is a single round trip regardless of fan-out, while the
+// trace still charges one emulated RTT per node touched (the traffic the
+// deployment pays).
+func (c *Cluster) batchWait(t *obs.KV, nodes, ops int) {
+	d := c.opDelayNanos.Load()
+	if d <= 0 || nodes <= 0 {
+		return
+	}
+	if c.perOpBatchDelay.Load() {
+		// Legacy cost model: every operation is its own round trip, paid
+		// serially. One sleep covers the sum to spare the timer; the trace
+		// charges per op.
+		time.Sleep(time.Duration(d) * time.Duration(ops))
+		for i := 0; i < ops; i++ {
+			t.CountWait(time.Duration(d))
+		}
+		return
+	}
+	time.Sleep(time.Duration(d))
+	for i := 0; i < nodes; i++ {
 		t.CountWait(time.Duration(d))
 	}
 }
@@ -146,6 +185,97 @@ func (c *Cluster) DeleteRoutedT(t *obs.KV, route, key []byte) bool {
 	n.mu.Unlock()
 	t.CountDelete()
 	return ok
+}
+
+// BatchOp is one mutation inside an ApplyBatch: a put of Value under Key
+// (or a delete of Key when Delete is set), routed to the node that owns
+// Route. Batching exists so a group commit can land many block/posting
+// edits on a node for the cost of one round trip.
+type BatchOp struct {
+	Route  []byte
+	Key    []byte
+	Value  []byte
+	Delete bool
+}
+
+// ApplyBatch applies a set of mutations grouped by owning node: each node
+// involved pays one emulated round trip (opWait) and one lock acquisition
+// for all of its ops, instead of one per op. Per-op metric and trace
+// accounting is identical to the routed single-op calls, so traced totals
+// still equal the cluster-wide metric delta. Ops land in input order within
+// each node; cross-node order is unspecified (the key space is disjoint by
+// construction, so it cannot matter).
+func (c *Cluster) ApplyBatch(t *obs.KV, ops []BatchOp) {
+	if len(ops) == 0 {
+		return
+	}
+	byNode := groupByNode(c, ops, func(op BatchOp) []byte { return op.Route })
+	c.batchWait(t, len(byNode), len(ops)) // one concurrent round: per-node RTTs overlap
+	for ni, idxs := range byNode {
+		n := c.nodes[ni]
+		n.mu.Lock()
+		for _, i := range idxs {
+			op := ops[i]
+			if op.Delete {
+				n.eng.Delete(op.Key)
+				n.metrics.countDelete()
+				t.CountDelete()
+			} else {
+				n.eng.Put(op.Key, op.Value)
+				n.metrics.countPut(len(op.Key) + len(op.Value))
+				t.CountPut(len(op.Key) + len(op.Value))
+			}
+		}
+		n.mu.Unlock()
+	}
+}
+
+// GetRequest names one lookup inside a GetManyRouted: Key fetched from the
+// node that owns Route.
+type GetRequest struct {
+	Route []byte
+	Key   []byte
+}
+
+// GetResult is the answer to one GetRequest, aligned by index.
+type GetResult struct {
+	Value []byte
+	OK    bool
+}
+
+// GetManyRouted resolves a set of routed lookups grouped by owning node:
+// one emulated round trip and one read-lock acquisition per node per batch.
+// Results align with the request slice. Per-op accounting matches
+// GetRoutedT exactly.
+func (c *Cluster) GetManyRouted(t *obs.KV, reqs []GetRequest) []GetResult {
+	out := make([]GetResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	byNode := groupByNode(c, reqs, func(r GetRequest) []byte { return r.Route })
+	c.batchWait(t, len(byNode), len(reqs)) // one concurrent round: per-node RTTs overlap
+	for ni, idxs := range byNode {
+		n := c.nodes[ni]
+		n.mu.RLock()
+		for _, i := range idxs {
+			v, ok := n.eng.Get(reqs[i].Key)
+			n.metrics.countGet(len(v))
+			t.CountGet(len(v))
+			out[i] = GetResult{Value: v, OK: ok}
+		}
+		n.mu.RUnlock()
+	}
+	return out
+}
+
+// groupByNode buckets item indexes by the node that owns each item's route.
+func groupByNode[T any](c *Cluster, items []T, route func(T) []byte) map[int][]int {
+	byNode := make(map[int][]int)
+	for i, it := range items {
+		ni := c.NodeFor(route(it))
+		byNode[ni] = append(byNode[ni], i)
+	}
+	return byNode
 }
 
 // Scan visits every pair whose key starts with prefix, node by node in key

@@ -64,6 +64,22 @@ func (k *KV) CountWait(d time.Duration) {
 	k.waitNanos.Add(int64(d))
 }
 
+// Merge adds a snapshot's totals into the counters — a group-committed
+// statement folds its batch's kv traffic into its own sink this way.
+// Nil-safe like the counting methods.
+func (k *KV) Merge(s KVSnapshot) {
+	if k == nil {
+		return
+	}
+	k.gets.Add(s.Gets)
+	k.puts.Add(s.Puts)
+	k.deletes.Add(s.Deletes)
+	k.scanNexts.Add(s.ScanNexts)
+	k.bytesRead.Add(s.BytesRead)
+	k.bytesWritten.Add(s.BytesWritten)
+	k.waitNanos.Add(s.WaitNanos)
+}
+
 // Snapshot returns the current totals; zero for a nil receiver.
 func (k *KV) Snapshot() KVSnapshot {
 	if k == nil {
@@ -123,6 +139,15 @@ type Trace struct {
 	// before the executor runs (or after a failed acquire), never raced.
 	QueueWaitNanos int64
 	LockWaitNanos  int64
+
+	// SnapshotSeqs records, per relation, the MVCC commit sequence the
+	// statement's reads were pinned to. Written once when the snapshot is
+	// pinned, before the executor runs; never raced.
+	SnapshotSeqs map[string]uint64
+	// CommitWaitNanos is the time a write statement spent queued in its
+	// relation's group commit before its batch installed. Written by the
+	// statement's own goroutine after the commit completes.
+	CommitWaitNanos int64
 
 	Root  *OpNode
 	stack []*OpNode
@@ -185,6 +210,8 @@ type OpNode struct {
 
 	start   time.Time
 	startKV KVSnapshot
+	// lazyLabel, when set, renders Label on demand (see StartOpLazy).
+	lazyLabel func() string
 }
 
 // StartOp opens an operator span as a child of the innermost open span
@@ -202,6 +229,41 @@ func (t *Trace) StartOp(name, label string) *OpNode {
 	}
 	t.stack = append(t.stack, n)
 	return n
+}
+
+// StartOpLazy is StartOp with the label rendering deferred until the tree is
+// actually shown. Almost every statement's tree is dropped unread — only
+// EXPLAIN ANALYZE renders it — while a label costs several allocations per
+// operator, so hot executors pass a thunk instead of the string.
+func (t *Trace) StartOpLazy(name string, label func() string) *OpNode {
+	if t == nil {
+		return nil
+	}
+	n := &OpNode{Name: name, lazyLabel: label, start: time.Now(), startKV: t.KV.Snapshot()}
+	if len(t.stack) == 0 {
+		t.Root = n
+	} else {
+		p := t.stack[len(t.stack)-1]
+		p.Children = append(p.Children, n)
+	}
+	t.stack = append(t.stack, n)
+	return n
+}
+
+// ResolveLabels renders any deferred labels in the tree rooted at n. Callers
+// that serialize an OpNode (JSON can't see a label thunk) must resolve
+// first; RenderPlan does it itself.
+func (n *OpNode) ResolveLabels() {
+	if n == nil {
+		return
+	}
+	if n.lazyLabel != nil {
+		n.Label = n.lazyLabel()
+		n.lazyLabel = nil
+	}
+	for _, c := range n.Children {
+		c.ResolveLabels()
+	}
 }
 
 // FinishOp closes the span, recording its row count, wall time, and
@@ -223,6 +285,7 @@ func (t *Trace) FinishOp(n *OpNode, rows int) {
 // analyze=true each line carries rows, wall time, the inclusive kv-op
 // breakdown, and worker fan-out.
 func RenderPlan(root *OpNode, analyze bool) []string {
+	root.ResolveLabels()
 	var out []string
 	var walk func(n *OpNode, depth int)
 	walk = func(n *OpNode, depth int) {

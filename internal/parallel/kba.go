@@ -72,7 +72,7 @@ func (e *kbaExec) run(p kba.Plan) (*pval, error) {
 	if l, ok := p.(*litPlan); ok {
 		return l.v, nil
 	}
-	span := e.trace.StartOp(kba.OpName(p), kba.NodeLabel(p))
+	span := e.trace.StartOpLazy(kba.OpName(p), func() string { return kba.NodeLabel(p) })
 	v, err := e.exec(p)
 	rows := 0
 	if v != nil {

@@ -158,6 +158,63 @@ func DecodeTuple(b []byte, n int) (Tuple, int, error) {
 	return t, off, nil
 }
 
+// SkipValue returns the encoded length of the first value in b without
+// materializing it.
+func SkipValue(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, errCorrupt
+	}
+	switch b[0] {
+	case tagNull:
+		return 1, nil
+	case tagInt, tagFloat:
+		if len(b) < 9 {
+			return 0, errCorrupt
+		}
+		return 9, nil
+	case tagString:
+		i := 1
+		for {
+			if i >= len(b) {
+				return 0, errCorrupt
+			}
+			if b[i] != 0x00 {
+				i++
+				continue
+			}
+			if i+1 >= len(b) {
+				return 0, errCorrupt
+			}
+			switch b[i+1] {
+			case 0xFF:
+				i += 2
+			case 0x01:
+				return i + 2, nil
+			default:
+				return 0, errCorrupt
+			}
+		}
+	default:
+		return 0, errCorrupt
+	}
+}
+
+// SkipTuple returns the encoded length of the first n values in b without
+// decoding them. Posting walks cut payloads into per-key byte slices and
+// never look at the values; decoding just to learn the cut points was the
+// single largest allocator in the mixed benchmark.
+func SkipTuple(b []byte, n int) (int, error) {
+	off := 0
+	for i := 0; i < n; i++ {
+		k, err := SkipValue(b[off:])
+		if err != nil {
+			return 0, err
+		}
+		off += k
+	}
+	return off, nil
+}
+
 // DecodeAll decodes values until b is exhausted.
 func DecodeAll(b []byte) (Tuple, error) {
 	var t Tuple

@@ -202,3 +202,39 @@ func TestKeyString(t *testing.T) {
 		t.Fatal("different tuples must not collide")
 	}
 }
+
+// TestSkipMatchesDecode checks SkipValue/SkipTuple report exactly the byte
+// counts their decoding counterparts consume, including escaped strings.
+func TestSkipMatchesDecode(t *testing.T) {
+	tuples := []Tuple{
+		{Int(0), Int(-1), Int(1 << 40)},
+		{String(""), String("plain"), String("nul\x00byte\x00")},
+		{Float(-2.5), Float(0), Null()},
+		{Int(7), String("mixed\x00"), Float(3.14), Null()},
+	}
+	for _, tup := range tuples {
+		enc := EncodeTuple(tup)
+		// Tack on trailing bytes so skip lengths can't rely on exhaustion.
+		enc = append(enc, 0xAB, 0xCD)
+		_, wantN, err := DecodeTuple(enc, len(tup))
+		if err != nil {
+			t.Fatalf("DecodeTuple(%v): %v", tup, err)
+		}
+		gotN, err := SkipTuple(enc, len(tup))
+		if err != nil {
+			t.Fatalf("SkipTuple(%v): %v", tup, err)
+		}
+		if gotN != wantN {
+			t.Fatalf("SkipTuple(%v) = %d bytes, DecodeTuple consumed %d", tup, gotN, wantN)
+		}
+	}
+	if _, err := SkipValue(nil); err == nil {
+		t.Fatal("SkipValue(nil) did not fail")
+	}
+	if _, err := SkipValue([]byte{0x02, 0x00}); err == nil {
+		t.Fatal("SkipValue(truncated int) did not fail")
+	}
+	if _, err := SkipValue([]byte{0x04, 'a'}); err == nil {
+		t.Fatal("SkipValue(unterminated string) did not fail")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"zidian/internal/relation"
@@ -130,6 +131,69 @@ func AnonymizeSQL(norm string, params []relation.Value) (string, []string) {
 		}
 	}
 	return string(b), binds
+}
+
+// anonCache memoizes AnonymizeSQL keyed by the normalized statement text.
+// A serving workload is a small set of templates repeated many times, and
+// the rewrite costs several allocations per statement, so each server keeps
+// one. Entries are computed with nil params; the kinds of a statement's own
+// bound values are patched in per call (paramSlots marks which positions
+// came from `?` placeholders — the only positions params can fill).
+type anonCache struct {
+	m sync.Map // norm string → *anonEntry
+	n atomic.Int64
+}
+
+// anonCacheMax bounds the cache: distinct normalized texts past the cap
+// (an unparameterized workload embeds its literals in norm, so the key
+// space can be unbounded) are rewritten directly and not stored.
+const anonCacheMax = 4096
+
+type anonEntry struct {
+	template   string
+	binds      []string // kinds with `?` placeholders unresolved ("any")
+	paramSlots []int    // positions in binds filled from the caller's params
+}
+
+func (c *anonCache) anonymize(norm string, params []relation.Value) (string, []string) {
+	if v, ok := c.m.Load(norm); ok {
+		e := v.(*anonEntry)
+		return e.template, e.resolve(params)
+	}
+	if c.n.Load() >= anonCacheMax {
+		return AnonymizeSQL(norm, params)
+	}
+	template, binds := AnonymizeSQL(norm, nil)
+	e := &anonEntry{template: template, binds: binds}
+	// With nil params every `?` placeholder reports kind "any", and nothing
+	// else can: literal rewrites always know their kind.
+	for i, k := range binds {
+		if k == "any" {
+			e.paramSlots = append(e.paramSlots, i)
+		}
+	}
+	if _, loaded := c.m.LoadOrStore(norm, e); !loaded {
+		c.n.Add(1)
+	}
+	return e.template, e.resolve(params)
+}
+
+// resolve returns the entry's bind kinds with params' kinds substituted at
+// the placeholder positions. The shared slice is returned as-is when there
+// is nothing to patch; callers treat bind lists as read-only.
+func (e *anonEntry) resolve(params []relation.Value) []string {
+	if len(e.paramSlots) == 0 || len(params) == 0 {
+		return e.binds
+	}
+	out := make([]string, len(e.binds))
+	copy(out, e.binds)
+	for i, at := range e.paramSlots {
+		if i >= len(params) {
+			break
+		}
+		out[at] = bindKind(params[i])
+	}
+	return out
 }
 
 // bindKind names a bound value's kind for the capture stream.

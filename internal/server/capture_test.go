@@ -284,3 +284,39 @@ func TestSlowQueryLogOversizeLine(t *testing.T) {
 		t.Fatalf("dropped %d, want 1", got)
 	}
 }
+
+// TestAnonCacheMatchesDirect checks the memoized path returns exactly what
+// AnonymizeSQL would, including on cache hits where a statement's bound
+// value kinds differ from the first caller's.
+func TestAnonCacheMatchesDirect(t *testing.T) {
+	intV := relation.Value{Kind: relation.KindInt, Int: 7}
+	strV := relation.Value{Kind: relation.KindString, Str: "x"}
+	cases := []struct {
+		norm   string
+		params []relation.Value
+	}{
+		{"select V.id from VEHICLE V where V.id = ?", []relation.Value{intV}},
+		{"select V.id from VEHICLE V where V.id = ?", []relation.Value{strV}},
+		{"select V.id from VEHICLE V where V.id = ?", nil},
+		{"select T.a from T where T.s = 'lit' and T.n = 42 and T.b = ?", []relation.Value{intV}},
+		{"select O.speed from OBSERVATION O where O.speed > ? limit 5", []relation.Value{intV}},
+	}
+	var c anonCache
+	for _, tc := range cases {
+		wantT, wantB := AnonymizeSQL(tc.norm, tc.params)
+		for rep := 0; rep < 2; rep++ { // second pass is a guaranteed hit
+			gotT, gotB := c.anonymize(tc.norm, tc.params)
+			if gotT != wantT {
+				t.Fatalf("template %q, want %q (norm %q)", gotT, wantT, tc.norm)
+			}
+			if len(gotB) != len(wantB) {
+				t.Fatalf("binds %v, want %v (norm %q)", gotB, wantB, tc.norm)
+			}
+			for i := range gotB {
+				if gotB[i] != wantB[i] {
+					t.Fatalf("binds %v, want %v (norm %q)", gotB, wantB, tc.norm)
+				}
+			}
+		}
+	}
+}

@@ -99,6 +99,55 @@ func (c *Client) do(req *server.Request) (*server.Response, error) {
 	return resp, nil
 }
 
+// leanResponse mirrors server.Response but leaves the row payload
+// undecoded: load generators discard rows, and unmarshalling them into
+// [][]any costs more than everything else a bench client does per request.
+type leanResponse struct {
+	ID    int64              `json:"id"`
+	OK    bool               `json:"ok"`
+	Error string             `json:"error,omitempty"`
+	Code  string             `json:"code,omitempty"`
+	Rows  json.RawMessage    `json:"rows,omitempty"`
+	Stats *server.QueryStats `json:"stats,omitempty"`
+}
+
+// QueryLean runs one SELECT and returns only its execution statistics,
+// leaving the rows on the wire undecoded. Use it when the caller needs the
+// round trip and the stats but not the data — load generation, warmup,
+// liveness probes over real statements.
+func (c *Client) QueryLean(sql string, params ...any) (*server.QueryStats, error) {
+	raw, err := server.EncodeParams(params)
+	if err != nil {
+		return nil, err
+	}
+	req := &server.Request{Op: "query", SQL: sql, Params: raw}
+	c.next++
+	req.ID = c.next
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	if err := c.out.Flush(); err != nil {
+		return nil, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("client: connection closed by server")
+	}
+	var resp leanResponse
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("client: malformed response: %w", err)
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
+	}
+	if !resp.OK {
+		return nil, &ServerError{Msg: resp.Error, Code: resp.Code}
+	}
+	return resp.Stats, nil
+}
+
 // Query runs one SELECT and returns columns, rows and execution statistics.
 // The statement may carry `?` placeholders bound positionally by params
 // (Go integers, floats, strings, or relation.Value).

@@ -1,55 +1,178 @@
 package server
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 )
 
-// relLocks schedules statements for mixed read/write traffic with
-// per-relation read/write locking plus one global DDL gate:
+// Lock regimes. The server schedules statements under one of three
+// regimes, selectable per deployment for A/B measurement (zidian-bench's
+// -exp mixed runs all three):
 //
-//   - A SELECT takes the global gate shared, then the read lock of every
-//     base relation its compiled plan touches, in sorted order. Readers of
-//     the same relation share; readers of different relations never meet.
-//   - An INSERT or DELETE takes the global gate shared, then its single
-//     target relation's write lock: it excludes only that relation's
-//     readers and writer. Writes to disjoint relations run in parallel,
-//     and readers of untouched relations are never stalled — the paper's
-//     module M4 makes a write touch only its own blocks and postings, so
-//     the lock scope matches the data scope. Index posting maintenance for
-//     rel(attr) rides the same write path, so a reader admitted after the
-//     write sees a consistent block/posting pair per relation.
-//   - DDL (CREATE/DROP INDEX) takes the global gate exclusive: it changes
-//     the catalog that compiled plans and the plan cache depend on, so
-//     nothing else may be in flight. Plan compilation takes the global
-//     gate shared (compileLock), preserving the cache's epoch-capture
-//     dance exactly as under the old instance-wide lock.
+//   - regimeMVCC (the default): readers and writers both take the global
+//     gate SHARED and no relation locks at all. Readers pin MVCC snapshots
+//     inside the instance; writers ride their relation's group committer,
+//     which serializes conflicting writes itself. Only DDL (CREATE/DROP
+//     INDEX) takes the gate exclusive: index backfill reads the relation's
+//     tuple slice and rewrites the posting space, so nothing may be in
+//     flight — and with no statements in flight there are no pinned
+//     snapshots to invalidate.
+//   - regimePerRelation: the PR 5 discipline. A SELECT takes the gate
+//     shared plus the read lock of every relation its plan touches in
+//     sorted order; a write takes the gate shared plus its target's write
+//     lock, so writes stall their own relation's readers but nobody
+//     else's. Kept as the measured baseline MVCC is judged against.
+//   - regimeGlobal: the legacy instance-wide write gate — every write
+//     excludes every read.
+//
+// The global gate is a queue-fair (FIFO) readers-writer lock, not a
+// sync.RWMutex: arrivals are admitted strictly in order, with consecutive
+// readers batched. Under a flood of overlapping readers a sync.RWMutex
+// never drains its readers, so a pending DDL could starve; under the fair
+// gate the DDL's slot in the queue blocks readers that arrive after it,
+// and it acquires as soon as the readers ahead of it finish.
 //
 // Deadlock freedom: every acquisition orders the global gate first, then
 // relation locks in sorted name order; writers hold at most one relation
 // lock. There is no lock-upgrade path.
-//
-// The legacy single-gate behavior (every write excludes every read,
-// instance-wide) remains available behind globalOnly for A/B measurement —
-// zidian-bench's -exp mixed compares the two regimes.
+
+type lockRegime int
+
+const (
+	regimeMVCC lockRegime = iota
+	regimePerRelation
+	regimeGlobal
+)
+
+// parseRegime maps a Config.LockRegime string to its regime.
+func parseRegime(s string) (lockRegime, error) {
+	switch s {
+	case "", "mvcc":
+		return regimeMVCC, nil
+	case "per-relation":
+		return regimePerRelation, nil
+	case "global":
+		return regimeGlobal, nil
+	default:
+		return 0, fmt.Errorf("server: unknown lock regime %q (want mvcc, per-relation or global)", s)
+	}
+}
+
+func (r lockRegime) String() string {
+	switch r {
+	case regimePerRelation:
+		return "per-relation"
+	case regimeGlobal:
+		return "global"
+	default:
+		return "mvcc"
+	}
+}
+
+// gateWaiter is one queued acquisition on the fair gate.
+type gateWaiter struct {
+	exclusive bool
+	ready     chan struct{}
+}
+
+// fairGate is a FIFO readers-writer lock: acquisitions are granted in
+// arrival order, with runs of consecutive readers admitted together.
+// active holds the reader count, or -1 while an exclusive holder runs.
+type fairGate struct {
+	mu     sync.Mutex
+	active int
+	queue  []*gateWaiter
+}
+
+// RLock acquires the gate shared, behind any earlier waiter.
+func (g *fairGate) RLock() {
+	g.mu.Lock()
+	if len(g.queue) == 0 && g.active >= 0 {
+		g.active++
+		g.mu.Unlock()
+		return
+	}
+	w := &gateWaiter{ready: make(chan struct{})}
+	g.queue = append(g.queue, w)
+	g.mu.Unlock()
+	<-w.ready
+}
+
+// RUnlock releases one shared hold.
+func (g *fairGate) RUnlock() {
+	g.mu.Lock()
+	g.active--
+	if g.active == 0 {
+		g.wake()
+	}
+	g.mu.Unlock()
+}
+
+// Lock acquires the gate exclusively, behind any earlier waiter.
+func (g *fairGate) Lock() {
+	g.mu.Lock()
+	if len(g.queue) == 0 && g.active == 0 {
+		g.active = -1
+		g.mu.Unlock()
+		return
+	}
+	w := &gateWaiter{exclusive: true, ready: make(chan struct{})}
+	g.queue = append(g.queue, w)
+	g.mu.Unlock()
+	<-w.ready
+}
+
+// Unlock releases the exclusive hold.
+func (g *fairGate) Unlock() {
+	g.mu.Lock()
+	g.active = 0
+	g.wake()
+	g.mu.Unlock()
+}
+
+// wake admits the queue head — and, for a reader head, the run of readers
+// behind it — while the gate state allows. Called with mu held and the
+// gate free (active == 0) or shared (active > 0, reader admission only).
+func (g *fairGate) wake() {
+	for len(g.queue) > 0 {
+		head := g.queue[0]
+		if head.exclusive {
+			if g.active != 0 {
+				return
+			}
+			g.active = -1
+			g.queue = g.queue[0:copy(g.queue, g.queue[1:])]
+			close(head.ready)
+			return
+		}
+		if g.active < 0 {
+			return
+		}
+		g.active++
+		g.queue = g.queue[0:copy(g.queue, g.queue[1:])]
+		close(head.ready)
+	}
+}
+
+// relLocks schedules statements under the configured regime (see the
+// package comment above for the three disciplines).
 type relLocks struct {
-	globalOnly bool
-	global     sync.RWMutex
+	regime lockRegime
+	global fairGate
 
 	// rels is built once at construction from the schema's fixed relation
 	// set and never mutated after, so the hot path reads it lock-free. A
 	// name outside it (a typo'd INSERT target — the statement fails
 	// downstream anyway) maps to the shared fallback lock instead of
-	// growing state per distinct bad name.
+	// growing state per distinct bad name. Only regimePerRelation uses it.
 	rels    map[string]*sync.RWMutex
 	unknown sync.RWMutex
 }
 
-// newRelLocks builds a lock manager over the fixed relation set; globalOnly
-// selects the legacy instance-wide write gate instead of per-relation
-// locking.
-func newRelLocks(globalOnly bool, rels []string) *relLocks {
-	l := &relLocks{globalOnly: globalOnly, rels: make(map[string]*sync.RWMutex, len(rels))}
+// newRelLocks builds a lock manager over the fixed relation set.
+func newRelLocks(regime lockRegime, rels []string) *relLocks {
+	l := &relLocks{regime: regime, rels: make(map[string]*sync.RWMutex, len(rels))}
 	for _, r := range rels {
 		l.rels[r] = &sync.RWMutex{}
 	}
@@ -65,12 +188,14 @@ func (l *relLocks) lockFor(rel string) *sync.RWMutex {
 	return &l.unknown
 }
 
-// acquireRead locks the given relations for reading (shared), returning the
-// release. rels may be in any order and contain duplicates; acquisition
-// sorts and dedups so concurrent multi-relation readers cannot deadlock.
+// acquireRead admits a read over the given relations, returning the
+// release. Under mvcc and global regimes only the gate (shared) is taken;
+// per-relation additionally read-locks each relation. rels may be in any
+// order and contain duplicates; acquisition sorts and dedups so
+// concurrent multi-relation readers cannot deadlock.
 func (l *relLocks) acquireRead(rels []string) func() {
 	l.global.RLock()
-	if l.globalOnly || len(rels) == 0 {
+	if l.regime != regimePerRelation || len(rels) == 0 {
 		return l.global.RUnlock
 	}
 	sorted := rels
@@ -97,24 +222,32 @@ func (l *relLocks) acquireRead(rels []string) func() {
 	}
 }
 
-// acquireWrite locks one relation for writing (exclusive against its
-// readers and writer, shared against everything else), returning the
-// release.
+// acquireWrite admits a write to one relation, returning the release.
+// Under mvcc the write shares the gate with readers — snapshot pinning and
+// the group committer carry the isolation; under per-relation it excludes
+// the target's readers; under global it excludes everything.
 func (l *relLocks) acquireWrite(rel string) func() {
-	if l.globalOnly {
+	switch l.regime {
+	case regimeGlobal:
 		l.global.Lock()
 		return l.global.Unlock
-	}
-	l.global.RLock()
-	m := l.lockFor(rel)
-	m.Lock()
-	return func() {
-		m.Unlock()
-		l.global.RUnlock()
+	case regimePerRelation:
+		l.global.RLock()
+		m := l.lockFor(rel)
+		m.Lock()
+		return func() {
+			m.Unlock()
+			l.global.RUnlock()
+		}
+	default:
+		l.global.RLock()
+		return l.global.RUnlock
 	}
 }
 
 // acquireDDL locks the whole instance exclusively for a catalog change.
+// The fair gate guarantees it cannot be starved by a reader flood: it
+// waits only for statements admitted before it.
 func (l *relLocks) acquireDDL() func() {
 	l.global.Lock()
 	return l.global.Unlock

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -31,7 +32,7 @@ func tryAcquire(acquire func() func()) (release func(), ok bool) {
 func TestRelLocksOverlap(t *testing.T) {
 	// Writer vs disjoint traffic: everything not touching TEST proceeds.
 	{
-		l := newRelLocks(false, mixedTestRels)
+		l := newRelLocks(regimePerRelation, mixedTestRels)
 		releaseW := l.acquireWrite("TEST")
 		if rel, ok := tryAcquire(func() func() { return l.acquireRead([]string{"VEHICLE"}) }); !ok {
 			t.Fatal("reader of an unwritten relation blocked behind the writer")
@@ -47,7 +48,7 @@ func TestRelLocksOverlap(t *testing.T) {
 	}
 	// Writer vs the written relation's reader: excluded until release.
 	{
-		l := newRelLocks(false, mixedTestRels)
+		l := newRelLocks(regimePerRelation, mixedTestRels)
 		releaseW := l.acquireWrite("TEST")
 		if rel, ok := tryAcquire(func() func() { return l.acquireRead([]string{"VEHICLE", "TEST"}) }); ok {
 			rel()
@@ -57,7 +58,7 @@ func TestRelLocksOverlap(t *testing.T) {
 	}
 	// Readers share; duplicate/unsorted lock sets are fine.
 	{
-		l := newRelLocks(false, mixedTestRels)
+		l := newRelLocks(regimePerRelation, mixedTestRels)
 		r1 := l.acquireRead([]string{"TEST"})
 		r2, ok := tryAcquire(func() func() { return l.acquireRead([]string{"TEST", "VEHICLE", "TEST"}) })
 		if !ok {
@@ -68,7 +69,7 @@ func TestRelLocksOverlap(t *testing.T) {
 	}
 	// DDL excludes writers...
 	{
-		l := newRelLocks(false, mixedTestRels)
+		l := newRelLocks(regimePerRelation, mixedTestRels)
 		releaseW := l.acquireWrite("TEST")
 		if rel, ok := tryAcquire(l.acquireDDL); ok {
 			rel()
@@ -78,7 +79,7 @@ func TestRelLocksOverlap(t *testing.T) {
 	}
 	// ...and readers, and excludes them in turn.
 	{
-		l := newRelLocks(false, mixedTestRels)
+		l := newRelLocks(regimePerRelation, mixedTestRels)
 		r := l.acquireRead([]string{"TEST"})
 		if rel, ok := tryAcquire(l.acquireDDL); ok {
 			rel()
@@ -87,7 +88,7 @@ func TestRelLocksOverlap(t *testing.T) {
 		r()
 	}
 	{
-		l := newRelLocks(false, mixedTestRels)
+		l := newRelLocks(regimePerRelation, mixedTestRels)
 		releaseDDL := l.acquireDDL()
 		if rel, ok := tryAcquire(func() func() { return l.acquireRead([]string{"VEHICLE"}) }); ok {
 			rel()
@@ -100,7 +101,7 @@ func TestRelLocksOverlap(t *testing.T) {
 // TestRelLocksUnknownRelation: names outside the schema share the fallback
 // lock — the table never grows — and never stall schema relations.
 func TestRelLocksUnknownRelation(t *testing.T) {
-	l := newRelLocks(false, mixedTestRels)
+	l := newRelLocks(regimePerRelation, mixedTestRels)
 	releaseW := l.acquireWrite("NOPE")
 	if rel, ok := tryAcquire(func() func() { return l.acquireRead([]string{"VEHICLE"}) }); !ok {
 		t.Fatal("schema reader blocked behind an unknown-relation writer")
@@ -118,7 +119,7 @@ func TestRelLocksUnknownRelation(t *testing.T) {
 // every read, instance-wide.
 func TestRelLocksGlobalMode(t *testing.T) {
 	{
-		l := newRelLocks(true, mixedTestRels)
+		l := newRelLocks(regimeGlobal, mixedTestRels)
 		releaseW := l.acquireWrite("TEST")
 		if rel, ok := tryAcquire(func() func() { return l.acquireRead([]string{"VEHICLE"}) }); ok {
 			rel()
@@ -127,12 +128,117 @@ func TestRelLocksGlobalMode(t *testing.T) {
 		releaseW()
 	}
 	{
-		l := newRelLocks(true, mixedTestRels)
+		l := newRelLocks(regimeGlobal, mixedTestRels)
 		r := l.acquireRead([]string{"VEHICLE"})
 		if rel, ok := tryAcquire(func() func() { return l.acquireWrite("OBSERVATION") }); ok {
 			rel()
 			t.Fatal("global mode admitted a writer during a read")
 		}
 		r()
+	}
+}
+
+// TestRelLocksMVCCMode: under the default regime readers and writers all
+// share the gate — even on the same relation, since snapshots and the group
+// committer provide the isolation — and only DDL excludes.
+func TestRelLocksMVCCMode(t *testing.T) {
+	l := newRelLocks(regimeMVCC, mixedTestRels)
+	releaseW := l.acquireWrite("TEST")
+	if rel, ok := tryAcquire(func() func() { return l.acquireRead([]string{"TEST"}) }); !ok {
+		t.Fatal("mvcc mode stalled a reader of the written relation")
+	} else {
+		rel()
+	}
+	if rel, ok := tryAcquire(func() func() { return l.acquireWrite("TEST") }); !ok {
+		t.Fatal("mvcc mode stalled a second writer at the gate (the committer, not the gate, serializes)")
+	} else {
+		rel()
+	}
+	if rel, ok := tryAcquire(l.acquireDDL); ok {
+		rel()
+		t.Fatal("DDL was admitted while statements were in flight")
+	}
+	releaseW()
+}
+
+// queuedWaiters reports how many acquisitions are parked on the gate.
+func (g *fairGate) queuedWaiters() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.queue)
+}
+
+// TestDDLGateFIFO pins the fairness bug fix: a pending DDL must acquire
+// before readers that arrive AFTER it, no matter how many there are — under
+// a plain RWMutex an overlapping reader flood starves the writer forever.
+// The sequencing is deterministic: each phase waits until the previous
+// acquisition is observably parked on the gate's queue before proceeding.
+func TestDDLGateFIFO(t *testing.T) {
+	l := newRelLocks(regimeMVCC, mixedTestRels)
+	waitQueued := func(n int) {
+		deadline := time.Now().Add(5 * time.Second)
+		for l.global.queuedWaiters() < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("gate queue never reached %d waiters", n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	var order []string
+	var mu sync.Mutex
+	record := func(who string) {
+		mu.Lock()
+		order = append(order, who)
+		mu.Unlock()
+	}
+
+	r1 := l.acquireRead([]string{"TEST"}) // in-flight reader: DDL must wait for it
+	ddlDone := make(chan func(), 1)
+	go func() {
+		rel := l.acquireDDL()
+		record("ddl")
+		ddlDone <- rel
+	}()
+	waitQueued(1) // the DDL is parked behind r1
+
+	const lateReaders = 8
+	readerDone := make(chan func(), lateReaders)
+	for i := 0; i < lateReaders; i++ {
+		go func() {
+			rel := l.acquireRead([]string{"TEST", "VEHICLE"})
+			record("reader")
+			readerDone <- rel
+		}()
+	}
+	waitQueued(1 + lateReaders) // every late reader parked behind the DDL
+
+	select {
+	case <-ddlDone:
+		t.Fatal("DDL acquired while the earlier reader still held the gate")
+	case rel := <-readerDone:
+		rel()
+		t.Fatal("a late-arriving reader jumped the queued DDL")
+	default:
+	}
+
+	r1() // drain the pre-DDL reader: the DDL must now acquire, alone
+	releaseDDL := <-ddlDone
+	select {
+	case rel := <-readerDone:
+		rel()
+		t.Fatal("a reader was admitted during DDL")
+	default:
+	}
+	releaseDDL()
+
+	// With the DDL gone the reader batch flows; all of it ordered after.
+	for i := 0; i < lateReaders; i++ {
+		(<-readerDone)()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 1+lateReaders || order[0] != "ddl" {
+		t.Fatalf("acquisition order = %v, want ddl first then %d readers", order, lateReaders)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"zidian"
 	"zidian/internal/obs"
 	"zidian/internal/relation"
 )
@@ -38,6 +39,7 @@ type serverObs struct {
 	lockWait *obs.Histogram    // zidian_lock_wait_seconds
 	postings *obs.Counter      // zidian_index_posting_reads_total
 	blocks   *obs.Counter      // zidian_blocks_fetched_total
+	batch    *obs.Histogram    // zidian_commit_batch_size
 
 	// stmts is the per-template statistics registry behind
 	// /stats/statements and SHOW STATEMENTS; stmtTopK bounds how many
@@ -48,6 +50,11 @@ type serverObs struct {
 	// capture, when non-nil, streams one anonymized JSON line per finished
 	// statement for later replay.
 	capture *captureLog
+
+	// anon memoizes AnonymizeSQL by normalized text — a serving workload is
+	// a small set of templates repeated, and parameterized statements hit
+	// the cache with their literals already lifted out.
+	anon anonCache
 
 	slowThreshold time.Duration
 	slowMaxBytes  int64
@@ -88,6 +95,39 @@ func newServerObs(s *Server, cfg Config) *serverObs {
 		"BaaV blocks fetched and decoded by traced statements.")
 	o.slowDropped = r.NewCounter("zidian_slow_query_dropped_total",
 		"Slow-query log lines dropped by the size cap.")
+	// Batch sizes ride the histogram machinery by encoding a batch of n
+	// statements as n "seconds": bucket upper bounds are statement counts.
+	o.batch = r.NewHistogram("zidian_commit_batch_size",
+		"Statements folded into one group commit, per installed batch.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+	if s != nil && s.inst != nil { // tests exercise the obs layer serverless
+		s.inst.SetCommitObserver(func(n int) {
+			o.batch.Observe(time.Duration(n) * time.Second)
+		})
+	}
+
+	r.RegisterFunc("zidian_commit_seq",
+		"Installed MVCC commit sequence, per relation.", "counter", "rel",
+		func() []obs.Sample {
+			rels := s.inst.Relations()
+			out := make([]obs.Sample, len(rels))
+			for i, rel := range rels {
+				out[i] = obs.Sample{Label: rel, Value: float64(s.inst.CommitSeq(rel))}
+			}
+			return out
+		})
+	r.RegisterFunc("zidian_mvcc_versions_live",
+		"Block versions currently held in the version directory.", "gauge", "",
+		func() []obs.Sample {
+			live, _ := s.inst.MVCCVersions()
+			return []obs.Sample{{Value: float64(live)}}
+		})
+	r.RegisterFunc("zidian_mvcc_versions_reclaimed_total",
+		"Retired block versions physically reclaimed since open.", "counter", "",
+		func() []obs.Sample {
+			_, reclaimed := s.inst.MVCCVersions()
+			return []obs.Sample{{Value: float64(reclaimed)}}
+		})
 
 	r.RegisterFunc("zidian_stmt_seconds_total",
 		"Total statement wall time for the top-K templates by total time.", "counter", "template",
@@ -256,7 +296,7 @@ func (c *stmtCtx) setStmt(norm string, params []relation.Value) {
 		return
 	}
 	c.norm = norm
-	c.template, c.binds = AnonymizeSQL(norm, params)
+	c.template, c.binds = c.o.anon.anonymize(norm, params)
 }
 
 // setSession records the originating wire session for capture.
@@ -355,6 +395,11 @@ type slowEntry struct {
 	WallMicros      int64          `json:"wallMicros"`
 	QueueWaitMicros int64          `json:"queueWaitMicros"`
 	LockWaitMicros  int64          `json:"lockWaitMicros"`
+	// Snapshot renders the MVCC sequences the statement's reads pinned
+	// ("REL:seq,..."), CommitWaitMicros the time a write sat in its
+	// relation's group-commit queue.
+	Snapshot         string `json:"snapshot,omitempty"`
+	CommitWaitMicros int64  `json:"commitWaitMicros,omitempty"`
 	KV              obs.KVSnapshot `json:"kv"`
 	PostingReads    int64          `json:"postingReads"`
 	BlocksFetched   int64          `json:"blocksFetched"`
@@ -380,10 +425,14 @@ func (o *serverObs) logSlow(c *stmtCtx, rows int, wall time.Duration, err error)
 		WallMicros:      wall.Microseconds(),
 		QueueWaitMicros: c.trace.QueueWaitNanos / 1e3,
 		LockWaitMicros:  c.trace.LockWaitNanos / 1e3,
-		KV:              c.trace.KV.Snapshot(),
-		PostingReads:    c.trace.PostingReads(),
-		BlocksFetched:   c.trace.Blocks(),
-		CacheHit:        c.cacheHit,
+		KV:               c.trace.KV.Snapshot(),
+		PostingReads:     c.trace.PostingReads(),
+		BlocksFetched:    c.trace.Blocks(),
+		CacheHit:         c.cacheHit,
+		CommitWaitMicros: c.trace.CommitWaitNanos / 1e3,
+	}
+	if len(c.trace.SnapshotSeqs) > 0 {
+		e.Snapshot = zidian.RenderSnapshotSeqs(c.trace.SnapshotSeqs)
 	}
 	if err != nil {
 		e.Error = err.Error()

@@ -37,10 +37,15 @@ type Config struct {
 	PlanCacheSize int
 	// MaxLineBytes bounds one wire-protocol line (default 1 MiB).
 	MaxLineBytes int
-	// GlobalWriteLock reverts to the legacy instance-wide write gate:
-	// every INSERT/DELETE excludes every statement on every relation,
-	// instead of only its target relation's. It exists for A/B comparison
-	// (zidian-bench -exp mixed) — per-relation locking is the default.
+	// LockRegime selects the statement scheduling discipline: "mvcc" (the
+	// default — readers pin snapshots and never block on writers, writers
+	// group-commit per relation), "per-relation" (the PR 5 read/write
+	// locks, kept as the measured baseline), or "global" (the legacy
+	// instance-wide write gate). See locks.go for the exact disciplines;
+	// zidian-bench -exp mixed compares all three.
+	LockRegime string
+	// GlobalWriteLock is the legacy switch for LockRegime "global"; it
+	// applies only when LockRegime is unset.
 	GlobalWriteLock bool
 	// DisableMetrics turns the observability layer off entirely: no
 	// registry, no per-statement traces, no slow-query log, and /metrics
@@ -100,6 +105,9 @@ func (c Config) normalized() Config {
 	}
 	if c.StmtMetricsTopK <= 0 {
 		c.StmtMetricsTopK = 10
+	}
+	if c.LockRegime == "" && c.GlobalWriteLock {
+		c.LockRegime = "global"
 	}
 	return c
 }
@@ -166,13 +174,17 @@ type Server struct {
 // Start) to begin accepting, and Shutdown to drain.
 func New(inst *zidian.Instance, cfg Config) *Server {
 	cfg = cfg.normalized()
+	regime, err := parseRegime(cfg.LockRegime)
+	if err != nil {
+		panic(err) // a startup configuration error: fail fast, loudly
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		inst:    inst,
 		cfg:     cfg,
 		cache:   NewPlanCache(cfg.PlanCacheSize),
 		adm:     NewAdmission(cfg.MaxConcurrent, cfg.QueueDepth, cfg.QueueTimeout),
-		locks:   newRelLocks(cfg.GlobalWriteLock, inst.Relations()),
+		locks:   newRelLocks(regime, inst.Relations()),
 		ctx:     ctx,
 		cancel:  cancel,
 		conns:   make(map[net.Conn]struct{}),

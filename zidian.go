@@ -161,6 +161,13 @@ type Instance struct {
 	// gone, or a better access path can exist. Serving layers key their
 	// plan caches on it.
 	epoch atomic.Uint64
+
+	// committers hold the per-relation group-commit queues (commit.go).
+	// The relation set is fixed at Open, so the map is read-only after.
+	committers map[string]*committer
+	// onCommit, when set, observes every installed group commit with its
+	// batch size; the server feeds its batch-size histogram from it.
+	onCommit atomic.Pointer[func(batch int)]
 }
 
 // engineKind maps the Options.Engine name to the kv engine kind.
@@ -191,14 +198,50 @@ func Open(db *Database, schema *BaaVSchema, opts Options) (*Instance, error) {
 	}
 	idx := index.NewManager(cluster)
 	store.Index = idx
-	return &Instance{
+	in := &Instance{
 		db:      db,
 		schema:  schema,
 		store:   store,
 		checker: core.NewChecker(schema, baav.RelSchemas(db)).WithStats(store).WithIndexes(idx),
 		indexes: idx,
 		opts:    opts,
-	}, nil
+	}
+	in.committers = make(map[string]*committer, len(db.Names()))
+	for _, rel := range db.Names() {
+		in.committers[rel] = newCommitter(in, rel)
+	}
+	return in, nil
+}
+
+// SetCommitObserver registers f to be called with the batch size of every
+// installed group commit (nil unregisters). Serving layers feed their
+// commit-batch-size histogram from it.
+func (in *Instance) SetCommitObserver(f func(batch int)) {
+	if f == nil {
+		in.onCommit.Store(nil)
+		return
+	}
+	in.onCommit.Store(&f)
+}
+
+// CommitSeq returns rel's installed MVCC commit sequence — it advances by
+// one per group commit, regardless of how many statements the batch folded.
+func (in *Instance) CommitSeq(rel string) uint64 { return in.store.CommitSeq(rel) }
+
+// MVCCVersions reports the store-wide number of live block versions and
+// the total reclaimed since open.
+func (in *Instance) MVCCVersions() (live, reclaimed int64) {
+	return in.store.VersionsLive(), in.store.VersionsReclaimed()
+}
+
+// submitWrite queues one logical write on rel's group committer and waits
+// for its batch to install (or abort).
+func (in *Instance) submitWrite(rel string, op *writeOp) writeOutcome {
+	co := in.committers[rel]
+	if co == nil {
+		return writeOutcome{err: fmt.Errorf("zidian: unknown relation %q", rel)}
+	}
+	return co.submit(op)
 }
 
 // SchemaEpoch returns the instance's catalog epoch; it advances on every
@@ -256,6 +299,10 @@ type Prepared struct {
 	info  *core.PlanInfo
 	src   string
 	epoch uint64
+	// planText is the template plan rendered once at Prepare: per-query
+	// Stats reuse it instead of re-rendering the operator tree on every
+	// execution (the rendering was a top allocator under load).
+	planText string
 }
 
 // Prepare parses, checks and plans a SQL query without executing it. The
@@ -271,7 +318,11 @@ func (in *Instance) Prepare(src string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{in: in, info: info, src: src, epoch: epoch}, nil
+	planText := ""
+	if info.Root != nil {
+		planText = info.Root.String()
+	}
+	return &Prepared{in: in, info: info, src: src, epoch: epoch, planText: planText}, nil
 }
 
 // SQL returns the statement's source text.
@@ -308,12 +359,7 @@ func (p *Prepared) Relations() []string {
 }
 
 // Plan renders the compiled KBA plan (empty for statically empty queries).
-func (p *Prepared) Plan() string {
-	if p.info.Root == nil {
-		return ""
-	}
-	return p.info.Root.String()
-}
+func (p *Prepared) Plan() string { return p.planText }
 
 // Run executes the prepared plan in parallel over the BaaV store, binding
 // params into the plan template first (a statement without placeholders
@@ -336,16 +382,37 @@ func (p *Prepared) RunTraced(t *obs.Trace, params ...Value) (*Result, *Stats, er
 	if err != nil {
 		return nil, nil, err
 	}
-	res, m, err := parallel.RunKBATraced(info, in.store, in.opts.Workers, t)
+	view, release := in.pinView(p.info.Relations, t)
+	defer release()
+	res, m, err := parallel.RunKBATraced(info, view, in.opts.Workers, t)
 	if err != nil {
 		return nil, nil, err
 	}
-	return res, in.statsFor(info, m), nil
+	stats := in.statsFor(info, m)
+	stats.Plan = p.planText
+	return res, stats, nil
 }
 
-// statsFor shapes executor metrics into the facade's per-query Stats.
+// pinView pins an MVCC snapshot over the statement's relations and returns
+// the store view the executor should run against: block and posting reads
+// resolve at the pinned sequences, without taking any relation lock, and
+// concurrent group commits stay invisible until the snapshot is released.
+// The pinned sequences are recorded on the trace when one is given.
+func (in *Instance) pinView(rels []string, t *obs.Trace) (*baav.Store, func()) {
+	snap := in.store.PinSnapshot(rels)
+	view := in.store.AtSnapshot(snap)
+	view.Index = &snapshotIndex{in: in, snap: snap.Seqs}
+	if t != nil {
+		t.SnapshotSeqs = snap.Seqs
+	}
+	return view, snap.Release
+}
+
+// statsFor shapes executor metrics into the facade's per-query Stats. The
+// caller attaches the plan rendering (Prepared keeps its template rendered
+// once; EXPLAIN ANALYZE renders the bound tree).
 func (in *Instance) statsFor(info *core.PlanInfo, m *parallel.Metrics) *Stats {
-	stats := &Stats{
+	return &Stats{
 		ScanFree:     info.ScanFree,
 		Bounded:      info.Bounded(in.store, in.opts.MaxBoundedDegree),
 		Gets:         m.Gets,
@@ -353,10 +420,6 @@ func (in *Instance) statsFor(info *core.PlanInfo, m *parallel.Metrics) *Stats {
 		ShuffleBytes: m.ShuffleBytes,
 		Wall:         m.Wall,
 	}
-	if info.Root != nil {
-		stats.Plan = info.Root.String()
-	}
-	return stats
 }
 
 // Analyze is EXPLAIN ANALYZE as a prepared-statement method: it executes
@@ -384,7 +447,9 @@ func (in *Instance) analyzeInfo(t *obs.Trace, info *core.PlanInfo, params []Valu
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	ans, m, err := parallel.RunKBATraced(bound, in.store, in.opts.Workers, t)
+	view, release := in.pinView(info.Relations, t)
+	ans, m, err := parallel.RunKBATraced(bound, view, in.opts.Workers, t)
+	release()
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -392,10 +457,14 @@ func (in *Instance) analyzeInfo(t *obs.Trace, info *core.PlanInfo, params []Valu
 	lines := []string{fmt.Sprintf("[%s] %s", in.planClass(info), info.Root)}
 	lines = append(lines, obs.RenderPlan(t.Root, true)...)
 	lines = append(lines, fmt.Sprintf(
-		"totals: rows=%d wall=%s kv_ops=%d (gets=%d scan_next=%d puts=%d deletes=%d) rtt=%s posting_reads=%d blocks=%d",
+		"totals: rows=%d wall=%s kv_ops=%d (gets=%d scan_next=%d puts=%d deletes=%d) rtt=%s posting_reads=%d blocks=%d snapshot=%s",
 		len(ans.Rows), m.Wall, kvs.Ops(), kvs.Gets, kvs.ScanNexts, kvs.Puts, kvs.Deletes,
-		time.Duration(kvs.WaitNanos), t.PostingReads(), t.Blocks()))
-	return planLinesResult(lines), in.statsFor(bound, m), t, nil
+		time.Duration(kvs.WaitNanos), t.PostingReads(), t.Blocks(), RenderSnapshotSeqs(t.SnapshotSeqs)))
+	stats := in.statsFor(bound, m)
+	if bound.Root != nil {
+		stats.Plan = bound.Root.String()
+	}
+	return planLinesResult(lines), stats, t, nil
 }
 
 // planLinesResult shapes rendered plan lines as a one-column result.
@@ -461,72 +530,31 @@ func (in *Instance) planClass(info *core.PlanInfo) string {
 	return kind
 }
 
-// Insert incrementally maintains the BaaV store and every secondary index
-// on the relation for one inserted tuple: blocks and postings change in the
-// same call, so readers admitted after it see a consistent pair.
+// Insert maintains the BaaV store and every secondary index on the
+// relation for one inserted tuple through the relation's group committer:
+// blocks and postings change in one commit, so readers admitted at the new
+// sequence see a consistent pair, and readers pinned below it see neither.
 //
-// The three stores move together or not at all: the store and index
-// maintenance paths validate and read before their first write (so their
-// own errors leave them untouched), and a failure after an earlier step has
-// applied is compensated — the relation append is truncated and the blocks
-// are deleted — so an error never strands the relation, the blocks, and the
-// postings in disagreement.
+// The three stores move together or not at all — structurally, not by
+// compensation: every fallible step (validation, block and posting reads,
+// decoding) happens while staging, before anything is written, and a
+// staging failure aborts the whole batch with the relation rolled back.
 func (in *Instance) Insert(rel string, t Tuple) error { return in.insertT(nil, rel, t) }
 
-// insertT is Insert with an optional kv-op counter sink for traced writes;
-// compensation paths count too — their kv traffic is real.
+// insertT is Insert with an optional kv-op counter sink for traced writes.
 func (in *Instance) insertT(kvt *obs.KV, rel string, t Tuple) error {
-	r := in.db.Relation(rel)
-	if r == nil {
-		return fmt.Errorf("zidian: unknown relation %q", rel)
-	}
-	if err := r.Insert(t); err != nil {
-		return err
-	}
-	undoRel := func() { r.Tuples = r.Tuples[:len(r.Tuples)-1] }
-	if err := in.store.InsertT(kvt, rel, t); err != nil {
-		undoRel()
-		return err
-	}
-	if err := in.indexes.InsertT(kvt, rel, t); err != nil {
-		if derr := in.store.DeleteT(kvt, rel, t); derr != nil {
-			return fmt.Errorf("%w (and undoing the block insert failed: %v)", err, derr)
-		}
-		undoRel()
-		return err
-	}
-	return nil
+	return in.submitWrite(rel, &writeOp{insertRows: []Tuple{t}, kvt: kvt}).err
 }
 
-// Delete incrementally maintains the BaaV store and every secondary index
-// on the relation for one deleted tuple. Like Insert it keeps the three
-// stores consistent under failure: the relation's tuple slice is spliced
-// only after blocks and postings both succeeded, and a posting failure
-// restores the already-removed blocks.
+// Delete maintains the BaaV store and every secondary index on the
+// relation for one deleted tuple, through the same group committer as
+// Insert and with the same all-or-nothing staging discipline. Deleting a
+// tuple the relation does not hold is a no-op, not an error.
 func (in *Instance) Delete(rel string, t Tuple) error { return in.deleteT(nil, rel, t) }
 
 // deleteT is Delete with an optional kv-op counter sink for traced writes.
 func (in *Instance) deleteT(kvt *obs.KV, rel string, t Tuple) error {
-	r := in.db.Relation(rel)
-	if r == nil {
-		return fmt.Errorf("zidian: unknown relation %q", rel)
-	}
-	for i, u := range r.Tuples {
-		if u.Equal(t) {
-			if err := in.store.DeleteT(kvt, rel, t); err != nil {
-				return err
-			}
-			if err := in.indexes.DeleteT(kvt, rel, t); err != nil {
-				if rerr := in.store.InsertT(kvt, rel, t); rerr != nil {
-					return fmt.Errorf("%w (and restoring the deleted blocks failed: %v)", err, rerr)
-				}
-				return err
-			}
-			r.Tuples = append(r.Tuples[:i], r.Tuples[i+1:]...)
-			return nil
-		}
-	}
-	return nil
+	return in.submitWrite(rel, &writeOp{deleteTuple: &t, kvt: kvt}).err
 }
 
 // DataPreserving checks Condition (I) for the instance's schema; when it
@@ -697,33 +725,28 @@ func (in *Instance) ExecTraced(t *obs.Trace, src string, params ...Value) (*Exec
 		if err != nil {
 			return nil, err
 		}
-		for _, row := range rows {
-			if err := in.insertT(t.KVCounters(), s.Table, row); err != nil {
-				return nil, err
-			}
+		out := in.submitWrite(s.Table, &writeOp{insertRows: rows, kvt: t.KVCounters(), trace: t})
+		if out.err != nil {
+			return nil, out.err
 		}
-		return &ExecResult{Affected: len(rows), Relations: []string{s.Table}}, nil
+		return &ExecResult{Affected: out.affected, Relations: []string{s.Table}}, nil
 	case *sqlpkg.Delete:
 		rel := in.db.Relation(s.Table)
 		if rel == nil {
 			return nil, fmt.Errorf("zidian: unknown relation %q", s.Table)
 		}
-		check, err := compileDeletePreds(rel.Schema, s, params)
+		check, probe, err := compileDeletePreds(rel.Schema, s, params)
 		if err != nil {
 			return nil, err
 		}
-		var doomed []Tuple
-		for _, u := range rel.Tuples {
-			if check(u) {
-				doomed = append(doomed, u)
-			}
+		// The predicate is evaluated inside the committer, against the
+		// relation as of this operation's slot in its batch — a doomed set
+		// computed here could go stale while the op waits in the queue.
+		out := in.submitWrite(s.Table, &writeOp{deleteWhere: check, deleteProbe: probe, kvt: t.KVCounters(), trace: t})
+		if out.err != nil {
+			return nil, out.err
 		}
-		for _, d := range doomed {
-			if err := in.deleteT(t.KVCounters(), s.Table, d); err != nil {
-				return nil, err
-			}
-		}
-		return &ExecResult{Affected: len(doomed), Relations: []string{s.Table}}, nil
+		return &ExecResult{Affected: out.affected, Relations: []string{s.Table}}, nil
 	case *sqlpkg.CreateIndex:
 		rel := in.db.Relation(s.Table)
 		if rel == nil {
@@ -778,11 +801,34 @@ func (in *Instance) ExecTraced(t *obs.Trace, src string, params ...Value) (*Exec
 	}
 }
 
+// deleteProbe is the primary-key fast path for DELETE: when the WHERE
+// clause is a conjunction of equality predicates covering exactly the
+// relation's declared key, at most one tuple can match, so the committer
+// probes for it directly and stops at the first hit instead of evaluating
+// the compiled predicate chain over the whole relation — the dominant CPU
+// cost of point deletes on large relations.
+type deleteProbe struct {
+	pos  []int
+	vals []Value
+}
+
+// match reports whether t carries the probe's key values.
+func (p *deleteProbe) match(t Tuple) bool {
+	for i, at := range p.pos {
+		if relation.Compare(t[at], p.vals[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // compileDeletePreds compiles a DELETE's WHERE clause against the target
 // relation's schema; column references may be bare or table-qualified, and
 // value positions may be `?` placeholders bound from params (validated
-// against the referenced column's kind).
-func compileDeletePreds(schema *RelSchema, s *sqlpkg.Delete, params []Value) (func(Tuple) bool, error) {
+// against the referenced column's kind). The returned probe is non-nil for
+// the key-equality form described on deleteProbe; the predicate function is
+// always valid and the two agree on key-unique data.
+func compileDeletePreds(schema *RelSchema, s *sqlpkg.Delete, params []Value) (func(Tuple) bool, *deleteProbe, error) {
 	var preds []kba.Pred
 	colName := func(c sqlpkg.Col) (string, error) {
 		if c.Table != "" && c.Table != s.Table {
@@ -807,10 +853,15 @@ func compileDeletePreds(schema *RelSchema, s *sqlpkg.Delete, params []Value) (fu
 		}
 		return v, nil
 	}
+	// eq tracks attr -> literal while every predicate stays a plain
+	// equality; one non-equality (or a repeated attribute) disables the
+	// key-probe fast path.
+	eq := make(map[string]Value, len(s.Where))
+	eqOK := true
 	for _, p := range s.Where {
 		left, err := colName(p.Left)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		pred := kba.Pred{Attr: left, Op: p.Op, In: p.In}
 		switch {
@@ -821,29 +872,55 @@ func compileDeletePreds(schema *RelSchema, s *sqlpkg.Delete, params []Value) (fu
 			for _, pr := range p.InParams {
 				v, err := bindTo(&pr, left)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				pred.In = append(pred.In, v)
 			}
+			eqOK = false
 		case p.Right != nil:
 			right, err := colName(*p.Right)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			pred.RAttr = right
+			eqOK = false
 		case p.Param != nil:
 			v, err := bindTo(p.Param, left)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			pred.Lit = &v
 		case p.Lit != nil:
 			lit := *p.Lit
 			pred.Lit = &lit
 		}
+		if pred.Lit != nil {
+			if _, dup := eq[left]; dup || p.Op != sqlpkg.OpEq {
+				eqOK = false
+			} else {
+				eq[left] = *pred.Lit
+			}
+		}
 		preds = append(preds, pred)
 	}
-	return kba.CompilePreds(schema.AttrNames(), preds)
+	check, err := kba.CompilePreds(schema.AttrNames(), preds)
+	if err != nil {
+		return nil, nil, err
+	}
+	var probe *deleteProbe
+	if eqOK && len(schema.Key) > 0 && len(eq) == len(schema.Key) {
+		probe = &deleteProbe{}
+		for _, k := range schema.Key {
+			v, ok := eq[k]
+			if !ok {
+				probe = nil
+				break
+			}
+			probe.pos = append(probe.pos, schema.Index(k))
+			probe.vals = append(probe.vals, v)
+		}
+	}
+	return check, probe, nil
 }
 
 // bindInsertRows resolves an INSERT's rows, substituting bound parameters

@@ -53,7 +53,7 @@ func corruptPair(t *testing.T, in *Instance, ids []uint32, match func(relation.V
 		cluster.Scan(prefix, func(k, v []byte) bool {
 			body := k[4:]
 			if id&(1<<31) == 0 {
-				body = k[4 : len(k)-4] // block keys carry a 4-byte segment suffix
+				body = k[4 : len(k)-12] // block keys carry segment (4) + version (8) suffixes
 			}
 			dv, _, err := relation.DecodeValue(body)
 			if err != nil || !match(dv) {
@@ -68,7 +68,7 @@ func corruptPair(t *testing.T, in *Instance, ids []uint32, match func(relation.V
 		}
 		route := key
 		if id&(1<<31) == 0 {
-			route = key[:len(key)-4] // blocks route by their segment-less prefix
+			route = key[:len(key)-12] // blocks route by their suffix-less prefix
 		}
 		cluster.PutRouted(route, key, garbage)
 		return func() { cluster.PutRouted(route, key, val) }
