@@ -16,9 +16,12 @@
 //	zidian-bench -exp range              # range predicates / ordered posting scans (writes BENCH_range.json)
 //	zidian-bench -exp mixed              # mixed read/write locking regimes (writes BENCH_mixed.json)
 //	zidian-bench -exp replay             # capture→replay fidelity (writes BENCH_replay.json)
+//	zidian-bench -exp scaleout           # horizontal read scaling under the emulated service-capacity network (writes BENCH_scaleout.json)
 //
 // -scale multiplies the dataset sizes; -workers and -nodes set the cluster
-// shape (paper defaults: 8 workers, 12 nodes).
+// shape (paper defaults: 8 workers, 12 nodes). -exp scaleout sweeps its own
+// node counts (1/2/4/8) and, unless -op-delay pins one, emulated per-node
+// service times (0/200µs/1ms).
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"zidian/internal/bench"
 	"zidian/internal/server/loadgen"
@@ -33,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, 1case, 1, 2, 3p, 3d, 4, 4h, ablation, server, index, range, mixed, replay")
+		exp      = flag.String("exp", "all", "experiment: all, 1case, 1, 2, 3p, 3d, 4, 4h, ablation, server, index, range, mixed, replay, scaleout")
 		workload = flag.String("workload", "mot", "workload for exp 2/3/server: mot, airca, tpch")
 		mix      = flag.String("mix", "point", "query mix for -exp server: point, nonkey, range, mixed")
 		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
@@ -43,6 +47,7 @@ func main() {
 		clients  = flag.Int("clients", 64, "concurrent connections for -exp server")
 		requests = flag.Int("requests", 100, "statements per connection for -exp server")
 		jsonOut  = flag.String("json", "", "report path for -exp server/index/range (default BENCH_server.json / BENCH_index.json / BENCH_range.json; \"none\" disables)")
+		opDelay  = flag.Duration("op-delay", 0, "for -exp scaleout: pin the emulated per-node service time to this single value instead of sweeping 0/200µs/1ms")
 	)
 	flag.Parse()
 
@@ -84,6 +89,14 @@ func main() {
 
 	mixedBench := func(out io.Writer, cfg bench.Config) error {
 		return bench.ExpMixed(out, cfg, jsonPath("BENCH_mixed.json"), *clients, *requests)
+	}
+
+	scaleoutBench := func(out io.Writer, cfg bench.Config) error {
+		var delays []time.Duration
+		if *opDelay > 0 {
+			delays = []time.Duration{*opDelay}
+		}
+		return bench.ExpScaleout(out, cfg, jsonPath("BENCH_scaleout.json"), *clients, *requests, delays)
 	}
 
 	replayBench := func(out io.Writer, cfg bench.Config) error {
@@ -135,6 +148,8 @@ func main() {
 		run("mixed", func() error { return mixedBench(out, cfg) })
 	case "replay":
 		run("replay", func() error { return replayBench(out, cfg) })
+	case "scaleout":
+		run("scaleout", func() error { return scaleoutBench(out, cfg) })
 	case "all":
 		run("exp1-case (Table 2)", func() error { return bench.Exp1Case(out, cfg) })
 		run("exp1-overall (Table 3)", func() error { return bench.Exp1Overall(out, cfg) })
@@ -153,6 +168,7 @@ func main() {
 		run("range", func() error { return rangeBench(out, cfg) })
 		run("mixed", func() error { return mixedBench(out, cfg) })
 		run("replay", func() error { return replayBench(out, cfg) })
+		run("scaleout", func() error { return scaleoutBench(out, cfg) })
 	default:
 		fmt.Fprintf(os.Stderr, "zidian-bench: unknown experiment %q\n", *exp)
 		flag.Usage()

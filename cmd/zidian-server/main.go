@@ -37,6 +37,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
 		seed     = flag.Int64("seed", 7, "generator seed")
 		nodes    = flag.Int("nodes", 4, "storage nodes")
+		opDelay  = flag.Duration("op-delay", 0, "emulated per-node service time per storage round trip (0 disables): each node serves at most 1/delay rounds per second, so -nodes becomes a real capacity axis")
 		workers  = flag.Int("workers", 4, "per-query SQL-layer workers")
 		inflight = flag.Int("max-inflight", 8, "statements executing concurrently")
 		queue    = flag.Int("queue", 256, "admission queue depth")
@@ -70,6 +71,12 @@ func main() {
 	}
 	fmt.Printf("loaded %d relations, %d rows in %v\n",
 		len(w.DB.Names()), w.DB.Cardinality(), time.Since(start).Round(time.Millisecond))
+	if *opDelay > 0 {
+		// Installed after the bulk load so startup stays fast; from here on
+		// every storage round occupies its node for the delay.
+		inst.Store().Cluster.SetServiceDelay(*opDelay)
+		fmt.Printf("emulated storage service time: %v per node round\n", *opDelay)
+	}
 
 	cfg := server.Config{
 		MaxConcurrent:      *inflight,

@@ -294,6 +294,10 @@ func (si *snapshotIndex) LookupT(t *obs.Trace, name string, v Value) ([]Tuple, i
 	return si.in.indexes.LookupT(t, name, v)
 }
 
+func (si *snapshotIndex) LookupManyT(t *obs.Trace, name string, vs []Value) ([][]Tuple, int, error) {
+	return si.in.indexes.LookupManyT(t, name, vs)
+}
+
 func (si *snapshotIndex) Range(name string, lo, hi *Value, loIncl, hiIncl bool) ([]Value, []Tuple, int, error) {
 	return si.in.indexes.Range(name, lo, hi, loIncl, hiIncl)
 }

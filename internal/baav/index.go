@@ -17,6 +17,10 @@ type SecondaryIndex interface {
 	// count into the trace's kv sink and decoded posting lists into its
 	// posting-read counter.
 	LookupT(t *obs.Trace, name string, v relation.Value) ([]relation.Tuple, int, error)
+	// LookupManyT resolves several values' postings in one batched cluster
+	// round (the gets group by owning node); outs aligns with vs, nil for a
+	// value with no posting. gets matches one LookupT per value.
+	LookupManyT(t *obs.Trace, name string, vs []relation.Value) (outs [][]relation.Tuple, gets int, err error)
 	// Range returns the postings of every indexed value within the bounds
 	// (nil = unbounded side; loIncl/hiIncl select closed ends) as parallel
 	// slices — vals[i] posted block key keys[i] — merged into encoded

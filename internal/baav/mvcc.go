@@ -106,6 +106,7 @@ type mvccState struct {
 
 	live      atomic.Int64 // block versions currently materialized
 	reclaimed atomic.Int64 // block versions reclaimed over the store's lifetime
+	sweptBg   atomic.Int64 // versions reclaimed by the background sweep alone
 }
 
 func newMVCCState() *mvccState {
@@ -660,10 +661,20 @@ func (c *Commit) Install() {
 // watermark so index maintenance can reclaim against the same bound. Must
 // be called before Close, after Install.
 func (c *Commit) Reclaim(kvt *obs.KV) uint64 {
-	w := c.r.watermark()
+	w, _ := c.st.reclaimRel(kvt, c.r)
+	return w
+}
+
+// reclaimRel is the reclamation core shared by commits and the background
+// sweep: drop retired versions and sole-remaining tombstones at or below
+// the relation's watermark, deleting their kv pairs in one batch. The
+// caller must hold r.commitMu (only commits and the sweep touch retired
+// and tombs). Returns the watermark and the number of versions dropped.
+func (st *Store) reclaimRel(kvt *obs.KV, r *relMVCC) (w uint64, swept int) {
+	w = r.watermark()
 	var ops []kv.BatchOp
-	keep := c.r.retired[:0]
-	for _, rv := range c.r.retired {
+	keep := r.retired[:0]
+	for _, rv := range r.retired {
 		if rv.retireSeq > w {
 			keep = append(keep, rv)
 			continue
@@ -672,12 +683,13 @@ func (c *Commit) Reclaim(kvt *obs.KV) uint64 {
 		for seg := 0; seg < rv.segs; seg++ {
 			ops = append(ops, kv.BatchOp{Route: prefix, Key: verSegKey(prefix, uint32(seg), rv.ver), Delete: true})
 		}
-		c.st.mvcc.dropVersion(rv.kvName, rv.prefix, rv.ver)
+		st.mvcc.dropVersion(rv.kvName, rv.prefix, rv.ver)
+		swept++
 	}
-	c.r.retired = keep
-	keepT := c.r.tombs[:0]
-	for _, tb := range c.r.tombs {
-		es := c.st.mvcc.lookup(tb.kvName, tb.prefix)
+	r.retired = keep
+	keepT := r.tombs[:0]
+	for _, tb := range r.tombs {
+		es := st.mvcc.lookup(tb.kvName, tb.prefix)
 		if len(es) == 0 || es[0].ver > tb.ver {
 			continue // superseded or gone: the normal retire path owns its key
 		}
@@ -688,15 +700,50 @@ func (c *Commit) Reclaim(kvt *obs.KV) uint64 {
 			// can never resurrect a pre-delete version.
 			prefix := []byte(tb.prefix)
 			ops = append(ops, kv.BatchOp{Route: prefix, Key: verSegKey(prefix, 0, tb.ver), Delete: true})
-			c.st.mvcc.dropVersion(tb.kvName, tb.prefix, tb.ver)
+			st.mvcc.dropVersion(tb.kvName, tb.prefix, tb.ver)
+			swept++
 			continue
 		}
 		keepT = append(keepT, tb)
 	}
-	c.r.tombs = keepT
-	c.st.Cluster.ApplyBatch(kvt, ops)
-	return w
+	r.tombs = keepT
+	st.Cluster.ApplyBatch(kvt, ops)
+	return w, swept
 }
+
+// SweepRelation reclaims what the relation's watermark allows without
+// waiting for its next commit: a relation that stops receiving commits
+// would otherwise hold its last superseded versions (and tombstones)
+// forever, since reclamation normally rides the commit path. The sweep
+// takes the commit mutex opportunistically — TryLock, so it never delays
+// a live commit — and bumps neither the sequence nor the stamp, leaving
+// quiescence checks untouched. then, when non-nil, runs with the mutex
+// still held and the watermark the sweep reclaimed against — the hook for
+// retrying the relation's pending posting shrinks, which commits also only
+// touch under this mutex. Returns the number of versions dropped and
+// whether the sweep ran at all (false: a commit held the relation; the
+// next tick retries).
+func (st *Store) SweepRelation(rel string, then func(watermark uint64)) (swept int, ok bool) {
+	if _, known := st.Rels[rel]; !known {
+		return 0, false
+	}
+	r := st.mvcc.rel(rel)
+	if !r.commitMu.TryLock() {
+		return 0, false
+	}
+	defer r.commitMu.Unlock()
+	var w uint64
+	w, swept = st.reclaimRel(nil, r)
+	st.mvcc.sweptBg.Add(int64(swept))
+	if then != nil {
+		then(w)
+	}
+	return swept, true
+}
+
+// VersionsSwept returns the number of block versions reclaimed by the
+// background sweep (a subset of VersionsReclaimed).
+func (st *Store) VersionsSwept() int64 { return st.mvcc.sweptBg.Load() }
 
 // Close ends the commit, releasing the relation's commit mutex. If the
 // commit was not installed the stamp is rolled back so the relation reads

@@ -206,6 +206,76 @@ func (st *Store) GetBlockT(kvt *obs.KV, name string, key relation.Tuple) (blk *B
 	return blk, stats, gets, nil
 }
 
+// GetBlocksT retrieves several keyed blocks of one KV instance in a single
+// batched cluster round: every block's winning version resolves in memory,
+// then all their segments — and the probe gets of absent or tombstoned
+// blocks, keeping GetBlockT's accounting shape per key — go out as one
+// GetManyRouted, one emulated round trip and one lock acquisition per
+// owning node however many blocks the round touches. blks and statss align
+// with keys (nil where no block is visible); gets matches the sum the
+// per-key GetBlockT calls would have reported.
+func (st *Store) GetBlocksT(kvt *obs.KV, name string, keys []relation.Tuple) (blks []*Block, statss []*BlockStats, gets int, err error) {
+	if len(keys) == 0 {
+		return nil, nil, 0, nil
+	}
+	kvSchema := st.Schema.ByName(name)
+	if kvSchema == nil {
+		return nil, nil, 0, fmt.Errorf("baav: unknown KV schema %q", name)
+	}
+	id := st.ids[name]
+	seqLimit := st.snapSeqFor(kvSchema.Rel)
+	width := len(kvSchema.Val)
+
+	type want struct {
+		reqBase int
+		nsegs   int // 0: probe only (absent or tombstoned at this snapshot)
+	}
+	wants := make([]want, len(keys))
+	var reqs []kv.GetRequest
+	for i, key := range keys {
+		prefix := st.blockPrefix(id, key)
+		winner, ok := pickWinner(st.mvcc.lookup(name, string(prefix)), seqLimit)
+		switch {
+		case !ok:
+			wants[i] = want{reqBase: len(reqs)}
+			reqs = append(reqs, kv.GetRequest{Route: prefix, Key: verSegKey(prefix, 0, seqLimit)})
+			gets++
+		case winner.nsegs == 0:
+			wants[i] = want{reqBase: len(reqs)}
+			reqs = append(reqs, kv.GetRequest{Route: prefix, Key: verSegKey(prefix, 0, winner.ver)})
+			gets++
+		default:
+			wants[i] = want{reqBase: len(reqs), nsegs: winner.nsegs}
+			for seg := 0; seg < winner.nsegs; seg++ {
+				reqs = append(reqs, kv.GetRequest{Route: prefix, Key: verSegKey(prefix, uint32(seg), winner.ver)})
+			}
+			gets += winner.nsegs
+		}
+	}
+	res := st.Cluster.GetManyRouted(kvt, reqs)
+	blks = make([]*Block, len(keys))
+	statss = make([]*BlockStats, len(keys))
+	for i, w := range wants {
+		if w.nsegs == 0 {
+			continue
+		}
+		datas := make([][]byte, w.nsegs)
+		for s := 0; s < w.nsegs; s++ {
+			r := res[w.reqBase+s]
+			if !r.OK {
+				return nil, nil, gets, fmt.Errorf("baav: missing segment %d of block in %s", s, name)
+			}
+			datas[s] = r.Value
+		}
+		b, bs, err := assembleSegs(datas, width)
+		if err != nil {
+			return nil, nil, gets, err
+		}
+		blks[i], statss[i] = b, bs
+	}
+	return blks, statss, gets, nil
+}
+
 // loadBlock writes the initial (sequence-zero) version of a block during
 // Map, bypassing the commit machinery: the load is single-threaded and
 // nothing can be reading yet.
@@ -260,6 +330,33 @@ func (st *Store) ScanInstanceT(kvt *obs.KV, name string, fn func(key relation.Tu
 	return st.scanInstanceWith(name, fn, func(prefix []byte, visit func(k, v []byte) bool) {
 		st.Cluster.ScanT(kvt, prefix, visit)
 	})
+}
+
+// ScanInstanceScatterT is ScanInstanceT returning the per-node stats of the
+// scattered walk (pairs yielded, seek round trip, emptiness skips) so
+// executors can surface the fan-out in EXPLAIN ANALYZE.
+func (st *Store) ScanInstanceScatterT(kvt *obs.KV, name string, fn func(key relation.Tuple, blk *Block, stats *BlockStats) bool) ([]kv.NodeScanStat, error) {
+	var stats []kv.NodeScanStat
+	err := st.scanInstanceWith(name, fn, func(prefix []byte, visit func(k, v []byte) bool) {
+		stats = st.Cluster.ScanScatterT(kvt, prefix, visit)
+	})
+	return stats, err
+}
+
+// AnnotateScatter records a scattered walk's per-node fan-out (pairs and
+// seek round trips) on the trace's innermost open operator span; no-op
+// untraced.
+func AnnotateScatter(t *obs.Trace, stats []kv.NodeScanStat) {
+	if t == nil || len(stats) == 0 {
+		return
+	}
+	rows := make([]int64, len(stats))
+	rtt := make([]int64, len(stats))
+	for i, s := range stats {
+		rows[i] = s.Pairs
+		rtt[i] = int64(s.Wait)
+	}
+	t.AnnotateNodes(rows, rtt)
 }
 
 // ScanInstanceNode visits the keyed blocks of the instance held by one

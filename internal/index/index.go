@@ -477,6 +477,57 @@ func (m *Manager) LookupT(t *obs.Trace, name string, v relation.Value) ([]relati
 	return out, 1, nil
 }
 
+// LookupManyT resolves the postings of several values of one index in a
+// single batched cluster round: the posting gets are grouped by owning
+// node and issued as one GetManyRouted — one emulated round trip and one
+// lock acquisition per node — instead of one routed get per value. outs
+// aligns with vs (nil for a value with no posting); gets reports the
+// point lookups issued, one per value, matching LookupT's accounting.
+func (m *Manager) LookupManyT(t *obs.Trace, name string, vs []relation.Value) (outs [][]relation.Tuple, gets int, err error) {
+	if len(vs) == 0 {
+		return nil, 0, nil
+	}
+	m.mu.RLock()
+	d, ok := m.defs[name]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("index: unknown index %q", name)
+	}
+	reqs := make([]kv.GetRequest, len(vs))
+	for i, v := range vs {
+		key := postingKey(d.id, v)
+		reqs[i] = kv.GetRequest{Route: key, Key: key}
+	}
+	res := m.cluster.GetManyRouted(t.KVCounters(), reqs)
+	if t != nil {
+		// Span annotation: how the batch's posting gets spread over the
+		// storage nodes (the batch pays one round trip per non-empty slot).
+		perNode := make([]int64, m.cluster.NodeCount())
+		for _, r := range reqs {
+			perNode[m.cluster.NodeFor(r.Route)]++
+		}
+		t.AnnotateNodes(perNode, nil)
+	}
+	width := len(d.Key)
+	outs = make([][]relation.Tuple, len(vs))
+	for i, r := range res {
+		if !r.OK {
+			continue
+		}
+		t.CountPostings(1)
+		off := 0
+		for off < len(r.Value) {
+			tup, n, err := relation.DecodeTuple(r.Value[off:], width)
+			if err != nil {
+				return nil, len(vs), fmt.Errorf("index: %s: corrupt posting: %v", name, err)
+			}
+			outs[i] = append(outs[i], tup)
+			off += n
+		}
+	}
+	return outs, len(vs), nil
+}
+
 // Range returns the postings of every indexed value within the bounds, as
 // parallel slices: vals[i] is the indexed value that posted block key
 // keys[i]. A nil lo (hi) leaves that side unbounded; loIncl/hiIncl select
@@ -507,6 +558,19 @@ func (m *Manager) RangeLimit(name string, lo, hi *relation.Value, loIncl, hiIncl
 // RangeLimitT is RangeLimit with a per-statement trace sink (nil
 // untraced): scan steps count into the trace's kv counters and each
 // decoded posting list into its posting-read counter.
+//
+// Placement: the logical plan is "the posting window [lo, hi] of this
+// index"; how it fans out is decided here. One node walks it inline; more
+// scatter it as one ordered pipeline per node (kv.RangeScatterT) whose
+// streams an ascending heap merge recombines — each posting key lives on
+// exactly one node and per-node streams ascend, so popping the smallest
+// head IS the global walk, while every node's seek round trip and engine
+// walk overlaps the others. Block-key dedup happens at the merge point in
+// global (value, block key) order, so the kept posting of a block key
+// listed under several in-range values is the same whatever the node
+// count or shard layout. The value encoding is prefix-free, so per-key
+// merge order equals the (value, block key) concatenated encoded order
+// and no post-sort is needed.
 func (m *Manager) RangeLimitT(t *obs.Trace, name string, lo, hi *relation.Value, loIncl, hiIncl bool, limit int) (vals []relation.Value, keys []relation.Tuple, scanned int, err error) {
 	m.mu.RLock()
 	d, ok := m.defs[name]
@@ -526,65 +590,114 @@ func (m *Manager) RangeLimitT(t *obs.Trace, name string, lo, hi *relation.Value,
 		hiKey = postingKey(d.id, *hi)
 	}
 	width := len(d.Key)
+
+	// Open bounds: the fences are inclusive at the byte level, so an
+	// excluded endpoint shows up as its exact posting key and is skipped.
+	excluded := func(k []byte) bool {
+		return (!loIncl && loKey != nil && bytes.Equal(k, loKey)) ||
+			(!hiIncl && hiKey != nil && bytes.Equal(k, hiKey))
+	}
+
 	type entry struct {
-		ord string
 		val relation.Value
 		key relation.Tuple
 	}
 	var entries []entry
 	seen := make(map[string]bool)
 	var scanErr error
-	for node := 0; node < m.cluster.NodeCount(); node++ {
-		fromNode := 0
-		m.cluster.ScanRangeNodeT(t.KVCounters(), node, pfx, loKey, hiKey, func(k, v []byte) bool {
-			// Open bounds: the fences are inclusive at the byte level, so an
-			// excluded endpoint shows up as its exact posting key and is skipped.
-			if !loIncl && loKey != nil && bytes.Equal(k, loKey) {
-				return true
+	// process consumes one posting list in global key order; entries come
+	// out already globally ordered. Returns false to stop the walk —
+	// mid-list once the limit is reached: later postings of the list are
+	// larger in the global order, so none can belong to the answer.
+	process := func(k, v []byte) bool {
+		if excluded(k) {
+			return true
+		}
+		val, _, err := relation.DecodeValue(k[len(pfx):])
+		if err != nil {
+			scanErr = fmt.Errorf("index: %s: corrupt posting key: %v", name, err)
+			return false
+		}
+		lst, err := splitPostings(v, width)
+		if err != nil {
+			scanErr = fmt.Errorf("index: %s: %v", name, err)
+			return false
+		}
+		scanned++
+		for _, pk := range lst {
+			if seen[string(pk)] {
+				continue
 			}
-			if !hiIncl && hiKey != nil && bytes.Equal(k, hiKey) {
-				return true
-			}
-			val, _, err := relation.DecodeValue(k[len(pfx):])
+			seen[string(pk)] = true
+			tup, _, err := relation.DecodeTuple(pk, width)
 			if err != nil {
-				scanErr = fmt.Errorf("index: %s: corrupt posting key: %v", name, err)
+				scanErr = fmt.Errorf("index: %s: corrupt posting: %v", name, err)
 				return false
 			}
-			lst, err := splitPostings(v, width)
-			if err != nil {
-				scanErr = fmt.Errorf("index: %s: %v", name, err)
+			entries = append(entries, entry{val: val, key: tup})
+			if limit >= 0 && len(entries) >= limit {
 				return false
 			}
-			scanned++
-			for _, pk := range lst {
-				if seen[string(pk)] {
-					continue
+		}
+		return true
+	}
+
+	if m.cluster.NodeCount() == 1 {
+		m.cluster.ScanRangeNodeT(t.KVCounters(), 0, pfx, loKey, hiKey, process)
+		if t != nil {
+			t.AnnotateNodes([]int64{int64(scanned)}, nil)
+		}
+	} else {
+		// Producer-side LIMIT cut: a node stops after yielding limit
+		// entries net of its own duplicates. Sound: an entry that survives
+		// the global dedup survives its node's self-dedup too, so anything
+		// in the global first limit sits within the first limit
+		// self-deduped entries of its node — the cut keeps every candidate
+		// while holding each node's scan cost at O(limit), not O(range),
+		// deterministically (not subject to cancellation timing).
+		var cut func(node int, k, v []byte) bool
+		if limit > 0 {
+			counts := make([]int, m.cluster.NodeCount())
+			seenNode := make([]map[string]bool, m.cluster.NodeCount())
+			for i := range seenNode {
+				seenNode[i] = make(map[string]bool)
+			}
+			cut = func(node int, k, v []byte) bool {
+				if excluded(k) {
+					return true
 				}
-				seen[string(pk)] = true
-				t, _, err := relation.DecodeTuple(pk, width)
+				lst, err := splitPostings(v, width)
 				if err != nil {
-					scanErr = fmt.Errorf("index: %s: corrupt posting: %v", name, err)
-					return false
+					return false // the merge surfaces the error when it gets here
 				}
-				entries = append(entries, entry{ord: string(k[len(pfx):]) + string(pk), val: val, key: t})
-				fromNode++
+				for _, pk := range lst {
+					if !seenNode[node][string(pk)] {
+						seenNode[node][string(pk)] = true
+						counts[node]++
+					}
+				}
+				return counts[node] < limit
 			}
-			// Whole posting lists only: entries within one list are already
-			// key-ordered, so the cut stays sound at list granularity.
-			return limit < 0 || fromNode < limit
+		}
+		sc := m.cluster.RangeScatterT(t.KVCounters(), pfx, loKey, hiKey, cut)
+		// Per-node posting-list counts are taken at the merge point (the
+		// global walk the consumer actually processed), so they are as
+		// deterministic as scanned itself.
+		perNode := make([]int64, m.cluster.NodeCount())
+		mergeRangeStreams(sc, func(node int, k, v []byte) bool {
+			before := scanned
+			ok := process(k, v)
+			perNode[node] += int64(scanned - before)
+			return ok
 		})
-		if scanErr != nil {
-			return nil, nil, scanned, scanErr
+		if t != nil {
+			t.AnnotateNodes(perNode, nil)
 		}
 	}
-	t.CountPostings(scanned)
-	// Nodes are walked one after another, each in key order; merge to one
-	// global (value, block key) order so results are deterministic across
-	// engine kinds and shard layouts.
-	sort.Slice(entries, func(i, j int) bool { return entries[i].ord < entries[j].ord })
-	if limit >= 0 && len(entries) > limit {
-		entries = entries[:limit]
+	if scanErr != nil {
+		return nil, nil, scanned, scanErr
 	}
+	t.CountPostings(scanned)
 	vals = make([]relation.Value, len(entries))
 	keys = make([]relation.Tuple, len(entries))
 	for i, e := range entries {
@@ -592,6 +705,51 @@ func (m *Manager) RangeLimitT(t *obs.Trace, name string, lo, hi *relation.Value,
 		keys[i] = e.key
 	}
 	return vals, keys, scanned, nil
+}
+
+// mergeRangeStreams recombines a range scatter's per-node ordered streams
+// into one globally key-ordered walk: pop the smallest head among the live
+// streams, refill that stream, repeat. Node counts are small, so a linear
+// min over stream heads beats a heap. fn receives the node each pair came
+// from so callers can account fan-out. Always cancels the scatter before
+// returning so an early stop aborts the in-flight node walks.
+func mergeRangeStreams(sc *kv.RangeScatter, fn func(node int, k, v []byte) bool) {
+	defer sc.Cancel()
+	chunks := make([][]kv.Pair, len(sc.Streams))
+	at := make([]int, len(sc.Streams))
+	live := make([]bool, len(sc.Streams))
+	// refill ensures stream i has a head pair, blocking on its channel;
+	// reports false once the stream is exhausted.
+	refill := func(i int) bool {
+		for at[i] >= len(chunks[i]) {
+			c, ok := <-sc.Streams[i].C
+			if !ok {
+				return false
+			}
+			chunks[i], at[i] = c, 0
+		}
+		return true
+	}
+	for i := range sc.Streams {
+		live[i] = refill(i)
+	}
+	for {
+		min := -1
+		for i := range live {
+			if live[i] && (min < 0 || bytes.Compare(chunks[i][at[i]].Key, chunks[min][at[min]].Key) < 0) {
+				min = i
+			}
+		}
+		if min < 0 {
+			return
+		}
+		p := chunks[min][at[min]]
+		at[min]++
+		if !fn(min, p.Key, p.Value) {
+			return
+		}
+		live[min] = refill(min)
+	}
 }
 
 // IndexOn reports the index covering rel(attr): its name and the block-key

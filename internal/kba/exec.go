@@ -149,7 +149,7 @@ func (e *Executor) runScan(n *ScanKV) (*KeyedRel, error) {
 		KeyAttrs: qualify(n.Alias, kvSchema.Key),
 		ValAttrs: qualify(n.Alias, kvSchema.Val),
 	}
-	err := e.Store.ScanInstanceT(e.kv(), n.KV, func(key relation.Tuple, blk *baav.Block, _ *baav.BlockStats) bool {
+	stats, err := e.Store.ScanInstanceScatterT(e.kv(), n.KV, func(key relation.Tuple, blk *baav.Block, _ *baav.BlockStats) bool {
 		rows := blk.Expand()
 		e.Stats.ScanBlocks++
 		e.Trace.CountBlocks(1)
@@ -161,6 +161,7 @@ func (e *Executor) runScan(n *ScanKV) (*KeyedRel, error) {
 		out.Blocks = append(out.Blocks, KeyedBlock{Key: key, Rows: rows})
 		return true
 	})
+	baav.AnnotateScatter(e.Trace, stats)
 	return out, err
 }
 
@@ -172,13 +173,15 @@ func (e *Executor) runIndexLookup(n *IndexLookup) (*KeyedRel, error) {
 		return nil, fmt.Errorf("kba: plan uses index %q but the store has no index catalog", n.Index)
 	}
 	out := &KeyedRel{KeyAttrs: append([]string{n.ValAttr}, n.KeyAttrs...)}
-	for _, v := range n.Values {
-		keys, gets, err := e.Store.Index.LookupT(e.Trace, n.Index, v)
-		if err != nil {
-			return nil, err
-		}
-		e.Stats.Gets += int64(gets)
-		for _, k := range keys {
+	// The whole IN-list resolves in one batched round: the posting gets
+	// group by owning node instead of paying one round trip per value.
+	lists, gets, err := e.Store.Index.LookupManyT(e.Trace, n.Index, n.Values)
+	if err != nil {
+		return nil, err
+	}
+	e.Stats.Gets += int64(gets)
+	for i, v := range n.Values {
+		for _, k := range lists[i] {
 			if len(k) != len(n.KeyAttrs) {
 				return nil, fmt.Errorf("kba: index %q posts %d key attributes, plan expects %d",
 					n.Index, len(k), len(n.KeyAttrs))
@@ -292,30 +295,43 @@ func (e *Executor) runExtend(n *Extend) (*KeyedRel, error) {
 		KeyAttrs: inAttrs,
 		ValAttrs: qualify(n.Alias, kvSchema.Val),
 	}
-	// One get per distinct key: deduplicate lookups within the operator.
-	cache := make(map[string][]relation.Tuple)
-	for _, row := range in.Flatten() {
+	// One get per distinct key, and all of them in one batched round: the
+	// operator's whole fetch set goes out as a single GetBlocksT, which
+	// groups segment gets by owning node instead of paying one round trip
+	// per block.
+	inRows := in.Flatten()
+	var keys []relation.Tuple
+	at := make(map[string]int) // key string -> index into keys
+	for _, row := range inRows {
 		key := row.Project(keyIdx)
 		ks := relation.KeyString(key)
-		rows, ok := cache[ks]
-		if !ok {
-			blk, _, gets, err := e.Store.GetBlockT(e.kv(), n.KV, key)
-			if err != nil {
-				return nil, err
-			}
-			e.Stats.Gets += int64(gets)
-			if blk != nil {
-				rows = blk.Expand()
-				e.Stats.Blocks++
-				e.Trace.CountBlocks(1)
-				e.Stats.DataValues += int64(len(rows)*len(kvSchema.Val) + len(key))
-				e.Stats.BytesRead += int64(key.SizeBytes())
-				for _, r := range rows {
-					e.Stats.BytesRead += int64(r.SizeBytes())
-				}
-			}
-			cache[ks] = rows
+		if _, ok := at[ks]; !ok {
+			at[ks] = len(keys)
+			keys = append(keys, key)
 		}
+	}
+	blks, _, gets, err := e.Store.GetBlocksT(e.kv(), n.KV, keys)
+	if err != nil {
+		return nil, err
+	}
+	e.Stats.Gets += int64(gets)
+	cache := make(map[string][]relation.Tuple, len(keys))
+	for i, key := range keys {
+		var rows []relation.Tuple
+		if blk := blks[i]; blk != nil {
+			rows = blk.Expand()
+			e.Stats.Blocks++
+			e.Trace.CountBlocks(1)
+			e.Stats.DataValues += int64(len(rows)*len(kvSchema.Val) + len(key))
+			e.Stats.BytesRead += int64(key.SizeBytes())
+			for _, r := range rows {
+				e.Stats.BytesRead += int64(r.SizeBytes())
+			}
+		}
+		cache[relation.KeyString(key)] = rows
+	}
+	for _, row := range inRows {
+		rows := cache[relation.KeyString(row.Project(keyIdx))]
 		if len(rows) == 0 {
 			continue // no matching block: ∝ joins away the row
 		}

@@ -33,6 +33,16 @@ type Cluster struct {
 	// Benchmarks that study how locking regimes overlap storage waits
 	// (zidian-bench -exp mixed) opt in via SetOpDelay; the default is off.
 	opDelayNanos atomic.Int64
+	// serviceDelayNanos, when non-zero, upgrades the emulated network from
+	// pure latency to per-node service capacity: each storage round at a
+	// node holds that node's service slot for the delay, so one node
+	// sustains at most 1/delay rounds per second no matter how many
+	// statements are in flight. This is the model under which horizontal
+	// read scaling is even observable — adding nodes adds aggregate service
+	// capacity, exactly like adding region servers to an HBase or Cassandra
+	// deployment — where the latency-only model gives every node infinite
+	// throughput. When set it takes precedence over opDelayNanos.
+	serviceDelayNanos atomic.Int64
 	// perOpBatchDelay makes ApplyBatch/GetManyRouted charge the emulated
 	// delay once per operation instead of once per batched round — the wire
 	// behavior of the pre-batching write path, where every put and posting
@@ -44,6 +54,14 @@ type Cluster struct {
 // SetOpDelay installs an emulated per-operation storage latency (zero
 // disables). Safe to change at runtime.
 func (c *Cluster) SetOpDelay(d time.Duration) { c.opDelayNanos.Store(int64(d)) }
+
+// SetServiceDelay installs an emulated per-node service time (zero
+// disables): every storage round trip occupies the target node for d, so a
+// node's throughput is capped at 1/d rounds per second and concurrent
+// statements queue behind each other at hot nodes. The scale-out bench
+// (zidian-bench -exp scaleout) and `zidian-server -op-delay` use it to
+// make node count a real capacity axis. Takes precedence over SetOpDelay.
+func (c *Cluster) SetServiceDelay(d time.Duration) { c.serviceDelayNanos.Store(int64(d)) }
 
 // SetPerOpBatchDelay switches the emulated-delay cost model of batched
 // calls between one round trip per node group (default, the batched-RPC
@@ -61,17 +79,34 @@ func (c *Cluster) opWait(t *obs.KV) {
 	}
 }
 
-// batchWait models one batched round issued to `nodes` storage nodes
-// concurrently, the way a real client library fans out per-node RPCs: the
-// wall-clock wait is a single round trip regardless of fan-out, while the
-// trace still charges one emulated RTT per node touched (the traffic the
-// deployment pays).
-func (c *Cluster) batchWait(t *obs.KV, nodes, ops int) {
-	d := c.opDelayNanos.Load()
-	if d <= 0 || nodes <= 0 {
+// roundWait models one storage round trip to node ni. Under the service
+// model the round occupies the node's service slot for the delay —
+// concurrent rounds to the same node queue, rounds to different nodes
+// proceed in parallel; under the latency-only model it is a plain sleep.
+func (c *Cluster) roundWait(t *obs.KV, ni int) {
+	if sd := c.serviceDelayNanos.Load(); sd > 0 {
+		n := c.nodes[ni]
+		n.svc.Lock()
+		time.Sleep(time.Duration(sd))
+		n.svc.Unlock()
+		t.CountWait(time.Duration(sd))
 		return
 	}
-	if c.perOpBatchDelay.Load() {
+	c.opWait(t)
+}
+
+// batchWait models one batched round issued to the nodes of byNode
+// concurrently, the way a real client library fans out per-node RPCs: the
+// wall-clock wait is a single round trip regardless of fan-out (under the
+// service model, the slowest node's queue), while the trace still charges
+// one emulated RTT per node touched (the traffic the deployment pays).
+func (c *Cluster) batchWait(t *obs.KV, byNode map[int][]int, ops int) {
+	d := c.opDelayNanos.Load()
+	sd := c.serviceDelayNanos.Load()
+	if (d <= 0 && sd <= 0) || len(byNode) == 0 {
+		return
+	}
+	if c.perOpBatchDelay.Load() && d > 0 {
 		// Legacy cost model: every operation is its own round trip, paid
 		// serially. One sleep covers the sum to spare the timer; the trace
 		// charges per op.
@@ -81,8 +116,38 @@ func (c *Cluster) batchWait(t *obs.KV, nodes, ops int) {
 		}
 		return
 	}
+	if sd > 0 {
+		// Service model: each involved node's round occupies that node's
+		// service slot; the rounds run concurrently and the batch returns
+		// when the slowest completes.
+		if len(byNode) == 1 {
+			for ni := range byNode {
+				n := c.nodes[ni]
+				n.svc.Lock()
+				time.Sleep(time.Duration(sd))
+				n.svc.Unlock()
+			}
+		} else {
+			var wg sync.WaitGroup
+			for ni := range byNode {
+				wg.Add(1)
+				go func(ni int) {
+					defer wg.Done()
+					n := c.nodes[ni]
+					n.svc.Lock()
+					time.Sleep(time.Duration(sd))
+					n.svc.Unlock()
+				}(ni)
+			}
+			wg.Wait()
+		}
+		for range byNode {
+			t.CountWait(time.Duration(sd))
+		}
+		return
+	}
 	time.Sleep(time.Duration(d))
-	for i := 0; i < nodes; i++ {
+	for range byNode {
 		t.CountWait(time.Duration(d))
 	}
 }
@@ -91,6 +156,11 @@ type node struct {
 	mu      sync.RWMutex
 	eng     Engine
 	metrics Metrics
+	// svc serializes emulated service rounds at this node when the cluster
+	// runs under the service-capacity delay model (SetServiceDelay). It is
+	// deliberately separate from mu: the service wait stands in for the
+	// remote node's request queue and must not extend data-lock hold times.
+	svc sync.Mutex
 }
 
 // lockScan acquires the cheapest lock that makes a scan safe on this node's
@@ -142,8 +212,9 @@ func (c *Cluster) GetRouted(route, key []byte) ([]byte, bool) {
 // GetRoutedT is GetRouted with a per-statement trace sink (nil for
 // untraced callers); the trace counts exactly what the node metrics count.
 func (c *Cluster) GetRoutedT(t *obs.KV, route, key []byte) ([]byte, bool) {
-	c.opWait(t)
-	n := c.nodes[c.NodeFor(route)]
+	ni := c.NodeFor(route)
+	c.roundWait(t, ni)
+	n := c.nodes[ni]
 	n.mu.RLock()
 	v, ok := n.eng.Get(key)
 	n.metrics.countGet(len(v))
@@ -160,8 +231,9 @@ func (c *Cluster) PutRouted(route, key, value []byte) { c.PutRoutedT(nil, route,
 
 // PutRoutedT is PutRouted with a per-statement trace sink.
 func (c *Cluster) PutRoutedT(t *obs.KV, route, key, value []byte) {
-	c.opWait(t)
-	n := c.nodes[c.NodeFor(route)]
+	ni := c.NodeFor(route)
+	c.roundWait(t, ni)
+	n := c.nodes[ni]
 	n.mu.Lock()
 	n.eng.Put(key, value)
 	n.metrics.countPut(len(key) + len(value))
@@ -177,8 +249,9 @@ func (c *Cluster) DeleteRouted(route, key []byte) bool { return c.DeleteRoutedT(
 
 // DeleteRoutedT is DeleteRouted with a per-statement trace sink.
 func (c *Cluster) DeleteRoutedT(t *obs.KV, route, key []byte) bool {
-	c.opWait(t)
-	n := c.nodes[c.NodeFor(route)]
+	ni := c.NodeFor(route)
+	c.roundWait(t, ni)
+	n := c.nodes[ni]
 	n.mu.Lock()
 	ok := n.eng.Delete(key)
 	n.metrics.countDelete()
@@ -210,7 +283,7 @@ func (c *Cluster) ApplyBatch(t *obs.KV, ops []BatchOp) {
 		return
 	}
 	byNode := groupByNode(c, ops, func(op BatchOp) []byte { return op.Route })
-	c.batchWait(t, len(byNode), len(ops)) // one concurrent round: per-node RTTs overlap
+	c.batchWait(t, byNode, len(ops)) // one concurrent round: per-node RTTs overlap
 	for ni, idxs := range byNode {
 		n := c.nodes[ni]
 		n.mu.Lock()
@@ -253,7 +326,7 @@ func (c *Cluster) GetManyRouted(t *obs.KV, reqs []GetRequest) []GetResult {
 		return out
 	}
 	byNode := groupByNode(c, reqs, func(r GetRequest) []byte { return r.Route })
-	c.batchWait(t, len(byNode), len(reqs)) // one concurrent round: per-node RTTs overlap
+	c.batchWait(t, byNode, len(reqs)) // one concurrent round: per-node RTTs overlap
 	for ni, idxs := range byNode {
 		n := c.nodes[ni]
 		n.mu.RLock()
@@ -285,26 +358,13 @@ func (c *Cluster) Scan(prefix []byte, fn func(key, value []byte) bool) {
 	c.ScanT(nil, prefix, fn)
 }
 
-// ScanT is Scan with a per-statement trace sink.
+// ScanT is Scan with a per-statement trace sink. The walk is scattered:
+// every node's seek round trip and engine walk runs concurrently (see
+// ScanScatterT), while delivery stays node-contiguous in node order, so
+// callers observe exactly the serial walk's output. fn must not issue
+// cluster operations (see scatter.go).
 func (c *Cluster) ScanT(t *obs.KV, prefix []byte, fn func(key, value []byte) bool) {
-	for _, n := range c.nodes {
-		stop := false
-		c.opWait(t) // one emulated seek round trip per node
-		unlock := n.lockScan()
-		n.eng.Scan(prefix, func(k, v []byte) bool {
-			n.metrics.countScanNext(len(v))
-			t.CountScanNext(len(v))
-			if !fn(k, v) {
-				stop = true
-				return false
-			}
-			return true
-		})
-		unlock()
-		if stop {
-			return
-		}
-	}
+	c.ScanScatterT(t, prefix, fn)
 }
 
 // ScanRange visits every pair whose key k satisfies the window — k starts
@@ -336,8 +396,19 @@ func (c *Cluster) ScanRangeNode(i int, prefix, lo, hi []byte, fn func(key, value
 // ScanRangeNodeT is ScanRangeNode with a per-statement trace sink. The
 // trace counts a scan step only after the prefix check admits the pair —
 // the same fence the node metrics apply — so traced totals always equal
-// the cluster-wide metric delta for the statement.
+// the cluster-wide metric delta for the statement. A node whose engine
+// holds no keys under the prefix is skipped without the seek round trip.
 func (c *Cluster) ScanRangeNodeT(t *obs.KV, i int, prefix, lo, hi []byte, fn func(key, value []byte) bool) bool {
+	if c.nodePrefixEmpty(c.nodes[i], prefix) {
+		return true
+	}
+	return c.scanRangeNode(t, i, prefix, lo, hi, fn)
+}
+
+// scanRangeNode is the core bounded walk of one node: seek round trip,
+// lock, engine range scan with prefix fencing and per-pair accounting.
+// Callers are expected to have applied the prefix-emptiness skip.
+func (c *Cluster) scanRangeNode(t *obs.KV, i int, prefix, lo, hi []byte, fn func(key, value []byte) bool) bool {
 	start := prefix
 	if bytes.Compare(lo, prefix) > 0 {
 		start = lo
@@ -352,7 +423,7 @@ func (c *Cluster) ScanRangeNodeT(t *obs.KV, i int, prefix, lo, hi []byte, fn fun
 	}
 	n := c.nodes[i]
 	stopped := false
-	c.opWait(t) // one emulated seek round trip per node
+	c.roundWait(t, i) // one emulated seek round trip per node
 	unlock := n.lockScan()
 	n.eng.ScanRange(start, hi, func(k, v []byte) bool {
 		if !bytes.HasPrefix(k, prefix) {
@@ -391,10 +462,15 @@ func (c *Cluster) ScanNode(i int, prefix []byte, fn func(key, value []byte) bool
 	c.ScanNodeT(nil, i, prefix, fn)
 }
 
-// ScanNodeT is ScanNode with a per-statement trace sink.
+// ScanNodeT is ScanNode with a per-statement trace sink. A node whose
+// engine holds no keys under the prefix is skipped without the seek round
+// trip.
 func (c *Cluster) ScanNodeT(t *obs.KV, i int, prefix []byte, fn func(key, value []byte) bool) {
 	n := c.nodes[i]
-	c.opWait(t) // one emulated seek round trip per node
+	if c.nodePrefixEmpty(n, prefix) {
+		return
+	}
+	c.roundWait(t, i) // one emulated seek round trip per node
 	defer n.lockScan()()
 	n.eng.Scan(prefix, func(k, v []byte) bool {
 		n.metrics.countScanNext(len(v))

@@ -3,6 +3,7 @@ package kv
 import (
 	"bytes"
 	"sort"
+	"strings"
 )
 
 // Engine is a single storage node: a dictionary from byte-string keys to
@@ -32,6 +33,13 @@ type Engine interface {
 	// cluster may run it under a shared (read) lock concurrently with gets.
 	// Engines that sort or merge lazily on scan must return false.
 	ReadOnlyScan() bool
+	// PrefixEmpty reports whether the engine definitely holds no key
+	// carrying prefix. It must not mutate engine state (the cluster probes
+	// it under the shared lock) and may answer conservatively: true is a
+	// guarantee of emptiness, false only means "maybe non-empty". The
+	// cluster uses it to skip a node's emulated seek round trip when a scan
+	// prefix provably misses the node.
+	PrefixEmpty(prefix []byte) bool
 }
 
 // EngineKind selects one of the engine implementations, each standing in for
@@ -196,3 +204,19 @@ func (e *hashEngine) Len() int { return len(e.m) }
 func (e *hashEngine) SizeBytes() int64 { return e.size }
 
 func (e *hashEngine) ReadOnlyScan() bool { return true }
+
+// PrefixEmpty: one binary search over the sorted keys plus a linear pass
+// over the small pending buffer, no mutation.
+func (e *hashEngine) PrefixEmpty(prefix []byte) bool {
+	p := string(prefix)
+	i := sort.SearchStrings(e.keys, p)
+	if i < len(e.keys) && strings.HasPrefix(e.keys[i], p) {
+		return false
+	}
+	for _, k := range e.pending {
+		if strings.HasPrefix(k, p) {
+			return false
+		}
+	}
+	return true
+}

@@ -3,6 +3,7 @@ package kv
 import (
 	"bytes"
 	"sort"
+	"strings"
 )
 
 // lsmEngine is a deliberately small log-structured merge engine: writes go
@@ -195,3 +196,24 @@ func (e *lsmEngine) SizeBytes() int64 {
 // ReadOnlyScan: the merge-on-scan snapshot reads the memtable and runs
 // without flushing or compacting, so scans are pure reads.
 func (e *lsmEngine) ReadOnlyScan() bool { return true }
+
+// PrefixEmpty: a binary search per run plus a linear pass over the
+// memtable, no mutation. Tombstoned keys count as "maybe non-empty" —
+// distinguishing a tombstone from live shadowed versions would cost the
+// walk the probe exists to avoid, and false only forfeits the skip.
+func (e *lsmEngine) PrefixEmpty(prefix []byte) bool {
+	p := string(prefix)
+	for i := range e.runs {
+		r := &e.runs[i]
+		j := sort.SearchStrings(r.keys, p)
+		if j < len(r.keys) && strings.HasPrefix(r.keys[j], p) {
+			return false
+		}
+	}
+	for k := range e.mem {
+		if strings.HasPrefix(k, p) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,261 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The scatter differential suite: the concurrent per-node pipelines must be
+// observationally identical to the serial per-node walks they replaced —
+// byte-for-byte, across engines and node counts, under -race.
+
+var scatterNodeCounts = []int{1, 2, 4, 8}
+
+// scatterFixture loads a deterministic keyspace: nPairs keys under prefix
+// "blk/", plus decoys under "idx/" and "zzz/" that a prefix walk must never
+// leak. Values vary in size so chunk boundaries land at different offsets
+// per node count.
+func scatterFixture(kind EngineKind, nodes, nPairs int) *Cluster {
+	c := NewCluster(kind, nodes)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < nPairs; i++ {
+		k := []byte(fmt.Sprintf("blk/%05d", i))
+		v := make([]byte, 1+rng.Intn(48))
+		rng.Read(v)
+		c.Put(k, v)
+		c.Put([]byte(fmt.Sprintf("idx/%05d", i)), []byte{byte(i)})
+	}
+	c.Put([]byte("zzz/tail"), []byte("tail"))
+	return c
+}
+
+// collectPairs renders a pair sequence into one comparable byte string,
+// preserving order.
+func collectPairs(pairs []Pair) string {
+	var b bytes.Buffer
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "%q=%x\n", p.Key, p.Value)
+	}
+	return b.String()
+}
+
+// serialScan is the reference implementation the scatter must match: walk
+// each node in node order, pairs in key order within the node.
+func serialScan(c *Cluster, prefix []byte) []Pair {
+	var out []Pair
+	for i := 0; i < c.NodeCount(); i++ {
+		c.ScanNodeT(nil, i, prefix, func(k, v []byte) bool {
+			out = append(out, Pair{Key: k, Value: v})
+			return true
+		})
+	}
+	return out
+}
+
+func TestScanScatterMatchesSerialWalk(t *testing.T) {
+	prefix := []byte("blk/")
+	for _, kind := range allKinds {
+		for _, nodes := range scatterNodeCounts {
+			c := scatterFixture(kind, nodes, 300)
+			want := collectPairs(serialScan(c, prefix))
+
+			var got []Pair
+			stats := c.ScanScatterT(nil, prefix, func(k, v []byte) bool {
+				got = append(got, Pair{Key: k, Value: v})
+				return true
+			})
+			if collectPairs(got) != want {
+				t.Fatalf("%v/%d nodes: scattered walk diverged from serial walk (%d vs %d pairs)",
+					kind, nodes, len(got), len(serialScan(c, prefix)))
+			}
+			if len(stats) != nodes {
+				t.Fatalf("%v/%d nodes: %d stat entries", kind, nodes, len(stats))
+			}
+			var statPairs int64
+			for _, s := range stats {
+				statPairs += s.Pairs
+			}
+			if statPairs != int64(len(got)) {
+				t.Fatalf("%v/%d nodes: stats count %d pairs, delivered %d", kind, nodes, statPairs, len(got))
+			}
+		}
+	}
+}
+
+// TestScanScatterEarlyStop: a consumer that stops after k pairs must have
+// seen exactly the serial walk's first k pairs, and the in-flight node
+// pipelines must wind down cleanly (covered by -race and goroutine leak
+// checks via wg.Wait inside the scatter).
+func TestScanScatterEarlyStop(t *testing.T) {
+	prefix := []byte("blk/")
+	for _, kind := range allKinds {
+		for _, nodes := range scatterNodeCounts {
+			c := scatterFixture(kind, nodes, 300)
+			ref := serialScan(c, prefix)
+			for _, stop := range []int{0, 1, 63, 64, 65, 200} {
+				var got []Pair
+				c.ScanScatterT(nil, prefix, func(k, v []byte) bool {
+					got = append(got, Pair{Key: k, Value: v})
+					return len(got) < stop
+				})
+				wantN := stop
+				if stop == 0 {
+					wantN = 1 // fn sees the first pair, then stops
+				}
+				if wantN > len(ref) {
+					wantN = len(ref)
+				}
+				if collectPairs(got) != collectPairs(ref[:wantN]) {
+					t.Fatalf("%v/%d nodes stop=%d: early-stopped walk is not a prefix of the serial walk",
+						kind, nodes, stop)
+				}
+			}
+		}
+	}
+}
+
+// TestScanScatterEmptyPrefixSkipsNodes: a prefix no node holds must answer
+// without paying any seek round trip — every engine answers prefix-emptiness
+// definitively (one binary search), so all nodes report Skipped and the
+// cluster-wide scan metrics stay untouched.
+func TestScanScatterEmptyPrefixSkipsNodes(t *testing.T) {
+	for _, kind := range allKinds {
+		for _, nodes := range scatterNodeCounts {
+			c := scatterFixture(kind, nodes, 100)
+			before := c.Metrics()
+			stats := c.ScanScatterT(nil, []byte("nope/"), func(k, v []byte) bool {
+				t.Fatalf("%v/%d nodes: pair %q under an absent prefix", kind, nodes, k)
+				return false
+			})
+			for i, s := range stats {
+				if !s.Skipped || s.Pairs != 0 {
+					t.Fatalf("%v/%d nodes: node %d not skipped (%+v)", kind, nodes, i, s)
+				}
+			}
+			if d := c.Metrics().Sub(before); d.ScanNexts != 0 {
+				t.Fatalf("%v/%d nodes: absent-prefix scan took %d scan steps", kind, nodes, d.ScanNexts)
+			}
+		}
+	}
+}
+
+// TestRangeScatterStreamsMatchSerial: each node stream of a scattered range
+// walk must deliver exactly the pairs of that node's serial bounded walk, in
+// the same ascending order.
+func TestRangeScatterStreamsMatchSerial(t *testing.T) {
+	prefix := []byte("blk/")
+	windows := []struct{ lo, hi string }{
+		{"", ""},                       // whole prefix
+		{"blk/00100", "blk/00199"},     // interior two-sided
+		{"blk/00250", ""},              // half-open upper
+		{"", "blk/00049"},              // half-open lower
+		{"blk/00200", "blk/00100"},     // inverted: empty
+		{"blk/00123x", "blk/00123xzz"}, // gap: empty
+	}
+	for _, kind := range allKinds {
+		for _, nodes := range scatterNodeCounts {
+			c := scatterFixture(kind, nodes, 300)
+			for _, w := range windows {
+				var lo, hi []byte
+				if w.lo != "" {
+					lo = []byte(w.lo)
+				}
+				if w.hi != "" {
+					hi = []byte(w.hi)
+				}
+				s := c.RangeScatterT(nil, prefix, lo, hi, nil)
+				for i := 0; i < nodes; i++ {
+					var want []Pair
+					c.ScanRangeNodeT(nil, i, prefix, lo, hi, func(k, v []byte) bool {
+						want = append(want, Pair{Key: k, Value: v})
+						return true
+					})
+					var got []Pair
+					for chunk := range s.Streams[i].C {
+						got = append(got, chunk...)
+					}
+					if collectPairs(got) != collectPairs(want) {
+						t.Fatalf("%v/%d nodes window [%q,%q] node %d: stream diverged from serial walk (%d vs %d pairs)",
+							kind, nodes, w.lo, w.hi, i, len(got), len(want))
+					}
+				}
+				s.Cancel()
+			}
+		}
+	}
+}
+
+// TestRangeScatterProducerCut: the producer-side early stop must end a
+// node's stream after the pair that tripped it, leaving other nodes intact.
+func TestRangeScatterProducerCut(t *testing.T) {
+	for _, kind := range allKinds {
+		c := scatterFixture(kind, 4, 300)
+		const perNode = 5
+		counts := make([]int, 4)
+		s := c.RangeScatterT(nil, []byte("blk/"), nil, nil, func(node int, k, v []byte) bool {
+			counts[node]++ // producer-side: one goroutine per node, slots disjoint
+			return counts[node] < perNode
+		})
+		for i := 0; i < 4; i++ {
+			var got []Pair
+			for chunk := range s.Streams[i].C {
+				got = append(got, chunk...)
+			}
+			var want []Pair
+			c.ScanRangeNodeT(nil, i, []byte("blk/"), nil, nil, func(k, v []byte) bool {
+				want = append(want, Pair{Key: k, Value: v})
+				return len(want) < perNode
+			})
+			if collectPairs(got) != collectPairs(want) {
+				t.Fatalf("%v node %d: cut stream is not the serial walk's first %d pairs", kind, i, perNode)
+			}
+		}
+		s.Cancel()
+	}
+}
+
+// TestRangeScatterCancelMidStream: canceling with undrained streams must
+// release every producer (Cancel blocks until the pipelines exit; a stuck
+// producer hangs the test).
+func TestRangeScatterCancelMidStream(t *testing.T) {
+	for _, kind := range allKinds {
+		c := scatterFixture(kind, 4, 2000)
+		s := c.RangeScatterT(nil, []byte("blk/"), nil, nil, nil)
+		// Consume one chunk from one stream, then walk away.
+		for range s.Streams[0].C {
+			break
+		}
+		s.Cancel()
+		// The cluster must be fully usable afterwards: locks released.
+		c.Put([]byte("blk/99999"), []byte("post-cancel"))
+		if _, ok := c.Get([]byte("blk/99999")); !ok {
+			t.Fatalf("%v: cluster unusable after mid-stream cancel", kind)
+		}
+	}
+}
+
+// TestGetManyRoutedMatchesPointGets: the batched routed fetch must agree
+// with one-at-a-time GetRouted on hits, misses, and routed (block-prefix)
+// keys, while touching each owning node once.
+func TestGetManyRoutedMatchesPointGets(t *testing.T) {
+	for _, kind := range allKinds {
+		for _, nodes := range scatterNodeCounts {
+			c := scatterFixture(kind, nodes, 200)
+			var reqs []GetRequest
+			for i := 0; i < 250; i += 3 { // past 200: misses included
+				k := []byte(fmt.Sprintf("blk/%05d", i))
+				reqs = append(reqs, GetRequest{Route: k, Key: k})
+			}
+			got := c.GetManyRouted(nil, reqs)
+			for i, r := range reqs {
+				wantV, wantOK := c.GetRouted(r.Route, r.Key)
+				if got[i].OK != wantOK || !bytes.Equal(got[i].Value, wantV) {
+					t.Fatalf("%v/%d nodes req %d (%q): batched (%x,%v) vs point (%x,%v)",
+						kind, nodes, i, r.Key, got[i].Value, got[i].OK, wantV, wantOK)
+				}
+			}
+		}
+	}
+}

@@ -207,3 +207,20 @@ func (e *sortedEngine) SizeBytes() int64 {
 // ReadOnlyScan: the overlay scan never mutates engine state, so cluster
 // scans may run under the shared (read) lock, concurrent with gets.
 func (e *sortedEngine) ReadOnlyScan() bool { return true }
+
+// PrefixEmpty: one binary search over the sorted array plus a linear pass
+// over the write buffer, no mutation. Buffered deletions count as "maybe
+// non-empty" — false only forfeits the round-trip skip.
+func (e *sortedEngine) PrefixEmpty(prefix []byte) bool {
+	p := string(prefix)
+	i := sort.SearchStrings(e.keys, p)
+	if i < len(e.keys) && strings.HasPrefix(e.keys[i], p) {
+		return false
+	}
+	for k := range e.buf {
+		if strings.HasPrefix(k, p) {
+			return false
+		}
+	}
+	return true
+}

@@ -206,7 +206,17 @@ type OpNode struct {
 	KV        KVSnapshot    `json:"kv"`
 	Workers   int           `json:"workers,omitempty"`
 	PerWorker []int64       `json:"perWorker,omitempty"`
-	Children  []*OpNode     `json:"children,omitempty"`
+	// Nodes and PerNode record the storage-node fan-out of a scattered
+	// walk or batched fetch: how many nodes the operator touched and each
+	// node's contribution (pairs walked, postings yielded, or gets served,
+	// depending on the operator). PerNodeRTT, when known, is each node's
+	// emulated round-trip time in nanoseconds — under the service-capacity
+	// delay model it includes queueing at the node, so a hot node shows up
+	// directly in the plan.
+	Nodes      int       `json:"nodes,omitempty"`
+	PerNode    []int64   `json:"perNode,omitempty"`
+	PerNodeRTT []int64   `json:"perNodeRTTNanos,omitempty"`
+	Children   []*OpNode `json:"children,omitempty"`
 
 	start   time.Time
 	startKV KVSnapshot
@@ -264,6 +274,23 @@ func (n *OpNode) ResolveLabels() {
 	for _, c := range n.Children {
 		c.ResolveLabels()
 	}
+}
+
+// AnnotateNodes records a storage-node fan-out on the innermost open
+// span: perNode holds each node's contribution to the operator's walk or
+// batch, rttNanos (optional, nil to omit) each node's emulated round-trip
+// time. Called by the access-path layers (scan scatter, posting merge,
+// batched gets) while their operator's span is on top of the stack; safe
+// no-op on a nil or span-less trace. Like the span stack itself it must be
+// called from the driving goroutine only.
+func (t *Trace) AnnotateNodes(perNode []int64, rttNanos []int64) {
+	if t == nil || len(t.stack) == 0 || len(perNode) == 0 {
+		return
+	}
+	n := t.stack[len(t.stack)-1]
+	n.Nodes = len(perNode)
+	n.PerNode = perNode
+	n.PerNodeRTT = rttNanos
 }
 
 // FinishOp closes the span, recording its row count, wall time, and
@@ -329,6 +356,15 @@ func RenderPlan(root *OpNode, analyze bool) []string {
 					fmt.Fprintf(&b, " per_worker=%s", fmtPerWorker(n.PerWorker))
 				}
 			}
+			if n.Nodes > 0 {
+				fmt.Fprintf(&b, " nodes=%d", n.Nodes)
+				if len(n.PerNode) > 0 {
+					fmt.Fprintf(&b, " per_node=%s", fmtPerWorker(n.PerNode))
+				}
+				if len(n.PerNodeRTT) > 0 {
+					fmt.Fprintf(&b, " node_rtt=%s", fmtPerNodeRTT(n.PerNodeRTT))
+				}
+			}
 			b.WriteByte(')')
 		}
 		out = append(out, b.String())
@@ -354,6 +390,23 @@ func fmtPerWorker(rows []int64) string {
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	return fmt.Sprintf("[min=%d med=%d max=%d n=%d]",
 		sorted[0], sorted[len(sorted)/2], sorted[len(sorted)-1], len(sorted))
+}
+
+// fmtPerNodeRTT renders per-node round-trip times compactly: the exact
+// list for small fan-outs, min/median/max beyond eight nodes.
+func fmtPerNodeRTT(nanos []int64) string {
+	if len(nanos) <= 8 {
+		parts := make([]string, len(nanos))
+		for i, n := range nanos {
+			parts[i] = fmtDur(time.Duration(n))
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	}
+	sorted := append([]int64(nil), nanos...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return fmt.Sprintf("[min=%s med=%s max=%s n=%d]",
+		fmtDur(time.Duration(sorted[0])), fmtDur(time.Duration(sorted[len(sorted)/2])),
+		fmtDur(time.Duration(sorted[len(sorted)-1])), len(sorted))
 }
 
 // fmtDur rounds a duration for display so plan lines stay scannable.

@@ -163,6 +163,10 @@ func (e *kbaExec) runScan(n *kba.ScanKV) (*pval, error) {
 	attrs := append(qualify(n.Alias, kvSchema.Key), qualify(n.Alias, kvSchema.Val)...)
 	out := newPval(attrs, e.workers)
 	nodes := e.store.Cluster.NodeCount()
+	// perNode records each storage node's row contribution for the span's
+	// fan-out annotation; every node is walked by exactly one worker, so the
+	// slots are written race-free.
+	perNode := make([]int64, nodes)
 	var mu sync.Mutex
 	// Workers split the storage nodes; each worker scans its nodes and keeps
 	// the rows locally — scan output starts partitioned by storage layout.
@@ -173,6 +177,7 @@ func (e *kbaExec) runScan(n *kba.ScanKV) (*pval, error) {
 			err := e.store.ScanInstanceNodeT(e.kv(), node, n.KV, func(key relation.Tuple, blk *baav.Block, _ *baav.BlockStats) bool {
 				rows := blk.Expand()
 				e.trace.CountBlocks(1)
+				perNode[node] += int64(len(rows))
 				data += int64(len(rows)*len(kvSchema.Val) + len(key))
 				fetch += int64(key.SizeBytes())
 				for _, r := range rows {
@@ -192,6 +197,7 @@ func (e *kbaExec) runScan(n *kba.ScanKV) (*pval, error) {
 		mu.Unlock()
 		return nil
 	})
+	e.trace.AnnotateNodes(perNode, nil)
 	return out, err
 }
 
@@ -207,9 +213,10 @@ func qualify(alias string, attrs []string) []string {
 	return out
 }
 
-// runIndexLookup fetches the posting list of every constant (one get each)
-// and partitions the (value, block key) rows by their full content, so the
-// downstream ∝ starts from an even spread of probe keys.
+// runIndexLookup fetches every constant's posting list in one batched
+// cluster round (the point gets group by owning node) and partitions the
+// (value, block key) rows by their full content, so the downstream ∝ starts
+// from an even spread of probe keys.
 func (e *kbaExec) runIndexLookup(n *kba.IndexLookup) (*pval, error) {
 	if len(n.Args) > 0 {
 		return nil, fmt.Errorf("parallel: plan template has unbound parameters (call Bind before executing)")
@@ -223,14 +230,13 @@ func (e *kbaExec) runIndexLookup(n *kba.IndexLookup) (*pval, error) {
 	for i := range all {
 		all[i] = i
 	}
-	var gets, data int64
-	for _, v := range n.Values {
-		keys, g, err := e.store.Index.LookupT(e.trace, n.Index, v)
-		if err != nil {
-			return nil, err
-		}
-		gets += int64(g)
-		for _, k := range keys {
+	lists, gets, err := e.store.Index.LookupManyT(e.trace, n.Index, n.Values)
+	if err != nil {
+		return nil, err
+	}
+	var data int64
+	for i, v := range n.Values {
+		for _, k := range lists[i] {
 			if len(k) != len(n.KeyAttrs) {
 				return nil, fmt.Errorf("parallel: index %q posts %d key attributes, plan expects %d",
 					n.Index, len(k), len(n.KeyAttrs))
@@ -241,7 +247,7 @@ func (e *kbaExec) runIndexLookup(n *kba.IndexLookup) (*pval, error) {
 			out.parts[w] = append(out.parts[w], row)
 		}
 	}
-	e.c.gets.Add(gets)
+	e.c.gets.Add(int64(gets))
 	e.c.data.Add(data)
 	return out, nil
 }
@@ -288,9 +294,11 @@ func (e *kbaExec) runIndexRange(n *kba.IndexRange) (*pval, error) {
 	return out, nil
 }
 
-// runExtend is the interleaved ∝: repartition the input rows by the target
-// key so each worker issues one deduplicated get per distinct key it owns,
-// fetching only the blocks the query needs.
+// runExtend is the interleaved ∝: deduplicate the target keys across the
+// whole input, fetch every needed block in one batched cluster round per
+// owning node, then have workers expand their partitions against the shared
+// read-only cache — the query fetches only the blocks it needs, and pays
+// one storage round per node instead of one per distinct key.
 func (e *kbaExec) runExtend(n *kba.Extend) (*pval, error) {
 	in, err := e.run(n.Input)
 	if err != nil {
@@ -308,40 +316,53 @@ func (e *kbaExec) runExtend(n *kba.Extend) (*pval, error) {
 		return nil, err
 	}
 	shuffled := repartition(in, keyIdx, &e.c.shuffle)
-	outAttrs := append(append([]string{}, in.attrs...), qualify(n.Alias, kvSchema.Val)...)
-	out := newPval(outAttrs, e.workers)
-	err = forWorkers(e.workers, func(w int) error {
-		cache := make(map[string][]relation.Tuple)
-		var local []relation.Tuple
-		var gets, data, fetch int64
+
+	// Collect the distinct probe keys across all partitions (order is
+	// deterministic: partition-major, first occurrence wins).
+	at := make(map[string]int)
+	var keys []relation.Tuple
+	for w := 0; w < e.workers; w++ {
 		for _, row := range shuffled.parts[w] {
 			key := row.Project(keyIdx)
 			ks := relation.KeyString(key)
-			rows, ok := cache[ks]
-			if !ok {
-				blk, _, g, err := e.store.GetBlockT(e.kv(), n.KV, key)
-				if err != nil {
-					return err
-				}
-				gets += int64(g)
-				if blk != nil {
-					rows = blk.Expand()
-					e.trace.CountBlocks(1)
-					data += int64(len(rows)*len(kvSchema.Val) + len(key))
-					fetch += int64(key.SizeBytes())
-					for _, r := range rows {
-						fetch += int64(r.SizeBytes())
-					}
-				}
-				cache[ks] = rows
+			if _, ok := at[ks]; !ok {
+				at[ks] = len(keys)
+				keys = append(keys, key)
 			}
+		}
+	}
+	blks, _, gets, err := e.store.GetBlocksT(e.kv(), n.KV, keys)
+	if err != nil {
+		return nil, err
+	}
+	e.c.gets.Add(int64(gets))
+	cache := make(map[string][]relation.Tuple, len(keys))
+	var data, fetch int64
+	for i, key := range keys {
+		var rows []relation.Tuple
+		if blk := blks[i]; blk != nil {
+			rows = blk.Expand()
+			e.trace.CountBlocks(1)
+			data += int64(len(rows)*len(kvSchema.Val) + len(key))
+			fetch += int64(key.SizeBytes())
 			for _, r := range rows {
+				fetch += int64(r.SizeBytes())
+			}
+		}
+		cache[relation.KeyString(key)] = rows
+	}
+	e.c.data.Add(data)
+	e.c.fetch.Add(fetch)
+
+	outAttrs := append(append([]string{}, in.attrs...), qualify(n.Alias, kvSchema.Val)...)
+	out := newPval(outAttrs, e.workers)
+	err = forWorkers(e.workers, func(w int) error {
+		var local []relation.Tuple
+		for _, row := range shuffled.parts[w] {
+			for _, r := range cache[relation.KeyString(row.Project(keyIdx))] {
 				local = append(local, row.Concat(r))
 			}
 		}
-		e.c.gets.Add(gets)
-		e.c.data.Add(data)
-		e.c.fetch.Add(fetch)
 		out.parts[w] = local
 		return nil
 	})

@@ -79,6 +79,12 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof handlers under /debug/pprof/ on the
 	// HTTP surface.
 	EnablePprof bool
+	// ReclaimInterval sets the cadence of the background MVCC reclamation
+	// sweeper, which drops retired block versions and retries pending
+	// posting shrinks on relations that stopped receiving commits. Zero
+	// uses the 5s default; negative disables the sweeper (retired state
+	// then waits for each relation's next commit, as before).
+	ReclaimInterval time.Duration
 }
 
 func (c Config) normalized() Config {
@@ -152,6 +158,10 @@ type Server struct {
 	// Config.DisableMetrics is set (every use is nil-safe).
 	obs *serverObs
 
+	// stopSweep halts the background MVCC reclamation sweeper; nil when
+	// Config.ReclaimInterval is negative.
+	stopSweep func()
+
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -192,6 +202,9 @@ func New(inst *zidian.Instance, cfg Config) *Server {
 	}
 	if !cfg.DisableMetrics {
 		s.obs = newServerObs(s, cfg)
+	}
+	if inst != nil && cfg.ReclaimInterval >= 0 {
+		s.stopSweep = inst.StartReclaimSweeper(cfg.ReclaimInterval)
 	}
 	return s
 }
@@ -942,6 +955,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 
 	s.cancel() // aborts statements waiting in the admission queue
+	if s.stopSweep != nil {
+		s.stopSweep() // idempotent; waits for an in-flight sweep pass
+	}
 	if tcpLn != nil {
 		tcpLn.Close()
 	}

@@ -234,6 +234,67 @@ func (in *Instance) MVCCVersions() (live, reclaimed int64) {
 	return in.store.VersionsLive(), in.store.VersionsReclaimed()
 }
 
+// MVCCSwept reports the block versions reclaimed by the background sweep —
+// a subset of the reclaimed total, counting only what SweepMVCC dropped on
+// relations between commits.
+func (in *Instance) MVCCSwept() int64 { return in.store.VersionsSwept() }
+
+// SweepMVCC runs one reclamation pass over every relation: retired block
+// versions and sole tombstones below each relation's watermark are
+// dropped, and pending posting shrinks are retried against the same
+// watermark — work that normally rides the relation's next commit, done
+// now for relations that stopped receiving commits. Relations mid-commit
+// are skipped (the commit reclaims on its own way out). Returns the number
+// of versions swept.
+func (in *Instance) SweepMVCC() int64 {
+	var total int64
+	for _, rel := range in.db.Names() {
+		rel := rel
+		swept, ok := in.store.SweepRelation(rel, func(w uint64) {
+			// A failed shrink (corrupt posting) stays pending; the next
+			// sweep or commit retries it, exactly like the commit path.
+			_ = in.indexes.ReclaimRemovals(nil, rel, w)
+		})
+		if ok {
+			total += int64(swept)
+		}
+	}
+	return total
+}
+
+// StartReclaimSweeper starts a low-frequency background ticker that calls
+// SweepMVCC, so retired versions on quiescent relations are reclaimed
+// without waiting for a next commit. A non-positive interval defaults to
+// 5s. The returned stop function halts the sweeper and waits for an
+// in-flight pass to finish; it is idempotent.
+func (in *Instance) StartReclaimSweeper(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				in.SweepMVCC()
+			}
+		}
+	}()
+	var stopped atomic.Bool
+	return func() {
+		if stopped.CompareAndSwap(false, true) {
+			close(done)
+			<-finished
+		}
+	}
+}
+
 // submitWrite queues one logical write on rel's group committer and waits
 // for its batch to install (or abort).
 func (in *Instance) submitWrite(rel string, op *writeOp) writeOutcome {
@@ -457,9 +518,10 @@ func (in *Instance) analyzeInfo(t *obs.Trace, info *core.PlanInfo, params []Valu
 	lines := []string{fmt.Sprintf("[%s] %s", in.planClass(info), info.Root)}
 	lines = append(lines, obs.RenderPlan(t.Root, true)...)
 	lines = append(lines, fmt.Sprintf(
-		"totals: rows=%d wall=%s kv_ops=%d (gets=%d scan_next=%d puts=%d deletes=%d) rtt=%s posting_reads=%d blocks=%d snapshot=%s",
+		"totals: rows=%d wall=%s kv_ops=%d (gets=%d scan_next=%d puts=%d deletes=%d) rtt=%s posting_reads=%d blocks=%d nodes=%d snapshot=%s",
 		len(ans.Rows), m.Wall, kvs.Ops(), kvs.Gets, kvs.ScanNexts, kvs.Puts, kvs.Deletes,
-		time.Duration(kvs.WaitNanos), t.PostingReads(), t.Blocks(), RenderSnapshotSeqs(t.SnapshotSeqs)))
+		time.Duration(kvs.WaitNanos), t.PostingReads(), t.Blocks(),
+		in.store.Cluster.NodeCount(), RenderSnapshotSeqs(t.SnapshotSeqs)))
 	stats := in.statsFor(bound, m)
 	if bound.Root != nil {
 		stats.Plan = bound.Root.String()
