@@ -1,0 +1,124 @@
+// Command zidian-vet runs zidian's domain static analyzers (internal/lint)
+// over the module: mechanical enforcement of the concurrency and privacy
+// contracts the codebase otherwise carries as convention — trace
+// threading, snapshot-pin release, lock ordering, template anonymization,
+// and sync/atomic copy discipline.
+//
+// Usage:
+//
+//	zidian-vet [-rules spec] [-json] [packages...]
+//
+// Packages default to ./... and accept the go tool's pattern shapes
+// ("./internal/kv", "./..."). Findings print as file:line:col: [rule]
+// message and make the exit status 1; load or usage errors exit 2.
+// Suppressions (//lint:ignore zidian/<rule> <reason>) are counted and
+// printed so waivers stay visible in CI logs.
+//
+// -rules selects analyzers: a comma-separated list of rule names, each
+// optionally prefixed with '-' to skip instead ("tracethread,snapshotpin"
+// runs two; "-atomiccopy" runs all but one).
+//
+// -json replaces the text output with one machine-readable object:
+// {"findings": [...], "suppressed": [...], "packages": N, "rules": [...]}.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"zidian/internal/lint"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated rule names to run; prefix with '-' to skip (default: all)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: zidian-vet [-rules spec] [-json] [packages...]\n\nrules:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers, err := lint.Select(lint.Analyzers(), *rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res := lint.Run(pkgs, analyzers)
+
+	if *jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(jsonResult(res)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range res.Findings {
+			fmt.Println(d)
+		}
+		for _, s := range res.Suppressed {
+			fmt.Printf("%s:%d: [%s] suppressed by //lint:ignore: %s\n", s.Diag.Pos.Filename, s.Diag.Pos.Line, s.Diag.Rule, s.Reason)
+		}
+		fmt.Printf("zidian-vet: %d packages, %d rules, %d findings, %d suppressed\n",
+			res.Packages, len(res.RulesRun), len(res.Findings), len(res.Suppressed))
+	}
+	if len(res.Findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// jsonFinding is one diagnostic in -json output.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	Reason  string `json:"reason,omitempty"` // suppression reason, suppressed list only
+}
+
+type jsonOutput struct {
+	Findings   []jsonFinding `json:"findings"`
+	Suppressed []jsonFinding `json:"suppressed"`
+	Packages   int           `json:"packages"`
+	Rules      []string      `json:"rules"`
+}
+
+func jsonResult(res *lint.Result) jsonOutput {
+	out := jsonOutput{
+		Findings:   []jsonFinding{},
+		Suppressed: []jsonFinding{},
+		Packages:   res.Packages,
+		Rules:      res.RulesRun,
+	}
+	for _, d := range res.Findings {
+		out.Findings = append(out.Findings, jsonFinding{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Rule: d.Rule, Message: d.Message,
+		})
+	}
+	for _, s := range res.Suppressed {
+		out.Suppressed = append(out.Suppressed, jsonFinding{
+			File: s.Diag.Pos.Filename, Line: s.Diag.Pos.Line, Col: s.Diag.Pos.Column,
+			Rule: s.Diag.Rule, Message: s.Diag.Message, Reason: s.Reason,
+		})
+	}
+	return out
+}

@@ -346,8 +346,8 @@ type Commit struct {
 	rowsDelta int
 
 	// computed by Ops, consumed by Install
-	opsBuilt   bool
-	dirAdds    []struct {
+	opsBuilt bool
+	dirAdds  []struct {
 		kvName, prefix string
 		e              verEntry
 	}
@@ -372,10 +372,10 @@ func (st *Store) BeginCommit(rel string) (*Commit, error) {
 	seq := r.seq.Load() + 1
 	r.stamp.Store(seq)
 	return &Commit{
-		st:  st,
-		rel: rel,
-		r:   r,
-		seq: seq,
+		st:         st,
+		rel:        rel,
+		r:          r,
+		seq:        seq,
 		staged:     make(map[string]map[string]*stagedEdit),
 		blockDelta: make(map[string]int),
 		degreeMax:  make(map[string]int),

@@ -272,7 +272,7 @@ type Pred struct {
 	Attr    string
 	Op      sql.CmpOp
 	Lit     *relation.Value
-	Param   *int // parameter slot for the RHS
+	Param   *int   // parameter slot for the RHS
 	RAttr   string // attribute-attribute comparison when non-empty
 	In      []relation.Value
 	InSlots []int // parameter slots appended to In at bind time

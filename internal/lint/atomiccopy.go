@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// atomiccopy enforces the no-copy discipline for the synchronization-
+// bearing structs of internal/kv and internal/obs, strictly: any struct
+// that (transitively, through fields, embedding, and arrays) holds a
+// sync.* or sync/atomic.* value must not be copied by value. go vet's
+// copylocks only flags types that reach a Locker; our metrics types wrap
+// atomics behind accessors and a copy silently forks the counters — reads
+// of the copy freeze while writers keep mutating the original, which is
+// exactly the kind of skew the obs layer exists to rule out.
+//
+// Flagged: value assignments (including *p dereference copies), value
+// arguments at call sites, range-clause value variables, returns, and
+// by-value receivers/parameters in function signatures. Composite
+// literals are fresh values and stay legal.
+func atomiccopyAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "atomiccopy",
+		Doc:  "structs holding sync/atomic state in internal/kv and internal/obs must never be copied by value",
+		Inspects: func(p string) bool {
+			return pathHasSuffix(p, "internal/kv", "internal/obs")
+		},
+		Run: runAtomiccopy,
+	}
+}
+
+func runAtomiccopy(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(p, st)
+			case *ast.AssignStmt:
+				for _, rhs := range st.Rhs {
+					if copiesSyncValue(p, rhs) {
+						p.Reportf(rhs.Pos(), "assignment copies %s, which holds sync/atomic state — share it by pointer", typeName(p, rhs))
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range st.Args {
+					if copiesSyncValue(p, arg) {
+						p.Reportf(arg.Pos(), "call passes %s by value, which holds sync/atomic state — pass a pointer", typeName(p, arg))
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range st.Results {
+					if copiesSyncValue(p, r) {
+						p.Reportf(r.Pos(), "return copies %s, which holds sync/atomic state — return a pointer", typeName(p, r))
+					}
+				}
+			case *ast.RangeStmt:
+				// The range value ident is recorded in Defs, not Types, so
+				// go through TypeOf.
+				if st.Value != nil {
+					if t := p.Info.TypeOf(st.Value); t != nil && holdsSyncState(t, nil) {
+						p.Reportf(st.Value.Pos(), "range value copies %s per element, which holds sync/atomic state — range by index or over pointers", t.String())
+					}
+				}
+			case *ast.GenDecl:
+				// var x = y copies like an assignment.
+				for _, spec := range st.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, v := range vs.Values {
+						if copiesSyncValue(p, v) {
+							p.Reportf(v.Pos(), "declaration copies %s, which holds sync/atomic state — share it by pointer", typeName(p, v))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkSignature flags by-value receivers and parameters of sync-bearing
+// struct types: calling such a function copies the state at every site.
+func checkSignature(p *Pass, fn *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := p.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+				continue
+			}
+			if holdsSyncState(tv.Type, nil) {
+				p.Reportf(field.Type.Pos(), "%s %s is passed by value and holds sync/atomic state — use a pointer", kind, tv.Type.String())
+			}
+		}
+	}
+	check(fn.Recv, "receiver")
+	check(fn.Type.Params, "parameter")
+}
+
+// copiesSyncValue reports whether evaluating the expression copies a
+// sync-bearing struct out of an existing location. Composite literals and
+// calls are not copies of shared state (a call's return copy is flagged
+// at the callee's return statement).
+func copiesSyncValue(p *Pass, e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return false
+	}
+	t := p.Info.TypeOf(ast.Unparen(e))
+	if t == nil {
+		return false
+	}
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return false
+	}
+	return holdsSyncState(t, nil)
+}
+
+func typeName(p *Pass, e ast.Expr) string {
+	if t := p.Info.TypeOf(ast.Unparen(e)); t != nil {
+		return t.String()
+	}
+	return "value"
+}
+
+// holdsSyncState reports whether t transitively holds a sync.* or
+// sync/atomic.* value by value (through named types, struct fields, and
+// arrays; pointers, slices, maps, and interfaces cut the recursion).
+func holdsSyncState(t types.Type, seen map[types.Type]bool) bool {
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		if pkg := u.Obj().Pkg(); pkg != nil {
+			if path := pkg.Path(); path == "sync" || path == "sync/atomic" {
+				_, isIface := u.Underlying().(*types.Interface)
+				return !isIface // sync.Locker values are fine; state types are not
+			}
+		}
+		return holdsSyncState(u.Underlying(), seen)
+	case *types.Alias:
+		return holdsSyncState(types.Unalias(u), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if holdsSyncState(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return holdsSyncState(u.Elem(), seen)
+	}
+	return false
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// expectation is one `// want `regex“ marker in a fixture file.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+// suppressedWant is the number of //lint:ignore waivers each fixture
+// package exercises on purpose.
+var suppressedWant = map[string]int{
+	"tracethread": 1,
+	"lockorder":   1,
+}
+
+// TestAnalyzerFixtures runs each analyzer over its fixture package in
+// testdata/<rule>/ and asserts the diagnostics match the `// want`
+// markers exactly: every marker fires, nothing else does, and waived
+// findings land in Suppressed instead.
+func TestAnalyzerFixtures(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range Analyzers() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			// Load patterns resolve against the module root.
+			pkgs, err := loader.Load("./internal/lint/testdata/" + a.Name)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			if len(pkgs) != 1 {
+				t.Fatalf("loaded %d packages, want 1", len(pkgs))
+			}
+			res := Run(pkgs, []*Analyzer{a})
+			wants := collectWants(t, pkgs[0])
+			if len(wants) == 0 {
+				t.Fatal("fixture has no // want markers — it validates nothing")
+			}
+			for _, d := range res.Findings {
+				if d.Rule != a.Name {
+					t.Errorf("diagnostic from foreign rule %q: %s", d.Rule, d)
+					continue
+				}
+				matched := false
+				for _, w := range wants {
+					if sameFile(d.Pos.Filename, w.file) && d.Pos.Line == w.line && w.re.MatchString(d.Message) {
+						w.hit = true
+						matched = true
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+				}
+			}
+			if got, want := len(res.Suppressed), suppressedWant[a.Name]; got != want {
+				t.Errorf("suppressed %d findings, want %d", got, want)
+				for _, s := range res.Suppressed {
+					t.Logf("suppressed: %s (%s)", s.Diag, s.Reason)
+				}
+			}
+		})
+	}
+}
+
+// collectWants extracts the `// want` markers from the fixture's parsed
+// comments (the loader keeps them via parser.ParseComments).
+func collectWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// sameFile matches the module-relative diagnostic filename against the
+// fixture's absolute filename.
+func sameFile(a, b string) bool {
+	return a == b || strings.HasSuffix(a, b) || strings.HasSuffix(b, a)
+}
+
+func TestSelect(t *testing.T) {
+	all := Analyzers()
+
+	got, err := Select(all, "")
+	if err != nil || len(got) != len(all) {
+		t.Fatalf("empty spec: got %d analyzers, err=%v; want all %d", len(got), err, len(all))
+	}
+
+	got, err = Select(all, "snapshotpin, zidian/lockorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names(got) != "snapshotpin,lockorder" {
+		t.Errorf("select spec: got %s, want snapshotpin,lockorder", names(got))
+	}
+
+	got, err = Select(all, "-zidian/literalleak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(all)-1 || strings.Contains(names(got), "literalleak") {
+		t.Errorf("skip spec: got %s", names(got))
+	}
+
+	if _, err := Select(all, "nosuchrule"); err == nil {
+		t.Error("unknown rule accepted")
+	}
+}
+
+func names(as []*Analyzer) string {
+	var b []string
+	for _, a := range as {
+		b = append(b, a.Name)
+	}
+	return strings.Join(b, ",")
+}

@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// literalleak enforces the PR 7 privacy contract: the slow-query log, the
+// workload capture stream, and the statement-statistics registry only
+// ever see anonymized templates — never normalized or raw SQL, which
+// still embeds literal data values. Concretely:
+//
+//   - the Template field of a sink record (obs.StmtUsage, CaptureEntry,
+//     slowEntry — matched by type name so fixtures can model them) must
+//     be built from an anonymization call (a callee whose name contains
+//     "anonymize"), a template-named field/variable, or a constant;
+//   - every assignment to a template-named variable or field must itself
+//     have such an origin, so the trusted names can't be laundered.
+//
+// Functions whose own name contains "anonymize" are the trust roots (they
+// legitimately manipulate raw text to produce the template) and are
+// skipped.
+func literalleakAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "literalleak",
+		Doc:  "slow-log/capture/StmtStats sinks only see AnonymizeSQL output or template fields, never raw SQL",
+		Inspects: func(p string) bool {
+			return pathHasSuffix(p, "internal/server", "internal/obs", "cmd/zidian-sql")
+		},
+		Run: runLiteralleak,
+	}
+}
+
+// sinkRecordTypes are the struct type names whose Template field feeds a
+// privacy-sensitive sink.
+var sinkRecordTypes = map[string]bool{
+	"StmtUsage":    true, // statement-statistics registry
+	"CaptureEntry": true, // workload capture stream
+	"slowEntry":    true, // slow-query log line
+}
+
+func runLiteralleak(p *Pass) {
+	for _, f := range p.Files {
+		for _, fb := range funcBodies(f) {
+			if fb.decl == nil {
+				continue
+			}
+			if strings.Contains(strings.ToLower(fb.name), "anonymize") {
+				continue // trust root
+			}
+			body := fb.decl.Body
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.CompositeLit:
+					checkSinkLiteral(p, body, st)
+				case *ast.AssignStmt:
+					checkTemplateAssign(p, body, st)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// templateName reports whether the identifier names a template slot.
+func templateName(name string) bool {
+	return name == "Template" || name == "template" ||
+		strings.HasSuffix(name, "Template") || strings.HasSuffix(name, "template")
+}
+
+// isStringType reports whether t is (an alias or named form of) string —
+// template slots hold text; maps or counters keyed "byTemplate" are not
+// leak surfaces.
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// checkSinkLiteral verifies the Template value of a sink-record composite
+// literal, and of any keyed literal writing a template-named field.
+func checkSinkLiteral(p *Pass, body *ast.BlockStmt, lit *ast.CompositeLit) {
+	tv, ok := p.Info.Types[lit]
+	if !ok {
+		return
+	}
+	named, isNamed := namedOf(tv.Type)
+	isSink := isNamed && sinkRecordTypes[named.Obj().Name()]
+	for i, el := range lit.Elts {
+		if kvExpr, ok := el.(*ast.KeyValueExpr); ok {
+			key, ok := kvExpr.Key.(*ast.Ident)
+			if !ok || !templateName(key.Name) {
+				continue
+			}
+			if tv, ok := p.Info.Types[kvExpr.Value]; ok && !isStringType(tv.Type) {
+				continue
+			}
+			if !anonymizedOrigin(p, body, kvExpr.Value, 0) {
+				p.Reportf(kvExpr.Value.Pos(), "%s.%s set from %s, which is not anonymized — route it through AnonymizeSQL (raw/normalized SQL embeds literal data values)", litTypeName(named, isNamed), key.Name, exprString(kvExpr.Value))
+			}
+			continue
+		}
+		// Positional literal of a sink record: find the Template field.
+		if !isSink {
+			continue
+		}
+		if st, ok := named.Underlying().(*types.Struct); ok && i < st.NumFields() && templateName(st.Field(i).Name()) {
+			if !anonymizedOrigin(p, body, el, 0) {
+				p.Reportf(el.Pos(), "%s.%s set from %s, which is not anonymized — route it through AnonymizeSQL", named.Obj().Name(), st.Field(i).Name(), exprString(el))
+			}
+		}
+	}
+}
+
+func litTypeName(named *types.Named, ok bool) string {
+	if !ok {
+		return "struct"
+	}
+	return named.Obj().Name()
+}
+
+// checkTemplateAssign verifies assignments to template-named variables
+// and fields.
+func checkTemplateAssign(p *Pass, body *ast.BlockStmt, st *ast.AssignStmt) {
+	for i, lhs := range st.Lhs {
+		name := selectorName(lhs)
+		if !templateName(name) {
+			continue
+		}
+		if tv, ok := p.Info.Types[lhs]; ok && !isStringType(tv.Type) {
+			continue
+		}
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := objOf(p, id); obj != nil && !isStringType(obj.Type()) {
+				continue
+			}
+		}
+		// Tuple assignment from one call: the call is the origin of every
+		// LHS; otherwise pair positionally.
+		var rhs ast.Expr
+		if len(st.Rhs) == 1 {
+			rhs = st.Rhs[0]
+		} else if i < len(st.Rhs) {
+			rhs = st.Rhs[i]
+		}
+		if rhs == nil {
+			continue
+		}
+		if !anonymizedOrigin(p, body, rhs, 0) {
+			p.Reportf(rhs.Pos(), "template %s assigned from %s, which is not anonymized — only AnonymizeSQL output (or another template) may flow into a template slot", name, exprString(rhs))
+		}
+	}
+}
+
+// objOf resolves an identifier to its object, whether the site is a use
+// or a definition (:=).
+func objOf(p *Pass, id *ast.Ident) types.Object {
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// anonymizedOrigin reports whether the expression's value provably comes
+// from anonymization: an anonymize call, a template-named field or
+// variable (whose own assignments are checked by checkTemplateAssign), a
+// constant, or a local variable all of whose assignments in this function
+// have an anonymized origin.
+func anonymizedOrigin(p *Pass, body *ast.BlockStmt, e ast.Expr, depth int) bool {
+	if depth > 6 {
+		return false
+	}
+	e = ast.Unparen(e)
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil {
+		return true // constant
+	}
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.CallExpr:
+		return strings.Contains(strings.ToLower(calleeName(x)), "anonymize")
+	case *ast.SelectorExpr:
+		return templateName(x.Sel.Name)
+	case *ast.BinaryExpr:
+		return anonymizedOrigin(p, body, x.X, depth+1) && anonymizedOrigin(p, body, x.Y, depth+1)
+	case *ast.Ident:
+		if templateName(x.Name) {
+			return true
+		}
+		// Follow local assignments: every write to this variable in the
+		// function must itself be anonymized.
+		obj := objOf(p, x)
+		if obj == nil {
+			return false
+		}
+		sawAssign := false
+		clean := true
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if p.Info.Defs[id] != obj && p.Info.Uses[id] != obj {
+					continue
+				}
+				sawAssign = true
+				var rhs ast.Expr
+				if len(as.Rhs) == 1 {
+					rhs = as.Rhs[0]
+				} else if i < len(as.Rhs) {
+					rhs = as.Rhs[i]
+				}
+				if rhs == nil || !anonymizedOrigin(p, body, rhs, depth+1) {
+					clean = false
+				}
+			}
+			return true
+		})
+		return sawAssign && clean
+	}
+	return false
+}

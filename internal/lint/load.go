@@ -1,0 +1,306 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module.
+type Package struct {
+	Path   string // import path
+	Dir    string // absolute directory
+	ModDir string // module root
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// Loader loads module packages from source with full type information,
+// using only the standard library: module-internal imports are resolved
+// recursively from the module tree, everything else (the standard
+// library) through go/importer's source importer. Test files are skipped
+// — the invariants the analyzers enforce are production contracts, and
+// tests legitimately poke at internals (e.g. pin a snapshot and sit on it
+// to exercise reclamation backpressure).
+type Loader struct {
+	ModDir  string // module root (directory containing go.mod)
+	ModPath string // module path from go.mod
+
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader locates the enclosing module starting at dir (walking up to
+// the go.mod) and returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	// The source importer type-checks the standard library from GOROOT
+	// source through go/build; with cgo enabled go/build selects cgo
+	// files (net, os/user) the importer cannot process, so force the
+	// pure-Go file sets. Only this process's view is affected.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer unavailable")
+	}
+	return &Loader{
+		ModDir:  root,
+		ModPath: modPath,
+		fset:    fset,
+		std:     std,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Load resolves the given package patterns ("./...", "./dir/...", "./dir",
+// or module-qualified import paths) and returns the loaded packages in
+// deterministic path order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := make(map[string]bool)
+	for _, pat := range patterns {
+		expanded, err := l.expand(pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range expanded {
+			dirs[d] = true
+		}
+	}
+	var sorted []string
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	var out []*Package
+	for _, d := range sorted {
+		pkg, err := l.loadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// expand turns one pattern into the set of package directories it names.
+// Directories named testdata (and hidden directories) are skipped during
+// ... expansion, mirroring the go tool, but can still be named directly —
+// that is how the fixture corpus is loaded.
+func (l *Loader) expand(pat string) ([]string, error) {
+	if rest, ok := strings.CutPrefix(pat, l.ModPath); ok {
+		pat = "./" + strings.TrimPrefix(rest, "/")
+	}
+	recursive := false
+	if strings.HasSuffix(pat, "/...") {
+		recursive = true
+		pat = strings.TrimSuffix(pat, "/...")
+		if pat == "." || pat == "" {
+			pat = "."
+		}
+	} else if pat == "..." {
+		recursive, pat = true, "."
+	}
+	base := pat
+	if !filepath.IsAbs(base) {
+		base = filepath.Join(l.ModDir, pat)
+	}
+	base = filepath.Clean(base)
+	if !strings.HasPrefix(base, l.ModDir) {
+		return nil, fmt.Errorf("lint: pattern %q escapes module root %s", pat, l.ModDir)
+	}
+	if !recursive {
+		return []string{base}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		n := e.Name()
+		if strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir parses and type-checks one package directory (cached).
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	rel, err := filepath.Rel(l.ModDir, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.ModPath
+	if rel != "." {
+		path = l.ModPath + "/" + filepath.ToSlash(rel)
+	}
+	return l.loadPath(path, dir)
+}
+
+func (l *Loader) loadPath(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importerFunc{l, dir}}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:   path,
+		Dir:    dir,
+		ModDir: l.ModDir,
+		Fset:   l.fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importerFunc adapts the loader as a types.Importer: module-internal
+// import paths load recursively from source, everything else goes to the
+// stdlib source importer.
+type importerFunc struct {
+	l   *Loader
+	dir string
+}
+
+func (f importerFunc) Import(path string) (*types.Package, error) {
+	l := f.l
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		dir := l.ModDir
+		if rel != "" {
+			dir = filepath.Join(l.ModDir, filepath.FromSlash(rel))
+		}
+		pkg, err := l.loadPath(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", dir)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, f.dir, 0)
+}

@@ -1,0 +1,367 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockorder enforces the PR 5/8 deadlock-freedom discipline:
+//
+//  1. A loop that acquires locks per element (the relation-lock pattern)
+//     must range over a slice with sort evidence in the same function — a
+//     sort.Strings/sort.Slice call or a sort.StringsAreSorted guard
+//     naming the ranged slice. Two statements locking overlapping
+//     relation sets in different orders deadlock; sorted acquisition is
+//     the documented total order.
+//
+//  2. Striped or per-node mutexes (reached through an index expression or
+//     a lookup call: shards[i].mu, nodes[n].mu, lockFor(rel)) must not
+//     nest: acquiring a second striped lock while one is held orders two
+//     stripes of the same family arbitrarily, which deadlocks against the
+//     opposite interleaving. Documented pairs that sit on different
+//     levels of the lock hierarchy (commitMu -> pinMu: the group
+//     committer pins while holding its relation's commit lock) are
+//     allowlisted below.
+func lockorderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "lockorder",
+		Doc:  "relation-lock loops iterate sorted slices; striped mutexes never nest outside documented pairs",
+		Inspects: func(p string) bool {
+			return true // striped locks live in server, obs, kv, and baav
+		},
+		Run: runLockorder,
+	}
+}
+
+// allowedNestings are the documented lock-hierarchy pairs: holding the
+// first (by mutex field name) while acquiring the second is part of the
+// design, not an ordering hazard.
+var allowedNestings = map[[2]string]bool{
+	{"commitMu", "pinMu"}: true, // group-commit leader pins the pre-commit snapshot
+}
+
+func runLockorder(p *Pass) {
+	for _, f := range p.Files {
+		for _, fb := range funcBodies(f) {
+			checkSortedLoops(p, fb)
+			checkNestedStripes(p, fb)
+		}
+	}
+}
+
+// --- rule 1: lock-acquisition loops need sort evidence ---
+
+// sortEvidence are the callees accepted as proof the ranged slice is in a
+// deterministic order.
+var sortEvidence = map[string]bool{
+	"Strings": true, "Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	"StringsAreSorted": true, "SliceIsSorted": true, "IsSorted": true,
+	"SortFunc": true, "SortStableFunc": true, "IsSortedFunc": true,
+}
+
+func checkSortedLoops(p *Pass, fb funcBody) {
+	// Literals are analyzed within their declaration; standalone
+	// literal entries would double-report nested loops.
+	if fb.decl == nil {
+		return
+	}
+	ast.Inspect(fb.decl.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		lockPos, locksPerElement := loopAcquiresPerElement(p, rng)
+		if !locksPerElement {
+			return true
+		}
+		if !hasSortEvidence(fb.decl.Body, rng) {
+			p.Reportf(lockPos, "lock acquisition loop ranges over %s without sort evidence — sort it (or guard with sort.StringsAreSorted) so overlapping acquirers agree on one order", exprString(rng.X))
+		}
+		return true
+	})
+}
+
+// loopAcquiresPerElement reports whether the range body acquires a mutex
+// that depends on the loop variables (a per-element lock) and holds it
+// past the iteration, and where. A lock released by a plain Unlock inside
+// the same iteration (the per-shard walk pattern) never holds two
+// elements' locks at once, so its order cannot deadlock; only
+// accumulating acquisitions (the relation-lock pattern) need the sorted
+// order.
+func loopAcquiresPerElement(p *Pass, rng *ast.RangeStmt) (token.Pos, bool) {
+	// Collect loop variables plus body-local vars derived from them
+	// (m := l.lockFor(r)).
+	derived := make(map[string]bool)
+	for _, v := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+			derived[id.Name] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			uses := false
+			for _, r := range as.Rhs {
+				for name := range identsIn(r) {
+					if derived[name] {
+						uses = true
+					}
+				}
+			}
+			if !uses {
+				return true
+			}
+			for _, l := range as.Lhs {
+				if id, ok := l.(*ast.Ident); ok && id.Name != "_" && !derived[id.Name] {
+					derived[id.Name] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	var pos token.Pos
+	found := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			return false // a deferred unlock runs at function return, not per iteration
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if !isMutexExpr(p, sel.X) {
+			return true
+		}
+		root := rootIdent(sel.X)
+		if root == nil || !derived[root.Name] {
+			return true
+		}
+		if unlockedInLoop(rng.Body, exprString(sel.X)) {
+			return true
+		}
+		pos, found = call.Pos(), true
+		return false
+	})
+	return pos, found
+}
+
+// unlockedInLoop reports whether the loop body contains a plain (non-
+// deferred) Unlock/RUnlock of the same mutex expression, meaning the lock
+// is released within the iteration that took it.
+func unlockedInLoop(body *ast.BlockStmt, key string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock") {
+			return true
+		}
+		if exprString(sel.X) == key {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// hasSortEvidence reports whether the function sorts (or asserts
+// sortedness of) the slice the loop ranges over, before the loop.
+func hasSortEvidence(body *ast.BlockStmt, rng *ast.RangeStmt) bool {
+	names := identsIn(rng.X)
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= rng.Pos() {
+			return true
+		}
+		if !sortEvidence[calleeName(call)] {
+			return true
+		}
+		for _, arg := range call.Args {
+			for name := range identsIn(arg) {
+				if names[name] {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// --- rule 2: striped mutexes must not nest ---
+
+type heldLock struct {
+	key   string // rendered expression, identity for release matching
+	field string // mutex field name, for the allowlist
+	pos   token.Pos
+}
+
+func checkNestedStripes(p *Pass, fb funcBody) {
+	var held []heldLock
+	// Linear statement-order scan of this body only (nested literals are
+	// their own funcBody entries: locks taken in a goroutine or returned
+	// closure do not nest with the parent's in any enforced order).
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			if fb.lit != nil && st == fb.lit {
+				return true
+			}
+			return false // separate funcBody entry
+		case *ast.DeferStmt:
+			return false // deferred unlocks release at return, not here
+		case *ast.CallExpr:
+			sel, ok := st.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch name {
+			case "Lock", "RLock":
+				if !isMutexExpr(p, sel.X) {
+					return true
+				}
+				key := exprString(sel.X)
+				if !stripedMutex(p, fb, sel.X) {
+					return true
+				}
+				for _, h := range held {
+					if h.key == key {
+						continue // re-lock of the same stripe: a plain bug, but not an ordering hazard
+					}
+					if allowedNestings[[2]string{h.field, selectorName(sel.X)}] {
+						continue
+					}
+					p.Reportf(st.Pos(), "striped mutex %s acquired while striped %s is held — two stripes locked in arbitrary order deadlock against the opposite interleaving", key, h.key)
+					return true
+				}
+				held = append(held, heldLock{key: key, field: selectorName(sel.X), pos: st.Pos()})
+			case "Unlock", "RUnlock":
+				if !isMutexExpr(p, sel.X) {
+					return true
+				}
+				key := exprString(sel.X)
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i].key == key {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isMutexExpr reports whether the expression is a sync.Mutex or
+// sync.RWMutex (by value or pointer).
+func isMutexExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok {
+		return false
+	}
+	return isTypeFrom(tv.Type, "sync", "Mutex") || isTypeFrom(tv.Type, "sync", "RWMutex")
+}
+
+// stripedMutex reports whether the locked expression denotes one stripe of
+// a family: the expression contains an index step (shards[i].mu), or its
+// root variable was assigned from an index expression or a lookup call
+// (sh := s.shards[h%n]; m := l.lockFor(rel); r := st.mvcc.rel(name)).
+func stripedMutex(p *Pass, fb funcBody, e ast.Expr) bool {
+	if containsIndexExpr(e) {
+		return true
+	}
+	root := rootIdent(e)
+	if root == nil {
+		return false
+	}
+	striped := false
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if striped {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, l := range as.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok || id.Name != root.Name {
+				continue
+			}
+			if i < len(as.Rhs) {
+				rhs := as.Rhs[i]
+				if containsIndexExpr(rhs) || isLookupCall(p, rhs) {
+					striped = true
+					return false
+				}
+			} else if len(as.Rhs) == 1 {
+				if isLookupCall(p, as.Rhs[0]) {
+					striped = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return striped
+}
+
+func containsIndexExpr(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.IndexExpr); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isLookupCall reports whether the expression is a call yielding a
+// pointer to a struct — the stripe-lookup shape (lockFor, mvcc.rel).
+func isLookupCall(p *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := p.Info.Types[call]
+	if !ok {
+		return false
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	_, isStruct := ptr.Elem().Underlying().(*types.Struct)
+	return isStruct
+}

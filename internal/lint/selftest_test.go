@@ -1,0 +1,32 @@
+package lint
+
+import "testing"
+
+// TestRepoInvariants is the regression guard the linter exists for: it
+// runs every analyzer over the whole module in-process, so a change that
+// violates a concurrency or privacy contract fails plain `go test ./...`
+// even when nobody remembers to run zidian-vet. Waivers stay visible in
+// the verbose log rather than failing the build.
+func TestRepoInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the full module")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages — the loader is missing most of the module", len(pkgs))
+	}
+	res := Run(pkgs, Analyzers())
+	for _, d := range res.Findings {
+		t.Errorf("%s", d)
+	}
+	for _, s := range res.Suppressed {
+		t.Logf("waived: %s (%s)", s.Diag, s.Reason)
+	}
+}

@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// snapshotpin enforces the PR 8 MVCC reclamation contract: a pinned
+// snapshot that is never released blocks the relation's watermark forever,
+// so retired block versions accumulate until the process dies. The rule
+// requires that in every function:
+//
+//   - the result of a PinSnapshot call is bound to a variable (never
+//     discarded or consumed inline), and
+//   - the pin is released panic-safely — `defer s.Release()` (directly or
+//     inside a deferred closure) — or escapes to the caller (the snapshot
+//     or its Release method value is returned or stored in a field), and
+//   - release funcs handed out by pin-style helpers (a call to a function
+//     whose name starts with "pin"/"Pin" returning a func()) are likewise
+//     deferred, returned, or stored — a plain release() call leaks the pin
+//     when anything between the pin and the call panics.
+func snapshotpinAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "snapshotpin",
+		Doc:  "every PinSnapshot (and pin-helper release func) must be released via defer or escape to the caller",
+		Inspects: func(p string) bool {
+			return true // pins appear in the facade, the committer, and the server
+		},
+		Run: runSnapshotpin,
+	}
+}
+
+func runSnapshotpin(p *Pass) {
+	for _, f := range p.Files {
+		for _, fb := range funcBodies(f) {
+			if fb.decl == nil {
+				continue // literals are checked within their declaration
+			}
+			checkPins(p, fb.decl.Body)
+		}
+	}
+}
+
+func checkPins(p *Pass, body *ast.BlockStmt) {
+	// Walk statements so each pin call is seen with its binding context.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPinSnapshotCall(call) {
+				checkSnapshotVar(p, body, st, call)
+				return true
+			}
+			if idx, ok := pinHelperReleaseIndex(p, call); ok {
+				checkReleaseVar(p, body, st, call, idx)
+				return true
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+				if isPinSnapshotCall(call) {
+					p.Reportf(call.Pos(), "PinSnapshot result discarded — the pin can never be released and the reclamation watermark stalls")
+				} else if _, ok := pinHelperReleaseIndex(p, call); ok {
+					p.Reportf(call.Pos(), "pin helper %s's release func discarded — the pin can never be released", calleeName(call))
+				}
+			}
+		case *ast.CallExpr:
+			// A pin consumed inline as an argument (e.g.
+			// AtSnapshot(PinSnapshot(...))) has no releasable binding.
+			for _, arg := range st.Args {
+				if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok && isPinSnapshotCall(inner) {
+					p.Reportf(inner.Pos(), "PinSnapshot result consumed inline — bind it so the pin can be released")
+				}
+			}
+		case *ast.ReturnStmt:
+			// Returning the pin itself transfers ownership to the caller.
+			return true
+		}
+		return true
+	})
+}
+
+// isPinSnapshotCall reports whether the call is <recv>.PinSnapshot(...).
+func isPinSnapshotCall(call *ast.CallExpr) bool {
+	return calleeName(call) == "PinSnapshot"
+}
+
+// pinHelperReleaseIndex reports whether the call is a pin-style helper —
+// a function or method whose name starts with "pin"/"Pin" (but is not
+// PinSnapshot itself, handled separately) — returning a no-arg func() in
+// its results, and at which result index the release func sits.
+func pinHelperReleaseIndex(p *Pass, call *ast.CallExpr) (int, bool) {
+	name := calleeName(call)
+	if name == "PinSnapshot" || (len(name) < 4 && name != "pin" && name != "Pin") {
+		return 0, false
+	}
+	if name != "pin" && name != "Pin" &&
+		!hasPrefixWord(name, "pin") && !hasPrefixWord(name, "Pin") {
+		return 0, false
+	}
+	// TypeOf, not Types: a plain-identifier callee is only in Uses.
+	t := p.Info.TypeOf(call.Fun)
+	if t == nil {
+		return 0, false
+	}
+	sig, ok := t.(*types.Signature)
+	if !ok {
+		return 0, false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if s, ok := res.At(i).Type().(*types.Signature); ok && s.Params().Len() == 0 && s.Results().Len() == 0 {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// hasPrefixWord reports whether name starts with the prefix as a word
+// ("pinView", "PinAll" — but not "pingServer").
+func hasPrefixWord(name, prefix string) bool {
+	if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+		return false
+	}
+	c := name[len(prefix)]
+	return c >= 'A' && c <= 'Z'
+}
+
+// checkSnapshotVar verifies the binding of a PinSnapshot result.
+func checkSnapshotVar(p *Pass, body *ast.BlockStmt, st *ast.AssignStmt, call *ast.CallExpr) {
+	if len(st.Lhs) != 1 {
+		return
+	}
+	switch lhs := st.Lhs[0].(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			p.Reportf(call.Pos(), "PinSnapshot result assigned to _ — the pin can never be released")
+			return
+		}
+		if !pinHandled(body, lhs.Name, "Release") {
+			p.Reportf(call.Pos(), "snapshot %q is not released on all paths — defer %s.Release() (or return it / its Release to the caller)", lhs.Name, lhs.Name)
+		}
+	default:
+		// Stored directly into a field or map slot: ownership escapes to
+		// the holder; release becomes its lifecycle's responsibility.
+	}
+}
+
+// checkReleaseVar verifies the binding of a pin helper's release func.
+func checkReleaseVar(p *Pass, body *ast.BlockStmt, st *ast.AssignStmt, call *ast.CallExpr, idx int) {
+	if idx >= len(st.Lhs) {
+		return
+	}
+	switch lhs := st.Lhs[idx].(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			p.Reportf(call.Pos(), "pin helper %s's release func assigned to _ — the pin can never be released", calleeName(call))
+			return
+		}
+		if !releaseHandled(body, lhs.Name) {
+			p.Reportf(call.Pos(), "pin release %q must run via defer (panic-safe) or escape to the caller — a plain call leaks the pin on panic", lhs.Name)
+		}
+	default:
+	}
+}
+
+// pinHandled reports whether variable name's pin is released panic-safely
+// within body: defer name.Method() (directly or inside a deferred
+// closure), or name / name.Method escapes via return or a field store.
+func pinHandled(body *ast.BlockStmt, name, method string) bool {
+	handled := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if handled {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if callsMethodOn(st.Call, name, method) {
+				handled = true
+				return false
+			}
+			if lit, ok := st.Call.Fun.(*ast.FuncLit); ok && bodyCallsMethodOn(lit.Body, name, method) {
+				handled = true
+				return false
+			}
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				if exprIsIdent(r, name) || exprIsMethodValue(r, name, method) {
+					handled = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			// Storing the pin (or its release) into a field/map/global
+			// hands ownership to the holder.
+			for i, lhs := range st.Lhs {
+				if _, isIdent := lhs.(*ast.Ident); isIdent {
+					continue
+				}
+				if i < len(st.Rhs) && (exprIsIdent(st.Rhs[i], name) || exprIsMethodValue(st.Rhs[i], name, method)) {
+					handled = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return handled
+}
+
+// releaseHandled reports whether release-func variable name is deferred,
+// returned, or stored within body.
+func releaseHandled(body *ast.BlockStmt, name string) bool {
+	handled := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if handled {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if exprIsIdent(st.Call.Fun, name) {
+				handled = true
+				return false
+			}
+			if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok && exprIsIdent(c.Fun, name) {
+						handled = true
+						return false
+					}
+					return true
+				})
+				if handled {
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				if exprIsIdent(r, name) {
+					handled = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				if _, isIdent := lhs.(*ast.Ident); isIdent {
+					continue
+				}
+				if i < len(st.Rhs) && exprIsIdent(st.Rhs[i], name) {
+					handled = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return handled
+}
+
+func exprIsIdent(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func exprIsMethodValue(e ast.Expr, recv, method string) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == method && exprIsIdent(sel.X, recv)
+}
+
+func callsMethodOn(call *ast.CallExpr, recv, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == method && exprIsIdent(sel.X, recv)
+}
+
+func bodyCallsMethodOn(body *ast.BlockStmt, recv, method string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && callsMethodOn(c, recv, method) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

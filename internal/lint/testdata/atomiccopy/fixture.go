@@ -1,0 +1,67 @@
+// Package fixture exercises the atomiccopy rule: structs transitively
+// holding sync/atomic state must never be copied by value.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type plain struct{ n int64 }
+
+func use(c *counters) {}
+
+func sink(c counters) {} // want `parameter .*counters is passed by value`
+
+func deref(c *counters) counters {
+	cp := *c  // want `assignment copies .*counters`
+	return cp // want `return copies .*counters`
+}
+
+func (c counters) valueRecv() int64 { return 0 } // want `receiver .*counters is passed by value`
+
+func callByValue(c *counters) {
+	sink(*c) // want `call passes .*counters by value`
+}
+
+func rangeCopies(cs []counters) {
+	for _, c := range cs { // want `range value copies .*counters`
+		use(&c)
+	}
+}
+
+func guardedCopy(g *guarded) int {
+	cp := *g // want `assignment copies .*guarded`
+	return cp.n
+}
+
+var seed counters
+
+var leaked = seed // want `declaration copies .*counters`
+
+func fresh() *counters {
+	return &counters{} // ok: composite literal, a fresh value
+}
+
+func pointers(c *counters) *counters {
+	p := c // ok: pointer copy
+	return p
+}
+
+func plainCopy(ps []plain) plain {
+	var total plain
+	for _, p := range ps { // ok: no sync state
+		total.n += p.n
+	}
+	return total
+}

@@ -1,0 +1,66 @@
+// Package fixture exercises the literalleak rule. The sink record types
+// are modeled locally — matching is by type name, exactly so fixtures
+// (and future sinks) are covered without importing server internals.
+package fixture
+
+type CaptureEntry struct {
+	Verb     string
+	Template string
+	Rows     int
+}
+
+type StmtUsage struct {
+	Verb     string
+	Template string
+}
+
+type slowEntry struct {
+	Template string
+	Micros   int64
+}
+
+// anonymizeFixture stands in for server.AnonymizeSQL: functions whose
+// name contains "anonymize" are the trust roots.
+func anonymizeFixture(norm string) string { return norm }
+
+func record(e CaptureEntry) {}
+func observe(u StmtUsage)   {}
+
+func goodKeyed(raw string) {
+	template := anonymizeFixture(raw)
+	record(CaptureEntry{Verb: "select", Template: template, Rows: 1})
+}
+
+func badKeyed(raw string) {
+	record(CaptureEntry{Verb: "select", Template: raw, Rows: 1}) // want `CaptureEntry\.Template set from raw, which is not anonymized`
+}
+
+func badPositional(raw string) {
+	observe(StmtUsage{"select", raw}) // want `StmtUsage\.Template set from raw, which is not anonymized`
+}
+
+func badFieldAssign(raw string) slowEntry {
+	var e slowEntry
+	e.Template = raw // want `template Template assigned from raw, which is not anonymized`
+	return e
+}
+
+func goodLaundered(raw string) slowEntry {
+	t := anonymizeFixture(raw)
+	s := t // ok: every assignment to s traces back to the anonymizer
+	return slowEntry{Template: s, Micros: 1}
+}
+
+func badLaundered(raw string) slowEntry {
+	s := raw
+	return slowEntry{Template: s, Micros: 1} // want `slowEntry\.Template set from s, which is not anonymized`
+}
+
+func constantTemplate() StmtUsage {
+	return StmtUsage{Verb: "show", Template: "SHOW STATEMENTS"} // ok: constant
+}
+
+func byTemplateMap(n int) map[string]int {
+	byTemplate := make(map[string]int, n) // ok: not a string slot
+	return byTemplate
+}

@@ -1,0 +1,117 @@
+// Package fixture exercises the lockorder rule: relation-lock loops need
+// sort evidence, and striped mutexes must not nest outside the documented
+// pairs.
+package fixture
+
+import (
+	"sort"
+	"sync"
+)
+
+type lockTable struct {
+	locks map[string]*sync.RWMutex
+}
+
+func (t *lockTable) lockFor(rel string) *sync.RWMutex { return t.locks[rel] }
+
+// sortedAcquire is the documented relation-lock pattern: sort first.
+func sortedAcquire(t *lockTable, rels []string) []*sync.RWMutex {
+	sort.Strings(rels)
+	held := make([]*sync.RWMutex, 0, len(rels))
+	for _, r := range rels {
+		m := t.lockFor(r)
+		m.RLock() // ok: sort evidence above
+		held = append(held, m)
+	}
+	return held
+}
+
+// guardedAcquire asserts sortedness instead of sorting — also evidence.
+func guardedAcquire(t *lockTable, rels []string) []*sync.RWMutex {
+	if !sort.StringsAreSorted(rels) {
+		return nil
+	}
+	held := make([]*sync.RWMutex, 0, len(rels))
+	for _, r := range rels {
+		m := t.lockFor(r)
+		m.RLock() // ok: sortedness asserted above
+		held = append(held, m)
+	}
+	return held
+}
+
+// unsortedAcquire accumulates per-relation locks with no ordering proof.
+func unsortedAcquire(t *lockTable, rels []string) []*sync.RWMutex {
+	held := make([]*sync.RWMutex, 0, len(rels))
+	for _, r := range rels {
+		m := t.lockFor(r)
+		m.RLock() // want `lock acquisition loop ranges over rels without sort evidence`
+		held = append(held, m)
+	}
+	return held
+}
+
+// perElementWalk locks and unlocks within each iteration: it never holds
+// two relations' locks at once, so order cannot deadlock.
+func perElementWalk(t *lockTable, rels []string) int {
+	n := 0
+	for _, r := range rels {
+		m := t.lockFor(r)
+		m.Lock()
+		n += len(r)
+		m.Unlock() // ok: released within the iteration
+	}
+	return n
+}
+
+type shardSet struct {
+	shards [16]struct{ mu sync.Mutex }
+}
+
+func nestedStripes(s *shardSet, i, j int) {
+	s.shards[i].mu.Lock()
+	s.shards[j].mu.Lock() // want `striped mutex s\.shards\[j\]\.mu acquired while striped s\.shards\[i\]\.mu is held`
+	s.shards[j].mu.Unlock()
+	s.shards[i].mu.Unlock()
+}
+
+func sequentialStripes(s *shardSet, i, j int) {
+	s.shards[i].mu.Lock()
+	s.shards[i].mu.Unlock()
+	s.shards[j].mu.Lock() // ok: the first stripe is already released
+	s.shards[j].mu.Unlock()
+}
+
+type relState struct {
+	commitMu sync.Mutex
+	pinMu    sync.Mutex
+}
+
+// commitThenPin follows the documented commitMu -> pinMu hierarchy.
+func commitThenPin(rels map[string]*relState, name string) {
+	r := rels[name]
+	r.commitMu.Lock()
+	r.pinMu.Lock() // ok: documented pair
+	r.pinMu.Unlock()
+	r.commitMu.Unlock()
+}
+
+// pinThenCommit inverts the documented order.
+func pinThenCommit(rels map[string]*relState, name string) {
+	r := rels[name]
+	r.pinMu.Lock()
+	r.commitMu.Lock() // want `striped mutex r\.commitMu acquired while striped r\.pinMu is held`
+	r.commitMu.Unlock()
+	r.pinMu.Unlock()
+}
+
+// waivedNesting demonstrates the suppression directive.
+func waivedNesting(rels map[string]*relState, a, b string) {
+	x := rels[a]
+	y := rels[b]
+	x.commitMu.Lock()
+	//lint:ignore zidian/lockorder fixture: exercises the suppression path
+	y.commitMu.Lock()
+	y.commitMu.Unlock()
+	x.commitMu.Unlock()
+}

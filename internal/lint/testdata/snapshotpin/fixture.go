@@ -1,0 +1,75 @@
+// Package fixture exercises the snapshotpin rule: every PinSnapshot
+// result (and every pin-helper release func) must be released via defer
+// or escape to the caller.
+package fixture
+
+import "zidian/internal/baav"
+
+// pinView is a pin-style helper: the release escapes via return — ok.
+func pinView(st *baav.Store, rels []string) (*baav.Store, func()) {
+	s := st.PinSnapshot(rels)
+	return st.AtSnapshot(s), s.Release
+}
+
+func deferred(st *baav.Store, rels []string) *baav.Store {
+	s := st.PinSnapshot(rels)
+	defer s.Release()
+	return st.AtSnapshot(s)
+}
+
+func deferredClosure(st *baav.Store, rels []string) *baav.Store {
+	s := st.PinSnapshot(rels)
+	defer func() { s.Release() }()
+	return st.AtSnapshot(s)
+}
+
+func escapes(st *baav.Store, rels []string) *baav.Snapshot {
+	s := st.PinSnapshot(rels) // ok: ownership transfers to the caller
+	return s
+}
+
+func leaked(st *baav.Store, rels []string) *baav.Store {
+	s := st.PinSnapshot(rels) // want `snapshot "s" is not released on all paths`
+	return st.AtSnapshot(s)
+}
+
+func plainRelease(st *baav.Store, rels []string) {
+	s := st.PinSnapshot(rels) // want `snapshot "s" is not released on all paths`
+	st.AtSnapshot(s)
+	s.Release()
+}
+
+func discarded(st *baav.Store, rels []string) {
+	st.PinSnapshot(rels) // want `PinSnapshot result discarded`
+}
+
+func blank(st *baav.Store, rels []string) {
+	_ = st.PinSnapshot(rels) // want `PinSnapshot result assigned to _`
+}
+
+func inline(st *baav.Store, rels []string) *baav.Store {
+	return st.AtSnapshot(st.PinSnapshot(rels)) // want `PinSnapshot result consumed inline`
+}
+
+func releaseDeferred(st *baav.Store, rels []string) {
+	v, release := pinView(st, rels)
+	defer release()
+	_ = v
+}
+
+func releasePlain(st *baav.Store, rels []string) {
+	v, release := pinView(st, rels) // want `pin release "release" must run via defer`
+	_ = v
+	release()
+}
+
+func releaseBlank(st *baav.Store, rels []string) {
+	v, _ := pinView(st, rels) // want `pin helper pinView's release func assigned to _`
+	_ = v
+}
+
+func releaseForwarded(st *baav.Store, rels []string) func() {
+	v, release := pinView(st, rels) // ok: the release escapes via return
+	_ = v
+	return release
+}

@@ -1,0 +1,44 @@
+// Package fixture exercises the tracethread rule: untraced storage calls
+// on a path that has an *obs.Trace or *obs.KV in scope must be flagged,
+// calls without a trace in scope must not.
+package fixture
+
+import (
+	"zidian/internal/baav"
+	"zidian/internal/kv"
+	"zidian/internal/obs"
+)
+
+func keep(k, v []byte) bool { return true }
+
+// tracedParam reaches its trace through a parameter.
+func tracedParam(c *kv.Cluster, t *obs.KV) {
+	c.Scan([]byte("p"), keep)       // want `untraced Cluster\.Scan on a traced path — use ScanT`
+	c.ScanT(nil, []byte("p"), keep) // want `Cluster\.ScanT called with a nil trace`
+	c.ScanT(t, []byte("p"), keep)   // ok: trace threaded
+	c.Get([]byte("k"))              // want `untraced Cluster\.Get on a traced path — use GetRoutedT`
+	c.GetRoutedT(t, []byte("k"), []byte("k"))
+}
+
+type env struct {
+	store *baav.Store
+	kvt   *obs.KV
+}
+
+// fieldTrace reaches its trace through a field read in the body.
+func (e *env) fieldTrace(name string) {
+	e.store.GetBlock(name, nil) // want `untraced Store\.GetBlock on a traced path — use GetBlockT`
+	_ = e.kvt
+}
+
+// untraced has no trace anywhere: plain variants are the right call.
+func untraced(c *kv.Cluster) {
+	c.Scan([]byte("p"), keep) // ok: no trace in scope
+}
+
+// waived demonstrates the suppression directive.
+func waived(c *kv.Cluster, t *obs.KV) {
+	//lint:ignore zidian/tracethread fixture: cold path, deliberately untraced
+	c.Scan([]byte("p"), keep)
+	_ = t
+}

@@ -26,7 +26,7 @@ import (
 // (for `?` placeholders already present in the text); they contribute their
 // kinds in position. Rules:
 //
-//   - '-quoted string literals (including '' escapes) become ? with kind
+//   - '-quoted string literals (including ” escapes) become ? with kind
 //     "string";
 //   - numeric literals become ? with kind "int" or "float" — except a number
 //     directly after the keyword `limit`, which is kept verbatim: a LIMIT

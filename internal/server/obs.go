@@ -448,26 +448,26 @@ func (c *stmtCtx) finish(rows int, cacheHit bool, err error) {
 // values), where the time went layer by layer, and what the statement
 // touched.
 type slowEntry struct {
-	TS              string         `json:"ts"`
-	Verb            string         `json:"verb"`
-	Template        string         `json:"template"`
-	BindArity       int            `json:"bindArity"`
-	Relations       []string       `json:"relations,omitempty"`
-	Rows            int            `json:"rows"`
-	WallMicros      int64          `json:"wallMicros"`
-	QueueWaitMicros int64          `json:"queueWaitMicros"`
-	LockWaitMicros  int64          `json:"lockWaitMicros"`
+	TS              string   `json:"ts"`
+	Verb            string   `json:"verb"`
+	Template        string   `json:"template"`
+	BindArity       int      `json:"bindArity"`
+	Relations       []string `json:"relations,omitempty"`
+	Rows            int      `json:"rows"`
+	WallMicros      int64    `json:"wallMicros"`
+	QueueWaitMicros int64    `json:"queueWaitMicros"`
+	LockWaitMicros  int64    `json:"lockWaitMicros"`
 	// Snapshot renders the MVCC sequences the statement's reads pinned
 	// ("REL:seq,..."), CommitWaitMicros the time a write sat in its
 	// relation's group-commit queue.
-	Snapshot         string `json:"snapshot,omitempty"`
-	CommitWaitMicros int64  `json:"commitWaitMicros,omitempty"`
-	KV              obs.KVSnapshot `json:"kv"`
-	PostingReads    int64          `json:"postingReads"`
-	BlocksFetched   int64          `json:"blocksFetched"`
-	CacheHit        bool           `json:"cacheHit"`
-	Error           string         `json:"error,omitempty"`
-	Code            string         `json:"code,omitempty"`
+	Snapshot         string         `json:"snapshot,omitempty"`
+	CommitWaitMicros int64          `json:"commitWaitMicros,omitempty"`
+	KV               obs.KVSnapshot `json:"kv"`
+	PostingReads     int64          `json:"postingReads"`
+	BlocksFetched    int64          `json:"blocksFetched"`
+	CacheHit         bool           `json:"cacheHit"`
+	Error            string         `json:"error,omitempty"`
+	Code             string         `json:"code,omitempty"`
 }
 
 // logSlow emits one JSON line when the statement's wall time crossed the
@@ -478,15 +478,15 @@ func (o *serverObs) logSlow(c *stmtCtx, rows int, wall time.Duration, err error)
 		return
 	}
 	e := slowEntry{
-		TS:              time.Now().UTC().Format(time.RFC3339Nano),
-		Verb:            c.verb,
-		Template:        c.template,
-		BindArity:       len(c.binds),
-		Relations:       c.relations,
-		Rows:            rows,
-		WallMicros:      wall.Microseconds(),
-		QueueWaitMicros: c.trace.QueueWaitNanos / 1e3,
-		LockWaitMicros:  c.trace.LockWaitNanos / 1e3,
+		TS:               time.Now().UTC().Format(time.RFC3339Nano),
+		Verb:             c.verb,
+		Template:         c.template,
+		BindArity:        len(c.binds),
+		Relations:        c.relations,
+		Rows:             rows,
+		WallMicros:       wall.Microseconds(),
+		QueueWaitMicros:  c.trace.QueueWaitNanos / 1e3,
+		LockWaitMicros:   c.trace.LockWaitNanos / 1e3,
 		KV:               c.trace.KV.Snapshot(),
 		PostingReads:     c.trace.PostingReads(),
 		BlocksFetched:    c.trace.Blocks(),

@@ -33,7 +33,7 @@ func TestNormalizeSQL(t *testing.T) {
 	}
 }
 
-// TestNormalizeSQLQuoteEscape: the lexer's '' escape keeps a literal open
+// TestNormalizeSQLQuoteEscape: the lexer's ” escape keeps a literal open
 // and a ' inside a "-quoted literal is ordinary content
 // (internal/sql/lexer.go:126), so the normalizer must track both region
 // kinds the way the lexer does. The pre-fix normalizer toggled string mode

@@ -191,12 +191,12 @@ type ServerStats struct {
 // values. Evicted, when present, folds the totals of templates evicted from
 // the registry so sums over the payload stay conserved.
 type StatementsPayload struct {
-	SortedBy   string           `json:"sortedBy"`
-	Tracked    int              `json:"tracked"`
-	Capacity   int              `json:"capacity"`
-	Evictions  int64            `json:"evictions"`
-	Statements []obs.StmtEntry  `json:"statements"`
-	Evicted    *obs.StmtEntry   `json:"evicted,omitempty"`
+	SortedBy   string          `json:"sortedBy"`
+	Tracked    int             `json:"tracked"`
+	Capacity   int             `json:"capacity"`
+	Evictions  int64           `json:"evictions"`
+	Statements []obs.StmtEntry `json:"statements"`
+	Evicted    *obs.StmtEntry  `json:"evicted,omitempty"`
 }
 
 // LatencyQuantiles are interpolated quantiles of a latency histogram, in
@@ -241,7 +241,7 @@ func jsonRows(rows []relation.Tuple) [][]any {
 // same statement therefore share one cache entry, while everything the
 // compiled plan depends on stays significant:
 //
-//   - string literals — including text after an embedded '' escape, which
+//   - string literals — including text after an embedded ” escape, which
 //     the lexer keeps inside the literal (internal/sql/lexer.go) — are
 //     copied verbatim, so statements differing only inside a literal never
 //     collide on one cache key;

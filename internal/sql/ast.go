@@ -132,7 +132,7 @@ func (p Pred) String() string {
 }
 
 // renderLit renders a literal in re-parseable SQL form: strings are quoted
-// with '' escaping, numbers render naturally.
+// with ” escaping, numbers render naturally.
 func renderLit(v relation.Value) string {
 	if v.Kind == relation.KindString {
 		return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"

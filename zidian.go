@@ -509,8 +509,8 @@ func (in *Instance) analyzeInfo(t *obs.Trace, info *core.PlanInfo, params []Valu
 		return nil, nil, nil, err
 	}
 	view, release := in.pinView(info.Relations, t)
+	defer release()
 	ans, m, err := parallel.RunKBATraced(bound, view, in.opts.Workers, t)
-	release()
 	if err != nil {
 		return nil, nil, nil, err
 	}
